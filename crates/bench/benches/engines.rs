@@ -1,0 +1,74 @@
+//! Engine throughput benchmarks: how fast each protocol simulator
+//! chews through simulated time. One fixed small configuration per
+//! scheme so regressions in the hot loops are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repl_core::{
+    ContentionProfile, ContentionSim, EagerSim, LazyGroupSim, LazyMasterSim, Mobility, Ownership,
+    ReplicaDiscipline, SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload,
+};
+use repl_model::Params;
+use repl_sim::SimDuration;
+use std::hint::black_box;
+
+fn cfg(seed: u64) -> SimConfig {
+    let p = Params::new(500.0, 4.0, 10.0, 4.0, 0.01);
+    SimConfig::from_params(&p, 30, seed)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engines_30s_sim");
+    g.sample_size(10);
+
+    g.bench_function("single_node", |b| {
+        b.iter(|| {
+            let c = cfg(1);
+            black_box(ContentionSim::new(c, ContentionProfile::single_node(&c)).run())
+        });
+    });
+    g.bench_function("eager_serial", |b| {
+        b.iter(|| {
+            black_box(EagerSim::new(cfg(2), ReplicaDiscipline::Serial, Ownership::Group).run())
+        });
+    });
+    g.bench_function("eager_parallel", |b| {
+        b.iter(|| {
+            black_box(
+                EagerSim::new(cfg(3), ReplicaDiscipline::Parallel, Ownership::Group).run(),
+            )
+        });
+    });
+    g.bench_function("lazy_master", |b| {
+        b.iter(|| black_box(LazyMasterSim::new(cfg(4)).run()));
+    });
+    g.bench_function("lazy_group_connected", |b| {
+        b.iter(|| black_box(LazyGroupSim::new(cfg(5), Mobility::Connected).run()));
+    });
+    g.bench_function("lazy_group_mobile", |b| {
+        b.iter(|| {
+            let mobility = Mobility::Cycling {
+                connected: SimDuration::from_secs(8),
+                disconnected: SimDuration::from_secs(8),
+            };
+            black_box(LazyGroupSim::new(cfg(6), mobility).run())
+        });
+    });
+    g.bench_function("two_tier", |b| {
+        b.iter(|| {
+            let tt = TwoTierConfig {
+                sim: cfg(7),
+                base_nodes: 2,
+                mobile_owned: 0,
+                connected: SimDuration::from_secs(8),
+                disconnected: SimDuration::from_secs(12),
+                workload: TwoTierWorkload::Commutative { max_amount: 10 },
+                initial_value: 10_000,
+            };
+            black_box(TwoTierSim::new(tt).run())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! One benchmark per paper artifact: each runs the corresponding
+//! harness experiment in quick mode. `cargo bench` therefore
+//! regenerates every table and figure of the paper (shape-level) while
+//! timing how long the regeneration takes.
+//!
+//! For the full-resolution tables use the harness binary:
+//! `cargo run --release -p repl-harness -- all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repl_harness::experiments;
+use repl_harness::RunOpts;
+use std::hint::black_box;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_artifacts_quick");
+    g.sample_size(10);
+    let opts = RunOpts {
+        quick: true,
+        seed: 0x5EED_1996,
+    };
+    for e in experiments::ALL {
+        g.bench_function(e.name, |b| {
+            b.iter(|| black_box((e.run)(&opts)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmarks (see benches/).

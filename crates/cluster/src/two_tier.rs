@@ -1,0 +1,528 @@
+//! A threaded two-tier deployment (§7) — the paper's solution running
+//! on real OS threads and channels rather than the discrete-event
+//! simulator.
+//!
+//! * [`BaseServer`] — one thread owning the master database. It
+//!   executes base transactions under the lazy-master discipline,
+//!   applies acceptance criteria, and streams its commit log to
+//!   reconnecting clients.
+//! * [`MobileNode`] — a disconnected client holding (master, tentative)
+//!   dual versions. It executes tentative transactions locally, logs
+//!   their input parameters, and re-submits them in commit order on
+//!   [`MobileNode::sync`].
+//!
+//! ```
+//! use repl_cluster::two_tier::{BaseServer, MobileNode};
+//! use repl_core::{Criterion, Op, Operation, TxnSpec};
+//! use repl_storage::{NodeId, ObjectId, Value};
+//!
+//! // A bank with 4 accounts of $100 each, and one offline customer.
+//! let base = BaseServer::spawn(4, 100);
+//! let mut mobile = MobileNode::new(NodeId(1), 4, 100);
+//! let check = TxnSpec::new(vec![Operation::new(ObjectId(0), Op::Debit(30))])
+//!     .with_criterion(Criterion::NonNegative);
+//! mobile.execute_tentative(check);
+//! assert_eq!(mobile.read(ObjectId(0)), &Value::Int(70)); // tentative view
+//! let outcome = mobile.sync(&base);
+//! assert_eq!(outcome.accepted, 1);
+//! assert_eq!(base.snapshot().get(ObjectId(0)).value, Value::Int(70));
+//! base.shutdown();
+//! ```
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use repl_core::TxnSpec;
+use repl_storage::{
+    CommitRecord, LamportClock, Lsn, NodeId, ObjectId, ObjectStore, TentativeStore, Timestamp,
+    TxnId, Value,
+};
+use std::thread::JoinHandle;
+
+/// A tentative transaction awaiting base re-execution: the §7
+/// "input parameters" capture plus the tentative outputs the acceptance
+/// criterion compares against.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// The transaction's specification (ops + criterion).
+    pub spec: TxnSpec,
+    /// The outputs the tentative execution produced.
+    pub tentative_results: Vec<(ObjectId, Value)>,
+}
+
+/// Outcome of one re-executed tentative transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnOutcome {
+    /// The base execution passed the acceptance criterion; these are
+    /// the (durable) base outputs.
+    Accepted(Vec<(ObjectId, Value)>),
+    /// The acceptance criterion failed; the diagnostic explains why
+    /// ("the originating node and person … are informed it failed and
+    /// why it failed").
+    Rejected {
+        /// Human-readable failure diagnostic.
+        reason: String,
+    },
+}
+
+/// Reply to a [`MobileNode::sync`].
+#[derive(Debug)]
+struct SyncReply {
+    outcomes: Vec<TxnOutcome>,
+    refresh: Vec<CommitRecord>,
+    head: Lsn,
+}
+
+enum BaseMsg {
+    Execute {
+        spec: TxnSpec,
+        reply: Sender<TxnOutcome>,
+    },
+    Sync {
+        pendings: Vec<Pending>,
+        from: Lsn,
+        reply: Sender<SyncReply>,
+    },
+    Snapshot {
+        reply: Sender<ObjectStore>,
+    },
+    Shutdown,
+}
+
+struct BaseThread {
+    master: ObjectStore,
+    clock: LamportClock,
+    log: repl_storage::CommitLog,
+    inbox: Receiver<BaseMsg>,
+    next_txn: u64,
+}
+
+impl BaseThread {
+    fn run(mut self) {
+        while let Ok(msg) = self.inbox.recv() {
+            match msg {
+                BaseMsg::Execute { spec, reply } => {
+                    let outcome = self.execute(&spec, None);
+                    let _ = reply.send(outcome);
+                }
+                BaseMsg::Sync {
+                    pendings,
+                    from,
+                    reply,
+                } => {
+                    let outcomes = pendings
+                        .iter()
+                        .map(|p| self.execute(&p.spec, Some(&p.tentative_results)))
+                        .collect();
+                    let refresh = self.log.since(from).to_vec();
+                    let _ = reply.send(SyncReply {
+                        outcomes,
+                        refresh,
+                        head: self.log.head(),
+                    });
+                }
+                BaseMsg::Snapshot { reply } => {
+                    let _ = reply.send(self.master.clone());
+                }
+                BaseMsg::Shutdown => break,
+            }
+        }
+    }
+
+    /// Execute one base transaction: buffer the writes, judge them with
+    /// the acceptance criterion, install on success.
+    fn execute(
+        &mut self,
+        spec: &TxnSpec,
+        tentative: Option<&Vec<(ObjectId, Value)>>,
+    ) -> TxnOutcome {
+        let mut buffered: Vec<(ObjectId, Value)> = Vec::with_capacity(spec.ops.len());
+        for op in &spec.ops {
+            let current = buffered
+                .iter()
+                .rev()
+                .find(|(o, _)| *o == op.object)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| self.master.get(op.object).value.clone());
+            buffered.push((op.object, op.op.apply(&current)));
+        }
+        let accepted = match tentative {
+            Some(t) => spec.criterion.accepts(&buffered, t),
+            None => spec.criterion.accepts(&buffered, &buffered),
+        };
+        if !accepted {
+            return TxnOutcome::Rejected {
+                reason: format!(
+                    "acceptance criterion {:?} failed for outputs {:?}",
+                    spec.criterion, buffered
+                ),
+            };
+        }
+        self.next_txn += 1;
+        let txn = TxnId(self.next_txn);
+        let mut updates = Vec::with_capacity(buffered.len());
+        for (obj, value) in &buffered {
+            let old_ts = self.master.get(*obj).ts;
+            let new_ts = self.clock.tick();
+            self.master.set(*obj, value.clone(), new_ts);
+            updates.push(repl_storage::UpdateRecord {
+                txn,
+                object: *obj,
+                old_ts,
+                new_ts,
+                value: value.clone(),
+            });
+        }
+        self.log.append(txn, updates);
+        TxnOutcome::Accepted(buffered)
+    }
+}
+
+/// Handle to the base-node thread.
+pub struct BaseServer {
+    sender: Sender<BaseMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BaseServer {
+    /// Spawn the base server owning a `db_size`-object master database
+    /// with every object initialized to `initial_value`.
+    pub fn spawn(db_size: u64, initial_value: i64) -> Self {
+        let (tx, rx) = unbounded();
+        let mut master = ObjectStore::new(db_size);
+        for i in 0..db_size {
+            master.set(ObjectId(i), Value::Int(initial_value), Timestamp::ZERO);
+        }
+        let thread = BaseThread {
+            master,
+            clock: LamportClock::new(NodeId(0)),
+            log: repl_storage::CommitLog::new(),
+            inbox: rx,
+            next_txn: 0,
+        };
+        let handle = std::thread::Builder::new()
+            .name("two-tier-base".to_owned())
+            .spawn(move || thread.run())
+            .expect("failed to spawn base thread");
+        BaseServer {
+            sender: tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Execute a transaction directly at the base (a connected client).
+    pub fn execute(&self, spec: TxnSpec) -> TxnOutcome {
+        let (tx, rx) = unbounded();
+        self.sender
+            .send(BaseMsg::Execute { spec, reply: tx })
+            .expect("base thread gone");
+        rx.recv().expect("base thread dropped reply")
+    }
+
+    /// Snapshot the master database.
+    pub fn snapshot(&self) -> ObjectStore {
+        let (tx, rx) = unbounded();
+        self.sender
+            .send(BaseMsg::Snapshot { reply: tx })
+            .expect("base thread gone");
+        rx.recv().expect("base thread dropped snapshot")
+    }
+
+    fn sync(&self, pendings: Vec<Pending>, from: Lsn) -> SyncReply {
+        let (tx, rx) = unbounded();
+        self.sender
+            .send(BaseMsg::Sync {
+                pendings,
+                from,
+                reply: tx,
+            })
+            .expect("base thread gone");
+        rx.recv().expect("base thread dropped sync reply")
+    }
+
+    /// Shut the base thread down.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.sender.send(BaseMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BaseServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Result summary of one [`MobileNode::sync`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SyncOutcome {
+    /// Tentative transactions the base accepted.
+    pub accepted: u64,
+    /// Tentative transactions the base rejected (with diagnostics in
+    /// [`MobileNode::last_rejections`]).
+    pub rejected: u64,
+    /// Replica commits applied to the local master versions.
+    pub refreshed: u64,
+}
+
+/// A mobile (usually disconnected) client node.
+pub struct MobileNode {
+    id: NodeId,
+    store: TentativeStore,
+    clock: LamportClock,
+    pending: Vec<Pending>,
+    watermark: Lsn,
+    last_rejections: Vec<String>,
+}
+
+impl MobileNode {
+    /// A fresh mobile node over a `db_size`-object replica (sync before
+    /// first use to pull the real master versions).
+    pub fn new(id: NodeId, db_size: u64, initial_value: i64) -> Self {
+        let mut store = TentativeStore::new(db_size);
+        for i in 0..db_size {
+            store
+                .master_mut()
+                .set(ObjectId(i), Value::Int(initial_value), Timestamp::ZERO);
+        }
+        MobileNode {
+            id,
+            store,
+            clock: LamportClock::new(id),
+            pending: Vec::new(),
+            watermark: Lsn(0),
+            last_rejections: Vec::new(),
+        }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Read through the tentative overlay ("if it updated documents …
+    /// those tentative updates are all visible at the mobile node").
+    pub fn read(&self, obj: ObjectId) -> &Value {
+        &self.store.read(obj).value
+    }
+
+    /// Number of tentative transactions awaiting re-execution.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Diagnostics from the most recent sync's rejections.
+    pub fn last_rejections(&self) -> &[String] {
+        &self.last_rejections
+    }
+
+    /// Execute a tentative transaction against local tentative
+    /// versions and log it for base re-execution.
+    pub fn execute_tentative(&mut self, spec: TxnSpec) -> Vec<(ObjectId, Value)> {
+        let mut results = Vec::with_capacity(spec.ops.len());
+        for op in &spec.ops {
+            let current = self.store.read(op.object).value.clone();
+            let new = op.op.apply(&current);
+            let ts = self.clock.tick();
+            self.store.write_tentative(op.object, new.clone(), ts);
+            results.push((op.object, new));
+        }
+        self.pending.push(Pending {
+            spec,
+            tentative_results: results.clone(),
+        });
+        results
+    }
+
+    /// Reconnect: §7's five steps — discard tentative versions, ship
+    /// the tentative transactions in commit order, apply the deferred
+    /// replica refresh, learn each transaction's fate.
+    pub fn sync(&mut self, base: &BaseServer) -> SyncOutcome {
+        self.store.discard_tentative();
+        let pendings = std::mem::take(&mut self.pending);
+        let reply = base.sync(pendings, self.watermark);
+        let mut outcome = SyncOutcome::default();
+        self.last_rejections.clear();
+        for o in reply.outcomes {
+            match o {
+                TxnOutcome::Accepted(_) => outcome.accepted += 1,
+                TxnOutcome::Rejected { reason } => {
+                    outcome.rejected += 1;
+                    self.last_rejections.push(reason);
+                }
+            }
+        }
+        for record in reply.refresh {
+            outcome.refreshed += 1;
+            for u in record.updates {
+                self.store.master_mut().apply_lww(u.object, u.new_ts, u.value);
+            }
+        }
+        self.watermark = reply.head;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repl_core::{Criterion, Op, Operation};
+
+    fn debit(obj: u64, amount: i64) -> TxnSpec {
+        TxnSpec::new(vec![Operation::new(ObjectId(obj), Op::Debit(amount))])
+            .with_criterion(Criterion::NonNegative)
+    }
+
+    fn credit(obj: u64, amount: i64) -> TxnSpec {
+        TxnSpec::new(vec![Operation::new(ObjectId(obj), Op::Add(amount))])
+            .with_criterion(Criterion::NonNegative)
+    }
+
+    #[test]
+    fn direct_base_execution_works() {
+        let base = BaseServer::spawn(4, 100);
+        match base.execute(debit(0, 30)) {
+            TxnOutcome::Accepted(outputs) => {
+                assert_eq!(outputs, vec![(ObjectId(0), Value::Int(70))]);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+        assert_eq!(base.snapshot().get(ObjectId(0)).value, Value::Int(70));
+        base.shutdown();
+    }
+
+    #[test]
+    fn base_rejects_overdraft() {
+        let base = BaseServer::spawn(2, 50);
+        match base.execute(debit(0, 80)) {
+            TxnOutcome::Rejected { reason } => {
+                assert!(reason.contains("NonNegative"), "{reason}");
+            }
+            o => panic!("overdraft accepted: {o:?}"),
+        }
+        // Master unchanged.
+        assert_eq!(base.snapshot().get(ObjectId(0)).value, Value::Int(50));
+        base.shutdown();
+    }
+
+    #[test]
+    fn tentative_updates_visible_locally_then_durable_after_sync() {
+        let base = BaseServer::spawn(4, 100);
+        let mut mobile = MobileNode::new(NodeId(1), 4, 100);
+        mobile.execute_tentative(debit(2, 40));
+        // Visible locally through the tentative overlay…
+        assert_eq!(mobile.read(ObjectId(2)), &Value::Int(60));
+        // …but not at the base yet.
+        assert_eq!(base.snapshot().get(ObjectId(2)).value, Value::Int(100));
+        let outcome = mobile.sync(&base);
+        assert_eq!(outcome.accepted, 1);
+        assert_eq!(outcome.rejected, 0);
+        assert_eq!(base.snapshot().get(ObjectId(2)).value, Value::Int(60));
+        // The refresh brought the committed value back to the mobile.
+        assert_eq!(mobile.read(ObjectId(2)), &Value::Int(60));
+        base.shutdown();
+    }
+
+    #[test]
+    fn checkbook_race_second_spouse_bounces() {
+        // The paper's joint account: $1000; you debit $800, your spouse
+        // debits $700 — both fine on local state, but the bank only
+        // honors the first.
+        let base = BaseServer::spawn(1, 1000);
+        let mut you = MobileNode::new(NodeId(1), 1, 1000);
+        let mut spouse = MobileNode::new(NodeId(2), 1, 1000);
+        you.execute_tentative(debit(0, 800));
+        spouse.execute_tentative(debit(0, 700));
+        assert_eq!(you.sync(&base).accepted, 1);
+        let s = spouse.sync(&base);
+        assert_eq!(s.accepted, 0);
+        assert_eq!(s.rejected, 1);
+        assert!(spouse.last_rejections()[0].contains("NonNegative"));
+        // The bank's books stayed consistent and non-negative.
+        assert_eq!(base.snapshot().get(ObjectId(0)).value, Value::Int(200));
+        // The spouse's replica converged to the bank's state.
+        assert_eq!(spouse.read(ObjectId(0)), &Value::Int(200));
+        base.shutdown();
+    }
+
+    #[test]
+    fn commutative_transactions_all_accepted() {
+        let base = BaseServer::spawn(8, 1_000_000);
+        let mut nodes: Vec<MobileNode> = (1..=3)
+            .map(|i| MobileNode::new(NodeId(i), 8, 1_000_000))
+            .collect();
+        for (k, m) in nodes.iter_mut().enumerate() {
+            for i in 0..20u64 {
+                let spec = if i % 2 == 0 {
+                    credit(i % 8, (k as i64 + 1) * 10)
+                } else {
+                    debit(i % 8, 5)
+                };
+                m.execute_tentative(spec);
+            }
+        }
+        let mut total_rejected = 0;
+        for m in &mut nodes {
+            total_rejected += m.sync(&base).rejected;
+        }
+        assert_eq!(total_rejected, 0, "commutative ops must all clear");
+        // Everyone syncs again to pull the others' refreshes; all
+        // replicas converge to the master state.
+        let want = base.snapshot().digest();
+        for m in &mut nodes {
+            m.sync(&base);
+            assert_eq!(m.store.master().digest(), want);
+        }
+        base.shutdown();
+    }
+
+    #[test]
+    fn exact_match_rejected_after_intervening_update() {
+        let base = BaseServer::spawn(2, 100);
+        let mut mobile = MobileNode::new(NodeId(1), 2, 100);
+        let spec = TxnSpec::new(vec![Operation::new(ObjectId(0), Op::Add(10))])
+            .with_criterion(Criterion::ExactMatch);
+        mobile.execute_tentative(spec);
+        // Meanwhile a connected user moves the object at the base.
+        base.execute(credit(0, 50));
+        let s = mobile.sync(&base);
+        assert_eq!(s.rejected, 1, "base result 160 != tentative 110");
+        base.shutdown();
+    }
+
+    #[test]
+    fn watermark_only_replays_new_commits() {
+        let base = BaseServer::spawn(2, 0);
+        let mut mobile = MobileNode::new(NodeId(1), 2, 0);
+        base.execute(credit(0, 1));
+        let s1 = mobile.sync(&base);
+        assert_eq!(s1.refreshed, 1);
+        base.execute(credit(0, 1));
+        base.execute(credit(1, 1));
+        let s2 = mobile.sync(&base);
+        assert_eq!(s2.refreshed, 2, "only the two new commits replay");
+        base.shutdown();
+    }
+
+    #[test]
+    fn pending_queue_drains_in_commit_order() {
+        let base = BaseServer::spawn(1, 10);
+        let mut mobile = MobileNode::new(NodeId(1), 1, 10);
+        // Sequence matters: debit 10 then credit 5 works in order
+        // (10→0→5); reversed it would still work, but a second debit
+        // of 6 only clears because the credit ran first.
+        mobile.execute_tentative(debit(0, 10));
+        mobile.execute_tentative(credit(0, 5));
+        mobile.execute_tentative(debit(0, 4));
+        assert_eq!(mobile.pending_count(), 3);
+        let s = mobile.sync(&base);
+        assert_eq!(s.accepted, 3);
+        assert_eq!(mobile.pending_count(), 0);
+        assert_eq!(base.snapshot().get(ObjectId(0)).value, Value::Int(1));
+        base.shutdown();
+    }
+}

@@ -1,0 +1,125 @@
+//! Simulation configuration shared by every protocol engine.
+
+use repl_model::Params;
+use repl_net::LatencyModel;
+use repl_sim::{AccessPattern, SimDuration, SimTime};
+
+/// Integer-typed run configuration derived from the model's [`Params`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Number of distinct objects (`DB_Size`).
+    pub db_size: u64,
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Per-node transaction arrival rate (Poisson), transactions/second.
+    pub tps: f64,
+    /// Updates per transaction (`Actions`).
+    pub actions: usize,
+    /// Time per action.
+    pub action_time: SimDuration,
+    /// One-way network latency model (the paper's closed forms assume
+    /// [`LatencyModel::ZERO`]).
+    pub latency: LatencyModel,
+    /// Simulated time to run.
+    pub horizon: SimTime,
+    /// Warm-up period excluded from the measured window (lets the
+    /// transaction population reach steady state first).
+    pub warmup: SimTime,
+    /// Root RNG seed; all streams derive from it.
+    pub seed: u64,
+    /// Object access pattern. The model assumes [`AccessPattern::Uniform`]
+    /// ("there are no hotspots"); the Zipf variant is the hotspot
+    /// ablation.
+    pub access: AccessPattern,
+}
+
+impl SimConfig {
+    /// Build a config from model parameters, a run horizon, and a seed.
+    /// Fractional `nodes`/`actions` in `params` are rounded.
+    pub fn from_params(params: &Params, horizon_secs: u64, seed: u64) -> Self {
+        SimConfig {
+            db_size: params.db_size.round() as u64,
+            nodes: params.nodes.round() as u32,
+            tps: params.tps,
+            actions: params.actions.round() as usize,
+            action_time: SimDuration::from_secs_f64(params.action_time),
+            latency: LatencyModel::ZERO,
+            horizon: SimTime::from_secs(horizon_secs),
+            warmup: SimTime::ZERO,
+            seed,
+            access: AccessPattern::Uniform,
+        }
+    }
+
+    /// The equivalent analytic parameter set (for model-vs-measured
+    /// tables).
+    pub fn to_params(&self) -> Params {
+        Params::new(
+            self.db_size as f64,
+            f64::from(self.nodes),
+            self.tps,
+            self.actions as f64,
+            self.action_time.as_secs_f64(),
+        )
+    }
+
+    /// Builder-style latency override.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Builder-style warm-up override.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup_secs: u64) -> Self {
+        self.warmup = SimTime::from_secs(warmup_secs);
+        self
+    }
+
+    /// Builder-style access-pattern override (hotspot ablation).
+    #[must_use]
+    pub fn with_access(mut self, access: AccessPattern) -> Self {
+        self.access = access;
+        self
+    }
+
+    /// Mean inter-arrival time of one node's Poisson process.
+    pub fn mean_interarrival_secs(&self) -> f64 {
+        1.0 / self.tps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_params() {
+        let p = Params::new(5000.0, 3.0, 7.5, 6.0, 0.02);
+        let c = SimConfig::from_params(&p, 100, 1);
+        assert_eq!(c.db_size, 5000);
+        assert_eq!(c.nodes, 3);
+        assert_eq!(c.actions, 6);
+        let back = c.to_params();
+        assert!((back.tps - 7.5).abs() < 1e-12);
+        assert!((back.action_time - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builders() {
+        let p = Params::default();
+        let c = SimConfig::from_params(&p, 10, 1)
+            .with_warmup(2)
+            .with_latency(LatencyModel::Fixed(SimDuration::from_millis(5)));
+        assert_eq!(c.warmup, SimTime::from_secs(2));
+        assert_eq!(c.latency, LatencyModel::Fixed(SimDuration::from_millis(5)));
+    }
+
+    #[test]
+    fn interarrival_inverse_of_tps() {
+        let p = Params::default().with_tps(20.0);
+        let c = SimConfig::from_params(&p, 10, 1);
+        assert!((c.mean_interarrival_secs() - 0.05).abs() < 1e-12);
+    }
+}

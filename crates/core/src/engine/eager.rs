@@ -1,0 +1,141 @@
+//! Eager replication engines — §3 of the paper.
+//!
+//! Eager replication "updates all replicas when a transaction updates
+//! any instance of the object", inside the original transaction. In the
+//! model, locking one object is one logical lock no matter how many
+//! replicas exist, but the *work* of an action is multiplied by the
+//! replica count (serial replica updates, the paper's primary model).
+//! These engines are thin parameterizations of the shared
+//! [`ContentionSim`]; ownership (group vs. master) changes the message
+//! pattern but not the contention behaviour — exactly the simplification
+//! equation (12) makes ("it does not distinguish between Master and
+//! Group").
+
+use crate::config::SimConfig;
+use crate::engine::contention::{ContentionProfile, ContentionSim};
+use crate::metrics::Report;
+
+/// Replica-update execution discipline (the paper's footnote 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaDiscipline {
+    /// Replica updates applied one after another inside the
+    /// transaction: duration grows by `Nodes` — the paper's main model
+    /// and the source of the cubic deadlock growth.
+    #[default]
+    Serial,
+    /// Replica updates broadcast and applied in parallel: duration
+    /// stays flat, deadlock growth drops to quadratic (ablation).
+    Parallel,
+}
+
+/// Ownership regime — changes message accounting only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ownership {
+    /// Update anywhere: the originating node broadcasts each update to
+    /// every other replica.
+    #[default]
+    Group,
+    /// Each object has a master: the originator sends the update to the
+    /// owner, which forwards it to the remaining replicas (one extra
+    /// hop per action).
+    Master,
+}
+
+/// Eager replication simulator.
+#[derive(Debug)]
+pub struct EagerSim {
+    inner: ContentionSim,
+}
+
+impl EagerSim {
+    /// Build an eager run.
+    pub fn new(cfg: SimConfig, discipline: ReplicaDiscipline, ownership: Ownership) -> Self {
+        let mut profile = match discipline {
+            ReplicaDiscipline::Serial => ContentionProfile::eager_serial(&cfg),
+            ReplicaDiscipline::Parallel => ContentionProfile::eager_parallel(&cfg),
+        };
+        if ownership == Ownership::Master && cfg.nodes > 1 {
+            // Originator → owner, then owner → the other N-1 replicas
+            // (one of which is the originator's own copy refresh).
+            profile.messages_per_action = u64::from(cfg.nodes);
+        }
+        EagerSim {
+            inner: ContentionSim::new(cfg, profile),
+        }
+    }
+
+    /// Run to the horizon.
+    pub fn run(self) -> Report {
+        self.inner.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repl_model::Params;
+
+    fn cfg(nodes: f64, db: f64, tps: f64, horizon: u64, seed: u64) -> SimConfig {
+        let p = Params::new(db, nodes, tps, 4.0, 0.01);
+        SimConfig::from_params(&p, horizon, seed)
+    }
+
+    #[test]
+    fn serial_latency_scales_with_nodes() {
+        let r1 = EagerSim::new(
+            cfg(1.0, 1_000_000.0, 2.0, 100, 1),
+            ReplicaDiscipline::Serial,
+            Ownership::Group,
+        )
+        .run();
+        let r4 = EagerSim::new(
+            cfg(4.0, 1_000_000.0, 2.0, 100, 1),
+            ReplicaDiscipline::Serial,
+            Ownership::Group,
+        )
+        .run();
+        // Uncontended latency: Actions × Action_Time × Nodes.
+        assert!((r1.mean_latency_secs - 0.04).abs() < 0.01, "{}", r1.mean_latency_secs);
+        assert!((r4.mean_latency_secs - 0.16).abs() < 0.02, "{}", r4.mean_latency_secs);
+    }
+
+    #[test]
+    fn parallel_latency_flat_in_nodes() {
+        let r4 = EagerSim::new(
+            cfg(4.0, 1_000_000.0, 2.0, 100, 2),
+            ReplicaDiscipline::Parallel,
+            Ownership::Group,
+        )
+        .run();
+        assert!((r4.mean_latency_secs - 0.04).abs() < 0.01, "{}", r4.mean_latency_secs);
+    }
+
+    #[test]
+    fn serial_deadlocks_exceed_parallel() {
+        let c = cfg(6.0, 400.0, 10.0, 120, 3);
+        let serial = EagerSim::new(c, ReplicaDiscipline::Serial, Ownership::Group).run();
+        let parallel = EagerSim::new(c, ReplicaDiscipline::Parallel, Ownership::Group).run();
+        assert!(
+            serial.deadlocks > parallel.deadlocks,
+            "serial {} vs parallel {}",
+            serial.deadlocks,
+            parallel.deadlocks
+        );
+    }
+
+    #[test]
+    fn master_sends_more_messages_than_group() {
+        let c = cfg(4.0, 100_000.0, 5.0, 60, 4);
+        let group = EagerSim::new(c, ReplicaDiscipline::Serial, Ownership::Group).run();
+        let master = EagerSim::new(c, ReplicaDiscipline::Serial, Ownership::Master).run();
+        assert!(master.messages > group.messages);
+    }
+
+    #[test]
+    fn single_node_master_equals_group() {
+        let c = cfg(1.0, 10_000.0, 10.0, 30, 5);
+        let group = EagerSim::new(c, ReplicaDiscipline::Serial, Ownership::Group).run();
+        let master = EagerSim::new(c, ReplicaDiscipline::Serial, Ownership::Master).run();
+        assert_eq!(group, master);
+    }
+}

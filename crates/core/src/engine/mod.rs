@@ -1,0 +1,22 @@
+//! The protocol engines — one discrete-event simulator per replication
+//! scheme in the paper's Table 1, plus the two-tier solution of §7.
+//!
+//! | Engine | Scheme | Paper section | Key measured quantity |
+//! |--------|--------|---------------|----------------------|
+//! | [`contention::ContentionSim`] | single-node baseline | eqs (2)–(5) | waits/s, deadlocks/s |
+//! | [`eager::EagerSim`] | eager group / eager master | §3 | deadlocks/s (∝ N³) |
+//! | [`lazy_group::LazyGroupSim`] | lazy group (± mobile) | §4 | reconciliations/s |
+//! | [`lazy_master::LazyMasterSim`] | lazy master | §5 | deadlocks/s (∝ N²) |
+//! | [`two_tier::TwoTierSim`] | two-tier | §7 | acceptance failures/s |
+
+pub mod contention;
+pub mod eager;
+pub mod lazy_group;
+pub mod lazy_master;
+pub mod two_tier;
+
+pub use contention::{ContentionProfile, ContentionSim};
+pub use eager::{EagerSim, Ownership, ReplicaDiscipline};
+pub use lazy_group::{LazyGroupSim, Mobility, ResolutionMode};
+pub use lazy_master::LazyMasterSim;
+pub use two_tier::{TwoTierConfig, TwoTierSim, TwoTierWorkload};

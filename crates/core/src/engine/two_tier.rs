@@ -1,0 +1,865 @@
+//! Two-tier replication — §7 of the paper, the proposed solution.
+//!
+//! * **Base nodes** are always connected and master (most) objects. All
+//!   real updates happen in *base transactions* executed with locking
+//!   against the master copies — a lazy-master discipline, so the base
+//!   deadlock rate follows equation (19) and the master state is always
+//!   the result of a serializable execution (no system delusion).
+//! * **Mobile nodes** are disconnected much of the time. While
+//!   disconnected they run *tentative transactions* against local
+//!   tentative versions and log `(input parameters, tentative results)`.
+//!   On reconnect they (1) discard tentative versions, (2) receive the
+//!   deferred replica refreshes, (3) re-submit their tentative
+//!   transactions in commit order; the host base node re-executes each
+//!   as a base transaction and judges it with its **acceptance
+//!   criterion** — failures are the two-tier analogue of
+//!   reconciliation, and they are *zero when transactions commute*.
+
+use crate::config::SimConfig;
+use crate::metrics::{Metrics, Report};
+use crate::op::{Op, Operation};
+use crate::serializability::{History, TxnRecord};
+use crate::txn::{Criterion, TxnSpec};
+use repl_net::{DisconnectSchedule, Network, PeriodModel, SendOutcome};
+use repl_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use repl_storage::{
+    Acquire, LamportClock, LockManager, NodeId, ObjectId, ObjectStore, TentativeStore,
+    Timestamp, TxnId, Value,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Transaction-design regimes for the two-tier workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoTierWorkload {
+    /// `Add`/`Debit` transformations judged with
+    /// [`Criterion::ExactMatch`]: the base re-execution must reproduce
+    /// the tentative outputs exactly, so *any* concurrent update to a
+    /// touched object rejects the transaction — the test the paper
+    /// calls "probably too pessimistic".
+    ExactMatch {
+        /// Largest single credit/debit amount.
+        max_amount: i64,
+    },
+    /// Commutative `Add`/`Debit` transformations judged with
+    /// [`Criterion::NonNegative`] — the paper's design guidance
+    /// ("tentative transactions are designed to commute"): the base
+    /// result may differ from the tentative one, it only has to keep
+    /// the balance non-negative.
+    Commutative {
+        /// Largest single credit/debit amount.
+        max_amount: i64,
+    },
+}
+
+/// Configuration of a two-tier run.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoTierConfig {
+    /// Shared simulation parameters. `cfg.nodes` is the **total** node
+    /// count; the first `base_nodes` are base, the rest mobile.
+    pub sim: SimConfig,
+    /// How many of the nodes are always-connected base nodes (≥ 1).
+    pub base_nodes: u32,
+    /// Objects mastered at each mobile node (the scope rule's
+    /// mobile-mastered items). The remaining objects are base-mastered.
+    pub mobile_owned: u64,
+    /// Mean connected stretch for mobile nodes.
+    pub connected: SimDuration,
+    /// Mean disconnected stretch for mobile nodes.
+    pub disconnected: SimDuration,
+    /// Transaction design regime.
+    pub workload: TwoTierWorkload,
+    /// Initial integer value of every object (account opening balance).
+    pub initial_value: i64,
+}
+
+impl TwoTierConfig {
+    /// Number of mobile nodes.
+    pub fn mobile_nodes(&self) -> u32 {
+        self.sim.nodes - self.base_nodes
+    }
+
+    /// Number of base-mastered objects.
+    pub fn base_owned(&self) -> u64 {
+        self.sim
+            .db_size
+            .saturating_sub(self.mobile_owned * u64::from(self.mobile_nodes()))
+    }
+}
+
+/// Replica refresh message: committed master updates streamed to
+/// replicas (standard lazy-master propagation).
+#[derive(Debug, Clone)]
+struct RefreshMsg {
+    updates: Vec<(ObjectId, Value, Timestamp)>,
+}
+
+/// A tentative transaction awaiting base re-execution.
+#[derive(Debug, Clone)]
+struct Pending {
+    spec: TxnSpec,
+    tentative_results: Vec<(ObjectId, Value)>,
+}
+
+/// A base transaction in flight.
+#[derive(Debug)]
+struct BaseTxn {
+    spec: TxnSpec,
+    /// `Some` when this is the re-execution of a tentative transaction.
+    tentative_results: Option<Vec<(ObjectId, Value)>>,
+    next: usize,
+    buffered: Vec<(ObjectId, Value)>,
+    /// `(object, master version observed)` per first access — feeds
+    /// the serializability checker.
+    reads: Vec<(ObjectId, Timestamp)>,
+    started: SimTime,
+    /// When part of a reconnect sync session, the mobile whose queue
+    /// should supply the next transaction after this one finishes.
+    session: Option<NodeId>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrive(NodeId),
+    BaseStep(TxnId),
+    BaseRetry(TxnId),
+    Deliver { to: NodeId, msg: RefreshMsg },
+    Connectivity { node: NodeId, connected: bool },
+}
+
+/// The two-tier simulator.
+pub struct TwoTierSim {
+    cfg: TwoTierConfig,
+    queue: EventQueue<Ev>,
+    /// The base system state: union of all master copies.
+    master: ObjectStore,
+    master_locks: LockManager,
+    master_clock: LamportClock,
+    /// Per-node replicas; mobile nodes use the tentative overlay.
+    replicas: Vec<TentativeStore>,
+    /// Per-mobile queue of tentative transactions not yet re-executed.
+    pending: Vec<VecDeque<Pending>>,
+    /// Active reconnect sync sessions (mobile → remaining queue drains
+    /// through one base transaction at a time).
+    in_session: Vec<bool>,
+    base_txns: HashMap<TxnId, BaseTxn>,
+    network: Network<RefreshMsg>,
+    arrival_rngs: Vec<SimRng>,
+    object_rng: SimRng,
+    value_rng: SimRng,
+    retry_rng: SimRng,
+    clocks: Vec<LamportClock>,
+    next_txn: u64,
+    metrics: Metrics,
+    measure_from: SimTime,
+    /// Committed base transactions' read/write footprints — §7 property
+    /// 2 ("base transactions execute with single-copy serializability")
+    /// is *verified*, not assumed: see [`TwoTierSim::run_full`].
+    history: History,
+}
+
+impl TwoTierSim {
+    /// Build a two-tier run.
+    ///
+    /// # Panics
+    /// If `base_nodes` is zero or exceeds the total node count, or the
+    /// mobile-owned slices do not fit in the database.
+    pub fn new(cfg: TwoTierConfig) -> Self {
+        assert!(cfg.base_nodes >= 1, "two-tier needs at least one base node");
+        assert!(
+            cfg.base_nodes <= cfg.sim.nodes,
+            "base_nodes exceeds total nodes"
+        );
+        assert!(
+            cfg.mobile_owned * u64::from(cfg.mobile_nodes()) < cfg.sim.db_size,
+            "mobile-owned slices must leave base-mastered objects"
+        );
+        let sim = cfg.sim;
+        let n = sim.nodes as usize;
+        let mut queue = EventQueue::new();
+        let mut arrival_rngs = Vec::with_capacity(n);
+        for node in 0..sim.nodes {
+            let mut rng = SimRng::stream(sim.seed, &format!("tt-arrivals-{node}"));
+            let first = SimDuration::from_secs_f64(rng.exp(1.0 / sim.tps));
+            queue.schedule_at(SimTime::ZERO + first, Ev::Arrive(NodeId(node)));
+            arrival_rngs.push(rng);
+        }
+        // Mobile disconnect schedules (staggered exponential periods).
+        for node in cfg.base_nodes..sim.nodes {
+            let mut sched = DisconnectSchedule::new(
+                NodeId(node),
+                cfg.connected,
+                cfg.disconnected,
+                PeriodModel::Exponential,
+                sim.seed,
+            );
+            for ev in sched.events_until(sim.horizon) {
+                queue.schedule_at(
+                    ev.at,
+                    Ev::Connectivity {
+                        node: ev.node,
+                        connected: ev.connected,
+                    },
+                );
+            }
+        }
+        let mut master = ObjectStore::new(sim.db_size);
+        for i in 0..sim.db_size {
+            master.set(ObjectId(i), Value::Int(cfg.initial_value), Timestamp::ZERO);
+        }
+        let replicas = (0..n)
+            .map(|_| {
+                let mut t = TentativeStore::new(sim.db_size);
+                for i in 0..sim.db_size {
+                    t.master_mut()
+                        .set(ObjectId(i), Value::Int(cfg.initial_value), Timestamp::ZERO);
+                }
+                t
+            })
+            .collect();
+        TwoTierSim {
+            queue,
+            master,
+            master_locks: LockManager::new(),
+            master_clock: LamportClock::new(NodeId(u32::MAX)),
+            replicas,
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
+            in_session: vec![false; n],
+            base_txns: HashMap::new(),
+            network: Network::new(n, sim.latency, sim.seed),
+            arrival_rngs,
+            object_rng: SimRng::stream(sim.seed, "tt-objects"),
+            value_rng: SimRng::stream(sim.seed, "tt-values"),
+            retry_rng: SimRng::stream(sim.seed, "tt-retry"),
+            clocks: (0..n).map(|i| LamportClock::new(NodeId(i as u32))).collect(),
+            next_txn: 0,
+            metrics: Metrics::new(),
+            measure_from: sim.warmup,
+            history: History::new(),
+            cfg,
+        }
+    }
+
+    fn is_mobile(&self, node: NodeId) -> bool {
+        node.0 >= self.cfg.base_nodes
+    }
+
+    fn measuring(&self) -> bool {
+        self.queue.now() >= self.measure_from
+    }
+
+    fn fresh_txn(&mut self) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        id
+    }
+
+    /// Run to the horizon and return the report; use
+    /// [`TwoTierSim::run_with_state`] to inspect the converged state.
+    pub fn run(self) -> Report {
+        self.run_with_state().0
+    }
+
+    /// Run, then reconnect every mobile node, finish every sync
+    /// session, and deliver all refreshes so the whole system converges
+    /// to the base state. Returns `(report, master, replicas)`.
+    pub fn run_with_state(self) -> (Report, ObjectStore, Vec<ObjectStore>) {
+        let (report, master, replicas, _) = self.run_full();
+        (report, master, replicas)
+    }
+
+    /// Like [`TwoTierSim::run_with_state`], additionally returning the
+    /// committed base transactions' execution [`History`] so callers
+    /// can verify single-copy serializability.
+    pub fn run_full(mut self) -> (Report, ObjectStore, Vec<ObjectStore>, History) {
+        let horizon = self.cfg.sim.horizon;
+        while let Some((_, ev)) = self.queue.pop_until(horizon) {
+            self.dispatch(ev, true);
+        }
+        let report = self.metrics.report(self.measure_from, horizon);
+        for node in self.cfg.base_nodes..self.cfg.sim.nodes {
+            self.on_reconnect(NodeId(node));
+        }
+        while let Some((_, ev)) = self.queue.pop() {
+            self.dispatch(ev, false);
+        }
+        let replicas = self
+            .replicas
+            .into_iter()
+            .map(|mut t| {
+                t.discard_tentative();
+                t.master().clone()
+            })
+            .collect();
+        (report, self.master, replicas, self.history)
+    }
+
+    fn dispatch(&mut self, ev: Ev, arrivals_enabled: bool) {
+        match ev {
+            Ev::Arrive(node) => {
+                if arrivals_enabled {
+                    self.on_arrive(node);
+                }
+            }
+            Ev::BaseStep(id) => self.on_base_step(id),
+            Ev::BaseRetry(id) => self.try_base_step(id),
+            Ev::Deliver { to, msg } => self.apply_refresh(to, msg),
+            Ev::Connectivity { node, connected } => {
+                if connected {
+                    self.on_reconnect(node);
+                } else {
+                    self.network.disconnect(node);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Workload generation
+    // ------------------------------------------------------------------
+
+    /// Objects a node may touch, respecting the scope rule: base nodes
+    /// use base-mastered objects; mobile nodes use base-mastered plus
+    /// their own mobile-mastered slice.
+    fn pick_objects(&mut self, node: NodeId) -> Vec<ObjectId> {
+        let base_owned = self.cfg.base_owned();
+        let actions = self.cfg.sim.actions;
+        if self.is_mobile(node) && self.cfg.mobile_owned > 0 {
+            let mobile_index = u64::from(node.0 - self.cfg.base_nodes);
+            let own_start = base_owned + mobile_index * self.cfg.mobile_owned;
+            let virtual_size = base_owned + self.cfg.mobile_owned;
+            self.object_rng
+                .sample_distinct(virtual_size, actions)
+                .into_iter()
+                .map(|v| {
+                    if v < base_owned {
+                        ObjectId(v)
+                    } else {
+                        ObjectId(own_start + (v - base_owned))
+                    }
+                })
+                .collect()
+        } else {
+            self.object_rng
+                .sample_distinct(base_owned.max(1), actions)
+                .into_iter()
+                .map(ObjectId)
+                .collect()
+        }
+    }
+
+    /// Build a transaction spec for `node`. For the commutative
+    /// workload, debit amounts are bounded by the balance the issuing
+    /// node currently *believes* in (`local view`) — you do not write a
+    /// check your own checkbook says you cannot afford.
+    fn gen_spec(&mut self, node: NodeId) -> TxnSpec {
+        let objects = self.pick_objects(node);
+        match self.cfg.workload {
+            TwoTierWorkload::ExactMatch { max_amount } => {
+                let ops = objects
+                    .into_iter()
+                    .map(|o| {
+                        let amt = 1 + self.value_rng.gen_range(max_amount.max(1) as u64) as i64;
+                        if self.value_rng.chance(0.5) {
+                            Operation::new(o, Op::Add(amt))
+                        } else {
+                            Operation::new(o, Op::Debit(amt))
+                        }
+                    })
+                    .collect();
+                TxnSpec::new(ops).with_criterion(Criterion::ExactMatch)
+            }
+            TwoTierWorkload::Commutative { max_amount } => {
+                let mut ops = Vec::with_capacity(objects.len());
+                for o in objects {
+                    let view = self.replicas[node.0 as usize]
+                        .read(o)
+                        .value
+                        .as_int()
+                        .unwrap_or(0);
+                    let credit = self.value_rng.chance(0.5);
+                    if credit || view <= 0 {
+                        let amt = 1 + self.value_rng.gen_range(max_amount.max(1) as u64) as i64;
+                        ops.push(Operation::new(o, Op::Add(amt)));
+                    } else {
+                        // Never debit more than the issuing node's own
+                        // view of the balance — you do not knowingly
+                        // overdraw your own checkbook.
+                        let cap = view.min(max_amount) as u64;
+                        let amt = 1 + self.value_rng.gen_range(cap) as i64;
+                        ops.push(Operation::new(o, Op::Debit(amt.min(view))));
+                    }
+                }
+                TxnSpec::new(ops).with_criterion(Criterion::NonNegative)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arrivals
+    // ------------------------------------------------------------------
+
+    fn on_arrive(&mut self, node: NodeId) {
+        let gap = SimDuration::from_secs_f64(
+            self.arrival_rngs[node.0 as usize].exp(1.0 / self.cfg.sim.tps),
+        );
+        self.queue.schedule_after(gap, Ev::Arrive(node));
+
+        let spec = self.gen_spec(node);
+        if self.is_mobile(node) && !self.network.is_connected(node) {
+            self.commit_tentative(node, spec);
+        } else {
+            // Connected node (base or mobile): run directly as a base
+            // transaction — connected two-tier "operates much like a
+            // lazy-master system".
+            self.start_base_txn(spec, None, None);
+        }
+    }
+
+    /// Execute a tentative transaction locally and log it for later
+    /// base re-execution.
+    fn commit_tentative(&mut self, node: NodeId, spec: TxnSpec) {
+        let idx = node.0 as usize;
+        let mut results = Vec::with_capacity(spec.ops.len());
+        for op in &spec.ops {
+            let current = self.replicas[idx].read(op.object).value.clone();
+            let new = op.op.apply(&current);
+            let ts = self.clocks[idx].tick();
+            self.replicas[idx].write_tentative(op.object, new.clone(), ts);
+            results.push((op.object, new));
+        }
+        if self.measuring() {
+            self.metrics.tentative_commits.incr();
+            self.metrics.actions.add(spec.ops.len() as u64);
+        }
+        self.pending[idx].push_back(Pending {
+            spec,
+            tentative_results: results,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Base transactions
+    // ------------------------------------------------------------------
+
+    fn start_base_txn(
+        &mut self,
+        spec: TxnSpec,
+        tentative_results: Option<Vec<(ObjectId, Value)>>,
+        session: Option<NodeId>,
+    ) {
+        let id = self.fresh_txn();
+        self.base_txns.insert(
+            id,
+            BaseTxn {
+                spec,
+                tentative_results,
+                next: 0,
+                buffered: Vec::new(),
+                reads: Vec::new(),
+                started: self.queue.now(),
+                session,
+            },
+        );
+        self.try_base_step(id);
+    }
+
+    fn try_base_step(&mut self, id: TxnId) {
+        let txn = &self.base_txns[&id];
+        if txn.next >= txn.spec.ops.len() {
+            self.finish_base(id);
+            return;
+        }
+        let obj = txn.spec.ops[txn.next].object;
+        match self.master_locks.acquire(id, obj) {
+            Acquire::Granted => {
+                self.queue
+                    .schedule_after(self.cfg.sim.action_time, Ev::BaseStep(id));
+            }
+            Acquire::Waiting => {
+                if self.measuring() {
+                    self.metrics.waits.incr();
+                }
+            }
+            Acquire::Deadlock => {
+                // Base transactions are "resubmitted and reprocessed
+                // until they succeed" (§7).
+                if self.measuring() {
+                    self.metrics.deadlocks.incr();
+                }
+                let txn = self.base_txns.get_mut(&id).expect("base txn");
+                txn.next = 0;
+                txn.buffered.clear();
+                txn.reads.clear();
+                let granted = self.master_locks.release_all(id);
+                self.resume_waiters(granted);
+                // Randomized backoff — see the lazy-group engine: a
+                // fixed delay can livelock two retrying transactions.
+                let backoff = self
+                    .cfg
+                    .sim
+                    .action_time
+                    .saturating_mul(1 + self.retry_rng.gen_range(8));
+                self.queue.schedule_after(backoff, Ev::BaseRetry(id));
+            }
+        }
+    }
+
+    fn on_base_step(&mut self, id: TxnId) {
+        let txn = self.base_txns.get_mut(&id).expect("base step for dead txn");
+        let op = txn.spec.ops[txn.next].clone();
+        // Read own buffered write if present, else the master copy.
+        let current = match txn
+            .buffered
+            .iter()
+            .rev()
+            .find(|(o, _)| *o == op.object)
+        {
+            Some((_, v)) => v.clone(),
+            None => {
+                let versioned = self.master.get(op.object);
+                txn.reads.push((op.object, versioned.ts));
+                versioned.value.clone()
+            }
+        };
+        let new = op.op.apply(&current);
+        txn.buffered.push((op.object, new));
+        txn.next += 1;
+        if self.queue.now() >= self.measure_from {
+            self.metrics.actions.incr();
+        }
+        self.try_base_step(id);
+    }
+
+    fn finish_base(&mut self, id: TxnId) {
+        let txn = self.base_txns.remove(&id).expect("finishing unknown base txn");
+        let accepted = match &txn.tentative_results {
+            Some(tentative) => txn.spec.criterion.accepts(&txn.buffered, tentative),
+            None => txn.spec.criterion.accepts(&txn.buffered, &txn.buffered),
+        };
+        if accepted {
+            // Install the buffered writes as the new master state and
+            // propagate lazy-master refreshes. Record the footprint
+            // (reads + version transitions) for the serializability
+            // checker.
+            let mut updates = Vec::with_capacity(txn.buffered.len());
+            let mut writes = Vec::with_capacity(txn.buffered.len());
+            for (obj, value) in &txn.buffered {
+                let old_ts = self.master.get(*obj).ts;
+                let ts = self.master_clock.tick();
+                self.master.set(*obj, value.clone(), ts);
+                updates.push((*obj, value.clone(), ts));
+                writes.push((*obj, old_ts, ts));
+            }
+            self.history.record(TxnRecord {
+                txn: id,
+                reads: txn.reads.clone(),
+                writes,
+            });
+            if self.measuring() {
+                self.metrics.committed.incr();
+                self.metrics
+                    .latency
+                    .record(self.queue.now().since(txn.started).as_secs_f64());
+                if txn.tentative_results.is_some() {
+                    self.metrics.tentative_accepted.incr();
+                }
+            }
+            self.broadcast_refresh(RefreshMsg { updates });
+        } else if self.measuring() {
+            self.metrics.reconciliations.incr();
+            if txn.tentative_results.is_some() {
+                self.metrics.tentative_rejected.incr();
+            }
+        }
+        let granted = self.master_locks.release_all(id);
+        self.resume_waiters(granted);
+        if let Some(mobile) = txn.session {
+            self.advance_session(mobile);
+        }
+    }
+
+    fn resume_waiters(&mut self, granted: Vec<(TxnId, ObjectId)>) {
+        for (waiter, _obj) in granted {
+            if self.base_txns.contains_key(&waiter) {
+                self.queue
+                    .schedule_after(self.cfg.sim.action_time, Ev::BaseStep(waiter));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Replica refresh propagation (standard lazy-master)
+    // ------------------------------------------------------------------
+
+    fn broadcast_refresh(&mut self, msg: RefreshMsg) {
+        // Master commits originate "at the base"; model the fan-out
+        // from a virtual base sender that is always connected.
+        for dest in 0..self.cfg.sim.nodes {
+            let dest = NodeId(dest);
+            if self.measuring() {
+                self.metrics.messages.incr();
+            }
+            // Base nodes are always connected; send from base node 0.
+            match self.network.send(NodeId(0), dest, msg.clone()) {
+                SendOutcome::Deliver { delay } => {
+                    self.queue.schedule_after(
+                        delay,
+                        Ev::Deliver {
+                            to: dest,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                SendOutcome::Held => {}
+                SendOutcome::SenderOffline(_) => unreachable!("base node 0 never disconnects"),
+            }
+        }
+    }
+
+    fn apply_refresh(&mut self, to: NodeId, msg: RefreshMsg) {
+        let store = self.replicas[to.0 as usize].master_mut();
+        let mut applied = false;
+        for (obj, value, ts) in msg.updates {
+            applied |= store.apply_lww(obj, ts, value);
+        }
+        if applied && self.queue.now() >= self.measure_from {
+            self.metrics.replica_commits.incr();
+        } else if !applied && self.queue.now() >= self.measure_from {
+            self.metrics.stale_updates.incr();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mobile reconnect synchronization (§7's five steps)
+    // ------------------------------------------------------------------
+
+    fn on_reconnect(&mut self, node: NodeId) {
+        // Step 1: discard tentative versions.
+        self.replicas[node.0 as usize].discard_tentative();
+        // Step 2/4: receive deferred replica refreshes.
+        let held = self.network.reconnect(node);
+        for msg in held {
+            self.apply_refresh(node, msg);
+        }
+        // Step 3/5: re-execute tentative transactions in commit order.
+        self.maybe_start_session(node);
+    }
+
+    /// Begin a sync session for `node` unless one is already draining
+    /// its queue — tentative transactions must be re-executed strictly
+    /// in commit order, one at a time.
+    fn maybe_start_session(&mut self, node: NodeId) {
+        if !self.in_session[node.0 as usize] {
+            self.advance_session(node);
+        }
+    }
+
+    /// Start the next queued tentative re-execution for `node`, or mark
+    /// the session finished if the queue is empty.
+    fn advance_session(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        let Some(pending) = self.pending[idx].pop_front() else {
+            self.in_session[idx] = false;
+            return;
+        };
+        self.in_session[idx] = true;
+        if self.measuring() {
+            // The tentative transaction and its inputs travel to the
+            // host base node.
+            self.metrics.messages.incr();
+        }
+        self.start_base_txn(pending.spec, Some(pending.tentative_results), Some(node));
+    }
+
+    /// The configuration of this run.
+    pub fn config(&self) -> &TwoTierConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repl_model::Params;
+
+    fn base_cfg(
+        nodes: f64,
+        base: u32,
+        db: f64,
+        tps: f64,
+        horizon: u64,
+        seed: u64,
+        workload: TwoTierWorkload,
+    ) -> TwoTierConfig {
+        let p = Params::new(db, nodes, tps, 4.0, 0.01);
+        TwoTierConfig {
+            sim: SimConfig::from_params(&p, horizon, seed),
+            base_nodes: base,
+            mobile_owned: 0,
+            connected: SimDuration::from_secs(15),
+            disconnected: SimDuration::from_secs(15),
+            workload,
+            initial_value: 1_000,
+        }
+    }
+
+    #[test]
+    fn commutative_workload_has_no_rejections_with_ample_balances() {
+        // Large opening balances: debits never overdraw, everything
+        // commutes → zero reconciliations (§7's key property 5).
+        let mut cfg = base_cfg(
+            4.0,
+            2,
+            500.0,
+            5.0,
+            120,
+            1,
+            TwoTierWorkload::Commutative { max_amount: 3 },
+        );
+        cfg.initial_value = 1_000_000;
+        let (report, _, _) = TwoTierSim::new(cfg).run_with_state();
+        assert!(report.tentative_commits > 0, "mobiles should work offline");
+        assert!(report.tentative_accepted > 0);
+        assert_eq!(
+            report.tentative_rejected, 0,
+            "commutative transactions must not be rejected"
+        );
+    }
+
+    #[test]
+    fn exact_match_workload_gets_rejections() {
+        // Exact-match acceptance + contention: some base re-executions
+        // must differ from the tentative run.
+        let cfg = base_cfg(
+            6.0,
+            2,
+            300.0,
+            10.0,
+            200,
+            2,
+            TwoTierWorkload::ExactMatch { max_amount: 20 },
+        );
+        let (report, _, _) = TwoTierSim::new(cfg).run_with_state();
+        assert!(report.tentative_commits > 0);
+        assert!(
+            report.tentative_rejected > 0,
+            "expected rejections: {report:?}"
+        );
+    }
+
+    #[test]
+    fn replicas_converge_to_base_state() {
+        let cfg = base_cfg(
+            5.0,
+            2,
+            200.0,
+            8.0,
+            120,
+            3,
+            TwoTierWorkload::Commutative { max_amount: 10 },
+        );
+        let (_, master, replicas) = TwoTierSim::new(cfg).run_with_state();
+        let want = master.digest();
+        for (i, r) in replicas.iter().enumerate() {
+            assert_eq!(r.digest(), want, "node {i} did not converge to base state");
+        }
+    }
+
+    #[test]
+    fn nonnegative_criterion_keeps_base_balances_nonnegative() {
+        // Small opening balances and aggressive debits: rejections will
+        // occur, and the invariant must hold on the master state.
+        let mut cfg = base_cfg(
+            6.0,
+            2,
+            60.0,
+            10.0,
+            200,
+            4,
+            TwoTierWorkload::Commutative { max_amount: 500 },
+        );
+        cfg.initial_value = 100;
+        let (report, master, _) = TwoTierSim::new(cfg).run_with_state();
+        assert!(report.committed > 0);
+        for (id, v) in master.iter() {
+            let balance = v.value.as_int().unwrap();
+            assert!(balance >= 0, "{id} went negative: {balance}");
+        }
+    }
+
+    #[test]
+    fn mobile_owned_objects_respect_scope() {
+        let mut cfg = base_cfg(
+            4.0,
+            2,
+            100.0,
+            5.0,
+            60,
+            5,
+            TwoTierWorkload::Commutative { max_amount: 5 },
+        );
+        cfg.mobile_owned = 10;
+        let (report, master, replicas) = TwoTierSim::new(cfg).run_with_state();
+        assert!(report.committed > 0);
+        let want = master.digest();
+        assert!(replicas.iter().all(|r| r.digest() == want));
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = base_cfg(
+            4.0,
+            2,
+            200.0,
+            5.0,
+            60,
+            7,
+            TwoTierWorkload::Commutative { max_amount: 5 },
+        );
+        let a = TwoTierSim::new(cfg).run();
+        let b = TwoTierSim::new(cfg).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn base_execution_is_single_copy_serializable() {
+        use crate::serializability::Verdict;
+        // High contention to make the check non-trivial.
+        let cfg = base_cfg(
+            6.0,
+            2,
+            80.0,
+            12.0,
+            120,
+            8,
+            TwoTierWorkload::Commutative { max_amount: 20 },
+        );
+        let (report, _, _, history) = TwoTierSim::new(cfg).run_full();
+        assert!(report.committed > 100, "need a meaningful history");
+        assert!(history.len() as u64 >= report.committed);
+        match history.check() {
+            Verdict::Serializable { witness } => {
+                assert_eq!(witness.len(), history.len());
+            }
+            Verdict::NotSerializable { cycle_members } => {
+                panic!("base execution not serializable: cycle {cycle_members:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one base node")]
+    fn zero_base_nodes_rejected() {
+        let mut cfg = base_cfg(
+            3.0,
+            1,
+            100.0,
+            5.0,
+            10,
+            1,
+            TwoTierWorkload::ExactMatch { max_amount: 5 },
+        );
+        cfg.base_nodes = 0;
+        let _ = TwoTierSim::new(cfg);
+    }
+}

@@ -1,0 +1,184 @@
+//! Measured quantities — the simulator-side counterparts of the model's
+//! predicted rates.
+
+use repl_sim::{Counter, Histogram, SimDuration, SimTime, Welford};
+use serde::{Deserialize, Serialize};
+
+/// Raw counters collected during a protocol run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// User (root) transactions that committed.
+    pub committed: Counter,
+    /// User transactions aborted by deadlock.
+    pub deadlocks: Counter,
+    /// Times any transaction blocked on a lock.
+    pub waits: Counter,
+    /// Replica updates rejected by the timestamp test and submitted for
+    /// reconciliation (lazy-group), or tentative transactions rejected
+    /// by their acceptance criteria (two-tier).
+    pub reconciliations: Counter,
+    /// Replica-update (slave/secondary) transactions committed.
+    pub replica_commits: Counter,
+    /// Replica-update transactions skipped as stale.
+    pub stale_updates: Counter,
+    /// Network messages sent.
+    pub messages: Counter,
+    /// Tentative transactions committed locally at mobile nodes.
+    pub tentative_commits: Counter,
+    /// Tentative transactions accepted on base re-execution.
+    pub tentative_accepted: Counter,
+    /// Tentative transactions rejected on base re-execution.
+    pub tentative_rejected: Counter,
+    /// Total actions (object updates) performed anywhere.
+    pub actions: Counter,
+    /// User-transaction latency (start → commit), seconds.
+    pub latency: Welford,
+    /// Latency distribution for percentile reporting.
+    pub latency_hist: Histogram,
+    /// Lock wait durations, seconds.
+    pub wait_time: Welford,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one user-transaction latency sample (mean + percentile
+    /// tracking).
+    pub fn record_latency(&mut self, d: SimDuration) {
+        self.latency.record(d.as_secs_f64());
+        self.latency_hist.record(d);
+    }
+
+    /// Freeze into a [`Report`] over the observation window
+    /// `[start, end]`.
+    pub fn report(&self, start: SimTime, end: SimTime) -> Report {
+        let span = end.since(start).as_secs_f64();
+        let rate = |c: &Counter| {
+            if span > 0.0 {
+                c.count() as f64 / span
+            } else {
+                0.0
+            }
+        };
+        Report {
+            duration_secs: span,
+            committed: self.committed.count(),
+            deadlocks: self.deadlocks.count(),
+            waits: self.waits.count(),
+            reconciliations: self.reconciliations.count(),
+            replica_commits: self.replica_commits.count(),
+            stale_updates: self.stale_updates.count(),
+            messages: self.messages.count(),
+            tentative_commits: self.tentative_commits.count(),
+            tentative_accepted: self.tentative_accepted.count(),
+            tentative_rejected: self.tentative_rejected.count(),
+            actions: self.actions.count(),
+            commit_rate: rate(&self.committed),
+            deadlock_rate: rate(&self.deadlocks),
+            wait_rate: rate(&self.waits),
+            reconciliation_rate: rate(&self.reconciliations),
+            action_rate: rate(&self.actions),
+            mean_latency_secs: self.latency.mean(),
+            p50_latency_secs: self.latency_hist.p50(),
+            p95_latency_secs: self.latency_hist.p95(),
+            p99_latency_secs: self.latency_hist.p99(),
+            mean_wait_secs: self.wait_time.mean(),
+        }
+    }
+}
+
+/// A finished run's measured rates — what the harness prints next to
+/// the model's predictions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Report {
+    /// Observation window length, seconds of simulated time.
+    pub duration_secs: f64,
+    /// Committed user transactions.
+    pub committed: u64,
+    /// Deadlock aborts.
+    pub deadlocks: u64,
+    /// Lock waits.
+    pub waits: u64,
+    /// Reconciliations (timestamp rejections or acceptance failures).
+    pub reconciliations: u64,
+    /// Committed replica-update transactions.
+    pub replica_commits: u64,
+    /// Stale replica updates skipped.
+    pub stale_updates: u64,
+    /// Network messages.
+    pub messages: u64,
+    /// Tentative commits at mobile nodes.
+    pub tentative_commits: u64,
+    /// Tentative transactions accepted at the base.
+    pub tentative_accepted: u64,
+    /// Tentative transactions rejected at the base.
+    pub tentative_rejected: u64,
+    /// Total object updates performed.
+    pub actions: u64,
+    /// Commits per second.
+    pub commit_rate: f64,
+    /// Deadlocks per second — compare with equations (5), (12), (13), (19).
+    pub deadlock_rate: f64,
+    /// Waits per second — compare with equation (10).
+    pub wait_rate: f64,
+    /// Reconciliations per second — compare with equations (14), (18).
+    pub reconciliation_rate: f64,
+    /// Object updates per second — compare with equation (8).
+    pub action_rate: f64,
+    /// Mean user-transaction latency, seconds.
+    pub mean_latency_secs: f64,
+    /// Median user-transaction latency, seconds (log-bucket resolution).
+    pub p50_latency_secs: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_latency_secs: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99_latency_secs: f64,
+    /// Mean lock-wait duration, seconds.
+    pub mean_wait_secs: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repl_sim::SimDuration;
+
+    #[test]
+    fn report_computes_rates() {
+        let mut m = Metrics::new();
+        for _ in 0..20 {
+            m.committed.incr();
+        }
+        m.deadlocks.add(5);
+        m.record_latency(SimDuration::from_secs_f64(0.25));
+        let r = m.report(SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(r.committed, 20);
+        assert!((r.commit_rate - 2.0).abs() < 1e-12);
+        assert!((r.deadlock_rate - 0.5).abs() < 1e-12);
+        assert!((r.mean_latency_secs - 0.25).abs() < 1e-12);
+        // Percentiles land in the right bucket (factor-of-two
+        // resolution).
+        assert!(r.p50_latency_secs > 0.1 && r.p50_latency_secs < 0.5);
+        assert!((r.duration_secs - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_rates_are_zero() {
+        let mut m = Metrics::new();
+        m.committed.incr();
+        let r = m.report(SimTime::from_secs(5), SimTime::from_secs(5));
+        assert_eq!(r.commit_rate, 0.0);
+        assert_eq!(r.committed, 1);
+    }
+
+    #[test]
+    fn wait_time_accumulates() {
+        let mut m = Metrics::new();
+        m.wait_time.record_duration(SimDuration::from_millis(100));
+        m.wait_time.record_duration(SimDuration::from_millis(200));
+        let r = m.report(SimTime::ZERO, SimTime::from_secs(1));
+        assert!((r.mean_wait_secs - 0.15).abs() < 1e-12);
+    }
+}

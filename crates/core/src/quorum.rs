@@ -1,0 +1,314 @@
+//! Weighted-voting quorums — the availability substrate §3 assumes:
+//! "for high availability, eager replication systems allow updates
+//! among members of the quorum or cluster [Gifford], [Garcia-Molina].
+//! When a node joins the quorum, the quorum sends the new node all
+//! replica updates since the node was disconnected."
+//!
+//! This module implements Gifford's weighted voting: each replica holds
+//! votes; reads need `r` votes, writes need `w` votes, with
+//! `r + w > total` so any read quorum intersects any write quorum, and
+//! `2w > total` so two writes cannot proceed disjointly. Rejoining
+//! nodes catch up from the freshest quorum member (version-based read
+//! repair).
+
+use repl_storage::{NodeId, ObjectId, ObjectStore, Timestamp, Value};
+
+/// A weighted-voting configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumConfig {
+    /// Vote weight per node (index = node id).
+    pub weights: Vec<u32>,
+    /// Votes required to read.
+    pub read_quorum: u32,
+    /// Votes required to write.
+    pub write_quorum: u32,
+}
+
+/// Errors constructing a quorum configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuorumError {
+    /// `r + w` must exceed the total vote count (read/write overlap).
+    ReadWriteOverlap,
+    /// `2w` must exceed the total vote count (write/write overlap).
+    WriteWriteOverlap,
+    /// At least one node must carry a vote.
+    NoVotes,
+}
+
+impl std::fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuorumError::ReadWriteOverlap => {
+                write!(f, "read + write quorum must exceed the total votes")
+            }
+            QuorumError::WriteWriteOverlap => {
+                write!(f, "2 x write quorum must exceed the total votes")
+            }
+            QuorumError::NoVotes => write!(f, "no node carries a vote"),
+        }
+    }
+}
+
+impl std::error::Error for QuorumError {}
+
+impl QuorumConfig {
+    /// Validate Gifford's intersection constraints.
+    pub fn new(weights: Vec<u32>, read_quorum: u32, write_quorum: u32) -> Result<Self, QuorumError> {
+        let total: u32 = weights.iter().sum();
+        if total == 0 {
+            return Err(QuorumError::NoVotes);
+        }
+        if read_quorum + write_quorum <= total {
+            return Err(QuorumError::ReadWriteOverlap);
+        }
+        if 2 * write_quorum <= total {
+            return Err(QuorumError::WriteWriteOverlap);
+        }
+        Ok(QuorumConfig {
+            weights,
+            read_quorum,
+            write_quorum,
+        })
+    }
+
+    /// Majority quorum over `n` equally weighted nodes.
+    pub fn majority(n: u32) -> Self {
+        let q = n / 2 + 1;
+        QuorumConfig::new(vec![1; n as usize], q, q).expect("majority always valid")
+    }
+
+    /// Total votes in the system.
+    pub fn total_votes(&self) -> u32 {
+        self.weights.iter().sum()
+    }
+
+    /// Votes held by a set of available nodes.
+    pub fn votes_of(&self, available: &[NodeId]) -> u32 {
+        available
+            .iter()
+            .map(|n| self.weights.get(n.0 as usize).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Whether the available set can serve reads.
+    pub fn can_read(&self, available: &[NodeId]) -> bool {
+        self.votes_of(available) >= self.read_quorum
+    }
+
+    /// Whether the available set can accept writes — the §3 rule that
+    /// lets an eager system keep updating when some nodes are down.
+    pub fn can_write(&self, available: &[NodeId]) -> bool {
+        self.votes_of(available) >= self.write_quorum
+    }
+}
+
+/// A quorum-replicated single-object register over per-node stores:
+/// the minimal Gifford machine used to test the catch-up rule.
+#[derive(Debug)]
+pub struct QuorumRegister {
+    config: QuorumConfig,
+    replicas: Vec<ObjectStore>,
+    object: ObjectId,
+    next_version: u64,
+}
+
+/// Errors performing quorum operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuorumOpError {
+    /// Not enough votes among the available nodes.
+    InsufficientVotes {
+        /// Votes present.
+        have: u32,
+        /// Votes required.
+        need: u32,
+    },
+}
+
+impl std::fmt::Display for QuorumOpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuorumOpError::InsufficientVotes { have, need } => {
+                write!(f, "quorum not reached: {have} of {need} votes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuorumOpError {}
+
+impl QuorumRegister {
+    /// A register replicated at `config.weights.len()` nodes.
+    pub fn new(config: QuorumConfig) -> Self {
+        let n = config.weights.len();
+        QuorumRegister {
+            config,
+            replicas: (0..n).map(|_| ObjectStore::new(1)).collect(),
+            object: ObjectId(0),
+            next_version: 0,
+        }
+    }
+
+    /// Write through the nodes in `available` (must form a write
+    /// quorum). The new version is stamped one above the freshest
+    /// version in the quorum — the Gifford version-number rule.
+    pub fn write(&mut self, available: &[NodeId], value: Value) -> Result<(), QuorumOpError> {
+        if !self.config.can_write(available) {
+            return Err(QuorumOpError::InsufficientVotes {
+                have: self.config.votes_of(available),
+                need: self.config.write_quorum,
+            });
+        }
+        let freshest = available
+            .iter()
+            .map(|n| self.replicas[n.0 as usize].get(self.object).ts.counter)
+            .max()
+            .unwrap_or(0);
+        self.next_version = self.next_version.max(freshest) + 1;
+        let ts = Timestamp::new(self.next_version, available[0]);
+        for n in available {
+            self.replicas[n.0 as usize].set(self.object, value.clone(), ts);
+        }
+        Ok(())
+    }
+
+    /// Read from the nodes in `available` (must form a read quorum):
+    /// the value with the highest version wins. Any write quorum
+    /// intersects, so this is always the latest committed write.
+    pub fn read(&self, available: &[NodeId]) -> Result<Value, QuorumOpError> {
+        if !self.config.can_read(available) {
+            return Err(QuorumOpError::InsufficientVotes {
+                have: self.config.votes_of(available),
+                need: self.config.read_quorum,
+            });
+        }
+        let freshest = available
+            .iter()
+            .map(|n| self.replicas[n.0 as usize].get(self.object))
+            .max_by_key(|v| v.ts)
+            .expect("read quorum is non-empty");
+        Ok(freshest.value.clone())
+    }
+
+    /// Catch a rejoining node up from a read quorum ("the quorum sends
+    /// the new node all replica updates since the node was
+    /// disconnected").
+    pub fn rejoin(&mut self, node: NodeId, quorum: &[NodeId]) -> Result<(), QuorumOpError> {
+        let value = self.read(quorum)?;
+        let freshest_ts = quorum
+            .iter()
+            .map(|n| self.replicas[n.0 as usize].get(self.object).ts)
+            .max()
+            .expect("read quorum is non-empty");
+        self.replicas[node.0 as usize].set(self.object, value, freshest_ts);
+        Ok(())
+    }
+
+    /// The raw version a specific replica holds (for tests).
+    pub fn version_at(&self, node: NodeId) -> Timestamp {
+        self.replicas[node.0 as usize].get(self.object).ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn majority_config_is_valid() {
+        let q = QuorumConfig::majority(5);
+        assert_eq!(q.total_votes(), 5);
+        assert_eq!(q.read_quorum, 3);
+        assert_eq!(q.write_quorum, 3);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert_eq!(
+            QuorumConfig::new(vec![1; 5], 2, 3),
+            Err(QuorumError::ReadWriteOverlap)
+        );
+        assert_eq!(
+            QuorumConfig::new(vec![1; 5], 4, 2),
+            Err(QuorumError::WriteWriteOverlap)
+        );
+        assert_eq!(QuorumConfig::new(vec![], 1, 1), Err(QuorumError::NoVotes));
+        assert_eq!(
+            QuorumConfig::new(vec![0, 0], 1, 1),
+            Err(QuorumError::NoVotes)
+        );
+    }
+
+    #[test]
+    fn weighted_votes_counted() {
+        // One heavy node (3 votes) + two light ones.
+        let q = QuorumConfig::new(vec![3, 1, 1], 3, 3).unwrap();
+        assert!(q.can_write(&nodes(&[0])));
+        assert!(!q.can_write(&nodes(&[1, 2])));
+        assert!(q.can_read(&nodes(&[0])));
+    }
+
+    #[test]
+    fn write_then_read_sees_value() {
+        let mut r = QuorumRegister::new(QuorumConfig::majority(5));
+        r.write(&nodes(&[0, 1, 2]), Value::Int(7)).unwrap();
+        let v = r.read(&nodes(&[2, 3, 4])).unwrap();
+        assert_eq!(v, Value::Int(7), "read quorum must intersect write quorum");
+    }
+
+    #[test]
+    fn stale_members_lose_to_fresh_version() {
+        let mut r = QuorumRegister::new(QuorumConfig::majority(5));
+        r.write(&nodes(&[0, 1, 2]), Value::Int(1)).unwrap();
+        // Second write through a different quorum (overlaps at node 2).
+        r.write(&nodes(&[2, 3, 4]), Value::Int(2)).unwrap();
+        // A read touching the stale nodes 0,1 plus fresh node 2 returns
+        // the newest version.
+        assert_eq!(r.read(&nodes(&[0, 1, 2])).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn below_quorum_writes_fail() {
+        let mut r = QuorumRegister::new(QuorumConfig::majority(5));
+        let err = r.write(&nodes(&[0, 1]), Value::Int(9)).unwrap_err();
+        assert_eq!(err, QuorumOpError::InsufficientVotes { have: 2, need: 3 });
+        // Nothing was written anywhere.
+        assert_eq!(r.version_at(NodeId(0)), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn rejoin_catches_node_up() {
+        let mut r = QuorumRegister::new(QuorumConfig::majority(5));
+        // Node 4 is "disconnected" during two writes.
+        r.write(&nodes(&[0, 1, 2]), Value::Int(1)).unwrap();
+        r.write(&nodes(&[0, 1, 3]), Value::Int(2)).unwrap();
+        assert_eq!(r.version_at(NodeId(4)), Timestamp::ZERO);
+        r.rejoin(NodeId(4), &nodes(&[0, 1, 2])).unwrap();
+        assert_eq!(
+            r.read(&nodes(&[2, 3, 4])).unwrap(),
+            Value::Int(2),
+            "rejoined node carries the latest committed value"
+        );
+        assert!(r.version_at(NodeId(4)) > Timestamp::ZERO);
+    }
+
+    #[test]
+    fn version_numbers_strictly_increase() {
+        let mut r = QuorumRegister::new(QuorumConfig::majority(3));
+        r.write(&nodes(&[0, 1]), Value::Int(1)).unwrap();
+        let v1 = r.version_at(NodeId(0));
+        r.write(&nodes(&[1, 2]), Value::Int(2)).unwrap();
+        let v2 = r.version_at(NodeId(1));
+        assert!(v2 > v1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = QuorumOpError::InsufficientVotes { have: 1, need: 3 };
+        assert!(e.to_string().contains("1 of 3"));
+        assert!(QuorumError::ReadWriteOverlap.to_string().contains("read"));
+    }
+}

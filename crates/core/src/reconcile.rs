@@ -1,0 +1,338 @@
+//! Reconciliation rules for conflicting lazy-group updates.
+//!
+//! §6: "Oracle 7 provides a choice of twelve reconciliation rules to
+//! merge conflicting updates … these rules give priority to certain
+//! sites, or time priority, or value priority, or they merge commutative
+//! updates." This module implements that rule family, plus the manual
+//! queue a conflict falls into when no rule applies — the "program or
+//! person [that] must reconcile conflicting transactions" of §1.
+
+use repl_storage::{NodeId, ObjectId, Timestamp, UpdateRecord, Value, Versioned};
+
+/// A detected dangerous update: an incoming replica update whose `old`
+/// timestamp does not match the local replica's current version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conflict {
+    /// The contested object.
+    pub object: ObjectId,
+    /// The local committed version.
+    pub local: Versioned,
+    /// The incoming update that raced it.
+    pub incoming: UpdateRecord,
+    /// The integer value the origin transaction read before writing,
+    /// when the workload ships deltas ("debit by $50") rather than
+    /// blind values — required by [`Rule::Additive`].
+    pub incoming_old_value: Option<i64>,
+}
+
+/// How a rule disposed of a conflict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Resolution {
+    /// Keep the local version; the incoming update is discarded.
+    KeepLocal,
+    /// Install this value/timestamp (the incoming update, or a merge).
+    Install {
+        /// Value to install.
+        value: Value,
+        /// Timestamp to install (the max of the two inputs, so the
+        /// result is never ordered before either).
+        ts: Timestamp,
+    },
+    /// No automatic disposition — escalate to the manual queue.
+    Manual,
+}
+
+/// An automatic reconciliation rule (the Oracle 7 §6 menu).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rule {
+    /// Newest timestamp wins (time priority). Loses updates — the §6
+    /// "lost update problem" — but always converges.
+    TimePriority,
+    /// Earlier-listed sites beat later-listed ones; listed sites beat
+    /// unlisted ones; two unlisted sites fall back to time priority.
+    SitePriority(Vec<NodeId>),
+    /// Larger integer value wins (value priority); non-integers fall
+    /// back to time priority.
+    ValuePriority,
+    /// Merge commutative updates additively: the incoming update's
+    /// *delta* (`new − old`) is applied on top of the local value.
+    /// Requires the old-value hint; otherwise escalates to manual.
+    Additive,
+    /// Always escalate — pure manual reconciliation.
+    Manual,
+}
+
+impl Rule {
+    /// Apply the rule to a conflict.
+    pub fn resolve(&self, c: &Conflict) -> Resolution {
+        let merged_ts = c.local.ts.max(c.incoming.new_ts);
+        match self {
+            Rule::TimePriority => {
+                if c.incoming.new_ts > c.local.ts {
+                    Resolution::Install {
+                        value: c.incoming.value.clone(),
+                        ts: c.incoming.new_ts,
+                    }
+                } else {
+                    Resolution::KeepLocal
+                }
+            }
+            Rule::SitePriority(order) => {
+                let rank = |node: NodeId| order.iter().position(|&n| n == node);
+                match (rank(c.local.ts.node), rank(c.incoming.new_ts.node)) {
+                    (Some(l), Some(i)) if i < l => Resolution::Install {
+                        value: c.incoming.value.clone(),
+                        ts: merged_ts,
+                    },
+                    (Some(_), Some(_)) => Resolution::KeepLocal,
+                    (None, Some(_)) => Resolution::Install {
+                        value: c.incoming.value.clone(),
+                        ts: merged_ts,
+                    },
+                    (Some(_), None) => Resolution::KeepLocal,
+                    (None, None) => Rule::TimePriority.resolve(c),
+                }
+            }
+            Rule::ValuePriority => match (c.local.value.as_int(), c.incoming.value.as_int()) {
+                (Some(l), Some(i)) if i > l => Resolution::Install {
+                    value: c.incoming.value.clone(),
+                    ts: merged_ts,
+                },
+                (Some(_), Some(_)) => Resolution::KeepLocal,
+                _ => Rule::TimePriority.resolve(c),
+            },
+            Rule::Additive => {
+                let (Some(local), Some(new), Some(old)) = (
+                    c.local.value.as_int(),
+                    c.incoming.value.as_int(),
+                    c.incoming_old_value,
+                ) else {
+                    return Resolution::Manual;
+                };
+                Resolution::Install {
+                    value: Value::Int(local + (new - old)),
+                    ts: merged_ts,
+                }
+            }
+            Rule::Manual => Resolution::Manual,
+        }
+    }
+}
+
+/// A commutative update carrying its delta explicitly — what §6 means
+/// by "updates expressed as transactional transformations such as
+/// 'debit the account by $50'".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaUpdate {
+    /// The target object.
+    pub object: ObjectId,
+    /// The signed delta.
+    pub delta: i64,
+    /// Timestamp of the update.
+    pub ts: Timestamp,
+}
+
+impl DeltaUpdate {
+    /// Merge into a local version: deltas always apply, in any order —
+    /// the state after any permutation of the same delta set is
+    /// identical.
+    pub fn merge_into(&self, local: &Versioned) -> Versioned {
+        Versioned {
+            value: Value::Int(local.value.as_int().unwrap_or(0) + self.delta),
+            ts: local.ts.max(self.ts),
+        }
+    }
+}
+
+/// Conflicts awaiting a program or person.
+#[derive(Debug, Default)]
+pub struct ManualQueue {
+    entries: Vec<Conflict>,
+}
+
+impl ManualQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park a conflict for human resolution.
+    pub fn push(&mut self, c: Conflict) {
+        self.entries.push(c);
+    }
+
+    /// Number of unresolved conflicts — a persistently growing value
+    /// here is the onset of the paper's *system delusion*.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty (the database is fully reconciled).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolve the oldest conflict by applying a rule after the fact.
+    pub fn resolve_next(&mut self, rule: &Rule) -> Option<(Conflict, Resolution)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let c = self.entries.remove(0);
+        let r = rule.resolve(&c);
+        Some((c, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repl_storage::TxnId;
+
+    fn ts(c: u64, n: u32) -> Timestamp {
+        Timestamp::new(c, NodeId(n))
+    }
+
+    fn conflict(local_v: i64, local_ts: Timestamp, inc_v: i64, inc_ts: Timestamp) -> Conflict {
+        Conflict {
+            object: ObjectId(0),
+            local: Versioned {
+                value: Value::Int(local_v),
+                ts: local_ts,
+            },
+            incoming: UpdateRecord {
+                txn: TxnId(1),
+                object: ObjectId(0),
+                old_ts: Timestamp::ZERO,
+                new_ts: inc_ts,
+                value: Value::Int(inc_v),
+            },
+            incoming_old_value: None,
+        }
+    }
+
+    #[test]
+    fn time_priority_newest_wins() {
+        let c = conflict(1, ts(5, 1), 2, ts(7, 2));
+        assert_eq!(
+            Rule::TimePriority.resolve(&c),
+            Resolution::Install {
+                value: Value::Int(2),
+                ts: ts(7, 2)
+            }
+        );
+        let c = conflict(1, ts(9, 1), 2, ts(7, 2));
+        assert_eq!(Rule::TimePriority.resolve(&c), Resolution::KeepLocal);
+    }
+
+    #[test]
+    fn site_priority_prefers_listed_order() {
+        let rule = Rule::SitePriority(vec![NodeId(3), NodeId(1)]);
+        // Incoming from node 3 (rank 0) beats local from node 1 (rank 1).
+        let c = conflict(1, ts(9, 1), 2, ts(5, 3));
+        assert!(matches!(rule.resolve(&c), Resolution::Install { .. }));
+        // Local from node 3 beats incoming from node 1.
+        let c = conflict(1, ts(5, 3), 2, ts(9, 1));
+        assert_eq!(rule.resolve(&c), Resolution::KeepLocal);
+    }
+
+    #[test]
+    fn site_priority_listed_beats_unlisted() {
+        let rule = Rule::SitePriority(vec![NodeId(2)]);
+        let c = conflict(1, ts(9, 7), 2, ts(5, 2)); // local unlisted
+        assert!(matches!(rule.resolve(&c), Resolution::Install { .. }));
+        let c = conflict(1, ts(5, 2), 2, ts(9, 7)); // incoming unlisted
+        assert_eq!(rule.resolve(&c), Resolution::KeepLocal);
+    }
+
+    #[test]
+    fn site_priority_unlisted_pair_falls_back_to_time() {
+        let rule = Rule::SitePriority(vec![NodeId(9)]);
+        let c = conflict(1, ts(5, 1), 2, ts(7, 2));
+        assert!(matches!(rule.resolve(&c), Resolution::Install { .. }));
+    }
+
+    #[test]
+    fn value_priority_larger_value_wins() {
+        let c = conflict(10, ts(9, 1), 20, ts(5, 2));
+        assert!(matches!(
+            Rule::ValuePriority.resolve(&c),
+            Resolution::Install { .. }
+        ));
+        let c = conflict(30, ts(5, 1), 20, ts(9, 2));
+        assert_eq!(Rule::ValuePriority.resolve(&c), Resolution::KeepLocal);
+    }
+
+    #[test]
+    fn value_priority_text_falls_back_to_time() {
+        let mut c = conflict(0, ts(1, 1), 0, ts(2, 2));
+        c.local.value = Value::from("a");
+        assert!(matches!(
+            Rule::ValuePriority.resolve(&c),
+            Resolution::Install { .. }
+        ));
+    }
+
+    #[test]
+    fn additive_merges_deltas() {
+        // Local is 70 (someone debited 30 from 100); incoming says
+        // "I saw 100 and wrote 150" → delta +50 → merged 120.
+        let mut c = conflict(70, ts(5, 1), 150, ts(6, 2));
+        c.incoming_old_value = Some(100);
+        assert_eq!(
+            Rule::Additive.resolve(&c),
+            Resolution::Install {
+                value: Value::Int(120),
+                ts: ts(6, 2)
+            }
+        );
+    }
+
+    #[test]
+    fn additive_without_hint_goes_manual() {
+        let c = conflict(10, ts(5, 1), 20, ts(7, 2));
+        assert_eq!(Rule::Additive.resolve(&c), Resolution::Manual);
+    }
+
+    #[test]
+    fn delta_updates_merge_in_any_order() {
+        let start = Versioned {
+            value: Value::Int(100),
+            ts: ts(1, 1),
+        };
+        let a = DeltaUpdate {
+            object: ObjectId(0),
+            delta: -30,
+            ts: ts(2, 2),
+        };
+        let b = DeltaUpdate {
+            object: ObjectId(0),
+            delta: 50,
+            ts: ts(2, 3),
+        };
+        let ab = b.merge_into(&a.merge_into(&start));
+        let ba = a.merge_into(&b.merge_into(&start));
+        assert_eq!(ab, ba);
+        assert_eq!(ab.value, Value::Int(120));
+    }
+
+    #[test]
+    fn manual_rule_always_escalates() {
+        let c = conflict(1, ts(1, 1), 2, ts(2, 2));
+        assert_eq!(Rule::Manual.resolve(&c), Resolution::Manual);
+    }
+
+    #[test]
+    fn manual_queue_fifo_resolution() {
+        let mut q = ManualQueue::new();
+        assert!(q.is_empty());
+        q.push(conflict(1, ts(1, 1), 2, ts(2, 2)));
+        q.push(conflict(3, ts(3, 1), 4, ts(1, 2)));
+        assert_eq!(q.len(), 2);
+        let (c, r) = q.resolve_next(&Rule::TimePriority).unwrap();
+        assert_eq!(c.local.value, Value::Int(1));
+        assert!(matches!(r, Resolution::Install { .. }));
+        let (_, r) = q.resolve_next(&Rule::TimePriority).unwrap();
+        assert_eq!(r, Resolution::KeepLocal);
+        assert!(q.resolve_next(&Rule::TimePriority).is_none());
+    }
+}

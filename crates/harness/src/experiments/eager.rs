@@ -1,0 +1,224 @@
+//! E5, E6, E7 and the footnote-2 ablation — eager replication's
+//! polynomial explosions.
+
+use crate::table::{fmt_ratio, fmt_val, Table};
+use crate::RunOpts;
+use repl_core::{EagerSim, Ownership, ReplicaDiscipline, SimConfig};
+use repl_model::{eager, Params, Point};
+use repl_workload::presets;
+
+fn run_eager(
+    p: &Params,
+    horizon: u64,
+    seed: u64,
+    discipline: ReplicaDiscipline,
+) -> repl_core::Report {
+    let cfg = SimConfig::from_params(p, horizon, seed).with_warmup(5);
+    EagerSim::new(cfg, discipline, Ownership::Group).run()
+}
+
+/// E5: eager system-wide wait rate vs `Nodes` — equation (10)'s cubic.
+pub fn e05(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "E5",
+        "eager replication wait rate vs Nodes (eqs. 7-10)",
+        &["Nodes", "waits/s model", "waits/s measured", "meas/model"],
+    );
+    let base = presets::scaleup_base();
+    let mut points = Vec::new();
+    for n in presets::node_sweep() {
+        let p = base.with_nodes(n);
+        let predicted = eager::total_wait_rate(&p);
+        let horizon = opts.adaptive_horizon(predicted, 300.0, 200, 10_000);
+        let r = run_eager(&p, horizon, opts.seed, ReplicaDiscipline::Serial);
+        points.push(Point { x: n, y: r.wait_rate });
+        t.row(vec![
+            format!("{n}"),
+            fmt_val(predicted),
+            fmt_val(r.wait_rate),
+            fmt_ratio(r.wait_rate, predicted),
+        ]);
+    }
+    if let Some(k) = repl_model::fit_exponent(&points) {
+        t.note(format!("measured Nodes-exponent {k:.2} (model predicts 3; eq. 10)"));
+    }
+    t
+}
+
+/// E6: eager deadlock rate vs `Nodes` (eq. 12) — the headline claim:
+/// "a ten-fold increase in nodes gives a thousand-fold increase in
+/// deadlocks".
+pub fn e06(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "E6",
+        "eager deadlock rate vs Nodes (eqs. 11-12): 10x nodes => ~1000x",
+        &["Nodes", "deadlocks/s model", "deadlocks/s measured", "meas/model"],
+    );
+    let base = presets::scaleup_base();
+    let mut points = Vec::new();
+    let mut first = None;
+    let mut last = None;
+    for n in presets::node_sweep() {
+        let p = base.with_nodes(n);
+        let predicted = eager::total_deadlock_rate(&p);
+        let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
+        let r = run_eager(&p, horizon, opts.seed, ReplicaDiscipline::Serial);
+        points.push(Point { x: n, y: r.deadlock_rate });
+        if n == 1.0 {
+            first = Some(r.deadlock_rate);
+        }
+        if n == 10.0 {
+            last = Some(r.deadlock_rate);
+        }
+        t.row(vec![
+            format!("{n}"),
+            fmt_val(predicted),
+            fmt_val(r.deadlock_rate),
+            fmt_ratio(r.deadlock_rate, predicted),
+        ]);
+    }
+    if let Some(k) = repl_model::fit_exponent(&points) {
+        t.note(format!("measured Nodes-exponent {k:.2} (model predicts 3; eq. 12)"));
+    }
+    if let (Some(f), Some(l)) = (first, last) {
+        if f > 0.0 {
+            t.note(format!(
+                "measured 10x-node blow-up: {:.0}x (paper: ~1000x)",
+                l / f
+            ));
+        } else {
+            t.note("1-node deadlock rate unobservably low in this run (expected: eq. 5 rate is tiny)".to_owned());
+        }
+    }
+    t
+}
+
+/// E6b: eager deadlock rate vs `Actions` — the fifth-power sensitivity
+/// at fixed node count ("a ten-fold increase in the transaction size
+/// increases the deadlock rate by a factor of 100,000").
+pub fn e06_actions(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "E6b",
+        "eager deadlock rate vs Actions at 4 nodes (Actions^5 term of eq. 12)",
+        &["Actions", "deadlocks/s model", "deadlocks/s measured", "meas/model"],
+    );
+    let base = presets::scaleup_base().with_nodes(4.0);
+    let mut points = Vec::new();
+    for a in presets::action_sweep() {
+        let p = base.with_actions(a);
+        let predicted = eager::total_deadlock_rate(&p);
+        let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
+        let r = run_eager(&p, horizon, opts.seed, ReplicaDiscipline::Serial);
+        points.push(Point { x: a, y: r.deadlock_rate });
+        t.row(vec![
+            format!("{a}"),
+            fmt_val(predicted),
+            fmt_val(r.deadlock_rate),
+            fmt_ratio(r.deadlock_rate, predicted),
+        ]);
+    }
+    if let Some(k) = repl_model::fit_exponent(&points) {
+        t.note(format!("measured Actions-exponent {k:.2} (model predicts 5)"));
+    }
+    t
+}
+
+/// E7: the scaled-database variant — `DB_Size` grows with `Nodes`, so
+/// equation (13) predicts only *linear* deadlock growth.
+pub fn e07(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "E7",
+        "eager deadlock rate with DB_Size scaled by Nodes (eq. 13): linear growth",
+        &["Nodes", "DB_Size", "deadlocks/s model", "deadlocks/s measured", "meas/model"],
+    );
+    // Smaller base DB so the (linear, weak) growth is measurable.
+    let base = Params::new(500.0, 1.0, 40.0, 4.0, 0.01);
+    let mut points = Vec::new();
+    for n in presets::node_sweep() {
+        let p = Params {
+            db_size: base.db_size * n,
+            ..base.with_nodes(n)
+        };
+        let predicted = eager::deadlock_rate_scaled_db(&base.with_nodes(n));
+        let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
+        let r = run_eager(&p, horizon, opts.seed, ReplicaDiscipline::Serial);
+        points.push(Point { x: n, y: r.deadlock_rate });
+        t.row(vec![
+            format!("{n}"),
+            format!("{}", p.db_size as u64),
+            fmt_val(predicted),
+            fmt_val(r.deadlock_rate),
+            fmt_ratio(r.deadlock_rate, predicted),
+        ]);
+    }
+    if let Some(k) = repl_model::fit_exponent(&points) {
+        t.note(format!("measured Nodes-exponent {k:.2} (model predicts 1; eq. 13)"));
+    }
+    t
+}
+
+/// Footnote-2 ablation: applying replica updates in parallel holds the
+/// transaction duration flat, cutting the deadlock growth from cubic to
+/// quadratic.
+pub fn ablate_parallel(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "ABL-PAR",
+        "footnote 2: serial vs parallel replica updates (deadlocks/s)",
+        &["Nodes", "serial", "parallel", "serial/parallel"],
+    );
+    let base = presets::scaleup_base();
+    let mut serial_pts = Vec::new();
+    let mut par_pts = Vec::new();
+    for n in presets::node_sweep() {
+        let p = base.with_nodes(n);
+        let predicted = eager::total_deadlock_rate(&p);
+        // The parallel discipline deadlocks ~N-times less; size each
+        // run's horizon for its own expected event count.
+        let horizon_s = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
+        let horizon_p =
+            opts.adaptive_horizon(predicted / p.nodes.max(1.0), 40.0, 200, 20_000);
+        let rs = run_eager(&p, horizon_s, opts.seed, ReplicaDiscipline::Serial);
+        let rp = run_eager(&p, horizon_p, opts.seed, ReplicaDiscipline::Parallel);
+        serial_pts.push(Point { x: n, y: rs.deadlock_rate });
+        par_pts.push(Point { x: n, y: rp.deadlock_rate });
+        t.row(vec![
+            format!("{n}"),
+            fmt_val(rs.deadlock_rate),
+            fmt_val(rp.deadlock_rate),
+            fmt_ratio(rs.deadlock_rate, rp.deadlock_rate),
+        ]);
+    }
+    if let (Some(ks), Some(kp)) = (
+        repl_model::fit_exponent(&serial_pts),
+        repl_model::fit_exponent(&par_pts),
+    ) {
+        t.note(format!(
+            "Nodes-exponents: serial {ks:.2} (model 3), parallel {kp:.2} (model 2)"
+        ));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunOpts {
+        RunOpts { quick: true, seed: 3 }
+    }
+
+    #[test]
+    fn e05_full_sweep() {
+        let t = e05(&quick());
+        assert_eq!(t.rows.len(), presets::node_sweep().len());
+    }
+
+    #[test]
+    fn e07_scales_db_column() {
+        let t = e07(&quick());
+        // DB_Size column grows with nodes.
+        let first: u64 = t.rows[0][1].parse().unwrap();
+        let last: u64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(last > first);
+    }
+}

@@ -1,0 +1,176 @@
+//! The experiment registry — every table/figure regenerator behind one
+//! name-indexed entry point.
+
+pub mod convergent;
+pub mod delusion;
+pub mod eager;
+pub mod hotspot;
+pub mod lazy;
+pub mod quorum;
+pub mod schemes;
+pub mod single;
+pub mod two_tier;
+
+use crate::table::Table;
+use crate::RunOpts;
+
+/// One registered experiment.
+pub struct Experiment {
+    /// CLI name (`e1`, `e12b`, `ablate-latency`, …).
+    pub name: &'static str,
+    /// One-line description for `harness list`.
+    pub about: &'static str,
+    /// The runner.
+    pub run: fn(&RunOpts) -> Table,
+}
+
+/// Every experiment, in presentation order.
+pub const ALL: &[Experiment] = &[
+    Experiment {
+        name: "e1",
+        about: "single-node wait rate vs eq. (2)/(10)",
+        run: single::e01,
+    },
+    Experiment {
+        name: "e2",
+        about: "single-node deadlock rate vs eqs. (3)-(5)",
+        run: single::e02,
+    },
+    Experiment {
+        name: "e3",
+        about: "Figure 1: work per user transaction",
+        run: schemes::e03,
+    },
+    Experiment {
+        name: "e4",
+        about: "Figure 3: scaleup vs partitioning vs replication",
+        run: schemes::e04,
+    },
+    Experiment {
+        name: "e5",
+        about: "eager wait rate vs Nodes (eq. 10)",
+        run: eager::e05,
+    },
+    Experiment {
+        name: "e6",
+        about: "eager deadlock rate vs Nodes (eq. 12)",
+        run: eager::e06,
+    },
+    Experiment {
+        name: "e6b",
+        about: "eager deadlock rate vs Actions (Actions^5)",
+        run: eager::e06_actions,
+    },
+    Experiment {
+        name: "e7",
+        about: "scaled-DB eager deadlocks (eq. 13)",
+        run: eager::e07,
+    },
+    Experiment {
+        name: "e8",
+        about: "lazy-group reconciliation vs Nodes (eq. 14)",
+        run: lazy::e08,
+    },
+    Experiment {
+        name: "e9",
+        about: "mobile reconciliation vs Disconnect_Time (eqs. 15-18)",
+        run: lazy::e09,
+    },
+    Experiment {
+        name: "e9b",
+        about: "mobile reconciliation vs Nodes (eq. 18)",
+        run: lazy::e09_nodes,
+    },
+    Experiment {
+        name: "e10",
+        about: "lazy-master deadlocks vs Nodes (eq. 19)",
+        run: lazy::e10,
+    },
+    Experiment {
+        name: "e11",
+        about: "Table 1 measured: all five schemes",
+        run: schemes::e11,
+    },
+    Experiment {
+        name: "e12",
+        about: "two-tier acceptance failures by workload (§7)",
+        run: two_tier::e12,
+    },
+    Experiment {
+        name: "e12b",
+        about: "two-tier base deadlocks vs Nodes (eq. 19)",
+        run: two_tier::e12_nodes,
+    },
+    Experiment {
+        name: "e13",
+        about: "§6 convergence schemes and lost updates",
+        run: convergent::e13,
+    },
+    Experiment {
+        name: "e14",
+        about: "Table 2 parameter glossary",
+        run: convergent::e14,
+    },
+    Experiment {
+        name: "ablate-parallel",
+        about: "footnote 2: serial vs parallel replica updates",
+        run: eager::ablate_parallel,
+    },
+    Experiment {
+        name: "ablate-latency",
+        about: "message delay vs lazy-group reconciliation",
+        run: lazy::ablate_latency,
+    },
+    Experiment {
+        name: "hotspot",
+        about: "Zipf hotspots vs the uniform-access model",
+        run: hotspot::hotspot,
+    },
+    Experiment {
+        name: "ablate-delusion",
+        about: "manual reconciliation => replica divergence (system delusion)",
+        run: delusion::ablate_delusion,
+    },
+    Experiment {
+        name: "ablate-quorum",
+        about: "write availability: write-all vs majority quorum (§3)",
+        run: quorum::ablate_quorum,
+    },
+];
+
+/// Find an experiment by CLI name.
+pub fn by_name(name: &str) -> Option<&'static Experiment> {
+    ALL.iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<&str> = ALL.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len);
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert!(by_name("e12").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn registry_covers_all_paper_artifacts() {
+        // Equations 2-19, Table 1, Table 2, Figures 1 and 3 must all
+        // have a regenerator.
+        for required in [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+            "e14",
+        ] {
+            assert!(by_name(required).is_some(), "missing {required}");
+        }
+    }
+}

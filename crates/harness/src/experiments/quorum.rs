@@ -1,0 +1,134 @@
+//! Quorum availability ablation — §3: "simple eager replication
+//! systems prohibit updates if any node is disconnected. For high
+//! availability, eager replication systems allow updates among members
+//! of the quorum or cluster [Gifford], [Garcia-Molina]."
+//!
+//! Measures write availability (fraction of update attempts that find a
+//! live write quorum) for read-one/write-all versus majority quorums as
+//! per-node uptime degrades.
+
+use crate::table::Table;
+use crate::RunOpts;
+use repl_core::quorum::QuorumConfig;
+use repl_sim::SimRng;
+use repl_storage::NodeId;
+
+/// Step-simulate node up/down cycles and count write-quorum hits.
+fn availability(
+    cfg: &QuorumConfig,
+    nodes: u32,
+    uptime: f64,
+    steps: u32,
+    seed: u64,
+) -> f64 {
+    let mut rng = SimRng::stream(seed, "quorum-availability");
+    let mut up = vec![true; nodes as usize];
+    let mut ok = 0u32;
+    for _ in 0..steps {
+        // Memoryless per-step state flip keeps the long-run uptime at
+        // the requested level.
+        for flag in up.iter_mut() {
+            *flag = rng.next_f64() < uptime;
+        }
+        let available: Vec<NodeId> = (0..nodes)
+            .filter(|&i| up[i as usize])
+            .map(NodeId)
+            .collect();
+        if cfg.can_write(&available) {
+            ok += 1;
+        }
+    }
+    f64::from(ok) / f64::from(steps)
+}
+
+/// The ablation table: write availability by quorum policy and uptime.
+pub fn ablate_quorum(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "ABL-QRM",
+        "write availability: read-one/write-all vs majority quorum (5 nodes)",
+        &[
+            "per-node uptime",
+            "write-all available",
+            "majority available",
+            "analytic write-all",
+            "analytic majority",
+        ],
+    );
+    let nodes = 5u32;
+    let steps = if opts.quick { 2_000 } else { 20_000 };
+    let rowa = QuorumConfig::new(vec![1; nodes as usize], 1, nodes).expect("valid ROWA");
+    let majority = QuorumConfig::majority(nodes);
+    for uptime in [0.99, 0.95, 0.90, 0.80, 0.60] {
+        let a_rowa = availability(&rowa, nodes, uptime, steps, opts.seed);
+        let a_major = availability(&majority, nodes, uptime, steps, opts.seed + 1);
+        // Closed forms: all-up probability p^5; majority = P(Bin(5,p)>=3).
+        let p = uptime;
+        let all_up = p.powi(5);
+        let maj = (3..=5).map(|k| binom(5, k) * p.powi(k) * (1.0 - p).powi(5 - k)).sum::<f64>();
+        t.row(vec![
+            format!("{uptime:.2}"),
+            format!("{a_rowa:.3}"),
+            format!("{a_major:.3}"),
+            format!("{all_up:.3}"),
+            format!("{maj:.3}"),
+        ]);
+    }
+    t.note("write-all loses availability fast; a majority quorum keeps accepting updates (§3)");
+    t
+}
+
+fn binom(n: i32, k: i32) -> f64 {
+    let mut r = 1.0;
+    for i in 0..k {
+        r *= f64::from(n - i) / f64::from(i + 1);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_beats_write_all() {
+        let t = ablate_quorum(&RunOpts {
+            quick: true,
+            seed: 31,
+        });
+        assert_eq!(t.rows.len(), 5);
+        for row in &t.rows {
+            let rowa: f64 = row[1].parse().unwrap();
+            let major: f64 = row[2].parse().unwrap();
+            assert!(major >= rowa, "majority must dominate write-all: {row:?}");
+        }
+        // At 60% uptime write-all is nearly dead, majority still works.
+        let last = t.rows.last().unwrap();
+        let rowa: f64 = last[1].parse().unwrap();
+        let major: f64 = last[2].parse().unwrap();
+        assert!(rowa < 0.2);
+        assert!(major > 0.5);
+    }
+
+    #[test]
+    fn measured_tracks_analytic() {
+        let t = ablate_quorum(&RunOpts {
+            quick: false,
+            seed: 32,
+        });
+        for row in &t.rows {
+            let meas: f64 = row[2].parse().unwrap();
+            let model: f64 = row[4].parse().unwrap();
+            assert!(
+                (meas - model).abs() < 0.05,
+                "majority availability {meas} vs analytic {model}"
+            );
+        }
+    }
+
+    #[test]
+    fn binom_basic() {
+        assert_eq!(binom(5, 0), 1.0);
+        assert_eq!(binom(5, 1), 5.0);
+        assert_eq!(binom(5, 3), 10.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! E3, E4 and E11 — the structural artifacts: Figure 1 (work
+//! multiplication), Figure 3 (scaleup vs partitioning vs replication),
+//! and Table 1 (the taxonomy, measured).
+
+use crate::table::{fmt_val, Table};
+use crate::RunOpts;
+use repl_core::{
+    ContentionProfile, ContentionSim, EagerSim, LazyGroupSim, LazyMasterSim, Mobility, Ownership,
+    ReplicaDiscipline, SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload,
+};
+use repl_model::{Params, Scheme};
+use repl_sim::SimDuration;
+
+/// E3: Figure 1 — "if data is replicated at N nodes, the transaction
+/// does N times as much work". Measured object updates and messages per
+/// user transaction for each propagation strategy at N = 3.
+pub fn e03(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "E3",
+        "Figure 1: work per user transaction at N=3 (Actions=3)",
+        &[
+            "scheme",
+            "committed txns",
+            "updates/user-txn",
+            "messages/user-txn",
+            "replica txns/user-txn",
+        ],
+    );
+    let p = Params::new(100_000.0, 3.0, 5.0, 3.0, 0.01);
+    let horizon = opts.horizon(200);
+    let mk = |seed| SimConfig::from_params(&p, horizon, seed).with_warmup(5);
+
+    let eager = EagerSim::new(mk(opts.seed), ReplicaDiscipline::Serial, Ownership::Group).run();
+    t.row(vec![
+        "eager (1 txn, 9 updates)".into(),
+        eager.committed.to_string(),
+        fmt_val(eager.actions as f64 / eager.committed.max(1) as f64),
+        fmt_val(eager.messages as f64 / eager.committed.max(1) as f64),
+        "0".into(),
+    ]);
+
+    let lazy = LazyGroupSim::new(mk(opts.seed), Mobility::Connected).run();
+    t.row(vec![
+        "lazy (1 root + 2 lazy txns)".into(),
+        lazy.committed.to_string(),
+        fmt_val((lazy.actions + lazy.replica_commits * 3) as f64 / lazy.committed.max(1) as f64),
+        fmt_val(lazy.messages as f64 / lazy.committed.max(1) as f64),
+        fmt_val(lazy.replica_commits as f64 / lazy.committed.max(1) as f64),
+    ]);
+
+    t.note("both strategies perform ~N x Actions = 9 updates per user transaction (eq. 8)");
+    t.note("eager does them in one long transaction; lazy in N-1 extra transactions (Fig. 1)");
+    t
+}
+
+/// E4: Figure 3 — growing a 1 TPS system. Replication doubles the
+/// users *and* makes every node do every update: aggregate update work
+/// quadruples while a partitioned system only doubles.
+pub fn e04(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "E4",
+        "Figure 3: scaleup vs partitioning vs replication (update actions/s)",
+        &["system", "user TPS total", "update work/s", "vs base"],
+    );
+    let horizon = opts.horizon(300);
+    let actions = 4.0;
+    let tps = 1.0;
+    let run_single = |tps: f64, seed: u64| {
+        let p = Params::new(10_000.0, 1.0, tps, actions, 0.01);
+        let cfg = SimConfig::from_params(&p, horizon, seed).with_warmup(5);
+        ContentionSim::new(cfg, ContentionProfile::single_node(&cfg)).run()
+    };
+    let base = run_single(tps, opts.seed);
+    let base_work = base.action_rate;
+    t.row(vec![
+        "base: one 1 TPS node".into(),
+        fmt_val(tps),
+        fmt_val(base.action_rate),
+        "1.0x".into(),
+    ]);
+
+    let scaleup = run_single(2.0 * tps, opts.seed + 1);
+    t.row(vec![
+        "scaleup: one 2 TPS node".into(),
+        fmt_val(2.0 * tps),
+        fmt_val(scaleup.action_rate),
+        format!("{:.1}x", scaleup.action_rate / base_work),
+    ]);
+
+    // Partitioning: two independent 1 TPS nodes — work is additive.
+    let part_a = run_single(tps, opts.seed + 2);
+    let part_b = run_single(tps, opts.seed + 3);
+    let part_work = part_a.action_rate + part_b.action_rate;
+    t.row(vec![
+        "partitioning: two 1 TPS nodes".into(),
+        fmt_val(2.0 * tps),
+        fmt_val(part_work),
+        format!("{:.1}x", part_work / base_work),
+    ]);
+
+    // Replication: two nodes, each originating 1 TPS, each also
+    // applying the other's updates.
+    let p = Params::new(10_000.0, 2.0, tps, actions, 0.01);
+    let cfg = SimConfig::from_params(&p, horizon, opts.seed + 4).with_warmup(5);
+    let repl = EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group).run();
+    t.row(vec![
+        "replication: two 1 TPS replicas".into(),
+        fmt_val(2.0 * tps),
+        fmt_val(repl.action_rate),
+        format!("{:.1}x", repl.action_rate / base_work),
+    ]);
+    t.note("doubling users under replication quadruples total update work (N^2, Fig. 3)");
+    t
+}
+
+/// E11: Table 1, measured — all five schemes on one 4-node
+/// configuration, side by side.
+pub fn e11(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "E11",
+        "Table 1 measured: all five schemes, 4 nodes, DB=500, 10 TPS/node",
+        &[
+            "scheme",
+            "txns/user-update (T1)",
+            "owners (T1)",
+            "commits/s",
+            "deadlocks/s",
+            "recon/s",
+            "mobile ok",
+        ],
+    );
+    let p = Params::new(500.0, 4.0, 10.0, 4.0, 0.01);
+    let n = 4u64;
+    let horizon = opts.horizon(400);
+    let mk = || SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
+
+    let mut push = |scheme: Scheme, r: &repl_core::Report| {
+        t.row(vec![
+            scheme.name().into(),
+            scheme.transactions_per_user_update(n).to_string(),
+            scheme.object_owners(n).to_string(),
+            fmt_val(r.commit_rate),
+            fmt_val(r.deadlock_rate),
+            fmt_val(r.reconciliation_rate),
+            if scheme.supports_mobility() { "yes" } else { "no" }.into(),
+        ]);
+    };
+
+    let r = EagerSim::new(mk(), ReplicaDiscipline::Serial, Ownership::Group).run();
+    push(Scheme::EagerGroup, &r);
+    let r = EagerSim::new(mk(), ReplicaDiscipline::Serial, Ownership::Master).run();
+    push(Scheme::EagerMaster, &r);
+    let r = LazyGroupSim::new(mk(), Mobility::Connected).run();
+    push(Scheme::LazyGroup, &r);
+    let r = LazyMasterSim::new(mk()).run();
+    push(Scheme::LazyMaster, &r);
+    let tt = TwoTierConfig {
+        sim: mk(),
+        base_nodes: 2,
+        mobile_owned: 0,
+        connected: SimDuration::from_secs(15),
+        disconnected: SimDuration::from_secs(15),
+        workload: TwoTierWorkload::Commutative { max_amount: 10 },
+        initial_value: 1_000_000,
+    };
+    let r = TwoTierSim::new(tt).run();
+    push(Scheme::TwoTier, &r);
+
+    t.note("eager converts conflicts to waits/deadlocks; lazy-group to reconciliations;");
+    t.note("two-tier (commutative) shows zero reconciliation while supporting mobility (§7)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunOpts {
+        RunOpts { quick: true, seed: 11 }
+    }
+
+    #[test]
+    fn e03_reports_two_schemes() {
+        let t = e03(&quick());
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn e04_replication_work_exceeds_partitioning() {
+        let t = e04(&quick());
+        assert_eq!(t.rows.len(), 4);
+        let part: f64 = t.rows[2][2].parse().unwrap();
+        let repl: f64 = t.rows[3][2].parse().unwrap();
+        assert!(repl > part * 1.5, "replication {repl} vs partitioning {part}");
+    }
+
+    #[test]
+    fn e11_covers_all_five_schemes() {
+        let t = e11(&quick());
+        assert_eq!(t.rows.len(), 5);
+        let names: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert!(names.contains(&"two-tier"));
+    }
+}

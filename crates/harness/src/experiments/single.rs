@@ -1,0 +1,99 @@
+//! E1 and E2 — the single-node baseline: measured wait and deadlock
+//! rates against equations (2)–(5).
+
+use crate::table::{fmt_ratio, fmt_val, Table};
+use crate::RunOpts;
+use repl_core::{ContentionProfile, ContentionSim, SimConfig};
+use repl_model::{single, Params};
+
+/// E1: single-node wait rate vs the closed form, sweeping the
+/// transaction size (`Actions`). The model's wait rate is equation (2)
+/// divided by the transaction duration, times the concurrent
+/// population — the `Nodes = 1` case of equation (10).
+pub fn e01(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "E1",
+        "single-node wait rate vs model (eq. 2/10)",
+        &["Actions", "PW (model)", "waits/s model", "waits/s measured", "meas/model"],
+    );
+    let base = repl_workload::presets::single_node_base();
+    for actions in [2.0, 3.0, 4.0, 5.0, 6.0, 8.0] {
+        let p = base.with_actions(actions);
+        let predicted = single::node_wait_rate(&p);
+        let horizon = opts.adaptive_horizon(predicted, 200.0, 200, 5_000);
+        let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
+        let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg)).run();
+        t.row(vec![
+            format!("{actions}"),
+            fmt_val(single::wait_probability(&p)),
+            fmt_val(predicted),
+            fmt_val(r.wait_rate),
+            fmt_ratio(r.wait_rate, predicted),
+        ]);
+    }
+    t.note("model regime: PW << 1; measured/model ratios near 1 validate eq. (2)");
+    t
+}
+
+/// E2: single-node deadlock rate vs equation (5), sweeping `Actions` —
+/// the fifth-power sensitivity.
+pub fn e02(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "E2",
+        "single-node deadlock rate vs model (eqs. 3-5), Actions^5 growth",
+        &["Actions", "deadlocks/s model", "deadlocks/s measured", "meas/model"],
+    );
+    // Higher contention than E1 so deadlocks are observable in finite
+    // runs while PW stays << 1.
+    let base = Params::new(500.0, 1.0, 100.0, 4.0, 0.01);
+    let sweep = [3.0, 4.0, 5.0, 6.0, 7.0];
+    let mut points = Vec::new();
+    for actions in sweep {
+        let p = base.with_actions(actions);
+        let predicted = single::node_deadlock_rate(&p);
+        let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
+        let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
+        let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg)).run();
+        points.push(repl_model::Point {
+            x: actions,
+            y: r.deadlock_rate,
+        });
+        t.row(vec![
+            format!("{actions}"),
+            fmt_val(predicted),
+            fmt_val(r.deadlock_rate),
+            fmt_ratio(r.deadlock_rate, predicted),
+        ]);
+    }
+    if let Some(k) = repl_model::fit_exponent(&points) {
+        t.note(format!(
+            "measured Actions-exponent {k:.2} (model predicts 5; eq. 5)"
+        ));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunOpts {
+        RunOpts {
+            quick: true,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn e01_produces_full_table() {
+        let t = e01(&quick());
+        assert_eq!(t.rows.len(), 6);
+        assert!(!t.notes.is_empty());
+    }
+
+    #[test]
+    fn e02_produces_full_table() {
+        let t = e02(&quick());
+        assert_eq!(t.rows.len(), 5);
+    }
+}

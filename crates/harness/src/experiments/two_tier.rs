@@ -1,0 +1,153 @@
+//! E12 — the two-tier scheme (§7, Figures 5 and 6).
+
+use crate::table::{fmt_ratio, fmt_val, Table};
+use crate::RunOpts;
+use repl_core::{SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload};
+use repl_model::{lazy, Params};
+use repl_sim::SimDuration;
+
+fn config(
+    p: &Params,
+    base_nodes: u32,
+    workload: TwoTierWorkload,
+    initial_value: i64,
+    horizon: u64,
+    seed: u64,
+) -> TwoTierConfig {
+    TwoTierConfig {
+        sim: SimConfig::from_params(p, horizon, seed).with_warmup(5),
+        base_nodes,
+        mobile_owned: 0,
+        connected: SimDuration::from_secs(10),
+        disconnected: SimDuration::from_secs(20),
+        workload,
+        initial_value,
+    }
+}
+
+/// E12: the §7 claims, measured.
+///
+/// 1. Commutative transactions + ample balances ⇒ **zero**
+///    reconciliations (key property 5).
+/// 2. Non-commutative blind writes with exact-match acceptance ⇒
+///    substantial rejection rates (why transaction design matters).
+/// 3. Scarce balances + non-negative criterion ⇒ some rejections, but
+///    the master state keeps its invariant — no system delusion.
+/// 4. Base transactions deadlock at the lazy-master rate (eq. 19).
+/// 5. All replicas converge to the base state.
+pub fn e12(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "E12",
+        "two-tier replication: acceptance failures by transaction design (§7)",
+        &[
+            "workload",
+            "tentative txns",
+            "accepted",
+            "rejected",
+            "reject %",
+            "base deadlocks/s (meas)",
+            "eq.19 model",
+            "converged",
+        ],
+    );
+    let p = Params::new(500.0, 6.0, 10.0, 4.0, 0.01);
+    let horizon = opts.horizon(400);
+
+    let cases: Vec<(&str, TwoTierWorkload, i64)> = vec![
+        (
+            "commutative, ample funds",
+            TwoTierWorkload::Commutative { max_amount: 10 },
+            1_000_000,
+        ),
+        (
+            "commutative, scarce funds",
+            TwoTierWorkload::Commutative { max_amount: 500 },
+            200,
+        ),
+        (
+            "transforms, exact match",
+            TwoTierWorkload::ExactMatch { max_amount: 20 },
+            1_000,
+        ),
+    ];
+    for (label, workload, funds) in cases {
+        let cfg = config(&p, 2, workload, funds, horizon, opts.seed);
+        let (r, master, replicas) = TwoTierSim::new(cfg).run_with_state();
+        let total = r.tentative_accepted + r.tentative_rejected;
+        let reject_pct = if total > 0 {
+            100.0 * r.tentative_rejected as f64 / total as f64
+        } else {
+            0.0
+        };
+        let converged = {
+            let want = master.digest();
+            replicas.iter().all(|s| s.digest() == want)
+        };
+        t.row(vec![
+            label.into(),
+            r.tentative_commits.to_string(),
+            r.tentative_accepted.to_string(),
+            r.tentative_rejected.to_string(),
+            format!("{reject_pct:.1}%"),
+            fmt_val(r.deadlock_rate),
+            fmt_val(lazy::two_tier_base_deadlock_rate(&p)),
+            if converged { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t.note("commutative + ample funds: zero rejections — §7 property 5");
+    t.note("master state is always serializable; replicas converge to it — no system delusion");
+    t
+}
+
+/// E12b: two-tier base deadlock rate vs `Nodes` — must track the
+/// lazy-master curve (equation 19), since base transactions execute
+/// under the lazy-master discipline.
+pub fn e12_nodes(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "E12b",
+        "two-tier base deadlock rate vs Nodes (follows eq. 19)",
+        &["Nodes", "deadlocks/s model", "deadlocks/s measured", "meas/model"],
+    );
+    let base = Params::new(600.0, 2.0, 15.0, 4.0, 0.01);
+    let mut points = Vec::new();
+    for n in [2.0, 3.0, 4.0, 6.0, 8.0] {
+        let p = base.with_nodes(n);
+        let predicted = lazy::two_tier_base_deadlock_rate(&p);
+        let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 5_000);
+        let cfg = config(
+            &p,
+            (n as u32 / 2).max(1),
+            TwoTierWorkload::Commutative { max_amount: 10 },
+            1_000_000,
+            horizon,
+            opts.seed,
+        );
+        let r = TwoTierSim::new(cfg).run();
+        points.push(repl_model::Point { x: n, y: r.deadlock_rate });
+        t.row(vec![
+            format!("{n}"),
+            fmt_val(predicted),
+            fmt_val(r.deadlock_rate),
+            fmt_ratio(r.deadlock_rate, predicted),
+        ]);
+    }
+    if let Some(k) = repl_model::fit_exponent(&points) {
+        t.note(format!("measured Nodes-exponent {k:.2} (model predicts 2; eq. 19)"));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_reports_three_workloads() {
+        let t = e12(&RunOpts { quick: true, seed: 13 });
+        assert_eq!(t.rows.len(), 3);
+        // All rows converged.
+        assert!(t.rows.iter().all(|r| r[7] == "yes"), "{t:?}");
+        // Commutative/ample row has zero rejects.
+        assert_eq!(t.rows[0][3], "0");
+    }
+}

@@ -1,0 +1,114 @@
+//! # repl-harness — regenerates every table and figure of the paper
+//!
+//! Each experiment module runs the relevant protocol engine(s) across a
+//! parameter sweep, prints the model prediction next to the measured
+//! rate, and fits the growth exponent the paper claims:
+//!
+//! | Runner | Paper artifact | Claim checked |
+//! |--------|----------------|---------------|
+//! | `e01` | eq. (2)/(10) | single-node wait rate matches the closed form |
+//! | `e02` | eqs. (3)–(5) | single-node deadlock rate ∝ Actions⁵ |
+//! | `e03` | Figure 1 / Table 1 | transactions & messages per user update |
+//! | `e04` | Figure 3 | replication doubles work twice (4× at 2 nodes) |
+//! | `e05` | eqs. (7)–(10) | eager wait rate ∝ Nodes³ |
+//! | `e06` | eqs. (11)–(12) | eager deadlocks ∝ Nodes³ / Actions⁵; 10× nodes ⇒ 1000× |
+//! | `e07` | eq. (13) | scaled database ⇒ linear deadlock growth |
+//! | `e08` | eq. (14) | lazy-group reconciliation growth |
+//! | `e09` | eqs. (15)–(18) | mobile reconciliation vs disconnect window |
+//! | `e10` | eq. (19) | lazy-master deadlocks ∝ Nodes², beats eager |
+//! | `e11` | Table 1 | all five schemes side by side |
+//! | `e12` | §7, Figs. 5–6 | two-tier: commutative ⇒ zero reconciliation |
+//! | `e13` | §6 | convergence & lost updates (Notes / Access) |
+//! | `e14` | Table 2 | the parameter glossary |
+//! | `ablate_parallel` | footnote 2 | parallel replica updates ⇒ quadratic |
+//! | `ablate_latency` | §3/§4 remark | message delay worsens lazy-group rates |
+//! | `hotspot` | model assumption | Zipf hotspots break the uniform model |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::{fmt_ratio, fmt_val, Table};
+
+/// Global run options.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Shrink horizons ~10× (CI / smoke mode). Exponent fits get
+    /// noisier but stay directionally right.
+    pub quick: bool,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            quick: false,
+            seed: repl_workload::presets::SEED,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Pick a horizon long enough to expect `target_events` at the
+    /// model-predicted `rate`, clamped to `[min_secs, max_secs]`
+    /// (both divided by 10 in quick mode).
+    pub fn adaptive_horizon(
+        &self,
+        rate: f64,
+        target_events: f64,
+        min_secs: u64,
+        max_secs: u64,
+    ) -> u64 {
+        let (min_secs, max_secs) = if self.quick {
+            ((min_secs / 10).max(20), (max_secs / 10).max(20))
+        } else {
+            (min_secs, max_secs)
+        };
+        if rate <= 0.0 {
+            return max_secs;
+        }
+        let want = (target_events / rate).ceil() as u64;
+        want.clamp(min_secs, max_secs)
+    }
+
+    /// Fixed horizon, divided by 10 in quick mode (min 20 s).
+    pub fn horizon(&self, secs: u64) -> u64 {
+        if self.quick {
+            (secs / 10).max(20)
+        } else {
+            secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_horizon_scales_inverse_to_rate() {
+        let o = RunOpts {
+            quick: false,
+            seed: 1,
+        };
+        assert_eq!(o.adaptive_horizon(1.0, 30.0, 10, 100_000), 30);
+        assert_eq!(o.adaptive_horizon(0.001, 30.0, 10, 100_000), 30_000);
+        // Clamping.
+        assert_eq!(o.adaptive_horizon(100.0, 30.0, 10, 100_000), 10);
+        assert_eq!(o.adaptive_horizon(0.0, 30.0, 10, 100_000), 100_000);
+    }
+
+    #[test]
+    fn quick_mode_divides() {
+        let o = RunOpts {
+            quick: true,
+            seed: 1,
+        };
+        assert_eq!(o.horizon(200), 20);
+        assert_eq!(o.horizon(5000), 500);
+        // Quick clamps shrink too.
+        assert_eq!(o.adaptive_horizon(0.0001, 30.0, 100, 20_000), 2_000);
+    }
+}

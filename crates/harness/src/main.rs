@@ -1,0 +1,82 @@
+//! `harness` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! harness list                 # show every experiment
+//! harness e6                   # run one experiment
+//! harness e6 e10 e12           # run several
+//! harness all                  # run everything, in order
+//! harness --quick all          # ~10x shorter horizons (smoke mode)
+//! harness --seed 42 e8         # override the root seed
+//! harness --json e8            # machine-readable output
+//! ```
+
+use repl_harness::experiments::{self, Experiment};
+use repl_harness::RunOpts;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: harness [--quick] [--json] [--seed N] <list|all|NAME...>");
+    eprintln!("experiments:");
+    for e in experiments::ALL {
+        eprintln!("  {:16} {}", e.name, e.about);
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut opts = RunOpts::default();
+    let mut json = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--json" => json = true,
+            "--seed" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return usage();
+                };
+                opts.seed = v;
+            }
+            "-h" | "--help" => return usage(),
+            other => names.push(other.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        return usage();
+    }
+    if names.iter().any(|n| n == "list") {
+        for e in experiments::ALL {
+            println!("{:16} {}", e.name, e.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&Experiment> = if names.iter().any(|n| n == "all") {
+        experiments::ALL.iter().collect()
+    } else {
+        let mut v = Vec::new();
+        for n in &names {
+            match experiments::by_name(n) {
+                Some(e) => v.push(e),
+                None => {
+                    eprintln!("unknown experiment `{n}`");
+                    return usage();
+                }
+            }
+        }
+        v
+    };
+    for e in selected {
+        let table = (e.run)(&opts);
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&table).expect("tables serialize")
+            );
+        } else {
+            println!("{}", table.render());
+        }
+    }
+    ExitCode::SUCCESS
+}

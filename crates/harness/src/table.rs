@@ -1,0 +1,146 @@
+//! Plain-text result tables — what `harness eN` prints and what
+//! EXPERIMENTS.md records.
+
+use serde::{Deserialize, Serialize};
+
+/// One experiment's result table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Table {
+    /// Experiment id, e.g. `"E5"`.
+    pub id: String,
+    /// What paper artifact this regenerates.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form conclusions: fitted exponents, claims checked, …
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row. Panics in debug builds on column-count
+    /// mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+/// Format a rate or probability with three significant digits,
+/// switching to scientific notation outside `[0.01, 10_000)`.
+pub fn fmt_val(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if !(0.01..10_000.0).contains(&x.abs()) {
+        format!("{x:.2e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Format a ratio like `measured / predicted`, guarding zero.
+pub fn fmt_ratio(measured: f64, predicted: f64) -> String {
+    if predicted == 0.0 {
+        "—".to_owned()
+    } else {
+        format!("{:.2}", measured / predicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("E0", "demo", &["a", "long-header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["1000".into(), "x".into(), "yy".into()]);
+        t.note("fitted exponent 3.0");
+        let r = t.render();
+        assert!(r.contains("== E0: demo =="));
+        assert!(r.contains("long-header"));
+        assert!(r.contains("note: fitted exponent 3.0"));
+        // All data lines have the same alignment prefix width.
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    fn fmt_val_ranges() {
+        assert_eq!(fmt_val(0.0), "0");
+        assert_eq!(fmt_val(1.5), "1.500");
+        assert!(fmt_val(1e-6).contains('e'));
+        assert!(fmt_val(1e7).contains('e'));
+    }
+
+    #[test]
+    fn fmt_ratio_handles_zero() {
+        assert_eq!(fmt_ratio(1.0, 0.0), "—");
+        assert_eq!(fmt_ratio(3.0, 2.0), "1.50");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Table::new("E1", "t", &["x"]);
+        t.row(vec!["1".into()]);
+        let s = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+}

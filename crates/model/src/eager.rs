@@ -1,0 +1,227 @@
+//! Eager-replication analysis — equations (6)–(13).
+//!
+//! In the paper's eager model each update transaction applies its writes
+//! at every replica *serially inside the same transaction* (footnote 2
+//! discusses the parallel-broadcast alternative, modelled here by
+//! [`ParallelismModel::Parallel`]).
+
+use crate::Params;
+
+/// Whether replica updates within an eager transaction are applied
+/// serially (the paper's primary model) or broadcast in parallel (the
+/// footnote-2 variant, which keeps the transaction duration independent
+/// of the node count and tames the cubic deadlock growth to quadratic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelismModel {
+    /// Replica updates are serialized: the transaction performs
+    /// `Actions × Nodes` sequential actions (the paper's main model).
+    #[default]
+    Serial,
+    /// Replica updates happen in parallel: the transaction still
+    /// performs `Actions × Nodes` units of system work, but its elapsed
+    /// duration stays `Actions × Action_Time`.
+    Parallel,
+}
+
+/// Equation (6): the size (in actions) of one eager transaction,
+/// `Transaction_Size = Actions × Nodes`.
+pub fn transaction_size(p: &Params) -> f64 {
+    p.actions * p.nodes
+}
+
+/// Equation (6): the duration of one eager transaction.
+///
+/// Serial model: `Actions × Nodes × Action_Time`. Parallel model:
+/// `Actions × Action_Time` (replicas updated concurrently).
+pub fn transaction_duration(p: &Params, par: ParallelismModel) -> f64 {
+    match par {
+        ParallelismModel::Serial => p.actions * p.nodes * p.action_time,
+        ParallelismModel::Parallel => p.actions * p.action_time,
+    }
+}
+
+/// Equation (6): the aggregate transaction origination rate,
+/// `Total_TPS = TPS × Nodes`.
+pub fn total_tps(p: &Params) -> f64 {
+    p.tps * p.nodes
+}
+
+/// Equation (7): the number of concurrently active transactions in the
+/// whole (serial-update) system,
+///
+/// ```text
+/// Total_Transactions = TPS × Actions × Action_Time × Nodes²
+/// ```
+///
+/// (each of the `TPS × Nodes` per-second arrivals lives `Nodes` times
+/// longer). Under the parallel model the population only grows linearly.
+pub fn total_transactions(p: &Params, par: ParallelismModel) -> f64 {
+    match par {
+        ParallelismModel::Serial => p.tps * p.actions * p.action_time * p.nodes * p.nodes,
+        ParallelismModel::Parallel => p.tps * p.actions * p.action_time * p.nodes,
+    }
+}
+
+/// Equation (8): the total update work rate of the system in actions per
+/// second,
+///
+/// ```text
+/// Action_Rate = Total_TPS × Transaction_Size = TPS × Actions × Nodes²
+/// ```
+///
+/// The same N² rate applies to lazy systems — eager systems have
+/// fewer-longer transactions, lazy systems more-shorter ones.
+pub fn action_rate(p: &Params) -> f64 {
+    p.tps * p.actions * p.nodes * p.nodes
+}
+
+/// Equation (9): the probability that one eager transaction waits,
+///
+/// ```text
+/// PW_eager ≈ TPS × Action_Time × Actions³ × Nodes² / (2 × DB_Size)
+/// ```
+pub fn wait_probability(p: &Params) -> f64 {
+    p.tps * p.action_time * p.actions.powi(3) * p.nodes * p.nodes / (2.0 * p.db_size)
+}
+
+/// Equation (10): the system-wide eager wait rate,
+///
+/// ```text
+/// Total_Eager_Wait_Rate
+///   = TPS² × Action_Time × (Actions × Nodes)³ / (2 × DB_Size)
+/// ```
+///
+/// Cubic in the number of nodes.
+pub fn total_wait_rate(p: &Params) -> f64 {
+    p.tps * p.tps * p.action_time * (p.actions * p.nodes).powi(3) / (2.0 * p.db_size)
+}
+
+/// Equation (11): the probability that one eager transaction deadlocks,
+///
+/// ```text
+/// PD_eager ≈ TPS × Action_Time × Actions⁵ × Nodes² / (4 × DB_Size²)
+/// ```
+pub fn deadlock_probability(p: &Params) -> f64 {
+    p.tps * p.action_time * p.actions.powi(5) * p.nodes * p.nodes
+        / (4.0 * p.db_size * p.db_size)
+}
+
+/// Equation (12): the system-wide eager deadlock rate,
+///
+/// ```text
+/// Total_Eager_Deadlock_Rate
+///   = TPS² × Action_Time × Actions⁵ × Nodes³ / (4 × DB_Size²)
+/// ```
+///
+/// This is the paper's headline instability: a ten-fold increase in
+/// nodes yields a thousand-fold increase in deadlocks.
+pub fn total_deadlock_rate(p: &Params) -> f64 {
+    p.tps * p.tps * p.action_time * p.actions.powi(5) * p.nodes.powi(3)
+        / (4.0 * p.db_size * p.db_size)
+}
+
+/// Equation (13): the eager deadlock rate when the database grows
+/// proportionally with the node count (`DB_Size → DB_Size × Nodes`),
+///
+/// ```text
+/// Eager_Deadlock_Rate_Scaled_DB
+///   = TPS² × Action_Time × Actions⁵ × Nodes / (4 × DB_Size²)
+/// ```
+///
+/// Growth drops from cubic to linear — still unstable, but far better.
+pub fn deadlock_rate_scaled_db(p: &Params) -> f64 {
+    p.tps * p.tps * p.action_time * p.actions.powi(5) * p.nodes
+        / (4.0 * p.db_size * p.db_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single;
+
+    fn base() -> Params {
+        Params::new(10_000.0, 4.0, 10.0, 4.0, 0.01)
+    }
+
+    #[test]
+    fn eq6_size_and_duration() {
+        let p = base();
+        assert_eq!(transaction_size(&p), 16.0);
+        assert!((transaction_duration(&p, ParallelismModel::Serial) - 0.16).abs() < 1e-12);
+        assert!((transaction_duration(&p, ParallelismModel::Parallel) - 0.04).abs() < 1e-12);
+        assert_eq!(total_tps(&p), 40.0);
+    }
+
+    #[test]
+    fn eq7_population_quadratic_serial_linear_parallel() {
+        let p = base();
+        let serial = total_transactions(&p, ParallelismModel::Serial);
+        let parallel = total_transactions(&p, ParallelismModel::Parallel);
+        assert!((serial / parallel - p.nodes).abs() < 1e-9);
+        // Doubling nodes quadruples the serial population.
+        let p2 = base().with_nodes(8.0);
+        let ratio =
+            total_transactions(&p2, ParallelismModel::Serial) / serial;
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq8_action_rate_quadratic() {
+        let p1 = base();
+        let p2 = base().with_nodes(8.0);
+        assert!((action_rate(&p2) / action_rate(&p1) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq10_wait_rate_cubic_in_nodes() {
+        let p1 = base();
+        let p2 = base().with_nodes(8.0);
+        assert!((total_wait_rate(&p2) / total_wait_rate(&p1) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq12_ten_fold_nodes_thousand_fold_deadlocks() {
+        let p1 = base().with_nodes(1.0);
+        let p10 = base().with_nodes(10.0);
+        let ratio = total_deadlock_rate(&p10) / total_deadlock_rate(&p1);
+        assert!((ratio - 1000.0).abs() < 1e-6, "got {ratio}");
+    }
+
+    #[test]
+    fn eq12_ten_fold_actions_hundred_thousand_fold_deadlocks() {
+        let p1 = base();
+        let p10 = base().with_actions(40.0);
+        let ratio = total_deadlock_rate(&p10) / total_deadlock_rate(&p1);
+        assert!((ratio - 100_000.0).abs() / 100_000.0 < 1e-9, "got {ratio}");
+    }
+
+    #[test]
+    fn eq12_reduces_to_eq5_at_one_node() {
+        let p = base().with_nodes(1.0);
+        let eager = total_deadlock_rate(&p);
+        let single = single::node_deadlock_rate(&p);
+        assert!((eager - single).abs() / single < 1e-9);
+    }
+
+    #[test]
+    fn eq13_scaled_db_linear() {
+        let p1 = base().with_nodes(1.0);
+        let p10 = base().with_nodes(10.0);
+        let ratio = deadlock_rate_scaled_db(&p10) / deadlock_rate_scaled_db(&p1);
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq13_is_eq12_with_db_scaled_by_nodes() {
+        // Substituting DB_Size × Nodes into eq (12) must reproduce eq (13):
+        // Nodes³ / (DB·N)² = Nodes / DB².
+        let p = base().with_nodes(6.0);
+        let scaled = Params {
+            db_size: p.db_size * p.nodes,
+            ..p
+        };
+        let via_eq12 = total_deadlock_rate(&scaled);
+        let via_eq13 = deadlock_rate_scaled_db(&p);
+        assert!((via_eq12 - via_eq13).abs() / via_eq13 < 1e-9);
+    }
+}

@@ -1,0 +1,185 @@
+//! Lazy-replication analysis — equations (14)–(19).
+//!
+//! Lazy-group replication converts the waits of an eager system into
+//! *reconciliations* (equation 14); disconnected (mobile) operation makes
+//! this far worse (equations 15–18); lazy-master replication trades
+//! reconciliations back for deadlocks at an `N²` rate (equation 19).
+
+use crate::Params;
+
+/// Equation (14): the system-wide lazy-group reconciliation rate for
+/// connected operation. Transactions that would *wait* under eager
+/// replication instead require reconciliation, so the rate follows the
+/// eager wait-rate curve (equation 10):
+///
+/// ```text
+/// Lazy_Group_Reconciliation_Rate
+///   = TPS² × Action_Time × (Actions × Nodes)³ / (2 × DB_Size)
+/// ```
+pub fn group_reconciliation_rate(p: &Params) -> f64 {
+    crate::eager::total_wait_rate(p)
+}
+
+/// Equation (15): the number of distinct pending *outbound* object
+/// updates a mobile node has accumulated when it reconnects,
+///
+/// ```text
+/// Outbound_Updates ≈ Disconnect_Time × TPS × Actions
+/// ```
+pub fn outbound_updates(p: &Params) -> f64 {
+    p.disconnected_time * p.tps * p.actions
+}
+
+/// Equation (16): the pending *inbound* updates from the rest of the
+/// network, `(Nodes − 1) ×` the outbound count.
+pub fn inbound_updates(p: &Params) -> f64 {
+    (p.nodes - 1.0) * outbound_updates(p)
+}
+
+/// Equation (17): the chance that a reconnecting mobile node needs
+/// reconciliation — the chance its inbound and outbound update sets
+/// overlap,
+///
+/// ```text
+/// P(collision) ≈ Inbound × Outbound / DB_Size
+///              ≈ Nodes × (Disconnect_Time × TPS × Actions)² / DB_Size
+/// ```
+///
+/// The paper simplifies `Nodes − 1` to `Nodes` in the final form; we keep
+/// the exact product so the two agree for large `Nodes`.
+pub fn mobile_collision_probability(p: &Params) -> f64 {
+    inbound_updates(p) * outbound_updates(p) / p.db_size
+}
+
+/// Equation (18): the reconciliation rate for the whole mobile system —
+/// every node runs one reconnect cycle per `Disconnect_Time`, so
+///
+/// ```text
+/// Lazy_Group_Reconciliation_Rate
+///   ≈ (Disconnect_Time) × (TPS × Actions × Nodes)² / DB_Size
+/// ```
+///
+/// Quadratic in the disconnect window and in `TPS × Actions × Nodes`.
+pub fn mobile_reconciliation_rate(p: &Params) -> f64 {
+    mobile_collision_probability(p) * p.nodes / p.disconnected_time
+}
+
+/// Equation (19): the deadlock rate of a lazy-master system. Master
+/// transactions behave like a single-node system running the *aggregate*
+/// rate `TPS × Nodes`:
+///
+/// ```text
+/// Lazy_Master_Deadlock_Rate
+///   = (TPS × Nodes)² × Action_Time × Actions⁵ / (4 × DB_Size²)
+/// ```
+///
+/// Quadratic in nodes — better than eager's cubic (shorter transactions),
+/// but still unstable.
+pub fn master_deadlock_rate(p: &Params) -> f64 {
+    let total_tps = p.tps * p.nodes;
+    total_tps * total_tps * p.action_time * p.actions.powi(5) / (4.0 * p.db_size * p.db_size)
+}
+
+/// The two-tier scheme executes its *base* transactions under the
+/// lazy-master discipline, so its base-transaction deadlock rate is
+/// equation (19). Its reconciliation rate is zero when all transactions
+/// commute (§7); otherwise it is driven by the acceptance-criteria
+/// failure rate, which is application-specific and measured (not
+/// predicted) by the harness.
+pub fn two_tier_base_deadlock_rate(p: &Params) -> f64 {
+    master_deadlock_rate(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Params {
+        Params::new(10_000.0, 4.0, 10.0, 4.0, 0.01).with_disconnected_time(3600.0)
+    }
+
+    #[test]
+    fn eq14_equals_eager_wait_rate() {
+        let p = base();
+        assert_eq!(
+            group_reconciliation_rate(&p),
+            crate::eager::total_wait_rate(&p)
+        );
+    }
+
+    #[test]
+    fn eq14_cubic_in_nodes() {
+        let p1 = base();
+        let p2 = base().with_nodes(8.0);
+        let ratio = group_reconciliation_rate(&p2) / group_reconciliation_rate(&p1);
+        assert!((ratio - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq15_16_update_sets() {
+        let p = base();
+        // 3600 s * 10 tps * 4 actions = 144_000 outbound updates.
+        assert!((outbound_updates(&p) - 144_000.0).abs() < 1e-6);
+        assert!((inbound_updates(&p) - 3.0 * 144_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq17_collision_probability_formula() {
+        let p = base();
+        let expected =
+            (p.nodes - 1.0) * (p.disconnected_time * p.tps * p.actions).powi(2) / p.db_size;
+        let got = mobile_collision_probability(&p);
+        assert!((got - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn eq18_quadratic_in_disconnect_time() {
+        // rate ∝ Disconnect_Time (the collision probability is quadratic,
+        // but cycles happen 1/Disconnect_Time as often).
+        let p1 = base().with_disconnected_time(100.0);
+        let p2 = base().with_disconnected_time(200.0);
+        let ratio = mobile_reconciliation_rate(&p2) / mobile_reconciliation_rate(&p1);
+        assert!((ratio - 2.0).abs() < 1e-9, "got {ratio}");
+    }
+
+    #[test]
+    fn eq18_quadratic_in_tps() {
+        let p1 = base();
+        let p2 = base().with_tps(20.0);
+        let ratio = mobile_reconciliation_rate(&p2) / mobile_reconciliation_rate(&p1);
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq19_quadratic_in_nodes() {
+        let p1 = base().with_nodes(1.0);
+        let p10 = base().with_nodes(10.0);
+        let ratio = master_deadlock_rate(&p10) / master_deadlock_rate(&p1);
+        assert!((ratio - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq19_reduces_to_eq5_at_one_node() {
+        let p = base().with_nodes(1.0);
+        let lazy = master_deadlock_rate(&p);
+        let single = crate::single::node_deadlock_rate(&p);
+        assert!((lazy - single).abs() / single < 1e-12);
+    }
+
+    #[test]
+    fn lazy_master_beats_eager_group_beyond_one_node() {
+        for n in 2..=16 {
+            let p = base().with_nodes(n as f64);
+            assert!(
+                master_deadlock_rate(&p) < crate::eager::total_deadlock_rate(&p),
+                "lazy-master should deadlock less at {n} nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn two_tier_base_rate_is_lazy_master_rate() {
+        let p = base().with_nodes(5.0);
+        assert_eq!(two_tier_base_deadlock_rate(&p), master_deadlock_rate(&p));
+    }
+}

@@ -1,0 +1,234 @@
+//! The model's parameter set — Table 2 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the analytic replication model (the paper's Table 2).
+///
+/// Every rate equation in the paper is a function of (a subset of) these
+/// values. All times are in seconds; rates are per second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// `DB_Size` — number of distinct objects in the database.
+    pub db_size: f64,
+    /// `Nodes` — number of nodes; each node replicates all objects.
+    pub nodes: f64,
+    /// `TPS` — transactions per second *originating at each node*.
+    pub tps: f64,
+    /// `Actions` — number of updates performed by one transaction.
+    pub actions: f64,
+    /// `Action_Time` — time to perform one action (seconds).
+    pub action_time: f64,
+    /// `Disconnected_Time` — mean time a mobile node stays disconnected
+    /// (seconds). Only used by the mobile equations (15)–(18).
+    pub disconnected_time: f64,
+    /// `Time_Between_Disconnects` — mean time between network disconnects
+    /// of a node. Listed in Table 2; the closed forms in the paper do not
+    /// use it directly (the disconnect cycle is driven by
+    /// `disconnected_time`), but the simulator's disconnect schedule does.
+    pub time_between_disconnects: f64,
+}
+
+impl Default for Params {
+    /// A small but representative default configuration: a 10 000-object
+    /// database, 1-node baseline, 10 TPS of 4-action transactions at
+    /// 10 ms per action. These are in the regime the paper reasons about
+    /// (`PW << 1`, `DB_Size >> Nodes`).
+    fn default() -> Self {
+        Self {
+            db_size: 10_000.0,
+            nodes: 1.0,
+            tps: 10.0,
+            actions: 4.0,
+            action_time: 0.01,
+            disconnected_time: 0.0,
+            time_between_disconnects: f64::INFINITY,
+        }
+    }
+}
+
+/// An error produced when validating a [`Params`] value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// A field that must be strictly positive was zero or negative.
+    NonPositive(&'static str),
+    /// A field that must be finite was NaN or infinite.
+    NonFinite(&'static str),
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::NonPositive(field) => {
+                write!(f, "model parameter `{field}` must be > 0")
+            }
+            ParamError::NonFinite(field) => {
+                write!(f, "model parameter `{field}` must be finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl Params {
+    /// Create parameters with the core five knobs; the mobile knobs start
+    /// disabled (always connected).
+    pub fn new(db_size: f64, nodes: f64, tps: f64, actions: f64, action_time: f64) -> Self {
+        Self {
+            db_size,
+            nodes,
+            tps,
+            actions,
+            action_time,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style setter for the number of nodes.
+    #[must_use]
+    pub fn with_nodes(mut self, nodes: f64) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Builder-style setter for the per-node transaction rate.
+    #[must_use]
+    pub fn with_tps(mut self, tps: f64) -> Self {
+        self.tps = tps;
+        self
+    }
+
+    /// Builder-style setter for the transaction size.
+    #[must_use]
+    pub fn with_actions(mut self, actions: f64) -> Self {
+        self.actions = actions;
+        self
+    }
+
+    /// Builder-style setter for the database size.
+    #[must_use]
+    pub fn with_db_size(mut self, db_size: f64) -> Self {
+        self.db_size = db_size;
+        self
+    }
+
+    /// Builder-style setter for the mobile disconnect window.
+    #[must_use]
+    pub fn with_disconnected_time(mut self, t: f64) -> Self {
+        self.disconnected_time = t;
+        self
+    }
+
+    /// Check that all fields are usable by the equations.
+    ///
+    /// `disconnected_time` may be zero (meaning "never disconnected") and
+    /// `time_between_disconnects` may be infinite (same meaning); every
+    /// other field must be strictly positive and finite.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        let positive = [
+            (self.db_size, "db_size"),
+            (self.nodes, "nodes"),
+            (self.tps, "tps"),
+            (self.actions, "actions"),
+            (self.action_time, "action_time"),
+        ];
+        for (value, name) in positive {
+            if !value.is_finite() {
+                return Err(ParamError::NonFinite(name));
+            }
+            if value <= 0.0 {
+                return Err(ParamError::NonPositive(name));
+            }
+        }
+        if self.disconnected_time.is_nan() || self.disconnected_time < 0.0 {
+            return Err(ParamError::NonFinite("disconnected_time"));
+        }
+        if self.time_between_disconnects.is_nan() || self.time_between_disconnects < 0.0 {
+            return Err(ParamError::NonFinite("time_between_disconnects"));
+        }
+        Ok(())
+    }
+
+    /// Equation (1): the number of concurrent transactions originating at
+    /// one node,
+    /// `Transactions = TPS × Actions × Action_Time`.
+    pub fn transactions_per_node(&self) -> f64 {
+        self.tps * self.actions * self.action_time
+    }
+
+    /// Duration of one unreplicated transaction,
+    /// `Actions × Action_Time` (used to convert hazards into rates).
+    pub fn transaction_duration(&self) -> f64 {
+        self.actions * self.action_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        Params::default().validate().unwrap();
+    }
+
+    #[test]
+    fn equation_1_concurrent_transactions() {
+        let p = Params::new(1000.0, 1.0, 50.0, 5.0, 0.02);
+        // 50 tps * 5 actions * 0.02 s = 5 concurrent transactions.
+        assert!((p.transactions_per_node() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let p = Params::default()
+            .with_nodes(7.0)
+            .with_tps(3.0)
+            .with_actions(9.0)
+            .with_db_size(123.0)
+            .with_disconnected_time(60.0);
+        assert_eq!(p.nodes, 7.0);
+        assert_eq!(p.tps, 3.0);
+        assert_eq!(p.actions, 9.0);
+        assert_eq!(p.db_size, 123.0);
+        assert_eq!(p.disconnected_time, 60.0);
+    }
+
+    #[test]
+    fn zero_db_size_rejected() {
+        let p = Params::new(0.0, 1.0, 1.0, 1.0, 1.0);
+        assert_eq!(p.validate(), Err(ParamError::NonPositive("db_size")));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let p = Params {
+            tps: f64::NAN,
+            ..Params::default()
+        };
+        assert_eq!(p.validate(), Err(ParamError::NonFinite("tps")));
+    }
+
+    #[test]
+    fn negative_disconnect_rejected() {
+        let p = Params {
+            disconnected_time: -1.0,
+            ..Params::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn infinite_time_between_disconnects_allowed() {
+        // The default "never disconnects" sentinel must validate.
+        assert!(Params::default().validate().is_ok());
+    }
+
+    #[test]
+    fn param_error_display() {
+        let e = ParamError::NonPositive("tps");
+        assert!(e.to_string().contains("tps"));
+        let e = ParamError::NonFinite("nodes");
+        assert!(e.to_string().contains("finite"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Inverse solvers — capacity planning with the paper's model.
+//!
+//! The equations answer "how bad will it get?"; these functions invert
+//! them to answer the questions a deployment engineer actually asks:
+//! how large must the database (or how small the transaction) be to
+//! keep the failure rate acceptable at a given scale, and how far can a
+//! system scale before it crosses a failure budget.
+
+use crate::Params;
+
+/// The `DB_Size` required to keep the *eager* deadlock rate
+/// (equation 12) at or below `target_rate`, holding everything else in
+/// `p` fixed. Returns `None` for a non-positive target.
+///
+/// From eq. (12): `rate = K / DB_Size²` ⇒ `DB_Size = sqrt(K / target)`.
+pub fn eager_db_size_for_deadlock_rate(p: &Params, target_rate: f64) -> Option<f64> {
+    if target_rate <= 0.0 {
+        return None;
+    }
+    let k = p.tps * p.tps * p.action_time * p.actions.powi(5) * p.nodes.powi(3) / 4.0;
+    Some((k / target_rate).sqrt())
+}
+
+/// The `DB_Size` required to keep the *lazy-master* deadlock rate
+/// (equation 19) at or below `target_rate`.
+pub fn master_db_size_for_deadlock_rate(p: &Params, target_rate: f64) -> Option<f64> {
+    if target_rate <= 0.0 {
+        return None;
+    }
+    let total_tps = p.tps * p.nodes;
+    let k = total_tps * total_tps * p.action_time * p.actions.powi(5) / 4.0;
+    Some((k / target_rate).sqrt())
+}
+
+/// The largest node count whose eager deadlock rate (equation 12) stays
+/// at or below `target_rate` with the database held fixed. Returns 0
+/// if even one node exceeds the budget.
+///
+/// From eq. (12): `Nodes = cbrt(target × 4 × DB² / (TPS² × AT × A⁵))`.
+pub fn eager_max_nodes_for_deadlock_rate(p: &Params, target_rate: f64) -> u64 {
+    if target_rate <= 0.0 {
+        return 0;
+    }
+    let denom = p.tps * p.tps * p.action_time * p.actions.powi(5);
+    if denom <= 0.0 {
+        return 0;
+    }
+    let n = (target_rate * 4.0 * p.db_size * p.db_size / denom).cbrt();
+    n.floor() as u64
+}
+
+/// The largest transaction size (`Actions`) whose eager deadlock rate
+/// stays at or below `target_rate` — the fifth-root inversion that
+/// quantifies "keep transactions small".
+pub fn eager_max_actions_for_deadlock_rate(p: &Params, target_rate: f64) -> u64 {
+    if target_rate <= 0.0 {
+        return 0;
+    }
+    let denom = p.tps * p.tps * p.action_time * p.nodes.powi(3);
+    if denom <= 0.0 {
+        return 0;
+    }
+    let a = (target_rate * 4.0 * p.db_size * p.db_size / denom).powf(0.2);
+    a.floor() as u64
+}
+
+/// The longest mobile disconnect window whose lazy-group
+/// reconciliation rate (equation 18) stays at or below `target_rate`.
+///
+/// From eq. (18) (with the exact `(Nodes − 1) × Nodes` factor the
+/// implementation keeps): `rate = D × (TPS × Actions)² × (N−1) × N / DB`
+/// ⇒ `D = target × DB / ((TPS × Actions)² × (N−1) × N)`.
+pub fn mobile_max_disconnect_secs(p: &Params, target_rate: f64) -> f64 {
+    if target_rate <= 0.0 {
+        return 0.0;
+    }
+    let k = (p.tps * p.actions).powi(2) * p.nodes * (p.nodes - 1.0) / p.db_size;
+    if k <= 0.0 {
+        return f64::INFINITY;
+    }
+    target_rate / k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eager, lazy};
+
+    fn base() -> Params {
+        Params::new(2_000.0, 5.0, 20.0, 4.0, 0.01)
+    }
+
+    #[test]
+    fn db_size_inversion_round_trips() {
+        let p = base();
+        let rate = eager::total_deadlock_rate(&p);
+        let db = eager_db_size_for_deadlock_rate(&p, rate).unwrap();
+        assert!((db - p.db_size).abs() / p.db_size < 1e-9);
+    }
+
+    #[test]
+    fn master_db_size_inversion_round_trips() {
+        let p = base();
+        let rate = lazy::master_deadlock_rate(&p);
+        let db = master_db_size_for_deadlock_rate(&p, rate).unwrap();
+        assert!((db - p.db_size).abs() / p.db_size < 1e-9);
+    }
+
+    #[test]
+    fn max_nodes_is_consistent_with_forward_model() {
+        let p = base();
+        let target = 0.01;
+        let n = eager_max_nodes_for_deadlock_rate(&p, target);
+        assert!(n >= 1);
+        // At the returned count the budget holds; one more node breaks it.
+        assert!(eager::total_deadlock_rate(&p.with_nodes(n as f64)) <= target * (1.0 + 1e-9));
+        assert!(eager::total_deadlock_rate(&p.with_nodes((n + 1) as f64)) > target);
+    }
+
+    #[test]
+    fn max_actions_is_consistent_with_forward_model() {
+        let p = base();
+        let target = 0.05;
+        let a = eager_max_actions_for_deadlock_rate(&p, target);
+        assert!(a >= 1);
+        assert!(eager::total_deadlock_rate(&p.with_actions(a as f64)) <= target * (1.0 + 1e-9));
+        assert!(eager::total_deadlock_rate(&p.with_actions((a + 1) as f64)) > target);
+    }
+
+    #[test]
+    fn mobile_window_inversion_round_trips() {
+        let p = base().with_db_size(20_000.0).with_tps(1.0);
+        let d = mobile_max_disconnect_secs(&p, 0.05);
+        let check = lazy::mobile_reconciliation_rate(&p.with_disconnected_time(d));
+        assert!((check - 0.05).abs() / 0.05 < 0.05, "rate {check}");
+    }
+
+    #[test]
+    fn tighter_budgets_demand_bigger_databases() {
+        let p = base();
+        let loose = eager_db_size_for_deadlock_rate(&p, 1.0).unwrap();
+        let tight = eager_db_size_for_deadlock_rate(&p, 0.001).unwrap();
+        assert!(tight > loose * 10.0);
+    }
+
+    #[test]
+    fn degenerate_targets() {
+        let p = base();
+        assert!(eager_db_size_for_deadlock_rate(&p, 0.0).is_none());
+        assert_eq!(eager_max_nodes_for_deadlock_rate(&p, -1.0), 0);
+        assert_eq!(mobile_max_disconnect_secs(&p, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Model-validity diagnostics.
+//!
+//! The paper's closed forms are average-case approximations that hold
+//! when contention is light: `PW ≪ 1`, the concurrent transaction
+//! population is far below `DB_Size`, and the offered lock demand does
+//! not saturate the object space (the "time-dilation" the paper calls a
+//! second-order effect and ignores). This module quantifies those
+//! assumptions so experiment configurations can be checked before
+//! trusting the equations — the harness presets all pass
+//! [`RegimeReport::is_valid`].
+
+use crate::{eager, single, Params};
+
+/// Quantified model assumptions for a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimeReport {
+    /// Single-node wait probability, equation (2). Must be ≪ 1.
+    pub pw: f64,
+    /// Eager wait probability at the configured node count,
+    /// equation (9). Must be ≪ 1 for the replicated equations.
+    pub pw_eager: f64,
+    /// Concurrent eager transactions (equation 7) over `DB_Size` —
+    /// the fraction of the database locked at any instant. Must be ≪ 1.
+    pub lock_fraction: f64,
+    /// Offered lock-hold demand per object: arrival rate × locks held ×
+    /// mean hold time / DB_Size. Above ~0.5 the open system stops being
+    /// stable (queues grow without bound) — a saturation the model does
+    /// not describe at all.
+    pub utilization: f64,
+}
+
+/// Thresholds for [`RegimeReport::is_valid`].
+const MAX_PW: f64 = 0.5;
+const MAX_LOCK_FRACTION: f64 = 0.2;
+const MAX_UTILIZATION: f64 = 0.5;
+
+impl RegimeReport {
+    /// Evaluate the regime of a configuration under *eager serial*
+    /// replication — the most demanding scheme (longest transactions).
+    pub fn for_eager(p: &Params) -> Self {
+        let population = eager::total_transactions(p, eager::ParallelismModel::Serial);
+        // Each transaction holds on average half its locks for half its
+        // lifetime ⇒ mean locked objects ≈ population × Actions / 2.
+        let lock_fraction = population * p.actions / (2.0 * p.db_size);
+        // Lock-hold demand per object: every arriving transaction will
+        // hold each of its Actions locks for about half the transaction
+        // duration.
+        let arrival = p.tps * p.nodes;
+        let duration = p.actions * p.nodes * p.action_time;
+        let utilization = arrival * p.actions * (duration / 2.0) / p.db_size;
+        RegimeReport {
+            pw: single::wait_probability(p),
+            pw_eager: eager::wait_probability(p),
+            lock_fraction,
+            utilization,
+        }
+    }
+
+    /// Evaluate the regime for single-node / lazy-master execution
+    /// (transaction duration does not grow with the node count).
+    pub fn for_master(p: &Params) -> Self {
+        let arrival = p.tps * p.nodes;
+        let duration = p.actions * p.action_time;
+        let population = arrival * duration;
+        RegimeReport {
+            pw: single::wait_probability(p),
+            pw_eager: single::wait_probability(p),
+            lock_fraction: population * p.actions / (2.0 * p.db_size),
+            utilization: arrival * p.actions * (duration / 2.0) / p.db_size,
+        }
+    }
+
+    /// Whether the closed forms can be trusted for this configuration.
+    pub fn is_valid(&self) -> bool {
+        self.pw_eager < MAX_PW
+            && self.lock_fraction < MAX_LOCK_FRACTION
+            && self.utilization < MAX_UTILIZATION
+    }
+
+    /// Human-readable summary of any violated assumption.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.pw_eager >= MAX_PW {
+            v.push(format!(
+                "PW_eager = {:.3} (≥ {MAX_PW}): waits are no longer rare",
+                self.pw_eager
+            ));
+        }
+        if self.lock_fraction >= MAX_LOCK_FRACTION {
+            v.push(format!(
+                "lock fraction = {:.3} (≥ {MAX_LOCK_FRACTION}): population comparable to DB_Size",
+                self.lock_fraction
+            ));
+        }
+        if self.utilization >= MAX_UTILIZATION {
+            v.push(format!(
+                "utilization = {:.3} (≥ {MAX_UTILIZATION}): open system near saturation",
+                self.utilization
+            ));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_load_is_valid() {
+        let p = Params::new(10_000.0, 2.0, 10.0, 4.0, 0.01);
+        let r = RegimeReport::for_eager(&p);
+        assert!(r.is_valid(), "{r:?}");
+        assert!(r.violations().is_empty());
+    }
+
+    #[test]
+    fn saturated_load_is_flagged() {
+        // Tiny database, huge load: every assumption breaks.
+        let p = Params::new(20.0, 8.0, 50.0, 6.0, 0.01);
+        let r = RegimeReport::for_eager(&p);
+        assert!(!r.is_valid());
+        assert!(!r.violations().is_empty());
+    }
+
+    #[test]
+    fn master_regime_is_laxer_than_eager() {
+        // Same parameters: eager's longer transactions stress the
+        // system more.
+        let p = Params::new(1_000.0, 8.0, 10.0, 4.0, 0.01);
+        let e = RegimeReport::for_eager(&p);
+        let m = RegimeReport::for_master(&p);
+        assert!(e.utilization > m.utilization);
+        assert!(e.lock_fraction > m.lock_fraction);
+    }
+
+    #[test]
+    fn harness_presets_are_in_regime() {
+        // Guard the experiment configurations used throughout the
+        // harness: the model must be applicable where we compare
+        // against it.
+        let single = Params::new(2_000.0, 1.0, 50.0, 4.0, 0.01);
+        assert!(RegimeReport::for_master(&single).is_valid());
+        let scaleup10 = Params::new(2_000.0, 10.0, 20.0, 4.0, 0.01);
+        assert!(RegimeReport::for_eager(&scaleup10).is_valid());
+    }
+}

@@ -1,0 +1,118 @@
+//! Single-node wait and deadlock analysis — equations (2)–(5).
+//!
+//! These are the building blocks: the replicated-system equations in
+//! [`crate::eager`] and [`crate::lazy`] are obtained by substituting the
+//! replicated transaction population into the same conflict argument.
+
+use crate::Params;
+
+/// Equation (2): the probability that a transaction waits at least once
+/// during its lifetime on a single node.
+///
+/// Each of the `Actions` requests hits a lock held by one of the other
+/// `Transactions` concurrent transactions (each holding about
+/// `Actions / 2` locks) with probability
+/// `Transactions × Actions / (2 × DB_Size)`, so
+///
+/// ```text
+/// PW ≈ Transactions × Actions² / (2 × DB_Size)
+/// ```
+pub fn wait_probability(p: &Params) -> f64 {
+    p.transactions_per_node() * p.actions * p.actions / (2.0 * p.db_size)
+}
+
+/// Equation (3): the probability that a transaction deadlocks during its
+/// lifetime (its *deadlock hazard*),
+///
+/// ```text
+/// PD ≈ PW² / Transactions
+///    = TPS × Action_Time × Actions⁵ / (4 × DB_Size²)
+/// ```
+///
+/// A deadlock needs a cycle; length-2 cycles dominate when `PW << 1`.
+pub fn deadlock_probability(p: &Params) -> f64 {
+    p.tps * p.action_time * p.actions.powi(5) / (4.0 * p.db_size * p.db_size)
+}
+
+/// Equation (4): the rate (per second) at which *one* transaction
+/// deadlocks — the hazard of equation (3) divided by the transaction
+/// lifetime,
+///
+/// ```text
+/// Trans_Deadlock_Rate = TPS × Actions⁴ / (4 × DB_Size²)
+/// ```
+pub fn transaction_deadlock_rate(p: &Params) -> f64 {
+    p.tps * p.actions.powi(4) / (4.0 * p.db_size * p.db_size)
+}
+
+/// Equation (5): the deadlock rate of the whole node — equation (4)
+/// multiplied by the concurrent transaction count of equation (1),
+///
+/// ```text
+/// Node_Deadlock_Rate = TPS² × Action_Time × Actions⁵ / (4 × DB_Size²)
+/// ```
+pub fn node_deadlock_rate(p: &Params) -> f64 {
+    p.tps * p.tps * p.action_time * p.actions.powi(5) / (4.0 * p.db_size * p.db_size)
+}
+
+/// The wait *rate* for a single node (waits per second): `PW` divided by
+/// the transaction duration, times the concurrent transaction count.
+/// The paper derives the system-wide analogue in equation (10); this is
+/// the `Nodes = 1` specialization, used by experiment E1 to check the
+/// simulator against the model.
+pub fn node_wait_rate(p: &Params) -> f64 {
+    wait_probability(p) / p.transaction_duration() * p.transactions_per_node()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Params {
+        Params::new(10_000.0, 1.0, 10.0, 4.0, 0.01)
+    }
+
+    #[test]
+    fn eq2_matches_closed_form() {
+        let p = base();
+        // Transactions = 10*4*0.01 = 0.4; PW = 0.4*16/(2*10000) = 3.2e-4
+        assert!((wait_probability(&p) - 3.2e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_equals_pw_squared_over_transactions() {
+        let p = base();
+        let pw = wait_probability(&p);
+        let direct = pw * pw / p.transactions_per_node();
+        assert!((deadlock_probability(&p) - direct).abs() / direct < 1e-9);
+    }
+
+    #[test]
+    fn eq4_is_eq3_over_duration() {
+        let p = base();
+        let expected = deadlock_probability(&p) / p.transaction_duration();
+        assert!((transaction_deadlock_rate(&p) - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn eq5_is_eq4_times_transactions() {
+        let p = base();
+        let expected = transaction_deadlock_rate(&p) * p.transactions_per_node();
+        assert!((node_deadlock_rate(&p) - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn deadlocks_scale_with_fifth_power_of_actions() {
+        let p1 = base();
+        let p2 = base().with_actions(8.0);
+        let ratio = node_deadlock_rate(&p2) / node_deadlock_rate(&p1);
+        assert!((ratio - 32.0).abs() < 1e-9, "2^5 = 32, got {ratio}");
+    }
+
+    #[test]
+    fn waits_much_more_frequent_than_deadlocks() {
+        // "it takes two waits to make a deadlock" — PD ≈ PW² / T << PW.
+        let p = base();
+        assert!(deadlock_probability(&p) < wait_probability(&p) / 100.0);
+    }
+}

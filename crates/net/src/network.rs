@@ -1,0 +1,181 @@
+//! The simulated network fabric: computes per-message delivery delays
+//! and parks messages addressed to disconnected nodes until they
+//! reconnect (the paper's "when first connected, a mobile node sends and
+//! receives deferred replica updates").
+//!
+//! The network deliberately does **not** own the event queue — it tells
+//! the protocol driver *when* a message should arrive and the driver
+//! schedules the delivery event. That keeps a single future-event list
+//! and a single deterministic clock.
+
+use crate::latency::LatencyModel;
+use repl_sim::{SimDuration, SimRng};
+use repl_storage::NodeId;
+
+/// What happened to a sent message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SendOutcome<M> {
+    /// Deliver after this delay: the driver should schedule the
+    /// message's arrival event `delay` from now.
+    Deliver {
+        /// One-way latency to apply.
+        delay: SimDuration,
+    },
+    /// The destination is disconnected; the network parked the message.
+    /// It will be returned by [`Network::reconnect`].
+    Held,
+    /// The *sender* is disconnected; the message is refused outright
+    /// (protocols queue their own outbound work while offline).
+    SenderOffline(M),
+}
+
+/// Point-to-point message fabric for `n` nodes.
+#[derive(Debug)]
+pub struct Network<M> {
+    latency: LatencyModel,
+    rng: SimRng,
+    connected: Vec<bool>,
+    held: Vec<Vec<M>>,
+    sent: u64,
+    held_count: u64,
+}
+
+impl<M> Network<M> {
+    /// A fully connected network of `n` nodes with the given latency
+    /// model. The RNG seed controls latency jitter only.
+    pub fn new(n: usize, latency: LatencyModel, seed: u64) -> Self {
+        Network {
+            latency,
+            rng: SimRng::stream(seed, "network-latency"),
+            connected: vec![true; n],
+            held: (0..n).map(|_| Vec::new()).collect(),
+            sent: 0,
+            held_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.connected.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.connected.is_empty()
+    }
+
+    /// Whether `node` is currently connected.
+    pub fn is_connected(&self, node: NodeId) -> bool {
+        self.connected[node.0 as usize]
+    }
+
+    /// Total messages accepted for delivery (including held ones).
+    pub fn messages_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Total messages that had to be parked for a disconnected
+    /// destination.
+    pub fn messages_held(&self) -> u64 {
+        self.held_count
+    }
+
+    /// Send `msg` from `from` to `to`.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) -> SendOutcome<M> {
+        if !self.connected[from.0 as usize] {
+            return SendOutcome::SenderOffline(msg);
+        }
+        self.sent += 1;
+        if self.connected[to.0 as usize] {
+            SendOutcome::Deliver {
+                delay: self.latency.sample(&mut self.rng),
+            }
+        } else {
+            self.held[to.0 as usize].push(msg);
+            self.held_count += 1;
+            SendOutcome::Held
+        }
+    }
+
+    /// Mark `node` disconnected. Messages sent to it afterwards are
+    /// parked.
+    pub fn disconnect(&mut self, node: NodeId) {
+        self.connected[node.0 as usize] = false;
+    }
+
+    /// Mark `node` connected again and drain everything parked for it,
+    /// in arrival order. The driver delivers these immediately (they
+    /// were already "in the mail").
+    pub fn reconnect(&mut self, node: NodeId) -> Vec<M> {
+        self.connected[node.0 as usize] = true;
+        std::mem::take(&mut self.held[node.0 as usize])
+    }
+
+    /// Sample a delivery delay without sending (for broadcast fan-out
+    /// where the caller builds per-destination messages itself).
+    pub fn sample_delay(&mut self) -> SimDuration {
+        self.latency.sample(&mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+
+    fn net(n: usize) -> Network<&'static str> {
+        Network::new(n, LatencyModel::Fixed(SimDuration::from_millis(3)), 7)
+    }
+
+    #[test]
+    fn connected_delivery_has_latency() {
+        let mut n = net(2);
+        match n.send(N0, N1, "hello") {
+            SendOutcome::Deliver { delay } => assert_eq!(delay, SimDuration::from_millis(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(n.messages_sent(), 1);
+    }
+
+    #[test]
+    fn disconnected_destination_holds() {
+        let mut n = net(2);
+        n.disconnect(N1);
+        assert_eq!(n.send(N0, N1, "a"), SendOutcome::Held);
+        assert_eq!(n.send(N0, N1, "b"), SendOutcome::Held);
+        assert_eq!(n.messages_held(), 2);
+        let drained = n.reconnect(N1);
+        assert_eq!(drained, vec!["a", "b"]);
+        // Drained only once.
+        assert!(n.reconnect(N1).is_empty());
+    }
+
+    #[test]
+    fn offline_sender_refused() {
+        let mut n = net(2);
+        n.disconnect(N0);
+        assert_eq!(n.send(N0, N1, "x"), SendOutcome::SenderOffline("x"));
+        assert_eq!(n.messages_sent(), 0);
+    }
+
+    #[test]
+    fn connection_state_tracking() {
+        let mut n = net(3);
+        assert!(n.is_connected(NodeId(2)));
+        n.disconnect(NodeId(2));
+        assert!(!n.is_connected(NodeId(2)));
+        n.reconnect(NodeId(2));
+        assert!(n.is_connected(NodeId(2)));
+    }
+
+    #[test]
+    fn zero_latency_model_for_paper_assumption() {
+        let mut n: Network<u32> = Network::new(2, LatencyModel::ZERO, 1);
+        match n.send(N0, N1, 5) {
+            SendOutcome::Deliver { delay } => assert_eq!(delay, SimDuration::ZERO),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

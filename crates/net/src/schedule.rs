@@ -1,0 +1,188 @@
+//! Connect/disconnect schedules for mobile nodes.
+//!
+//! The paper's mobile scenario: "the node accepts and applies
+//! transactions for a day. Then, at night it connects and downloads them
+//! to the rest of the network." A [`DisconnectSchedule`] turns the
+//! Table 2 parameters `Time_Between_Disconnects` and `Disconnected_Time`
+//! into an alternating sequence of state-change events.
+
+use repl_sim::{SimDuration, SimRng, SimTime};
+use repl_storage::NodeId;
+
+/// One connectivity state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectivityEvent {
+    /// When the change happens.
+    pub at: SimTime,
+    /// Which node changes.
+    pub node: NodeId,
+    /// `true` = the node (re)connects, `false` = it disconnects.
+    pub connected: bool,
+}
+
+/// How the period lengths are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeriodModel {
+    /// Deterministic periods — a fixed day/night cycle.
+    Fixed,
+    /// Exponentially distributed periods with the configured means.
+    Exponential,
+}
+
+/// Generates the alternating connected/disconnected timeline for one
+/// mobile node. The node starts *connected*.
+#[derive(Debug)]
+pub struct DisconnectSchedule {
+    node: NodeId,
+    connected_mean: SimDuration,
+    disconnected_mean: SimDuration,
+    model: PeriodModel,
+    rng: SimRng,
+    /// Time of the next state change.
+    next_at: SimTime,
+    /// State the node will be in *after* the next change.
+    next_connected: bool,
+}
+
+impl DisconnectSchedule {
+    /// A schedule for `node`: connected for ~`connected_mean`
+    /// (`Time_Between_Disconnects`), then disconnected for
+    /// ~`disconnected_mean` (`Disconnected_Time`), repeating.
+    pub fn new(
+        node: NodeId,
+        connected_mean: SimDuration,
+        disconnected_mean: SimDuration,
+        model: PeriodModel,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SimRng::stream(seed, &format!("disconnect-{}", node.0));
+        let first = Self::draw(&mut rng, connected_mean, model);
+        DisconnectSchedule {
+            node,
+            connected_mean,
+            disconnected_mean,
+            model,
+            rng,
+            next_at: SimTime::ZERO + first,
+            next_connected: false,
+        }
+    }
+
+    fn draw(rng: &mut SimRng, mean: SimDuration, model: PeriodModel) -> SimDuration {
+        match model {
+            PeriodModel::Fixed => mean,
+            PeriodModel::Exponential => SimDuration::from_secs_f64(rng.exp(mean.as_secs_f64())),
+        }
+    }
+
+    /// The next state change (does not advance the schedule).
+    pub fn peek(&self) -> ConnectivityEvent {
+        ConnectivityEvent {
+            at: self.next_at,
+            node: self.node,
+            connected: self.next_connected,
+        }
+    }
+
+    /// Consume and return the next state change, advancing the
+    /// schedule.
+    pub fn next_event(&mut self) -> ConnectivityEvent {
+        let event = self.peek();
+        let mean = if self.next_connected {
+            // Just reconnected → next period is a connected stretch.
+            self.connected_mean
+        } else {
+            self.disconnected_mean
+        };
+        let period = Self::draw(&mut self.rng, mean, self.model);
+        self.next_at += period;
+        self.next_connected = !self.next_connected;
+        event
+    }
+
+    /// All state changes up to (and including) `horizon`.
+    pub fn events_until(&mut self, horizon: SimTime) -> Vec<ConnectivityEvent> {
+        let mut out = Vec::new();
+        while self.peek().at <= horizon {
+            out.push(self.next_event());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(node: u32, up_s: u64, down_s: u64) -> DisconnectSchedule {
+        DisconnectSchedule::new(
+            NodeId(node),
+            SimDuration::from_secs(up_s),
+            SimDuration::from_secs(down_s),
+            PeriodModel::Fixed,
+            42,
+        )
+    }
+
+    #[test]
+    fn fixed_cycle_alternates() {
+        let mut s = fixed(1, 10, 5);
+        let e1 = s.next_event();
+        assert_eq!(e1.at, SimTime::from_secs(10));
+        assert!(!e1.connected); // disconnects after the up period
+        let e2 = s.next_event();
+        assert_eq!(e2.at, SimTime::from_secs(15));
+        assert!(e2.connected); // reconnects after the down period
+        let e3 = s.next_event();
+        assert_eq!(e3.at, SimTime::from_secs(25));
+        assert!(!e3.connected);
+    }
+
+    #[test]
+    fn events_until_horizon() {
+        let mut s = fixed(2, 10, 10);
+        let events = s.events_until(SimTime::from_secs(60));
+        assert_eq!(events.len(), 6);
+        assert!(events.windows(2).all(|w| w[0].at < w[1].at));
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].connected != w[1].connected));
+        // Nothing beyond the horizon was consumed prematurely.
+        assert_eq!(s.peek().at, SimTime::from_secs(70));
+    }
+
+    #[test]
+    fn exponential_periods_have_roughly_right_mean() {
+        let mut s = DisconnectSchedule::new(
+            NodeId(3),
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(50),
+            PeriodModel::Exponential,
+            7,
+        );
+        // Average cycle (up+down) should be ~150 s over many cycles.
+        let n_cycles = 2000;
+        let mut last = SimTime::ZERO;
+        for _ in 0..n_cycles {
+            s.next_event();
+            last = s.next_event().at;
+        }
+        let mean_cycle = last.as_secs_f64() / n_cycles as f64;
+        assert!((mean_cycle - 150.0).abs() < 10.0, "mean {mean_cycle}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = fixed(1, 7, 3);
+        let mut b = fixed(1, 7, 3);
+        for _ in 0..10 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn node_id_carried_through() {
+        let mut s = fixed(9, 1, 1);
+        assert_eq!(s.next_event().node, NodeId(9));
+    }
+}

@@ -1,0 +1,196 @@
+//! The event queue at the heart of the discrete-event engine.
+//!
+//! Events are ordered by `(time, sequence)`: ties at the same instant are
+//! delivered in scheduling order, which keeps runs deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic future-event list with a monotone clock.
+///
+/// `EventQueue` is *pulled*: the simulation driver pops events and
+/// dispatches them itself, which keeps protocol code free of callback
+/// lifetimes. Popping advances the clock to the event's timestamp.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    seq: u64,
+    scheduled: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// The current simulated time — the timestamp of the last event
+    /// popped (or zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled over the queue's lifetime.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Schedule `event` at the absolute time `at`. Scheduling in the past
+    /// is a logic error; the event is clamped to `now` in release builds
+    /// and panics in debug builds.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let time = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Schedule `event` after `delay` from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Pop the next event only if it occurs at or before `limit`.
+    /// If the next event is later, the clock advances to `limit` and
+    /// `None` is returned — used to cut a run off at a horizon.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.time <= limit => self.pop(),
+            _ => {
+                if self.now < limit {
+                    self.now = limit;
+                }
+                None
+            }
+        }
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), "c");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(42));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), 1);
+        q.pop();
+        q.schedule_after(SimDuration(50), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime(150), 2));
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), "early");
+        q.schedule_at(SimTime(99), "late");
+        assert_eq!(q.pop_until(SimTime(50)).map(|(_, e)| e), Some("early"));
+        assert_eq!(q.pop_until(SimTime(50)), None);
+        // Clock was advanced to the horizon.
+        assert_eq!(q.now(), SimTime(50));
+        // The late event is still there.
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(SimTime(1), ());
+        q.schedule_at(SimTime(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_scheduled(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime(1)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Deterministic random number generation for the simulator.
+//!
+//! The engine needs streams that are (a) seedable, (b) stable across
+//! platforms and library upgrades, and (c) independently derivable per
+//! component so adding one consumer does not perturb the draws seen by
+//! another. We implement xoshiro256++ (public-domain reference algorithm)
+//! seeded via SplitMix64, and derive per-stream seeds by hashing a stream
+//! label into the root seed.
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step — used for seeding and label hashing.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start in the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
+    }
+
+    /// Derive an independent stream for a labelled component. The same
+    /// `(seed, label)` pair always yields the same stream, and distinct
+    /// labels yield (statistically) independent streams.
+    pub fn stream(seed: u64, label: &str) -> Self {
+        let mut h = seed ^ 0x51_7C_C1_B7_27_22_0A_95;
+        for &b in label.as_bytes() {
+            h = splitmix64(&mut h) ^ u64::from(b);
+        }
+        SimRng::new(splitmix64(&mut h))
+    }
+
+    /// Next raw 64-bit value (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's unbiased method.
+    /// Panics if `bound == 0`.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Exponentially distributed sample with the given mean. Used for
+    /// Poisson arrival processes. Returns 0 for a zero mean.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Avoid ln(0): next_f64 is in [0,1), so 1-u is in (0,1].
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to [0,1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Choose `k` distinct values from `[0, n)` via partial
+    /// Fisher–Yates on a sparse map. `O(k)` expected time and space.
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: u64, k: usize) -> Vec<u64> {
+        assert!(k as u64 <= n, "cannot sample {k} distinct values from {n}");
+        use std::collections::HashMap;
+        let mut swaps: HashMap<u64, u64> = HashMap::with_capacity(k * 2);
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k as u64 {
+            let j = i + self.gen_range(n - i);
+            let vi = *swaps.get(&i).unwrap_or(&i);
+            let vj = *swaps.get(&j).unwrap_or(&j);
+            out.push(vj);
+            swaps.insert(j, vi);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn streams_are_independent_and_stable() {
+        let mut a1 = SimRng::stream(7, "arrivals");
+        let mut a2 = SimRng::stream(7, "arrivals");
+        let mut n = SimRng::stream(7, "network");
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        assert_ne!(a1.next_u64(), n.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bound_and_covers() {
+        let mut r = SimRng::new(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_unbiased_mean() {
+        let mut r = SimRng::new(5);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| r.gen_range(100)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 49.5).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.exp(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_zero_mean_is_zero() {
+        let mut r = SimRng::new(1);
+        assert_eq!(r.exp(0.0), 0.0);
+        assert_eq!(r.exp(-1.0), 0.0);
+    }
+
+    #[test]
+    fn sample_distinct_no_duplicates() {
+        let mut r = SimRng::new(13);
+        for _ in 0..200 {
+            let s = r.sample_distinct(20, 10);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10, "duplicates in {s:?}");
+            assert!(s.iter().all(|&v| v < 20));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_range() {
+        let mut r = SimRng::new(17);
+        let mut s = r.sample_distinct(5, 5);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_overdraw_panics() {
+        SimRng::new(1).sample_distinct(3, 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(23);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,298 @@
+//! Streaming statistics used by the metrics layer: counters, rate
+//! meters, and a Welford mean/variance accumulator.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter with a rate helper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// A fresh zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one occurrence.
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Record `n` occurrences.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Total occurrences so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Occurrences per second over the window `[start, end]`.
+    /// Returns 0 for an empty window.
+    pub fn rate(&self, start: SimTime, end: SimTime) -> f64 {
+        let span = end.since(start).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / span
+        }
+    }
+}
+
+/// Welford's online mean/variance accumulator for duration samples
+/// (e.g. wait times, transaction latencies).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Record a duration sample in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Largest sample seen (0 if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A log-scale histogram of duration samples, for percentile
+/// reporting. Buckets are powers of two in microseconds (64 buckets
+/// cover 1 µs .. ~584 000 years), so `record` is O(1) and quantiles are
+/// accurate to within a factor of two — plenty for latency reporting.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(micros: u64) -> usize {
+        (64 - micros.leading_zeros() as usize).min(63)
+    }
+
+    /// Record a duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.buckets[Self::bucket_of(d.0)] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) in seconds, approximated by the
+    /// geometric midpoint of the containing bucket. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Bucket i holds micros in [2^(i-1), 2^i); take the
+                // geometric midpoint.
+                let lo = if i == 0 { 0.0 } else { (1u64 << (i - 1)) as f64 };
+                let hi = (1u64 << i.min(62)) as f64;
+                let mid = if lo == 0.0 { hi / 2.0 } else { (lo * hi).sqrt() };
+                return mid / 1e6;
+            }
+        }
+        0.0
+    }
+
+    /// Median latency in seconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile in seconds.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile in seconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_rates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.count(), 10);
+        let r = c.rate(SimTime::ZERO, SimTime::from_secs(5));
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_rate_empty_window_is_zero() {
+        let mut c = Counter::new();
+        c.incr();
+        assert_eq!(c.rate(SimTime::from_secs(1), SimTime::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn welford_mean_and_variance() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.record(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4.0; unbiased sample variance = 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((w.max() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn welford_single_sample() {
+        let mut w = Welford::new();
+        w.record(3.5);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_duration_samples() {
+        let mut w = Welford::new();
+        w.record_duration(SimDuration::from_millis(100));
+        w.record_duration(SimDuration::from_millis(300));
+        assert!((w.mean() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty_quantiles_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_bucket_resolution() {
+        let mut h = Histogram::new();
+        // 99 samples at ~10 ms, 1 at ~1 s.
+        for _ in 0..99 {
+            h.record(SimDuration::from_millis(10));
+        }
+        h.record(SimDuration::from_secs(1));
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50();
+        assert!(
+            p50 > 0.005 && p50 < 0.02,
+            "p50 {p50} should be near 10 ms"
+        );
+        let p99 = h.p99();
+        // The 99th sample is still the 10 ms bucket; p100 would be 1 s.
+        assert!(p99 < 0.02, "p99 {p99}");
+        let p100 = h.quantile(1.0);
+        assert!(p100 > 0.5 && p100 < 2.0, "max {p100} should be near 1 s");
+    }
+
+    #[test]
+    fn histogram_monotone_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i * 37));
+        }
+        let qs: Vec<f64> = [0.1, 0.5, 0.9, 0.99]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    }
+
+    #[test]
+    fn histogram_zero_duration_sample() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert!(h.p50() >= 0.0);
+    }
+}

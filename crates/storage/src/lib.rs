@@ -1,0 +1,38 @@
+//! # repl-storage — per-node database substrate
+//!
+//! Everything a replica site needs, built from scratch:
+//!
+//! * [`object`] — object/node identity, [`Value`]s, Lamport
+//!   [`Timestamp`]s and clocks (the tags on every replica update in the
+//!   paper's Figure 4),
+//! * [`store`] — the dense replicated [`ObjectStore`] with the paper's
+//!   timestamp safety test (`apply_versioned`) and last-writer-wins
+//!   refresh (`apply_lww`),
+//! * [`lock`] — strict exclusive two-phase locking with FIFO queues and
+//!   immediate waits-for deadlock detection (§3's "locking detects
+//!   potential anomalies and converts them to waits or deadlocks"),
+//! * [`mvcc`] — the multi-version committed-read store the model's
+//!   "no read locks" assumption rests on,
+//! * [`wal`] — the per-node commit log replayed "in sequential commit
+//!   order" by lazy replication (§5),
+//! * [`tentative`] — the mobile node's dual master/tentative versions
+//!   (§7),
+//! * [`version_vector`] — Access-style per-record version vectors (§6).
+
+#![warn(missing_docs)]
+
+pub mod lock;
+pub mod mvcc;
+pub mod object;
+pub mod store;
+pub mod tentative;
+pub mod version_vector;
+pub mod wal;
+
+pub use lock::{Acquire, LockManager, TxnId};
+pub use mvcc::MvccStore;
+pub use object::{LamportClock, NodeId, ObjectId, Timestamp, Value, Versioned};
+pub use store::{ApplyOutcome, ObjectStore};
+pub use tentative::TentativeStore;
+pub use version_vector::{Causality, VersionVector};
+pub use wal::{CommitLog, CommitRecord, Lsn, UpdateRecord};

@@ -1,0 +1,379 @@
+//! Exclusive lock manager with waits-for deadlock detection.
+//!
+//! The paper's model regulates concurrent execution with locking
+//! (§3: "Locking detects potential anomalies and converts them to waits
+//! or deadlocks"). Reads are ignored and every action is an update, so
+//! only exclusive locks exist. A transaction performs its actions
+//! *sequentially*, so it waits on at most one object at a time — the
+//! waits-for graph is functional and a cycle check is a simple chain
+//! walk from the blocking holder.
+
+use crate::object::ObjectId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Globally unique transaction identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Result of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// The lock was granted immediately (or was already held).
+    Granted,
+    /// Another transaction holds the lock; the requester was queued and
+    /// must suspend until [`LockManager::release_all`] grants it.
+    Waiting,
+    /// Queueing the requester would close a waits-for cycle. The
+    /// request was **not** queued; the caller must abort the requester
+    /// (the model's equation (3): the requesting transaction is the one
+    /// that deadlocks).
+    Deadlock,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: TxnId,
+    waiters: VecDeque<TxnId>,
+}
+
+/// Strict exclusive locking with FIFO wait queues and immediate
+/// waits-for cycle detection.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    /// Objects currently locked.
+    locks: HashMap<ObjectId, LockState>,
+    /// All locks held by each live transaction (for release-all).
+    held: HashMap<TxnId, Vec<ObjectId>>,
+    /// The single object each blocked transaction is waiting on.
+    waiting_on: HashMap<TxnId, ObjectId>,
+}
+
+impl LockManager {
+    /// An empty lock manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of currently locked objects.
+    pub fn locked_objects(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Number of currently blocked transactions.
+    pub fn blocked_transactions(&self) -> usize {
+        self.waiting_on.len()
+    }
+
+    /// Whether `txn` currently holds the lock on `obj`.
+    pub fn holds(&self, txn: TxnId, obj: ObjectId) -> bool {
+        self.locks.get(&obj).is_some_and(|l| l.holder == txn)
+    }
+
+    /// Whether `txn` is blocked.
+    pub fn is_waiting(&self, txn: TxnId) -> bool {
+        self.waiting_on.contains_key(&txn)
+    }
+
+    /// Request an exclusive lock on `obj` for `txn`.
+    ///
+    /// Walks the waits-for chain before queueing: if suspending `txn`
+    /// behind `obj`'s holder would close a cycle, returns
+    /// [`Acquire::Deadlock`] without queueing.
+    pub fn acquire(&mut self, txn: TxnId, obj: ObjectId) -> Acquire {
+        debug_assert!(
+            !self.waiting_on.contains_key(&txn),
+            "{txn} requested a lock while already blocked"
+        );
+        match self.locks.get_mut(&obj) {
+            None => {
+                self.locks.insert(
+                    obj,
+                    LockState {
+                        holder: txn,
+                        waiters: VecDeque::new(),
+                    },
+                );
+                self.held.entry(txn).or_default().push(obj);
+                Acquire::Granted
+            }
+            Some(state) if state.holder == txn => Acquire::Granted,
+            Some(_) => {
+                if self.would_deadlock(txn, obj) {
+                    return Acquire::Deadlock;
+                }
+                let state = self.locks.get_mut(&obj).expect("lock state vanished");
+                state.waiters.push_back(txn);
+                self.waiting_on.insert(txn, obj);
+                Acquire::Waiting
+            }
+        }
+    }
+
+    /// Would suspending `txn` behind `obj` close a waits-for cycle?
+    ///
+    /// With FIFO promotion a new waiter effectively waits for the
+    /// current holder *and* every transaction already queued (each will
+    /// hold the lock before the newcomer), so the search must traverse
+    /// all of them, not just the holder chain. Depth-first search from
+    /// the transactions `txn` would wait for; a path back to `txn` is a
+    /// cycle.
+    fn would_deadlock(&self, txn: TxnId, obj: ObjectId) -> bool {
+        let mut stack: Vec<TxnId> = Vec::with_capacity(8);
+        let mut visited: Vec<TxnId> = Vec::with_capacity(8);
+        let seed = &self.locks[&obj];
+        stack.push(seed.holder);
+        stack.extend(seed.waiters.iter().copied());
+        while let Some(current) = stack.pop() {
+            if current == txn {
+                return true;
+            }
+            if visited.contains(&current) {
+                continue;
+            }
+            visited.push(current);
+            if let Some(next_obj) = self.waiting_on.get(&current) {
+                // `current` waits for the holder and only the waiters
+                // *ahead of it* in the FIFO queue — including later
+                // waiters would manufacture false cycles.
+                let state = &self.locks[next_obj];
+                stack.push(state.holder);
+                stack.extend(
+                    state
+                        .waiters
+                        .iter()
+                        .copied()
+                        .take_while(|w| *w != current),
+                );
+            }
+        }
+        false
+    }
+
+    /// Release every lock `txn` holds (commit or abort), promoting the
+    /// next FIFO waiter on each object. Returns the `(transaction,
+    /// object)` pairs that just acquired their lock so the driver can
+    /// resume them.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, ObjectId)> {
+        let mut granted = Vec::new();
+        let Some(objs) = self.held.remove(&txn) else {
+            return granted;
+        };
+        for obj in objs {
+            let Some(state) = self.locks.get_mut(&obj) else {
+                continue;
+            };
+            if state.holder != txn {
+                continue;
+            }
+            match state.waiters.pop_front() {
+                Some(next) => {
+                    state.holder = next;
+                    self.waiting_on.remove(&next);
+                    self.held.entry(next).or_default().push(obj);
+                    granted.push((next, obj));
+                }
+                None => {
+                    self.locks.remove(&obj);
+                }
+            }
+        }
+        granted
+    }
+
+    /// Remove `txn` from the wait queue it sits in (used when an
+    /// externally chosen victim aborts while blocked).
+    pub fn cancel_wait(&mut self, txn: TxnId) {
+        if let Some(obj) = self.waiting_on.remove(&txn) {
+            if let Some(state) = self.locks.get_mut(&obj) {
+                state.waiters.retain(|&w| w != txn);
+            }
+        }
+    }
+
+    /// The locks `txn` currently holds (empty slice if none).
+    pub fn held_by(&self, txn: TxnId) -> &[ObjectId] {
+        self.held.get(&txn).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: TxnId = TxnId(1);
+    const B: TxnId = TxnId(2);
+    const C: TxnId = TxnId(3);
+    const O1: ObjectId = ObjectId(1);
+    const O2: ObjectId = ObjectId(2);
+    const O3: ObjectId = ObjectId(3);
+
+    #[test]
+    fn grant_free_lock() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(A, O1), Acquire::Granted);
+        assert!(lm.holds(A, O1));
+        assert_eq!(lm.held_by(A), &[O1]);
+    }
+
+    #[test]
+    fn reentrant_acquire_is_granted() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        assert_eq!(lm.acquire(A, O1), Acquire::Granted);
+        // Not double-recorded.
+        assert_eq!(lm.held_by(A).len(), 1);
+    }
+
+    #[test]
+    fn second_requester_waits() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        assert_eq!(lm.acquire(B, O1), Acquire::Waiting);
+        assert!(lm.is_waiting(B));
+        assert_eq!(lm.blocked_transactions(), 1);
+    }
+
+    #[test]
+    fn release_promotes_fifo() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(B, O1);
+        lm.acquire(C, O1);
+        let granted = lm.release_all(A);
+        assert_eq!(granted, vec![(B, O1)]);
+        assert!(lm.holds(B, O1));
+        assert!(!lm.is_waiting(B));
+        assert!(lm.is_waiting(C));
+        let granted = lm.release_all(B);
+        assert_eq!(granted, vec![(C, O1)]);
+    }
+
+    #[test]
+    fn release_frees_uncontended_lock() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        assert!(lm.release_all(A).is_empty());
+        assert_eq!(lm.locked_objects(), 0);
+        assert_eq!(lm.acquire(B, O1), Acquire::Granted);
+    }
+
+    #[test]
+    fn two_cycle_deadlock_detected() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(B, O2);
+        assert_eq!(lm.acquire(A, O2), Acquire::Waiting);
+        // B requesting O1 would close A→O2(B) / B→O1(A).
+        assert_eq!(lm.acquire(B, O1), Acquire::Deadlock);
+        // B was not queued.
+        assert!(!lm.is_waiting(B));
+    }
+
+    #[test]
+    fn three_cycle_deadlock_detected() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(B, O2);
+        lm.acquire(C, O3);
+        assert_eq!(lm.acquire(A, O2), Acquire::Waiting);
+        assert_eq!(lm.acquire(B, O3), Acquire::Waiting);
+        assert_eq!(lm.acquire(C, O1), Acquire::Deadlock);
+    }
+
+    #[test]
+    fn chain_without_cycle_waits() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(B, O2);
+        assert_eq!(lm.acquire(C, O1), Acquire::Waiting); // C→A, A free: fine
+        assert_eq!(lm.acquire(A, O2), Acquire::Waiting); // A→B, B free: fine
+    }
+
+    #[test]
+    fn victim_abort_releases_and_unblocks() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(B, O2);
+        lm.acquire(A, O2);
+        assert_eq!(lm.acquire(B, O1), Acquire::Deadlock);
+        // B aborts: releases O2, which unblocks A.
+        let granted = lm.release_all(B);
+        assert_eq!(granted, vec![(A, O2)]);
+        assert!(lm.holds(A, O2));
+        assert!(!lm.is_waiting(A));
+    }
+
+    #[test]
+    fn cancel_wait_removes_from_queue() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(B, O1);
+        lm.acquire(C, O1);
+        lm.cancel_wait(B);
+        assert!(!lm.is_waiting(B));
+        let granted = lm.release_all(A);
+        assert_eq!(granted, vec![(C, O1)]);
+    }
+
+    #[test]
+    fn release_all_unknown_txn_is_noop() {
+        let mut lm = LockManager::new();
+        assert!(lm.release_all(TxnId(99)).is_empty());
+    }
+
+    #[test]
+    fn deadlock_through_queued_waiter_detected() {
+        // A holds O1. B waits on O1. C requests O1 (queued behind B) —
+        // then B can only run after A releases, and if B ultimately
+        // needs something C holds we have a cycle through the queue.
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(C, O2);
+        assert_eq!(lm.acquire(B, O1), Acquire::Waiting);
+        // C queues behind B on O1: C waits for A and B.
+        assert_eq!(lm.acquire(C, O1), Acquire::Waiting);
+        // A commits; B now holds O1, C still queued behind B.
+        lm.release_all(A);
+        assert!(lm.holds(B, O1));
+        // B requests O2 (held by C, who waits for B) → cycle.
+        assert_eq!(lm.acquire(B, O2), Acquire::Deadlock);
+    }
+
+    #[test]
+    fn later_waiter_does_not_create_false_cycle() {
+        // A holds O1; B waits on O1; C queues after B on O1 and also
+        // holds O2. B requesting O2 must NOT be a deadlock: B is ahead
+        // of C, so C does not block B.
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(C, O2);
+        assert_eq!(lm.acquire(B, O1), Acquire::Waiting);
+        assert_eq!(lm.acquire(C, O1), Acquire::Waiting);
+        // B is blocked, so in the simulator it could not issue another
+        // request — but verify the graph logic directly: a fresh txn D
+        // queued ahead-of-nobody asking for O2 just waits.
+        let d = TxnId(4);
+        assert_eq!(lm.acquire(d, O2), Acquire::Waiting);
+    }
+
+    #[test]
+    fn deadlock_after_queue_respects_waiters() {
+        // A holds O1; B waits on O1; B holds O2; A requests O2 → cycle
+        // through the *queued* B must still be found.
+        let mut lm = LockManager::new();
+        lm.acquire(B, O2);
+        lm.acquire(A, O1);
+        assert_eq!(lm.acquire(B, O1), Acquire::Waiting);
+        assert_eq!(lm.acquire(A, O2), Acquire::Deadlock);
+    }
+}

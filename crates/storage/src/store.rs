@@ -1,0 +1,301 @@
+//! The per-node object store: every node replicates all `DB_Size`
+//! objects (the model's assumption), each carrying the timestamp of its
+//! most recent committed update.
+
+use crate::object::{ObjectId, Timestamp, Value, Versioned};
+
+/// Outcome of applying a timestamped replica update (Figure 4 of the
+/// paper): safe, duplicate, or dangerous.
+///
+/// The paper's test: "the node tests if the local replica's timestamp
+/// and the update's old timestamp are equal. If so, the update is
+/// safe." Anything else is *dangerous* and needs reconciliation; this
+/// enum additionally reports which side the time-priority resolution
+/// favoured, and recognizes exact re-deliveries as harmless duplicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The update's `old` timestamp matched the replica's current
+    /// timestamp — the update was applied (the safe case).
+    Applied,
+    /// The replica already carries exactly this update (idempotent
+    /// re-delivery, e.g. a replica transaction retried after a
+    /// deadlock) — skipped, no reconciliation.
+    Duplicate,
+    /// Dangerous: the timestamps diverged and the incoming update is
+    /// *newer*, so time-priority resolution installed it over the
+    /// local version. A reconciliation.
+    ConflictApplied,
+    /// Dangerous: the timestamps diverged and the incoming update is
+    /// *older*, so the local version stands and the incoming update is
+    /// discarded (the update "lost"). Also a reconciliation.
+    ConflictIgnored,
+}
+
+impl ApplyOutcome {
+    /// Whether the paper's timestamp test flagged this update as
+    /// dangerous (needing reconciliation).
+    pub fn is_conflict(self) -> bool {
+        matches!(self, ApplyOutcome::ConflictApplied | ApplyOutcome::ConflictIgnored)
+    }
+}
+
+/// A dense, per-node replica of the whole database. Object ids are the
+/// integers `0..db_size`, so the store is a flat `Vec` — the hot path of
+/// every protocol is an index, not a hash.
+#[derive(Debug, Clone)]
+pub struct ObjectStore {
+    objects: Vec<Versioned>,
+}
+
+impl ObjectStore {
+    /// A store of `db_size` objects, all at [`Versioned::initial`].
+    pub fn new(db_size: u64) -> Self {
+        ObjectStore {
+            objects: vec![Versioned::initial(); db_size as usize],
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Read an object's current version. Panics on an out-of-range id
+    /// (the workload generator only produces valid ids).
+    pub fn get(&self, id: ObjectId) -> &Versioned {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Overwrite an object's value and timestamp unconditionally — used
+    /// by the local write path after the lock manager has granted access.
+    pub fn set(&mut self, id: ObjectId, value: Value, ts: Timestamp) {
+        self.objects[id.0 as usize] = Versioned { value, ts };
+    }
+
+    /// Apply a replica update using the paper's timestamp test
+    /// (lazy-group, Figure 4), resolving dangerous updates by time
+    /// priority so replicas always converge:
+    ///
+    /// * replica.ts == `old` → safe, apply → [`ApplyOutcome::Applied`];
+    /// * replica.ts == `new_ts` → idempotent re-delivery →
+    ///   [`ApplyOutcome::Duplicate`];
+    /// * otherwise the update is dangerous: the newer timestamp wins —
+    ///   [`ApplyOutcome::ConflictApplied`] if the incoming update won,
+    ///   [`ApplyOutcome::ConflictIgnored`] if the local version stood.
+    pub fn apply_versioned(
+        &mut self,
+        id: ObjectId,
+        old: Timestamp,
+        new_ts: Timestamp,
+        value: Value,
+    ) -> ApplyOutcome {
+        let slot = &mut self.objects[id.0 as usize];
+        if slot.ts == old {
+            *slot = Versioned { value, ts: new_ts };
+            ApplyOutcome::Applied
+        } else if slot.ts == new_ts {
+            ApplyOutcome::Duplicate
+        } else if new_ts > slot.ts {
+            *slot = Versioned { value, ts: new_ts };
+            ApplyOutcome::ConflictApplied
+        } else {
+            ApplyOutcome::ConflictIgnored
+        }
+    }
+
+    /// Apply a replica update with *last-writer-wins* semantics
+    /// (lazy-master slave refresh in §5: "if the record timestamp is
+    /// newer than a replica update timestamp, the update is stale and
+    /// can be ignored"). Returns whether the update was applied.
+    pub fn apply_lww(&mut self, id: ObjectId, new_ts: Timestamp, value: Value) -> bool {
+        let slot = &mut self.objects[id.0 as usize];
+        if new_ts > slot.ts {
+            *slot = Versioned { value, ts: new_ts };
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterate over `(id, version)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &Versioned)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ObjectId(i as u64), v))
+    }
+
+    /// A deterministic digest of the full database state (FNV-1a over
+    /// values and timestamps). Two replicas have converged iff their
+    /// digests are equal — the §6 convergence tests rely on this.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        };
+        for v in &self.objects {
+            match &v.value {
+                Value::Int(i) => {
+                    mix(1);
+                    mix(*i as u64);
+                }
+                Value::Text(s) => {
+                    mix(2);
+                    for &b in s.as_bytes() {
+                        mix(u64::from(b));
+                    }
+                }
+            }
+            mix(v.ts.counter);
+            mix(u64::from(v.ts.node.0));
+        }
+        h
+    }
+
+    /// Sum of all integer values — workload invariants (e.g. "transfers
+    /// preserve total money") check this. Text objects count as zero.
+    pub fn total_int(&self) -> i64 {
+        self.objects
+            .iter()
+            .map(|v| v.value.as_int().unwrap_or(0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::NodeId;
+
+    fn ts(c: u64, n: u32) -> Timestamp {
+        Timestamp::new(c, NodeId(n))
+    }
+
+    #[test]
+    fn new_store_all_initial() {
+        let s = ObjectStore::new(10);
+        assert_eq!(s.len(), 10);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(ObjectId(3)), &Versioned::initial());
+        assert_eq!(s.total_int(), 0);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut s = ObjectStore::new(4);
+        s.set(ObjectId(2), Value::Int(42), ts(1, 1));
+        assert_eq!(s.get(ObjectId(2)).value, Value::Int(42));
+        assert_eq!(s.get(ObjectId(2)).ts, ts(1, 1));
+    }
+
+    #[test]
+    fn apply_versioned_safe_path() {
+        let mut s = ObjectStore::new(1);
+        let o = ObjectId(0);
+        let out = s.apply_versioned(o, Timestamp::ZERO, ts(1, 1), Value::Int(5));
+        assert_eq!(out, ApplyOutcome::Applied);
+        assert_eq!(s.get(o).value, Value::Int(5));
+    }
+
+    #[test]
+    fn apply_versioned_detects_conflict_and_resolves_by_time() {
+        let mut s = ObjectStore::new(1);
+        let o = ObjectId(0);
+        // Node 1's update lands first.
+        s.apply_versioned(o, Timestamp::ZERO, ts(1, 1), Value::Int(5));
+        // Node 2 raced: it read the ZERO version but its new timestamp
+        // is higher — the classic dangerous update. Time priority
+        // installs it.
+        let out = s.apply_versioned(o, Timestamp::ZERO, ts(2, 2), Value::Int(9));
+        assert_eq!(out, ApplyOutcome::ConflictApplied);
+        assert!(out.is_conflict());
+        assert_eq!(s.get(o).value, Value::Int(9));
+    }
+
+    #[test]
+    fn apply_versioned_older_loser_is_ignored() {
+        let mut s = ObjectStore::new(1);
+        let o = ObjectId(0);
+        s.apply_versioned(o, Timestamp::ZERO, ts(5, 1), Value::Int(5));
+        // A racing update that read ZERO but carries an *older*
+        // timestamp: dangerous, and it loses — local version stands.
+        let out = s.apply_versioned(o, Timestamp::ZERO, ts(3, 2), Value::Int(1));
+        assert_eq!(out, ApplyOutcome::ConflictIgnored);
+        assert!(out.is_conflict());
+        assert_eq!(s.get(o).value, Value::Int(5));
+    }
+
+    #[test]
+    fn apply_versioned_duplicate_is_idempotent() {
+        let mut s = ObjectStore::new(1);
+        let o = ObjectId(0);
+        s.apply_versioned(o, Timestamp::ZERO, ts(5, 1), Value::Int(5));
+        // Exact re-delivery of the same update (e.g. a deadlock retry).
+        let out = s.apply_versioned(o, Timestamp::ZERO, ts(5, 1), Value::Int(5));
+        assert_eq!(out, ApplyOutcome::Duplicate);
+        assert!(!out.is_conflict());
+        assert_eq!(s.get(o).value, Value::Int(5));
+    }
+
+    #[test]
+    fn apply_lww_keeps_newest() {
+        let mut s = ObjectStore::new(1);
+        let o = ObjectId(0);
+        assert!(s.apply_lww(o, ts(2, 1), Value::Int(2)));
+        assert!(!s.apply_lww(o, ts(1, 2), Value::Int(1))); // older loses
+        assert_eq!(s.get(o).value, Value::Int(2));
+        assert!(s.apply_lww(o, ts(3, 2), Value::Int(3)));
+        assert_eq!(s.get(o).value, Value::Int(3));
+    }
+
+    #[test]
+    fn lww_equal_timestamp_not_applied() {
+        let mut s = ObjectStore::new(1);
+        let o = ObjectId(0);
+        s.apply_lww(o, ts(2, 1), Value::Int(2));
+        assert!(!s.apply_lww(o, ts(2, 1), Value::Int(99)));
+    }
+
+    #[test]
+    fn digest_equal_iff_state_equal() {
+        let mut a = ObjectStore::new(8);
+        let mut b = ObjectStore::new(8);
+        assert_eq!(a.digest(), b.digest());
+        a.set(ObjectId(1), Value::Int(1), ts(1, 1));
+        assert_ne!(a.digest(), b.digest());
+        b.set(ObjectId(1), Value::Int(1), ts(1, 1));
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_sensitive_to_timestamp() {
+        let mut a = ObjectStore::new(1);
+        let mut b = ObjectStore::new(1);
+        a.set(ObjectId(0), Value::Int(1), ts(1, 1));
+        b.set(ObjectId(0), Value::Int(1), ts(1, 2));
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn total_int_sums_values() {
+        let mut s = ObjectStore::new(3);
+        s.set(ObjectId(0), Value::Int(10), ts(1, 1));
+        s.set(ObjectId(1), Value::Int(-4), ts(2, 1));
+        s.set(ObjectId(2), Value::from("text"), ts(3, 1));
+        assert_eq!(s.total_int(), 6);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let s = ObjectStore::new(5);
+        assert_eq!(s.iter().count(), 5);
+        let ids: Vec<u64> = s.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Version vectors, as used by Microsoft Access's "Wingman" replication
+//! (§6): each node keeps a version vector with each replicated record;
+//! vectors are exchanged pairwise and "the most recent update wins each
+//! pairwise exchange", with rejected updates reported.
+
+use crate::object::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How two version vectors relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Causality {
+    /// Identical vectors.
+    Equal,
+    /// `self` dominates (strictly newer): it has seen everything the
+    /// other has, and more.
+    Dominates,
+    /// The other dominates.
+    DominatedBy,
+    /// Each has updates the other has not seen — a true concurrent
+    /// conflict that needs a resolution rule.
+    Concurrent,
+}
+
+/// A per-record version vector: update counts per node.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VersionVector {
+    counts: BTreeMap<NodeId, u64>,
+}
+
+impl VersionVector {
+    /// The empty (initial) vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one local update at `node`.
+    pub fn bump(&mut self, node: NodeId) {
+        *self.counts.entry(node).or_insert(0) += 1;
+    }
+
+    /// The count recorded for `node` (0 if absent).
+    pub fn get(&self, node: NodeId) -> u64 {
+        self.counts.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Compare two vectors for causal ordering.
+    pub fn compare(&self, other: &VersionVector) -> Causality {
+        let mut self_ahead = false;
+        let mut other_ahead = false;
+        let nodes = self.counts.keys().chain(other.counts.keys());
+        for &node in nodes {
+            let a = self.get(node);
+            let b = other.get(node);
+            if a > b {
+                self_ahead = true;
+            }
+            if b > a {
+                other_ahead = true;
+            }
+        }
+        match (self_ahead, other_ahead) {
+            (false, false) => Causality::Equal,
+            (true, false) => Causality::Dominates,
+            (false, true) => Causality::DominatedBy,
+            (true, true) => Causality::Concurrent,
+        }
+    }
+
+    /// Pointwise maximum — the vector after merging two replicas.
+    pub fn merge(&mut self, other: &VersionVector) {
+        for (&node, &count) in &other.counts {
+            let entry = self.counts.entry(node).or_insert(0);
+            *entry = (*entry).max(count);
+        }
+    }
+
+    /// Total number of updates recorded across all nodes.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
+    const N3: NodeId = NodeId(3);
+
+    #[test]
+    fn fresh_vectors_equal() {
+        assert_eq!(VersionVector::new().compare(&VersionVector::new()), Causality::Equal);
+    }
+
+    #[test]
+    fn bump_dominates() {
+        let mut a = VersionVector::new();
+        let b = VersionVector::new();
+        a.bump(N1);
+        assert_eq!(a.compare(&b), Causality::Dominates);
+        assert_eq!(b.compare(&a), Causality::DominatedBy);
+    }
+
+    #[test]
+    fn concurrent_updates_detected() {
+        let mut a = VersionVector::new();
+        let mut b = VersionVector::new();
+        a.bump(N1);
+        b.bump(N2);
+        assert_eq!(a.compare(&b), Causality::Concurrent);
+        assert_eq!(b.compare(&a), Causality::Concurrent);
+    }
+
+    #[test]
+    fn sequential_history_orders() {
+        // a: {n1:2}; b saw a then updated at n2: {n1:2, n2:1}.
+        let mut a = VersionVector::new();
+        a.bump(N1);
+        a.bump(N1);
+        let mut b = a.clone();
+        b.bump(N2);
+        assert_eq!(b.compare(&a), Causality::Dominates);
+    }
+
+    #[test]
+    fn merge_is_pointwise_max() {
+        let mut a = VersionVector::new();
+        let mut b = VersionVector::new();
+        a.bump(N1);
+        a.bump(N1);
+        b.bump(N1);
+        b.bump(N2);
+        b.bump(N3);
+        a.merge(&b);
+        assert_eq!(a.get(N1), 2);
+        assert_eq!(a.get(N2), 1);
+        assert_eq!(a.get(N3), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn merge_makes_domination() {
+        let mut a = VersionVector::new();
+        let mut b = VersionVector::new();
+        a.bump(N1);
+        b.bump(N2);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.compare(&a), Causality::Dominates);
+        assert_eq!(merged.compare(&b), Causality::Dominates);
+    }
+
+    #[test]
+    fn get_missing_is_zero() {
+        assert_eq!(VersionVector::new().get(N3), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Per-node commit log. Lazy replication replays committed updates "in
+//! sequential commit order" (§5); the log records exactly that order and
+//! hands out contiguous ranges for propagation.
+
+use crate::lock::TxnId;
+use crate::object::{ObjectId, Timestamp, Value};
+use serde::{Deserialize, Serialize};
+
+/// Log sequence number: position in a node's commit log.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Lsn(pub u64);
+
+/// One committed object update, as shipped to replicas (the paper's
+/// Figure 4 message: `TRID, OID, old time, new value`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateRecord {
+    /// The committing (root) transaction.
+    pub txn: TxnId,
+    /// The updated object.
+    pub object: ObjectId,
+    /// Timestamp the root transaction observed before its write — the
+    /// lazy-group safety test compares replicas against this.
+    pub old_ts: Timestamp,
+    /// Timestamp of the new version.
+    pub new_ts: Timestamp,
+    /// The new value.
+    pub value: Value,
+}
+
+/// A committed transaction's updates, in execution order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommitRecord {
+    /// Log position of this commit.
+    pub lsn: Lsn,
+    /// The committed transaction.
+    pub txn: TxnId,
+    /// Its updates, in the order the transaction performed them.
+    pub updates: Vec<UpdateRecord>,
+}
+
+/// An append-only, in-memory commit log for one node.
+///
+/// Supports truncation of fully replicated prefixes: once every
+/// destination's watermark has passed an LSN, the records below it can
+/// be discarded (`truncate_until`) while LSNs remain stable.
+#[derive(Debug, Default)]
+pub struct CommitLog {
+    records: Vec<CommitRecord>,
+    /// Number of records discarded from the front; `records[0]` has
+    /// LSN `base`.
+    base: u64,
+}
+
+impl CommitLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of commits recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The LSN the *next* commit will receive.
+    pub fn head(&self) -> Lsn {
+        Lsn(self.base + self.records.len() as u64)
+    }
+
+    /// The oldest LSN still present (everything below was truncated).
+    pub fn tail(&self) -> Lsn {
+        Lsn(self.base)
+    }
+
+    /// Append a committed transaction, assigning its LSN.
+    pub fn append(&mut self, txn: TxnId, updates: Vec<UpdateRecord>) -> Lsn {
+        let lsn = self.head();
+        self.records.push(CommitRecord { lsn, txn, updates });
+        lsn
+    }
+
+    /// The commits in `[from, head)`, in commit order — what a
+    /// reconnecting replica that has replayed up to `from` must apply.
+    ///
+    /// # Panics
+    /// In debug builds if `from` lies below the truncation point (the
+    /// requested history no longer exists).
+    pub fn since(&self, from: Lsn) -> &[CommitRecord] {
+        debug_assert!(
+            from.0 >= self.base || self.records.is_empty(),
+            "requested LSN {from:?} below truncation point {}",
+            self.base
+        );
+        let start = (from.0.saturating_sub(self.base) as usize).min(self.records.len());
+        &self.records[start..]
+    }
+
+    /// Read one commit by LSN. Returns `None` for truncated or
+    /// not-yet-written positions.
+    pub fn get(&self, lsn: Lsn) -> Option<&CommitRecord> {
+        let idx = lsn.0.checked_sub(self.base)?;
+        self.records.get(idx as usize)
+    }
+
+    /// Discard every record below `upto` (exclusive). Call with the
+    /// minimum of all destination watermarks so no replica loses
+    /// history it still needs.
+    pub fn truncate_until(&mut self, upto: Lsn) {
+        let keep_from = upto.0.saturating_sub(self.base) as usize;
+        if keep_from == 0 {
+            return;
+        }
+        let keep_from = keep_from.min(self.records.len());
+        self.records.drain(..keep_from);
+        self.base += keep_from as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::NodeId;
+
+    fn upd(txn: u64, obj: u64, c: u64) -> UpdateRecord {
+        UpdateRecord {
+            txn: TxnId(txn),
+            object: ObjectId(obj),
+            old_ts: Timestamp::ZERO,
+            new_ts: Timestamp::new(c, NodeId(1)),
+            value: Value::Int(c as i64),
+        }
+    }
+
+    #[test]
+    fn append_assigns_sequential_lsns() {
+        let mut log = CommitLog::new();
+        assert_eq!(log.append(TxnId(1), vec![upd(1, 0, 1)]), Lsn(0));
+        assert_eq!(log.append(TxnId(2), vec![upd(2, 1, 2)]), Lsn(1));
+        assert_eq!(log.head(), Lsn(2));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn since_returns_suffix_in_order() {
+        let mut log = CommitLog::new();
+        for i in 0..5 {
+            log.append(TxnId(i), vec![upd(i, i, i + 1)]);
+        }
+        let tail = log.since(Lsn(3));
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].txn, TxnId(3));
+        assert_eq!(tail[1].txn, TxnId(4));
+    }
+
+    #[test]
+    fn since_head_is_empty() {
+        let mut log = CommitLog::new();
+        log.append(TxnId(1), vec![]);
+        assert!(log.since(log.head()).is_empty());
+    }
+
+    #[test]
+    fn since_past_head_is_empty_not_panic() {
+        let log = CommitLog::new();
+        assert!(log.since(Lsn(42)).is_empty());
+    }
+
+    #[test]
+    fn get_by_lsn() {
+        let mut log = CommitLog::new();
+        let lsn = log.append(TxnId(7), vec![upd(7, 3, 9)]);
+        let rec = log.get(lsn).unwrap();
+        assert_eq!(rec.txn, TxnId(7));
+        assert_eq!(rec.updates[0].object, ObjectId(3));
+        assert!(log.get(Lsn(99)).is_none());
+    }
+
+    #[test]
+    fn empty_log_state() {
+        let log = CommitLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.head(), Lsn(0));
+        assert_eq!(log.tail(), Lsn(0));
+    }
+
+    #[test]
+    fn truncate_preserves_lsns() {
+        let mut log = CommitLog::new();
+        for i in 0..10 {
+            log.append(TxnId(i), vec![upd(i, i, i + 1)]);
+        }
+        log.truncate_until(Lsn(4));
+        assert_eq!(log.tail(), Lsn(4));
+        assert_eq!(log.head(), Lsn(10));
+        assert_eq!(log.len(), 6);
+        // LSNs are stable across truncation.
+        assert_eq!(log.get(Lsn(4)).unwrap().txn, TxnId(4));
+        assert!(log.get(Lsn(3)).is_none(), "truncated record must be gone");
+        let tail = log.since(Lsn(8));
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].txn, TxnId(8));
+    }
+
+    #[test]
+    fn truncate_everything_then_append() {
+        let mut log = CommitLog::new();
+        log.append(TxnId(1), vec![]);
+        log.append(TxnId(2), vec![]);
+        log.truncate_until(log.head());
+        assert!(log.is_empty());
+        assert_eq!(log.head(), Lsn(2));
+        let lsn = log.append(TxnId(3), vec![]);
+        assert_eq!(lsn, Lsn(2));
+        assert_eq!(log.get(Lsn(2)).unwrap().txn, TxnId(3));
+    }
+
+    #[test]
+    fn truncate_beyond_head_clamps() {
+        let mut log = CommitLog::new();
+        log.append(TxnId(1), vec![]);
+        log.truncate_until(Lsn(99));
+        assert!(log.is_empty());
+        assert_eq!(log.tail(), Lsn(1));
+    }
+
+    #[test]
+    fn truncate_noop_below_base() {
+        let mut log = CommitLog::new();
+        for i in 0..5 {
+            log.append(TxnId(i), vec![]);
+        }
+        log.truncate_until(Lsn(3));
+        log.truncate_until(Lsn(2)); // already gone — must not panic
+        assert_eq!(log.tail(), Lsn(3));
+    }
+}

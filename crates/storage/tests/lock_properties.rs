@@ -1,0 +1,127 @@
+//! Property tests for the lock manager: under arbitrary interleavings
+//! of requests, commits and deadlock aborts, the manager's bookkeeping
+//! stays consistent and everything is released at the end.
+
+use proptest::prelude::*;
+use repl_storage::{Acquire, LockManager, ObjectId, TxnId};
+use std::collections::{HashMap, HashSet};
+
+/// One step of the random walk.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Transaction `t` requests object `o` (ignored while blocked).
+    Request(u64, u64),
+    /// Transaction `t` commits (ignored while blocked).
+    Commit(u64),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u64..16, 0u64..8).prop_map(|(t, o)| Step::Request(t, o)),
+        (0u64..16).prop_map(Step::Commit),
+    ]
+}
+
+/// Mirror of what the walk believes each transaction is doing.
+#[derive(Default)]
+struct Mirror {
+    /// Objects we believe each live transaction holds.
+    held: HashMap<u64, HashSet<u64>>,
+    /// Transactions currently blocked (and on which object).
+    blocked: HashMap<u64, u64>,
+}
+
+impl Mirror {
+    fn process_grants(&mut self, grants: Vec<(TxnId, ObjectId)>) {
+        for (t, o) in grants {
+            let was = self.blocked.remove(&t.0);
+            assert_eq!(
+                was,
+                Some(o.0),
+                "grant for {t} on {o} but mirror thought it waited on {was:?}"
+            );
+            self.held.entry(t.0).or_default().insert(o.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn random_walk_keeps_invariants(steps in prop::collection::vec(arb_step(), 1..300)) {
+        let mut lm = LockManager::new();
+        let mut m = Mirror::default();
+
+        for step in steps {
+            match step {
+                Step::Request(t, o) => {
+                    if m.blocked.contains_key(&t) {
+                        continue; // a blocked transaction cannot issue requests
+                    }
+                    match lm.acquire(TxnId(t), ObjectId(o)) {
+                        Acquire::Granted => {
+                            m.held.entry(t).or_default().insert(o);
+                            prop_assert!(lm.holds(TxnId(t), ObjectId(o)));
+                        }
+                        Acquire::Waiting => {
+                            m.blocked.insert(t, o);
+                            prop_assert!(lm.is_waiting(TxnId(t)));
+                        }
+                        Acquire::Deadlock => {
+                            // Victim aborts immediately.
+                            let grants = lm.release_all(TxnId(t));
+                            m.held.remove(&t);
+                            m.process_grants(grants);
+                        }
+                    }
+                }
+                Step::Commit(t) => {
+                    if m.blocked.contains_key(&t) {
+                        continue;
+                    }
+                    let grants = lm.release_all(TxnId(t));
+                    m.held.remove(&t);
+                    m.process_grants(grants);
+                }
+            }
+            // Continuous invariants.
+            prop_assert_eq!(lm.blocked_transactions(), m.blocked.len());
+            for (&t, objs) in &m.held {
+                for &o in objs {
+                    prop_assert!(
+                        lm.holds(TxnId(t), ObjectId(o)),
+                        "mirror thinks {t} holds {o} but the manager disagrees"
+                    );
+                }
+            }
+        }
+
+        // Shut everything down: commit all unblocked transactions until
+        // the system drains; blocked ones become unblocked by grants.
+        let mut remaining: Vec<u64> = m.held.keys().copied()
+            .chain(m.blocked.keys().copied())
+            .collect();
+        remaining.sort_unstable();
+        remaining.dedup();
+        let mut fuel = remaining.len() * remaining.len() + 16;
+        while !(m.held.is_empty() && m.blocked.is_empty()) {
+            prop_assert!(fuel > 0, "drain did not terminate");
+            fuel -= 1;
+            let Some(&t) = m.held.keys().next() else {
+                // Only blocked transactions remain but nobody holds a
+                // lock — impossible.
+                prop_assert!(
+                    m.blocked.is_empty(),
+                    "blocked transactions with no holders: {:?}",
+                    m.blocked
+                );
+                break;
+            };
+            let grants = lm.release_all(TxnId(t));
+            m.held.remove(&t);
+            m.process_grants(grants);
+        }
+        prop_assert_eq!(lm.locked_objects(), 0);
+        prop_assert_eq!(lm.blocked_transactions(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! A TPC-B-style scaled banking workload.
+//!
+//! The paper invokes the TPC benchmarks when discussing equation (13):
+//! "one might imagine that the database size grows with the number of
+//! nodes (as in the checkbook example earlier, or in the TPC-A, TPC-B,
+//! and TPC-C benchmarks). More nodes, and more transactions mean more
+//! data." This module provides that shape: a bank whose object count
+//! scales with the configured branch count, and whose transaction is
+//! the classic TPC-B profile (update one account, its teller, and its
+//! branch) expressed as commutative transformations.
+
+use repl_core::{Criterion, Op, Operation, TxnSpec};
+use repl_sim::SimRng;
+use repl_storage::ObjectId;
+
+/// Scale constants, in miniature (the real TPC-B uses 100 000 accounts
+/// per branch; the simulator only needs the *shape*).
+const TELLERS_PER_BRANCH: u64 = 10;
+const ACCOUNTS_PER_BRANCH: u64 = 100;
+
+/// A scaled TPC-B-like bank layout over a dense object-id space:
+/// `[branches | tellers | accounts]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpcbLayout {
+    /// Number of branches (the scale factor).
+    pub branches: u64,
+}
+
+impl TpcbLayout {
+    /// A bank with `branches` branches — the paper's "database size
+    /// grows with the number of nodes" maps one-or-more branches to
+    /// each node.
+    pub fn new(branches: u64) -> Self {
+        assert!(branches >= 1, "a bank needs at least one branch");
+        TpcbLayout { branches }
+    }
+
+    /// Total objects (`DB_Size`) for this scale.
+    pub fn db_size(&self) -> u64 {
+        self.branches * (1 + TELLERS_PER_BRANCH + ACCOUNTS_PER_BRANCH)
+    }
+
+    /// Object id of a branch's balance record.
+    pub fn branch(&self, b: u64) -> ObjectId {
+        debug_assert!(b < self.branches);
+        ObjectId(b)
+    }
+
+    /// Object id of teller `t` of branch `b`.
+    pub fn teller(&self, b: u64, t: u64) -> ObjectId {
+        debug_assert!(b < self.branches && t < TELLERS_PER_BRANCH);
+        ObjectId(self.branches + b * TELLERS_PER_BRANCH + t)
+    }
+
+    /// Object id of account `a` of branch `b`.
+    pub fn account(&self, b: u64, a: u64) -> ObjectId {
+        debug_assert!(b < self.branches && a < ACCOUNTS_PER_BRANCH);
+        ObjectId(self.branches * (1 + TELLERS_PER_BRANCH) + b * ACCOUNTS_PER_BRANCH + a)
+    }
+
+    /// Generate one TPC-B-style transaction: a deposit/withdrawal of
+    /// `delta` routed through a random teller, updating account, teller
+    /// and branch balances — three commutative updates guarded by the
+    /// non-negative-balance criterion.
+    pub fn transaction(&self, rng: &mut SimRng, max_amount: i64) -> TxnSpec {
+        let b = rng.gen_range(self.branches);
+        let t = rng.gen_range(TELLERS_PER_BRANCH);
+        let a = rng.gen_range(ACCOUNTS_PER_BRANCH);
+        let amount = 1 + rng.gen_range(max_amount.max(1) as u64) as i64;
+        let op = if rng.chance(0.5) {
+            Op::Add(amount)
+        } else {
+            Op::Debit(amount)
+        };
+        TxnSpec::new(vec![
+            Operation::new(self.account(b, a), op.clone()),
+            Operation::new(self.teller(b, t), op.clone()),
+            Operation::new(self.branch(b), op),
+        ])
+        .with_criterion(Criterion::NonNegative)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_partitions_object_space() {
+        let l = TpcbLayout::new(3);
+        assert_eq!(l.db_size(), 3 * 111);
+        // Branches, tellers and accounts occupy disjoint ranges.
+        let mut ids = vec![];
+        for b in 0..3 {
+            ids.push(l.branch(b).0);
+            for t in 0..TELLERS_PER_BRANCH {
+                ids.push(l.teller(b, t).0);
+            }
+            for a in 0..ACCOUNTS_PER_BRANCH {
+                ids.push(l.account(b, a).0);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len() as u64, l.db_size(), "ids must be unique");
+        assert_eq!(*ids.last().unwrap(), l.db_size() - 1, "ids must be dense");
+    }
+
+    #[test]
+    fn db_size_scales_linearly_with_branches() {
+        let one = TpcbLayout::new(1).db_size();
+        let ten = TpcbLayout::new(10).db_size();
+        assert_eq!(ten, 10 * one);
+    }
+
+    #[test]
+    fn transactions_touch_account_teller_branch() {
+        let l = TpcbLayout::new(2);
+        let mut rng = SimRng::new(5);
+        for _ in 0..50 {
+            let spec = l.transaction(&mut rng, 100);
+            assert_eq!(spec.len(), 3);
+            assert!(spec.is_commutative());
+            assert_eq!(spec.criterion, Criterion::NonNegative);
+            let ids: Vec<u64> = spec.objects().map(|o| o.0).collect();
+            // One account, one teller, one branch — in their ranges.
+            assert!(ids[0] >= l.branches * (1 + TELLERS_PER_BRANCH));
+            assert!(ids[1] >= l.branches && ids[1] < l.branches * (1 + TELLERS_PER_BRANCH));
+            assert!(ids[2] < l.branches);
+        }
+    }
+
+    #[test]
+    fn transactions_are_deterministic_per_seed() {
+        let l = TpcbLayout::new(4);
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        for _ in 0..10 {
+            assert_eq!(l.transaction(&mut a, 50), l.transaction(&mut b, 50));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one branch")]
+    fn zero_branches_rejected() {
+        TpcbLayout::new(0);
+    }
+}

@@ -1,0 +1,71 @@
+//! The scaleup pitfall, live: "a prototype system demonstrates well …
+//! but the system behaves very differently when the application is
+//! scaled up to a large number of nodes."
+//!
+//! ```bash
+//! cargo run --release --example scaleup_study
+//! ```
+//!
+//! Sweeps the node count for eager-group, lazy-master and two-tier and
+//! prints the measured danger curves next to the model's predictions.
+
+use dangers_of_replication::core::{
+    EagerSim, LazyMasterSim, Ownership, ReplicaDiscipline, SimConfig, TwoTierConfig, TwoTierSim,
+    TwoTierWorkload,
+};
+use dangers_of_replication::model::{eager, lazy, Params};
+use dangers_of_replication::sim::SimDuration;
+
+fn main() {
+    let base = Params::new(500.0, 1.0, 10.0, 4.0, 0.01);
+    println!("DB_Size=500, TPS/node=10, Actions=4, Action_Time=10ms, 400 simulated seconds\n");
+    println!(
+        "{:>5} | {:>12} {:>12} | {:>12} {:>12} | {:>14}",
+        "nodes",
+        "eager dl/s",
+        "(model)",
+        "lzy-mstr dl/s",
+        "(model)",
+        "two-tier rej/s"
+    );
+    println!("{}", "-".repeat(82));
+    for n in [1.0, 2.0, 4.0, 6.0, 8.0] {
+        let p = base.with_nodes(n);
+        let cfg = SimConfig::from_params(&p, 400, 7).with_warmup(5);
+        let eager_run = EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group).run();
+        let lm_run = LazyMasterSim::new(cfg).run();
+        let tt_rej = if n >= 2.0 {
+            let tt = TwoTierConfig {
+                sim: cfg,
+                base_nodes: (n as u32 / 2).max(1),
+                mobile_owned: 0,
+                connected: SimDuration::from_secs(10),
+                disconnected: SimDuration::from_secs(20),
+                workload: TwoTierWorkload::Commutative { max_amount: 10 },
+                initial_value: 1_000_000,
+            };
+            let r = TwoTierSim::new(tt).run();
+            r.tentative_rejected as f64 / r.duration_secs
+        } else {
+            0.0
+        };
+        println!(
+            "{:>5} | {:>12.4} {:>12.4} | {:>12.4} {:>12.4} | {:>14.4}",
+            n,
+            eager_run.deadlock_rate,
+            eager::total_deadlock_rate(&p),
+            lm_run.deadlock_rate,
+            lazy::master_deadlock_rate(&p),
+            tt_rej,
+        );
+    }
+    println!(
+        "\neager deadlocks blow up cubically; lazy-master quadratically; \
+         commutative two-tier rejects nothing while still serving mobile nodes"
+    );
+    println!(
+        "where the measured eager rate runs far above the model, the system has left\n\
+         the model's light-contention regime entirely — the paper's scaleup pitfall:\n\
+         \"suddenly, the deadlock and reconciliation rate is astronomically higher\" (§2)"
+    );
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Insert `harness all` output into EXPERIMENTS.md placeholders.
+
+Usage: cargo run --release -p repl-harness -- all > harness_all.txt
+       python3 scripts/fill_experiments.py harness_all.txt
+"""
+import re
+import sys
+
+def main() -> None:
+    src = sys.argv[1] if len(sys.argv) > 1 else "harness_all.txt"
+    text = open(src).read()
+    # Split on table headers "== ID: title ==".
+    blocks = {}
+    current_id = None
+    current: list[str] = []
+    for line in text.splitlines():
+        m = re.match(r"^== ([A-Za-z0-9-]+): ", line)
+        if m:
+            if current_id:
+                blocks[current_id] = "\n".join(current).strip()
+            current_id = m.group(1)
+            current = [line]
+        elif current_id:
+            current.append(line)
+    if current_id:
+        blocks[current_id] = "\n".join(current).strip()
+
+    doc = open("EXPERIMENTS.md").read()
+    filled = 0
+    for exp_id, body in blocks.items():
+        placeholder = f"<!-- {exp_id.upper()}-OUTPUT -->"
+        replacement = f"```text\n{body}\n```"
+        if placeholder in doc:
+            doc = doc.replace(placeholder, replacement)
+            filled += 1
+        else:
+            # Replace an existing fenced block that follows a heading
+            # mentioning the id, if re-running.
+            print(f"warning: no placeholder for {exp_id}", file=sys.stderr)
+    open("EXPERIMENTS.md", "w").write(doc)
+    print(f"filled {filled} sections")
+
+if __name__ == "__main__":
+    main()

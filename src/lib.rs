@@ -1,0 +1,33 @@
+//! Facade crate for the *Dangers of Replication* reproduction suite.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency. See the individual
+//! crates for the real documentation:
+//!
+//! * [`model`] — the paper's closed-form analytic model (equations 1-19).
+//! * [`sim`] — deterministic discrete-event simulation substrate.
+//! * [`storage`] — versioned object store, lock manager, deadlock detector.
+//! * [`net`] — simulated network with delays and disconnection schedules.
+//! * [`core`] — the five replication protocols and reconciliation machinery.
+//! * [`workload`] — workload generators (uniform, Zipf, checkbook, ...).
+//! * [`cluster`] — threaded node runtime over real channels.
+//! * [`harness`] — experiment harness regenerating every figure and table.
+//!
+//! ```
+//! use dangers_of_replication::model::{lazy, Params};
+//!
+//! // Lazy-master deadlocks grow quadratically (equation 19).
+//! let p = Params::new(1_000.0, 1.0, 10.0, 4.0, 0.01);
+//! let r1 = lazy::master_deadlock_rate(&p.with_nodes(1.0));
+//! let r10 = lazy::master_deadlock_rate(&p.with_nodes(10.0));
+//! assert!((r10 / r1 - 100.0).abs() < 1e-9);
+//! ```
+
+pub use repl_cluster as cluster;
+pub use repl_core as core;
+pub use repl_harness as harness;
+pub use repl_model as model;
+pub use repl_net as net;
+pub use repl_sim as sim;
+pub use repl_storage as storage;
+pub use repl_workload as workload;

@@ -1,0 +1,230 @@
+//! Cross-crate convergence properties — §6's central notion: "if no
+//! new transactions arrive, and if all the nodes are connected
+//! together, they will all converge to the same replicated state".
+
+use dangers_of_replication::core::convergent::{
+    AccessStore, DocId, NotesStore, NotesUpdate,
+};
+use dangers_of_replication::core::{Mobility, Op, SimConfig};
+use dangers_of_replication::core::engine::lazy_group::LazyGroupSim;
+use dangers_of_replication::model::Params;
+use dangers_of_replication::sim::SimDuration;
+use dangers_of_replication::storage::{NodeId, Timestamp, Value, VersionVector};
+use proptest::prelude::*;
+
+/// An update minus its timestamp; the caller assigns unique timestamps
+/// by enumeration (in a real system Lamport timestamps are unique per
+/// update — duplicate timestamps with different payloads cannot occur).
+#[derive(Debug, Clone)]
+enum ProtoUpdate {
+    Append(u64, String),
+    Replace(u64, i64),
+    Increment(u64, i64),
+}
+
+fn arb_proto() -> impl Strategy<Value = ProtoUpdate> {
+    let doc = 0u64..6;
+    prop_oneof![
+        (doc.clone(), "[a-z]{1,6}").prop_map(|(d, text)| ProtoUpdate::Append(d, text)),
+        (doc.clone(), -100i64..100).prop_map(|(d, v)| ProtoUpdate::Replace(d, v)),
+        (doc, -10i64..10).prop_map(|(d, delta)| ProtoUpdate::Increment(d, delta)),
+    ]
+}
+
+/// Materialize protos with unique timestamps (counter = position).
+fn materialize(protos: &[ProtoUpdate], nodes: &[u32]) -> Vec<NotesUpdate> {
+    protos
+        .iter()
+        .zip(nodes.iter().cycle())
+        .enumerate()
+        .map(|(i, (p, &n))| {
+            let ts = Timestamp::new(i as u64 + 1, NodeId(n));
+            match p {
+                ProtoUpdate::Append(d, text) => NotesUpdate::Append {
+                    doc: DocId(*d),
+                    ts,
+                    text: text.clone(),
+                },
+                ProtoUpdate::Replace(d, v) => NotesUpdate::Replace {
+                    doc: DocId(*d),
+                    ts,
+                    value: Value::Int(*v),
+                },
+                ProtoUpdate::Increment(d, delta) => NotesUpdate::Increment {
+                    doc: DocId(*d),
+                    ts,
+                    delta: *delta,
+                },
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Any permutation of the same Notes update set converges to the
+    /// same state — except that raw Increments are not idempotent under
+    /// *duplication*, so we permute (every update applied exactly once).
+    #[test]
+    fn notes_apply_order_irrelevant(
+        protos in prop::collection::vec(arb_proto(), 1..40),
+        nodes in prop::collection::vec(0u32..4, 1..5),
+        seed in 0u64..1000,
+    ) {
+        let updates = materialize(&protos, &nodes);
+        let mut forward = NotesStore::new();
+        for u in &updates {
+            forward.apply(u);
+        }
+        // Deterministic shuffle from the seed.
+        let mut order: Vec<usize> = (0..updates.len()).collect();
+        let mut rng = dangers_of_replication::sim::SimRng::new(seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let mut shuffled = NotesStore::new();
+        for idx in order {
+            shuffled.apply(&updates[idx]);
+        }
+        prop_assert_eq!(forward.digest(), shuffled.digest());
+    }
+
+    /// State-based merge is commutative and idempotent.
+    #[test]
+    fn notes_merge_commutative_idempotent(
+        a_protos in prop::collection::vec(arb_proto(), 0..20),
+        b_protos in prop::collection::vec(arb_proto(), 0..20),
+    ) {
+        // Distinct node ids keep the two replicas' timestamps unique.
+        let a_updates = materialize(&a_protos, &[0, 1]);
+        let b_updates = materialize(&b_protos, &[2, 3]);
+        let mut a = NotesStore::new();
+        for u in &a_updates { a.apply(u); }
+        let mut b = NotesStore::new();
+        for u in &b_updates { b.apply(u); }
+
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        prop_assert_eq!(ab.digest(), ba.digest(), "merge must be commutative");
+
+        let before = ab.digest();
+        ab.merge_from(&b);
+        ab.merge_from(&a);
+        prop_assert_eq!(ab.digest(), before, "merge must be idempotent");
+    }
+
+    /// Version-vector merge is commutative, associative and idempotent,
+    /// and the merge dominates (or equals) both inputs.
+    #[test]
+    fn version_vector_merge_laws(
+        bumps_a in prop::collection::vec(0u32..5, 0..15),
+        bumps_b in prop::collection::vec(0u32..5, 0..15),
+        bumps_c in prop::collection::vec(0u32..5, 0..15),
+    ) {
+        let mk = |bumps: &[u32]| {
+            let mut v = VersionVector::new();
+            for &n in bumps {
+                v.bump(NodeId(n));
+            }
+            v
+        };
+        let (a, b, c) = (mk(&bumps_a), mk(&bumps_b), mk(&bumps_c));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        let mut aa = a.clone();
+        aa.merge(&a);
+        prop_assert_eq!(&aa, &a);
+
+        use dangers_of_replication::storage::Causality;
+        let cmp = ab.compare(&a);
+        prop_assert!(matches!(cmp, Causality::Equal | Causality::Dominates));
+    }
+
+    /// Commutative operations really commute on arbitrary start values
+    /// whenever `commutes_with` says so.
+    #[test]
+    fn op_commutativity_is_semantic(
+        start in -1000i64..1000,
+        x in -50i64..50,
+        y in -50i64..50,
+    ) {
+        let ops = [Op::Add(x), Op::Debit(y), Op::Set(Value::Int(x))];
+        for a in &ops {
+            for b in &ops {
+                if a.commutes_with(b) {
+                    let s = Value::Int(start);
+                    let ab = b.apply(&a.apply(&s));
+                    let ba = a.apply(&b.apply(&s));
+                    prop_assert_eq!(ab, ba, "{:?} / {:?} flagged commutative but differ", a, b);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn access_replicas_converge_after_full_gossip() {
+    let mut stores: Vec<AccessStore> = (0..4).map(|i| AccessStore::new(NodeId(i))).collect();
+    let mut ts = 0;
+    for round in 0..30u64 {
+        for (i, s) in stores.iter_mut().enumerate() {
+            ts += 1;
+            s.update(
+                DocId(round % 7),
+                Value::Int((round as i64) * 10 + i as i64),
+                Timestamp::new(ts, NodeId(i as u32)),
+            );
+        }
+        // Ring gossip.
+        for i in 0..4 {
+            let j = (i + 1) % 4;
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            let (left, right) = stores.split_at_mut(hi);
+            left[lo].exchange(&mut right[0]);
+        }
+    }
+    // A final full round to quiesce.
+    for _ in 0..2 {
+        for i in 0..4 {
+            let j = (i + 1) % 4;
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            let (left, right) = stores.split_at_mut(hi);
+            left[lo].exchange(&mut right[0]);
+        }
+    }
+    let d0 = stores[0].digest();
+    for (i, s) in stores.iter().enumerate() {
+        assert_eq!(s.digest(), d0, "replica {i} diverged");
+    }
+}
+
+#[test]
+fn lazy_group_mobile_converges_end_to_end() {
+    let p = Params::new(300.0, 5.0, 8.0, 3.0, 0.01);
+    let cfg = SimConfig::from_params(&p, 90, 1234);
+    let mobility = Mobility::Cycling {
+        connected: SimDuration::from_secs(12),
+        disconnected: SimDuration::from_secs(18),
+    };
+    let (report, stores) = LazyGroupSim::new(cfg, mobility).run_with_state();
+    assert!(report.committed > 0);
+    let d0 = stores[0].digest();
+    for (i, s) in stores.iter().enumerate() {
+        assert_eq!(s.digest(), d0, "node {i} diverged after drain");
+    }
+}

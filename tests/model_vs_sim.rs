@@ -1,0 +1,116 @@
+//! Model-vs-simulator agreement at spot-check points. These are the
+//! fast versions of harness experiments E1/E5/E10: the closed forms and
+//! the discrete-event engines must agree on *shape* (ordering, growth
+//! direction), with loose tolerances on absolute constants.
+
+use dangers_of_replication::core::{
+    ContentionProfile, ContentionSim, EagerSim, LazyMasterSim, Ownership, ReplicaDiscipline,
+    SimConfig,
+};
+use dangers_of_replication::model::{eager, lazy, single, Params};
+
+#[test]
+fn single_node_wait_rate_matches_model_within_factor_two() {
+    let p = Params::new(2_000.0, 1.0, 50.0, 4.0, 0.01);
+    let predicted = single::node_wait_rate(&p);
+    let cfg = SimConfig::from_params(&p, 400, 42).with_warmup(5);
+    let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg)).run();
+    assert!(r.waits > 20, "need a statistically meaningful sample");
+    let ratio = r.wait_rate / predicted;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "wait rate {} vs model {predicted}: ratio {ratio}",
+        r.wait_rate
+    );
+}
+
+#[test]
+fn eager_wait_rate_grows_superquadratically() {
+    // Equation (10): cubic. Allow anything clearly super-quadratic.
+    let base = Params::new(2_000.0, 1.0, 20.0, 4.0, 0.01);
+    let mut rates = Vec::new();
+    for n in [2.0, 4.0, 8.0] {
+        let p = base.with_nodes(n);
+        let cfg = SimConfig::from_params(&p, 200, 7).with_warmup(5);
+        let r = EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group).run();
+        rates.push((n, r.wait_rate));
+    }
+    let growth = rates[2].1 / rates[0].1.max(1e-9);
+    // 4x nodes: cubic predicts 64x; quadratic 16x. Demand > 24x.
+    assert!(
+        growth > 24.0,
+        "eager wait growth 2->8 nodes was only {growth:.1}x: {rates:?}"
+    );
+}
+
+#[test]
+fn lazy_master_wait_rate_grows_quadratically_not_cubically() {
+    let base = Params::new(2_000.0, 1.0, 20.0, 4.0, 0.01);
+    let mut rates = Vec::new();
+    for n in [2.0, 4.0, 8.0] {
+        let p = base.with_nodes(n);
+        let cfg = SimConfig::from_params(&p, 300, 7).with_warmup(5);
+        let r = LazyMasterSim::new(cfg).run();
+        rates.push((n, r.wait_rate));
+    }
+    let growth = rates[2].1 / rates[0].1.max(1e-9);
+    // 4x nodes: quadratic predicts 16x. Accept 6..40.
+    assert!(
+        (6.0..40.0).contains(&growth),
+        "lazy-master wait growth 2->8 nodes was {growth:.1}x: {rates:?}"
+    );
+}
+
+#[test]
+fn eager_beats_nothing_lazy_master_beats_eager() {
+    // The paper's §5 ordering at moderate scale: lazy-master conflicts
+    // less than eager because transactions are shorter.
+    let p = Params::new(500.0, 6.0, 10.0, 4.0, 0.01);
+    let cfg = SimConfig::from_params(&p, 300, 11).with_warmup(5);
+    let eager_run = EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group).run();
+    let lm_run = LazyMasterSim::new(cfg).run();
+    assert!(
+        lm_run.wait_rate < eager_run.wait_rate,
+        "lazy-master waits {} should be below eager {}",
+        lm_run.wait_rate,
+        eager_run.wait_rate
+    );
+}
+
+#[test]
+fn scaled_database_tames_eager_growth() {
+    // Equation (13): with DB ∝ N the growth is linear; the 8-node rate
+    // should be far closer to the 2-node rate than in the fixed-DB case.
+    let base = Params::new(300.0, 1.0, 12.0, 4.0, 0.01);
+    let rate_at = |n: f64, scale_db: bool, seed: u64| {
+        let db = if scale_db { 300.0 * n } else { 300.0 };
+        let p = Params {
+            db_size: db,
+            ..base.with_nodes(n)
+        };
+        let cfg = SimConfig::from_params(&p, 300, seed).with_warmup(5);
+        EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
+            .run()
+            .wait_rate
+    };
+    let fixed_growth = rate_at(8.0, false, 3) / rate_at(2.0, false, 3).max(1e-9);
+    let scaled_growth = rate_at(8.0, true, 3) / rate_at(2.0, true, 3).max(1e-9);
+    assert!(
+        scaled_growth < fixed_growth / 2.0,
+        "scaling the DB should tame growth: fixed {fixed_growth:.1}x vs scaled {scaled_growth:.1}x"
+    );
+}
+
+#[test]
+fn model_predictions_are_internally_consistent() {
+    // Equation (14) == equation (10); equation (19) at N=1 == eq (5).
+    let p = Params::new(1_000.0, 5.0, 10.0, 4.0, 0.01);
+    assert_eq!(
+        lazy::group_reconciliation_rate(&p),
+        eager::total_wait_rate(&p)
+    );
+    let p1 = p.with_nodes(1.0);
+    let a = lazy::master_deadlock_rate(&p1);
+    let b = single::node_deadlock_rate(&p1);
+    assert!((a - b).abs() / b < 1e-12);
+}
