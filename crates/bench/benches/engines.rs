@@ -33,9 +33,7 @@ fn bench_engines(c: &mut Criterion) {
     });
     g.bench_function("eager_parallel", |b| {
         b.iter(|| {
-            black_box(
-                EagerSim::new(cfg(3), ReplicaDiscipline::Parallel, Ownership::Group).run(),
-            )
+            black_box(EagerSim::new(cfg(3), ReplicaDiscipline::Parallel, Ownership::Group).run())
         });
     });
     g.bench_function("lazy_master", |b| {

@@ -17,6 +17,7 @@ fn bench_experiments(c: &mut Criterion) {
     let opts = RunOpts {
         quick: true,
         seed: 0x5EED_1996,
+        ..RunOpts::default()
     };
     for e in experiments::ALL {
         g.bench_function(e.name, |b| {

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use repl_sim::{AccessPattern, EventQueue, Sampler, SimRng, SimTime};
-use repl_storage::{
-    LockManager, NodeId, ObjectId, ObjectStore, Timestamp, TxnId, Value,
-};
+use repl_storage::{LockManager, NodeId, ObjectId, ObjectStore, Timestamp, TxnId, Value};
 use std::hint::black_box;
 
 fn bench_lock_manager(c: &mut Criterion) {

@@ -1,0 +1,47 @@
+//! Telemetry overhead: the same lazy-group run with no tracer, with a
+//! `NullTracer` (events built and dispatched, then discarded), and
+//! with a `RingBuffer` (events retained). The first two should be
+//! within noise of each other — the `<5%` contract the guard test in
+//! `repl-bench`'s lib enforces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repl_bench::overhead_workload;
+use repl_core::{LazyGroupSim, Mobility};
+use repl_telemetry::{NullTracer, RingBuffer, TraceHandle};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+
+    g.bench_function("off", |b| {
+        b.iter(|| {
+            let sim = LazyGroupSim::new(overhead_workload(2), Mobility::Connected);
+            black_box(sim.run())
+        })
+    });
+
+    g.bench_function("null_tracer", |b| {
+        b.iter(|| {
+            let sim = LazyGroupSim::new(overhead_workload(2), Mobility::Connected)
+                .with_tracer(TraceHandle::new(NullTracer));
+            black_box(sim.run())
+        })
+    });
+
+    g.bench_function("ring_buffer", |b| {
+        b.iter(|| {
+            let ring = Rc::new(RefCell::new(RingBuffer::new(1 << 14)));
+            let sim = LazyGroupSim::new(overhead_workload(2), Mobility::Connected)
+                .with_tracer(TraceHandle::shared(&ring));
+            black_box(sim.run())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

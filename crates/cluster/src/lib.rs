@@ -35,9 +35,11 @@ pub mod two_tier;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use repl_core::{Op, TxnSpec};
+use repl_sim::SimTime;
 use repl_storage::{
-    ApplyOutcome, LamportClock, NodeId, ObjectId, ObjectStore, UpdateRecord, Value,
+    ApplyOutcome, LamportClock, NodeId, ObjectId, ObjectStore, TxnId, UpdateRecord, Value,
 };
+use repl_telemetry::{Event, EventKind, SyncTraceHandle};
 use std::thread::JoinHandle;
 
 /// Messages a node thread processes.
@@ -77,6 +79,10 @@ struct NodeThread {
     inbox: Receiver<NodeMsg>,
     peers: Vec<Sender<NodeMsg>>,
     stats: NodeStats,
+    tracer: SyncTraceHandle,
+    // Threads have no simulated clock; events carry a per-node logical
+    // tick, one per processed message.
+    tick: u64,
 }
 
 impl NodeThread {
@@ -97,10 +103,19 @@ impl NodeThread {
                 NodeMsg::Shutdown => break,
             }
         }
+        self.tracer.flush();
     }
 
     fn execute(&mut self, spec: &TxnSpec) -> Vec<(ObjectId, Value)> {
         self.stats.executed += 1;
+        self.tick += 1;
+        let now = SimTime(self.tick);
+        // Stamp events with a node-local transaction id; the threaded
+        // runtime has no global id allocator.
+        let txn = TxnId(self.stats.executed);
+        let id = self.id;
+        self.tracer
+            .emit(|| Event::new(now, id, txn, EventKind::TxnBegin));
         let mut updates = Vec::with_capacity(spec.ops.len());
         let mut results = Vec::with_capacity(spec.ops.len());
         for op in &spec.ops {
@@ -117,6 +132,8 @@ impl NodeThread {
             });
             results.push((op.object, new_value));
         }
+        self.tracer
+            .emit(|| Event::new(now, id, txn, EventKind::TxnCommit));
         for (i, peer) in self.peers.iter().enumerate() {
             if i == self.id.0 as usize {
                 continue;
@@ -124,31 +141,55 @@ impl NodeThread {
             let _ = peer.send(NodeMsg::Replica {
                 updates: updates.clone(),
             });
+            self.tracer.emit(|| {
+                Event::new(
+                    now,
+                    id,
+                    txn,
+                    EventKind::MsgSent {
+                        to: NodeId(i as u32),
+                    },
+                )
+            });
         }
         results
     }
 
     fn apply_replica(&mut self, updates: Vec<UpdateRecord>) {
+        self.tick += 1;
+        let now = SimTime(self.tick);
+        let id = self.id;
         let mut conflicted = false;
         for u in updates {
             self.clock.observe(u.new_ts);
+            let object = u.object;
             match self
                 .store
                 .apply_versioned(u.object, u.old_ts, u.new_ts, u.value)
             {
                 ApplyOutcome::Applied => {}
-                ApplyOutcome::Duplicate => self.stats.stale += 1,
+                ApplyOutcome::Duplicate => {
+                    self.stats.stale += 1;
+                    self.tracer
+                        .emit(|| Event::system(now, id, EventKind::StaleSkip));
+                }
                 // Dangerous updates are resolved by time priority
                 // inside the store; both directions count as
                 // reconciliations.
                 ApplyOutcome::ConflictApplied | ApplyOutcome::ConflictIgnored => {
                     conflicted = true;
+                    self.tracer
+                        .emit(|| Event::system(now, id, EventKind::DangerousUpdate { object }));
                 }
             }
         }
         self.stats.replica_applied += 1;
+        self.tracer
+            .emit(|| Event::system(now, id, EventKind::ReplicaApply));
         if conflicted {
             self.stats.reconciliations += 1;
+            self.tracer
+                .emit(|| Event::system(now, id, EventKind::Reconcile));
         }
     }
 }
@@ -166,6 +207,15 @@ impl Cluster {
     /// # Panics
     /// If `nodes` is zero or a thread cannot be spawned.
     pub fn new(nodes: u32, db_size: u64) -> Self {
+        Cluster::new_traced(nodes, db_size, SyncTraceHandle::off())
+    }
+
+    /// Like [`Cluster::new`], but every node thread shares `tracer` and
+    /// emits telemetry events as it executes and applies updates.
+    ///
+    /// # Panics
+    /// If `nodes` is zero or a thread cannot be spawned.
+    pub fn new_traced(nodes: u32, db_size: u64, tracer: SyncTraceHandle) -> Self {
         assert!(nodes > 0, "cluster needs at least one node");
         let channels: Vec<(Sender<NodeMsg>, Receiver<NodeMsg>)> =
             (0..nodes).map(|_| unbounded()).collect();
@@ -179,6 +229,8 @@ impl Cluster {
                 inbox: rx,
                 peers: senders.clone(),
                 stats: NodeStats::default(),
+                tracer: tracer.clone(),
+                tick: 0,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -380,6 +432,36 @@ mod tests {
         let c = Cluster::new(2, 4);
         c.execute_one(NodeId(0), ObjectId(0), Op::Add(1));
         drop(c); // must not hang or panic
+    }
+
+    #[test]
+    fn traced_cluster_records_commit_and_replica_events() {
+        use repl_telemetry::RingBuffer;
+        use std::sync::{Arc, Mutex};
+
+        let ring = Arc::new(Mutex::new(RingBuffer::new(256)));
+        let c = Cluster::new_traced(3, 8, SyncTraceHandle::shared(&ring));
+        for _ in 0..4 {
+            c.execute_one(NodeId(0), ObjectId(0), Op::Add(1));
+        }
+        c.quiesce();
+        c.shutdown();
+        let ring = ring.lock().unwrap();
+        let commits = ring
+            .events()
+            .filter(|e| matches!(e.kind, EventKind::TxnCommit))
+            .count();
+        let sends = ring
+            .events()
+            .filter(|e| matches!(e.kind, EventKind::MsgSent { .. }))
+            .count();
+        let applies = ring
+            .events()
+            .filter(|e| matches!(e.kind, EventKind::ReplicaApply))
+            .count();
+        assert_eq!(commits, 4);
+        assert_eq!(sends, 8, "each commit fans out to both peers");
+        assert_eq!(applies, 8, "both peers apply every commit");
     }
 
     #[test]

@@ -31,10 +31,12 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use repl_core::TxnSpec;
+use repl_sim::SimTime;
 use repl_storage::{
     CommitRecord, LamportClock, Lsn, NodeId, ObjectId, ObjectStore, TentativeStore, Timestamp,
     TxnId, Value,
 };
+use repl_telemetry::{AbortReason, Event, EventKind, SyncTraceHandle};
 use std::thread::JoinHandle;
 
 /// A tentative transaction awaiting base re-execution: the §7
@@ -93,6 +95,10 @@ struct BaseThread {
     log: repl_storage::CommitLog,
     inbox: Receiver<BaseMsg>,
     next_txn: u64,
+    tracer: SyncTraceHandle,
+    // The base thread has no simulated clock; events carry a logical
+    // tick, one per executed base transaction.
+    tick: u64,
 }
 
 impl BaseThread {
@@ -125,6 +131,7 @@ impl BaseThread {
                 BaseMsg::Shutdown => break,
             }
         }
+        self.tracer.flush();
     }
 
     /// Execute one base transaction: buffer the writes, judge them with
@@ -134,6 +141,8 @@ impl BaseThread {
         spec: &TxnSpec,
         tentative: Option<&Vec<(ObjectId, Value)>>,
     ) -> TxnOutcome {
+        self.tick += 1;
+        let now = SimTime(self.tick);
         let mut buffered: Vec<(ObjectId, Value)> = Vec::with_capacity(spec.ops.len());
         for op in &spec.ops {
             let current = buffered
@@ -149,6 +158,18 @@ impl BaseThread {
             None => spec.criterion.accepts(&buffered, &buffered),
         };
         if !accepted {
+            // The tentative fate (TentativeRejected) is emitted at the
+            // originating mobile node, which knows its own identity;
+            // the base records only that this incarnation died.
+            self.tracer.emit(|| {
+                Event::system(
+                    now,
+                    NodeId(0),
+                    EventKind::TxnAbort {
+                        reason: AbortReason::Conflict,
+                    },
+                )
+            });
             return TxnOutcome::Rejected {
                 reason: format!(
                     "acceptance criterion {:?} failed for outputs {:?}",
@@ -158,6 +179,8 @@ impl BaseThread {
         }
         self.next_txn += 1;
         let txn = TxnId(self.next_txn);
+        self.tracer
+            .emit(|| Event::new(now, NodeId(0), txn, EventKind::TxnCommit));
         let mut updates = Vec::with_capacity(buffered.len());
         for (obj, value) in &buffered {
             let old_ts = self.master.get(*obj).ts;
@@ -186,6 +209,12 @@ impl BaseServer {
     /// Spawn the base server owning a `db_size`-object master database
     /// with every object initialized to `initial_value`.
     pub fn spawn(db_size: u64, initial_value: i64) -> Self {
+        BaseServer::spawn_traced(db_size, initial_value, SyncTraceHandle::off())
+    }
+
+    /// Like [`BaseServer::spawn`], but the base thread emits telemetry
+    /// events through `tracer` as it commits and rejects transactions.
+    pub fn spawn_traced(db_size: u64, initial_value: i64, tracer: SyncTraceHandle) -> Self {
         let (tx, rx) = unbounded();
         let mut master = ObjectStore::new(db_size);
         for i in 0..db_size {
@@ -197,6 +226,8 @@ impl BaseServer {
             log: repl_storage::CommitLog::new(),
             inbox: rx,
             next_txn: 0,
+            tracer,
+            tick: 0,
         };
         let handle = std::thread::Builder::new()
             .name("two-tier-base".to_owned())
@@ -277,6 +308,10 @@ pub struct MobileNode {
     pending: Vec<Pending>,
     watermark: Lsn,
     last_rejections: Vec<String>,
+    tracer: SyncTraceHandle,
+    // Logical tick for event timestamps: one per tentative execution
+    // or sync, mirroring the base thread's convention.
+    tick: u64,
 }
 
 impl MobileNode {
@@ -296,7 +331,17 @@ impl MobileNode {
             pending: Vec::new(),
             watermark: Lsn(0),
             last_rejections: Vec::new(),
+            tracer: SyncTraceHandle::off(),
+            tick: 0,
         }
+    }
+
+    /// Attach a tracer; the node emits tentative-commit, sync, and
+    /// refresh events through it.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: SyncTraceHandle) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The node id.
@@ -323,6 +368,8 @@ impl MobileNode {
     /// Execute a tentative transaction against local tentative
     /// versions and log it for base re-execution.
     pub fn execute_tentative(&mut self, spec: TxnSpec) -> Vec<(ObjectId, Value)> {
+        self.tick += 1;
+        let now = SimTime(self.tick);
         let mut results = Vec::with_capacity(spec.ops.len());
         for op in &spec.ops {
             let current = self.store.read(op.object).value.clone();
@@ -335,6 +382,9 @@ impl MobileNode {
             spec,
             tentative_results: results.clone(),
         });
+        let id = self.id;
+        self.tracer
+            .emit(|| Event::system(now, id, EventKind::TentativeCommit));
         results
     }
 
@@ -342,25 +392,48 @@ impl MobileNode {
     /// the tentative transactions in commit order, apply the deferred
     /// replica refresh, learn each transaction's fate.
     pub fn sync(&mut self, base: &BaseServer) -> SyncOutcome {
+        self.tick += 1;
+        let now = SimTime(self.tick);
+        let id = self.id;
         self.store.discard_tentative();
         let pendings = std::mem::take(&mut self.pending);
+        self.tracer
+            .emit(|| Event::system(now, id, EventKind::Reconnect));
+        self.tracer
+            .emit(|| Event::system(now, id, EventKind::MsgSent { to: NodeId(0) }));
         let reply = base.sync(pendings, self.watermark);
         let mut outcome = SyncOutcome::default();
         self.last_rejections.clear();
         for o in reply.outcomes {
             match o {
-                TxnOutcome::Accepted(_) => outcome.accepted += 1,
+                TxnOutcome::Accepted(_) => {
+                    outcome.accepted += 1;
+                    self.tracer
+                        .emit(|| Event::system(now, id, EventKind::TentativeAccepted));
+                }
                 TxnOutcome::Rejected { reason } => {
                     outcome.rejected += 1;
                     self.last_rejections.push(reason);
+                    self.tracer
+                        .emit(|| Event::system(now, id, EventKind::TentativeRejected));
+                    // A rejection is the two-tier scheme's analogue of
+                    // a reconciliation: the user must be re-involved.
+                    self.tracer
+                        .emit(|| Event::system(now, id, EventKind::Reconcile));
                 }
             }
         }
         for record in reply.refresh {
             outcome.refreshed += 1;
             for u in record.updates {
-                self.store.master_mut().apply_lww(u.object, u.new_ts, u.value);
+                self.store
+                    .master_mut()
+                    .apply_lww(u.object, u.new_ts, u.value);
             }
+        }
+        if outcome.refreshed > 0 {
+            self.tracer
+                .emit(|| Event::system(now, id, EventKind::ReplicaApply));
         }
         self.watermark = reply.head;
         outcome
@@ -506,6 +579,33 @@ mod tests {
         let s2 = mobile.sync(&base);
         assert_eq!(s2.refreshed, 2, "only the two new commits replay");
         base.shutdown();
+    }
+
+    #[test]
+    fn traced_two_tier_records_tentative_fates() {
+        use repl_telemetry::{EventKind, RingBuffer};
+        use std::sync::{Arc, Mutex};
+
+        let ring = Arc::new(Mutex::new(RingBuffer::new(256)));
+        let handle = SyncTraceHandle::shared(&ring);
+        let base = BaseServer::spawn_traced(1, 1000, handle.clone());
+        let mut you = MobileNode::new(NodeId(1), 1, 1000).with_tracer(handle.clone());
+        let mut spouse = MobileNode::new(NodeId(2), 1, 1000).with_tracer(handle);
+        you.execute_tentative(debit(0, 800));
+        spouse.execute_tentative(debit(0, 700));
+        you.sync(&base);
+        spouse.sync(&base);
+        base.shutdown();
+        let ring = ring.lock().unwrap();
+        let count = |pred: fn(&EventKind) -> bool| ring.events().filter(|e| pred(&e.kind)).count();
+        assert_eq!(count(|k| matches!(k, EventKind::TentativeCommit)), 2);
+        assert_eq!(count(|k| matches!(k, EventKind::TentativeAccepted)), 1);
+        assert_eq!(count(|k| matches!(k, EventKind::TentativeRejected)), 1);
+        assert_eq!(count(|k| matches!(k, EventKind::Reconcile)), 1);
+        // The base committed one durable transaction and aborted the
+        // spouse's incarnation.
+        assert_eq!(count(|k| matches!(k, EventKind::TxnCommit)), 1);
+        assert_eq!(count(|k| matches!(k, EventKind::TxnAbort { .. })), 1);
     }
 
     #[test]

@@ -457,12 +457,7 @@ mod tests {
             rev.apply(u);
         }
         assert_eq!(fwd.digest(), rev.digest());
-        let texts: Vec<String> = fwd
-            .get(DocId(1))
-            .unwrap()
-            .notes()
-            .map(|n| n.text)
-            .collect();
+        let texts: Vec<String> = fwd.get(DocId(1)).unwrap().notes().map(|n| n.text).collect();
         assert_eq!(texts, vec!["a", "b", "c"]);
     }
 

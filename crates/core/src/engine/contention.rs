@@ -25,6 +25,7 @@ use crate::config::SimConfig;
 use crate::metrics::{Metrics, Report};
 use repl_sim::{EventQueue, Sampler, SimDuration, SimRng, SimTime};
 use repl_storage::{Acquire, LockManager, NodeId, ObjectId, TxnId};
+use repl_telemetry::{AbortReason, Event, EventKind, Profiler, TraceHandle};
 use std::collections::HashMap;
 
 /// Per-scheme knobs on top of the shared [`SimConfig`].
@@ -96,6 +97,8 @@ struct ActiveTxn {
     objects: Vec<ObjectId>,
     /// Index of the action to perform next.
     next: usize,
+    /// Arrival node (stamps trace events).
+    node: NodeId,
     started: SimTime,
     wait_started: Option<SimTime>,
 }
@@ -114,6 +117,9 @@ pub struct ContentionSim {
     next_txn: u64,
     metrics: Metrics,
     measure_from: SimTime,
+    tracer: TraceHandle,
+    profiler: Profiler,
+    run_label: String,
 }
 
 impl ContentionSim {
@@ -138,8 +144,30 @@ impl ContentionSim {
             next_txn: 0,
             metrics: Metrics::new(),
             measure_from: cfg.warmup,
+            tracer: TraceHandle::off(),
+            profiler: Profiler::off(),
+            run_label: "contention".to_owned(),
             cfg,
         }
+    }
+
+    /// Attach a tracer; events flow from simulated time zero (warm-up
+    /// included — that is the point of stationarity checks).
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attach a wall-clock profiler around the event-loop phases.
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    /// Label this run's trace (`RunStart` marker, series table header).
+    pub fn with_run_label(mut self, label: impl Into<String>) -> Self {
+        self.run_label = label.into();
+        self
     }
 
     fn measuring(&self) -> bool {
@@ -150,20 +178,39 @@ impl ContentionSim {
     /// the post-warm-up window.
     pub fn run(mut self) -> Report {
         let horizon = self.cfg.horizon;
+        self.tracer.emit(|| {
+            Event::system(
+                SimTime::ZERO,
+                NodeId(0),
+                EventKind::RunStart {
+                    label: self.run_label.clone(),
+                },
+            )
+        });
+        let profiler = self.profiler.clone();
         while let Some((_, ev)) = self.queue.pop_until(horizon) {
             match ev {
-                Ev::Arrive(node) => self.on_arrive(node),
-                Ev::StepDone(txn) => self.on_step_done(txn),
+                Ev::Arrive(node) => {
+                    let t = profiler.start();
+                    self.on_arrive(node);
+                    profiler.stop("contention/arrive", t);
+                }
+                Ev::StepDone(txn) => {
+                    let t = profiler.start();
+                    self.on_step_done(txn);
+                    profiler.stop("contention/step", t);
+                }
             }
         }
+        self.tracer.run_end(horizon);
+        self.tracer.flush();
         self.metrics.report(self.measure_from, horizon)
     }
 
     fn on_arrive(&mut self, node: NodeId) {
         // Schedule the node's next arrival (Poisson process).
-        let gap = SimDuration::from_secs_f64(
-            self.arrival_rngs[node.0 as usize].exp(1.0 / self.cfg.tps),
-        );
+        let gap =
+            SimDuration::from_secs_f64(self.arrival_rngs[node.0 as usize].exp(1.0 / self.cfg.tps));
         self.queue.schedule_after(gap, Ev::Arrive(node));
 
         let id = TxnId(self.next_txn);
@@ -179,10 +226,13 @@ impl ContentionSim {
             ActiveTxn {
                 objects,
                 next: 0,
+                node,
                 started: self.queue.now(),
                 wait_started: None,
             },
         );
+        self.tracer
+            .emit(|| Event::new(self.queue.now(), node, id, EventKind::TxnBegin));
         self.try_step(id);
     }
 
@@ -195,8 +245,13 @@ impl ContentionSim {
             return;
         }
         let obj = txn.objects[txn.next];
+        let node = txn.node;
         match self.locks.acquire(id, obj) {
             Acquire::Granted => {
+                // The action/message counters model an abstract replica
+                // fan-out with no per-destination identity, so no
+                // per-message events here; the concrete engines
+                // (lazy-group, two-tier) emit MsgSent with real targets.
                 if self.measuring() {
                     self.metrics.actions.add(self.profile.updates_per_action);
                     self.metrics.messages.add(self.profile.messages_per_action);
@@ -208,6 +263,18 @@ impl ContentionSim {
                 if self.measuring() {
                     self.metrics.waits.incr();
                 }
+                self.tracer.emit(|| {
+                    Event::new(
+                        self.queue.now(),
+                        node,
+                        id,
+                        EventKind::LockWait {
+                            object: obj,
+                            holder: self.locks.holder_of(obj).unwrap_or_default(),
+                            waiter: id,
+                        },
+                    )
+                });
                 self.active
                     .get_mut(&id)
                     .expect("waiting txn must be active")
@@ -217,6 +284,26 @@ impl ContentionSim {
                 if self.measuring() {
                     self.metrics.deadlocks.incr();
                 }
+                self.tracer.emit(|| {
+                    Event::new(
+                        self.queue.now(),
+                        node,
+                        id,
+                        EventKind::DeadlockDetected {
+                            cycle: self.locks.last_deadlock_cycle().to_vec(),
+                        },
+                    )
+                });
+                self.tracer.emit(|| {
+                    Event::new(
+                        self.queue.now(),
+                        node,
+                        id,
+                        EventKind::TxnAbort {
+                            reason: AbortReason::Deadlock,
+                        },
+                    )
+                });
                 self.abort(id);
             }
         }
@@ -238,6 +325,8 @@ impl ContentionSim {
             self.metrics
                 .record_latency(self.queue.now().since(txn.started));
         }
+        self.tracer
+            .emit(|| Event::new(self.queue.now(), txn.node, id, EventKind::TxnCommit));
         let granted = self.locks.release_all(id);
         self.resume_granted(granted);
     }
@@ -258,7 +347,9 @@ impl ContentionSim {
                 .expect("granted waiter must be active");
             if let Some(since) = t.wait_started.take() {
                 if now >= self.measure_from {
-                    self.metrics.wait_time.record(now.since(since).as_secs_f64());
+                    self.metrics
+                        .wait_time
+                        .record(now.since(since).as_secs_f64());
                 }
             }
             if now >= self.measure_from {
@@ -323,7 +414,10 @@ mod tests {
         // Kept below lock-capacity saturation (util ~0.5) so the open
         // system stays stable while still deadlocking regularly.
         let r = run_single(300.0, 60.0, 5.0, 100, 4);
-        assert!(r.deadlocks > 0, "expected deadlocks under severe contention");
+        assert!(
+            r.deadlocks > 0,
+            "expected deadlocks under severe contention"
+        );
     }
 
     #[test]

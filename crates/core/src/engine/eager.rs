@@ -60,8 +60,26 @@ impl EagerSim {
             profile.messages_per_action = u64::from(cfg.nodes);
         }
         EagerSim {
-            inner: ContentionSim::new(cfg, profile),
+            inner: ContentionSim::new(cfg, profile).with_run_label("eager"),
         }
+    }
+
+    /// Attach a tracer (see [`ContentionSim::with_tracer`]).
+    pub fn with_tracer(mut self, tracer: repl_telemetry::TraceHandle) -> Self {
+        self.inner = self.inner.with_tracer(tracer);
+        self
+    }
+
+    /// Attach a wall-clock profiler.
+    pub fn with_profiler(mut self, profiler: repl_telemetry::Profiler) -> Self {
+        self.inner = self.inner.with_profiler(profiler);
+        self
+    }
+
+    /// Label this run's trace.
+    pub fn with_run_label(mut self, label: impl Into<String>) -> Self {
+        self.inner = self.inner.with_run_label(label);
+        self
     }
 
     /// Run to the horizon.
@@ -95,8 +113,16 @@ mod tests {
         )
         .run();
         // Uncontended latency: Actions × Action_Time × Nodes.
-        assert!((r1.mean_latency_secs - 0.04).abs() < 0.01, "{}", r1.mean_latency_secs);
-        assert!((r4.mean_latency_secs - 0.16).abs() < 0.02, "{}", r4.mean_latency_secs);
+        assert!(
+            (r1.mean_latency_secs - 0.04).abs() < 0.01,
+            "{}",
+            r1.mean_latency_secs
+        );
+        assert!(
+            (r4.mean_latency_secs - 0.16).abs() < 0.02,
+            "{}",
+            r4.mean_latency_secs
+        );
     }
 
     #[test]
@@ -107,7 +133,11 @@ mod tests {
             Ownership::Group,
         )
         .run();
-        assert!((r4.mean_latency_secs - 0.04).abs() < 0.01, "{}", r4.mean_latency_secs);
+        assert!(
+            (r4.mean_latency_secs - 0.04).abs() < 0.01,
+            "{}",
+            r4.mean_latency_secs
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use repl_storage::{
     Acquire, ApplyOutcome, CommitLog, LamportClock, LockManager, Lsn, NodeId, ObjectId,
     ObjectStore, TxnId, UpdateRecord, Value,
 };
+use repl_telemetry::{AbortReason, Event, EventKind, Profiler, TraceHandle};
 use std::collections::HashMap;
 
 /// How dangerous updates are disposed of.
@@ -60,6 +61,8 @@ pub enum Mobility {
 /// One committed root transaction's replica-update message.
 #[derive(Debug, Clone)]
 struct ReplicaMsg {
+    /// Originating node (stamps `MsgDelivered` trace events).
+    from: NodeId,
     updates: Vec<UpdateRecord>,
 }
 
@@ -141,6 +144,9 @@ pub struct LazyGroupSim {
     next_txn: u64,
     metrics: Metrics,
     measure_from: SimTime,
+    tracer: TraceHandle,
+    profiler: Profiler,
+    run_label: String,
 }
 
 impl LazyGroupSim {
@@ -206,8 +212,32 @@ impl LazyGroupSim {
             next_txn: 0,
             metrics: Metrics::new(),
             measure_from: cfg.warmup,
+            tracer: TraceHandle::off(),
+            profiler: Profiler::off(),
+            run_label: "lazy-group".to_owned(),
             cfg,
         }
+    }
+
+    /// Attach a tracer; events flow from simulated time zero.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attach a wall-clock profiler around the event-loop phases.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    /// Label this run's trace (`RunStart` marker, series table header).
+    #[must_use]
+    pub fn with_run_label(mut self, label: impl Into<String>) -> Self {
+        self.run_label = label.into();
+        self
     }
 
     fn measuring(&self) -> bool {
@@ -240,6 +270,15 @@ impl LazyGroupSim {
     /// (after the convergence drain) alongside the report.
     pub fn run_with_state(mut self) -> (Report, Vec<ObjectStore>) {
         let horizon = self.cfg.horizon;
+        self.tracer.emit(|| {
+            Event::system(
+                SimTime::ZERO,
+                NodeId(0),
+                EventKind::RunStart {
+                    label: self.run_label.clone(),
+                },
+            )
+        });
         while let Some((_, ev)) = self.queue.pop_until(horizon) {
             self.dispatch(ev, true);
         }
@@ -252,35 +291,67 @@ impl LazyGroupSim {
         while let Some((_, ev)) = self.queue.pop() {
             self.dispatch(ev, false);
         }
+        self.tracer.run_end(horizon);
+        self.tracer.flush();
         let stores = self.nodes.into_iter().map(|n| n.store).collect();
         (report, stores)
     }
 
     fn dispatch(&mut self, ev: Ev, arrivals_enabled: bool) {
+        let profiler = self.profiler.clone();
+        let t = profiler.start();
         match ev {
             Ev::Arrive(node) => {
                 if arrivals_enabled {
                     self.on_arrive(node);
                 }
+                profiler.stop("lazy-group/arrive", t);
             }
-            Ev::RootStep(txn) => self.on_root_step(txn),
-            Ev::ReplicaStep(txn) => self.on_replica_step(txn),
-            Ev::Deliver { to, msg } => self.start_replica_txn(to, msg),
-            Ev::ReplicaRetry { to, msg } => self.start_replica_txn(to, msg),
+            Ev::RootStep(txn) => {
+                self.on_root_step(txn);
+                profiler.stop("lazy-group/root-step", t);
+            }
+            Ev::ReplicaStep(txn) => {
+                self.on_replica_step(txn);
+                profiler.stop("lazy-group/replica-step", t);
+            }
+            Ev::Deliver { to, msg } => {
+                self.tracer.emit(|| {
+                    Event::system(
+                        self.queue.now(),
+                        to,
+                        EventKind::MsgDelivered { from: msg.from },
+                    )
+                });
+                self.start_replica_txn(to, msg);
+                profiler.stop("lazy-group/deliver", t);
+            }
+            Ev::ReplicaRetry { to, msg } => {
+                self.start_replica_txn(to, msg);
+                profiler.stop("lazy-group/deliver", t);
+            }
             Ev::Connectivity { node, connected } => {
+                self.tracer.emit(|| {
+                    let kind = if connected {
+                        EventKind::Reconnect
+                    } else {
+                        EventKind::Disconnect
+                    };
+                    Event::system(self.queue.now(), node, kind)
+                });
                 if connected {
                     self.reconnect(node);
                 } else {
                     self.network.disconnect(node);
                 }
+                profiler.stop("lazy-group/connectivity", t);
             }
         }
     }
 
     fn on_arrive(&mut self, node: NodeId) {
-        let gap = SimDuration::from_secs_f64(
-            self.arrival_rngs[node.0 as usize].exp(1.0 / self.cfg.tps),
-        );
+        let gap =
+            SimDuration::from_secs_f64(self.arrival_rngs[node.0 as usize].exp(1.0 / self.cfg.tps));
         self.queue.schedule_after(gap, Ev::Arrive(node));
 
         let id = self.fresh_txn();
@@ -300,6 +371,8 @@ impl LazyGroupSim {
                 updates: Vec::with_capacity(self.cfg.actions),
             },
         );
+        self.tracer
+            .emit(|| Event::new(self.queue.now(), node, id, EventKind::TxnBegin));
         self.try_root_step(id);
     }
 
@@ -319,16 +392,56 @@ impl LazyGroupSim {
                 if self.measuring() {
                     self.metrics.waits.incr();
                 }
+                self.emit_lock_wait(node, id, obj);
             }
             Acquire::Deadlock => {
                 if self.measuring() {
                     self.metrics.deadlocks.incr();
                 }
+                self.emit_deadlock(node, id, AbortReason::Deadlock);
                 self.roots.remove(&id);
                 let granted = self.nodes[node.0 as usize].locks.release_all(id);
                 self.resume_waiters(node, granted);
             }
         }
+    }
+
+    /// Trace a lock wait at `node` (no-op when tracing is off).
+    fn emit_lock_wait(&self, node: NodeId, id: TxnId, obj: ObjectId) {
+        self.tracer.emit(|| {
+            Event::new(
+                self.queue.now(),
+                node,
+                id,
+                EventKind::LockWait {
+                    object: obj,
+                    holder: self.nodes[node.0 as usize]
+                        .locks
+                        .holder_of(obj)
+                        .unwrap_or_default(),
+                    waiter: id,
+                },
+            )
+        });
+    }
+
+    /// Trace a detected deadlock cycle plus the consequent abort.
+    fn emit_deadlock(&self, node: NodeId, id: TxnId, reason: AbortReason) {
+        self.tracer.emit(|| {
+            Event::new(
+                self.queue.now(),
+                node,
+                id,
+                EventKind::DeadlockDetected {
+                    cycle: self.nodes[node.0 as usize]
+                        .locks
+                        .last_deadlock_cycle()
+                        .to_vec(),
+                },
+            )
+        });
+        self.tracer
+            .emit(|| Event::new(self.queue.now(), node, id, EventKind::TxnAbort { reason }));
     }
 
     /// One root action's service time elapsed: perform the write.
@@ -363,6 +476,8 @@ impl LazyGroupSim {
             self.metrics
                 .record_latency(self.queue.now().since(txn.started));
         }
+        self.tracer
+            .emit(|| Event::new(self.queue.now(), node, id, EventKind::TxnCommit));
         let granted = self.nodes[node.0 as usize].locks.release_all(id);
         self.resume_waiters(node, granted);
         // Commit goes to the node's log; propagation replays the log in
@@ -392,11 +507,22 @@ impl LazyGroupSim {
                     break;
                 };
                 let msg = ReplicaMsg {
+                    from: origin,
                     updates: record.updates.clone(),
                 };
                 if self.measuring() {
                     self.metrics.messages.incr();
                 }
+                self.tracer.emit(|| {
+                    Event::system(
+                        self.queue.now(),
+                        origin,
+                        EventKind::ReplicaSend {
+                            to: dest,
+                            lsn: from,
+                        },
+                    )
+                });
                 match self.network.send(origin, dest, msg) {
                     SendOutcome::Deliver { delay } => {
                         let record = self.nodes[origin.0 as usize]
@@ -408,6 +534,7 @@ impl LazyGroupSim {
                             Ev::Deliver {
                                 to: dest,
                                 msg: ReplicaMsg {
+                                    from: origin,
                                     updates: record.updates.clone(),
                                 },
                             },
@@ -438,7 +565,8 @@ impl LazyGroupSim {
     fn reconnect(&mut self, node: NodeId) {
         let inbound = self.network.reconnect(node);
         for msg in inbound {
-            self.queue.schedule_after(SimDuration::ZERO, Ev::Deliver { to: node, msg });
+            self.queue
+                .schedule_after(SimDuration::ZERO, Ev::Deliver { to: node, msg });
         }
         self.propagate(node);
     }
@@ -462,6 +590,8 @@ impl LazyGroupSim {
                 conflicted: false,
             },
         );
+        self.tracer
+            .emit(|| Event::new(self.queue.now(), to, id, EventKind::TxnBegin));
         self.try_replica_step(id);
     }
 
@@ -481,6 +611,7 @@ impl LazyGroupSim {
                 if self.measuring() {
                     self.metrics.waits.incr();
                 }
+                self.emit_lock_wait(node, id, obj);
             }
             Acquire::Deadlock => {
                 // Replica updates are resubmitted on deadlock (§5) —
@@ -488,6 +619,7 @@ impl LazyGroupSim {
                 if self.measuring() {
                     self.metrics.deadlocks.incr();
                 }
+                self.emit_deadlock(node, id, AbortReason::Deadlock);
                 let txn = self.replicas.remove(&id).expect("replica vanished");
                 self.release_replica_slot(node);
                 let granted = self.nodes[node.0 as usize].locks.release_all(id);
@@ -512,18 +644,19 @@ impl LazyGroupSim {
     }
 
     fn on_replica_step(&mut self, id: TxnId) {
-        let txn = self.replicas.get_mut(&id).expect("replica step for dead txn");
+        let txn = self
+            .replicas
+            .get_mut(&id)
+            .expect("replica step for dead txn");
         let node = txn.node;
         let u = txn.msg.updates[txn.next].clone();
         txn.next += 1;
         let state = &mut self.nodes[node.0 as usize];
         state.clock.observe(u.new_ts);
         let outcome = match self.resolution {
-            ResolutionMode::TimePriority => {
-                state
-                    .store
-                    .apply_versioned(u.object, u.old_ts, u.new_ts, u.value)
-            }
+            ResolutionMode::TimePriority => state
+                .store
+                .apply_versioned(u.object, u.old_ts, u.new_ts, u.value),
             ResolutionMode::Manual => {
                 // Detect with the Figure 4 test but do not resolve: a
                 // dangerous update is simply rejected, and this replica
@@ -545,10 +678,20 @@ impl LazyGroupSim {
                 if self.queue.now() >= self.measure_from {
                     self.metrics.stale_updates.incr();
                 }
+                self.tracer
+                    .emit(|| Event::new(self.queue.now(), node, id, EventKind::StaleSkip));
             }
             ApplyOutcome::ConflictApplied | ApplyOutcome::ConflictIgnored => {
                 // Dangerous update (the paper's Figure 4 test failed);
                 // count the reconciliation.
+                self.tracer.emit(|| {
+                    Event::new(
+                        self.queue.now(),
+                        node,
+                        id,
+                        EventKind::DangerousUpdate { object: u.object },
+                    )
+                });
                 self.replicas.get_mut(&id).expect("replica txn").conflicted = true;
             }
         }
@@ -562,6 +705,12 @@ impl LazyGroupSim {
             if txn.conflicted {
                 self.metrics.reconciliations.incr();
             }
+        }
+        self.tracer
+            .emit(|| Event::new(self.queue.now(), txn.node, id, EventKind::ReplicaApply));
+        if txn.conflicted {
+            self.tracer
+                .emit(|| Event::new(self.queue.now(), txn.node, id, EventKind::Reconcile));
         }
         self.release_replica_slot(txn.node);
         let granted = self.nodes[txn.node.0 as usize].locks.release_all(id);

@@ -28,8 +28,26 @@ impl LazyMasterSim {
     pub fn new(cfg: SimConfig) -> Self {
         let profile = ContentionProfile::lazy_master(&cfg);
         LazyMasterSim {
-            inner: ContentionSim::new(cfg, profile),
+            inner: ContentionSim::new(cfg, profile).with_run_label("lazy-master"),
         }
+    }
+
+    /// Attach a tracer (see [`ContentionSim::with_tracer`]).
+    pub fn with_tracer(mut self, tracer: repl_telemetry::TraceHandle) -> Self {
+        self.inner = self.inner.with_tracer(tracer);
+        self
+    }
+
+    /// Attach a wall-clock profiler.
+    pub fn with_profiler(mut self, profiler: repl_telemetry::Profiler) -> Self {
+        self.inner = self.inner.with_profiler(profiler);
+        self
+    }
+
+    /// Label this run's trace.
+    pub fn with_run_label(mut self, label: impl Into<String>) -> Self {
+        self.inner = self.inner.with_run_label(label);
+        self
     }
 
     /// Run to the horizon.

@@ -23,9 +23,10 @@ use crate::txn::{Criterion, TxnSpec};
 use repl_net::{DisconnectSchedule, Network, PeriodModel, SendOutcome};
 use repl_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use repl_storage::{
-    Acquire, LamportClock, LockManager, NodeId, ObjectId, ObjectStore, TentativeStore,
-    Timestamp, TxnId, Value,
+    Acquire, LamportClock, LockManager, NodeId, ObjectId, ObjectStore, TentativeStore, Timestamp,
+    TxnId, Value,
 };
+use repl_telemetry::{Event, EventKind, Profiler, TraceHandle};
 use std::collections::{HashMap, VecDeque};
 
 /// Transaction-design regimes for the two-tier workload.
@@ -103,6 +104,10 @@ struct Pending {
 /// A base transaction in flight.
 #[derive(Debug)]
 struct BaseTxn {
+    /// The node the work originated at (stamps trace events): the
+    /// arrival node for direct executions, the mobile for tentative
+    /// re-executions.
+    origin: NodeId,
     spec: TxnSpec,
     /// `Some` when this is the re-execution of a tentative transaction.
     tentative_results: Option<Vec<(ObjectId, Value)>>,
@@ -151,6 +156,9 @@ pub struct TwoTierSim {
     next_txn: u64,
     metrics: Metrics,
     measure_from: SimTime,
+    tracer: TraceHandle,
+    profiler: Profiler,
+    run_label: String,
     /// Committed base transactions' read/write footprints — §7 property
     /// 2 ("base transactions execute with single-copy serializability")
     /// is *verified*, not assumed: see [`TwoTierSim::run_full`].
@@ -230,13 +238,39 @@ impl TwoTierSim {
             object_rng: SimRng::stream(sim.seed, "tt-objects"),
             value_rng: SimRng::stream(sim.seed, "tt-values"),
             retry_rng: SimRng::stream(sim.seed, "tt-retry"),
-            clocks: (0..n).map(|i| LamportClock::new(NodeId(i as u32))).collect(),
+            clocks: (0..n)
+                .map(|i| LamportClock::new(NodeId(i as u32)))
+                .collect(),
             next_txn: 0,
             metrics: Metrics::new(),
             measure_from: sim.warmup,
+            tracer: TraceHandle::off(),
+            profiler: Profiler::off(),
+            run_label: "two-tier".to_owned(),
             history: History::new(),
             cfg,
         }
+    }
+
+    /// Attach a tracer; events flow from simulated time zero.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attach a wall-clock profiler around the event-loop phases.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    /// Label this run's trace (`RunStart` marker, series table header).
+    #[must_use]
+    pub fn with_run_label(mut self, label: impl Into<String>) -> Self {
+        self.run_label = label.into();
+        self
     }
 
     fn is_mobile(&self, node: NodeId) -> bool {
@@ -272,6 +306,15 @@ impl TwoTierSim {
     /// can verify single-copy serializability.
     pub fn run_full(mut self) -> (Report, ObjectStore, Vec<ObjectStore>, History) {
         let horizon = self.cfg.sim.horizon;
+        self.tracer.emit(|| {
+            Event::system(
+                SimTime::ZERO,
+                NodeId(0),
+                EventKind::RunStart {
+                    label: self.run_label.clone(),
+                },
+            )
+        });
         while let Some((_, ev)) = self.queue.pop_until(horizon) {
             self.dispatch(ev, true);
         }
@@ -282,6 +325,8 @@ impl TwoTierSim {
         while let Some((_, ev)) = self.queue.pop() {
             self.dispatch(ev, false);
         }
+        self.tracer.run_end(horizon);
+        self.tracer.flush();
         let replicas = self
             .replicas
             .into_iter()
@@ -294,21 +339,49 @@ impl TwoTierSim {
     }
 
     fn dispatch(&mut self, ev: Ev, arrivals_enabled: bool) {
+        let profiler = self.profiler.clone();
+        let t = profiler.start();
         match ev {
             Ev::Arrive(node) => {
                 if arrivals_enabled {
                     self.on_arrive(node);
                 }
+                profiler.stop("two-tier/arrive", t);
             }
-            Ev::BaseStep(id) => self.on_base_step(id),
-            Ev::BaseRetry(id) => self.try_base_step(id),
-            Ev::Deliver { to, msg } => self.apply_refresh(to, msg),
+            Ev::BaseStep(id) => {
+                self.on_base_step(id);
+                profiler.stop("two-tier/base-step", t);
+            }
+            Ev::BaseRetry(id) => {
+                self.try_base_step(id);
+                profiler.stop("two-tier/base-step", t);
+            }
+            Ev::Deliver { to, msg } => {
+                self.tracer.emit(|| {
+                    Event::system(
+                        self.queue.now(),
+                        to,
+                        EventKind::MsgDelivered { from: NodeId(0) },
+                    )
+                });
+                self.apply_refresh(to, msg);
+                profiler.stop("two-tier/deliver", t);
+            }
             Ev::Connectivity { node, connected } => {
+                self.tracer.emit(|| {
+                    let kind = if connected {
+                        EventKind::Reconnect
+                    } else {
+                        EventKind::Disconnect
+                    };
+                    Event::system(self.queue.now(), node, kind)
+                });
                 if connected {
                     self.on_reconnect(node);
                 } else {
                     self.network.disconnect(node);
                 }
+                profiler.stop("two-tier/connectivity", t);
             }
         }
     }
@@ -411,7 +484,7 @@ impl TwoTierSim {
             // Connected node (base or mobile): run directly as a base
             // transaction — connected two-tier "operates much like a
             // lazy-master system".
-            self.start_base_txn(spec, None, None);
+            self.start_base_txn(node, spec, None, None);
         }
     }
 
@@ -431,6 +504,8 @@ impl TwoTierSim {
             self.metrics.tentative_commits.incr();
             self.metrics.actions.add(spec.ops.len() as u64);
         }
+        self.tracer
+            .emit(|| Event::system(self.queue.now(), node, EventKind::TentativeCommit));
         self.pending[idx].push_back(Pending {
             spec,
             tentative_results: results,
@@ -443,6 +518,7 @@ impl TwoTierSim {
 
     fn start_base_txn(
         &mut self,
+        origin: NodeId,
         spec: TxnSpec,
         tentative_results: Option<Vec<(ObjectId, Value)>>,
         session: Option<NodeId>,
@@ -451,6 +527,7 @@ impl TwoTierSim {
         self.base_txns.insert(
             id,
             BaseTxn {
+                origin,
                 spec,
                 tentative_results,
                 next: 0,
@@ -460,6 +537,8 @@ impl TwoTierSim {
                 session,
             },
         );
+        self.tracer
+            .emit(|| Event::new(self.queue.now(), origin, id, EventKind::TxnBegin));
         self.try_base_step(id);
     }
 
@@ -470,6 +549,7 @@ impl TwoTierSim {
             return;
         }
         let obj = txn.spec.ops[txn.next].object;
+        let origin = txn.origin;
         match self.master_locks.acquire(id, obj) {
             Acquire::Granted => {
                 self.queue
@@ -479,13 +559,36 @@ impl TwoTierSim {
                 if self.measuring() {
                     self.metrics.waits.incr();
                 }
+                self.tracer.emit(|| {
+                    Event::new(
+                        self.queue.now(),
+                        origin,
+                        id,
+                        EventKind::LockWait {
+                            object: obj,
+                            holder: self.master_locks.holder_of(obj).unwrap_or_default(),
+                            waiter: id,
+                        },
+                    )
+                });
             }
             Acquire::Deadlock => {
                 // Base transactions are "resubmitted and reprocessed
-                // until they succeed" (§7).
+                // until they succeed" (§7) — a deadlock is detected but
+                // the transaction retries, so no TxnAbort follows.
                 if self.measuring() {
                     self.metrics.deadlocks.incr();
                 }
+                self.tracer.emit(|| {
+                    Event::new(
+                        self.queue.now(),
+                        origin,
+                        id,
+                        EventKind::DeadlockDetected {
+                            cycle: self.master_locks.last_deadlock_cycle().to_vec(),
+                        },
+                    )
+                });
                 let txn = self.base_txns.get_mut(&id).expect("base txn");
                 txn.next = 0;
                 txn.buffered.clear();
@@ -508,12 +611,7 @@ impl TwoTierSim {
         let txn = self.base_txns.get_mut(&id).expect("base step for dead txn");
         let op = txn.spec.ops[txn.next].clone();
         // Read own buffered write if present, else the master copy.
-        let current = match txn
-            .buffered
-            .iter()
-            .rev()
-            .find(|(o, _)| *o == op.object)
-        {
+        let current = match txn.buffered.iter().rev().find(|(o, _)| *o == op.object) {
             Some((_, v)) => v.clone(),
             None => {
                 let versioned = self.master.get(op.object);
@@ -531,7 +629,10 @@ impl TwoTierSim {
     }
 
     fn finish_base(&mut self, id: TxnId) {
-        let txn = self.base_txns.remove(&id).expect("finishing unknown base txn");
+        let txn = self
+            .base_txns
+            .remove(&id)
+            .expect("finishing unknown base txn");
         let accepted = match &txn.tentative_results {
             Some(tentative) => txn.spec.criterion.accepts(&txn.buffered, tentative),
             None => txn.spec.criterion.accepts(&txn.buffered, &txn.buffered),
@@ -564,11 +665,37 @@ impl TwoTierSim {
                     self.metrics.tentative_accepted.incr();
                 }
             }
-            self.broadcast_refresh(RefreshMsg { updates });
-        } else if self.measuring() {
-            self.metrics.reconciliations.incr();
+            self.tracer
+                .emit(|| Event::new(self.queue.now(), txn.origin, id, EventKind::TxnCommit));
             if txn.tentative_results.is_some() {
-                self.metrics.tentative_rejected.incr();
+                self.tracer.emit(|| {
+                    Event::new(
+                        self.queue.now(),
+                        txn.origin,
+                        id,
+                        EventKind::TentativeAccepted,
+                    )
+                });
+            }
+            self.broadcast_refresh(RefreshMsg { updates });
+        } else {
+            if self.measuring() {
+                self.metrics.reconciliations.incr();
+                if txn.tentative_results.is_some() {
+                    self.metrics.tentative_rejected.incr();
+                }
+            }
+            self.tracer
+                .emit(|| Event::new(self.queue.now(), txn.origin, id, EventKind::Reconcile));
+            if txn.tentative_results.is_some() {
+                self.tracer.emit(|| {
+                    Event::new(
+                        self.queue.now(),
+                        txn.origin,
+                        id,
+                        EventKind::TentativeRejected,
+                    )
+                });
             }
         }
         let granted = self.master_locks.release_all(id);
@@ -599,6 +726,9 @@ impl TwoTierSim {
             if self.measuring() {
                 self.metrics.messages.incr();
             }
+            self.tracer.emit(|| {
+                Event::system(self.queue.now(), NodeId(0), EventKind::MsgSent { to: dest })
+            });
             // Base nodes are always connected; send from base node 0.
             match self.network.send(NodeId(0), dest, msg.clone()) {
                 SendOutcome::Deliver { delay } => {
@@ -627,6 +757,14 @@ impl TwoTierSim {
         } else if !applied && self.queue.now() >= self.measure_from {
             self.metrics.stale_updates.incr();
         }
+        self.tracer.emit(|| {
+            let kind = if applied {
+                EventKind::ReplicaApply
+            } else {
+                EventKind::StaleSkip
+            };
+            Event::system(self.queue.now(), to, kind)
+        });
     }
 
     // ------------------------------------------------------------------
@@ -668,7 +806,14 @@ impl TwoTierSim {
             // host base node.
             self.metrics.messages.incr();
         }
-        self.start_base_txn(pending.spec, Some(pending.tentative_results), Some(node));
+        self.tracer
+            .emit(|| Event::system(self.queue.now(), node, EventKind::MsgSent { to: NodeId(0) }));
+        self.start_base_txn(
+            node,
+            pending.spec,
+            Some(pending.tentative_results),
+            Some(node),
+        );
     }
 
     /// The configuration of this run.

@@ -11,7 +11,9 @@
 //! nodes catch up from the freshest quorum member (version-based read
 //! repair).
 
-use repl_storage::{NodeId, ObjectId, ObjectStore, Timestamp, Value};
+use repl_sim::SimTime;
+use repl_storage::{Lsn, NodeId, ObjectId, ObjectStore, Timestamp, Value};
+use repl_telemetry::{Event, EventKind, TraceHandle};
 
 /// A weighted-voting configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,7 +55,11 @@ impl std::error::Error for QuorumError {}
 
 impl QuorumConfig {
     /// Validate Gifford's intersection constraints.
-    pub fn new(weights: Vec<u32>, read_quorum: u32, write_quorum: u32) -> Result<Self, QuorumError> {
+    pub fn new(
+        weights: Vec<u32>,
+        read_quorum: u32,
+        write_quorum: u32,
+    ) -> Result<Self, QuorumError> {
         let total: u32 = weights.iter().sum();
         if total == 0 {
             return Err(QuorumError::NoVotes);
@@ -110,6 +116,10 @@ pub struct QuorumRegister {
     replicas: Vec<ObjectStore>,
     object: ObjectId,
     next_version: u64,
+    tracer: TraceHandle,
+    /// Logical operation counter — the register has no simulated clock,
+    /// so trace events are stamped with one tick per operation.
+    tick: u64,
 }
 
 /// Errors performing quorum operations.
@@ -145,7 +155,17 @@ impl QuorumRegister {
             replicas: (0..n).map(|_| ObjectStore::new(1)).collect(),
             object: ObjectId(0),
             next_version: 0,
+            tracer: TraceHandle::off(),
+            tick: 0,
         }
+    }
+
+    /// Attach a tracer; events carry a logical per-operation tick as
+    /// their timestamp.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Write through the nodes in `available` (must form a write
@@ -165,8 +185,11 @@ impl QuorumRegister {
             .unwrap_or(0);
         self.next_version = self.next_version.max(freshest) + 1;
         let ts = Timestamp::new(self.next_version, available[0]);
+        self.tick += 1;
         for n in available {
             self.replicas[n.0 as usize].set(self.object, value.clone(), ts);
+            self.tracer
+                .emit(|| Event::system(SimTime(self.tick), *n, EventKind::ReplicaApply));
         }
         Ok(())
     }
@@ -199,7 +222,20 @@ impl QuorumRegister {
             .map(|n| self.replicas[n.0 as usize].get(self.object).ts)
             .max()
             .expect("read quorum is non-empty");
+        self.tick += 1;
+        self.tracer.emit(|| {
+            Event::system(
+                SimTime(self.tick),
+                quorum[0],
+                EventKind::ReplicaSend {
+                    to: node,
+                    lsn: Lsn(freshest_ts.counter),
+                },
+            )
+        });
         self.replicas[node.0 as usize].set(self.object, value, freshest_ts);
+        self.tracer
+            .emit(|| Event::system(SimTime(self.tick), node, EventKind::Reconcile));
         Ok(())
     }
 

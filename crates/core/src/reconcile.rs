@@ -7,7 +7,9 @@
 //! queue a conflict falls into when no rule applies — the "program or
 //! person [that] must reconcile conflicting transactions" of §1.
 
+use repl_sim::SimTime;
 use repl_storage::{NodeId, ObjectId, Timestamp, UpdateRecord, Value, Versioned};
+use repl_telemetry::{Event, EventKind, TraceHandle};
 
 /// A detected dangerous update: an incoming replica update whose `old`
 /// timestamp does not match the local replica's current version.
@@ -148,6 +150,10 @@ impl DeltaUpdate {
 #[derive(Debug, Default)]
 pub struct ManualQueue {
     entries: Vec<Conflict>,
+    tracer: TraceHandle,
+    /// Logical operation counter — the queue has no simulated clock, so
+    /// trace events are stamped with one tick per push/resolve.
+    tick: u64,
 }
 
 impl ManualQueue {
@@ -156,8 +162,24 @@ impl ManualQueue {
         Self::default()
     }
 
+    /// Attach a tracer; events carry a logical per-operation tick as
+    /// their timestamp.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Park a conflict for human resolution.
     pub fn push(&mut self, c: Conflict) {
+        self.tick += 1;
+        self.tracer.emit(|| {
+            Event::system(
+                SimTime(self.tick),
+                c.local.ts.node,
+                EventKind::DangerousUpdate { object: c.object },
+            )
+        });
         self.entries.push(c);
     }
 
@@ -179,6 +201,9 @@ impl ManualQueue {
         }
         let c = self.entries.remove(0);
         let r = rule.resolve(&c);
+        self.tick += 1;
+        self.tracer
+            .emit(|| Event::system(SimTime(self.tick), c.local.ts.node, EventKind::Reconcile));
         Some((c, r))
     }
 }

@@ -42,9 +42,7 @@ impl Criterion {
     pub fn accepts(&self, base: &[(ObjectId, Value)], tentative: &[(ObjectId, Value)]) -> bool {
         match self {
             Criterion::AlwaysAccept => true,
-            Criterion::NonNegative => base
-                .iter()
-                .all(|(_, v)| v.as_int().is_none_or(|i| i >= 0)),
+            Criterion::NonNegative => base.iter().all(|(_, v)| v.as_int().is_none_or(|i| i >= 0)),
             Criterion::AtMost(bound) => base
                 .iter()
                 .all(|(_, v)| v.as_int().is_none_or(|i| i <= *bound)),
@@ -130,8 +128,10 @@ mod tests {
     #[test]
     fn always_accept_accepts() {
         assert!(Criterion::AlwaysAccept.accepts(&[], &[]));
-        assert!(Criterion::AlwaysAccept
-            .accepts(&[(ObjectId(0), Value::Int(-5))], &[(ObjectId(0), Value::Int(1))]));
+        assert!(Criterion::AlwaysAccept.accepts(
+            &[(ObjectId(0), Value::Int(-5))],
+            &[(ObjectId(0), Value::Int(1))]
+        ));
     }
 
     #[test]
@@ -168,7 +168,10 @@ mod tests {
         let spec = TxnSpec::new(vec![add(3, 1), add(7, 2)]);
         assert_eq!(spec.len(), 2);
         assert!(!spec.is_empty());
-        assert_eq!(spec.objects().collect::<Vec<_>>(), vec![ObjectId(3), ObjectId(7)]);
+        assert_eq!(
+            spec.objects().collect::<Vec<_>>(),
+            vec![ObjectId(3), ObjectId(7)]
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ pub fn e13(opts: &RunOpts) -> Table {
     let total_lost: u64 = replicas.iter().map(NotesStore::lost_updates).sum();
     t.row(vec![
         format!("Notes trial ({k} updates, 4 orders)"),
-        if all_equal { "converged".into() } else { "DIVERGED".into() },
+        if all_equal {
+            "converged".into()
+        } else {
+            "DIVERGED".into()
+        },
         "—".into(),
         format!("{total_lost} replaces discarded"),
     ]);
@@ -87,9 +91,17 @@ pub fn e13(opts: &RunOpts) -> Table {
     let mut ts = 0;
     for i in 0..rounds {
         ts += 1;
-        a.update(DocId(i % 10), Value::Int(i as i64), Timestamp::new(ts, NodeId(1)));
+        a.update(
+            DocId(i % 10),
+            Value::Int(i as i64),
+            Timestamp::new(ts, NodeId(1)),
+        );
         ts += 1;
-        b.update(DocId(i % 10), Value::Int(-(i as i64)), Timestamp::new(ts, NodeId(2)));
+        b.update(
+            DocId(i % 10),
+            Value::Int(-(i as i64)),
+            Timestamp::new(ts, NodeId(2)),
+        );
         if i % 5 == 4 {
             a.exchange(&mut b);
         }
@@ -98,9 +110,16 @@ pub fn e13(opts: &RunOpts) -> Table {
     let converged = a.digest() == b.digest();
     t.row(vec![
         format!("Access version vectors ({rounds} rounds)"),
-        if converged { "converged".into() } else { "DIVERGED".into() },
+        if converged {
+            "converged".into()
+        } else {
+            "DIVERGED".into()
+        },
         "—".into(),
-        format!("{} rejected updates reported", a.rejected().len() + b.rejected().len()),
+        format!(
+            "{} rejected updates reported",
+            a.rejected().len() + b.rejected().len()
+        ),
     ]);
 
     t.note("convergence != correctness: replace/LWW converges but loses updates (§6)");
@@ -114,7 +133,12 @@ pub fn e14(_opts: &RunOpts) -> Table {
     let mut t = Table::new(
         "E14",
         "Table 2: model parameters and baseline values",
-        &["parameter", "meaning", "baseline (E1/E2)", "scaleup (E5-E10)"],
+        &[
+            "parameter",
+            "meaning",
+            "baseline (E1/E2)",
+            "scaleup (E5-E10)",
+        ],
     );
     let a = repl_workload::presets::single_node_base();
     let b = repl_workload::presets::scaleup_base();
@@ -186,7 +210,11 @@ mod tests {
 
     #[test]
     fn e13_trials_converge() {
-        let t = e13(&RunOpts { quick: true, seed: 17 });
+        let t = e13(&RunOpts {
+            quick: true,
+            seed: 17,
+            ..RunOpts::default()
+        });
         assert!(t.rows.iter().any(|r| r[1] == "converged"));
         assert!(!t.rows.iter().any(|r| r[1] == "DIVERGED"));
         // The replace row shows the wrong balance (300, not 0).

@@ -10,7 +10,7 @@
 //! longer the run).
 
 use crate::table::Table;
-use crate::RunOpts;
+use crate::{Instrument, RunOpts};
 use repl_core::{LazyGroupSim, Mobility, ResolutionMode, SimConfig};
 use repl_model::Params;
 use repl_storage::ObjectStore;
@@ -47,10 +47,12 @@ pub fn ablate_delusion(opts: &RunOpts) -> Table {
     for secs in [50u64, 100, 200] {
         let horizon = opts.horizon(secs).max(20);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(2);
-        let (auto_report, auto_stores) =
-            LazyGroupSim::new(cfg, Mobility::Connected).run_with_state();
+        let (auto_report, auto_stores) = LazyGroupSim::new(cfg, Mobility::Connected)
+            .instrument(opts, format!("ablate-delusion auto secs={secs}"))
+            .run_with_state();
         let (_, manual_stores) = LazyGroupSim::new(cfg, Mobility::Connected)
             .with_resolution(ResolutionMode::Manual)
+            .instrument(opts, format!("ablate-delusion manual secs={secs}"))
             .run_with_state();
         t.row(vec![
             format!("{horizon}"),
@@ -73,6 +75,7 @@ mod tests {
         let t = ablate_delusion(&RunOpts {
             quick: true,
             seed: 23,
+            ..RunOpts::default()
         });
         for row in &t.rows {
             let auto: usize = row[2].parse().unwrap();

@@ -2,7 +2,7 @@
 //! polynomial explosions.
 
 use crate::table::{fmt_ratio, fmt_val, Table};
-use crate::RunOpts;
+use crate::{Instrument, RunOpts};
 use repl_core::{EagerSim, Ownership, ReplicaDiscipline, SimConfig};
 use repl_model::{eager, Params, Point};
 use repl_workload::presets;
@@ -10,11 +10,14 @@ use repl_workload::presets;
 fn run_eager(
     p: &Params,
     horizon: u64,
-    seed: u64,
+    opts: &RunOpts,
+    label: String,
     discipline: ReplicaDiscipline,
 ) -> repl_core::Report {
-    let cfg = SimConfig::from_params(p, horizon, seed).with_warmup(5);
-    EagerSim::new(cfg, discipline, Ownership::Group).run()
+    let cfg = SimConfig::from_params(p, horizon, opts.seed).with_warmup(5);
+    EagerSim::new(cfg, discipline, Ownership::Group)
+        .instrument(opts, label)
+        .run()
 }
 
 /// E5: eager system-wide wait rate vs `Nodes` — equation (10)'s cubic.
@@ -30,8 +33,17 @@ pub fn e05(opts: &RunOpts) -> Table {
         let p = base.with_nodes(n);
         let predicted = eager::total_wait_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 300.0, 200, 10_000);
-        let r = run_eager(&p, horizon, opts.seed, ReplicaDiscipline::Serial);
-        points.push(Point { x: n, y: r.wait_rate });
+        let r = run_eager(
+            &p,
+            horizon,
+            opts,
+            format!("e5 nodes={n}"),
+            ReplicaDiscipline::Serial,
+        );
+        points.push(Point {
+            x: n,
+            y: r.wait_rate,
+        });
         t.row(vec![
             format!("{n}"),
             fmt_val(predicted),
@@ -40,7 +52,9 @@ pub fn e05(opts: &RunOpts) -> Table {
         ]);
     }
     if let Some(k) = repl_model::fit_exponent(&points) {
-        t.note(format!("measured Nodes-exponent {k:.2} (model predicts 3; eq. 10)"));
+        t.note(format!(
+            "measured Nodes-exponent {k:.2} (model predicts 3; eq. 10)"
+        ));
     }
     t
 }
@@ -52,7 +66,12 @@ pub fn e06(opts: &RunOpts) -> Table {
     let mut t = Table::new(
         "E6",
         "eager deadlock rate vs Nodes (eqs. 11-12): 10x nodes => ~1000x",
-        &["Nodes", "deadlocks/s model", "deadlocks/s measured", "meas/model"],
+        &[
+            "Nodes",
+            "deadlocks/s model",
+            "deadlocks/s measured",
+            "meas/model",
+        ],
     );
     let base = presets::scaleup_base();
     let mut points = Vec::new();
@@ -62,8 +81,17 @@ pub fn e06(opts: &RunOpts) -> Table {
         let p = base.with_nodes(n);
         let predicted = eager::total_deadlock_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
-        let r = run_eager(&p, horizon, opts.seed, ReplicaDiscipline::Serial);
-        points.push(Point { x: n, y: r.deadlock_rate });
+        let r = run_eager(
+            &p,
+            horizon,
+            opts,
+            format!("e6 nodes={n}"),
+            ReplicaDiscipline::Serial,
+        );
+        points.push(Point {
+            x: n,
+            y: r.deadlock_rate,
+        });
         if n == 1.0 {
             first = Some(r.deadlock_rate);
         }
@@ -78,7 +106,9 @@ pub fn e06(opts: &RunOpts) -> Table {
         ]);
     }
     if let Some(k) = repl_model::fit_exponent(&points) {
-        t.note(format!("measured Nodes-exponent {k:.2} (model predicts 3; eq. 12)"));
+        t.note(format!(
+            "measured Nodes-exponent {k:.2} (model predicts 3; eq. 12)"
+        ));
     }
     if let (Some(f), Some(l)) = (first, last) {
         if f > 0.0 {
@@ -87,7 +117,10 @@ pub fn e06(opts: &RunOpts) -> Table {
                 l / f
             ));
         } else {
-            t.note("1-node deadlock rate unobservably low in this run (expected: eq. 5 rate is tiny)".to_owned());
+            t.note(
+                "1-node deadlock rate unobservably low in this run (expected: eq. 5 rate is tiny)"
+                    .to_owned(),
+            );
         }
     }
     t
@@ -100,7 +133,12 @@ pub fn e06_actions(opts: &RunOpts) -> Table {
     let mut t = Table::new(
         "E6b",
         "eager deadlock rate vs Actions at 4 nodes (Actions^5 term of eq. 12)",
-        &["Actions", "deadlocks/s model", "deadlocks/s measured", "meas/model"],
+        &[
+            "Actions",
+            "deadlocks/s model",
+            "deadlocks/s measured",
+            "meas/model",
+        ],
     );
     let base = presets::scaleup_base().with_nodes(4.0);
     let mut points = Vec::new();
@@ -108,8 +146,17 @@ pub fn e06_actions(opts: &RunOpts) -> Table {
         let p = base.with_actions(a);
         let predicted = eager::total_deadlock_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
-        let r = run_eager(&p, horizon, opts.seed, ReplicaDiscipline::Serial);
-        points.push(Point { x: a, y: r.deadlock_rate });
+        let r = run_eager(
+            &p,
+            horizon,
+            opts,
+            format!("e6b actions={a}"),
+            ReplicaDiscipline::Serial,
+        );
+        points.push(Point {
+            x: a,
+            y: r.deadlock_rate,
+        });
         t.row(vec![
             format!("{a}"),
             fmt_val(predicted),
@@ -118,7 +165,9 @@ pub fn e06_actions(opts: &RunOpts) -> Table {
         ]);
     }
     if let Some(k) = repl_model::fit_exponent(&points) {
-        t.note(format!("measured Actions-exponent {k:.2} (model predicts 5)"));
+        t.note(format!(
+            "measured Actions-exponent {k:.2} (model predicts 5)"
+        ));
     }
     t
 }
@@ -129,7 +178,13 @@ pub fn e07(opts: &RunOpts) -> Table {
     let mut t = Table::new(
         "E7",
         "eager deadlock rate with DB_Size scaled by Nodes (eq. 13): linear growth",
-        &["Nodes", "DB_Size", "deadlocks/s model", "deadlocks/s measured", "meas/model"],
+        &[
+            "Nodes",
+            "DB_Size",
+            "deadlocks/s model",
+            "deadlocks/s measured",
+            "meas/model",
+        ],
     );
     // Smaller base DB so the (linear, weak) growth is measurable.
     let base = Params::new(500.0, 1.0, 40.0, 4.0, 0.01);
@@ -141,8 +196,17 @@ pub fn e07(opts: &RunOpts) -> Table {
         };
         let predicted = eager::deadlock_rate_scaled_db(&base.with_nodes(n));
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
-        let r = run_eager(&p, horizon, opts.seed, ReplicaDiscipline::Serial);
-        points.push(Point { x: n, y: r.deadlock_rate });
+        let r = run_eager(
+            &p,
+            horizon,
+            opts,
+            format!("e7 nodes={n}"),
+            ReplicaDiscipline::Serial,
+        );
+        points.push(Point {
+            x: n,
+            y: r.deadlock_rate,
+        });
         t.row(vec![
             format!("{n}"),
             format!("{}", p.db_size as u64),
@@ -152,7 +216,9 @@ pub fn e07(opts: &RunOpts) -> Table {
         ]);
     }
     if let Some(k) = repl_model::fit_exponent(&points) {
-        t.note(format!("measured Nodes-exponent {k:.2} (model predicts 1; eq. 13)"));
+        t.note(format!(
+            "measured Nodes-exponent {k:.2} (model predicts 1; eq. 13)"
+        ));
     }
     t
 }
@@ -175,12 +241,29 @@ pub fn ablate_parallel(opts: &RunOpts) -> Table {
         // The parallel discipline deadlocks ~N-times less; size each
         // run's horizon for its own expected event count.
         let horizon_s = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
-        let horizon_p =
-            opts.adaptive_horizon(predicted / p.nodes.max(1.0), 40.0, 200, 20_000);
-        let rs = run_eager(&p, horizon_s, opts.seed, ReplicaDiscipline::Serial);
-        let rp = run_eager(&p, horizon_p, opts.seed, ReplicaDiscipline::Parallel);
-        serial_pts.push(Point { x: n, y: rs.deadlock_rate });
-        par_pts.push(Point { x: n, y: rp.deadlock_rate });
+        let horizon_p = opts.adaptive_horizon(predicted / p.nodes.max(1.0), 40.0, 200, 20_000);
+        let rs = run_eager(
+            &p,
+            horizon_s,
+            opts,
+            format!("ablate-parallel serial nodes={n}"),
+            ReplicaDiscipline::Serial,
+        );
+        let rp = run_eager(
+            &p,
+            horizon_p,
+            opts,
+            format!("ablate-parallel parallel nodes={n}"),
+            ReplicaDiscipline::Parallel,
+        );
+        serial_pts.push(Point {
+            x: n,
+            y: rs.deadlock_rate,
+        });
+        par_pts.push(Point {
+            x: n,
+            y: rp.deadlock_rate,
+        });
         t.row(vec![
             format!("{n}"),
             fmt_val(rs.deadlock_rate),
@@ -204,7 +287,11 @@ mod tests {
     use super::*;
 
     fn quick() -> RunOpts {
-        RunOpts { quick: true, seed: 3 }
+        RunOpts {
+            quick: true,
+            seed: 3,
+            ..RunOpts::default()
+        }
     }
 
     #[test]

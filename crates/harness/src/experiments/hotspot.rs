@@ -4,7 +4,7 @@
 //! closed forms.
 
 use crate::table::{fmt_val, Table};
-use crate::RunOpts;
+use crate::{Instrument, RunOpts};
 use repl_core::{ContentionProfile, ContentionSim, SimConfig};
 use repl_model::{single, Params};
 use repl_sim::AccessPattern;
@@ -30,7 +30,9 @@ pub fn hotspot(opts: &RunOpts) -> Table {
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(5)
             .with_access(pattern);
-        let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg)).run();
+        let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg))
+            .instrument(opts, format!("hotspot {label}"))
+            .run();
         t.row(vec![
             label.into(),
             fmt_val(r.wait_rate),
@@ -48,7 +50,11 @@ mod tests {
 
     #[test]
     fn skew_inflates_wait_rate() {
-        let t = hotspot(&RunOpts { quick: true, seed: 19 });
+        let t = hotspot(&RunOpts {
+            quick: true,
+            seed: 19,
+            ..RunOpts::default()
+        });
         assert_eq!(t.rows.len(), 4);
         let uniform: f64 = t.rows[0][1].parse().unwrap();
         let skewed: f64 = t.rows[3][1].parse().unwrap();

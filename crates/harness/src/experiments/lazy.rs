@@ -1,7 +1,7 @@
 //! E8, E9, E10 and the latency ablation — lazy replication.
 
 use crate::table::{fmt_ratio, fmt_val, Table};
-use crate::RunOpts;
+use crate::{Instrument, RunOpts};
 use repl_core::{LazyGroupSim, LazyMasterSim, Mobility, SimConfig};
 use repl_model::{eager, lazy, Point};
 use repl_net::LatencyModel;
@@ -33,8 +33,13 @@ pub fn e08(opts: &RunOpts) -> Table {
         let predicted = lazy::group_reconciliation_rate(&p);
         let horizon = opts.adaptive_horizon(predicted.min(1.0), 50.0, 200, 5_000);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
-        let r = LazyGroupSim::new(cfg, Mobility::Connected).run();
-        points.push(Point { x: n, y: r.reconciliation_rate });
+        let r = LazyGroupSim::new(cfg, Mobility::Connected)
+            .instrument(opts, format!("e8 nodes={n}"))
+            .run();
+        points.push(Point {
+            x: n,
+            y: r.reconciliation_rate,
+        });
         t.row(vec![
             format!("{n}"),
             fmt_val(predicted),
@@ -58,7 +63,13 @@ pub fn e09(opts: &RunOpts) -> Table {
     let mut t = Table::new(
         "E9",
         "mobile lazy-group reconciliation vs Disconnect_Time (eqs. 15-18)",
-        &["Disc. secs", "P(collision)/cycle", "recon/s model", "recon/s measured", "meas/model"],
+        &[
+            "Disc. secs",
+            "P(collision)/cycle",
+            "recon/s model",
+            "recon/s measured",
+            "meas/model",
+        ],
     );
     // Low enough update density that short windows sit in the
     // rare-collision (quadratic) regime — eq. 17's P(collision) < 1 —
@@ -75,8 +86,13 @@ pub fn e09(opts: &RunOpts) -> Table {
             connected: SimDuration::from_secs_f64(d / 2.0),
             disconnected: SimDuration::from_secs_f64(d),
         };
-        let r = LazyGroupSim::new(cfg, mobility).run();
-        points.push(Point { x: d, y: r.reconciliation_rate });
+        let r = LazyGroupSim::new(cfg, mobility)
+            .instrument(opts, format!("e9 disconnect={d}"))
+            .run();
+        points.push(Point {
+            x: d,
+            y: r.reconciliation_rate,
+        });
         t.row(vec![
             format!("{d}"),
             fmt_val(lazy::mobile_collision_probability(&p)),
@@ -113,8 +129,13 @@ pub fn e09_nodes(opts: &RunOpts) -> Table {
             connected: SimDuration::from_secs(10),
             disconnected: SimDuration::from_secs_f64(p.disconnected_time),
         };
-        let r = LazyGroupSim::new(cfg, mobility).run();
-        points.push(Point { x: n, y: r.reconciliation_rate });
+        let r = LazyGroupSim::new(cfg, mobility)
+            .instrument(opts, format!("e9b nodes={n}"))
+            .run();
+        points.push(Point {
+            x: n,
+            y: r.reconciliation_rate,
+        });
         t.row(vec![
             format!("{n}"),
             fmt_val(predicted),
@@ -123,7 +144,9 @@ pub fn e09_nodes(opts: &RunOpts) -> Table {
         ]);
     }
     if let Some(k) = repl_model::fit_exponent(&points) {
-        t.note(format!("measured Nodes-exponent {k:.2} (model predicts ~2; eq. 18)"));
+        t.note(format!(
+            "measured Nodes-exponent {k:.2} (model predicts ~2; eq. 18)"
+        ));
     }
     t
 }
@@ -149,8 +172,13 @@ pub fn e10(opts: &RunOpts) -> Table {
         let predicted = lazy::master_deadlock_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
-        let r = LazyMasterSim::new(cfg).run();
-        points.push(Point { x: n, y: r.deadlock_rate });
+        let r = LazyMasterSim::new(cfg)
+            .instrument(opts, format!("e10 nodes={n}"))
+            .run();
+        points.push(Point {
+            x: n,
+            y: r.deadlock_rate,
+        });
         t.row(vec![
             format!("{n}"),
             fmt_val(predicted),
@@ -160,7 +188,9 @@ pub fn e10(opts: &RunOpts) -> Table {
         ]);
     }
     if let Some(k) = repl_model::fit_exponent(&points) {
-        t.note(format!("measured Nodes-exponent {k:.2} (model predicts 2; eq. 19)"));
+        t.note(format!(
+            "measured Nodes-exponent {k:.2} (model predicts 2; eq. 19)"
+        ));
     }
     t.note("lazy-master stays below eager at every N>1 — \"slightly less deadlock prone\" (§5)");
     t
@@ -181,7 +211,9 @@ pub fn ablate_latency(opts: &RunOpts) -> Table {
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(5)
             .with_latency(LatencyModel::Fixed(SimDuration::from_millis(delay_ms)));
-        let r = LazyGroupSim::new(cfg, Mobility::Connected).run();
+        let r = LazyGroupSim::new(cfg, Mobility::Connected)
+            .instrument(opts, format!("ablate-latency delay={delay_ms}ms"))
+            .run();
         t.row(vec![format!("{delay_ms}"), fmt_val(r.reconciliation_rate)]);
     }
     t.note("rate grows with delay — the conflict window includes propagation time (§4)");
@@ -193,7 +225,11 @@ mod tests {
     use super::*;
 
     fn quick() -> RunOpts {
-        RunOpts { quick: true, seed: 5 }
+        RunOpts {
+            quick: true,
+            seed: 5,
+            ..RunOpts::default()
+        }
     }
 
     #[test]

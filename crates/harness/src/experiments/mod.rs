@@ -167,8 +167,7 @@ mod tests {
         // Equations 2-19, Table 1, Table 2, Figures 1 and 3 must all
         // have a regenerator.
         for required in [
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
         ] {
             assert!(by_name(required).is_some(), "missing {required}");
         }

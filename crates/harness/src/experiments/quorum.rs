@@ -14,13 +14,7 @@ use repl_sim::SimRng;
 use repl_storage::NodeId;
 
 /// Step-simulate node up/down cycles and count write-quorum hits.
-fn availability(
-    cfg: &QuorumConfig,
-    nodes: u32,
-    uptime: f64,
-    steps: u32,
-    seed: u64,
-) -> f64 {
+fn availability(cfg: &QuorumConfig, nodes: u32, uptime: f64, steps: u32, seed: u64) -> f64 {
     let mut rng = SimRng::stream(seed, "quorum-availability");
     let mut up = vec![true; nodes as usize];
     let mut ok = 0u32;
@@ -30,10 +24,7 @@ fn availability(
         for flag in up.iter_mut() {
             *flag = rng.next_f64() < uptime;
         }
-        let available: Vec<NodeId> = (0..nodes)
-            .filter(|&i| up[i as usize])
-            .map(NodeId)
-            .collect();
+        let available: Vec<NodeId> = (0..nodes).filter(|&i| up[i as usize]).map(NodeId).collect();
         if cfg.can_write(&available) {
             ok += 1;
         }
@@ -64,7 +55,9 @@ pub fn ablate_quorum(opts: &RunOpts) -> Table {
         // Closed forms: all-up probability p^5; majority = P(Bin(5,p)>=3).
         let p = uptime;
         let all_up = p.powi(5);
-        let maj = (3..=5).map(|k| binom(5, k) * p.powi(k) * (1.0 - p).powi(5 - k)).sum::<f64>();
+        let maj = (3..=5)
+            .map(|k| binom(5, k) * p.powi(k) * (1.0 - p).powi(5 - k))
+            .sum::<f64>();
         t.row(vec![
             format!("{uptime:.2}"),
             format!("{a_rowa:.3}"),
@@ -94,6 +87,7 @@ mod tests {
         let t = ablate_quorum(&RunOpts {
             quick: true,
             seed: 31,
+            ..RunOpts::default()
         });
         assert_eq!(t.rows.len(), 5);
         for row in &t.rows {
@@ -114,6 +108,7 @@ mod tests {
         let t = ablate_quorum(&RunOpts {
             quick: false,
             seed: 32,
+            ..RunOpts::default()
         });
         for row in &t.rows {
             let meas: f64 = row[2].parse().unwrap();

@@ -3,7 +3,7 @@
 //! and Table 1 (the taxonomy, measured).
 
 use crate::table::{fmt_val, Table};
-use crate::RunOpts;
+use crate::{Instrument, RunOpts};
 use repl_core::{
     ContentionProfile, ContentionSim, EagerSim, LazyGroupSim, LazyMasterSim, Mobility, Ownership,
     ReplicaDiscipline, SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload,
@@ -30,7 +30,9 @@ pub fn e03(opts: &RunOpts) -> Table {
     let horizon = opts.horizon(200);
     let mk = |seed| SimConfig::from_params(&p, horizon, seed).with_warmup(5);
 
-    let eager = EagerSim::new(mk(opts.seed), ReplicaDiscipline::Serial, Ownership::Group).run();
+    let eager = EagerSim::new(mk(opts.seed), ReplicaDiscipline::Serial, Ownership::Group)
+        .instrument(opts, "e3 eager")
+        .run();
     t.row(vec![
         "eager (1 txn, 9 updates)".into(),
         eager.committed.to_string(),
@@ -39,7 +41,9 @@ pub fn e03(opts: &RunOpts) -> Table {
         "0".into(),
     ]);
 
-    let lazy = LazyGroupSim::new(mk(opts.seed), Mobility::Connected).run();
+    let lazy = LazyGroupSim::new(mk(opts.seed), Mobility::Connected)
+        .instrument(opts, "e3 lazy-group")
+        .run();
     t.row(vec![
         "lazy (1 root + 2 lazy txns)".into(),
         lazy.committed.to_string(),
@@ -65,12 +69,14 @@ pub fn e04(opts: &RunOpts) -> Table {
     let horizon = opts.horizon(300);
     let actions = 4.0;
     let tps = 1.0;
-    let run_single = |tps: f64, seed: u64| {
+    let run_single = |tps: f64, seed: u64, label: &str| {
         let p = Params::new(10_000.0, 1.0, tps, actions, 0.01);
         let cfg = SimConfig::from_params(&p, horizon, seed).with_warmup(5);
-        ContentionSim::new(cfg, ContentionProfile::single_node(&cfg)).run()
+        ContentionSim::new(cfg, ContentionProfile::single_node(&cfg))
+            .instrument(opts, format!("e4 {label}"))
+            .run()
     };
-    let base = run_single(tps, opts.seed);
+    let base = run_single(tps, opts.seed, "base");
     let base_work = base.action_rate;
     t.row(vec![
         "base: one 1 TPS node".into(),
@@ -79,7 +85,7 @@ pub fn e04(opts: &RunOpts) -> Table {
         "1.0x".into(),
     ]);
 
-    let scaleup = run_single(2.0 * tps, opts.seed + 1);
+    let scaleup = run_single(2.0 * tps, opts.seed + 1, "scaleup");
     t.row(vec![
         "scaleup: one 2 TPS node".into(),
         fmt_val(2.0 * tps),
@@ -88,8 +94,8 @@ pub fn e04(opts: &RunOpts) -> Table {
     ]);
 
     // Partitioning: two independent 1 TPS nodes — work is additive.
-    let part_a = run_single(tps, opts.seed + 2);
-    let part_b = run_single(tps, opts.seed + 3);
+    let part_a = run_single(tps, opts.seed + 2, "partition-a");
+    let part_b = run_single(tps, opts.seed + 3, "partition-b");
     let part_work = part_a.action_rate + part_b.action_rate;
     t.row(vec![
         "partitioning: two 1 TPS nodes".into(),
@@ -102,7 +108,9 @@ pub fn e04(opts: &RunOpts) -> Table {
     // applying the other's updates.
     let p = Params::new(10_000.0, 2.0, tps, actions, 0.01);
     let cfg = SimConfig::from_params(&p, horizon, opts.seed + 4).with_warmup(5);
-    let repl = EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group).run();
+    let repl = EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
+        .instrument(opts, "e4 replication")
+        .run();
     t.row(vec![
         "replication: two 1 TPS replicas".into(),
         fmt_val(2.0 * tps),
@@ -142,17 +150,30 @@ pub fn e11(opts: &RunOpts) -> Table {
             fmt_val(r.commit_rate),
             fmt_val(r.deadlock_rate),
             fmt_val(r.reconciliation_rate),
-            if scheme.supports_mobility() { "yes" } else { "no" }.into(),
+            if scheme.supports_mobility() {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
         ]);
     };
 
-    let r = EagerSim::new(mk(), ReplicaDiscipline::Serial, Ownership::Group).run();
+    let r = EagerSim::new(mk(), ReplicaDiscipline::Serial, Ownership::Group)
+        .instrument(opts, "e11 eager-group")
+        .run();
     push(Scheme::EagerGroup, &r);
-    let r = EagerSim::new(mk(), ReplicaDiscipline::Serial, Ownership::Master).run();
+    let r = EagerSim::new(mk(), ReplicaDiscipline::Serial, Ownership::Master)
+        .instrument(opts, "e11 eager-master")
+        .run();
     push(Scheme::EagerMaster, &r);
-    let r = LazyGroupSim::new(mk(), Mobility::Connected).run();
+    let r = LazyGroupSim::new(mk(), Mobility::Connected)
+        .instrument(opts, "e11 lazy-group")
+        .run();
     push(Scheme::LazyGroup, &r);
-    let r = LazyMasterSim::new(mk()).run();
+    let r = LazyMasterSim::new(mk())
+        .instrument(opts, "e11 lazy-master")
+        .run();
     push(Scheme::LazyMaster, &r);
     let tt = TwoTierConfig {
         sim: mk(),
@@ -163,7 +184,7 @@ pub fn e11(opts: &RunOpts) -> Table {
         workload: TwoTierWorkload::Commutative { max_amount: 10 },
         initial_value: 1_000_000,
     };
-    let r = TwoTierSim::new(tt).run();
+    let r = TwoTierSim::new(tt).instrument(opts, "e11 two-tier").run();
     push(Scheme::TwoTier, &r);
 
     t.note("eager converts conflicts to waits/deadlocks; lazy-group to reconciliations;");
@@ -176,7 +197,11 @@ mod tests {
     use super::*;
 
     fn quick() -> RunOpts {
-        RunOpts { quick: true, seed: 11 }
+        RunOpts {
+            quick: true,
+            seed: 11,
+            ..RunOpts::default()
+        }
     }
 
     #[test]
@@ -191,7 +216,10 @@ mod tests {
         assert_eq!(t.rows.len(), 4);
         let part: f64 = t.rows[2][2].parse().unwrap();
         let repl: f64 = t.rows[3][2].parse().unwrap();
-        assert!(repl > part * 1.5, "replication {repl} vs partitioning {part}");
+        assert!(
+            repl > part * 1.5,
+            "replication {repl} vs partitioning {part}"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! rates against equations (2)–(5).
 
 use crate::table::{fmt_ratio, fmt_val, Table};
-use crate::RunOpts;
+use crate::{Instrument, RunOpts};
 use repl_core::{ContentionProfile, ContentionSim, SimConfig};
 use repl_model::{single, Params};
 
@@ -14,7 +14,13 @@ pub fn e01(opts: &RunOpts) -> Table {
     let mut t = Table::new(
         "E1",
         "single-node wait rate vs model (eq. 2/10)",
-        &["Actions", "PW (model)", "waits/s model", "waits/s measured", "meas/model"],
+        &[
+            "Actions",
+            "PW (model)",
+            "waits/s model",
+            "waits/s measured",
+            "meas/model",
+        ],
     );
     let base = repl_workload::presets::single_node_base();
     for actions in [2.0, 3.0, 4.0, 5.0, 6.0, 8.0] {
@@ -22,7 +28,9 @@ pub fn e01(opts: &RunOpts) -> Table {
         let predicted = single::node_wait_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 200.0, 200, 5_000);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
-        let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg)).run();
+        let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg))
+            .instrument(opts, format!("e1 actions={actions}"))
+            .run();
         t.row(vec![
             format!("{actions}"),
             fmt_val(single::wait_probability(&p)),
@@ -41,7 +49,12 @@ pub fn e02(opts: &RunOpts) -> Table {
     let mut t = Table::new(
         "E2",
         "single-node deadlock rate vs model (eqs. 3-5), Actions^5 growth",
-        &["Actions", "deadlocks/s model", "deadlocks/s measured", "meas/model"],
+        &[
+            "Actions",
+            "deadlocks/s model",
+            "deadlocks/s measured",
+            "meas/model",
+        ],
     );
     // Higher contention than E1 so deadlocks are observable in finite
     // runs while PW stays << 1.
@@ -53,7 +66,9 @@ pub fn e02(opts: &RunOpts) -> Table {
         let predicted = single::node_deadlock_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
-        let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg)).run();
+        let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg))
+            .instrument(opts, format!("e2 actions={actions}"))
+            .run();
         points.push(repl_model::Point {
             x: actions,
             y: r.deadlock_rate,
@@ -81,6 +96,7 @@ mod tests {
         RunOpts {
             quick: true,
             seed: 7,
+            ..RunOpts::default()
         }
     }
 

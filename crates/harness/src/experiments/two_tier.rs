@@ -1,7 +1,7 @@
 //! E12 — the two-tier scheme (§7, Figures 5 and 6).
 
 use crate::table::{fmt_ratio, fmt_val, Table};
-use crate::RunOpts;
+use crate::{Instrument, RunOpts};
 use repl_core::{SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload};
 use repl_model::{lazy, Params};
 use repl_sim::SimDuration;
@@ -72,7 +72,9 @@ pub fn e12(opts: &RunOpts) -> Table {
     ];
     for (label, workload, funds) in cases {
         let cfg = config(&p, 2, workload, funds, horizon, opts.seed);
-        let (r, master, replicas) = TwoTierSim::new(cfg).run_with_state();
+        let (r, master, replicas) = TwoTierSim::new(cfg)
+            .instrument(opts, format!("e12 {label}"))
+            .run_with_state();
         let total = r.tentative_accepted + r.tentative_rejected;
         let reject_pct = if total > 0 {
             100.0 * r.tentative_rejected as f64 / total as f64
@@ -106,7 +108,12 @@ pub fn e12_nodes(opts: &RunOpts) -> Table {
     let mut t = Table::new(
         "E12b",
         "two-tier base deadlock rate vs Nodes (follows eq. 19)",
-        &["Nodes", "deadlocks/s model", "deadlocks/s measured", "meas/model"],
+        &[
+            "Nodes",
+            "deadlocks/s model",
+            "deadlocks/s measured",
+            "meas/model",
+        ],
     );
     let base = Params::new(600.0, 2.0, 15.0, 4.0, 0.01);
     let mut points = Vec::new();
@@ -122,8 +129,13 @@ pub fn e12_nodes(opts: &RunOpts) -> Table {
             horizon,
             opts.seed,
         );
-        let r = TwoTierSim::new(cfg).run();
-        points.push(repl_model::Point { x: n, y: r.deadlock_rate });
+        let r = TwoTierSim::new(cfg)
+            .instrument(opts, format!("e12b nodes={n}"))
+            .run();
+        points.push(repl_model::Point {
+            x: n,
+            y: r.deadlock_rate,
+        });
         t.row(vec![
             format!("{n}"),
             fmt_val(predicted),
@@ -132,7 +144,9 @@ pub fn e12_nodes(opts: &RunOpts) -> Table {
         ]);
     }
     if let Some(k) = repl_model::fit_exponent(&points) {
-        t.note(format!("measured Nodes-exponent {k:.2} (model predicts 2; eq. 19)"));
+        t.note(format!(
+            "measured Nodes-exponent {k:.2} (model predicts 2; eq. 19)"
+        ));
     }
     t
 }
@@ -143,7 +157,11 @@ mod tests {
 
     #[test]
     fn e12_reports_three_workloads() {
-        let t = e12(&RunOpts { quick: true, seed: 13 });
+        let t = e12(&RunOpts {
+            quick: true,
+            seed: 13,
+            ..RunOpts::default()
+        });
         assert_eq!(t.rows.len(), 3);
         // All rows converged.
         assert!(t.rows.iter().all(|r| r[7] == "yes"), "{t:?}");

@@ -32,13 +32,18 @@ pub mod table;
 pub use table::{fmt_ratio, fmt_val, Table};
 
 /// Global run options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunOpts {
     /// Shrink horizons ~10× (CI / smoke mode). Exponent fits get
     /// noisier but stay directionally right.
     pub quick: bool,
     /// Root seed.
     pub seed: u64,
+    /// Tracer every engine run attaches to (`--trace` / `--series`);
+    /// off by default, so untraced runs keep the pre-telemetry path.
+    pub tracer: repl_telemetry::TraceHandle,
+    /// Wall-clock phase profiler (`--profile`); off by default.
+    pub profiler: repl_telemetry::Profiler,
 }
 
 impl Default for RunOpts {
@@ -46,9 +51,43 @@ impl Default for RunOpts {
         RunOpts {
             quick: false,
             seed: repl_workload::presets::SEED,
+            tracer: repl_telemetry::TraceHandle::off(),
+            profiler: repl_telemetry::Profiler::off(),
         }
     }
 }
+
+/// Simulation engines that accept telemetry instrumentation.
+///
+/// Implemented by every engine the experiments construct, so a runner
+/// can attach the CLI-selected tracer, profiler, and a per-run label
+/// in one call: `EagerSim::new(..).instrument(opts, "e6 nodes=4")`.
+pub trait Instrument: Sized {
+    /// Attach `opts`'s tracer and profiler, labelling this run `label`
+    /// (the label opens each run's series in `--series` output).
+    #[must_use]
+    fn instrument(self, opts: &RunOpts, label: impl Into<String>) -> Self;
+}
+
+macro_rules! impl_instrument {
+    ($($sim:ty),* $(,)?) => {$(
+        impl Instrument for $sim {
+            fn instrument(self, opts: &RunOpts, label: impl Into<String>) -> Self {
+                self.with_tracer(opts.tracer.clone())
+                    .with_profiler(opts.profiler.clone())
+                    .with_run_label(label)
+            }
+        }
+    )*};
+}
+
+impl_instrument!(
+    repl_core::ContentionSim,
+    repl_core::EagerSim,
+    repl_core::LazyGroupSim,
+    repl_core::LazyMasterSim,
+    repl_core::TwoTierSim,
+);
 
 impl RunOpts {
     /// Pick a horizon long enough to expect `target_events` at the
@@ -92,6 +131,7 @@ mod tests {
         let o = RunOpts {
             quick: false,
             seed: 1,
+            ..RunOpts::default()
         };
         assert_eq!(o.adaptive_horizon(1.0, 30.0, 10, 100_000), 30);
         assert_eq!(o.adaptive_horizon(0.001, 30.0, 10, 100_000), 30_000);
@@ -105,6 +145,7 @@ mod tests {
         let o = RunOpts {
             quick: true,
             seed: 1,
+            ..RunOpts::default()
         };
         assert_eq!(o.horizon(200), 20);
         assert_eq!(o.horizon(5000), 500);

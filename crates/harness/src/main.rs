@@ -8,14 +8,23 @@
 //! harness --quick all          # ~10x shorter horizons (smoke mode)
 //! harness --seed 42 e8         # override the root seed
 //! harness --json e8            # machine-readable output
+//! harness --trace out.jsonl e6 # stream every engine event as JSONL
+//! harness --series 10 e6       # bucketed per-10s rate tables per run
+//! harness --profile e6         # wall-clock phase timing report
 //! ```
 
 use repl_harness::experiments::{self, Experiment};
 use repl_harness::RunOpts;
+use repl_telemetry::{JsonlSink, Profiler, SeriesAggregator};
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: harness [--quick] [--json] [--seed N] <list|all|NAME...>");
+    eprintln!(
+        "usage: harness [--quick] [--json] [--seed N] [--trace FILE] [--series SECS] \
+         [--profile] <list|all|NAME...>"
+    );
     eprintln!("experiments:");
     for e in experiments::ALL {
         eprintln!("  {:16} {}", e.name, e.about);
@@ -23,9 +32,38 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Render one run's bucketed rate series (`--series`).
+fn print_series(agg: &SeriesAggregator) {
+    let width = agg.width();
+    for run in agg.runs() {
+        println!("series: {} (bucket {}s)", run.label, width.as_secs_f64());
+        if run.is_empty() {
+            println!("  (no counted events)");
+            continue;
+        }
+        println!(
+            "  {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "start_s", "width_s", "commit/s", "wait/s", "deadlock/s", "recon/s"
+        );
+        for r in run.rates(width) {
+            println!(
+                "  {:>10.1} {:>8.1} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+                r.start_secs,
+                r.width_secs,
+                r.commit_rate,
+                r.wait_rate,
+                r.deadlock_rate,
+                r.reconciliation_rate
+            );
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut opts = RunOpts::default();
     let mut json = false;
+    let mut trace_path: Option<String> = None;
+    let mut series_secs: Option<u64> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,12 +77,47 @@ fn main() -> ExitCode {
                 };
                 opts.seed = v;
             }
+            "--trace" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--trace needs a file path");
+                    return usage();
+                };
+                trace_path = Some(p);
+            }
+            "--series" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    eprintln!("--series needs a positive bucket width in seconds");
+                    return usage();
+                };
+                series_secs = Some(v);
+            }
+            "--profile" => opts.profiler = Profiler::enabled(),
             "-h" | "--help" => return usage(),
             other => names.push(other.to_owned()),
         }
     }
     if names.is_empty() {
         return usage();
+    }
+    let series = series_secs.map(|secs| {
+        Rc::new(RefCell::new(SeriesAggregator::new(
+            repl_sim::SimDuration::from_secs(secs),
+        )))
+    });
+    if let Some(agg) = &series {
+        opts.tracer.attach(agg);
+    }
+    if let Some(path) = &trace_path {
+        match JsonlSink::create(path) {
+            Ok(sink) => {
+                let sink = Rc::new(RefCell::new(sink));
+                opts.tracer.attach(&sink);
+            }
+            Err(e) => {
+                eprintln!("--trace: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if names.iter().any(|n| n == "list") {
         for e in experiments::ALL {
@@ -76,6 +149,16 @@ fn main() -> ExitCode {
             );
         } else {
             println!("{}", table.render());
+        }
+    }
+    opts.tracer.flush();
+    if let Some(agg) = &series {
+        print_series(&agg.borrow());
+    }
+    if opts.profiler.is_enabled() {
+        println!("profile (wall-clock per engine phase):");
+        for line in opts.profiler.report_lines() {
+            println!("  {line}");
         }
     }
     ExitCode::SUCCESS

@@ -102,8 +102,7 @@ pub fn total_wait_rate(p: &Params) -> f64 {
 /// PD_eager ≈ TPS × Action_Time × Actions⁵ × Nodes² / (4 × DB_Size²)
 /// ```
 pub fn deadlock_probability(p: &Params) -> f64 {
-    p.tps * p.action_time * p.actions.powi(5) * p.nodes * p.nodes
-        / (4.0 * p.db_size * p.db_size)
+    p.tps * p.action_time * p.actions.powi(5) * p.nodes * p.nodes / (4.0 * p.db_size * p.db_size)
 }
 
 /// Equation (12): the system-wide eager deadlock rate,
@@ -130,8 +129,7 @@ pub fn total_deadlock_rate(p: &Params) -> f64 {
 ///
 /// Growth drops from cubic to linear — still unstable, but far better.
 pub fn deadlock_rate_scaled_db(p: &Params) -> f64 {
-    p.tps * p.tps * p.action_time * p.actions.powi(5) * p.nodes
-        / (4.0 * p.db_size * p.db_size)
+    p.tps * p.tps * p.action_time * p.actions.powi(5) * p.nodes / (4.0 * p.db_size * p.db_size)
 }
 
 #[cfg(test)]
@@ -160,8 +158,7 @@ mod tests {
         assert!((serial / parallel - p.nodes).abs() < 1e-9);
         // Doubling nodes quadruples the serial population.
         let p2 = base().with_nodes(8.0);
-        let ratio =
-            total_transactions(&p2, ParallelismModel::Serial) / serial;
+        let ratio = total_transactions(&p2, ParallelismModel::Serial) / serial;
         assert!((ratio - 4.0).abs() < 1e-9);
     }
 

@@ -144,9 +144,7 @@ mod tests {
         let events = s.events_until(SimTime::from_secs(60));
         assert_eq!(events.len(), 6);
         assert!(events.windows(2).all(|w| w[0].at < w[1].at));
-        assert!(events
-            .windows(2)
-            .all(|w| w[0].connected != w[1].connected));
+        assert!(events.windows(2).all(|w| w[0].connected != w[1].connected));
         // Nothing beyond the horizon was consumed prematurely.
         assert_eq!(s.peek().at, SimTime::from_secs(70));
     }

@@ -86,7 +86,11 @@ impl<E> EventQueue<E> {
     /// is a logic error; the event is clamped to `now` in release builds
     /// and panics in debug builds.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let time = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;

@@ -163,9 +163,17 @@ impl Histogram {
             if seen >= target {
                 // Bucket i holds micros in [2^(i-1), 2^i); take the
                 // geometric midpoint.
-                let lo = if i == 0 { 0.0 } else { (1u64 << (i - 1)) as f64 };
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
                 let hi = (1u64 << i.min(62)) as f64;
-                let mid = if lo == 0.0 { hi / 2.0 } else { (lo * hi).sqrt() };
+                let mid = if lo == 0.0 {
+                    hi / 2.0
+                } else {
+                    (lo * hi).sqrt()
+                };
                 return mid / 1e6;
             }
         }
@@ -264,10 +272,7 @@ mod tests {
         h.record(SimDuration::from_secs(1));
         assert_eq!(h.count(), 100);
         let p50 = h.p50();
-        assert!(
-            p50 > 0.005 && p50 < 0.02,
-            "p50 {p50} should be near 10 ms"
-        );
+        assert!(p50 > 0.005 && p50 < 0.02, "p50 {p50} should be near 10 ms");
         let p99 = h.p99();
         // The 99th sample is still the 10 ms bucket; p100 would be 1 s.
         assert!(p99 < 0.02, "p99 {p99}");

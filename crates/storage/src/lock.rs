@@ -56,6 +56,9 @@ pub struct LockManager {
     held: HashMap<TxnId, Vec<ObjectId>>,
     /// The single object each blocked transaction is waiting on.
     waiting_on: HashMap<TxnId, ObjectId>,
+    /// The waits-for cycle behind the most recent [`Acquire::Deadlock`]
+    /// result, victim first (telemetry forensics).
+    last_cycle: Vec<TxnId>,
 }
 
 impl LockManager {
@@ -126,15 +129,42 @@ impl LockManager {
     /// hold the lock before the newcomer), so the search must traverse
     /// all of them, not just the holder chain. Depth-first search from
     /// the transactions `txn` would wait for; a path back to `txn` is a
-    /// cycle.
-    fn would_deadlock(&self, txn: TxnId, obj: ObjectId) -> bool {
+    /// cycle. On detection the cycle is reconstructed from parent
+    /// edges and stored for [`LockManager::last_deadlock_cycle`].
+    fn would_deadlock(&mut self, txn: TxnId, obj: ObjectId) -> bool {
         let mut stack: Vec<TxnId> = Vec::with_capacity(8);
         let mut visited: Vec<TxnId> = Vec::with_capacity(8);
+        // (node, the transaction that waits for it) — first edge wins,
+        // so the recorded chain is always a real waits-for path.
+        let mut parent: Vec<(TxnId, TxnId)> = Vec::with_capacity(8);
+        let push =
+            |stack: &mut Vec<TxnId>, parent: &mut Vec<(TxnId, TxnId)>, node: TxnId, from: TxnId| {
+                if !parent.iter().any(|(n, _)| *n == node) {
+                    parent.push((node, from));
+                }
+                stack.push(node);
+            };
         let seed = &self.locks[&obj];
-        stack.push(seed.holder);
-        stack.extend(seed.waiters.iter().copied());
+        push(&mut stack, &mut parent, seed.holder, txn);
+        for w in seed.waiters.iter().copied() {
+            push(&mut stack, &mut parent, w, txn);
+        }
         while let Some(current) = stack.pop() {
             if current == txn {
+                // Walk parent edges back to the requester: each hop is
+                // "X waits for Y", so reversing the tail yields the
+                // cycle in waits-for order, victim first.
+                let mut chain = vec![txn];
+                let mut cur = txn;
+                while let Some(&(_, from)) = parent.iter().find(|(n, _)| *n == cur) {
+                    if from == txn {
+                        break;
+                    }
+                    chain.push(from);
+                    cur = from;
+                }
+                chain[1..].reverse();
+                self.last_cycle = chain;
                 return true;
             }
             if visited.contains(&current) {
@@ -146,17 +176,26 @@ impl LockManager {
                 // *ahead of it* in the FIFO queue — including later
                 // waiters would manufacture false cycles.
                 let state = &self.locks[next_obj];
-                stack.push(state.holder);
-                stack.extend(
-                    state
-                        .waiters
-                        .iter()
-                        .copied()
-                        .take_while(|w| *w != current),
-                );
+                push(&mut stack, &mut parent, state.holder, current);
+                for w in state.waiters.iter().copied().take_while(|w| *w != current) {
+                    push(&mut stack, &mut parent, w, current);
+                }
             }
         }
         false
+    }
+
+    /// The waits-for cycle behind the most recent
+    /// [`Acquire::Deadlock`] result, victim first: element `i` waits
+    /// for element `i + 1`, and the last element waits for the victim.
+    /// Empty until the first deadlock is detected.
+    pub fn last_deadlock_cycle(&self) -> &[TxnId] {
+        &self.last_cycle
+    }
+
+    /// The transaction currently holding the lock on `obj`, if locked.
+    pub fn holder_of(&self, obj: ObjectId) -> Option<TxnId> {
+        self.locks.get(&obj).map(|l| l.holder)
     }
 
     /// Release every lock `txn` holds (commit or abort), promoting the
@@ -364,6 +403,58 @@ mod tests {
         // queued ahead-of-nobody asking for O2 just waits.
         let d = TxnId(4);
         assert_eq!(lm.acquire(d, O2), Acquire::Waiting);
+    }
+
+    #[test]
+    fn holder_of_reports_current_holder() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.holder_of(O1), None);
+        lm.acquire(A, O1);
+        lm.acquire(B, O1);
+        assert_eq!(lm.holder_of(O1), Some(A));
+        lm.release_all(A);
+        assert_eq!(lm.holder_of(O1), Some(B));
+        lm.release_all(B);
+        assert_eq!(lm.holder_of(O1), None);
+    }
+
+    #[test]
+    fn two_cycle_reconstructed_victim_first() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(B, O2);
+        lm.acquire(A, O2);
+        assert!(lm.last_deadlock_cycle().is_empty());
+        assert_eq!(lm.acquire(B, O1), Acquire::Deadlock);
+        assert_eq!(lm.last_deadlock_cycle(), &[B, A]);
+    }
+
+    #[test]
+    fn three_cycle_reconstructed_in_waits_for_order() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(B, O2);
+        lm.acquire(C, O3);
+        lm.acquire(A, O2);
+        lm.acquire(B, O3);
+        assert_eq!(lm.acquire(C, O1), Acquire::Deadlock);
+        // C waits for A (O1), A waits for B (O2), B waits for C (O3).
+        assert_eq!(lm.last_deadlock_cycle(), &[C, A, B]);
+    }
+
+    #[test]
+    fn cycle_through_queued_waiter_includes_waiter() {
+        // Same setup as deadlock_through_queued_waiter_detected: after
+        // A commits, B holds O1 with C queued behind it, and C holds
+        // O2. B requesting O2 closes B→C→B.
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(C, O2);
+        lm.acquire(B, O1);
+        lm.acquire(C, O1);
+        lm.release_all(A);
+        assert_eq!(lm.acquire(B, O2), Acquire::Deadlock);
+        assert_eq!(lm.last_deadlock_cycle(), &[B, C]);
     }
 
     #[test]

@@ -152,7 +152,10 @@ mod tests {
         let mut s = MvccStore::new(1);
         assert!(s.install(ObjectId(0), Value::Int(5), ts(5)));
         assert!(!s.install(ObjectId(0), Value::Int(3), ts(3)));
-        assert!(!s.install(ObjectId(0), Value::Int(9), ts(5)), "equal ts rejected");
+        assert!(
+            !s.install(ObjectId(0), Value::Int(9), ts(5)),
+            "equal ts rejected"
+        );
         assert_eq!(s.read_latest(ObjectId(0)).value, Value::Int(5));
     }
 
@@ -182,12 +185,32 @@ mod tests {
         s.install(ObjectId(1), Value::Int(40), ts(5));
         // A t=3 snapshot sees the pre-transfer state on BOTH accounts:
         // the invariant (sum = 100) holds.
-        let a = s.read_at(ObjectId(0), ts(3)).unwrap().value.as_int().unwrap();
-        let b = s.read_at(ObjectId(1), ts(3)).unwrap().value.as_int().unwrap();
+        let a = s
+            .read_at(ObjectId(0), ts(3))
+            .unwrap()
+            .value
+            .as_int()
+            .unwrap();
+        let b = s
+            .read_at(ObjectId(1), ts(3))
+            .unwrap()
+            .value
+            .as_int()
+            .unwrap();
         assert_eq!(a + b, 100);
         // And the t=5 snapshot sees the post-transfer state.
-        let a = s.read_at(ObjectId(0), ts(5)).unwrap().value.as_int().unwrap();
-        let b = s.read_at(ObjectId(1), ts(5)).unwrap().value.as_int().unwrap();
+        let a = s
+            .read_at(ObjectId(0), ts(5))
+            .unwrap()
+            .value
+            .as_int()
+            .unwrap();
+        let b = s
+            .read_at(ObjectId(1), ts(5))
+            .unwrap()
+            .value
+            .as_int()
+            .unwrap();
         assert_eq!((a, b), (60, 40));
     }
 

@@ -35,7 +35,10 @@ impl ApplyOutcome {
     /// Whether the paper's timestamp test flagged this update as
     /// dangerous (needing reconciliation).
     pub fn is_conflict(self) -> bool {
-        matches!(self, ApplyOutcome::ConflictApplied | ApplyOutcome::ConflictIgnored)
+        matches!(
+            self,
+            ApplyOutcome::ConflictApplied | ApplyOutcome::ConflictIgnored
+        )
     }
 }
 

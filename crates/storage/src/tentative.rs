@@ -46,7 +46,9 @@ impl TentativeStore {
     /// tentative values" (§7) — the tentative version if one exists,
     /// else the best known master version.
     pub fn read(&self, id: ObjectId) -> &Versioned {
-        self.tentative.get(&id).unwrap_or_else(|| self.master.get(id))
+        self.tentative
+            .get(&id)
+            .unwrap_or_else(|| self.master.get(id))
     }
 
     /// Read only the master version, ignoring tentative state.

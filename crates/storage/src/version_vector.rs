@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn fresh_vectors_equal() {
-        assert_eq!(VersionVector::new().compare(&VersionVector::new()), Causality::Equal);
+        assert_eq!(
+            VersionVector::new().compare(&VersionVector::new()),
+            Causality::Equal
+        );
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Wall-clock profiling of event-loop phases (`--profile`).
+//!
+//! Unlike the event stream — which lives in simulated time — the
+//! profiler measures *real* time spent in each engine phase, so it
+//! answers "where does a run's wall-clock go", not "what did the
+//! simulated system do".
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Accumulated wall-clock cost of one named phase.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseStat {
+    /// Number of timed entries.
+    pub calls: u64,
+    /// Total wall-clock time.
+    pub total: Duration,
+}
+
+/// A cheap, cloneable wall-clock profiler. Disabled (`off`) it holds
+/// no state and [`Profiler::start`] returns `None` without reading the
+/// clock.
+#[derive(Clone, Default, Debug)]
+pub struct Profiler {
+    phases: Option<Rc<RefCell<HashMap<&'static str, PhaseStat>>>>,
+}
+
+impl Profiler {
+    /// The zero-cost default.
+    pub fn off() -> Self {
+        Profiler::default()
+    }
+
+    /// An enabled profiler.
+    pub fn enabled() -> Self {
+        Profiler {
+            phases: Some(Rc::new(RefCell::new(HashMap::new()))),
+        }
+    }
+
+    /// True if timing is collected.
+    pub fn is_enabled(&self) -> bool {
+        self.phases.is_some()
+    }
+
+    /// Start timing a phase; pass the token to [`Profiler::stop`].
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        self.phases.as_ref().map(|_| Instant::now())
+    }
+
+    /// Stop timing `phase` (no-op when disabled).
+    #[inline]
+    pub fn stop(&self, phase: &'static str, started: Option<Instant>) {
+        if let (Some(phases), Some(started)) = (&self.phases, started) {
+            let mut map = phases.borrow_mut();
+            let stat = map.entry(phase).or_default();
+            stat.calls += 1;
+            stat.total += started.elapsed();
+        }
+    }
+
+    /// Time a closure as one phase entry.
+    #[inline]
+    pub fn scope<T>(&self, phase: &'static str, f: impl FnOnce() -> T) -> T {
+        let token = self.start();
+        let out = f();
+        self.stop(phase, token);
+        out
+    }
+
+    /// Snapshot of all phases, sorted by descending total time.
+    pub fn stats(&self) -> Vec<(&'static str, PhaseStat)> {
+        let Some(phases) = &self.phases else {
+            return Vec::new();
+        };
+        let mut stats: Vec<_> = phases.borrow().iter().map(|(k, v)| (*k, *v)).collect();
+        stats.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(b.0)));
+        stats
+    }
+
+    /// Human-readable per-phase lines, sorted by descending total.
+    pub fn report_lines(&self) -> Vec<String> {
+        self.stats()
+            .into_iter()
+            .map(|(phase, s)| {
+                let mean = if s.calls > 0 {
+                    s.total / u32::try_from(s.calls.min(u64::from(u32::MAX))).unwrap_or(1)
+                } else {
+                    Duration::ZERO
+                };
+                format!(
+                    "{phase:<24} {:>12?} total {:>10} calls {:>12?} mean",
+                    s.total, s.calls, mean
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_profiler_reads_no_clock() {
+        let p = Profiler::off();
+        assert!(p.start().is_none());
+        p.stop("x", None);
+        assert!(p.stats().is_empty());
+    }
+
+    #[test]
+    fn enabled_profiler_accumulates() {
+        let p = Profiler::enabled();
+        for _ in 0..3 {
+            p.scope("phase-a", || std::hint::black_box(1 + 1));
+        }
+        let t = p.start();
+        p.stop("phase-b", t);
+        let stats = p.stats();
+        assert_eq!(stats.len(), 2);
+        let a = stats.iter().find(|(n, _)| *n == "phase-a").unwrap();
+        assert_eq!(a.1.calls, 3);
+        assert_eq!(p.report_lines().len(), 2);
+    }
+}

@@ -91,7 +91,14 @@ mod tests {
     use super::*;
 
     fn generator(mix: OpMix) -> SpecGenerator {
-        SpecGenerator::new(100, 4, AccessPattern::Uniform, mix, Criterion::AlwaysAccept, 7)
+        SpecGenerator::new(
+            100,
+            4,
+            AccessPattern::Uniform,
+            mix,
+            Criterion::AlwaysAccept,
+            7,
+        )
     }
 
     #[test]
@@ -124,10 +131,7 @@ mod tests {
     fn append_mix_produces_appends() {
         let mut g = generator(OpMix::Appends);
         let s = g.next_spec();
-        assert!(s
-            .ops
-            .iter()
-            .all(|o| matches!(o.op, Op::Append(_))));
+        assert!(s.ops.iter().all(|o| matches!(o.op, Op::Append(_))));
     }
 
     #[test]

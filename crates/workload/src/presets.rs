@@ -83,10 +83,8 @@ mod tests {
         // At the largest node count the eager transaction population
         // must stay far below DB_Size (no thrashing).
         let p = scaleup_base().with_nodes(10.0);
-        let pop = repl_model::eager::total_transactions(
-            &p,
-            repl_model::eager::ParallelismModel::Serial,
-        );
+        let pop =
+            repl_model::eager::total_transactions(&p, repl_model::eager::ParallelismModel::Serial);
         assert!(pop < p.db_size / 10.0);
     }
 }

@@ -45,8 +45,14 @@ fn main() {
     assert!(matches!(cfg.workload, TwoTierWorkload::Commutative { .. }));
     let (report, master, replicas) = TwoTierSim::new(cfg).run_with_state();
 
-    println!("tentative checks written offline : {}", report.tentative_commits);
-    println!("cleared by the bank              : {}", report.tentative_accepted);
+    println!(
+        "tentative checks written offline : {}",
+        report.tentative_commits
+    );
+    println!(
+        "cleared by the bank              : {}",
+        report.tentative_accepted
+    );
     println!(
         "bounced (would overdraw)         : {}",
         report.tentative_rejected
@@ -62,10 +68,7 @@ fn main() {
     let want = master.digest();
     let converged = replicas.iter().all(|r| r.digest() == want);
     println!("replicas converged to bank state : {converged}");
-    println!(
-        "total money at the bank          : ${}",
-        master.total_int()
-    );
+    println!("total money at the bank          : ${}", master.total_int());
     assert_eq!(overdrawn, 0, "acceptance criterion must hold");
     assert!(converged, "no system delusion");
     println!("\nno system delusion: the bank's books are the truth, and everyone agrees on them");

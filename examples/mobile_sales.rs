@@ -35,7 +35,11 @@ fn main() {
     let mut hq = ObjectStore::new(2 * ITEMS);
     for i in 0..ITEMS {
         hq.set(ObjectId(STOCK + i), Value::Int(10), hq_clock.tick());
-        hq.set(ObjectId(PRICE + i), Value::Int(100 + 25 * i as i64), hq_clock.tick());
+        hq.set(
+            ObjectId(PRICE + i),
+            Value::Int(100 + 25 * i as i64),
+            hq_clock.tick(),
+        );
     }
 
     // The salesman syncs his laptop before leaving (lazy-master
@@ -58,9 +62,21 @@ fn main() {
         qty: i64,
     }
     let orders = [
-        Order { customer: "Acme Corp", item: 0, qty: 4 },
-        Order { customer: "Globex", item: 0, qty: 8 },
-        Order { customer: "Initech", item: 2, qty: 2 },
+        Order {
+            customer: "Acme Corp",
+            item: 0,
+            qty: 4,
+        },
+        Order {
+            customer: "Globex",
+            item: 0,
+            qty: 8,
+        },
+        Order {
+            customer: "Initech",
+            item: 2,
+            qty: 2,
+        },
     ];
 
     /// A logged tentative transaction: spec, tentative outputs,
@@ -69,7 +85,11 @@ fn main() {
     let mut tentative: Vec<Logged> = Vec::new();
     for o in &orders {
         let stock_obj = ObjectId(STOCK + o.item);
-        let quote = laptop.read(ObjectId(PRICE + o.item)).value.as_int().unwrap();
+        let quote = laptop
+            .read(ObjectId(PRICE + o.item))
+            .value
+            .as_int()
+            .unwrap();
         let spec = TxnSpec::new(vec![Operation::new(stock_obj, Op::Debit(o.qty))])
             .with_criterion(Criterion::NonNegative);
         // Tentative execution against local tentative versions.
@@ -126,12 +146,11 @@ fn main() {
         } else if !stock_ok {
             println!(
                 "REJECTED  {customer}: only {} {} left — delivery quote must be renegotiated",
-                current, item_name(item)
+                current,
+                item_name(item)
             );
         } else {
-            println!(
-                "REJECTED  {customer}: price rose to ${price_now} above the ${quote} quote"
-            );
+            println!("REJECTED  {customer}: price rose to ${price_now} above the ${quote} quote");
         }
     }
 
@@ -144,8 +163,9 @@ fn main() {
             hq.get(ObjectId(PRICE + i)).value
         );
     }
-    let any_negative = hq
-        .iter()
-        .any(|(_, v)| v.value.as_int().unwrap_or(0) < 0);
-    assert!(!any_negative, "acceptance criteria guarantee non-negative stock");
+    let any_negative = hq.iter().any(|(_, v)| v.value.as_int().unwrap_or(0) < 0);
+    assert!(
+        !any_negative,
+        "acceptance criteria guarantee non-negative stock"
+    );
 }

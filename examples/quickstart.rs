@@ -8,10 +8,8 @@
 //! 2. Watch a simulated eager system actually do it.
 //! 3. Run a real threaded lazy-group cluster and watch it converge.
 
-use dangers_of_replication::core::{
-    EagerSim, Op, Ownership, ReplicaDiscipline, SimConfig,
-};
 use dangers_of_replication::cluster::Cluster;
+use dangers_of_replication::core::{EagerSim, Op, Ownership, ReplicaDiscipline, SimConfig};
 use dangers_of_replication::model::{eager, lazy, Params};
 use dangers_of_replication::storage::{NodeId, ObjectId, Value};
 
@@ -21,7 +19,10 @@ fn main() {
     // ------------------------------------------------------------------
     println!("== the model's warning (equations 12 and 19) ==");
     let base = Params::new(2_000.0, 1.0, 20.0, 4.0, 0.01);
-    println!("{:>6} {:>22} {:>22}", "nodes", "eager deadlocks/s", "lazy-master deadlocks/s");
+    println!(
+        "{:>6} {:>22} {:>22}",
+        "nodes", "eager deadlocks/s", "lazy-master deadlocks/s"
+    );
     for n in [1.0, 2.0, 5.0, 10.0] {
         let p = base.with_nodes(n);
         println!(
@@ -42,10 +43,22 @@ fn main() {
     let p6 = base.with_nodes(6.0).with_db_size(500.0);
     let cfg = SimConfig::from_params(&p6, 300, 1).with_warmup(5);
     let report = EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group).run();
-    println!("committed:      {:>8} txns ({:.1}/s)", report.committed, report.commit_rate);
-    println!("waits:          {:>8} ({:.3}/s)", report.waits, report.wait_rate);
-    println!("deadlocks:      {:>8} ({:.3}/s)", report.deadlocks, report.deadlock_rate);
-    println!("mean latency:   {:>11.1} ms\n", report.mean_latency_secs * 1e3);
+    println!(
+        "committed:      {:>8} txns ({:.1}/s)",
+        report.committed, report.commit_rate
+    );
+    println!(
+        "waits:          {:>8} ({:.3}/s)",
+        report.waits, report.wait_rate
+    );
+    println!(
+        "deadlocks:      {:>8} ({:.3}/s)",
+        report.deadlocks, report.deadlock_rate
+    );
+    println!(
+        "mean latency:   {:>11.1} ms\n",
+        report.mean_latency_secs * 1e3
+    );
 
     // ------------------------------------------------------------------
     // 3. A real threaded lazy-group cluster.
@@ -56,7 +69,11 @@ fn main() {
         // Every node updates the same small database concurrently.
         let node = NodeId(i % 4);
         cluster.execute_one(node, ObjectId(u64::from(i % 10)), Op::Add(1));
-        cluster.execute_one(node, ObjectId(u64::from(i % 7)), Op::Set(Value::Int(i64::from(i))));
+        cluster.execute_one(
+            node,
+            ObjectId(u64::from(i % 7)),
+            Op::Set(Value::Int(i64::from(i))),
+        );
     }
     let stats = cluster.quiesce();
     let digests = cluster.digests();

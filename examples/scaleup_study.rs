@@ -21,12 +21,7 @@ fn main() {
     println!("DB_Size=500, TPS/node=10, Actions=4, Action_Time=10ms, 400 simulated seconds\n");
     println!(
         "{:>5} | {:>12} {:>12} | {:>12} {:>12} | {:>14}",
-        "nodes",
-        "eager dl/s",
-        "(model)",
-        "lzy-mstr dl/s",
-        "(model)",
-        "two-tier rej/s"
+        "nodes", "eager dl/s", "(model)", "lzy-mstr dl/s", "(model)", "two-tier rej/s"
     );
     println!("{}", "-".repeat(82));
     for n in [1.0, 2.0, 4.0, 6.0, 8.0] {

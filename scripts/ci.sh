@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, release build, tests, and a smoke
+# run of every experiment with machine-readable output validated.
+#
+# Usage: scripts/ci.sh  (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+say() { printf '\n== %s ==\n' "$*"; }
+
+say "cargo fmt --check"
+cargo fmt --all -- --check
+
+say "cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+say "cargo build --release"
+cargo build --release --workspace
+
+say "cargo test"
+cargo test -q --workspace
+
+say "harness smoke: --quick --json all"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+./target/release/harness --quick --json all >"$out"
+
+say "validating harness JSON"
+# `--json all` prints one pretty-printed JSON document per experiment,
+# concatenated; parse the stream and require at least one table per
+# registered experiment.
+python3 - "$out" <<'EOF'
+import json, sys
+
+text = open(sys.argv[1]).read()
+dec = json.JSONDecoder()
+idx, tables = 0, []
+while idx < len(text):
+    while idx < len(text) and text[idx].isspace():
+        idx += 1
+    if idx >= len(text):
+        break
+    table, idx = dec.raw_decode(text, idx)
+    tables.append(table)
+assert tables, "harness emitted no JSON tables"
+for t in tables:
+    assert t.get("title"), f"table missing title: {t}"
+    assert t.get("rows"), f"table {t['title']!r} has no rows"
+print(f"ok: {len(tables)} JSON tables, all titled and non-empty")
+EOF
+
+say "all CI gates passed"

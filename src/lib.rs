@@ -12,6 +12,7 @@
 //! * [`workload`] — workload generators (uniform, Zipf, checkbook, ...).
 //! * [`cluster`] — threaded node runtime over real channels.
 //! * [`harness`] — experiment harness regenerating every figure and table.
+//! * [`telemetry`] — structured event tracing, rate series, profiling.
 //!
 //! ```
 //! use dangers_of_replication::model::{lazy, Params};
@@ -30,4 +31,5 @@ pub use repl_model as model;
 pub use repl_net as net;
 pub use repl_sim as sim;
 pub use repl_storage as storage;
+pub use repl_telemetry as telemetry;
 pub use repl_workload as workload;

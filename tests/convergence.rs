@@ -2,11 +2,9 @@
 //! new transactions arrive, and if all the nodes are connected
 //! together, they will all converge to the same replicated state".
 
-use dangers_of_replication::core::convergent::{
-    AccessStore, DocId, NotesStore, NotesUpdate,
-};
-use dangers_of_replication::core::{Mobility, Op, SimConfig};
+use dangers_of_replication::core::convergent::{AccessStore, DocId, NotesStore, NotesUpdate};
 use dangers_of_replication::core::engine::lazy_group::LazyGroupSim;
+use dangers_of_replication::core::{Mobility, Op, SimConfig};
 use dangers_of_replication::model::Params;
 use dangers_of_replication::sim::SimDuration;
 use dangers_of_replication::storage::{NodeId, Timestamp, Value, VersionVector};

@@ -43,8 +43,7 @@ fn contention_sim_is_deterministic() {
 
 #[test]
 fn eager_sim_is_deterministic() {
-    let run =
-        || EagerSim::new(cfg(2), ReplicaDiscipline::Serial, Ownership::Group).run();
+    let run = || EagerSim::new(cfg(2), ReplicaDiscipline::Serial, Ownership::Group).run();
     assert_eq!(run(), run());
 }
 

@@ -13,8 +13,8 @@ use proptest::prelude::*;
 /// Small configurations kept under lock saturation (the DB floor scales
 /// with the offered load).
 fn arb_params() -> impl Strategy<Value = Params> {
-    (2u32..8, 200u64..800, 2u32..12, 2usize..6, 1u64..20)
-        .prop_map(|(nodes, db, tps, actions, at_ms)| {
+    (2u32..8, 200u64..800, 2u32..12, 2usize..6, 1u64..20).prop_map(
+        |(nodes, db, tps, actions, at_ms)| {
             let mut p = Params::new(
                 db as f64,
                 f64::from(nodes),
@@ -30,7 +30,8 @@ fn arb_params() -> impl Strategy<Value = Params> {
                 p.db_size = (p.tps * p.nodes * p.actions * duration / 0.8).ceil();
             }
             p
-        })
+        },
+    )
 }
 
 proptest! {

@@ -1,9 +1,7 @@
 //! End-to-end semantics of the two-tier scheme (§7): the five key
 //! properties the paper lists, exercised through the public API.
 
-use dangers_of_replication::core::{
-    SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload,
-};
+use dangers_of_replication::core::{SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload};
 use dangers_of_replication::model::Params;
 use dangers_of_replication::sim::SimDuration;
 

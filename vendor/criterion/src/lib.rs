@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment resolves crates offline, so the workspace
+//! vendors the benchmark surface it uses: `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a short warm-up then
+//! `sample_size` timed passes — and results are printed as
+//! `bench <group>/<id>: median <t> (min <t>, max <t>)`. There is no
+//! statistical analysis, HTML report, or baseline store; the point is
+//! that `cargo bench` runs and prints comparable wall-clock numbers.
+
+use std::time::{Duration, Instant};
+
+/// How batches are sized in `iter_batched` (accepted, not used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: 10,
+        }
+    }
+
+    /// Standalone `bench_function` (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 10,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f` and print its median sample.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up pass.
+        let mut warmup = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warmup);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let label = if self.name.is_empty() {
+            id.to_owned()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        println!(
+            "bench {label}: median {median:?} (min {:?}, max {:?}, n={})",
+            samples[0],
+            samples[samples.len() - 1],
+            samples.len()
+        );
+        self
+    }
+
+    /// End the group (printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; accumulates timed work.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` (one call per sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        drop(out);
+    }
+
+    /// Time `routine` over inputs built by the untimed `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed += start.elapsed();
+        drop(out);
+    }
+}
+
+/// Group benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

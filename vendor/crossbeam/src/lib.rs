@@ -1,0 +1,79 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The build environment resolves crates offline; the workspace only
+//! uses `crossbeam::channel::{unbounded, Sender, Receiver}` in
+//! single-consumer topologies, which `std::sync::mpsc` covers exactly.
+
+pub mod channel {
+    //! Unbounded MPSC channels with crossbeam's surface.
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// The sending half (cloneable).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`; errors if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives; errors once all senders are
+        /// gone and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator over incoming values.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_then_drain() {
+            let (tx, rx) = unbounded();
+            let txs: Vec<_> = (0..4).map(|_| tx.clone()).collect();
+            drop(tx);
+            let handles: Vec<_> = txs
+                .into_iter()
+                .enumerate()
+                .map(|(i, tx)| std::thread::spawn(move || tx.send(i).unwrap()))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment resolves crates offline, so the workspace
+//! vendors the subset of proptest its tests use: `Strategy` with
+//! `prop_map`, integer-range and tuple strategies, `Just`,
+//! `prop_oneof!`, `prop::collection::vec`, simple character-class
+//! string strategies (`"[a-z]{1,6}"`), the `proptest!` macro with
+//! `ProptestConfig::with_cases`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from the real crate: no shrinking (a failing case
+//! panics with the offending input printed), and generation is
+//! deterministic per test name so runs are reproducible.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe mirror of [`Strategy`] for boxing.
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies
+    /// (`prop_oneof!` support).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T: Debug> Union<T> {
+        /// A union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($idx:tt $t:ident),+) => {
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(0 A);
+    tuple_strategy!(0 A, 1 B);
+    tuple_strategy!(0 A, 1 B, 2 C);
+    tuple_strategy!(0 A, 1 B, 2 C, 3 D);
+    tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E);
+    tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E, 5 F);
+
+    /// One parsed piece of a character-class pattern: a set of
+    /// candidate chars and a repetition range.
+    struct Piece {
+        chars: Vec<char>,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    for c in it.by_ref() {
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() => {
+                                // Range like `a-z`: `prev` was already
+                                // pushed; fill in the rest on the next
+                                // char.
+                                set.push('-');
+                            }
+                            c => {
+                                if set.last() == Some(&'-') && prev.is_some() {
+                                    set.pop();
+                                    let lo = prev.expect("range start");
+                                    for v in (lo as u32 + 1)..=(c as u32) {
+                                        if let Some(ch) = char::from_u32(v) {
+                                            set.push(ch);
+                                        }
+                                    }
+                                } else {
+                                    set.push(c);
+                                }
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                    set
+                }
+                '\\' => vec![it.next().expect("escaped char")],
+                c => vec![c],
+            };
+            // Optional repetition suffix.
+            let (min, max) = match it.peek() {
+                Some('{') => {
+                    it.next();
+                    let mut spec = String::new();
+                    for c in it.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, "")) => (lo.parse().expect("repeat min"), 16),
+                        Some((lo, hi)) => (
+                            lo.parse().expect("repeat min"),
+                            hi.parse().expect("repeat max"),
+                        ),
+                        None => {
+                            let n = spec.parse().expect("repeat count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('+') => {
+                    it.next();
+                    (1, 8)
+                }
+                Some('*') => {
+                    it.next();
+                    (0, 8)
+                }
+                Some('?') => {
+                    it.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(!chars.is_empty(), "empty character class in `{pattern}`");
+            pieces.push(Piece { chars, min, max });
+        }
+        pieces
+    }
+
+    /// String-literal strategies: a simple character-class pattern like
+    /// `"[a-z]{1,6}"` generates matching strings.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in parse_pattern(self) {
+                let n = piece.min + rng.below(u64::from(piece.max - piece.min + 1)) as u32;
+                for _ in 0..n {
+                    let idx = rng.below(piece.chars.len() as u64) as usize;
+                    out.push(piece.chars[idx]);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Length bounds for generated collections: `[min, max)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.min + rng.below((self.size.max - self.size.min) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use crate::strategy::Strategy;
+
+    /// Deterministic split-mix RNG driving all generation.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeded RNG.
+        pub fn new(seed: u64) -> Self {
+            TestRng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "TestRng::below(0)");
+            // Rejection sampling for uniformity.
+            let zone = u64::MAX - (u64::MAX % n);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % n;
+                }
+            }
+        }
+    }
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed test case (`prop_assert!` family).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    /// Generates inputs and runs the test body for each case.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// A runner for `config`.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Run `body` against `config.cases` generated inputs; panics
+        /// (failing the surrounding `#[test]`) on the first failure,
+        /// printing the offending input.
+        pub fn run<S: Strategy>(
+            &mut self,
+            name: &str,
+            strategy: &S,
+            mut body: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) {
+            // Deterministic per-test seed (FNV-1a over the name).
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            for case in 0..self.config.cases {
+                let mut rng = TestRng::new(seed ^ (u64::from(case) << 32));
+                let input = strategy.generate(&mut rng);
+                let debug = format!("{input:?}");
+                if let Err(TestCaseError(msg)) = body(input) {
+                    panic!(
+                        "proptest `{name}` failed at case {case}/{}: {msg}\n  input: {debug}",
+                        self.config.cases
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `proptest::prelude::prop` mirror: `prop::collection::vec(...)`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! The glob-imported surface: `use proptest::prelude::*;`.
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert inside a `proptest!` body; failure aborts only the current
+/// case, reporting the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Uniform choice among alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(
+                stringify!($name),
+                &($($strat,)+),
+                |($($arg,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..2000 {
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let s = (-3i64..4).generate(&mut rng);
+            assert!((-3..4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn string_pattern_shape() {
+        let mut rng = crate::test_runner::TestRng::new(3);
+        for _ in 0..500 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_plumbing_works(
+            x in 0u64..100,
+            v in prop::collection::vec(0u32..10, 0..5),
+            tag in prop_oneof![Just(1u8), (2u8..4).prop_map(|v| v)],
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert_eq!(u64::from(tag) * 0, 0);
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment resolves crates offline, so this workspace
+//! vendors a minimal serde data model (see `vendor/serde`) and this
+//! crate provides the matching `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` macros, hand-rolled on top of the compiler's
+//! built-in `proc_macro` API (no `syn`/`quote`).
+//!
+//! Supported input shapes — everything this workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, like real serde),
+//! * unit structs,
+//! * non-generic enums with unit, newtype, tuple and struct variants,
+//!   using serde's externally-tagged representation.
+//!
+//! Generics and `#[serde(...)]` attributes are not supported; the
+//! macros panic with a clear message if they ever appear.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip outer attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // The bracketed attribute body.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field/variant list on top-level commas, tracking `<...>`
+/// depth so commas inside generic types don't split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field body: for each comma-separated item,
+/// the first identifier after attributes/visibility.
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut it = tokens.into_iter().peekable();
+            skip_attrs_and_vis(&mut it);
+            match it.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive stub: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut it = tokens.into_iter().peekable();
+            skip_attrs_and_vis(&mut it);
+            let name = match it.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+            };
+            let kind = match it.next() {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(named_field_names(g.stream()))
+                }
+                other => panic!("serde_derive stub: unsupported variant shape: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    match (kw.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct {
+                name,
+                fields: named_field_names(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct {
+                name,
+                arity: split_top_level(g.stream()).len(),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::UnitStruct { name },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        (kw, other) => panic!("serde_derive stub: unsupported input `{kw}` {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn str_key(s: &str) -> String {
+    format!("::serde::Content::Str(::std::string::String::from({s:?}))")
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    let mut body = String::new();
+    let name = match shape {
+        Shape::NamedStruct { name, fields } => {
+            body.push_str("::serde::Content::Map(::std::vec![");
+            for f in fields {
+                body.push_str(&format!(
+                    "({}, ::serde::Serialize::to_content(&self.{f})),",
+                    str_key(f)
+                ));
+            }
+            body.push_str("])");
+            name
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            body.push_str("::serde::Serialize::to_content(&self.0)");
+            name
+        }
+        Shape::TupleStruct { name, arity } => {
+            body.push_str("::serde::Content::Seq(::std::vec![");
+            for i in 0..*arity {
+                body.push_str(&format!("::serde::Serialize::to_content(&self.{i}),"));
+            }
+            body.push_str("])");
+            name
+        }
+        Shape::UnitStruct { name } => {
+            body.push_str("::serde::Content::Null");
+            name
+        }
+        Shape::Enum { name, variants } => {
+            body.push_str("match self {");
+            for v in variants {
+                let vname = &v.name;
+                let tag = str_key(vname);
+                match &v.kind {
+                    VariantKind::Unit => body.push_str(&format!(
+                        "{name}::{vname} => ::serde::Content::Str(::std::string::String::from({vname:?})),"
+                    )),
+                    VariantKind::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Content::Map(::std::vec![({tag}, ::serde::Serialize::to_content(f0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![({tag}, ::serde::Content::Seq(::std::vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(",");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("({}, ::serde::Serialize::to_content({f}))", str_key(f)))
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(::std::vec![({tag}, ::serde::Content::Map(::std::vec![{}]))]),",
+                            items.join(",")
+                        ));
+                    }
+                }
+            }
+            body.push('}');
+            name
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_content(&self) -> ::serde::Content {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, {f:?})?"))
+                .collect();
+            let body = format!(
+                "match content {{ \
+                   ::serde::Content::Map(entries) => ::std::result::Result::Ok({name} {{ {} }}), \
+                   other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                     \"expected map for struct `{name}`, got {{other:?}}\"))), \
+                 }}",
+                inits.join(",")
+            );
+            (name, body)
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            let body = format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+            );
+            (name, body)
+        }
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            let body = format!(
+                "match content {{ \
+                   ::serde::Content::Seq(items) if items.len() == {arity} => \
+                     ::std::result::Result::Ok({name}({})), \
+                   other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                     \"expected {arity}-element sequence for `{name}`, got {{other:?}}\"))), \
+                 }}",
+                inits.join(",")
+            );
+            (name, body)
+        }
+        Shape::UnitStruct { name } => {
+            let body = format!("{{ let _ = content; ::std::result::Result::Ok({name}) }}");
+            (name, body)
+        }
+        Shape::Enum { name, variants } => {
+            // Unit variants arrive as a bare string tag.
+            let mut unit_arms = String::new();
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vname = &v.name;
+                    unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    ));
+                }
+            }
+            // Data variants arrive as a single-entry map keyed by the tag.
+            let mut tag_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        // Also accept `{"Tag": null}` for robustness.
+                        tag_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tag_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                           ::serde::Deserialize::from_content(value)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                            .collect();
+                        tag_arms.push_str(&format!(
+                            "{vname:?} => match value {{ \
+                               ::serde::Content::Seq(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vname}({})), \
+                               other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"bad payload for `{name}::{vname}`: {{other:?}}\"))), \
+                             }},",
+                            inits.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(entries, {f:?})?"))
+                            .collect();
+                        tag_arms.push_str(&format!(
+                            "{vname:?} => match value {{ \
+                               ::serde::Content::Map(entries) => \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }}), \
+                               other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"bad payload for `{name}::{vname}`: {{other:?}}\"))), \
+                             }},",
+                            inits.join(",")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match content {{ \
+                   ::serde::Content::Str(tag) => match tag.as_str() {{ \
+                     {unit_arms} \
+                     other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                       \"unknown unit variant `{{other}}` for enum `{name}`\"))), \
+                   }}, \
+                   ::serde::Content::Map(entries) if entries.len() == 1 => {{ \
+                     let (key, value) = &entries[0]; \
+                     let tag = match key {{ \
+                       ::serde::Content::Str(s) => s.as_str(), \
+                       other => return ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"non-string enum tag {{other:?}} for `{name}`\"))), \
+                     }}; \
+                     let _ = value; \
+                     match tag {{ \
+                       {tag_arms} \
+                       other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                         \"unknown variant `{{other}}` for enum `{name}`\"))), \
+                     }} \
+                   }} \
+                   other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                     \"bad representation for enum `{name}`: {{other:?}}\"))), \
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_content(content: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+/// `#[derive(Serialize)]` — see the crate docs for supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    gen_serialize(&parse_shape(input))
+        .parse()
+        .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]` — see the crate docs for supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    gen_deserialize(&parse_shape(input))
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl must parse")
+}
