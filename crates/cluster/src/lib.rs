@@ -37,7 +37,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use repl_core::{Op, TxnSpec};
 use repl_sim::SimTime;
 use repl_storage::{
-    ApplyOutcome, LamportClock, NodeId, ObjectId, ObjectStore, TxnId, UpdateRecord, Value,
+    ApplyOutcome, LamportClock, NodeId, ObjectId, ObjectStore, Timestamp, TxnId, UpdateRecord,
+    Value,
 };
 use repl_telemetry::{Event, EventKind, SyncTraceHandle};
 use std::thread::JoinHandle;
@@ -55,6 +56,9 @@ enum NodeMsg {
     Flush { reply: Sender<NodeStats> },
     /// Snapshot the node's full store.
     Snapshot { reply: Sender<ObjectStore> },
+    /// Crash the node: the thread exits, volatile state is lost, and
+    /// the durable remnant is handed back for a later restart.
+    Crash,
     /// Terminate the node thread.
     Shutdown,
 }
@@ -72,12 +76,32 @@ pub struct NodeStats {
     pub reconciliations: u64,
 }
 
+/// What survives a node crash: the write-ahead log (every durable
+/// write), the inbox (peers keep mailing a dead node — that queue *is*
+/// the undelivered propagation backlog recovery replays), and the
+/// node's identity. The store, clock, and thread are volatile.
+struct NodeRemnant {
+    id: NodeId,
+    inbox: Receiver<NodeMsg>,
+    peers: Vec<Sender<NodeMsg>>,
+    wal: Vec<(ObjectId, Value, Timestamp)>,
+    stats: NodeStats,
+    tracer: SyncTraceHandle,
+    tick: u64,
+}
+
 struct NodeThread {
     id: NodeId,
     store: ObjectStore,
     clock: LamportClock,
     inbox: Receiver<NodeMsg>,
     peers: Vec<Sender<NodeMsg>>,
+    /// Write-ahead log: one record per durable write, local or replica.
+    /// Replaying it in order through last-writer-wins reconstructs the
+    /// store exactly (every conflict in this protocol is resolved by
+    /// time priority, so the final value of each object is its
+    /// newest-timestamped record).
+    wal: Vec<(ObjectId, Value, Timestamp)>,
     stats: NodeStats,
     tracer: SyncTraceHandle,
     // Threads have no simulated clock; events carry a per-node logical
@@ -86,7 +110,7 @@ struct NodeThread {
 }
 
 impl NodeThread {
-    fn run(mut self) {
+    fn run(mut self) -> Option<NodeRemnant> {
         while let Ok(msg) = self.inbox.recv() {
             match msg {
                 NodeMsg::Execute { spec, reply } => {
@@ -100,10 +124,27 @@ impl NodeThread {
                 NodeMsg::Snapshot { reply } => {
                     let _ = reply.send(self.store.clone());
                 }
+                NodeMsg::Crash => {
+                    let now = SimTime(self.tick + 1);
+                    let id = self.id;
+                    self.tracer
+                        .emit(|| Event::system(now, id, EventKind::NodeCrash));
+                    self.tracer.flush();
+                    return Some(NodeRemnant {
+                        id: self.id,
+                        inbox: self.inbox,
+                        peers: self.peers,
+                        wal: self.wal,
+                        stats: self.stats,
+                        tracer: self.tracer,
+                        tick: self.tick,
+                    });
+                }
                 NodeMsg::Shutdown => break,
             }
         }
         self.tracer.flush();
+        None
     }
 
     fn execute(&mut self, spec: &TxnSpec) -> Vec<(ObjectId, Value)> {
@@ -123,6 +164,7 @@ impl NodeThread {
             let new_value = op.op.apply(&current.value);
             let new_ts = self.clock.tick();
             self.store.set(op.object, new_value.clone(), new_ts);
+            self.wal.push((op.object, new_value.clone(), new_ts));
             updates.push(UpdateRecord {
                 txn: repl_storage::TxnId(0),
                 object: op.object,
@@ -163,6 +205,7 @@ impl NodeThread {
         for u in updates {
             self.clock.observe(u.new_ts);
             let object = u.object;
+            self.wal.push((u.object, u.value.clone(), u.new_ts));
             match self
                 .store
                 .apply_versioned(u.object, u.old_ts, u.new_ts, u.value)
@@ -197,7 +240,10 @@ impl NodeThread {
 /// A running cluster of lazy-group replica nodes.
 pub struct Cluster {
     senders: Vec<Sender<NodeMsg>>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<Option<JoinHandle<Option<NodeRemnant>>>>,
+    /// Durable remnants of currently crashed nodes, indexed by node.
+    remnants: Vec<Option<NodeRemnant>>,
+    db_size: u64,
 }
 
 impl Cluster {
@@ -228,18 +274,96 @@ impl Cluster {
                 clock: LamportClock::new(NodeId(i as u32)),
                 inbox: rx,
                 peers: senders.clone(),
+                wal: Vec::new(),
                 stats: NodeStats::default(),
                 tracer: tracer.clone(),
                 tick: 0,
             };
-            handles.push(
+            handles.push(Some(
                 std::thread::Builder::new()
                     .name(format!("repl-node-{i}"))
                     .spawn(move || node.run())
                     .expect("failed to spawn node thread"),
-            );
+            ));
         }
-        Cluster { senders, handles }
+        Cluster {
+            senders,
+            handles,
+            remnants: (0..nodes).map(|_| None).collect(),
+            db_size,
+        }
+    }
+
+    /// Crash `node`: its thread exits, dropping the volatile store and
+    /// clock; the durable write-ahead log survives. Peers keep mailing
+    /// the dead node — their replica updates queue up as the
+    /// undelivered propagation backlog that [`Cluster::restart`]
+    /// replays. Blocking calls ([`Cluster::execute`],
+    /// [`Cluster::quiesce`], [`Cluster::snapshot`]) aimed at a crashed
+    /// node stall until it restarts.
+    ///
+    /// # Panics
+    /// If `node` is already crashed.
+    pub fn crash(&mut self, node: NodeId) {
+        let i = node.0 as usize;
+        assert!(self.remnants[i].is_none(), "node {node} already crashed");
+        self.senders[i]
+            .send(NodeMsg::Crash)
+            .expect("node thread gone");
+        let handle = self.handles[i].take().expect("crashed node has no thread");
+        let remnant = handle.join().expect("node thread panicked");
+        self.remnants[i] = Some(remnant.expect("crash must yield a remnant"));
+    }
+
+    /// Restart a crashed node: rebuild the store by replaying the
+    /// write-ahead log in order (last-writer-wins, which is exactly the
+    /// protocol's conflict rule), restore the clock from the replayed
+    /// timestamps, and resume on the original inbox — everything peers
+    /// sent while the node was down gets applied first. Returns the
+    /// number of log records replayed.
+    ///
+    /// # Panics
+    /// If `node` is not crashed.
+    pub fn restart(&mut self, node: NodeId) -> u64 {
+        let i = node.0 as usize;
+        let remnant = self.remnants[i].take().expect("restarting a live node");
+        let mut store = ObjectStore::new(self.db_size);
+        let mut clock = LamportClock::new(remnant.id);
+        for (obj, value, ts) in &remnant.wal {
+            clock.observe(*ts);
+            store.apply_lww(*obj, *ts, value.clone());
+        }
+        let replayed = remnant.wal.len() as u64;
+        let now = SimTime(remnant.tick + 1);
+        remnant
+            .tracer
+            .emit(|| Event::system(now, node, EventKind::RecoveryReplay { messages: replayed }));
+        remnant
+            .tracer
+            .emit(|| Event::system(now, node, EventKind::NodeRestart));
+        let thread = NodeThread {
+            id: remnant.id,
+            store,
+            clock,
+            inbox: remnant.inbox,
+            peers: remnant.peers,
+            wal: remnant.wal,
+            stats: remnant.stats,
+            tracer: remnant.tracer,
+            tick: remnant.tick,
+        };
+        self.handles[i] = Some(
+            std::thread::Builder::new()
+                .name(format!("repl-node-{i}"))
+                .spawn(move || thread.run())
+                .expect("failed to respawn node thread"),
+        );
+        replayed
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.remnants[node.0 as usize].is_some()
     }
 
     /// Number of nodes.
@@ -330,9 +454,12 @@ impl Cluster {
         for s in &self.senders {
             let _ = s.send(NodeMsg::Shutdown);
         }
-        for h in self.handles.drain(..) {
+        for h in self.handles.drain(..).flatten() {
             let _ = h.join();
         }
+        // Crashed nodes have no thread; dropping their remnants closes
+        // their inboxes.
+        self.remnants.clear();
     }
 }
 
@@ -462,6 +589,56 @@ mod tests {
         assert_eq!(commits, 4);
         assert_eq!(sends, 8, "each commit fans out to both peers");
         assert_eq!(applies, 8, "both peers apply every commit");
+    }
+
+    #[test]
+    fn crash_and_restart_recovers_own_writes() {
+        let mut c = Cluster::new(2, 8);
+        c.execute_one(NodeId(0), ObjectId(3), Op::Set(Value::Int(9)));
+        c.quiesce();
+        c.crash(NodeId(0));
+        assert!(c.is_crashed(NodeId(0)));
+        let replayed = c.restart(NodeId(0));
+        assert!(replayed >= 1, "the write must be in the WAL");
+        assert_eq!(c.snapshot(NodeId(0)).get(ObjectId(3)).value, Value::Int(9));
+        c.shutdown();
+    }
+
+    #[test]
+    fn crashed_node_catches_up_from_queued_backlog() {
+        let mut c = Cluster::new(3, 16);
+        c.crash(NodeId(2));
+        // Peers keep committing while node 2 is down; their replica
+        // updates queue at its inbox.
+        for i in 0..10 {
+            c.execute_one(NodeId(0), ObjectId(i % 16), Op::Add(1));
+            c.execute_one(NodeId(1), ObjectId((i + 1) % 16), Op::Add(2));
+        }
+        c.restart(NodeId(2));
+        c.quiesce();
+        let digests = c.digests();
+        assert!(
+            digests.iter().all(|&d| d == digests[0]),
+            "recovered node diverged: {digests:?}"
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn repeated_crashes_stay_lossless() {
+        let mut c = Cluster::new(2, 4);
+        for round in 0..5 {
+            c.execute_one(NodeId(0), ObjectId(0), Op::Add(1));
+            c.quiesce();
+            c.crash(NodeId(1));
+            c.execute_one(NodeId(0), ObjectId(1), Op::Add(round));
+            c.restart(NodeId(1));
+            c.quiesce();
+        }
+        let digests = c.digests();
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(c.snapshot(NodeId(1)).get(ObjectId(0)).value, Value::Int(5));
+        c.shutdown();
     }
 
     #[test]

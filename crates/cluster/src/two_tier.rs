@@ -37,13 +37,31 @@ use repl_storage::{
     TxnId, Value,
 };
 use repl_telemetry::{AbortReason, Event, EventKind, SyncTraceHandle};
+use std::collections::HashMap;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Globally unique identity of one tentative transaction, assigned at
+/// its originating mobile node. The base remembers the outcome of every
+/// id it has executed, so a re-submitted transaction (the mobile
+/// retried because a crash ate the reply) returns its recorded fate
+/// instead of executing twice — sync is exactly-once even over an
+/// at-least-once retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DedupId {
+    /// The originating mobile node.
+    pub node: NodeId,
+    /// That node's tentative-transaction sequence number.
+    pub seq: u64,
+}
 
 /// A tentative transaction awaiting base re-execution: the §7
 /// "input parameters" capture plus the tentative outputs the acceptance
 /// criterion compares against.
 #[derive(Debug, Clone)]
 pub struct Pending {
+    /// Unique identity for at-most-once base execution.
+    pub dedup: DedupId,
     /// The transaction's specification (ops + criterion).
     pub spec: TxnSpec,
     /// The outputs the tentative execution produced.
@@ -86,13 +104,39 @@ enum BaseMsg {
     Snapshot {
         reply: Sender<ObjectStore>,
     },
+    /// Make the next `count` syncs commit durably but crash before the
+    /// reply leaves — the classic at-most-once hazard the dedup map
+    /// exists for.
+    InjectReplyCrashes {
+        count: u32,
+    },
+    /// Crash the base: the thread exits, volatile state (master, clock)
+    /// is lost, durable state (commit log, dedup map) survives in the
+    /// remnant.
+    Crash,
     Shutdown,
+}
+
+/// Durable base state handed back by a crash, consumed by a restart.
+struct BaseRemnant {
+    inbox: Receiver<BaseMsg>,
+    log: repl_storage::CommitLog,
+    seen: HashMap<DedupId, TxnOutcome>,
+    next_txn: u64,
+    tracer: SyncTraceHandle,
+    tick: u64,
 }
 
 struct BaseThread {
     master: ObjectStore,
     clock: LamportClock,
     log: repl_storage::CommitLog,
+    /// Durable outcome of every dedup id ever executed. Consulted
+    /// before re-executing a resubmitted tentative transaction.
+    seen: HashMap<DedupId, TxnOutcome>,
+    /// Pending injected reply-crashes (see
+    /// [`BaseMsg::InjectReplyCrashes`]).
+    drop_replies: u32,
     inbox: Receiver<BaseMsg>,
     next_txn: u64,
     tracer: SyncTraceHandle,
@@ -102,7 +146,7 @@ struct BaseThread {
 }
 
 impl BaseThread {
-    fn run(mut self) {
+    fn run(mut self) -> Option<BaseRemnant> {
         while let Ok(msg) = self.inbox.recv() {
             match msg {
                 BaseMsg::Execute { spec, reply } => {
@@ -116,9 +160,29 @@ impl BaseThread {
                 } => {
                     let outcomes = pendings
                         .iter()
-                        .map(|p| self.execute(&p.spec, Some(&p.tentative_results)))
+                        .map(|p| match self.seen.get(&p.dedup) {
+                            // Already executed in a previous (possibly
+                            // reply-crashed) sync: return the recorded
+                            // fate, do not run it again.
+                            Some(outcome) => outcome.clone(),
+                            None => {
+                                let outcome = self.execute(&p.spec, Some(&p.tentative_results));
+                                self.seen.insert(p.dedup, outcome.clone());
+                                outcome
+                            }
+                        })
                         .collect();
                     let refresh = self.log.since(from).to_vec();
+                    if self.drop_replies > 0 {
+                        // Crash after commit, before reply: the work is
+                        // durable but the client never hears back.
+                        self.drop_replies -= 1;
+                        let now = SimTime(self.tick);
+                        self.tracer
+                            .emit(|| Event::system(now, NodeId(0), EventKind::NodeCrash));
+                        drop(reply);
+                        continue;
+                    }
                     let _ = reply.send(SyncReply {
                         outcomes,
                         refresh,
@@ -128,10 +192,28 @@ impl BaseThread {
                 BaseMsg::Snapshot { reply } => {
                     let _ = reply.send(self.master.clone());
                 }
+                BaseMsg::InjectReplyCrashes { count } => {
+                    self.drop_replies += count;
+                }
+                BaseMsg::Crash => {
+                    let now = SimTime(self.tick);
+                    self.tracer
+                        .emit(|| Event::system(now, NodeId(0), EventKind::NodeCrash));
+                    self.tracer.flush();
+                    return Some(BaseRemnant {
+                        inbox: self.inbox,
+                        log: self.log,
+                        seen: self.seen,
+                        next_txn: self.next_txn,
+                        tracer: self.tracer,
+                        tick: self.tick,
+                    });
+                }
                 BaseMsg::Shutdown => break,
             }
         }
         self.tracer.flush();
+        None
     }
 
     /// Execute one base transaction: buffer the writes, judge them with
@@ -202,7 +284,10 @@ impl BaseThread {
 /// Handle to the base-node thread.
 pub struct BaseServer {
     sender: Sender<BaseMsg>,
-    handle: Option<JoinHandle<()>>,
+    handle: Option<JoinHandle<Option<BaseRemnant>>>,
+    remnant: Option<BaseRemnant>,
+    db_size: u64,
+    initial_value: i64,
 }
 
 impl BaseServer {
@@ -224,6 +309,8 @@ impl BaseServer {
             master,
             clock: LamportClock::new(NodeId(0)),
             log: repl_storage::CommitLog::new(),
+            seen: HashMap::new(),
+            drop_replies: 0,
             inbox: rx,
             next_txn: 0,
             tracer,
@@ -236,7 +323,92 @@ impl BaseServer {
         BaseServer {
             sender: tx,
             handle: Some(handle),
+            remnant: None,
+            db_size,
+            initial_value,
         }
+    }
+
+    /// Arrange for the next `count` syncs to commit durably but crash
+    /// before replying. Clients observe a dead connection and must
+    /// retry; the dedup map guarantees the retry does not re-execute.
+    pub fn inject_reply_crashes(&self, count: u32) {
+        self.sender
+            .send(BaseMsg::InjectReplyCrashes { count })
+            .expect("base thread gone");
+    }
+
+    /// Crash the base server: the thread exits, losing the master
+    /// store and clock; the commit log and dedup map survive. Requests
+    /// sent while crashed queue up and are served after
+    /// [`BaseServer::restart`].
+    ///
+    /// # Panics
+    /// If the base is already crashed.
+    pub fn crash(&mut self) {
+        assert!(self.remnant.is_none(), "base already crashed");
+        self.sender.send(BaseMsg::Crash).expect("base thread gone");
+        let handle = self.handle.take().expect("crashed base has no thread");
+        let remnant = handle.join().expect("base thread panicked");
+        self.remnant = Some(remnant.expect("crash must yield a remnant"));
+    }
+
+    /// Restart a crashed base: rebuild the master database by replaying
+    /// the durable commit log over the initial state, restore the clock
+    /// from the replayed timestamps, and resume on the original inbox.
+    /// Returns the number of committed transactions replayed.
+    ///
+    /// # Panics
+    /// If the base is not crashed.
+    pub fn restart(&mut self) -> u64 {
+        let remnant = self.remnant.take().expect("restarting a live base");
+        let mut master = ObjectStore::new(self.db_size);
+        for i in 0..self.db_size {
+            master.set(ObjectId(i), Value::Int(self.initial_value), Timestamp::ZERO);
+        }
+        let mut clock = LamportClock::new(NodeId(0));
+        let mut replayed = 0;
+        for record in remnant.log.since(Lsn(0)) {
+            replayed += 1;
+            for u in &record.updates {
+                clock.observe(u.new_ts);
+                master.set(u.object, u.value.clone(), u.new_ts);
+            }
+        }
+        let now = SimTime(remnant.tick);
+        remnant.tracer.emit(|| {
+            Event::system(
+                now,
+                NodeId(0),
+                EventKind::RecoveryReplay { messages: replayed },
+            )
+        });
+        remnant
+            .tracer
+            .emit(|| Event::system(now, NodeId(0), EventKind::NodeRestart));
+        let thread = BaseThread {
+            master,
+            clock,
+            log: remnant.log,
+            seen: remnant.seen,
+            drop_replies: 0,
+            inbox: remnant.inbox,
+            next_txn: remnant.next_txn,
+            tracer: remnant.tracer,
+            tick: remnant.tick,
+        };
+        self.handle = Some(
+            std::thread::Builder::new()
+                .name("two-tier-base".to_owned())
+                .spawn(move || thread.run())
+                .expect("failed to respawn base thread"),
+        );
+        replayed
+    }
+
+    /// Whether the base is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.remnant.is_some()
     }
 
     /// Execute a transaction directly at the base (a connected client).
@@ -257,7 +429,10 @@ impl BaseServer {
         rx.recv().expect("base thread dropped snapshot")
     }
 
-    fn sync(&self, pendings: Vec<Pending>, from: Lsn) -> SyncReply {
+    /// One sync round-trip. `None` when the base crashed before the
+    /// reply arrived (or is down and did not answer within `timeout`) —
+    /// the caller should retry; the dedup ids make the retry safe.
+    fn try_sync(&self, pendings: Vec<Pending>, from: Lsn, timeout: Duration) -> Option<SyncReply> {
         let (tx, rx) = unbounded();
         self.sender
             .send(BaseMsg::Sync {
@@ -266,7 +441,7 @@ impl BaseServer {
                 reply: tx,
             })
             .expect("base thread gone");
-        rx.recv().expect("base thread dropped sync reply")
+        rx.recv_timeout(timeout).ok()
     }
 
     /// Shut the base thread down.
@@ -279,6 +454,7 @@ impl BaseServer {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+        self.remnant = None;
     }
 }
 
@@ -307,6 +483,9 @@ pub struct MobileNode {
     clock: LamportClock,
     pending: Vec<Pending>,
     watermark: Lsn,
+    /// Sequence counter feeding each tentative transaction's
+    /// [`DedupId`].
+    next_seq: u64,
     last_rejections: Vec<String>,
     tracer: SyncTraceHandle,
     // Logical tick for event timestamps: one per tentative execution
@@ -330,6 +509,7 @@ impl MobileNode {
             clock: LamportClock::new(id),
             pending: Vec::new(),
             watermark: Lsn(0),
+            next_seq: 0,
             last_rejections: Vec::new(),
             tracer: SyncTraceHandle::off(),
             tick: 0,
@@ -378,7 +558,12 @@ impl MobileNode {
             self.store.write_tentative(op.object, new.clone(), ts);
             results.push((op.object, new));
         }
+        self.next_seq += 1;
         self.pending.push(Pending {
+            dedup: DedupId {
+                node: self.id,
+                seq: self.next_seq,
+            },
             spec,
             tentative_results: results.clone(),
         });
@@ -391,17 +576,50 @@ impl MobileNode {
     /// Reconnect: §7's five steps — discard tentative versions, ship
     /// the tentative transactions in commit order, apply the deferred
     /// replica refresh, learn each transaction's fate.
+    ///
+    /// # Panics
+    /// If the base crashes before replying; use
+    /// [`MobileNode::sync_with_retry`] against an unreliable base.
     pub fn sync(&mut self, base: &BaseServer) -> SyncOutcome {
+        self.try_sync(base, Duration::from_secs(10))
+            .expect("base crashed mid-sync")
+    }
+
+    /// Like [`MobileNode::sync`], retrying with exponential backoff
+    /// when the base crashes before replying or does not answer.
+    /// Re-submission is safe: each tentative transaction carries a
+    /// [`DedupId`], so a retry of a sync the base already committed
+    /// returns the recorded outcomes instead of executing twice.
+    /// Returns `None` if every attempt failed (pending transactions are
+    /// retained for a later sync).
+    pub fn sync_with_retry(&mut self, base: &BaseServer, max_attempts: u32) -> Option<SyncOutcome> {
+        let mut backoff = Duration::from_millis(1);
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(64));
+            }
+            if let Some(outcome) = self.try_sync(base, Duration::from_millis(100)) {
+                return Some(outcome);
+            }
+        }
+        None
+    }
+
+    /// One sync attempt. On failure (`None`) the node keeps its
+    /// tentative versions and pending queue untouched, so the attempt
+    /// can be repeated verbatim.
+    fn try_sync(&mut self, base: &BaseServer, timeout: Duration) -> Option<SyncOutcome> {
         self.tick += 1;
         let now = SimTime(self.tick);
         let id = self.id;
-        self.store.discard_tentative();
-        let pendings = std::mem::take(&mut self.pending);
         self.tracer
             .emit(|| Event::system(now, id, EventKind::Reconnect));
         self.tracer
             .emit(|| Event::system(now, id, EventKind::MsgSent { to: NodeId(0) }));
-        let reply = base.sync(pendings, self.watermark);
+        let reply = base.try_sync(self.pending.clone(), self.watermark, timeout)?;
+        self.store.discard_tentative();
+        self.pending.clear();
         let mut outcome = SyncOutcome::default();
         self.last_rejections.clear();
         for o in reply.outcomes {
@@ -436,7 +654,7 @@ impl MobileNode {
                 .emit(|| Event::system(now, id, EventKind::ReplicaApply));
         }
         self.watermark = reply.head;
-        outcome
+        Some(outcome)
     }
 }
 
@@ -606,6 +824,85 @@ mod tests {
         // spouse's incarnation.
         assert_eq!(count(|k| matches!(k, EventKind::TxnCommit)), 1);
         assert_eq!(count(|k| matches!(k, EventKind::TxnAbort { .. })), 1);
+    }
+
+    #[test]
+    fn reply_crash_retry_does_not_double_execute() {
+        let base = BaseServer::spawn(1, 100);
+        let mut mobile = MobileNode::new(NodeId(1), 1, 100);
+        mobile.execute_tentative(debit(0, 30));
+        // The next two syncs commit durably but the reply is eaten by a
+        // crash; the third attempt gets through.
+        base.inject_reply_crashes(2);
+        let outcome = mobile
+            .sync_with_retry(&base, 5)
+            .expect("retry must eventually reach the base");
+        assert_eq!(outcome.accepted, 1);
+        // Deduplication: the debit ran exactly once despite three
+        // submissions of the same pending transaction.
+        assert_eq!(base.snapshot().get(ObjectId(0)).value, Value::Int(70));
+        assert_eq!(mobile.read(ObjectId(0)), &Value::Int(70));
+        base.shutdown();
+    }
+
+    #[test]
+    fn base_crash_restart_recovers_master_from_log() {
+        let mut base = BaseServer::spawn(2, 100);
+        base.execute(debit(0, 25));
+        base.execute(credit(1, 40));
+        let before = base.snapshot().digest();
+        base.crash();
+        assert!(base.is_crashed());
+        let replayed = base.restart();
+        assert_eq!(replayed, 2, "both commits replay from the log");
+        assert_eq!(base.snapshot().digest(), before, "master diverged");
+        base.shutdown();
+    }
+
+    #[test]
+    fn sync_against_crashed_base_fails_then_recovers() {
+        let mut base = BaseServer::spawn(1, 100);
+        let mut mobile = MobileNode::new(NodeId(1), 1, 100);
+        mobile.execute_tentative(debit(0, 10));
+        base.crash();
+        // Every attempt times out against the dead base; the pending
+        // queue survives for later.
+        assert!(mobile.sync_with_retry(&base, 2).is_none());
+        assert_eq!(mobile.pending_count(), 1);
+        base.restart();
+        let outcome = mobile
+            .sync_with_retry(&base, 5)
+            .expect("restarted base must answer");
+        assert_eq!(outcome.accepted, 1);
+        // The stale syncs queued while the base was down re-submitted
+        // the same dedup id; the debit still ran exactly once.
+        assert_eq!(base.snapshot().get(ObjectId(0)).value, Value::Int(90));
+        base.shutdown();
+    }
+
+    #[test]
+    fn duplicate_sync_delivery_is_idempotent() {
+        // Satellite: a duplicated sync (same pendings delivered twice —
+        // e.g. the message layer duplicated the request) must not apply
+        // tentative transactions twice.
+        let base = BaseServer::spawn(1, 100);
+        let mut mobile = MobileNode::new(NodeId(1), 1, 100);
+        mobile.execute_tentative(debit(0, 30));
+        let pendings = mobile.pending.clone();
+        // Deliver the same sync payload twice, as a duplicating network
+        // would.
+        let r1 = base.try_sync(pendings.clone(), Lsn(0), Duration::from_secs(10));
+        let r2 = base.try_sync(pendings, Lsn(0), Duration::from_secs(10));
+        assert!(r1.is_some() && r2.is_some());
+        assert_eq!(
+            base.snapshot().get(ObjectId(0)).value,
+            Value::Int(70),
+            "duplicate delivery must not debit twice"
+        );
+        // Both deliveries report the same recorded outcome.
+        let (o1, o2) = (r1.unwrap().outcomes, r2.unwrap().outcomes);
+        assert_eq!(o1, o2);
+        base.shutdown();
     }
 
     #[test]

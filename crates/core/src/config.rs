@@ -4,6 +4,25 @@ use repl_model::Params;
 use repl_net::LatencyModel;
 use repl_sim::{AccessPattern, SimDuration, SimTime};
 
+/// How the engines resolve deadlocks (paper §2: "locking detects
+/// potential anomalies and converts them to waits or deadlocks", and in
+/// practice "most systems use timeout" rather than cycle detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeadlockPolicy {
+    /// Exact waits-for cycle detection on every contended request —
+    /// the model's idealization, equation (12)'s deadlock rate.
+    #[default]
+    Detection,
+    /// No graph search: blocked transactions abort after waiting
+    /// `wait` of simulated time. Resolves real cycles and also kills
+    /// innocent long waiters — the real-system trade-off.
+    Timeout {
+        /// How long a transaction may block before it is presumed
+        /// deadlocked and aborted.
+        wait: SimDuration,
+    },
+}
+
 /// Integer-typed run configuration derived from the model's [`Params`].
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
@@ -31,6 +50,9 @@ pub struct SimConfig {
     /// ("there are no hotspots"); the Zipf variant is the hotspot
     /// ablation.
     pub access: AccessPattern,
+    /// Deadlock resolution policy (honored by the lazy-group engine;
+    /// the analytic engines assume [`DeadlockPolicy::Detection`]).
+    pub deadlock: DeadlockPolicy,
 }
 
 impl SimConfig {
@@ -48,6 +70,7 @@ impl SimConfig {
             warmup: SimTime::ZERO,
             seed,
             access: AccessPattern::Uniform,
+            deadlock: DeadlockPolicy::Detection,
         }
     }
 
@@ -84,6 +107,14 @@ impl SimConfig {
         self
     }
 
+    /// Builder-style deadlock-policy override (§2's timeout
+    /// resolution vs. exact cycle detection).
+    #[must_use]
+    pub fn with_deadlock(mut self, deadlock: DeadlockPolicy) -> Self {
+        self.deadlock = deadlock;
+        self
+    }
+
     /// Mean inter-arrival time of one node's Poisson process.
     pub fn mean_interarrival_secs(&self) -> f64 {
         1.0 / self.tps
@@ -114,6 +145,16 @@ mod tests {
             .with_latency(LatencyModel::Fixed(SimDuration::from_millis(5)));
         assert_eq!(c.warmup, SimTime::from_secs(2));
         assert_eq!(c.latency, LatencyModel::Fixed(SimDuration::from_millis(5)));
+    }
+
+    #[test]
+    fn deadlock_policy_defaults_to_detection() {
+        let c = SimConfig::from_params(&Params::default(), 10, 1);
+        assert_eq!(c.deadlock, DeadlockPolicy::Detection);
+        let c = c.with_deadlock(DeadlockPolicy::Timeout {
+            wait: SimDuration::from_secs(1),
+        });
+        assert!(matches!(c.deadlock, DeadlockPolicy::Timeout { .. }));
     }
 
     #[test]

@@ -16,13 +16,15 @@
 //! with `(Actions × Nodes)³`, and the mobile variant with disconnection
 //! windows is the regime of equations (15)–(18).
 
-use crate::config::SimConfig;
+use crate::config::{DeadlockPolicy, SimConfig};
 use crate::metrics::{Metrics, Report};
-use repl_net::{DisconnectSchedule, LatencyModel, Network, PeriodModel, SendOutcome};
+use repl_net::{
+    DisconnectSchedule, FaultInjector, FaultPlan, LatencyModel, Network, PeriodModel, SendOutcome,
+};
 use repl_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use repl_storage::{
-    Acquire, ApplyOutcome, CommitLog, LamportClock, LockManager, Lsn, NodeId, ObjectId,
-    ObjectStore, TxnId, UpdateRecord, Value,
+    Acquire, ApplyOutcome, CommitLog, DeadlockMode, LamportClock, LockManager, Lsn, NodeId,
+    ObjectId, ObjectStore, TxnId, UpdateRecord, Value,
 };
 use repl_telemetry::{AbortReason, Event, EventKind, Profiler, TraceHandle};
 use std::collections::HashMap;
@@ -80,6 +82,23 @@ enum Ev {
     Connectivity { node: NodeId, connected: bool },
     /// Retry a deadlocked replica transaction.
     ReplicaRetry { to: NodeId, msg: ReplicaMsg },
+    /// A scheduled bipartition begins.
+    PartitionStart { side_a: Vec<NodeId> },
+    /// The active bipartition heals.
+    PartitionHeal,
+    /// A node crashes, losing volatile state.
+    Crash(NodeId),
+    /// A crashed node restarts and recovers from durable state.
+    Restart(NodeId),
+    /// Retry propagation from a node after a dropped message.
+    Resend(NodeId),
+    /// A blocked transaction's lock-wait timer expired
+    /// ([`DeadlockPolicy::Timeout`]).
+    LockTimeout {
+        txn: TxnId,
+        node: NodeId,
+        obj: ObjectId,
+    },
 }
 
 #[derive(Debug)]
@@ -132,6 +151,10 @@ pub struct LazyGroupSim {
     cfg: SimConfig,
     mobility: Mobility,
     resolution: ResolutionMode,
+    faults: Option<FaultPlan>,
+    /// Per-node crash flags: a crashed node accepts no work until its
+    /// scheduled restart.
+    crashed: Vec<bool>,
     queue: EventQueue<Ev>,
     nodes: Vec<NodeState>,
     network: Network<ReplicaMsg>,
@@ -189,7 +212,7 @@ impl LazyGroupSim {
         let nodes = (0..cfg.nodes)
             .map(|i| NodeState {
                 store: ObjectStore::new(cfg.db_size),
-                locks: LockManager::new(),
+                locks: Self::lock_manager(&cfg),
                 clock: LamportClock::new(NodeId(i)),
                 log: CommitLog::new(),
                 sent_upto: vec![Lsn(0); cfg.nodes as usize],
@@ -200,6 +223,8 @@ impl LazyGroupSim {
         LazyGroupSim {
             mobility,
             resolution: ResolutionMode::TimePriority,
+            faults: None,
+            crashed: vec![false; n],
             queue,
             nodes,
             network: Network::new(n, cfg.latency, cfg.seed),
@@ -217,6 +242,42 @@ impl LazyGroupSim {
             run_label: "lazy-group".to_owned(),
             cfg,
         }
+    }
+
+    /// A lock manager honoring the configured deadlock policy.
+    fn lock_manager(cfg: &SimConfig) -> LockManager {
+        match cfg.deadlock {
+            DeadlockPolicy::Detection => LockManager::new(),
+            DeadlockPolicy::Timeout { .. } => LockManager::with_mode(DeadlockMode::TimeoutOnly),
+        }
+    }
+
+    /// Attach a fault plan (builder-style; call before
+    /// [`LazyGroupSim::run`]). Message chaos perturbs every live link;
+    /// partition and crash windows become scheduled events. Faults
+    /// never fire during the post-horizon convergence drain, so the
+    /// convergence guarantee survives arbitrary plans.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        if plan.has_message_chaos() {
+            self.network = Network::new(self.cfg.nodes as usize, self.cfg.latency, self.cfg.seed)
+                .with_faults(FaultInjector::new(&plan));
+        }
+        for w in &plan.partitions {
+            self.queue.schedule_at(
+                w.start,
+                Ev::PartitionStart {
+                    side_a: w.side_a.clone(),
+                },
+            );
+            self.queue.schedule_at(w.heal, Ev::PartitionHeal);
+        }
+        for c in &plan.crashes {
+            self.queue.schedule_at(c.at, Ev::Crash(c.node));
+            self.queue.schedule_at(c.restart, Ev::Restart(c.node));
+        }
+        self.faults = Some(plan);
+        self
     }
 
     /// Attach a tracer; events flow from simulated time zero.
@@ -282,9 +343,22 @@ impl LazyGroupSim {
         while let Some((_, ev)) = self.queue.pop_until(horizon) {
             self.dispatch(ev, true);
         }
+        for node in &self.nodes {
+            self.metrics.cycle_checks.add(node.locks.cycle_checks());
+        }
         let report = self.metrics.report(self.measure_from, horizon);
-        // Drain phase: no new arrivals, everyone reconnects, every
-        // queued replica update is delivered and applied.
+        // Drain phase: no new arrivals and no new faults — the injector
+        // is removed, the partition heals, crashed nodes restart and
+        // recover, everyone reconnects, and every queued replica update
+        // is delivered and applied. Pending fault events left in the
+        // queue are ignored by `dispatch` in this phase.
+        self.network.clear_faults();
+        self.heal_partition();
+        for node in 0..self.cfg.nodes {
+            if self.crashed[node as usize] {
+                self.restart_node(NodeId(node));
+            }
+        }
         for node in 0..self.cfg.nodes {
             self.reconnect(NodeId(node));
         }
@@ -297,12 +371,16 @@ impl LazyGroupSim {
         (report, stores)
     }
 
-    fn dispatch(&mut self, ev: Ev, arrivals_enabled: bool) {
+    /// Dispatch one event. `live` is false during the post-horizon
+    /// convergence drain, where new arrivals and new fault events are
+    /// ignored (the drain must terminate with converged replicas no
+    /// matter what the fault plan still has scheduled).
+    fn dispatch(&mut self, ev: Ev, live: bool) {
         let profiler = self.profiler.clone();
         let t = profiler.start();
         match ev {
             Ev::Arrive(node) => {
-                if arrivals_enabled {
+                if live {
                     self.on_arrive(node);
                 }
                 profiler.stop("lazy-group/arrive", t);
@@ -316,6 +394,13 @@ impl LazyGroupSim {
                 profiler.stop("lazy-group/replica-step", t);
             }
             Ev::Deliver { to, msg } => {
+                if self.crashed[to.0 as usize] {
+                    // Arrived at a dead node: back into the mail, to be
+                    // redelivered by recovery at restart.
+                    self.network.park(msg.from, to, msg);
+                    profiler.stop("lazy-group/deliver", t);
+                    return;
+                }
                 self.tracer.emit(|| {
                     Event::system(
                         self.queue.now(),
@@ -327,7 +412,11 @@ impl LazyGroupSim {
                 profiler.stop("lazy-group/deliver", t);
             }
             Ev::ReplicaRetry { to, msg } => {
-                self.start_replica_txn(to, msg);
+                if self.crashed[to.0 as usize] {
+                    self.network.park(msg.from, to, msg);
+                } else {
+                    self.start_replica_txn(to, msg);
+                }
                 profiler.stop("lazy-group/deliver", t);
             }
             Ev::Connectivity { node, connected } => {
@@ -346,6 +435,220 @@ impl LazyGroupSim {
                 }
                 profiler.stop("lazy-group/connectivity", t);
             }
+            Ev::PartitionStart { side_a } => {
+                if live {
+                    self.tracer.emit(|| {
+                        Event::system(
+                            self.queue.now(),
+                            side_a.first().copied().unwrap_or_default(),
+                            EventKind::PartitionStart {
+                                side_a: side_a.clone(),
+                            },
+                        )
+                    });
+                    self.network.partition(&side_a);
+                }
+                profiler.stop("lazy-group/partition", t);
+            }
+            Ev::PartitionHeal => {
+                self.heal_partition();
+                profiler.stop("lazy-group/partition", t);
+            }
+            Ev::Crash(node) => {
+                if live {
+                    self.crash_node(node);
+                }
+                profiler.stop("lazy-group/crash", t);
+            }
+            Ev::Restart(node) => {
+                if self.crashed[node.0 as usize] {
+                    self.restart_node(node);
+                }
+                profiler.stop("lazy-group/crash", t);
+            }
+            Ev::Resend(node) => {
+                if !self.crashed[node.0 as usize] {
+                    self.propagate(node);
+                }
+                profiler.stop("lazy-group/resend", t);
+            }
+            Ev::LockTimeout { txn, node, obj } => {
+                self.on_lock_timeout(txn, node, obj);
+                profiler.stop("lazy-group/lock-timeout", t);
+            }
+        }
+    }
+
+    /// Heal the active bipartition (if any) and deliver everything that
+    /// was parked at the boundary.
+    fn heal_partition(&mut self) {
+        if !self.network.has_partition() {
+            return;
+        }
+        self.tracer.emit(|| {
+            Event::system(
+                self.queue.now(),
+                NodeId::default(),
+                EventKind::PartitionHeal,
+            )
+        });
+        let drained = self.network.heal_partition();
+        for (to, msg) in drained {
+            self.queue
+                .schedule_after(SimDuration::ZERO, Ev::Deliver { to, msg });
+        }
+    }
+
+    /// Crash `node`: volatile state (lock table, in-flight transactions,
+    /// the replica-apply backlog) is lost; durable state (store, commit
+    /// log, replication watermarks) survives. In-flight replica updates
+    /// go back into the mail — lazy propagation is at-least-once and the
+    /// timestamp test makes re-application idempotent.
+    fn crash_node(&mut self, node: NodeId) {
+        self.crashed[node.0 as usize] = true;
+        self.network.disconnect(node);
+        if self.measuring() {
+            self.metrics.node_crashes.incr();
+        }
+        self.tracer
+            .emit(|| Event::system(self.queue.now(), node, EventKind::NodeCrash));
+        // The lock table dies with the node; bank its search count
+        // before it goes.
+        let locks = std::mem::replace(
+            &mut self.nodes[node.0 as usize].locks,
+            Self::lock_manager(&self.cfg),
+        );
+        self.metrics.cycle_checks.add(locks.cycle_checks());
+        // In-flight root transactions at the node simply die (their
+        // uncommitted writes were never logged for propagation, and the
+        // convergence rule — newest timestamp wins — absorbs the
+        // orphaned store versions they left behind).
+        let dead_roots: Vec<TxnId> = self
+            .roots
+            .iter()
+            .filter(|(_, t)| t.node == node)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead_roots {
+            self.tracer.emit(|| {
+                Event::new(
+                    self.queue.now(),
+                    node,
+                    id,
+                    EventKind::TxnAbort {
+                        reason: AbortReason::Crash,
+                    },
+                )
+            });
+            self.roots.remove(&id);
+        }
+        // In-flight and backlogged replica updates return to the mail.
+        let dead_replicas: Vec<TxnId> = self
+            .replicas
+            .iter()
+            .filter(|(_, t)| t.node == node)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead_replicas {
+            let txn = self.replicas.remove(&id).expect("crashing replica txn");
+            self.network.park(txn.msg.from, node, txn.msg);
+        }
+        let backlog = std::mem::take(&mut self.nodes[node.0 as usize].backlog);
+        for msg in backlog {
+            self.network.park(msg.from, node, msg);
+        }
+        self.nodes[node.0 as usize].active_replicas = 0;
+    }
+
+    /// Restart `node`: redeliver everything parked for it (the recovery
+    /// replay) and resume propagation from its durable watermarks.
+    fn restart_node(&mut self, node: NodeId) {
+        self.crashed[node.0 as usize] = false;
+        self.tracer
+            .emit(|| Event::system(self.queue.now(), node, EventKind::NodeRestart));
+        let inbound = self.network.reconnect(node);
+        self.tracer.emit(|| {
+            Event::system(
+                self.queue.now(),
+                node,
+                EventKind::RecoveryReplay {
+                    messages: inbound.len() as u64,
+                },
+            )
+        });
+        for msg in inbound {
+            self.queue
+                .schedule_after(SimDuration::ZERO, Ev::Deliver { to: node, msg });
+        }
+        self.propagate(node);
+    }
+
+    /// A lock-wait timeout fired. It may be stale — the transaction may
+    /// have been granted, committed, died in a crash, or aborted since
+    /// the timer was armed — so it only acts if the transaction is still
+    /// blocked on the same object.
+    fn on_lock_timeout(&mut self, id: TxnId, node: NodeId, obj: ObjectId) {
+        if self.crashed[node.0 as usize]
+            || self.nodes[node.0 as usize].locks.waiting_on(id) != Some(obj)
+        {
+            return;
+        }
+        if self.measuring() {
+            self.metrics.deadlocks.incr();
+            self.metrics.lock_timeouts.incr();
+        }
+        self.tracer.emit(|| {
+            Event::new(
+                self.queue.now(),
+                node,
+                id,
+                EventKind::LockTimeout { object: obj },
+            )
+        });
+        self.tracer.emit(|| {
+            Event::new(
+                self.queue.now(),
+                node,
+                id,
+                EventKind::TxnAbort {
+                    reason: AbortReason::Timeout,
+                },
+            )
+        });
+        // Leave the wait queue first: `release_all` only frees *held*
+        // locks, and a queued ghost would be granted the contested
+        // object later and hold it forever.
+        self.nodes[node.0 as usize].locks.cancel_wait(id);
+        if self.roots.remove(&id).is_some() {
+            let granted = self.nodes[node.0 as usize].locks.release_all(id);
+            self.resume_waiters(node, granted);
+        } else if let Some(txn) = self.replicas.remove(&id) {
+            // Replica updates are resubmitted after a timeout abort,
+            // exactly as after a detected deadlock (§5).
+            self.release_replica_slot(node);
+            let granted = self.nodes[node.0 as usize].locks.release_all(id);
+            self.resume_waiters(node, granted);
+            let backoff = self
+                .cfg
+                .action_time
+                .saturating_mul(1 + self.retry_rng.gen_range(8));
+            self.queue.schedule_after(
+                backoff,
+                Ev::ReplicaRetry {
+                    to: txn.node,
+                    msg: txn.msg,
+                },
+            );
+            self.drain_backlog(node);
+        }
+    }
+
+    /// Arm the lock-wait timer for a transaction that just blocked, if
+    /// the run resolves deadlocks by timeout.
+    fn arm_lock_timeout(&mut self, id: TxnId, node: NodeId, obj: ObjectId) {
+        if let DeadlockPolicy::Timeout { wait } = self.cfg.deadlock {
+            self.queue
+                .schedule_after(wait, Ev::LockTimeout { txn: id, node, obj });
         }
     }
 
@@ -353,7 +656,11 @@ impl LazyGroupSim {
         let gap =
             SimDuration::from_secs_f64(self.arrival_rngs[node.0 as usize].exp(1.0 / self.cfg.tps));
         self.queue.schedule_after(gap, Ev::Arrive(node));
-
+        if self.crashed[node.0 as usize] {
+            // No terminals at a dead node; the arrival process itself
+            // keeps ticking so the stream stays deterministic.
+            return;
+        }
         let id = self.fresh_txn();
         let objects: Vec<ObjectId> = self
             .object_rng
@@ -393,6 +700,7 @@ impl LazyGroupSim {
                     self.metrics.waits.incr();
                 }
                 self.emit_lock_wait(node, id, obj);
+                self.arm_lock_timeout(id, node, obj);
             }
             Acquire::Deadlock => {
                 if self.measuring() {
@@ -447,7 +755,11 @@ impl LazyGroupSim {
     /// One root action's service time elapsed: perform the write.
     fn on_root_step(&mut self, id: TxnId) {
         let value = Value::Int(self.value_rng.next_u64() as i64);
-        let txn = self.roots.get_mut(&id).expect("root step for dead txn");
+        // A crash or timeout abort may have killed the transaction
+        // while this step event was in flight.
+        let Some(txn) = self.roots.get_mut(&id) else {
+            return;
+        };
         let node = txn.node;
         let obj = txn.objects[txn.next];
         let state = &mut self.nodes[node.0 as usize];
@@ -540,6 +852,57 @@ impl LazyGroupSim {
                             },
                         );
                     }
+                    SendOutcome::Duplicated { delays } => {
+                        if self.measuring() {
+                            self.metrics.messages_duplicated.incr();
+                        }
+                        self.tracer.emit(|| {
+                            Event::system(
+                                self.queue.now(),
+                                origin,
+                                EventKind::MsgDuplicated { to: dest },
+                            )
+                        });
+                        for delay in delays {
+                            let record = self.nodes[origin.0 as usize]
+                                .log
+                                .get(from)
+                                .expect("record still present");
+                            self.queue.schedule_after(
+                                delay,
+                                Ev::Deliver {
+                                    to: dest,
+                                    msg: ReplicaMsg {
+                                        from: origin,
+                                        updates: record.updates.clone(),
+                                    },
+                                },
+                            );
+                        }
+                    }
+                    SendOutcome::Dropped => {
+                        // Lost in flight. The watermark does not
+                        // advance; a retransmit timer re-runs
+                        // propagation from the same record, so delivery
+                        // is at-least-once and the timestamp test makes
+                        // re-application idempotent.
+                        if self.measuring() {
+                            self.metrics.messages_dropped.incr();
+                        }
+                        self.tracer.emit(|| {
+                            Event::system(
+                                self.queue.now(),
+                                origin,
+                                EventKind::MsgDropped { to: dest },
+                            )
+                        });
+                        let retransmit = self
+                            .faults
+                            .as_ref()
+                            .map_or(SimDuration::from_millis(100), |p| p.retransmit);
+                        self.queue.schedule_after(retransmit, Ev::Resend(origin));
+                        break;
+                    }
                     SendOutcome::Held => {
                         // The network parks it for the disconnected
                         // destination; it still counts as shipped.
@@ -612,6 +975,7 @@ impl LazyGroupSim {
                     self.metrics.waits.incr();
                 }
                 self.emit_lock_wait(node, id, obj);
+                self.arm_lock_timeout(id, node, obj);
             }
             Acquire::Deadlock => {
                 // Replica updates are resubmitted on deadlock (§5) —
@@ -644,10 +1008,11 @@ impl LazyGroupSim {
     }
 
     fn on_replica_step(&mut self, id: TxnId) {
-        let txn = self
-            .replicas
-            .get_mut(&id)
-            .expect("replica step for dead txn");
+        // A crash or timeout abort may have killed the transaction
+        // while this step event was in flight.
+        let Some(txn) = self.replicas.get_mut(&id) else {
+            return;
+        };
         let node = txn.node;
         let u = txn.msg.updates[txn.next].clone();
         txn.next += 1;
@@ -856,5 +1221,23 @@ mod tests {
         let a = LazyGroupSim::new(c, Mobility::Connected).run();
         let b = LazyGroupSim::new(c, Mobility::Connected).run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timeout_mode_terminates_under_heavy_contention() {
+        // Regression: a timed-out waiter left in the FIFO wait queue
+        // gets granted the lock after it is gone and holds it forever;
+        // every later touch of that object then times out and replica
+        // retries spin without end. The run must terminate, converge,
+        // and resolve deadlocks without ever searching the graph.
+        let c = cfg(4.0, 200.0, 10.0, 60, 41).with_deadlock(DeadlockPolicy::Timeout {
+            wait: SimDuration::from_millis(500),
+        });
+        let (report, stores) = LazyGroupSim::new(c, Mobility::Connected).run_with_state();
+        assert!(report.committed > 0);
+        assert!(report.lock_timeouts > 0, "contention produced no timeouts");
+        assert_eq!(report.cycle_checks, 0, "timeout mode walked the graph");
+        let d0 = stores[0].digest();
+        assert!(stores.iter().all(|s| s.digest() == d0));
     }
 }

@@ -740,6 +740,24 @@ impl TwoTierSim {
                         },
                     );
                 }
+                SendOutcome::Duplicated { delays } => {
+                    // Refreshes are last-writer-wins; a duplicate is
+                    // absorbed by the timestamp comparison.
+                    for delay in delays {
+                        self.queue.schedule_after(
+                            delay,
+                            Ev::Deliver {
+                                to: dest,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                }
+                SendOutcome::Dropped => {
+                    // This engine attaches no fault injector; a dropped
+                    // refresh would be resent by the next one anyway
+                    // (LWW refreshes carry absolute values, not deltas).
+                }
                 SendOutcome::Held => {}
                 SendOutcome::SenderOffline(_) => unreachable!("base node 0 never disconnects"),
             }

@@ -45,7 +45,7 @@ pub mod reconcile;
 pub mod serializability;
 pub mod txn;
 
-pub use config::SimConfig;
+pub use config::{DeadlockPolicy, SimConfig};
 pub use engine::{
     ContentionProfile, ContentionSim, EagerSim, LazyGroupSim, LazyMasterSim, Mobility, Ownership,
     ReplicaDiscipline, ResolutionMode, TwoTierConfig, TwoTierSim, TwoTierWorkload,

@@ -31,6 +31,20 @@ pub struct Metrics {
     pub tentative_rejected: Counter,
     /// Total actions (object updates) performed anywhere.
     pub actions: Counter,
+    /// Messages lost in flight by fault injection (each triggers a
+    /// retransmission).
+    pub messages_dropped: Counter,
+    /// Messages duplicated by fault injection (the receiver's
+    /// timestamp test absorbs the copies).
+    pub messages_duplicated: Counter,
+    /// Blocked transactions aborted by the lock-wait timeout
+    /// ([`crate::DeadlockPolicy::Timeout`]'s resolution events).
+    pub lock_timeouts: Counter,
+    /// Node crashes injected during the run.
+    pub node_crashes: Counter,
+    /// Waits-for graph searches performed by the lock managers (zero
+    /// under the timeout policy).
+    pub cycle_checks: Counter,
     /// User-transaction latency (start → commit), seconds.
     pub latency: Welford,
     /// Latency distribution for percentile reporting.
@@ -76,6 +90,11 @@ impl Metrics {
             tentative_accepted: self.tentative_accepted.count(),
             tentative_rejected: self.tentative_rejected.count(),
             actions: self.actions.count(),
+            messages_dropped: self.messages_dropped.count(),
+            messages_duplicated: self.messages_duplicated.count(),
+            lock_timeouts: self.lock_timeouts.count(),
+            node_crashes: self.node_crashes.count(),
+            cycle_checks: self.cycle_checks.count(),
             commit_rate: rate(&self.committed),
             deadlock_rate: rate(&self.deadlocks),
             wait_rate: rate(&self.waits),
@@ -118,6 +137,16 @@ pub struct Report {
     pub tentative_rejected: u64,
     /// Total object updates performed.
     pub actions: u64,
+    /// Messages dropped by fault injection.
+    pub messages_dropped: u64,
+    /// Messages duplicated by fault injection.
+    pub messages_duplicated: u64,
+    /// Lock-wait timeout aborts (also counted in `deadlocks`).
+    pub lock_timeouts: u64,
+    /// Node crashes injected.
+    pub node_crashes: u64,
+    /// Waits-for graph searches performed.
+    pub cycle_checks: u64,
     /// Commits per second.
     pub commit_rate: f64,
     /// Deadlocks per second — compare with equations (5), (12), (13), (19).

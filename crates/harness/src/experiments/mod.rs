@@ -1,6 +1,7 @@
 //! The experiment registry — every table/figure regenerator behind one
 //! name-indexed entry point.
 
+pub mod chaos;
 pub mod convergent;
 pub mod delusion;
 pub mod eager;
@@ -135,6 +136,11 @@ pub const ALL: &[Experiment] = &[
         name: "ablate-quorum",
         about: "write availability: write-all vs majority quorum (§3)",
         run: quorum::ablate_quorum,
+    },
+    Experiment {
+        name: "chaos",
+        about: "fault injection: partitions, crashes, message chaos under both deadlock policies",
+        run: chaos::chaos,
     },
 ];
 

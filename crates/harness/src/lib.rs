@@ -44,6 +44,11 @@ pub struct RunOpts {
     pub tracer: repl_telemetry::TraceHandle,
     /// Wall-clock phase profiler (`--profile`); off by default.
     pub profiler: repl_telemetry::Profiler,
+    /// Fault plan override (`--faults SPEC`); when set, the chaos
+    /// experiment injects exactly this plan instead of its built-in
+    /// one. Other experiments ignore it (their claims assume a clean
+    /// fabric).
+    pub faults: Option<repl_net::FaultPlan>,
 }
 
 impl Default for RunOpts {
@@ -53,6 +58,7 @@ impl Default for RunOpts {
             seed: repl_workload::presets::SEED,
             tracer: repl_telemetry::TraceHandle::off(),
             profiler: repl_telemetry::Profiler::off(),
+            faults: None,
         }
     }
 }

@@ -11,7 +11,12 @@
 //! harness --trace out.jsonl e6 # stream every engine event as JSONL
 //! harness --series 10 e6       # bucketed per-10s rate tables per run
 //! harness --profile e6         # wall-clock phase timing report
+//! harness --faults SPEC chaos  # override the chaos fault plan
 //! ```
+//!
+//! `SPEC` is the fault mini-language of [`repl_net::FaultPlan::parse`]:
+//! `;`-separated clauses `drop=P`, `dup=P`, `delay=P:SECS`,
+//! `retransmit=SECS`, `part=S..E:0,1/2,3`, `crash=N:S..E`.
 
 use repl_harness::experiments::{self, Experiment};
 use repl_harness::RunOpts;
@@ -23,7 +28,7 @@ use std::rc::Rc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: harness [--quick] [--json] [--seed N] [--trace FILE] [--series SECS] \
-         [--profile] <list|all|NAME...>"
+         [--profile] [--faults SPEC] <list|all|NAME...>"
     );
     eprintln!("experiments:");
     for e in experiments::ALL {
@@ -64,6 +69,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut trace_path: Option<String> = None;
     let mut series_secs: Option<u64> = None;
+    let mut fault_spec: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -91,6 +97,13 @@ fn main() -> ExitCode {
                 };
                 series_secs = Some(v);
             }
+            "--faults" => {
+                let Some(s) = args.next() else {
+                    eprintln!("--faults needs a fault spec");
+                    return usage();
+                };
+                fault_spec = Some(s);
+            }
             "--profile" => opts.profiler = Profiler::enabled(),
             "-h" | "--help" => return usage(),
             other => names.push(other.to_owned()),
@@ -98,6 +111,16 @@ fn main() -> ExitCode {
     }
     if names.is_empty() {
         return usage();
+    }
+    // Parsed after the arg loop so `--seed` wins regardless of order.
+    if let Some(spec) = &fault_spec {
+        match repl_net::FaultPlan::parse(spec, opts.seed) {
+            Ok(plan) => opts.faults = Some(plan),
+            Err(e) => {
+                eprintln!("--faults: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let series = series_secs.map(|secs| {
         Rc::new(RefCell::new(SeriesAggregator::new(
@@ -143,10 +166,13 @@ fn main() -> ExitCode {
     for e in selected {
         let table = (e.run)(&opts);
         if json {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&table).expect("tables serialize")
-            );
+            match serde_json::to_string_pretty(&table) {
+                Ok(s) => println!("{s}"),
+                Err(err) => {
+                    eprintln!("cannot serialize table {}: {err}", table.id);
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             println!("{}", table.render());
         }

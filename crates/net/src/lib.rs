@@ -10,13 +10,18 @@
 //! * [`schedule`] — mobile connect/disconnect timelines built from the
 //!   Table 2 parameters `Time_Between_Disconnects` and
 //!   `Disconnected_Time`.
+//! * [`faults`] — deterministic fault injection: seeded message chaos
+//!   (drop / duplicate / delay-spike), scheduled partitions, and node
+//!   crash/restart windows ([`FaultPlan`], [`FaultInjector`]).
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod latency;
 pub mod network;
 pub mod schedule;
 
+pub use faults::{CrashWindow, FaultInjector, FaultPlan, MessageFate, PartitionWindow};
 pub use latency::LatencyModel;
 pub use network::{Network, SendOutcome};
 pub use schedule::{ConnectivityEvent, DisconnectSchedule, PeriodModel};

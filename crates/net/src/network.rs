@@ -1,13 +1,24 @@
 //! The simulated network fabric: computes per-message delivery delays
-//! and parks messages addressed to disconnected nodes until they
-//! reconnect (the paper's "when first connected, a mobile node sends and
-//! receives deferred replica updates").
+//! and parks messages addressed to unreachable nodes until the path
+//! comes back (the paper's "when first connected, a mobile node sends
+//! and receives deferred replica updates").
 //!
 //! The network deliberately does **not** own the event queue — it tells
 //! the protocol driver *when* a message should arrive and the driver
 //! schedules the delivery event. That keeps a single future-event list
 //! and a single deterministic clock.
+//!
+//! Two failure mechanisms layer on top of plain delivery:
+//!
+//! * a **partition** ([`Network::partition`]) makes cross-side links
+//!   unreachable — messages park at the boundary and drain in order
+//!   when [`Network::heal_partition`] runs;
+//! * a **fault injector** ([`Network::with_faults`]) perturbs
+//!   individual messages on live links: drops (counted by
+//!   [`Network::messages_dropped`] — never silent), duplicates, and
+//!   delay spikes.
 
+use crate::faults::{FaultInjector, MessageFate};
 use crate::latency::LatencyModel;
 use repl_sim::{SimDuration, SimRng};
 use repl_storage::NodeId;
@@ -21,8 +32,18 @@ pub enum SendOutcome<M> {
         /// One-way latency to apply.
         delay: SimDuration,
     },
-    /// The destination is disconnected; the network parked the message.
-    /// It will be returned by [`Network::reconnect`].
+    /// Fault injection duplicated the message: schedule one arrival
+    /// per delay.
+    Duplicated {
+        /// Independent one-way latencies for the two copies.
+        delays: [SimDuration; 2],
+    },
+    /// Fault injection lost the message in flight. Counted by
+    /// [`Network::messages_dropped`]; the sender should retransmit.
+    Dropped,
+    /// The destination is unreachable (disconnected or across a
+    /// partition); the network parked the message. It will be returned
+    /// by [`Network::reconnect`] or [`Network::heal_partition`].
     Held,
     /// The *sender* is disconnected; the message is refused outright
     /// (protocols queue their own outbound work while offline).
@@ -35,9 +56,17 @@ pub struct Network<M> {
     latency: LatencyModel,
     rng: SimRng,
     connected: Vec<bool>,
-    held: Vec<Vec<M>>,
+    /// `Some(sides)` while a bipartition is active: `sides[i]` is the
+    /// side node `i` sits on.
+    partition: Option<Vec<bool>>,
+    /// Parked messages per destination, with the sender recorded so a
+    /// drain can judge reachability per message.
+    held: Vec<Vec<(NodeId, M)>>,
+    faults: Option<FaultInjector>,
     sent: u64,
     held_count: u64,
+    dropped: u64,
+    duplicated: u64,
 }
 
 impl<M> Network<M> {
@@ -48,10 +77,27 @@ impl<M> Network<M> {
             latency,
             rng: SimRng::stream(seed, "network-latency"),
             connected: vec![true; n],
+            partition: None,
             held: (0..n).map(|_| Vec::new()).collect(),
+            faults: None,
             sent: 0,
             held_count: 0,
+            dropped: 0,
+            duplicated: 0,
         }
+    }
+
+    /// Attach a message-fault injector (builder style).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Remove the fault injector (e.g. for a post-horizon convergence
+    /// drain, during which no new faults should fire).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
     }
 
     /// Number of nodes.
@@ -74,10 +120,64 @@ impl<M> Network<M> {
         self.sent
     }
 
-    /// Total messages that had to be parked for a disconnected
+    /// Total messages that had to be parked for an unreachable
     /// destination.
     pub fn messages_held(&self) -> u64 {
         self.held_count
+    }
+
+    /// Total messages lost in flight by fault injection. Loss is never
+    /// silent: every drop increments this counter and is reported to
+    /// the sender as [`SendOutcome::Dropped`].
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total messages duplicated by fault injection.
+    pub fn messages_duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Whether any bipartition is currently active.
+    pub fn has_partition(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Whether a partition currently separates `a` from `b`.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.partition
+            .as_ref()
+            .is_some_and(|sides| sides[a.0 as usize] != sides[b.0 as usize])
+    }
+
+    /// Split the cluster into `side_a` vs everyone else. Cross-side
+    /// messages park until [`Network::heal_partition`]. A new call
+    /// replaces any active partition (the fabric models one bipartition
+    /// at a time, the paper's disconnected-operation scenario).
+    pub fn partition(&mut self, side_a: &[NodeId]) {
+        let mut sides = vec![false; self.connected.len()];
+        for n in side_a {
+            sides[n.0 as usize] = true;
+        }
+        self.partition = Some(sides);
+    }
+
+    /// Heal the partition and drain every parked message whose path is
+    /// now clear, in arrival order per destination. Returns
+    /// `(destination, message)` pairs for the driver to deliver.
+    pub fn heal_partition(&mut self) -> Vec<(NodeId, M)> {
+        self.partition = None;
+        let mut out = Vec::new();
+        for dest in 0..self.held.len() {
+            let dest = NodeId(dest as u32);
+            if !self.connected[dest.0 as usize] {
+                continue; // still offline: keep its mail parked
+            }
+            for (_, msg) in self.drain_reachable(dest) {
+                out.push((dest, msg));
+            }
+        }
+        out
     }
 
     /// Send `msg` from `from` to `to`.
@@ -86,15 +186,44 @@ impl<M> Network<M> {
             return SendOutcome::SenderOffline(msg);
         }
         self.sent += 1;
-        if self.connected[to.0 as usize] {
-            SendOutcome::Deliver {
-                delay: self.latency.sample(&mut self.rng),
-            }
-        } else {
-            self.held[to.0 as usize].push(msg);
+        if !self.connected[to.0 as usize] || self.is_partitioned(from, to) {
+            self.held[to.0 as usize].push((from, msg));
             self.held_count += 1;
-            SendOutcome::Held
+            return SendOutcome::Held;
         }
+        match self
+            .faults
+            .as_mut()
+            .map_or(MessageFate::Deliver, |f| f.fate())
+        {
+            MessageFate::Deliver => SendOutcome::Deliver {
+                delay: self.latency.sample(&mut self.rng),
+            },
+            MessageFate::Drop => {
+                self.dropped += 1;
+                SendOutcome::Dropped
+            }
+            MessageFate::Duplicate => {
+                self.duplicated += 1;
+                SendOutcome::Duplicated {
+                    delays: [
+                        self.latency.sample(&mut self.rng),
+                        self.latency.sample(&mut self.rng),
+                    ],
+                }
+            }
+            MessageFate::Delay(spike) => SendOutcome::Deliver {
+                delay: self.latency.sample(&mut self.rng) + spike,
+            },
+        }
+    }
+
+    /// Park `msg` for `to` as if it were still in the mail — used by
+    /// drivers to return delivered-but-unprocessed messages to the
+    /// network when `to` crashes (they redeliver on restart).
+    pub fn park(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.held[to.0 as usize].push((from, msg));
+        self.held_count += 1;
     }
 
     /// Mark `node` disconnected. Messages sent to it afterwards are
@@ -103,12 +232,33 @@ impl<M> Network<M> {
         self.connected[node.0 as usize] = false;
     }
 
-    /// Mark `node` connected again and drain everything parked for it,
-    /// in arrival order. The driver delivers these immediately (they
-    /// were already "in the mail").
+    /// Mark `node` connected again and drain everything parked for it
+    /// whose path is clear, in arrival order. The driver delivers these
+    /// immediately (they were already "in the mail"). Messages from
+    /// senders still across an active partition stay parked until
+    /// [`Network::heal_partition`].
     pub fn reconnect(&mut self, node: NodeId) -> Vec<M> {
         self.connected[node.0 as usize] = true;
-        std::mem::take(&mut self.held[node.0 as usize])
+        self.drain_reachable(node)
+            .into_iter()
+            .map(|(_, msg)| msg)
+            .collect()
+    }
+
+    /// Take the parked messages for `dest` whose sender is on a
+    /// reachable side, preserving order among both the drained and the
+    /// remaining messages.
+    fn drain_reachable(&mut self, dest: NodeId) -> Vec<(NodeId, M)> {
+        let parked = std::mem::take(&mut self.held[dest.0 as usize]);
+        let mut out = Vec::new();
+        for (from, msg) in parked {
+            if self.is_partitioned(from, dest) {
+                self.held[dest.0 as usize].push((from, msg));
+            } else {
+                out.push((from, msg));
+            }
+        }
+        out
     }
 
     /// Sample a delivery delay without sending (for broadcast fan-out
@@ -121,9 +271,11 @@ impl<M> Network<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
 
     const N0: NodeId = NodeId(0);
     const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
 
     fn net(n: usize) -> Network<&'static str> {
         Network::new(n, LatencyModel::Fixed(SimDuration::from_millis(3)), 7)
@@ -177,5 +329,107 @@ mod tests {
             SendOutcome::Deliver { delay } => assert_eq!(delay, SimDuration::ZERO),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn reconnect_preserves_cross_sender_order() {
+        // Messages from several senders park for one destination; the
+        // drain must replay them in exact arrival order.
+        let mut n = net(3);
+        n.disconnect(N2);
+        assert_eq!(n.send(N0, N2, "a0"), SendOutcome::Held);
+        assert_eq!(n.send(N1, N2, "b0"), SendOutcome::Held);
+        assert_eq!(n.send(N0, N2, "a1"), SendOutcome::Held);
+        assert_eq!(n.send(N1, N2, "b1"), SendOutcome::Held);
+        assert_eq!(n.reconnect(N2), vec!["a0", "b0", "a1", "b1"]);
+    }
+
+    #[test]
+    fn partition_parks_cross_side_traffic_only() {
+        let mut n = net(3);
+        n.partition(&[N0]);
+        assert!(n.is_partitioned(N0, N1));
+        assert!(!n.is_partitioned(N1, N2));
+        assert_eq!(n.send(N0, N1, "cross"), SendOutcome::Held);
+        assert!(matches!(
+            n.send(N1, N2, "same-side"),
+            SendOutcome::Deliver { .. }
+        ));
+        let healed = n.heal_partition();
+        assert_eq!(healed, vec![(N1, "cross")]);
+        assert!(!n.is_partitioned(N0, N1));
+    }
+
+    #[test]
+    fn heal_keeps_mail_for_disconnected_nodes_parked() {
+        let mut n = net(3);
+        n.partition(&[N1]);
+        n.disconnect(N1);
+        assert_eq!(n.send(N0, N1, "x"), SendOutcome::Held);
+        // Heal: N1 is still offline, so its mail stays parked…
+        assert!(n.heal_partition().is_empty());
+        // …and arrives when it reconnects.
+        assert_eq!(n.reconnect(N1), vec!["x"]);
+    }
+
+    #[test]
+    fn reconnect_keeps_cross_partition_mail_parked() {
+        let mut n = net(3);
+        n.disconnect(N1);
+        assert_eq!(n.send(N0, N1, "pre"), SendOutcome::Held);
+        n.partition(&[N0]);
+        // N1 reconnects inside the partition: N0's message is across
+        // the cut and must wait for the heal.
+        assert!(n.reconnect(N1).is_empty());
+        assert_eq!(n.heal_partition(), vec![(N1, "pre")]);
+    }
+
+    #[test]
+    fn drops_are_counted_never_silent() {
+        let mut plan = FaultPlan::quiet(3);
+        plan.drop_p = 1.0;
+        let mut n = net(2).with_faults(FaultInjector::new(&plan));
+        assert_eq!(n.send(N0, N1, "gone"), SendOutcome::Dropped);
+        assert_eq!(n.messages_dropped(), 1);
+        n.clear_faults();
+        assert!(matches!(n.send(N0, N1, "ok"), SendOutcome::Deliver { .. }));
+        assert_eq!(n.messages_dropped(), 1);
+    }
+
+    #[test]
+    fn duplicates_yield_two_delays() {
+        let mut plan = FaultPlan::quiet(3);
+        plan.dup_p = 1.0;
+        let mut n = net(2).with_faults(FaultInjector::new(&plan));
+        match n.send(N0, N1, "twice") {
+            SendOutcome::Duplicated { delays } => {
+                assert_eq!(delays[0], SimDuration::from_millis(3));
+                assert_eq!(delays[1], SimDuration::from_millis(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(n.messages_duplicated(), 1);
+    }
+
+    #[test]
+    fn delay_spike_adds_to_latency() {
+        let mut plan = FaultPlan::quiet(3);
+        plan.delay_p = 1.0;
+        plan.delay_spike = SimDuration::from_millis(500);
+        let mut n = net(2).with_faults(FaultInjector::new(&plan));
+        match n.send(N0, N1, "late") {
+            SendOutcome::Deliver { delay } => {
+                assert_eq!(delay, SimDuration::from_millis(503));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn park_redelivers_on_reconnect() {
+        let mut n = net(2);
+        n.disconnect(N1);
+        n.park(N0, N1, "requeued");
+        assert_eq!(n.reconnect(N1), vec!["requeued"]);
     }
 }

@@ -69,10 +69,14 @@ impl DisconnectSchedule {
     }
 
     fn draw(rng: &mut SimRng, mean: SimDuration, model: PeriodModel) -> SimDuration {
-        match model {
+        let period = match model {
             PeriodModel::Fixed => mean,
             PeriodModel::Exponential => SimDuration::from_secs_f64(rng.exp(mean.as_secs_f64())),
-        }
+        };
+        // An exponential draw can round to zero microseconds, which
+        // would stack two state changes on the same instant; clamp so
+        // the event timeline stays strictly ordered.
+        SimDuration(period.0.max(1))
     }
 
     /// The next state change (does not advance the schedule).

@@ -1,0 +1,102 @@
+//! Property tests for [`DisconnectSchedule`]: whatever the period
+//! model, seed, and means, the generated timeline is strictly ordered
+//! in time, strictly alternates disconnect/connect starting from the
+//! connected state, and `events_until` agrees with draining the same
+//! schedule one `next_event` at a time.
+
+use proptest::prelude::*;
+use repl_net::{DisconnectSchedule, PeriodModel};
+use repl_sim::{SimDuration, SimTime};
+use repl_storage::NodeId;
+
+fn arb_model() -> impl Strategy<Value = PeriodModel> {
+    prop_oneof![Just(PeriodModel::Fixed), Just(PeriodModel::Exponential)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn events_strictly_ordered_and_alternating(
+        node in 0u32..64,
+        up_s in 1u64..100,
+        down_s in 1u64..100,
+        seed in 0u64..1000,
+        model in arb_model(),
+    ) {
+        let mut s = DisconnectSchedule::new(
+            NodeId(node),
+            SimDuration::from_secs(up_s),
+            SimDuration::from_secs(down_s),
+            model,
+            seed,
+        );
+        let horizon = SimTime::from_secs(20 * (up_s + down_s));
+        let events = s.events_until(horizon);
+        for w in events.windows(2) {
+            prop_assert!(
+                w[0].at < w[1].at,
+                "events not strictly ordered: {:?} then {:?}", w[0], w[1]
+            );
+            prop_assert!(
+                w[0].connected != w[1].connected,
+                "connectivity did not alternate: {:?} then {:?}", w[0], w[1]
+            );
+        }
+        // The node starts connected, so the first change disconnects.
+        if let Some(first) = events.first() {
+            prop_assert!(!first.connected, "first event must disconnect");
+            prop_assert!(first.at > SimTime::ZERO);
+        }
+        for e in &events {
+            prop_assert!(e.at <= horizon);
+            prop_assert_eq!(e.node, NodeId(node));
+        }
+        // Nothing beyond the horizon was consumed.
+        prop_assert!(s.peek().at > horizon);
+    }
+
+    #[test]
+    fn events_until_matches_repeated_next_event(
+        up_s in 1u64..50,
+        down_s in 1u64..50,
+        seed in 0u64..1000,
+        model in arb_model(),
+    ) {
+        let mk = || DisconnectSchedule::new(
+            NodeId(1),
+            SimDuration::from_secs(up_s),
+            SimDuration::from_secs(down_s),
+            model,
+            seed,
+        );
+        let horizon = SimTime::from_secs(10 * (up_s + down_s));
+        let batch = mk().events_until(horizon);
+        let mut one_by_one = Vec::new();
+        let mut s = mk();
+        while s.peek().at <= horizon {
+            one_by_one.push(s.next_event());
+        }
+        prop_assert_eq!(batch, one_by_one);
+    }
+
+    #[test]
+    fn peek_never_advances(
+        seed in 0u64..1000,
+        steps in 1usize..20,
+    ) {
+        let mut s = DisconnectSchedule::new(
+            NodeId(0),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(3),
+            PeriodModel::Exponential,
+            seed,
+        );
+        for _ in 0..steps {
+            let p1 = s.peek();
+            let p2 = s.peek();
+            prop_assert_eq!(p1, p2);
+            prop_assert_eq!(s.next_event(), p1);
+        }
+    }
+}

@@ -29,7 +29,7 @@ pub mod tentative;
 pub mod version_vector;
 pub mod wal;
 
-pub use lock::{Acquire, LockManager, TxnId};
+pub use lock::{Acquire, DeadlockMode, LockManager, TxnId};
 pub use mvcc::MvccStore;
 pub use object::{LamportClock, NodeId, ObjectId, Timestamp, Value, Versioned};
 pub use store::{ApplyOutcome, ObjectStore};

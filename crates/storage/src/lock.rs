@@ -40,14 +40,32 @@ pub enum Acquire {
     Deadlock,
 }
 
+/// How deadlocks are resolved (the paper's §2: "in practice, most
+/// systems use timeout" rather than exact cycle detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeadlockMode {
+    /// Walk the waits-for graph on every contended request and refuse
+    /// cycle-closing waits ([`Acquire::Deadlock`]).
+    #[default]
+    Detect,
+    /// Never inspect the waits-for graph: every contended request
+    /// queues ([`Acquire::Waiting`]), and the *caller* aborts waiters
+    /// whose wait exceeds its timeout bound. Cycles then dissolve when
+    /// any member times out; innocent long waits are collateral aborts
+    /// — exactly the trade real systems make.
+    TimeoutOnly,
+}
+
 #[derive(Debug, Default)]
 struct LockState {
     holder: TxnId,
     waiters: VecDeque<TxnId>,
 }
 
-/// Strict exclusive locking with FIFO wait queues and immediate
-/// waits-for cycle detection.
+/// Strict exclusive locking with FIFO wait queues and pluggable
+/// deadlock resolution: immediate waits-for cycle detection
+/// ([`DeadlockMode::Detect`], the default) or caller-driven timeouts
+/// ([`DeadlockMode::TimeoutOnly`]).
 #[derive(Debug, Default)]
 pub struct LockManager {
     /// Objects currently locked.
@@ -59,12 +77,37 @@ pub struct LockManager {
     /// The waits-for cycle behind the most recent [`Acquire::Deadlock`]
     /// result, victim first (telemetry forensics).
     last_cycle: Vec<TxnId>,
+    /// Deadlock resolution mode.
+    mode: DeadlockMode,
+    /// How many times the waits-for graph was searched (always zero in
+    /// [`DeadlockMode::TimeoutOnly`]).
+    cycle_checks: u64,
 }
 
 impl LockManager {
-    /// An empty lock manager.
+    /// An empty lock manager with cycle detection.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty lock manager with the given deadlock resolution mode.
+    pub fn with_mode(mode: DeadlockMode) -> Self {
+        LockManager {
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// The configured deadlock resolution mode.
+    pub fn mode(&self) -> DeadlockMode {
+        self.mode
+    }
+
+    /// How many waits-for graph searches have run. Stays zero in
+    /// [`DeadlockMode::TimeoutOnly`] — the whole point of the timeout
+    /// policy is never paying for the search.
+    pub fn cycle_checks(&self) -> u64 {
+        self.cycle_checks
     }
 
     /// Number of currently locked objects.
@@ -85,6 +128,13 @@ impl LockManager {
     /// Whether `txn` is blocked.
     pub fn is_waiting(&self, txn: TxnId) -> bool {
         self.waiting_on.contains_key(&txn)
+    }
+
+    /// The object `txn` is currently blocked on, if any. Lets a
+    /// timeout-mode driver check that a scheduled timeout still refers
+    /// to the same wait before aborting the victim.
+    pub fn waiting_on(&self, txn: TxnId) -> Option<ObjectId> {
+        self.waiting_on.get(&txn).copied()
     }
 
     /// Request an exclusive lock on `obj` for `txn`.
@@ -111,8 +161,11 @@ impl LockManager {
             }
             Some(state) if state.holder == txn => Acquire::Granted,
             Some(_) => {
-                if self.would_deadlock(txn, obj) {
-                    return Acquire::Deadlock;
+                if self.mode == DeadlockMode::Detect {
+                    self.cycle_checks += 1;
+                    if self.would_deadlock(txn, obj) {
+                        return Acquire::Deadlock;
+                    }
                 }
                 let state = self.locks.get_mut(&obj).expect("lock state vanished");
                 state.waiters.push_back(txn);
@@ -455,6 +508,49 @@ mod tests {
         lm.release_all(A);
         assert_eq!(lm.acquire(B, O2), Acquire::Deadlock);
         assert_eq!(lm.last_deadlock_cycle(), &[B, C]);
+    }
+
+    #[test]
+    fn timeout_mode_queues_cycle_closing_waits() {
+        let mut lm = LockManager::with_mode(DeadlockMode::TimeoutOnly);
+        lm.acquire(A, O1);
+        lm.acquire(B, O2);
+        assert_eq!(lm.acquire(A, O2), Acquire::Waiting);
+        // Under detection this request is refused; under timeout it
+        // queues and the cycle sits until a caller-side timeout fires.
+        assert_eq!(lm.acquire(B, O1), Acquire::Waiting);
+        assert!(lm.is_waiting(A));
+        assert!(lm.is_waiting(B));
+        assert_eq!(lm.cycle_checks(), 0, "timeout mode never walks the graph");
+        // The caller picks B as the timeout victim: cancel its wait and
+        // release its locks; A unblocks and the cycle dissolves.
+        lm.cancel_wait(B);
+        let granted = lm.release_all(B);
+        assert_eq!(granted, vec![(A, O2)]);
+        assert!(!lm.is_waiting(A));
+    }
+
+    #[test]
+    fn detect_mode_counts_cycle_checks() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.mode(), DeadlockMode::Detect);
+        lm.acquire(A, O1);
+        assert_eq!(lm.cycle_checks(), 0, "uncontended grants skip the walk");
+        lm.acquire(B, O1);
+        assert_eq!(lm.cycle_checks(), 1);
+        lm.acquire(C, O1);
+        assert_eq!(lm.cycle_checks(), 2);
+    }
+
+    #[test]
+    fn waiting_on_reports_blocking_object() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        assert_eq!(lm.waiting_on(A), None);
+        lm.acquire(B, O1);
+        assert_eq!(lm.waiting_on(B), Some(O1));
+        lm.release_all(A);
+        assert_eq!(lm.waiting_on(B), None);
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub enum AbortReason {
     Conflict,
     /// The node disconnected mid-transaction.
     Disconnect,
+    /// The lock wait exceeded the configured timeout (§2's "most
+    /// systems use timeout" deadlock resolution): the waiter is
+    /// presumed deadlocked and aborted.
+    Timeout,
+    /// The node crashed with the transaction in flight.
+    Crash,
 }
 
 impl fmt::Display for AbortReason {
@@ -26,6 +32,8 @@ impl fmt::Display for AbortReason {
             AbortReason::Deadlock => write!(f, "deadlock"),
             AbortReason::Conflict => write!(f, "conflict"),
             AbortReason::Disconnect => write!(f, "disconnect"),
+            AbortReason::Timeout => write!(f, "timeout"),
+            AbortReason::Crash => write!(f, "crash"),
         }
     }
 }
@@ -104,6 +112,43 @@ pub enum EventKind {
     MsgDelivered {
         /// Originating node.
         from: NodeId,
+    },
+    /// A network message was dropped by fault injection (or lost on a
+    /// dead link). The sender's watermark does not advance; the driver
+    /// retransmits.
+    MsgDropped {
+        /// Destination node of the lost message.
+        to: NodeId,
+    },
+    /// Fault injection duplicated a message; both copies will be
+    /// delivered (the receiver's timestamp test deduplicates).
+    MsgDuplicated {
+        /// Destination node.
+        to: NodeId,
+    },
+    /// A scheduled network partition split the cluster into two sides.
+    PartitionStart {
+        /// Nodes on the minority ("A") side; everyone else is on "B".
+        side_a: Vec<NodeId>,
+    },
+    /// The partition healed; parked cross-partition traffic drains.
+    PartitionHeal,
+    /// The node crashed, losing all volatile state (lock table,
+    /// in-flight transactions, unapplied replica backlog).
+    NodeCrash,
+    /// The node restarted and recovered from its durable state.
+    NodeRestart,
+    /// Messages parked or re-parked while the node was down were
+    /// redelivered on restart (the undelivered propagation queue).
+    RecoveryReplay {
+        /// How many messages were replayed.
+        messages: u64,
+    },
+    /// A lock wait exceeded the timeout-resolution bound; the waiter
+    /// is aborted as a presumed deadlock victim.
+    LockTimeout {
+        /// The object the victim was waiting for.
+        object: ObjectId,
     },
 }
 

@@ -37,7 +37,12 @@ impl Bucket {
         match kind {
             EventKind::TxnCommit => self.commits += 1,
             EventKind::LockWait { .. } => self.waits += 1,
-            EventKind::DeadlockDetected { .. } => self.deadlocks += 1,
+            // Timeout resolutions are the same measured quantity as
+            // detected cycles — eq. (12)'s deadlock rate under the
+            // alternate resolution policy.
+            EventKind::DeadlockDetected { .. } | EventKind::LockTimeout { .. } => {
+                self.deadlocks += 1;
+            }
             EventKind::Reconcile => self.reconciliations += 1,
             EventKind::ReplicaApply => self.replica_commits += 1,
             EventKind::MsgSent { .. } | EventKind::ReplicaSend { .. } => self.messages += 1,

@@ -49,4 +49,32 @@ for t in tables:
 print(f"ok: {len(tables)} JSON tables, all titled and non-empty")
 EOF
 
+say "chaos smoke: fixed seed, twice (determinism + schema)"
+chaos_a="$(mktemp)"
+chaos_b="$(mktemp)"
+trap 'rm -f "$out" "$chaos_a" "$chaos_b"' EXIT
+./target/release/harness --quick --json --seed 41 chaos >"$chaos_a"
+./target/release/harness --quick --json --seed 41 chaos >"$chaos_b"
+cmp "$chaos_a" "$chaos_b" || {
+    echo "chaos runs with the same seed produced different output" >&2
+    exit 1
+}
+python3 - "$chaos_a" <<'EOF'
+import json, sys
+
+table = json.loads(open(sys.argv[1]).read())
+assert table["id"] == "CHAOS", f"unexpected table id {table['id']!r}"
+cols = table["headers"]
+rows = {r[cols.index("policy")]: dict(zip(cols, r)) for r in table["rows"]}
+assert set(rows) == {"detection", "timeout"}, f"policies: {sorted(rows)}"
+for name, row in rows.items():
+    assert row["converged"] == "yes", f"{name} run diverged: {row}"
+    assert int(row["dropped"]) > 0, f"{name} run injected no drops: {row}"
+    assert int(row["crashes"]) > 0, f"{name} run injected no crashes: {row}"
+assert int(rows["timeout"]["cycle checks"]) == 0, "timeout mode searched the graph"
+assert int(rows["timeout"]["timeouts"]) > 0, "timeout mode resolved nothing"
+assert int(rows["detection"]["cycle checks"]) > 0, "detection mode never searched"
+print("ok: chaos smoke deterministic, converged, policies use disjoint mechanisms")
+EOF
+
 say "all CI gates passed"

@@ -9,7 +9,7 @@ pub mod channel {
 
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// An unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -46,6 +46,11 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Block for at most `timeout` waiting for a value.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
 
         /// Blocking iterator over incoming values.
