@@ -24,6 +24,26 @@ fn bench_lock_manager(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+    g.bench_function("release_all_into_recycled", |b| {
+        // Same workload as acquire_release_uncontended but with the
+        // caller-owned grant buffer and the held-Vec free list doing
+        // the recycling — the steady-state engine release path.
+        b.iter_batched(
+            LockManager::new,
+            |mut lm| {
+                let mut granted = Vec::new();
+                for i in 0..100u64 {
+                    let txn = TxnId(i);
+                    for j in 0..4u64 {
+                        lm.acquire(txn, ObjectId(i * 4 + j));
+                    }
+                    lm.release_all_into(txn, &mut granted);
+                }
+                lm
+            },
+            BatchSize::SmallInput,
+        );
+    });
     g.bench_function("acquire_with_waiters", |b| {
         b.iter_batched(
             || {

@@ -120,6 +120,8 @@ pub struct ContentionSim {
     tracer: TraceHandle,
     profiler: Profiler,
     run_label: String,
+    /// Recycled buffer for lock-release promotions (commit/abort path).
+    granted_scratch: Vec<(TxnId, ObjectId)>,
 }
 
 impl ContentionSim {
@@ -147,6 +149,7 @@ impl ContentionSim {
             tracer: TraceHandle::off(),
             profiler: Profiler::off(),
             run_label: "contention".to_owned(),
+            granted_scratch: Vec::new(),
             cfg,
         }
     }
@@ -327,19 +330,26 @@ impl ContentionSim {
         }
         self.tracer
             .emit(|| Event::new(self.queue.now(), txn.node, id, EventKind::TxnCommit));
-        let granted = self.locks.release_all(id);
-        self.resume_granted(granted);
+        self.release_and_resume(id);
     }
 
     fn abort(&mut self, id: TxnId) {
         self.active.remove(&id);
-        let granted = self.locks.release_all(id);
-        self.resume_granted(granted);
+        self.release_and_resume(id);
+    }
+
+    /// Release `id`'s locks into the recycled scratch buffer and resume
+    /// the promoted waiters — no allocation on the commit/abort path.
+    fn release_and_resume(&mut self, id: TxnId) {
+        let mut granted = std::mem::take(&mut self.granted_scratch);
+        self.locks.release_all_into(id, &mut granted);
+        self.resume_granted(&granted);
+        self.granted_scratch = granted;
     }
 
     /// Waiters promoted by a release start their service time now.
-    fn resume_granted(&mut self, granted: Vec<(TxnId, ObjectId)>) {
-        for (waiter, _obj) in granted {
+    fn resume_granted(&mut self, granted: &[(TxnId, ObjectId)]) {
+        for &(waiter, _obj) in granted {
             let now = self.queue.now();
             let t = self
                 .active

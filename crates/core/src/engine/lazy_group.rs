@@ -61,11 +61,16 @@ pub enum Mobility {
 }
 
 /// One committed root transaction's replica-update message.
+///
+/// `updates` is shared: propagation fans one commit record out to every
+/// destination (plus per-delivery copies for duplicated messages), so
+/// the payload is reference-counted instead of deep-cloned per message.
+/// The engine is single-threaded — `Rc` is deliberate.
 #[derive(Debug, Clone)]
 struct ReplicaMsg {
     /// Originating node (stamps `MsgDelivered` trace events).
     from: NodeId,
-    updates: Vec<UpdateRecord>,
+    updates: std::rc::Rc<[UpdateRecord]>,
 }
 
 #[derive(Debug)]
@@ -170,6 +175,8 @@ pub struct LazyGroupSim {
     tracer: TraceHandle,
     profiler: Profiler,
     run_label: String,
+    /// Recycled buffer for lock-release promotions (commit/abort path).
+    granted_scratch: Vec<(TxnId, ObjectId)>,
 }
 
 impl LazyGroupSim {
@@ -240,6 +247,7 @@ impl LazyGroupSim {
             tracer: TraceHandle::off(),
             profiler: Profiler::off(),
             run_label: "lazy-group".to_owned(),
+            granted_scratch: Vec::new(),
             cfg,
         }
     }
@@ -620,14 +628,12 @@ impl LazyGroupSim {
         // object later and hold it forever.
         self.nodes[node.0 as usize].locks.cancel_wait(id);
         if self.roots.remove(&id).is_some() {
-            let granted = self.nodes[node.0 as usize].locks.release_all(id);
-            self.resume_waiters(node, granted);
+            self.release_and_resume(node, id);
         } else if let Some(txn) = self.replicas.remove(&id) {
             // Replica updates are resubmitted after a timeout abort,
             // exactly as after a detected deadlock (§5).
             self.release_replica_slot(node);
-            let granted = self.nodes[node.0 as usize].locks.release_all(id);
-            self.resume_waiters(node, granted);
+            self.release_and_resume(node, id);
             let backoff = self
                 .cfg
                 .action_time
@@ -708,8 +714,7 @@ impl LazyGroupSim {
                 }
                 self.emit_deadlock(node, id, AbortReason::Deadlock);
                 self.roots.remove(&id);
-                let granted = self.nodes[node.0 as usize].locks.release_all(id);
-                self.resume_waiters(node, granted);
+                self.release_and_resume(node, id);
             }
         }
     }
@@ -790,8 +795,7 @@ impl LazyGroupSim {
         }
         self.tracer
             .emit(|| Event::new(self.queue.now(), node, id, EventKind::TxnCommit));
-        let granted = self.nodes[node.0 as usize].locks.release_all(id);
-        self.resume_waiters(node, granted);
+        self.release_and_resume(node, id);
         // Commit goes to the node's log; propagation replays the log in
         // commit order (one lazy transaction per remote node — Figure
         // 1's "three node lazy transaction is actually 3 transactions").
@@ -818,9 +822,12 @@ impl LazyGroupSim {
                 let Some(record) = state.log.get(from) else {
                     break;
                 };
+                // One allocation per (record, destination); every
+                // delivery copy below just bumps the refcount.
+                let updates: std::rc::Rc<[UpdateRecord]> = record.updates.as_slice().into();
                 let msg = ReplicaMsg {
                     from: origin,
-                    updates: record.updates.clone(),
+                    updates: updates.clone(),
                 };
                 if self.measuring() {
                     self.metrics.messages.incr();
@@ -837,17 +844,13 @@ impl LazyGroupSim {
                 });
                 match self.network.send(origin, dest, msg) {
                     SendOutcome::Deliver { delay } => {
-                        let record = self.nodes[origin.0 as usize]
-                            .log
-                            .get(from)
-                            .expect("record still present");
                         self.queue.schedule_after(
                             delay,
                             Ev::Deliver {
                                 to: dest,
                                 msg: ReplicaMsg {
                                     from: origin,
-                                    updates: record.updates.clone(),
+                                    updates: updates.clone(),
                                 },
                             },
                         );
@@ -864,17 +867,13 @@ impl LazyGroupSim {
                             )
                         });
                         for delay in delays {
-                            let record = self.nodes[origin.0 as usize]
-                                .log
-                                .get(from)
-                                .expect("record still present");
                             self.queue.schedule_after(
                                 delay,
                                 Ev::Deliver {
                                     to: dest,
                                     msg: ReplicaMsg {
                                         from: origin,
-                                        updates: record.updates.clone(),
+                                        updates: updates.clone(),
                                     },
                                 },
                             );
@@ -986,8 +985,7 @@ impl LazyGroupSim {
                 self.emit_deadlock(node, id, AbortReason::Deadlock);
                 let txn = self.replicas.remove(&id).expect("replica vanished");
                 self.release_replica_slot(node);
-                let granted = self.nodes[node.0 as usize].locks.release_all(id);
-                self.resume_waiters(node, granted);
+                self.release_and_resume(node, id);
                 // Randomized backoff: a deterministic delay would let
                 // two retrying transactions re-collide in lockstep
                 // forever.
@@ -1014,23 +1012,27 @@ impl LazyGroupSim {
             return;
         };
         let node = txn.node;
-        let u = txn.msg.updates[txn.next].clone();
+        // Copy the cheap fields; only the value payload needs a clone
+        // (the record itself stays in the shared message).
+        let u = &txn.msg.updates[txn.next];
+        let (object, old_ts, new_ts) = (u.object, u.old_ts, u.new_ts);
+        let value = u.value.clone();
         txn.next += 1;
         let state = &mut self.nodes[node.0 as usize];
-        state.clock.observe(u.new_ts);
+        state.clock.observe(new_ts);
         let outcome = match self.resolution {
-            ResolutionMode::TimePriority => state
-                .store
-                .apply_versioned(u.object, u.old_ts, u.new_ts, u.value),
+            ResolutionMode::TimePriority => {
+                state.store.apply_versioned(object, old_ts, new_ts, value)
+            }
             ResolutionMode::Manual => {
                 // Detect with the Figure 4 test but do not resolve: a
                 // dangerous update is simply rejected, and this replica
                 // silently keeps its own lineage (system delusion).
-                let current = state.store.get(u.object).ts;
-                if current == u.old_ts {
-                    state.store.set(u.object, u.value, u.new_ts);
+                let current = state.store.get(object).ts;
+                if current == old_ts {
+                    state.store.set(object, value, new_ts);
                     ApplyOutcome::Applied
-                } else if current == u.new_ts {
+                } else if current == new_ts {
                     ApplyOutcome::Duplicate
                 } else {
                     ApplyOutcome::ConflictIgnored
@@ -1078,8 +1080,7 @@ impl LazyGroupSim {
                 .emit(|| Event::new(self.queue.now(), txn.node, id, EventKind::Reconcile));
         }
         self.release_replica_slot(txn.node);
-        let granted = self.nodes[txn.node.0 as usize].locks.release_all(id);
-        self.resume_waiters(txn.node, granted);
+        self.release_and_resume(txn.node, id);
         self.drain_backlog(txn.node);
     }
 
@@ -1101,9 +1102,20 @@ impl LazyGroupSim {
         }
     }
 
+    /// Release `id`'s locks at `node` into the recycled scratch buffer
+    /// and resume the promoted waiters — no allocation on this path.
+    fn release_and_resume(&mut self, node: NodeId, id: TxnId) {
+        let mut granted = std::mem::take(&mut self.granted_scratch);
+        self.nodes[node.0 as usize]
+            .locks
+            .release_all_into(id, &mut granted);
+        self.resume_waiters(node, &granted);
+        self.granted_scratch = granted;
+    }
+
     /// Resume transactions whose lock was just granted at `node`.
-    fn resume_waiters(&mut self, _node: NodeId, granted: Vec<(TxnId, ObjectId)>) {
-        for (waiter, _obj) in granted {
+    fn resume_waiters(&mut self, _node: NodeId, granted: &[(TxnId, ObjectId)]) {
+        for &(waiter, _obj) in granted {
             if self.roots.contains_key(&waiter) {
                 self.queue
                     .schedule_after(self.cfg.action_time, Ev::RootStep(waiter));

@@ -89,9 +89,14 @@ impl TwoTierConfig {
 
 /// Replica refresh message: committed master updates streamed to
 /// replicas (standard lazy-master propagation).
+///
+/// `updates` is shared: one commit fans out to every replica, so the
+/// payload is reference-counted — `msg.clone()` in the broadcast loop
+/// bumps a refcount instead of deep-copying the update list. The
+/// engine is single-threaded — `Rc` is deliberate.
 #[derive(Debug, Clone)]
 struct RefreshMsg {
-    updates: Vec<(ObjectId, Value, Timestamp)>,
+    updates: std::rc::Rc<[(ObjectId, Value, Timestamp)]>,
 }
 
 /// A tentative transaction awaiting base re-execution.
@@ -159,6 +164,8 @@ pub struct TwoTierSim {
     tracer: TraceHandle,
     profiler: Profiler,
     run_label: String,
+    /// Recycled buffer for lock-release promotions (commit/abort path).
+    granted_scratch: Vec<(TxnId, ObjectId)>,
     /// Committed base transactions' read/write footprints — §7 property
     /// 2 ("base transactions execute with single-copy serializability")
     /// is *verified*, not assumed: see [`TwoTierSim::run_full`].
@@ -247,6 +254,7 @@ impl TwoTierSim {
             tracer: TraceHandle::off(),
             profiler: Profiler::off(),
             run_label: "two-tier".to_owned(),
+            granted_scratch: Vec::new(),
             history: History::new(),
             cfg,
         }
@@ -593,8 +601,7 @@ impl TwoTierSim {
                 txn.next = 0;
                 txn.buffered.clear();
                 txn.reads.clear();
-                let granted = self.master_locks.release_all(id);
-                self.resume_waiters(granted);
+                self.release_and_resume(id);
                 // Randomized backoff — see the lazy-group engine: a
                 // fixed delay can livelock two retrying transactions.
                 let backoff = self
@@ -677,7 +684,9 @@ impl TwoTierSim {
                     )
                 });
             }
-            self.broadcast_refresh(RefreshMsg { updates });
+            self.broadcast_refresh(RefreshMsg {
+                updates: updates.into(),
+            });
         } else {
             if self.measuring() {
                 self.metrics.reconciliations.incr();
@@ -698,15 +707,23 @@ impl TwoTierSim {
                 });
             }
         }
-        let granted = self.master_locks.release_all(id);
-        self.resume_waiters(granted);
+        self.release_and_resume(id);
         if let Some(mobile) = txn.session {
             self.advance_session(mobile);
         }
     }
 
-    fn resume_waiters(&mut self, granted: Vec<(TxnId, ObjectId)>) {
-        for (waiter, _obj) in granted {
+    /// Release `id`'s master locks into the recycled scratch buffer and
+    /// resume the promoted waiters — no allocation on this path.
+    fn release_and_resume(&mut self, id: TxnId) {
+        let mut granted = std::mem::take(&mut self.granted_scratch);
+        self.master_locks.release_all_into(id, &mut granted);
+        self.resume_waiters(&granted);
+        self.granted_scratch = granted;
+    }
+
+    fn resume_waiters(&mut self, granted: &[(TxnId, ObjectId)]) {
+        for &(waiter, _obj) in granted {
             if self.base_txns.contains_key(&waiter) {
                 self.queue
                     .schedule_after(self.cfg.sim.action_time, Ev::BaseStep(waiter));
@@ -767,8 +784,8 @@ impl TwoTierSim {
     fn apply_refresh(&mut self, to: NodeId, msg: RefreshMsg) {
         let store = self.replicas[to.0 as usize].master_mut();
         let mut applied = false;
-        for (obj, value, ts) in msg.updates {
-            applied |= store.apply_lww(obj, ts, value);
+        for &(obj, ref value, ts) in msg.updates.iter() {
+            applied |= store.apply_lww(obj, ts, value.clone());
         }
         if applied && self.queue.now() >= self.measure_from {
             self.metrics.replica_commits.incr();

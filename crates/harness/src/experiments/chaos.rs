@@ -9,6 +9,7 @@
 //! certifies the robustness claim: after the post-horizon drain every
 //! replica is bit-identical no matter what the fabric did.
 
+use crate::par::run_points;
 use crate::table::{fmt_val, Table};
 use crate::{Instrument, RunOpts};
 use repl_core::{DeadlockPolicy, LazyGroupSim, Mobility, SimConfig};
@@ -67,7 +68,7 @@ pub fn chaos(opts: &RunOpts) -> Table {
         .with_db_size(200.0)
         .with_nodes(4.0)
         .with_tps(10.0);
-    for (label, policy) in [
+    let policies = vec![
         ("detection", DeadlockPolicy::Detection),
         (
             "timeout",
@@ -75,7 +76,8 @@ pub fn chaos(opts: &RunOpts) -> Table {
                 wait: SimDuration::from_millis(500),
             },
         ),
-    ] {
+    ];
+    let results = run_points(opts, policies, |opts, &(label, policy)| {
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_deadlock(policy);
         let (r, stores) = LazyGroupSim::new(cfg, Mobility::Connected)
             .with_faults(plan.clone())
@@ -83,6 +85,9 @@ pub fn chaos(opts: &RunOpts) -> Table {
             .run_with_state();
         let digest = stores[0].digest();
         let converged = stores.iter().all(|s| s.digest() == digest);
+        (label, r, converged)
+    });
+    for (label, r, converged) in results {
         t.row(vec![
             label.to_string(),
             fmt_val(r.commit_rate),

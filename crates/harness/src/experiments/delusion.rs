@@ -9,6 +9,7 @@
 //! person to handle — replicas drift apart, and they drift *faster* the
 //! longer the run).
 
+use crate::par::run_points;
 use crate::table::Table;
 use crate::{Instrument, RunOpts};
 use repl_core::{LazyGroupSim, Mobility, ResolutionMode, SimConfig};
@@ -44,7 +45,8 @@ pub fn ablate_delusion(opts: &RunOpts) -> Table {
         ],
     );
     let p = Params::new(300.0, 4.0, 10.0, 4.0, 0.01);
-    for secs in [50u64, 100, 200] {
+    let sweep = vec![50u64, 100, 200];
+    let results = run_points(opts, sweep, |opts, &secs| {
         let horizon = opts.horizon(secs).max(20);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(2);
         let (auto_report, auto_stores) = LazyGroupSim::new(cfg, Mobility::Connected)
@@ -54,11 +56,19 @@ pub fn ablate_delusion(opts: &RunOpts) -> Table {
             .with_resolution(ResolutionMode::Manual)
             .instrument(opts, format!("ablate-delusion manual secs={secs}"))
             .run_with_state();
+        (
+            horizon,
+            auto_report.reconciliations,
+            divergent_objects(&auto_stores),
+            divergent_objects(&manual_stores),
+        )
+    });
+    for (horizon, reconciliations, auto_div, manual_div) in results {
         t.row(vec![
             format!("{horizon}"),
-            auto_report.reconciliations.to_string(),
-            divergent_objects(&auto_stores).to_string(),
-            divergent_objects(&manual_stores).to_string(),
+            reconciliations.to_string(),
+            auto_div.to_string(),
+            manual_div.to_string(),
         ]);
     }
     t.note("time-priority: zero divergence after drain (convergence property)");

@@ -1,6 +1,7 @@
 //! E5, E6, E7 and the footnote-2 ablation — eager replication's
 //! polynomial explosions.
 
+use crate::par::run_points;
 use crate::table::{fmt_ratio, fmt_val, Table};
 use crate::{Instrument, RunOpts};
 use repl_core::{EagerSim, Ownership, ReplicaDiscipline, SimConfig};
@@ -28,18 +29,22 @@ pub fn e05(opts: &RunOpts) -> Table {
         &["Nodes", "waits/s model", "waits/s measured", "meas/model"],
     );
     let base = presets::scaleup_base();
-    let mut points = Vec::new();
-    for n in presets::node_sweep() {
+    let sweep = presets::node_sweep().to_vec();
+    let reports = run_points(opts, sweep.clone(), |opts, &n| {
         let p = base.with_nodes(n);
         let predicted = eager::total_wait_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 300.0, 200, 10_000);
-        let r = run_eager(
+        run_eager(
             &p,
             horizon,
             opts,
             format!("e5 nodes={n}"),
             ReplicaDiscipline::Serial,
-        );
+        )
+    });
+    let mut points = Vec::new();
+    for (n, r) in sweep.into_iter().zip(reports) {
+        let predicted = eager::total_wait_rate(&base.with_nodes(n));
         points.push(Point {
             x: n,
             y: r.wait_rate,
@@ -74,20 +79,24 @@ pub fn e06(opts: &RunOpts) -> Table {
         ],
     );
     let base = presets::scaleup_base();
-    let mut points = Vec::new();
-    let mut first = None;
-    let mut last = None;
-    for n in presets::node_sweep() {
+    let sweep = presets::node_sweep().to_vec();
+    let reports = run_points(opts, sweep.clone(), |opts, &n| {
         let p = base.with_nodes(n);
         let predicted = eager::total_deadlock_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
-        let r = run_eager(
+        run_eager(
             &p,
             horizon,
             opts,
             format!("e6 nodes={n}"),
             ReplicaDiscipline::Serial,
-        );
+        )
+    });
+    let mut points = Vec::new();
+    let mut first = None;
+    let mut last = None;
+    for (n, r) in sweep.into_iter().zip(reports) {
+        let predicted = eager::total_deadlock_rate(&base.with_nodes(n));
         points.push(Point {
             x: n,
             y: r.deadlock_rate,
@@ -141,18 +150,22 @@ pub fn e06_actions(opts: &RunOpts) -> Table {
         ],
     );
     let base = presets::scaleup_base().with_nodes(4.0);
-    let mut points = Vec::new();
-    for a in presets::action_sweep() {
+    let sweep = presets::action_sweep().to_vec();
+    let reports = run_points(opts, sweep.clone(), |opts, &a| {
         let p = base.with_actions(a);
         let predicted = eager::total_deadlock_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
-        let r = run_eager(
+        run_eager(
             &p,
             horizon,
             opts,
             format!("e6b actions={a}"),
             ReplicaDiscipline::Serial,
-        );
+        )
+    });
+    let mut points = Vec::new();
+    for (a, r) in sweep.into_iter().zip(reports) {
+        let predicted = eager::total_deadlock_rate(&base.with_actions(a));
         points.push(Point {
             x: a,
             y: r.deadlock_rate,
@@ -188,28 +201,32 @@ pub fn e07(opts: &RunOpts) -> Table {
     );
     // Smaller base DB so the (linear, weak) growth is measurable.
     let base = Params::new(500.0, 1.0, 40.0, 4.0, 0.01);
-    let mut points = Vec::new();
-    for n in presets::node_sweep() {
+    let sweep = presets::node_sweep().to_vec();
+    let reports = run_points(opts, sweep.clone(), |opts, &n| {
         let p = Params {
             db_size: base.db_size * n,
             ..base.with_nodes(n)
         };
         let predicted = eager::deadlock_rate_scaled_db(&base.with_nodes(n));
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
-        let r = run_eager(
+        run_eager(
             &p,
             horizon,
             opts,
             format!("e7 nodes={n}"),
             ReplicaDiscipline::Serial,
-        );
+        )
+    });
+    let mut points = Vec::new();
+    for (n, r) in sweep.into_iter().zip(reports) {
+        let predicted = eager::deadlock_rate_scaled_db(&base.with_nodes(n));
         points.push(Point {
             x: n,
             y: r.deadlock_rate,
         });
         t.row(vec![
             format!("{n}"),
-            format!("{}", p.db_size as u64),
+            format!("{}", (base.db_size * n) as u64),
             fmt_val(predicted),
             fmt_val(r.deadlock_rate),
             fmt_ratio(r.deadlock_rate, predicted),
@@ -233,9 +250,8 @@ pub fn ablate_parallel(opts: &RunOpts) -> Table {
         &["Nodes", "serial", "parallel", "serial/parallel"],
     );
     let base = presets::scaleup_base();
-    let mut serial_pts = Vec::new();
-    let mut par_pts = Vec::new();
-    for n in presets::node_sweep() {
+    let sweep = presets::node_sweep().to_vec();
+    let reports = run_points(opts, sweep.clone(), |opts, &n| {
         let p = base.with_nodes(n);
         let predicted = eager::total_deadlock_rate(&p);
         // The parallel discipline deadlocks ~N-times less; size each
@@ -256,6 +272,11 @@ pub fn ablate_parallel(opts: &RunOpts) -> Table {
             format!("ablate-parallel parallel nodes={n}"),
             ReplicaDiscipline::Parallel,
         );
+        (rs, rp)
+    });
+    let mut serial_pts = Vec::new();
+    let mut par_pts = Vec::new();
+    for (n, (rs, rp)) in sweep.into_iter().zip(reports) {
         serial_pts.push(Point {
             x: n,
             y: rs.deadlock_rate,

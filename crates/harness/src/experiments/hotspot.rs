@@ -3,6 +3,7 @@
 //! with a Zipf access pattern inflates every conflict rate beyond the
 //! closed forms.
 
+use crate::par::run_points;
 use crate::table::{fmt_val, Table};
 use crate::{Instrument, RunOpts};
 use repl_core::{ContentionProfile, ContentionSim, SimConfig};
@@ -25,7 +26,7 @@ pub fn hotspot(opts: &RunOpts) -> Table {
         ("Zipf θ=0.8", AccessPattern::Zipf { theta: 0.8 }),
         ("Zipf θ=0.99", AccessPattern::Zipf { theta: 0.99 }),
     ];
-    for (label, pattern) in patterns {
+    let results = run_points(opts, patterns, |opts, &(label, pattern)| {
         let horizon = opts.horizon(2_000);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(5)
@@ -33,6 +34,9 @@ pub fn hotspot(opts: &RunOpts) -> Table {
         let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg))
             .instrument(opts, format!("hotspot {label}"))
             .run();
+        (label, r)
+    });
+    for (label, r) in results {
         t.row(vec![
             label.into(),
             fmt_val(r.wait_rate),

@@ -1,5 +1,6 @@
 //! E8, E9, E10 and the latency ablation — lazy replication.
 
+use crate::par::run_points;
 use crate::table::{fmt_ratio, fmt_val, Table};
 use crate::{Instrument, RunOpts};
 use repl_core::{LazyGroupSim, LazyMasterSim, Mobility, SimConfig};
@@ -24,18 +25,24 @@ pub fn e08(opts: &RunOpts) -> Table {
         &["Nodes", "recon/s model", "recon/s measured", "meas/model"],
     );
     let base = presets::scaleup_base().with_db_size(500.0).with_tps(10.0);
-    let mut points = Vec::new();
-    for n in presets::node_sweep() {
-        if n < 2.0 {
-            continue; // one node cannot reconcile with itself
-        }
+    // One node cannot reconcile with itself.
+    let sweep: Vec<f64> = presets::node_sweep()
+        .iter()
+        .copied()
+        .filter(|&n| n >= 2.0)
+        .collect();
+    let reports = run_points(opts, sweep.clone(), |opts, &n| {
         let p = base.with_nodes(n);
         let predicted = lazy::group_reconciliation_rate(&p);
         let horizon = opts.adaptive_horizon(predicted.min(1.0), 50.0, 200, 5_000);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
-        let r = LazyGroupSim::new(cfg, Mobility::Connected)
+        LazyGroupSim::new(cfg, Mobility::Connected)
             .instrument(opts, format!("e8 nodes={n}"))
-            .run();
+            .run()
+    });
+    let mut points = Vec::new();
+    for (n, r) in sweep.into_iter().zip(reports) {
+        let predicted = lazy::group_reconciliation_rate(&base.with_nodes(n));
         points.push(Point {
             x: n,
             y: r.reconciliation_rate,
@@ -76,19 +83,23 @@ pub fn e09(opts: &RunOpts) -> Table {
     // while the longest windows saturate, which is itself the paper's
     // point about long disconnections.
     let base = repl_model::Params::new(20_000.0, 4.0, 1.0, 2.0, 0.01);
-    let mut points = Vec::new();
-    for d in presets::disconnect_sweep() {
+    let sweep = presets::disconnect_sweep().to_vec();
+    let reports = run_points(opts, sweep.clone(), |opts, &d| {
         let p = base.with_disconnected_time(d);
-        let predicted = lazy::mobile_reconciliation_rate(&p);
         let horizon = opts.horizon(2_400).max(8 * d as u64);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
         let mobility = Mobility::Cycling {
             connected: SimDuration::from_secs_f64(d / 2.0),
             disconnected: SimDuration::from_secs_f64(d),
         };
-        let r = LazyGroupSim::new(cfg, mobility)
+        LazyGroupSim::new(cfg, mobility)
             .instrument(opts, format!("e9 disconnect={d}"))
-            .run();
+            .run()
+    });
+    let mut points = Vec::new();
+    for (d, r) in sweep.into_iter().zip(reports) {
+        let p = base.with_disconnected_time(d);
+        let predicted = lazy::mobile_reconciliation_rate(&p);
         points.push(Point {
             x: d,
             y: r.reconciliation_rate,
@@ -119,19 +130,22 @@ pub fn e09_nodes(opts: &RunOpts) -> Table {
         &["Nodes", "recon/s model", "recon/s measured", "meas/model"],
     );
     let base = presets::mobile_base().with_db_size(2_000.0);
-    let mut points = Vec::new();
-    for n in [2.0, 3.0, 4.0, 6.0, 8.0] {
+    let sweep = vec![2.0, 3.0, 4.0, 6.0, 8.0];
+    let reports = run_points(opts, sweep.clone(), |opts, &n| {
         let p = base.with_nodes(n);
-        let predicted = lazy::mobile_reconciliation_rate(&p);
         let horizon = opts.horizon(600);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
         let mobility = Mobility::Cycling {
             connected: SimDuration::from_secs(10),
             disconnected: SimDuration::from_secs_f64(p.disconnected_time),
         };
-        let r = LazyGroupSim::new(cfg, mobility)
+        LazyGroupSim::new(cfg, mobility)
             .instrument(opts, format!("e9b nodes={n}"))
-            .run();
+            .run()
+    });
+    let mut points = Vec::new();
+    for (n, r) in sweep.into_iter().zip(reports) {
+        let predicted = lazy::mobile_reconciliation_rate(&base.with_nodes(n));
         points.push(Point {
             x: n,
             y: r.reconciliation_rate,
@@ -166,15 +180,20 @@ pub fn e10(opts: &RunOpts) -> Table {
         ],
     );
     let base = presets::scaleup_base();
-    let mut points = Vec::new();
-    for n in presets::node_sweep() {
+    let sweep = presets::node_sweep().to_vec();
+    let reports = run_points(opts, sweep.clone(), |opts, &n| {
         let p = base.with_nodes(n);
         let predicted = lazy::master_deadlock_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
-        let r = LazyMasterSim::new(cfg)
+        LazyMasterSim::new(cfg)
             .instrument(opts, format!("e10 nodes={n}"))
-            .run();
+            .run()
+    });
+    let mut points = Vec::new();
+    for (n, r) in sweep.into_iter().zip(reports) {
+        let p = base.with_nodes(n);
+        let predicted = lazy::master_deadlock_rate(&p);
         points.push(Point {
             x: n,
             y: r.deadlock_rate,
@@ -206,14 +225,17 @@ pub fn ablate_latency(opts: &RunOpts) -> Table {
         &["delay ms", "recon/s measured"],
     );
     let p = presets::scaleup_base().with_db_size(500.0).with_nodes(4.0);
-    for delay_ms in [0u64, 10, 50, 200, 1000] {
+    let sweep = vec![0u64, 10, 50, 200, 1000];
+    let reports = run_points(opts, sweep.clone(), |opts, &delay_ms| {
         let horizon = opts.horizon(600);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(5)
             .with_latency(LatencyModel::Fixed(SimDuration::from_millis(delay_ms)));
-        let r = LazyGroupSim::new(cfg, Mobility::Connected)
+        LazyGroupSim::new(cfg, Mobility::Connected)
             .instrument(opts, format!("ablate-latency delay={delay_ms}ms"))
-            .run();
+            .run()
+    });
+    for (delay_ms, r) in sweep.into_iter().zip(reports) {
         t.row(vec![format!("{delay_ms}"), fmt_val(r.reconciliation_rate)]);
     }
     t.note("rate grows with delay — the conflict window includes propagation time (§4)");

@@ -7,6 +7,7 @@
 //! live write quorum) for read-one/write-all versus majority quorums as
 //! per-node uptime degrades.
 
+use crate::par::run_points;
 use crate::table::Table;
 use crate::RunOpts;
 use repl_core::quorum::QuorumConfig;
@@ -49,9 +50,14 @@ pub fn ablate_quorum(opts: &RunOpts) -> Table {
     let steps = if opts.quick { 2_000 } else { 20_000 };
     let rowa = QuorumConfig::new(vec![1; nodes as usize], 1, nodes).expect("valid ROWA");
     let majority = QuorumConfig::majority(nodes);
-    for uptime in [0.99, 0.95, 0.90, 0.80, 0.60] {
-        let a_rowa = availability(&rowa, nodes, uptime, steps, opts.seed);
-        let a_major = availability(&majority, nodes, uptime, steps, opts.seed + 1);
+    let sweep = vec![0.99, 0.95, 0.90, 0.80, 0.60];
+    let measured = run_points(opts, sweep.clone(), |opts, &uptime| {
+        (
+            availability(&rowa, nodes, uptime, steps, opts.seed),
+            availability(&majority, nodes, uptime, steps, opts.seed + 1),
+        )
+    });
+    for (uptime, (a_rowa, a_major)) in sweep.into_iter().zip(measured) {
         // Closed forms: all-up probability p^5; majority = P(Bin(5,p)>=3).
         let p = uptime;
         let all_up = p.powi(5);

@@ -2,6 +2,7 @@
 //! multiplication), Figure 3 (scaleup vs partitioning vs replication),
 //! and Table 1 (the taxonomy, measured).
 
+use crate::par::run_points;
 use crate::table::{fmt_val, Table};
 use crate::{Instrument, RunOpts};
 use repl_core::{
@@ -28,11 +29,18 @@ pub fn e03(opts: &RunOpts) -> Table {
     );
     let p = Params::new(100_000.0, 3.0, 5.0, 3.0, 0.01);
     let horizon = opts.horizon(200);
-    let mk = |seed| SimConfig::from_params(&p, horizon, seed).with_warmup(5);
-
-    let eager = EagerSim::new(mk(opts.seed), ReplicaDiscipline::Serial, Ownership::Group)
-        .instrument(opts, "e3 eager")
-        .run();
+    let reports = run_points(opts, vec!["eager", "lazy"], |opts, &which| {
+        let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
+        match which {
+            "eager" => EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
+                .instrument(opts, "e3 eager")
+                .run(),
+            _ => LazyGroupSim::new(cfg, Mobility::Connected)
+                .instrument(opts, "e3 lazy-group")
+                .run(),
+        }
+    });
+    let (eager, lazy) = (&reports[0], &reports[1]);
     t.row(vec![
         "eager (1 txn, 9 updates)".into(),
         eager.committed.to_string(),
@@ -40,10 +48,6 @@ pub fn e03(opts: &RunOpts) -> Table {
         fmt_val(eager.messages as f64 / eager.committed.max(1) as f64),
         "0".into(),
     ]);
-
-    let lazy = LazyGroupSim::new(mk(opts.seed), Mobility::Connected)
-        .instrument(opts, "e3 lazy-group")
-        .run();
     t.row(vec![
         "lazy (1 root + 2 lazy txns)".into(),
         lazy.committed.to_string(),
@@ -69,53 +73,59 @@ pub fn e04(opts: &RunOpts) -> Table {
     let horizon = opts.horizon(300);
     let actions = 4.0;
     let tps = 1.0;
-    let run_single = |tps: f64, seed: u64, label: &str| {
-        let p = Params::new(10_000.0, 1.0, tps, actions, 0.01);
-        let cfg = SimConfig::from_params(&p, horizon, seed).with_warmup(5);
-        ContentionSim::new(cfg, ContentionProfile::single_node(&cfg))
-            .instrument(opts, format!("e4 {label}"))
-            .run()
-    };
-    let base = run_single(tps, opts.seed, "base");
-    let base_work = base.action_rate;
+    // (label, tps, seed offset); "replication" runs the eager engine,
+    // everything else a single node.
+    let cases: Vec<(&str, f64, u64)> = vec![
+        ("base", tps, 0),
+        ("scaleup", 2.0 * tps, 1),
+        ("partition-a", tps, 2),
+        ("partition-b", tps, 3),
+        ("replication", tps, 4),
+    ];
+    let reports = run_points(opts, cases, |opts, &(label, tps, seed_off)| {
+        let seed = opts.seed + seed_off;
+        if label == "replication" {
+            // Two nodes, each originating 1 TPS, each also applying
+            // the other's updates.
+            let p = Params::new(10_000.0, 2.0, tps, actions, 0.01);
+            let cfg = SimConfig::from_params(&p, horizon, seed).with_warmup(5);
+            EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
+                .instrument(opts, "e4 replication")
+                .run()
+        } else {
+            let p = Params::new(10_000.0, 1.0, tps, actions, 0.01);
+            let cfg = SimConfig::from_params(&p, horizon, seed).with_warmup(5);
+            ContentionSim::new(cfg, ContentionProfile::single_node(&cfg))
+                .instrument(opts, format!("e4 {label}"))
+                .run()
+        }
+    });
+    let base_work = reports[0].action_rate;
     t.row(vec![
         "base: one 1 TPS node".into(),
         fmt_val(tps),
-        fmt_val(base.action_rate),
+        fmt_val(base_work),
         "1.0x".into(),
     ]);
-
-    let scaleup = run_single(2.0 * tps, opts.seed + 1, "scaleup");
     t.row(vec![
         "scaleup: one 2 TPS node".into(),
         fmt_val(2.0 * tps),
-        fmt_val(scaleup.action_rate),
-        format!("{:.1}x", scaleup.action_rate / base_work),
+        fmt_val(reports[1].action_rate),
+        format!("{:.1}x", reports[1].action_rate / base_work),
     ]);
-
     // Partitioning: two independent 1 TPS nodes — work is additive.
-    let part_a = run_single(tps, opts.seed + 2, "partition-a");
-    let part_b = run_single(tps, opts.seed + 3, "partition-b");
-    let part_work = part_a.action_rate + part_b.action_rate;
+    let part_work = reports[2].action_rate + reports[3].action_rate;
     t.row(vec![
         "partitioning: two 1 TPS nodes".into(),
         fmt_val(2.0 * tps),
         fmt_val(part_work),
         format!("{:.1}x", part_work / base_work),
     ]);
-
-    // Replication: two nodes, each originating 1 TPS, each also
-    // applying the other's updates.
-    let p = Params::new(10_000.0, 2.0, tps, actions, 0.01);
-    let cfg = SimConfig::from_params(&p, horizon, opts.seed + 4).with_warmup(5);
-    let repl = EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
-        .instrument(opts, "e4 replication")
-        .run();
     t.row(vec![
         "replication: two 1 TPS replicas".into(),
         fmt_val(2.0 * tps),
-        fmt_val(repl.action_rate),
-        format!("{:.1}x", repl.action_rate / base_work),
+        fmt_val(reports[4].action_rate),
+        format!("{:.1}x", reports[4].action_rate / base_work),
     ]);
     t.note("doubling users under replication quadruples total update work (N^2, Fig. 3)");
     t
@@ -140,9 +150,45 @@ pub fn e11(opts: &RunOpts) -> Table {
     let p = Params::new(500.0, 4.0, 10.0, 4.0, 0.01);
     let n = 4u64;
     let horizon = opts.horizon(400);
-    let mk = || SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
-
-    let mut push = |scheme: Scheme, r: &repl_core::Report| {
+    let schemes = vec![
+        Scheme::EagerGroup,
+        Scheme::EagerMaster,
+        Scheme::LazyGroup,
+        Scheme::LazyMaster,
+        Scheme::TwoTier,
+    ];
+    let reports = run_points(opts, schemes.clone(), |opts, &scheme| {
+        let mk = || SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
+        match scheme {
+            Scheme::EagerGroup => EagerSim::new(mk(), ReplicaDiscipline::Serial, Ownership::Group)
+                .instrument(opts, "e11 eager-group")
+                .run(),
+            Scheme::EagerMaster => {
+                EagerSim::new(mk(), ReplicaDiscipline::Serial, Ownership::Master)
+                    .instrument(opts, "e11 eager-master")
+                    .run()
+            }
+            Scheme::LazyGroup => LazyGroupSim::new(mk(), Mobility::Connected)
+                .instrument(opts, "e11 lazy-group")
+                .run(),
+            Scheme::LazyMaster => LazyMasterSim::new(mk())
+                .instrument(opts, "e11 lazy-master")
+                .run(),
+            Scheme::TwoTier => {
+                let tt = TwoTierConfig {
+                    sim: mk(),
+                    base_nodes: 2,
+                    mobile_owned: 0,
+                    connected: SimDuration::from_secs(15),
+                    disconnected: SimDuration::from_secs(15),
+                    workload: TwoTierWorkload::Commutative { max_amount: 10 },
+                    initial_value: 1_000_000,
+                };
+                TwoTierSim::new(tt).instrument(opts, "e11 two-tier").run()
+            }
+        }
+    });
+    for (scheme, r) in schemes.into_iter().zip(&reports) {
         t.row(vec![
             scheme.name().into(),
             scheme.transactions_per_user_update(n).to_string(),
@@ -157,35 +203,7 @@ pub fn e11(opts: &RunOpts) -> Table {
             }
             .into(),
         ]);
-    };
-
-    let r = EagerSim::new(mk(), ReplicaDiscipline::Serial, Ownership::Group)
-        .instrument(opts, "e11 eager-group")
-        .run();
-    push(Scheme::EagerGroup, &r);
-    let r = EagerSim::new(mk(), ReplicaDiscipline::Serial, Ownership::Master)
-        .instrument(opts, "e11 eager-master")
-        .run();
-    push(Scheme::EagerMaster, &r);
-    let r = LazyGroupSim::new(mk(), Mobility::Connected)
-        .instrument(opts, "e11 lazy-group")
-        .run();
-    push(Scheme::LazyGroup, &r);
-    let r = LazyMasterSim::new(mk())
-        .instrument(opts, "e11 lazy-master")
-        .run();
-    push(Scheme::LazyMaster, &r);
-    let tt = TwoTierConfig {
-        sim: mk(),
-        base_nodes: 2,
-        mobile_owned: 0,
-        connected: SimDuration::from_secs(15),
-        disconnected: SimDuration::from_secs(15),
-        workload: TwoTierWorkload::Commutative { max_amount: 10 },
-        initial_value: 1_000_000,
-    };
-    let r = TwoTierSim::new(tt).instrument(opts, "e11 two-tier").run();
-    push(Scheme::TwoTier, &r);
+    }
 
     t.note("eager converts conflicts to waits/deadlocks; lazy-group to reconciliations;");
     t.note("two-tier (commutative) shows zero reconciliation while supporting mobility (§7)");

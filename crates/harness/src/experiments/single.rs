@@ -1,6 +1,7 @@
 //! E1 and E2 — the single-node baseline: measured wait and deadlock
 //! rates against equations (2)–(5).
 
+use crate::par::run_points;
 use crate::table::{fmt_ratio, fmt_val, Table};
 use crate::{Instrument, RunOpts};
 use repl_core::{ContentionProfile, ContentionSim, SimConfig};
@@ -23,14 +24,19 @@ pub fn e01(opts: &RunOpts) -> Table {
         ],
     );
     let base = repl_workload::presets::single_node_base();
-    for actions in [2.0, 3.0, 4.0, 5.0, 6.0, 8.0] {
+    let sweep = vec![2.0, 3.0, 4.0, 5.0, 6.0, 8.0];
+    let reports = run_points(opts, sweep.clone(), |opts, &actions| {
         let p = base.with_actions(actions);
         let predicted = single::node_wait_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 200.0, 200, 5_000);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
-        let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg))
+        ContentionSim::new(cfg, ContentionProfile::single_node(&cfg))
             .instrument(opts, format!("e1 actions={actions}"))
-            .run();
+            .run()
+    });
+    for (actions, r) in sweep.into_iter().zip(reports) {
+        let p = base.with_actions(actions);
+        let predicted = single::node_wait_rate(&p);
         t.row(vec![
             format!("{actions}"),
             fmt_val(single::wait_probability(&p)),
@@ -59,16 +65,19 @@ pub fn e02(opts: &RunOpts) -> Table {
     // Higher contention than E1 so deadlocks are observable in finite
     // runs while PW stays << 1.
     let base = Params::new(500.0, 1.0, 100.0, 4.0, 0.01);
-    let sweep = [3.0, 4.0, 5.0, 6.0, 7.0];
-    let mut points = Vec::new();
-    for actions in sweep {
+    let sweep = vec![3.0, 4.0, 5.0, 6.0, 7.0];
+    let reports = run_points(opts, sweep.clone(), |opts, &actions| {
         let p = base.with_actions(actions);
         let predicted = single::node_deadlock_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(5);
-        let r = ContentionSim::new(cfg, ContentionProfile::single_node(&cfg))
+        ContentionSim::new(cfg, ContentionProfile::single_node(&cfg))
             .instrument(opts, format!("e2 actions={actions}"))
-            .run();
+            .run()
+    });
+    let mut points = Vec::new();
+    for (actions, r) in sweep.into_iter().zip(reports) {
+        let predicted = single::node_deadlock_rate(&base.with_actions(actions));
         points.push(repl_model::Point {
             x: actions,
             y: r.deadlock_rate,

@@ -1,5 +1,6 @@
 //! E12 — the two-tier scheme (§7, Figures 5 and 6).
 
+use crate::par::run_points;
 use crate::table::{fmt_ratio, fmt_val, Table};
 use crate::{Instrument, RunOpts};
 use repl_core::{SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload};
@@ -70,20 +71,23 @@ pub fn e12(opts: &RunOpts) -> Table {
             1_000,
         ),
     ];
-    for (label, workload, funds) in cases {
+    let results = run_points(opts, cases, |opts, &(label, workload, funds)| {
         let cfg = config(&p, 2, workload, funds, horizon, opts.seed);
         let (r, master, replicas) = TwoTierSim::new(cfg)
             .instrument(opts, format!("e12 {label}"))
             .run_with_state();
+        let converged = {
+            let want = master.digest();
+            replicas.iter().all(|s| s.digest() == want)
+        };
+        (label, r, converged)
+    });
+    for (label, r, converged) in results {
         let total = r.tentative_accepted + r.tentative_rejected;
         let reject_pct = if total > 0 {
             100.0 * r.tentative_rejected as f64 / total as f64
         } else {
             0.0
-        };
-        let converged = {
-            let want = master.digest();
-            replicas.iter().all(|s| s.digest() == want)
         };
         t.row(vec![
             label.into(),
@@ -116,8 +120,8 @@ pub fn e12_nodes(opts: &RunOpts) -> Table {
         ],
     );
     let base = Params::new(600.0, 2.0, 15.0, 4.0, 0.01);
-    let mut points = Vec::new();
-    for n in [2.0, 3.0, 4.0, 6.0, 8.0] {
+    let sweep = vec![2.0, 3.0, 4.0, 6.0, 8.0];
+    let reports = run_points(opts, sweep.clone(), |opts, &n| {
         let p = base.with_nodes(n);
         let predicted = lazy::two_tier_base_deadlock_rate(&p);
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 5_000);
@@ -129,9 +133,13 @@ pub fn e12_nodes(opts: &RunOpts) -> Table {
             horizon,
             opts.seed,
         );
-        let r = TwoTierSim::new(cfg)
+        TwoTierSim::new(cfg)
             .instrument(opts, format!("e12b nodes={n}"))
-            .run();
+            .run()
+    });
+    let mut points = Vec::new();
+    for (n, r) in sweep.into_iter().zip(reports) {
+        let predicted = lazy::two_tier_base_deadlock_rate(&base.with_nodes(n));
         points.push(repl_model::Point {
             x: n,
             y: r.deadlock_rate,

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod par;
 pub mod table;
 
 pub use table::{fmt_ratio, fmt_val, Table};
@@ -49,6 +50,12 @@ pub struct RunOpts {
     /// one. Other experiments ignore it (their claims assume a clean
     /// fabric).
     pub faults: Option<repl_net::FaultPlan>,
+    /// Sweep fan-out: how many worker threads [`par::run_points`] may
+    /// use. The library default is 1 (serial — unit tests and embedders
+    /// get the untouched in-order path); the `harness` binary defaults
+    /// it to [`par::default_jobs`] and exposes `--jobs N`. Results are
+    /// bit-identical at any value.
+    pub jobs: usize,
 }
 
 impl Default for RunOpts {
@@ -59,6 +66,7 @@ impl Default for RunOpts {
             tracer: repl_telemetry::TraceHandle::off(),
             profiler: repl_telemetry::Profiler::off(),
             faults: None,
+            jobs: 1,
         }
     }
 }

@@ -17,6 +17,10 @@
 //! `SPEC` is the fault mini-language of [`repl_net::FaultPlan::parse`]:
 //! `;`-separated clauses `drop=P`, `dup=P`, `delay=P:SECS`,
 //! `retransmit=SECS`, `part=S..E:0,1/2,3`, `crash=N:S..E`.
+//!
+//! `--jobs N` caps the sweep executor's worker threads (default: the
+//! `HARNESS_JOBS` environment variable, else every core). Output is
+//! bit-identical at any jobs count; traced/profiled runs stay serial.
 
 use repl_harness::experiments::{self, Experiment};
 use repl_harness::RunOpts;
@@ -27,8 +31,8 @@ use std::rc::Rc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: harness [--quick] [--json] [--seed N] [--trace FILE] [--series SECS] \
-         [--profile] [--faults SPEC] <list|all|NAME...>"
+        "usage: harness [--quick] [--json] [--seed N] [--jobs N] [--trace FILE] \
+         [--series SECS] [--profile] [--faults SPEC] <list|all|NAME...>"
     );
     eprintln!("experiments:");
     for e in experiments::ALL {
@@ -65,7 +69,12 @@ fn print_series(agg: &SeriesAggregator) {
 }
 
 fn main() -> ExitCode {
-    let mut opts = RunOpts::default();
+    // The library default is serial; the CLI defaults to every core
+    // (or HARNESS_JOBS) since output is jobs-count invariant.
+    let mut opts = RunOpts {
+        jobs: repl_harness::par::default_jobs(),
+        ..RunOpts::default()
+    };
     let mut json = false;
     let mut trace_path: Option<String> = None;
     let mut series_secs: Option<u64> = None;
@@ -82,6 +91,13 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 opts.seed = v;
+            }
+            "--jobs" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v >= 1) else {
+                    eprintln!("--jobs needs a positive integer");
+                    return usage();
+                };
+                opts.jobs = v;
             }
             "--trace" => {
                 let Some(p) = args.next() else {
@@ -106,6 +122,10 @@ fn main() -> ExitCode {
             }
             "--profile" => opts.profiler = Profiler::enabled(),
             "-h" | "--help" => return usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                return usage();
+            }
             other => names.push(other.to_owned()),
         }
     }

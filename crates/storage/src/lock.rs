@@ -10,6 +10,7 @@
 
 use crate::object::ObjectId;
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -62,6 +63,22 @@ struct LockState {
     waiters: VecDeque<TxnId>,
 }
 
+/// Reusable buffers for the waits-for walk. The walk runs on every
+/// contended request in [`DeadlockMode::Detect`] — recycling its three
+/// vectors keeps the hot path allocation-free after warm-up.
+#[derive(Debug, Default)]
+struct WalkScratch {
+    stack: Vec<TxnId>,
+    visited: Vec<TxnId>,
+    /// (node, the transaction that waits for it) — first edge wins,
+    /// so the recorded chain is always a real waits-for path.
+    parent: Vec<(TxnId, TxnId)>,
+}
+
+/// Cap on recycled held-lock vectors: bounds pool memory while still
+/// covering any realistic concurrent-transaction population.
+const SPARE_HELD_CAP: usize = 256;
+
 /// Strict exclusive locking with FIFO wait queues and pluggable
 /// deadlock resolution: immediate waits-for cycle detection
 /// ([`DeadlockMode::Detect`], the default) or caller-driven timeouts
@@ -82,6 +99,11 @@ pub struct LockManager {
     /// How many times the waits-for graph was searched (always zero in
     /// [`DeadlockMode::TimeoutOnly`]).
     cycle_checks: u64,
+    /// Recycled held-lock vectors: popped when a transaction takes its
+    /// first lock, pushed back by release-all.
+    spare_held: Vec<Vec<ObjectId>>,
+    /// Recycled waits-for walk buffers.
+    scratch: WalkScratch,
 }
 
 impl LockManager {
@@ -147,32 +169,50 @@ impl LockManager {
             !self.waiting_on.contains_key(&txn),
             "{txn} requested a lock while already blocked"
         );
-        match self.locks.get_mut(&obj) {
-            None => {
-                self.locks.insert(
-                    obj,
-                    LockState {
-                        holder: txn,
-                        waiters: VecDeque::new(),
-                    },
-                );
-                self.held.entry(txn).or_default().push(obj);
-                Acquire::Granted
+        match self.locks.entry(obj) {
+            Entry::Vacant(v) => {
+                v.insert(LockState {
+                    holder: txn,
+                    waiters: VecDeque::new(),
+                });
+                Self::record_held(&mut self.held, &mut self.spare_held, txn, obj);
+                return Acquire::Granted;
             }
-            Some(state) if state.holder == txn => Acquire::Granted,
-            Some(_) => {
-                if self.mode == DeadlockMode::Detect {
-                    self.cycle_checks += 1;
-                    if self.would_deadlock(txn, obj) {
-                        return Acquire::Deadlock;
-                    }
+            Entry::Occupied(mut o) => {
+                if o.get().holder == txn {
+                    return Acquire::Granted;
                 }
-                let state = self.locks.get_mut(&obj).expect("lock state vanished");
-                state.waiters.push_back(txn);
-                self.waiting_on.insert(txn, obj);
-                Acquire::Waiting
+                if self.mode == DeadlockMode::TimeoutOnly {
+                    o.get_mut().waiters.push_back(txn);
+                    self.waiting_on.insert(txn, obj);
+                    return Acquire::Waiting;
+                }
             }
         }
+        // Detect mode, contended: the graph walk needs `&mut self`, so
+        // the entry borrow ends here and the state is re-fetched after
+        // the walk decides the request may queue.
+        self.cycle_checks += 1;
+        if self.would_deadlock(txn, obj) {
+            return Acquire::Deadlock;
+        }
+        let state = self.locks.get_mut(&obj).expect("lock state vanished");
+        state.waiters.push_back(txn);
+        self.waiting_on.insert(txn, obj);
+        Acquire::Waiting
+    }
+
+    /// Append `obj` to `txn`'s held list, seeding the list from the
+    /// spare pool on first acquisition.
+    fn record_held(
+        held: &mut HashMap<TxnId, Vec<ObjectId>>,
+        spare: &mut Vec<Vec<ObjectId>>,
+        txn: TxnId,
+        obj: ObjectId,
+    ) {
+        held.entry(txn)
+            .or_insert_with(|| spare.pop().unwrap_or_default())
+            .push(obj);
     }
 
     /// Would suspending `txn` behind `obj` close a waits-for cycle?
@@ -185,11 +225,19 @@ impl LockManager {
     /// cycle. On detection the cycle is reconstructed from parent
     /// edges and stored for [`LockManager::last_deadlock_cycle`].
     fn would_deadlock(&mut self, txn: TxnId, obj: ObjectId) -> bool {
-        let mut stack: Vec<TxnId> = Vec::with_capacity(8);
-        let mut visited: Vec<TxnId> = Vec::with_capacity(8);
-        // (node, the transaction that waits for it) — first edge wins,
-        // so the recorded chain is always a real waits-for path.
-        let mut parent: Vec<(TxnId, TxnId)> = Vec::with_capacity(8);
+        let mut s = std::mem::take(&mut self.scratch);
+        let found = self.walk_cycle(txn, obj, &mut s);
+        self.scratch = s;
+        found
+    }
+
+    /// The depth-first search behind [`Self::would_deadlock`],
+    /// split out so the borrowed scratch buffers can be restored on
+    /// every exit path.
+    fn walk_cycle(&mut self, txn: TxnId, obj: ObjectId, s: &mut WalkScratch) -> bool {
+        s.stack.clear();
+        s.visited.clear();
+        s.parent.clear();
         let push =
             |stack: &mut Vec<TxnId>, parent: &mut Vec<(TxnId, TxnId)>, node: TxnId, from: TxnId| {
                 if !parent.iter().any(|(n, _)| *n == node) {
@@ -198,40 +246,40 @@ impl LockManager {
                 stack.push(node);
             };
         let seed = &self.locks[&obj];
-        push(&mut stack, &mut parent, seed.holder, txn);
+        push(&mut s.stack, &mut s.parent, seed.holder, txn);
         for w in seed.waiters.iter().copied() {
-            push(&mut stack, &mut parent, w, txn);
+            push(&mut s.stack, &mut s.parent, w, txn);
         }
-        while let Some(current) = stack.pop() {
+        while let Some(current) = s.stack.pop() {
             if current == txn {
                 // Walk parent edges back to the requester: each hop is
                 // "X waits for Y", so reversing the tail yields the
                 // cycle in waits-for order, victim first.
-                let mut chain = vec![txn];
+                self.last_cycle.clear();
+                self.last_cycle.push(txn);
                 let mut cur = txn;
-                while let Some(&(_, from)) = parent.iter().find(|(n, _)| *n == cur) {
+                while let Some(&(_, from)) = s.parent.iter().find(|(n, _)| *n == cur) {
                     if from == txn {
                         break;
                     }
-                    chain.push(from);
+                    self.last_cycle.push(from);
                     cur = from;
                 }
-                chain[1..].reverse();
-                self.last_cycle = chain;
+                self.last_cycle[1..].reverse();
                 return true;
             }
-            if visited.contains(&current) {
+            if s.visited.contains(&current) {
                 continue;
             }
-            visited.push(current);
+            s.visited.push(current);
             if let Some(next_obj) = self.waiting_on.get(&current) {
                 // `current` waits for the holder and only the waiters
                 // *ahead of it* in the FIFO queue — including later
                 // waiters would manufacture false cycles.
                 let state = &self.locks[next_obj];
-                push(&mut stack, &mut parent, state.holder, current);
+                push(&mut s.stack, &mut s.parent, state.holder, current);
                 for w in state.waiters.iter().copied().take_while(|w| *w != current) {
-                    push(&mut stack, &mut parent, w, current);
+                    push(&mut s.stack, &mut s.parent, w, current);
                 }
             }
         }
@@ -257,10 +305,21 @@ impl LockManager {
     /// resume them.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, ObjectId)> {
         let mut granted = Vec::new();
-        let Some(objs) = self.held.remove(&txn) else {
-            return granted;
+        self.release_all_into(txn, &mut granted);
+        granted
+    }
+
+    /// Allocation-free variant of [`Self::release_all`]: clears
+    /// `granted` and fills it with the promoted `(transaction, object)`
+    /// pairs. Engines pass a recycled scratch buffer so the
+    /// commit/abort path allocates nothing; the released transaction's
+    /// held-lock vector returns to the spare pool for the next txn.
+    pub fn release_all_into(&mut self, txn: TxnId, granted: &mut Vec<(TxnId, ObjectId)>) {
+        granted.clear();
+        let Some(mut objs) = self.held.remove(&txn) else {
+            return;
         };
-        for obj in objs {
+        for obj in objs.drain(..) {
             let Some(state) = self.locks.get_mut(&obj) else {
                 continue;
             };
@@ -271,7 +330,7 @@ impl LockManager {
                 Some(next) => {
                     state.holder = next;
                     self.waiting_on.remove(&next);
-                    self.held.entry(next).or_default().push(obj);
+                    Self::record_held(&mut self.held, &mut self.spare_held, next, obj);
                     granted.push((next, obj));
                 }
                 None => {
@@ -279,7 +338,9 @@ impl LockManager {
                 }
             }
         }
-        granted
+        if self.spare_held.len() < SPARE_HELD_CAP {
+            self.spare_held.push(objs);
+        }
     }
 
     /// Remove `txn` from the wait queue it sits in (used when an
@@ -551,6 +612,36 @@ mod tests {
         assert_eq!(lm.waiting_on(B), Some(O1));
         lm.release_all(A);
         assert_eq!(lm.waiting_on(B), None);
+    }
+
+    #[test]
+    fn release_all_into_clears_stale_contents() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1);
+        lm.acquire(B, O1);
+        let mut out = vec![(C, O3)]; // stale garbage must be cleared
+        lm.release_all_into(A, &mut out);
+        assert_eq!(out, vec![(B, O1)]);
+        lm.release_all_into(B, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn held_vectors_recycle_through_spare_pool() {
+        let mut lm = LockManager::new();
+        for round in 0..10 {
+            let t = TxnId(100 + round);
+            lm.acquire(t, O1);
+            lm.acquire(t, O2);
+            assert_eq!(lm.held_by(t), &[O1, O2]);
+            assert!(lm.release_all(t).is_empty());
+            assert_eq!(lm.locked_objects(), 0);
+        }
+        assert!(
+            lm.spare_held.len() <= 1,
+            "one txn at a time recycles a single vec, got {}",
+            lm.spare_held.len()
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! stays consistent and everything is released at the end.
 
 use proptest::prelude::*;
-use repl_storage::{Acquire, LockManager, ObjectId, TxnId};
+use repl_storage::{Acquire, DeadlockMode, LockManager, ObjectId, TxnId};
 use std::collections::{HashMap, HashSet};
 
 /// One step of the random walk.
@@ -124,4 +124,112 @@ proptest! {
         prop_assert_eq!(lm.locked_objects(), 0);
         prop_assert_eq!(lm.blocked_transactions(), 0);
     }
+
+    /// Equivalence of the two release paths: `release_all` (fresh Vec
+    /// per call) and `release_all_into` (caller-owned buffer + held-Vec
+    /// free list) must produce identical acquire outcomes, identical
+    /// grant *orders*, and identical counters on every interleaving, in
+    /// both deadlock modes. Guards the allocation pass against any
+    /// behavioral drift.
+    #[test]
+    fn release_paths_are_equivalent(
+        steps in prop::collection::vec(arb_step(), 1..300),
+        timeout_mode in (0u8..2).prop_map(|v| v == 1),
+    ) {
+        let mode = if timeout_mode { DeadlockMode::TimeoutOnly } else { DeadlockMode::Detect };
+        let mut a = LockManager::with_mode(mode);
+        let mut b = LockManager::with_mode(mode);
+        let mut buf = Vec::new();
+        let mut blocked: HashSet<u64> = HashSet::new();
+
+        let mut drive = |a: &mut LockManager, b: &mut LockManager, t: u64| -> Vec<(TxnId, ObjectId)> {
+            let grants = a.release_all(TxnId(t));
+            b.release_all_into(TxnId(t), &mut buf);
+            assert_eq!(grants, buf, "grant order diverged releasing {t}");
+            grants
+        };
+
+        for step in steps {
+            match step {
+                Step::Request(t, o) => {
+                    if blocked.contains(&t) {
+                        continue;
+                    }
+                    let ra = a.acquire(TxnId(t), ObjectId(o));
+                    let rb = b.acquire(TxnId(t), ObjectId(o));
+                    prop_assert_eq!(ra, rb, "acquire({}, {}) diverged", t, o);
+                    match ra {
+                        Acquire::Granted => {}
+                        Acquire::Waiting => {
+                            blocked.insert(t);
+                        }
+                        Acquire::Deadlock => {
+                            for (w, _) in drive(&mut a, &mut b, t) {
+                                blocked.remove(&w.0);
+                            }
+                        }
+                    }
+                }
+                Step::Commit(t) => {
+                    if blocked.contains(&t) {
+                        // Timeout mode resolves a stuck waiter the way
+                        // the engines do: cancel the wait, then release
+                        // — the PR 2 ghost-lock sequence.
+                        if mode != DeadlockMode::TimeoutOnly {
+                            continue;
+                        }
+                        a.cancel_wait(TxnId(t));
+                        b.cancel_wait(TxnId(t));
+                        blocked.remove(&t);
+                    }
+                    for (w, _) in drive(&mut a, &mut b, t) {
+                        blocked.remove(&w.0);
+                    }
+                }
+            }
+            prop_assert_eq!(a.cycle_checks(), b.cycle_checks());
+            prop_assert_eq!(a.locked_objects(), b.locked_objects());
+            prop_assert_eq!(a.blocked_transactions(), b.blocked_transactions());
+        }
+    }
+}
+
+/// The PR 2 ghost-lock regression as a fixed equivalence fixture: in
+/// timeout mode a victim whose wait is cancelled must not be granted
+/// the contested lock posthumously — and both release paths must agree
+/// on the survivor hand-off, including grant order.
+#[test]
+fn ghost_lock_fixture_identical_across_release_paths() {
+    let run = |into: bool| {
+        let mut lm = LockManager::with_mode(DeadlockMode::TimeoutOnly);
+        let mut log: Vec<Vec<(TxnId, ObjectId)>> = Vec::new();
+        let mut buf = Vec::new();
+        let mut release = |lm: &mut LockManager, t: TxnId| {
+            if into {
+                lm.release_all_into(t, &mut buf);
+                log.push(buf.clone());
+            } else {
+                log.push(lm.release_all(t));
+            }
+        };
+        // A<->B cycle on O1/O2, with C queued behind the contested O1.
+        assert_eq!(lm.acquire(TxnId(1), ObjectId(1)), Acquire::Granted);
+        assert_eq!(lm.acquire(TxnId(2), ObjectId(2)), Acquire::Granted);
+        assert_eq!(lm.acquire(TxnId(2), ObjectId(1)), Acquire::Waiting);
+        assert_eq!(lm.acquire(TxnId(1), ObjectId(2)), Acquire::Waiting);
+        assert_eq!(lm.acquire(TxnId(3), ObjectId(1)), Acquire::Waiting);
+        // B times out: cancel its wait, then release its held locks.
+        lm.cancel_wait(TxnId(2));
+        release(&mut lm, TxnId(2));
+        // A commits; C must inherit O1 (no ghost grant to B).
+        release(&mut lm, TxnId(1));
+        assert!(
+            lm.holds(TxnId(3), ObjectId(1)),
+            "survivor never got the lock"
+        );
+        release(&mut lm, TxnId(3));
+        assert_eq!(lm.locked_objects(), 0);
+        (log, lm.cycle_checks())
+    };
+    assert_eq!(run(false), run(true));
 }

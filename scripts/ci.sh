@@ -49,6 +49,19 @@ for t in tables:
 print(f"ok: {len(tables)} JSON tables, all titled and non-empty")
 EOF
 
+say "parallel smoke: --jobs 2 must be byte-identical to serial"
+par_out="$(mktemp)"
+trap 'rm -f "$out" "$par_out"' EXIT
+./target/release/harness --quick --json --jobs 2 all >"$par_out"
+cmp "$out" "$par_out" || {
+    echo "--jobs 2 output differs from the serial run" >&2
+    exit 1
+}
+echo "ok: parallel sweep output byte-identical to serial"
+
+say "bench smoke: scripts/bench.sh --smoke"
+scripts/bench.sh --smoke
+
 say "chaos smoke: fixed seed, twice (determinism + schema)"
 chaos_a="$(mktemp)"
 chaos_b="$(mktemp)"
