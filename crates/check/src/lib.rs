@@ -1,0 +1,31 @@
+//! `repl-check` — the correctness-oracle layer.
+//!
+//! The paper's claims are per-scheme *invariants*, not just curves:
+//! eager and lazy-master executions are one-copy serializable (§2),
+//! lazy-group converges to a single state without losing committed
+//! updates (§1.2, §6), and two-tier keeps the master "converged with
+//! no system delusion" (§7). This crate checks those invariants on
+//! recorded executions:
+//!
+//! * [`History`] / [`TxnRecord`] — version-level execution capture
+//!   with a ring-buffer cap ([`History::with_cap`]) so checking large
+//!   sweeps cannot exhaust memory;
+//! * [`Recorder`] — the cheap, optional handle engines thread through
+//!   their commit and replica-apply paths;
+//! * [`Recorder::check`] / [`CheckReport`] — the per-scheme oracles,
+//!   each producing a minimal counterexample ([`Violation`]);
+//! * [`fuzz`] / [`FuzzCase`] — a seeded schedule fuzzer with greedy
+//!   shrinking to a re-runnable one-line reproducer.
+
+#![warn(missing_docs)]
+
+mod fuzz;
+mod history;
+mod oracle;
+
+pub use fuzz::{fuzz, FuzzCase, FuzzFailure, FuzzOutcome};
+pub use history::{DepEdge, DepKind, Detailed, History, TxnRecord, Verdict};
+pub use oracle::{
+    check_store_convergence, snapshot, CheckReport, CriterionKind, Recorder, Scheme, Violation,
+    DEFAULT_HISTORY_CAP,
+};

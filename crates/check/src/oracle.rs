@@ -1,0 +1,912 @@
+//! The per-scheme correctness oracles and the engine-facing recorder.
+//!
+//! Each replication scheme in the paper comes with a promise:
+//!
+//! * eager and lazy-master (§2, §7): one-copy serializable execution —
+//!   checked as DSG acyclicity over the recorded commit history;
+//! * lazy-group (§1.2, §6): all replicas converge to a single state,
+//!   and no committed update is silently lost at a replica ("system
+//!   delusion");
+//! * two-tier (§7): base commits form a linear version chain per
+//!   object, replicas converge to the master, and the acceptance
+//!   criterion is applied soundly.
+//!
+//! A [`Recorder`] is threaded through an engine's commit and
+//! replica-apply paths (`Recorder::off()` costs one `Option` check per
+//! call); [`Recorder::check`] then runs every oracle the scheme
+//! promises and returns a [`CheckReport`] whose violations are
+//! *minimal counterexamples* — the shortest dependency cycle, the
+//! lowest diverging object, the first delusive write — not booleans.
+
+use crate::history::{DepEdge, Detailed, History, TxnRecord};
+use repl_storage::{
+    ApplyOutcome, NodeId, ObjectId, ObjectStore, Timestamp, TxnId, Value, Versioned,
+};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// Which replication scheme an execution ran under — selects the
+/// oracles its recorder will apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// The shared lock-space contention engine (single- or multi-node).
+    Contention,
+    /// Eager replication (group or master ownership).
+    Eager,
+    /// Lazy-master: asynchronous propagation, master-serialized writes.
+    LazyMaster,
+    /// Lazy-group: update-anywhere with timestamp reconciliation.
+    LazyGroup,
+    /// Two-tier: mobile tentative transactions re-run at the base.
+    TwoTier,
+}
+
+impl Scheme {
+    /// Every scheme, in a fixed order (used by the `check` fuzzer).
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Contention,
+        Scheme::Eager,
+        Scheme::LazyMaster,
+        Scheme::LazyGroup,
+        Scheme::TwoTier,
+    ];
+
+    /// Stable lowercase name (also the [`Scheme::parse`] spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Contention => "contention",
+            Scheme::Eager => "eager",
+            Scheme::LazyMaster => "lazy-master",
+            Scheme::LazyGroup => "lazy-group",
+            Scheme::TwoTier => "two-tier",
+        }
+    }
+
+    /// Inverse of [`Scheme::name`].
+    pub fn parse(s: &str) -> Option<Scheme> {
+        Scheme::ALL.into_iter().find(|sch| sch.name() == s)
+    }
+
+    /// Whether the scheme promises a serializable (acyclic-DSG)
+    /// execution of origin commits.
+    fn promises_serializability(self) -> bool {
+        // Lazy-group commits roots independently per node; the paper's
+        // point (§1.2) is precisely that this is NOT serializable, so
+        // the DSG oracle does not apply — convergence + no-delusion do.
+        !matches!(self, Scheme::LazyGroup)
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Mirror of the engine's acceptance criteria (§7). Re-implemented
+/// here — independently of `repl-core` — so the oracle re-derives the
+/// accept/reject decision rather than trusting the engine's own code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CriterionKind {
+    /// Accept any base outcome.
+    AlwaysAccept,
+    /// Every written value must be a non-negative integer.
+    NonNegative,
+    /// Every written integer value must be at most this bound (the
+    /// "price quote cannot exceed the tentative quote" rule).
+    AtMost(i64),
+    /// Base outcome must equal the tentative outcome exactly.
+    ExactMatch,
+}
+
+impl CriterionKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CriterionKind::AlwaysAccept => "always-accept",
+            CriterionKind::NonNegative => "non-negative",
+            CriterionKind::AtMost(_) => "at-most",
+            CriterionKind::ExactMatch => "exact-match",
+        }
+    }
+
+    /// Independent re-derivation of the accept decision for a base
+    /// re-execution against the mobile node's tentative results.
+    pub fn accepts(self, base: &[(ObjectId, Value)], tentative: &[(ObjectId, Value)]) -> bool {
+        match self {
+            CriterionKind::AlwaysAccept => true,
+            CriterionKind::NonNegative => {
+                base.iter().all(|(_, v)| v.as_int().is_none_or(|i| i >= 0))
+            }
+            CriterionKind::AtMost(bound) => base
+                .iter()
+                .all(|(_, v)| v.as_int().is_none_or(|i| i <= bound)),
+            CriterionKind::ExactMatch => base == tentative,
+        }
+    }
+}
+
+/// One recorded acceptance decision from the two-tier base.
+#[derive(Debug, Clone)]
+struct AcceptanceRecord {
+    txn: TxnId,
+    criterion: CriterionKind,
+    base: Vec<(ObjectId, Value)>,
+    tentative: Vec<(ObjectId, Value)>,
+    accepted: bool,
+}
+
+/// One replica-apply event at a node.
+#[derive(Debug, Clone, Copy)]
+struct ApplyEvent {
+    object: ObjectId,
+    new_ts: Timestamp,
+    outcome: ApplyOutcome,
+}
+
+/// Per-node trace: counters plus a capped ring of *conflict-ignored*
+/// apply events, kept so delusion counterexamples can say *how* a
+/// write was lost at that node. Applied/duplicate outcomes are only
+/// counted — no oracle consumes them, and ringing every apply would
+/// dominate `--check` wall-clock on large sweeps.
+#[derive(Debug, Default)]
+struct NodeTrace {
+    commits: u64,
+    applies: u64,
+    dropped: u64,
+    events: VecDeque<ApplyEvent>,
+}
+
+/// Cap on the origin commit history the recorder retains.
+pub const DEFAULT_HISTORY_CAP: usize = 8_192;
+/// Cap on the per-node apply-event ring.
+const NODE_EVENT_CAP: usize = 8_192;
+/// Cap on retained two-tier acceptance records.
+const ACCEPTANCE_CAP: usize = 16_384;
+
+#[derive(Debug)]
+struct OracleState {
+    scheme: Scheme,
+    origin: History,
+    nodes: Vec<NodeTrace>,
+    acceptances: VecDeque<AcceptanceRecord>,
+    acceptances_dropped: u64,
+    finals: Vec<(NodeId, Vec<(ObjectId, Versioned)>)>,
+    master_final: Option<Vec<(ObjectId, Versioned)>>,
+    expect_divergence: bool,
+}
+
+/// A cheap, optional execution recorder. `Recorder::off()` (the
+/// default) makes every recording call a single `Option` check;
+/// [`Recorder::new`] turns capture on. Clones share state, so the
+/// harness can hand a clone to an engine and keep one to check later.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Rc<RefCell<OracleState>>>,
+}
+
+impl Recorder {
+    /// An active recorder for one execution of `scheme`.
+    pub fn new(scheme: Scheme) -> Self {
+        Recorder {
+            inner: Some(Rc::new(RefCell::new(OracleState {
+                scheme,
+                origin: History::with_cap(DEFAULT_HISTORY_CAP),
+                nodes: Vec::new(),
+                acceptances: VecDeque::new(),
+                acceptances_dropped: 0,
+                finals: Vec::new(),
+                master_final: None,
+                expect_divergence: false,
+            }))),
+        }
+    }
+
+    /// The disabled recorder: every recording call is a no-op.
+    pub fn off() -> Self {
+        Recorder::default()
+    }
+
+    /// Whether capture is on. Engines gate any record-building work
+    /// (clones, version minting) behind this.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn node_mut(state: &mut OracleState, node: NodeId) -> &mut NodeTrace {
+        let idx = node.0 as usize;
+        if state.nodes.len() <= idx {
+            state.nodes.resize_with(idx + 1, NodeTrace::default);
+        }
+        &mut state.nodes[idx]
+    }
+
+    /// Record a committed origin transaction at `node`.
+    pub fn commit(&self, node: NodeId, record: TxnRecord) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.borrow_mut();
+        state.origin.record(record);
+        Self::node_mut(&mut state, node).commits += 1;
+    }
+
+    /// Record one replicated update being applied at `node`.
+    pub fn replica_apply(
+        &self,
+        node: NodeId,
+        object: ObjectId,
+        new_ts: Timestamp,
+        outcome: ApplyOutcome,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.borrow_mut();
+        let trace = Self::node_mut(&mut state, node);
+        trace.applies += 1;
+        // Only conflict-ignored events are evidence (see `NodeTrace`);
+        // the common applied/duplicate outcomes stay out of the ring.
+        if outcome != ApplyOutcome::ConflictIgnored {
+            return;
+        }
+        let ev = ApplyEvent {
+            object,
+            new_ts,
+            outcome,
+        };
+        if trace.events.len() == NODE_EVENT_CAP {
+            trace.events.pop_front();
+            trace.dropped += 1;
+        }
+        trace.events.push_back(ev);
+    }
+
+    /// Record a two-tier acceptance decision, with the values the
+    /// engine compared, so the oracle can re-derive it.
+    pub fn acceptance(
+        &self,
+        txn: TxnId,
+        criterion: CriterionKind,
+        base: Vec<(ObjectId, Value)>,
+        tentative: Vec<(ObjectId, Value)>,
+        accepted: bool,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.borrow_mut();
+        if state.acceptances.len() == ACCEPTANCE_CAP {
+            state.acceptances.pop_front();
+            state.acceptances_dropped += 1;
+        }
+        state.acceptances.push_back(AcceptanceRecord {
+            txn,
+            criterion,
+            base,
+            tentative,
+            accepted,
+        });
+    }
+
+    /// Snapshot `node`'s final store (call once per node, at run end).
+    pub fn final_store(&self, node: NodeId, store: &ObjectStore) {
+        let Some(inner) = &self.inner else { return };
+        inner.borrow_mut().finals.push((node, snapshot(store)));
+    }
+
+    /// Snapshot the final master store (two-tier: replicas must
+    /// converge to *this*, not merely to each other).
+    pub fn final_master(&self, store: &ObjectStore) {
+        let Some(inner) = &self.inner else { return };
+        inner.borrow_mut().master_final = Some(snapshot(store));
+    }
+
+    /// Declare that this execution is *expected* to diverge (e.g.
+    /// lazy-group with reconciliation disabled — the paper's §1.2
+    /// ablation). Convergence and delusion oracles are suppressed and
+    /// the report says so.
+    pub fn expect_divergence(&self) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().expect_divergence = true;
+        }
+    }
+
+    /// Origin commits retained so far (testing / reporting aid).
+    pub fn commits(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.borrow().origin.len())
+    }
+
+    /// Run every oracle the scheme promises and produce the report.
+    /// An inactive recorder reports a trivially clean, zero-commit
+    /// execution.
+    pub fn check(&self) -> CheckReport {
+        let Some(inner) = &self.inner else {
+            return CheckReport {
+                scheme: Scheme::Contention,
+                violations: Vec::new(),
+                commits: 0,
+                history_dropped: 0,
+                node_events_dropped: 0,
+                expected_divergence: false,
+            };
+        };
+        let state = inner.borrow();
+        let mut violations = Vec::new();
+
+        if state.scheme.promises_serializability() {
+            if let Detailed::NotSerializable { cycle } = state.origin.check_detailed() {
+                violations.push(Violation::NotSerializable { cycle });
+            }
+            check_version_chains(&state.origin, &mut violations);
+        }
+
+        if state.scheme == Scheme::TwoTier {
+            check_acceptances(&state.acceptances, &mut violations);
+        }
+
+        let convergence_applies = matches!(state.scheme, Scheme::LazyGroup | Scheme::TwoTier);
+        if convergence_applies && !state.expect_divergence {
+            // Two-tier replicas must converge to the *master* state;
+            // lazy-group nodes must converge to each other.
+            let reference = state.master_final.as_ref().map(|m| (None, m));
+            let reference =
+                reference.or_else(|| state.finals.first().map(|(node, snap)| (Some(*node), snap)));
+            if let Some((ref_node, ref_snap)) = reference {
+                if let Some(v) = find_divergence(ref_node, ref_snap, &state.finals) {
+                    violations.push(v);
+                }
+            }
+            if state.scheme == Scheme::LazyGroup {
+                check_delusion(&state, &mut violations);
+            }
+        }
+
+        CheckReport {
+            scheme: state.scheme,
+            violations,
+            commits: state.origin.len() + state.origin.dropped() as usize,
+            history_dropped: state.origin.dropped(),
+            node_events_dropped: state.nodes.iter().map(|t| t.dropped).sum(),
+            expected_divergence: state.expect_divergence,
+        }
+    }
+}
+
+/// Snapshot a store as `(object, version)` pairs, in object order.
+pub fn snapshot(store: &ObjectStore) -> Vec<(ObjectId, Versioned)> {
+    store.iter().map(|(id, v)| (id, v.clone())).collect()
+}
+
+/// Origin commits must form a linear version chain per object: each
+/// write's `old` version is exactly the previous committed `new`
+/// version (anchored at [`Timestamp::ZERO`], the initial state, when
+/// the history is complete). Reports the first break only — the
+/// minimal counterexample.
+fn check_version_chains(origin: &History, violations: &mut Vec<Violation>) {
+    let truncated = origin.dropped() > 0;
+    let mut last_new: HashMap<ObjectId, Timestamp> = HashMap::new();
+    for r in origin.records() {
+        for &(obj, old, new) in &r.writes {
+            let expected = match last_new.get(&obj) {
+                Some(&prev) => Some(prev),
+                // With an evicted prefix the first retained write may
+                // legitimately chain off an unseen version.
+                None if truncated => None,
+                None => Some(Timestamp::ZERO),
+            };
+            if let Some(expected) = expected {
+                if old != expected {
+                    violations.push(Violation::VersionChainBreak {
+                        object: obj,
+                        txn: r.txn,
+                        expected_old: expected,
+                        found_old: old,
+                    });
+                    return;
+                }
+            }
+            last_new.insert(obj, new);
+        }
+    }
+}
+
+/// Re-derive every two-tier acceptance decision; the engine's answer
+/// must match. Reports the first mismatch only.
+fn check_acceptances(acceptances: &VecDeque<AcceptanceRecord>, violations: &mut Vec<Violation>) {
+    for a in acceptances {
+        let should = a.criterion.accepts(&a.base, &a.tentative);
+        if should != a.accepted {
+            violations.push(Violation::AcceptanceUnsound {
+                txn: a.txn,
+                criterion: a.criterion.name(),
+                accepted: a.accepted,
+                should_accept: should,
+            });
+            return;
+        }
+    }
+}
+
+/// Compare every final snapshot against the reference; return the
+/// lowest-numbered diverging object with each node's state of it.
+fn find_divergence(
+    ref_node: Option<NodeId>,
+    ref_snap: &[(ObjectId, Versioned)],
+    finals: &[(NodeId, Vec<(ObjectId, Versioned)>)],
+) -> Option<Violation> {
+    let mut worst: Option<ObjectId> = None;
+    for (node, snap) in finals {
+        if Some(*node) == ref_node {
+            continue;
+        }
+        for (&(obj, ref rv), &(sobj, ref sv)) in ref_snap.iter().zip(snap.iter()) {
+            debug_assert_eq!(obj, sobj, "snapshots must cover the same objects in order");
+            if rv != sv && worst.is_none_or(|w| obj < w) {
+                worst = Some(obj);
+                break; // later objects on this node can't be lower
+            }
+        }
+    }
+    let obj = worst?;
+    let mut states: Vec<(NodeId, Timestamp, Value)> = Vec::new();
+    for (node, snap) in finals {
+        if let Some((_, v)) = snap.iter().find(|(o, _)| *o == obj) {
+            states.push((*node, v.ts, v.value.clone()));
+        }
+    }
+    Some(Violation::Divergence {
+        object: obj,
+        reference: ref_node,
+        states,
+    })
+}
+
+/// System delusion (§1.2): a committed update that some replica never
+/// reflects. We flag only *missing newest* committed writes — a node
+/// whose final version of an object is older than the newest committed
+/// version of that object in the history. (A node being *ahead* of the
+/// retained history is not delusion: crash-orphaned or evicted writes
+/// can legitimately appear that way.)
+fn check_delusion(state: &OracleState, violations: &mut Vec<Violation>) {
+    let mut newest: HashMap<ObjectId, Timestamp> = HashMap::new();
+    for r in state.origin.records() {
+        for &(obj, _old, new) in &r.writes {
+            let e = newest.entry(obj).or_insert(new);
+            if new > *e {
+                *e = new;
+            }
+        }
+    }
+    // Deterministic minimal counterexample: lowest object id first.
+    let mut objects: Vec<(&ObjectId, &Timestamp)> = newest.iter().collect();
+    objects.sort_unstable();
+    for (&obj, &committed_ts) in objects {
+        for (node, snap) in &state.finals {
+            let Some((_, v)) = snap.iter().find(|(o, _)| *o == obj) else {
+                continue;
+            };
+            if v.ts < committed_ts {
+                let dropped_at_apply = state.nodes.get(node.0 as usize).is_some_and(|t| {
+                    t.events.iter().rev().any(|ev| {
+                        ev.object == obj
+                            && ev.new_ts == committed_ts
+                            && ev.outcome == ApplyOutcome::ConflictIgnored
+                    })
+                });
+                violations.push(Violation::DelusiveWrite {
+                    object: obj,
+                    node: *node,
+                    committed_ts,
+                    node_ts: v.ts,
+                    dropped_at_apply,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// One oracle violation, carrying its minimal counterexample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The DSG has a cycle — the execution is not one-copy
+    /// serializable (§2).
+    NotSerializable {
+        /// The shortest cycle found, labeled edges in order.
+        cycle: Vec<DepEdge>,
+    },
+    /// Final replica states disagree (§1.2 / §7).
+    Divergence {
+        /// Lowest-numbered diverging object.
+        object: ObjectId,
+        /// Reference node (None = the two-tier master).
+        reference: Option<NodeId>,
+        /// Each node's final `(ts, value)` for the object.
+        states: Vec<(NodeId, Timestamp, Value)>,
+    },
+    /// System delusion (§1.2): a committed write a replica never saw.
+    DelusiveWrite {
+        /// The object whose newest committed write is missing.
+        object: ObjectId,
+        /// The node that is missing it.
+        node: NodeId,
+        /// The newest committed version of the object.
+        committed_ts: Timestamp,
+        /// What the node actually holds.
+        node_ts: Timestamp,
+        /// Whether the node's trace shows the write arriving and being
+        /// silently discarded by reconciliation.
+        dropped_at_apply: bool,
+    },
+    /// Committed writes do not form a linear version chain per object.
+    VersionChainBreak {
+        /// The object with the broken chain.
+        object: ObjectId,
+        /// The transaction whose write broke it.
+        txn: TxnId,
+        /// The version the chain says it should have replaced.
+        expected_old: Timestamp,
+        /// The version it claims to have replaced.
+        found_old: Timestamp,
+    },
+    /// A two-tier acceptance decision disagrees with the oracle's
+    /// independent re-derivation (§7).
+    AcceptanceUnsound {
+        /// The base transaction.
+        txn: TxnId,
+        /// Criterion name.
+        criterion: &'static str,
+        /// What the engine decided.
+        accepted: bool,
+        /// What the oracle derives.
+        should_accept: bool,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NotSerializable { cycle } => {
+                write!(f, "not serializable: cycle")?;
+                for e in cycle {
+                    write!(f, " {e}")?;
+                }
+                Ok(())
+            }
+            Violation::Divergence {
+                object,
+                reference,
+                states,
+            } => {
+                write!(f, "replicas diverged on {object}")?;
+                match reference {
+                    Some(n) => write!(f, " (reference {n})")?,
+                    None => write!(f, " (reference: master)")?,
+                }
+                write!(f, ":")?;
+                for (n, ts, v) in states {
+                    write!(f, " {n}={v}@{ts}")?;
+                }
+                Ok(())
+            }
+            Violation::DelusiveWrite {
+                object,
+                node,
+                committed_ts,
+                node_ts,
+                dropped_at_apply,
+            } => write!(
+                f,
+                "system delusion: committed write {object}@{committed_ts} never reached {node} \
+                 (node holds {object}@{node_ts}; silently dropped at apply: {})",
+                if *dropped_at_apply { "yes" } else { "unknown" }
+            ),
+            Violation::VersionChainBreak {
+                object,
+                txn,
+                expected_old,
+                found_old,
+            } => write!(
+                f,
+                "version chain broken on {object} at {txn}: overwrote {found_old} \
+                 but the latest committed version was {expected_old}"
+            ),
+            Violation::AcceptanceUnsound {
+                txn,
+                criterion,
+                accepted,
+                should_accept,
+            } => write!(
+                f,
+                "acceptance unsound for {txn} ({criterion}): engine said {accepted}, \
+                 oracle derives {should_accept}"
+            ),
+        }
+    }
+}
+
+/// The outcome of running every applicable oracle over one execution.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The scheme the execution ran under.
+    pub scheme: Scheme,
+    /// Violations found, each with its minimal counterexample.
+    pub violations: Vec<Violation>,
+    /// Total origin commits observed (including any evicted).
+    pub commits: usize,
+    /// Origin history records evicted by the ring cap. Nonzero makes a
+    /// *clean* serializability verdict inconclusive (a cycle is still
+    /// sound).
+    pub history_dropped: u64,
+    /// Per-node apply events evicted across all nodes.
+    pub node_events_dropped: u64,
+    /// Whether the engine declared divergence expected (oracle
+    /// suppressed).
+    pub expected_divergence: bool,
+}
+
+impl CheckReport {
+    /// No violations found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Whether history eviction makes a clean verdict inconclusive.
+    pub fn truncated(&self) -> bool {
+        self.history_dropped > 0
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        if !self.is_clean() {
+            format!(
+                "{}: {} violation(s) over {} commits",
+                self.scheme,
+                self.violations.len(),
+                self.commits
+            )
+        } else if self.truncated() {
+            format!(
+                "{}: clean but TRUNCATED ({} of {} commits evicted) — inconclusive",
+                self.scheme, self.history_dropped, self.commits
+            )
+        } else {
+            format!("{}: clean ({} commits checked)", self.scheme, self.commits)
+        }
+    }
+}
+
+/// Standalone convergence oracle over store snapshots (used by the
+/// threaded cluster, which has no recorder threading). Returns the
+/// minimal diverging object, if any.
+pub fn check_store_convergence(stores: &[(NodeId, ObjectStore)]) -> Option<Violation> {
+    let finals: Vec<(NodeId, Vec<(ObjectId, Versioned)>)> =
+        stores.iter().map(|(n, s)| (*n, snapshot(s))).collect();
+    let (ref_node, ref_snap) = finals.first().map(|(n, s)| (*n, s))?;
+    find_divergence(Some(ref_node), ref_snap, &finals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(c: u64, n: u32) -> Timestamp {
+        Timestamp::new(c, NodeId(n))
+    }
+
+    fn rec(
+        id: u64,
+        reads: &[(u64, Timestamp)],
+        writes: &[(u64, Timestamp, Timestamp)],
+    ) -> TxnRecord {
+        TxnRecord {
+            txn: TxnId(id),
+            reads: reads.iter().map(|&(o, v)| (ObjectId(o), v)).collect(),
+            writes: writes
+                .iter()
+                .map(|&(o, old, new)| (ObjectId(o), old, new))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn off_recorder_is_inert_and_clean() {
+        let r = Recorder::off();
+        assert!(!r.is_on());
+        r.commit(NodeId(0), rec(1, &[], &[]));
+        r.final_store(NodeId(0), &ObjectStore::new(4));
+        let report = r.check();
+        assert!(report.is_clean());
+        assert_eq!(report.commits, 0);
+    }
+
+    #[test]
+    fn serializability_violation_carries_shortest_cycle() {
+        let r = Recorder::new(Scheme::Eager);
+        // Write skew between t1 and t2.
+        r.commit(
+            NodeId(0),
+            rec(1, &[(0, ts(0, 0))], &[(1, ts(0, 0), ts(5, 0))]),
+        );
+        r.commit(
+            NodeId(0),
+            rec(2, &[(1, ts(0, 0))], &[(0, ts(0, 0), ts(6, 0))]),
+        );
+        let report = r.check();
+        assert!(matches!(
+            report.violations.first(),
+            Some(Violation::NotSerializable { cycle }) if cycle.len() == 2
+        ));
+    }
+
+    #[test]
+    fn version_chain_break_is_flagged_with_first_offender() {
+        let r = Recorder::new(Scheme::Contention);
+        r.commit(NodeId(0), rec(1, &[], &[(0, ts(0, 0), ts(1, 0))]));
+        // t2 claims to replace version 0 again — a lost update.
+        r.commit(NodeId(0), rec(2, &[], &[(0, ts(0, 0), ts(2, 0))]));
+        let report = r.check();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::VersionChainBreak { txn: TxnId(2), .. })));
+    }
+
+    #[test]
+    fn lazy_group_divergence_yields_lowest_object() {
+        let r = Recorder::new(Scheme::LazyGroup);
+        let mut a = ObjectStore::new(4);
+        let mut b = ObjectStore::new(4);
+        b.set(ObjectId(1), Value::Int(7), ts(3, 1));
+        b.set(ObjectId(3), Value::Int(9), ts(4, 1));
+        a.set(ObjectId(3), Value::Int(2), ts(2, 0));
+        r.final_store(NodeId(0), &a);
+        r.final_store(NodeId(1), &b);
+        let report = r.check();
+        match report.violations.first() {
+            Some(Violation::Divergence { object, states, .. }) => {
+                assert_eq!(*object, ObjectId(1));
+                assert_eq!(states.len(), 2);
+            }
+            v => panic!("unexpected {v:?}"),
+        }
+    }
+
+    #[test]
+    fn expected_divergence_suppresses_convergence_oracles() {
+        let r = Recorder::new(Scheme::LazyGroup);
+        r.expect_divergence();
+        let mut a = ObjectStore::new(2);
+        a.set(ObjectId(0), Value::Int(1), ts(1, 0));
+        r.final_store(NodeId(0), &a);
+        r.final_store(NodeId(1), &ObjectStore::new(2));
+        let report = r.check();
+        assert!(report.is_clean());
+        assert!(report.expected_divergence);
+    }
+
+    #[test]
+    fn delusion_flags_missing_committed_write_with_apply_evidence() {
+        let r = Recorder::new(Scheme::LazyGroup);
+        let committed = ts(9, 0);
+        r.commit(NodeId(0), rec(1, &[], &[(2, ts(0, 0), committed)]));
+        // Node 1 received the update but reconciliation dropped it.
+        r.replica_apply(
+            NodeId(1),
+            ObjectId(2),
+            committed,
+            ApplyOutcome::ConflictIgnored,
+        );
+        let mut origin = ObjectStore::new(4);
+        origin.set(ObjectId(2), Value::Int(5), committed);
+        let stale = ObjectStore::new(4); // still at the initial version
+        r.final_store(NodeId(0), &origin);
+        r.final_store(NodeId(1), &stale);
+        let report = r.check();
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::DelusiveWrite {
+                    object: ObjectId(2),
+                    node: NodeId(1),
+                    dropped_at_apply: true,
+                    ..
+                }
+            )),
+            "violations: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn node_ahead_of_history_is_not_delusion() {
+        // A crash-orphaned write can leave a node *newer* than the
+        // committed history; convergence (not delusion) owns that case.
+        let r = Recorder::new(Scheme::LazyGroup);
+        r.commit(NodeId(0), rec(1, &[], &[(0, ts(0, 0), ts(1, 0))]));
+        let mut ahead = ObjectStore::new(2);
+        ahead.set(ObjectId(0), Value::Int(9), ts(8, 1));
+        r.final_store(NodeId(0), &ahead);
+        r.final_store(NodeId(1), &ahead);
+        let report = r.check();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn unsound_acceptance_is_rederived_and_flagged() {
+        let r = Recorder::new(Scheme::TwoTier);
+        let base = vec![(ObjectId(0), Value::Int(-4))];
+        let tent = vec![(ObjectId(0), Value::Int(3))];
+        // Engine claims a negative balance passed the non-negative
+        // criterion — the oracle must disagree.
+        r.acceptance(TxnId(7), CriterionKind::NonNegative, base, tent, true);
+        let report = r.check();
+        assert!(matches!(
+            report.violations.first(),
+            Some(Violation::AcceptanceUnsound {
+                txn: TxnId(7),
+                accepted: true,
+                should_accept: false,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn criterion_kinds_match_engine_semantics() {
+        let o = ObjectId(0);
+        let base = vec![(o, Value::Int(5))];
+        let far = vec![(o, Value::Int(50))];
+        assert!(CriterionKind::AlwaysAccept.accepts(&base, &far));
+        assert!(CriterionKind::NonNegative.accepts(&base, &far));
+        assert!(!CriterionKind::NonNegative.accepts(&[(o, Value::Int(-1))], &far));
+        assert!(CriterionKind::AtMost(100).accepts(&far, &base));
+        assert!(!CriterionKind::AtMost(10).accepts(&far, &base));
+        assert!(CriterionKind::ExactMatch.accepts(&base, &base.clone()));
+        assert!(!CriterionKind::ExactMatch.accepts(&base, &far));
+        // Text payloads are outside numeric criteria: accepted.
+        let text = vec![(o, Value::from("doc"))];
+        assert!(CriterionKind::NonNegative.accepts(&text, &text.clone()));
+    }
+
+    #[test]
+    fn truncated_history_reports_inconclusive_not_violation() {
+        let r = Recorder::new(Scheme::Eager);
+        {
+            // Overflow the cap with a clean linear chain.
+            for i in 0..(DEFAULT_HISTORY_CAP as u64 + 10) {
+                r.commit(NodeId(0), rec(i + 1, &[], &[(0, ts(i, 0), ts(i + 1, 0))]));
+            }
+        }
+        let report = r.check();
+        assert!(report.is_clean());
+        assert!(report.truncated());
+        assert_eq!(report.commits, DEFAULT_HISTORY_CAP + 10);
+        assert!(report.summary().contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn store_convergence_helper_finds_divergence() {
+        let mut a = ObjectStore::new(3);
+        let b = ObjectStore::new(3);
+        assert!(
+            check_store_convergence(&[(NodeId(0), a.clone()), (NodeId(1), b.clone())]).is_none()
+        );
+        a.set(ObjectId(2), Value::Int(1), ts(1, 0));
+        let v = check_store_convergence(&[(NodeId(0), a), (NodeId(1), b)]);
+        assert!(matches!(
+            v,
+            Some(Violation::Divergence {
+                object: ObjectId(2),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn scheme_names_round_trip() {
+        for s in Scheme::ALL {
+            assert_eq!(Scheme::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scheme::parse("nope"), None);
+    }
+}

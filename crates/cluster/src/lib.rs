@@ -445,6 +445,21 @@ impl Cluster {
             .collect()
     }
 
+    /// Run the convergence oracle over every live node's store.
+    /// `None` means the replicas converged; otherwise the violation
+    /// names the lowest diverging object and each node's version of it
+    /// — a digest mismatch with a counterexample attached. Crashed
+    /// nodes are skipped (a snapshot aimed at one would stall until
+    /// restart).
+    pub fn divergence(&self) -> Option<repl_check::Violation> {
+        let stores: Vec<(NodeId, ObjectStore)> = (0..self.senders.len() as u32)
+            .map(NodeId)
+            .filter(|&n| !self.is_crashed(n))
+            .map(|n| (n, self.snapshot(n)))
+            .collect();
+        repl_check::check_store_convergence(&stores)
+    }
+
     /// Shut the cluster down, joining every node thread.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -514,6 +529,8 @@ mod tests {
             digests.iter().all(|&d| d == digests[0]),
             "replicas diverged: {digests:?}"
         );
+        // The oracle agrees, and would have named the diverging object.
+        assert_eq!(c.divergence(), None);
         c.shutdown();
     }
 
@@ -621,6 +638,9 @@ mod tests {
             digests.iter().all(|&d| d == digests[0]),
             "recovered node diverged: {digests:?}"
         );
+        if let Some(v) = c.divergence() {
+            panic!("convergence oracle disagrees with digests: {v}");
+        }
         c.shutdown();
     }
 

@@ -23,8 +23,10 @@
 
 use crate::config::SimConfig;
 use crate::metrics::{Metrics, Report};
+use repl_check::{Recorder, TxnRecord};
 use repl_sim::{EventQueue, Sampler, SimDuration, SimRng, SimTime};
-use repl_storage::{Acquire, LockManager, NodeId, ObjectId, TxnId};
+use repl_storage::hash::FastMap;
+use repl_storage::{Acquire, LockManager, NodeId, ObjectId, Timestamp, TxnId};
 use repl_telemetry::{AbortReason, Event, EventKind, Profiler, TraceHandle};
 use std::collections::HashMap;
 
@@ -101,6 +103,9 @@ struct ActiveTxn {
     node: NodeId,
     started: SimTime,
     wait_started: Option<SimTime>,
+    /// `(object, version seen)` per granted lock — captured at grant
+    /// time (the oracle's read set). Empty unless a recorder is on.
+    reads: Vec<(ObjectId, Timestamp)>,
 }
 
 /// The contention simulator.
@@ -122,6 +127,15 @@ pub struct ContentionSim {
     run_label: String,
     /// Recycled buffer for lock-release promotions (commit/abort path).
     granted_scratch: Vec<(TxnId, ObjectId)>,
+    /// Optional correctness recorder (off ⇒ every hook is a no-op).
+    recorder: Recorder,
+    /// Current committed version per object, for the recorder. The
+    /// contention engine has no object store, so versions are minted
+    /// here: reads capture the version at lock *grant* (under strict
+    /// 2PL it cannot change before commit), commits mint successors.
+    versions: FastMap<ObjectId, Timestamp>,
+    /// Version-minting counter (unique, monotone across the run).
+    version_counter: u64,
 }
 
 impl ContentionSim {
@@ -150,8 +164,17 @@ impl ContentionSim {
             profiler: Profiler::off(),
             run_label: "contention".to_owned(),
             granted_scratch: Vec::new(),
+            recorder: Recorder::off(),
+            versions: FastMap::default(),
+            version_counter: 0,
             cfg,
         }
+    }
+
+    /// Attach a correctness recorder; the oracle sees every commit.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Attach a tracer; events flow from simulated time zero (warm-up
@@ -232,6 +255,7 @@ impl ContentionSim {
                 node,
                 started: self.queue.now(),
                 wait_started: None,
+                reads: Vec::new(),
             },
         );
         self.tracer
@@ -259,6 +283,7 @@ impl ContentionSim {
                     self.metrics.actions.add(self.profile.updates_per_action);
                     self.metrics.messages.add(self.profile.messages_per_action);
                 }
+                self.record_read(id, obj);
                 self.queue
                     .schedule_after(self.profile.work_per_action, Ev::StepDone(id));
             }
@@ -330,6 +355,26 @@ impl ContentionSim {
         }
         self.tracer
             .emit(|| Event::new(self.queue.now(), txn.node, id, EventKind::TxnCommit));
+        if self.recorder.is_on() {
+            // Every locked object is read and updated (the model's
+            // actions are updates): mint the successor versions now,
+            // in commit order.
+            let mut writes = Vec::with_capacity(txn.reads.len());
+            for &(obj, seen) in &txn.reads {
+                self.version_counter += 1;
+                let new = Timestamp::new(self.version_counter, NodeId(0));
+                self.versions.insert(obj, new);
+                writes.push((obj, seen, new));
+            }
+            self.recorder.commit(
+                txn.node,
+                TxnRecord {
+                    txn: id,
+                    reads: txn.reads,
+                    writes,
+                },
+            );
+        }
         self.release_and_resume(id);
     }
 
@@ -347,9 +392,24 @@ impl ContentionSim {
         self.granted_scratch = granted;
     }
 
+    /// The version a transaction observes when a lock is granted. Under
+    /// strict two-phase locking nothing can change the object before
+    /// the holder commits, so grant-time capture equals read-time.
+    fn record_read(&mut self, id: TxnId, obj: ObjectId) {
+        if !self.recorder.is_on() {
+            return;
+        }
+        let seen = self.versions.get(&obj).copied().unwrap_or(Timestamp::ZERO);
+        self.active
+            .get_mut(&id)
+            .expect("stepping txn must be active")
+            .reads
+            .push((obj, seen));
+    }
+
     /// Waiters promoted by a release start their service time now.
     fn resume_granted(&mut self, granted: &[(TxnId, ObjectId)]) {
-        for &(waiter, _obj) in granted {
+        for &(waiter, obj) in granted {
             let now = self.queue.now();
             let t = self
                 .active
@@ -366,6 +426,7 @@ impl ContentionSim {
                 self.metrics.actions.add(self.profile.updates_per_action);
                 self.metrics.messages.add(self.profile.messages_per_action);
             }
+            self.record_read(waiter, obj);
             self.queue
                 .schedule_after(self.profile.work_per_action, Ev::StepDone(waiter));
         }

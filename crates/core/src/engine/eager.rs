@@ -82,6 +82,13 @@ impl EagerSim {
         self
     }
 
+    /// Attach a correctness recorder (see
+    /// [`ContentionSim::with_recorder`]).
+    pub fn with_recorder(mut self, recorder: repl_check::Recorder) -> Self {
+        self.inner = self.inner.with_recorder(recorder);
+        self
+    }
+
     /// Run to the horizon.
     pub fn run(self) -> Report {
         self.inner.run()

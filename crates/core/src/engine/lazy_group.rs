@@ -18,13 +18,14 @@
 
 use crate::config::{DeadlockPolicy, SimConfig};
 use crate::metrics::{Metrics, Report};
+use repl_check::{Recorder, TxnRecord};
 use repl_net::{
     DisconnectSchedule, FaultInjector, FaultPlan, LatencyModel, Network, PeriodModel, SendOutcome,
 };
 use repl_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use repl_storage::{
     Acquire, ApplyOutcome, CommitLog, DeadlockMode, LamportClock, LockManager, Lsn, NodeId,
-    ObjectId, ObjectStore, TxnId, UpdateRecord, Value,
+    ObjectId, ObjectStore, Timestamp, TxnId, UpdateRecord, Value,
 };
 use repl_telemetry::{AbortReason, Event, EventKind, Profiler, TraceHandle};
 use std::collections::HashMap;
@@ -114,6 +115,13 @@ struct RootTxn {
     started: SimTime,
     /// Updates produced so far (old ts captured at write time).
     updates: Vec<UpdateRecord>,
+    /// Pre-images of every store write, for abort rollback. Root
+    /// actions write the store as they go; an abort must restore the
+    /// old versions or the dirty writes survive as orphans no replica
+    /// ever receives — a convergence violation the oracle fuzzer
+    /// caught (newest-timestamp-wins only absorbs an orphan if a
+    /// *newer committed* write happens to follow).
+    undo: Vec<(ObjectId, Value, Timestamp)>,
 }
 
 #[derive(Debug)]
@@ -177,6 +185,8 @@ pub struct LazyGroupSim {
     run_label: String,
     /// Recycled buffer for lock-release promotions (commit/abort path).
     granted_scratch: Vec<(TxnId, ObjectId)>,
+    /// Optional correctness recorder (off ⇒ every hook is a no-op).
+    recorder: Recorder,
 }
 
 impl LazyGroupSim {
@@ -248,8 +258,17 @@ impl LazyGroupSim {
             profiler: Profiler::off(),
             run_label: "lazy-group".to_owned(),
             granted_scratch: Vec::new(),
+            recorder: Recorder::off(),
             cfg,
         }
+    }
+
+    /// Attach a correctness recorder: root commits, replica applies,
+    /// and final stores all flow to the convergence/delusion oracles.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// A lock manager honoring the configured deadlock policy.
@@ -271,16 +290,28 @@ impl LazyGroupSim {
             self.network = Network::new(self.cfg.nodes as usize, self.cfg.latency, self.cfg.seed)
                 .with_faults(FaultInjector::new(&plan));
         }
+        // Windows naming nodes this run doesn't have are vacuous —
+        // filter them out rather than index out of bounds later, so a
+        // plan written for a larger cluster (a fuzzer shrinking the
+        // node count, a hand-edited CHECK_CASE) still runs.
         for w in &plan.partitions {
-            self.queue.schedule_at(
-                w.start,
-                Ev::PartitionStart {
-                    side_a: w.side_a.clone(),
-                },
-            );
+            let side_a: Vec<NodeId> = w
+                .side_a
+                .iter()
+                .copied()
+                .filter(|n| n.0 < self.cfg.nodes)
+                .collect();
+            if side_a.is_empty() {
+                continue;
+            }
+            self.queue
+                .schedule_at(w.start, Ev::PartitionStart { side_a });
             self.queue.schedule_at(w.heal, Ev::PartitionHeal);
         }
         for c in &plan.crashes {
+            if c.node.0 >= self.cfg.nodes {
+                continue;
+            }
             self.queue.schedule_at(c.at, Ev::Crash(c.node));
             self.queue.schedule_at(c.restart, Ev::Restart(c.node));
         }
@@ -339,6 +370,13 @@ impl LazyGroupSim {
     /// (after the convergence drain) alongside the report.
     pub fn run_with_state(mut self) -> (Report, Vec<ObjectStore>) {
         let horizon = self.cfg.horizon;
+        if self.resolution == ResolutionMode::Manual {
+            // Manual mode deliberately drops dangerous updates (§1.2's
+            // system delusion, by design) — the convergence and
+            // delusion oracles would fire on every run, so tell the
+            // recorder this divergence is the experiment.
+            self.recorder.expect_divergence();
+        }
         self.tracer.emit(|| {
             Event::system(
                 SimTime::ZERO,
@@ -375,6 +413,11 @@ impl LazyGroupSim {
         }
         self.tracer.run_end(horizon);
         self.tracer.flush();
+        if self.recorder.is_on() {
+            for (i, node) in self.nodes.iter().enumerate() {
+                self.recorder.final_store(NodeId(i as u32), &node.store);
+            }
+        }
         let stores = self.nodes.into_iter().map(|n| n.store).collect();
         (report, stores)
     }
@@ -527,10 +570,14 @@ impl LazyGroupSim {
             Self::lock_manager(&self.cfg),
         );
         self.metrics.cycle_checks.add(locks.cycle_checks());
-        // In-flight root transactions at the node simply die (their
-        // uncommitted writes were never logged for propagation, and the
-        // convergence rule — newest timestamp wins — absorbs the
-        // orphaned store versions they left behind).
+        // In-flight root transactions at the node die, and recovery
+        // undoes their uncommitted store writes (the WAL-style undo
+        // pass). Skipping the undo leaves dirty versions with fresh
+        // timestamps orphaned in the durable store — never logged for
+        // propagation, so no replica ever hears of them, and
+        // newest-timestamp-wins only absorbs them if a *newer
+        // committed* write happens to follow. The oracle fuzzer caught
+        // exactly that divergence.
         let dead_roots: Vec<TxnId> = self
             .roots
             .iter()
@@ -548,7 +595,8 @@ impl LazyGroupSim {
                     },
                 )
             });
-            self.roots.remove(&id);
+            let txn = self.roots.remove(&id).expect("crashing root txn");
+            self.rollback_root(&txn);
         }
         // In-flight and backlogged replica updates return to the mail.
         let dead_replicas: Vec<TxnId> = self
@@ -627,7 +675,8 @@ impl LazyGroupSim {
         // locks, and a queued ghost would be granted the contested
         // object later and hold it forever.
         self.nodes[node.0 as usize].locks.cancel_wait(id);
-        if self.roots.remove(&id).is_some() {
+        if let Some(txn) = self.roots.remove(&id) {
+            self.rollback_root(&txn);
             self.release_and_resume(node, id);
         } else if let Some(txn) = self.replicas.remove(&id) {
             // Replica updates are resubmitted after a timeout abort,
@@ -682,6 +731,7 @@ impl LazyGroupSim {
                 next: 0,
                 started: self.queue.now(),
                 updates: Vec::with_capacity(self.cfg.actions),
+                undo: Vec::with_capacity(self.cfg.actions),
             },
         );
         self.tracer
@@ -713,9 +763,22 @@ impl LazyGroupSim {
                     self.metrics.deadlocks.incr();
                 }
                 self.emit_deadlock(node, id, AbortReason::Deadlock);
-                self.roots.remove(&id);
+                let txn = self.roots.remove(&id).expect("aborting unknown root");
+                self.rollback_root(&txn);
                 self.release_and_resume(node, id);
             }
+        }
+    }
+
+    /// Undo an aborted root transaction's store writes by restoring the
+    /// pre-images, newest first. Sound because the transaction still
+    /// holds exclusive locks on everything it wrote: no other
+    /// transaction can have read or overwritten the dirty versions.
+    /// Must run *before* the locks are released.
+    fn rollback_root(&mut self, txn: &RootTxn) {
+        let store = &mut self.nodes[txn.node.0 as usize].store;
+        for (obj, value, ts) in txn.undo.iter().rev() {
+            store.set(*obj, value.clone(), *ts);
         }
     }
 
@@ -768,7 +831,9 @@ impl LazyGroupSim {
         let node = txn.node;
         let obj = txn.objects[txn.next];
         let state = &mut self.nodes[node.0 as usize];
-        let old_ts = state.store.get(obj).ts;
+        let old = state.store.get(obj);
+        let old_ts = old.ts;
+        txn.undo.push((obj, old.value.clone(), old_ts));
         let new_ts = state.clock.tick();
         state.store.set(obj, value.clone(), new_ts);
         txn.updates.push(UpdateRecord {
@@ -796,6 +861,21 @@ impl LazyGroupSim {
         self.tracer
             .emit(|| Event::new(self.queue.now(), node, id, EventKind::TxnCommit));
         self.release_and_resume(node, id);
+        if self.recorder.is_on() {
+            // A root transaction reads the version it overwrites.
+            self.recorder.commit(
+                node,
+                TxnRecord {
+                    txn: id,
+                    reads: txn.updates.iter().map(|u| (u.object, u.old_ts)).collect(),
+                    writes: txn
+                        .updates
+                        .iter()
+                        .map(|u| (u.object, u.old_ts, u.new_ts))
+                        .collect(),
+                },
+            );
+        }
         // Commit goes to the node's log; propagation replays the log in
         // commit order (one lazy transaction per remote node — Figure
         // 1's "three node lazy transaction is actually 3 transactions").
@@ -1039,6 +1119,7 @@ impl LazyGroupSim {
                 }
             }
         };
+        self.recorder.replica_apply(node, object, new_ts, outcome);
         match outcome {
             ApplyOutcome::Applied => {}
             ApplyOutcome::Duplicate => {

@@ -20,11 +20,12 @@ use crate::metrics::{Metrics, Report};
 use crate::op::{Op, Operation};
 use crate::serializability::{History, TxnRecord};
 use crate::txn::{Criterion, TxnSpec};
+use repl_check::{CriterionKind, Recorder};
 use repl_net::{DisconnectSchedule, Network, PeriodModel, SendOutcome};
 use repl_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use repl_storage::{
-    Acquire, LamportClock, LockManager, NodeId, ObjectId, ObjectStore, TentativeStore, Timestamp,
-    TxnId, Value,
+    Acquire, ApplyOutcome, LamportClock, LockManager, NodeId, ObjectId, ObjectStore,
+    TentativeStore, Timestamp, TxnId, Value,
 };
 use repl_telemetry::{Event, EventKind, Profiler, TraceHandle};
 use std::collections::{HashMap, VecDeque};
@@ -170,6 +171,20 @@ pub struct TwoTierSim {
     /// 2 ("base transactions execute with single-copy serializability")
     /// is *verified*, not assumed: see [`TwoTierSim::run_full`].
     history: History,
+    /// Optional oracle recorder mirroring commits, acceptance
+    /// decisions, refresh applies, and final stores.
+    recorder: Recorder,
+}
+
+/// Map the engine's acceptance criterion onto the oracle layer's
+/// independent re-implementation of the same rule.
+fn criterion_kind(c: &Criterion) -> CriterionKind {
+    match c {
+        Criterion::AlwaysAccept => CriterionKind::AlwaysAccept,
+        Criterion::NonNegative => CriterionKind::NonNegative,
+        Criterion::AtMost(b) => CriterionKind::AtMost(*b),
+        Criterion::ExactMatch => CriterionKind::ExactMatch,
+    }
 }
 
 impl TwoTierSim {
@@ -256,6 +271,7 @@ impl TwoTierSim {
             run_label: "two-tier".to_owned(),
             granted_scratch: Vec::new(),
             history: History::new(),
+            recorder: Recorder::off(),
             cfg,
         }
     }
@@ -278,6 +294,16 @@ impl TwoTierSim {
     #[must_use]
     pub fn with_run_label(mut self, label: impl Into<String>) -> Self {
         self.run_label = label.into();
+        self
+    }
+
+    /// Attach a correctness recorder (see [`repl_check::Recorder`]):
+    /// mirrors committed base transactions, acceptance decisions,
+    /// replica refresh applies, and the final stores into the oracle
+    /// layer.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -335,7 +361,7 @@ impl TwoTierSim {
         }
         self.tracer.run_end(horizon);
         self.tracer.flush();
-        let replicas = self
+        let replicas: Vec<ObjectStore> = self
             .replicas
             .into_iter()
             .map(|mut t| {
@@ -343,6 +369,12 @@ impl TwoTierSim {
                 t.master().clone()
             })
             .collect();
+        if self.recorder.is_on() {
+            self.recorder.final_master(&self.master);
+            for (i, store) in replicas.iter().enumerate() {
+                self.recorder.final_store(NodeId(i as u32), store);
+            }
+        }
         (report, self.master, replicas, self.history)
     }
 
@@ -644,6 +676,20 @@ impl TwoTierSim {
             Some(tentative) => txn.spec.criterion.accepts(&txn.buffered, tentative),
             None => txn.spec.criterion.accepts(&txn.buffered, &txn.buffered),
         };
+        if self.recorder.is_on() {
+            let tentative = txn
+                .tentative_results
+                .as_deref()
+                .unwrap_or(&txn.buffered)
+                .to_vec();
+            self.recorder.acceptance(
+                id,
+                criterion_kind(&txn.spec.criterion),
+                txn.buffered.clone(),
+                tentative,
+                accepted,
+            );
+        }
         if accepted {
             // Install the buffered writes as the new master state and
             // propagate lazy-master refreshes. Record the footprint
@@ -657,6 +703,16 @@ impl TwoTierSim {
                 self.master.set(*obj, value.clone(), ts);
                 updates.push((*obj, value.clone(), ts));
                 writes.push((*obj, old_ts, ts));
+            }
+            if self.recorder.is_on() {
+                self.recorder.commit(
+                    txn.origin,
+                    TxnRecord {
+                        txn: id,
+                        reads: txn.reads.clone(),
+                        writes: writes.clone(),
+                    },
+                );
             }
             self.history.record(TxnRecord {
                 txn: id,
@@ -785,7 +841,14 @@ impl TwoTierSim {
         let store = self.replicas[to.0 as usize].master_mut();
         let mut applied = false;
         for &(obj, ref value, ts) in msg.updates.iter() {
-            applied |= store.apply_lww(obj, ts, value.clone());
+            let fresh = store.apply_lww(obj, ts, value.clone());
+            applied |= fresh;
+            let outcome = if fresh {
+                ApplyOutcome::Applied
+            } else {
+                ApplyOutcome::Duplicate
+            };
+            self.recorder.replica_apply(to, obj, ts, outcome);
         }
         if applied && self.queue.now() >= self.measure_from {
             self.metrics.replica_commits.incr();

@@ -1,288 +1,10 @@
-//! A runtime serializability checker.
+//! Runtime serializability checking — re-exported from [`repl_check`].
 //!
-//! §7, key property 2: "base transactions execute with single-copy
-//! serializability, so the master base system state is the result of a
-//! serializable execution". Rather than take that on faith, the
-//! two-tier engine can record every committed base transaction's reads
-//! and writes (as the object versions it observed and produced) and
-//! this module verifies the execution *after the fact*: the direct
-//! serialization graph over version dependencies must be acyclic.
-//!
-//! The check covers the dependency kinds expressible in this model:
-//!
-//! * **wr** — T2 read the version T1 wrote ⇒ `T1 → T2`;
-//! * **ww** — T2 overwrote the version T1 wrote ⇒ `T1 → T2`;
-//! * **rw** — T1 read a version that T2 overwrote ⇒ `T1 → T2`
-//!   (anti-dependency).
-//!
-//! A topological order of the graph is a witness serial schedule.
+//! The checker began life here, recording only two-tier base
+//! executions (§7, key property 2). It now lives in the `repl-check`
+//! oracle crate, where every engine threads a
+//! [`repl_check::Recorder`] through its commit path; this module
+//! remains so existing `repl_core::serializability` users keep
+//! compiling.
 
-use repl_storage::{ObjectId, Timestamp, TxnId};
-use std::collections::HashMap;
-
-/// One committed transaction's footprint.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TxnRecord {
-    /// The transaction.
-    pub txn: TxnId,
-    /// `(object, version observed)` for every read.
-    pub reads: Vec<(ObjectId, Timestamp)>,
-    /// `(object, version overwritten, version produced)` for every
-    /// write.
-    pub writes: Vec<(ObjectId, Timestamp, Timestamp)>,
-}
-
-/// An execution history: the committed transactions, in commit order.
-#[derive(Debug, Default, Clone)]
-pub struct History {
-    records: Vec<TxnRecord>,
-}
-
-/// The verdict of a serializability check.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Verdict {
-    /// The dependency graph is acyclic; a witness serial order of
-    /// transaction ids is included.
-    Serializable {
-        /// One topological order (a valid serial schedule).
-        witness: Vec<TxnId>,
-    },
-    /// A dependency cycle exists — the execution is not serializable.
-    /// The transactions known to participate in cycles are listed.
-    NotSerializable {
-        /// Transactions on some cycle.
-        cycle_members: Vec<TxnId>,
-    },
-}
-
-impl History {
-    /// An empty history.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record a committed transaction.
-    pub fn record(&mut self, record: TxnRecord) {
-        self.records.push(record);
-    }
-
-    /// Number of recorded transactions.
-    pub fn len(&self) -> usize {
-        self.records.len()
-    }
-
-    /// Whether the history is empty.
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
-    }
-
-    /// Build the dependency graph and check it for cycles.
-    pub fn check(&self) -> Verdict {
-        // writer_of[(object, version)] = txn that produced it.
-        let mut writer_of: HashMap<(ObjectId, Timestamp), TxnId> = HashMap::new();
-        // overwriters_of[(object, version)] = txns that replaced it. In
-        // a truly one-copy execution each version has at most one
-        // overwriter; recording them all lets the rw edges expose the
-        // lost-update anomaly when two transactions both claim to have
-        // replaced the same version.
-        let mut overwriters_of: HashMap<(ObjectId, Timestamp), Vec<TxnId>> = HashMap::new();
-        for r in &self.records {
-            for &(obj, _old, new) in &r.writes {
-                writer_of.insert((obj, new), r.txn);
-            }
-            for &(obj, old, _new) in &r.writes {
-                overwriters_of.entry((obj, old)).or_default().push(r.txn);
-            }
-        }
-
-        let index: HashMap<TxnId, usize> = self
-            .records
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (r.txn, i))
-            .collect();
-        let n = self.records.len();
-        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let add_edge = |edges: &mut Vec<Vec<usize>>, from: TxnId, to: TxnId| {
-            if from == to {
-                return;
-            }
-            let (Some(&f), Some(&t)) = (index.get(&from), index.get(&to)) else {
-                return;
-            };
-            if !edges[f].contains(&t) {
-                edges[f].push(t);
-            }
-        };
-
-        for r in &self.records {
-            // wr: whoever wrote the version we read precedes us.
-            // rw: whoever overwrote the version we read follows us.
-            for &(obj, seen) in &r.reads {
-                if let Some(&w) = writer_of.get(&(obj, seen)) {
-                    add_edge(&mut edges, w, r.txn);
-                }
-                if let Some(os) = overwriters_of.get(&(obj, seen)) {
-                    for &o in os {
-                        add_edge(&mut edges, r.txn, o);
-                    }
-                }
-            }
-            // ww: whoever wrote the version we overwrote precedes us.
-            for &(obj, old, _new) in &r.writes {
-                if let Some(&w) = writer_of.get(&(obj, old)) {
-                    add_edge(&mut edges, w, r.txn);
-                }
-            }
-        }
-
-        // Kahn's algorithm.
-        let mut indegree = vec![0usize; n];
-        for targets in &edges {
-            for &t in targets {
-                indegree[t] += 1;
-            }
-        }
-        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
-        // Deterministic order: smallest index first.
-        queue.sort_unstable_by(|a, b| b.cmp(a));
-        let mut witness = Vec::with_capacity(n);
-        let mut seen = 0usize;
-        while let Some(i) = queue.pop() {
-            seen += 1;
-            witness.push(self.records[i].txn);
-            for &t in &edges[i] {
-                indegree[t] -= 1;
-                if indegree[t] == 0 {
-                    // Keep the pop order deterministic-ish.
-                    queue.push(t);
-                    queue.sort_unstable_by(|a, b| b.cmp(a));
-                }
-            }
-        }
-        if seen == n {
-            Verdict::Serializable { witness }
-        } else {
-            let cycle_members = (0..n)
-                .filter(|&i| indegree[i] > 0)
-                .map(|i| self.records[i].txn)
-                .collect();
-            Verdict::NotSerializable { cycle_members }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use repl_storage::NodeId;
-
-    fn ts(c: u64) -> Timestamp {
-        Timestamp::new(c, NodeId(0))
-    }
-
-    fn txn(id: u64, reads: &[(u64, u64)], writes: &[(u64, u64, u64)]) -> TxnRecord {
-        TxnRecord {
-            txn: TxnId(id),
-            reads: reads.iter().map(|&(o, v)| (ObjectId(o), ts(v))).collect(),
-            writes: writes
-                .iter()
-                .map(|&(o, old, new)| (ObjectId(o), ts(old), ts(new)))
-                .collect(),
-        }
-    }
-
-    #[test]
-    fn empty_history_is_serializable() {
-        match History::new().check() {
-            Verdict::Serializable { witness } => assert!(witness.is_empty()),
-            v => panic!("unexpected {v:?}"),
-        }
-    }
-
-    #[test]
-    fn sequential_writes_serialize_in_version_order() {
-        let mut h = History::new();
-        h.record(txn(1, &[(0, 0)], &[(0, 0, 1)]));
-        h.record(txn(2, &[(0, 1)], &[(0, 1, 2)]));
-        h.record(txn(3, &[(0, 2)], &[(0, 2, 3)]));
-        match h.check() {
-            Verdict::Serializable { witness } => {
-                assert_eq!(witness, vec![TxnId(1), TxnId(2), TxnId(3)]);
-            }
-            v => panic!("unexpected {v:?}"),
-        }
-    }
-
-    #[test]
-    fn independent_transactions_serializable_any_order() {
-        let mut h = History::new();
-        h.record(txn(1, &[], &[(0, 0, 1)]));
-        h.record(txn(2, &[], &[(1, 0, 1)]));
-        assert!(matches!(h.check(), Verdict::Serializable { .. }));
-    }
-
-    #[test]
-    fn write_skew_cycle_detected() {
-        // Classic non-serializable pattern: T1 reads x@0 writes y;
-        // T2 reads y@0 writes x. Each read a version the other
-        // overwrote: rw edges both ways → cycle.
-        let mut h = History::new();
-        h.record(txn(1, &[(0, 0)], &[(1, 0, 5)]));
-        h.record(txn(2, &[(1, 0)], &[(0, 0, 6)]));
-        match h.check() {
-            Verdict::NotSerializable { cycle_members } => {
-                assert_eq!(cycle_members.len(), 2);
-            }
-            v => panic!("write skew not detected: {v:?}"),
-        }
-    }
-
-    #[test]
-    fn lost_update_cycle_detected() {
-        // T1 and T2 both read x@0; T1 installs x@1, T2 installs x@2
-        // "from" version 0: ww T1→T2 (T2 overwrote v0? both claim to
-        // overwrite v0) plus rw edges.
-        let mut h = History::new();
-        h.record(txn(1, &[(0, 0)], &[(0, 0, 1)]));
-        h.record(txn(2, &[(0, 0)], &[(0, 0, 2)]));
-        // T2 read x@0 which T1 overwrote → T2→T1; T1 read x@0 which T2
-        // overwrote → T1→T2. Overwriter bookkeeping keeps the last
-        // claimant, but the rw edge pair still closes the cycle.
-        assert!(matches!(h.check(), Verdict::NotSerializable { .. }));
-    }
-
-    #[test]
-    fn read_only_transactions_order_between_writers() {
-        let mut h = History::new();
-        h.record(txn(1, &[], &[(0, 0, 1)]));
-        h.record(txn(2, &[(0, 1)], &[])); // reads T1's version
-        h.record(txn(3, &[(0, 1)], &[(0, 1, 2)])); // overwrites it
-        match h.check() {
-            Verdict::Serializable { witness } => {
-                let pos = |id: u64| witness.iter().position(|&t| t == TxnId(id)).unwrap();
-                assert!(pos(1) < pos(2), "reader after writer");
-                assert!(pos(2) < pos(3), "reader before overwriter");
-            }
-            v => panic!("unexpected {v:?}"),
-        }
-    }
-
-    #[test]
-    fn witness_is_a_permutation() {
-        let mut h = History::new();
-        for i in 0..10u64 {
-            h.record(txn(i, &[(i % 3, 0)], &[(i + 10, 0, 1)]));
-        }
-        // All read version 0 of shared objects that no one overwrites —
-        // no conflicts beyond wr on never-written versions.
-        match h.check() {
-            Verdict::Serializable { witness } => {
-                let mut ids: Vec<u64> = witness.iter().map(|t| t.0).collect();
-                ids.sort_unstable();
-                assert_eq!(ids, (0..10).collect::<Vec<_>>());
-            }
-            v => panic!("unexpected {v:?}"),
-        }
-    }
-}
+pub use repl_check::{History, TxnRecord, Verdict};

@@ -1,0 +1,361 @@
+//! The correctness-oracle experiments (`check`, `check-selftest`).
+//!
+//! `check` replays the committed seed corpus (`tests/check_seeds.txt`)
+//! and then runs the seeded schedule fuzzer over all five engines,
+//! routing every execution through the `repl-check` oracles. A failing
+//! case is greedily shrunk and printed as a re-runnable repro line:
+//! set `CHECK_CASE='<line>'` to replay exactly that execution.
+//!
+//! `check-selftest` feeds each oracle a deliberately broken artifact —
+//! a cyclic history, diverging finals, a silently dropped committed
+//! write, a broken version chain, an unsound acceptance — and fails
+//! unless every one is flagged. It guards against the worst failure
+//! mode a checker can have: silently passing everything.
+
+use crate::table::Table;
+use crate::RunOpts;
+use repl_check::{
+    fuzz, CheckReport, CriterionKind, Detailed, FuzzCase, History, Recorder, Scheme, TxnRecord,
+    Violation, DEFAULT_HISTORY_CAP,
+};
+use repl_core::{
+    ContentionProfile, ContentionSim, EagerSim, LazyGroupSim, LazyMasterSim, Mobility, Ownership,
+    ReplicaDiscipline, SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload,
+};
+use repl_model::Params;
+use repl_sim::SimDuration;
+use repl_storage::{ApplyOutcome, NodeId, ObjectId, ObjectStore, Timestamp, TxnId, Value};
+
+/// The committed seed corpus, replayed before any fresh fuzzing.
+const CORPUS: &str = include_str!("../../../../tests/check_seeds.txt");
+
+/// Execute one fuzz case on its scheme with a fresh recorder and
+/// return the oracle report. This is the single driver behind corpus
+/// replay, fuzzing, `CHECK_CASE` repro, and the integration tests.
+pub fn run_case(case: &FuzzCase) -> CheckReport {
+    let rec = Recorder::new(case.scheme);
+    let p = Params::new(
+        case.db_size as f64,
+        f64::from(case.nodes),
+        f64::from(case.tps),
+        f64::from(case.actions),
+        0.01,
+    );
+    let cfg = SimConfig::from_params(&p, case.horizon_secs, case.seed);
+    match case.scheme {
+        Scheme::Contention => {
+            let profile = ContentionProfile::single_node(&cfg);
+            ContentionSim::new(cfg, profile)
+                .with_recorder(rec.clone())
+                .run();
+        }
+        Scheme::Eager => {
+            EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
+                .with_recorder(rec.clone())
+                .run();
+        }
+        Scheme::LazyMaster => {
+            LazyMasterSim::new(cfg).with_recorder(rec.clone()).run();
+        }
+        Scheme::LazyGroup => {
+            let mut sim = LazyGroupSim::new(cfg, Mobility::Connected).with_recorder(rec.clone());
+            if let Some(spec) = &case.faults {
+                let plan = repl_net::FaultPlan::parse(spec, case.seed)
+                    .unwrap_or_else(|e| panic!("fuzz case fault spec `{spec}` must parse: {e}"));
+                sim = sim.with_faults(plan);
+            }
+            sim.run();
+        }
+        Scheme::TwoTier => {
+            let tt = TwoTierConfig {
+                sim: cfg,
+                base_nodes: (case.nodes / 2).max(1),
+                mobile_owned: 0,
+                connected: SimDuration::from_secs(15),
+                disconnected: SimDuration::from_secs(15),
+                workload: TwoTierWorkload::Commutative { max_amount: 5 },
+                initial_value: 1_000,
+            };
+            TwoTierSim::new(tt).with_recorder(rec.clone()).run();
+        }
+    }
+    rec.check()
+}
+
+/// The per-scheme fuzz base case. Fresh cases are perturbations of
+/// this, so the whole campaign is determined by `opts.seed`.
+fn base_case(scheme: Scheme, opts: &RunOpts) -> FuzzCase {
+    FuzzCase {
+        scheme,
+        seed: opts.seed,
+        nodes: 4,
+        db_size: 300,
+        tps: 10,
+        actions: 4,
+        horizon_secs: if opts.quick { 10 } else { 20 },
+        faults: None,
+    }
+    .stabilized()
+}
+
+fn result_cell(report: &CheckReport) -> String {
+    if !report.is_clean() {
+        format!("{} VIOLATION(S)", report.violations.len())
+    } else if report.truncated() {
+        "clean (truncated)".to_owned()
+    } else {
+        "clean".to_owned()
+    }
+}
+
+/// `check`: corpus replay + schedule fuzz over all five engines.
+pub fn check(opts: &RunOpts) -> Table {
+    let mut table = Table::new(
+        "CHECK",
+        "correctness oracles: corpus replay + schedule fuzz, all five engines",
+        &["scheme", "phase", "cases", "commits", "result"],
+    );
+    // Single-case repro mode: replay exactly one encoded execution.
+    if let Ok(spec) = std::env::var("CHECK_CASE") {
+        match FuzzCase::parse(spec.trim()) {
+            Ok(case) => {
+                let report = run_case(&case);
+                table.row(vec![
+                    case.scheme.name().to_owned(),
+                    "replay".into(),
+                    "1".into(),
+                    report.commits.to_string(),
+                    result_cell(&report),
+                ]);
+                for v in &report.violations {
+                    table.violation(format!("{}: {v}", case.scheme));
+                }
+                table.note(format!("replayed CHECK_CASE `{}`", case.encode()));
+            }
+            Err(e) => table.violation(format!("CHECK_CASE does not parse: {e}")),
+        }
+        return table;
+    }
+
+    // Phase 1: replay the committed seed corpus.
+    for line in CORPUS.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match FuzzCase::parse(line) {
+            Ok(case) => {
+                let report = run_case(&case);
+                table.row(vec![
+                    case.scheme.name().to_owned(),
+                    "corpus".into(),
+                    "1".into(),
+                    report.commits.to_string(),
+                    result_cell(&report),
+                ]);
+                for v in &report.violations {
+                    table.violation(format!("corpus `{line}`: {v}"));
+                }
+            }
+            Err(e) => table.violation(format!("corpus line `{line}` does not parse: {e}")),
+        }
+    }
+
+    // Phase 2: fuzz fresh perturbations per scheme.
+    let cases = if opts.quick { 3 } else { 6 };
+    for scheme in Scheme::ALL {
+        let base = base_case(scheme, opts);
+        let outcome = fuzz(&base, cases, &|c| run_case(c).violations);
+        match &outcome.failure {
+            None => {
+                table.row(vec![
+                    scheme.name().to_owned(),
+                    "fuzz".into(),
+                    outcome.cases_run.to_string(),
+                    "—".into(),
+                    "clean".into(),
+                ]);
+            }
+            Some(f) => {
+                table.row(vec![
+                    scheme.name().to_owned(),
+                    "fuzz".into(),
+                    outcome.cases_run.to_string(),
+                    "—".into(),
+                    format!("FAILED (shrunk in {} step(s))", f.shrink_steps),
+                ]);
+                for v in &f.violations {
+                    table.violation(format!("{scheme}: {v}"));
+                }
+                table.violation(format!(
+                    "{scheme}: repro: CHECK_CASE='{}' harness check",
+                    f.shrunk.encode()
+                ));
+            }
+        }
+    }
+    table.note("a FAILED row's repro line replays the shrunk case exactly");
+    table
+}
+
+/// `check-selftest`: every oracle must flag a hand-broken artifact.
+pub fn check_selftest(_opts: &RunOpts) -> Table {
+    let mut table = Table::new(
+        "CHECK-SELF",
+        "oracle self-test: deliberately broken artifacts must be flagged",
+        &["oracle", "artifact", "flagged"],
+    );
+    let o1 = ObjectId(1);
+    let o2 = ObjectId(2);
+    let ts = |c: u64, n: u32| Timestamp::new(c, NodeId(n));
+    let expect = |table: &mut Table, oracle: &str, artifact: &str, flagged: bool| {
+        table.row(vec![
+            oracle.to_owned(),
+            artifact.to_owned(),
+            if flagged { "yes" } else { "NO" }.to_owned(),
+        ]);
+        if !flagged {
+            table.violation(format!(
+                "self-test: the {oracle} oracle failed to flag {artifact}"
+            ));
+        }
+    };
+
+    // 1. Serializability: a classic write-skew rw-cycle.
+    let mut h = History::new();
+    h.record(TxnRecord {
+        txn: TxnId(1),
+        reads: vec![(o1, Timestamp::ZERO)],
+        writes: vec![(o2, Timestamp::ZERO, ts(1, 0))],
+    });
+    h.record(TxnRecord {
+        txn: TxnId(2),
+        reads: vec![(o2, Timestamp::ZERO)],
+        writes: vec![(o1, Timestamp::ZERO, ts(1, 1))],
+    });
+    let cyclic = matches!(h.check_detailed(), Detailed::NotSerializable { .. });
+    expect(
+        &mut table,
+        "serializability",
+        "a two-transaction rw cycle",
+        cyclic,
+    );
+
+    // 2 + 3. Convergence and delusion: a committed write one replica
+    // silently dropped, leaving final states diverged.
+    let rec = Recorder::new(Scheme::LazyGroup);
+    rec.commit(
+        NodeId(0),
+        TxnRecord {
+            txn: TxnId(1),
+            reads: vec![(o1, Timestamp::ZERO)],
+            writes: vec![(o1, Timestamp::ZERO, ts(5, 0))],
+        },
+    );
+    rec.replica_apply(NodeId(1), o1, ts(5, 0), ApplyOutcome::ConflictIgnored);
+    let mut ahead = ObjectStore::new(3);
+    ahead.set(o1, Value::Int(7), ts(5, 0));
+    let behind = ObjectStore::new(3);
+    rec.final_store(NodeId(0), &ahead);
+    rec.final_store(NodeId(1), &behind);
+    let report = rec.check();
+    let diverged = report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Divergence { .. }));
+    let delusion = report.violations.iter().any(|v| {
+        matches!(
+            v,
+            Violation::DelusiveWrite {
+                dropped_at_apply: true,
+                ..
+            }
+        )
+    });
+    expect(&mut table, "convergence", "diverged final stores", diverged);
+    expect(
+        &mut table,
+        "delusion",
+        "a silently dropped committed write",
+        delusion,
+    );
+
+    // 4. Version chains: a write that overwrote a version nobody
+    // committed.
+    let rec = Recorder::new(Scheme::Eager);
+    rec.commit(
+        NodeId(0),
+        TxnRecord {
+            txn: TxnId(1),
+            reads: vec![],
+            writes: vec![(o1, Timestamp::ZERO, ts(1, 0))],
+        },
+    );
+    rec.commit(
+        NodeId(0),
+        TxnRecord {
+            txn: TxnId(2),
+            reads: vec![],
+            writes: vec![(o1, ts(7, 0), ts(8, 0))],
+        },
+    );
+    let broke = rec
+        .check()
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::VersionChainBreak { .. }));
+    expect(
+        &mut table,
+        "version-chain",
+        "a write chained off a phantom version",
+        broke,
+    );
+
+    // 5. Acceptance soundness: the engine "accepts" a negative balance
+    // under the non-negative criterion.
+    let rec = Recorder::new(Scheme::TwoTier);
+    rec.acceptance(
+        TxnId(1),
+        CriterionKind::NonNegative,
+        vec![(o1, Value::Int(-5))],
+        vec![(o1, Value::Int(3))],
+        true,
+    );
+    let unsound = rec
+        .check()
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::AcceptanceUnsound { .. }));
+    expect(
+        &mut table,
+        "acceptance",
+        "an accepted negative balance",
+        unsound,
+    );
+
+    // 6. Truncation honesty: overflowing the history cap must be
+    // reported as inconclusive, never hidden.
+    let rec = Recorder::new(Scheme::Eager);
+    for i in 0..(DEFAULT_HISTORY_CAP as u64 + 10) {
+        rec.commit(
+            NodeId(0),
+            TxnRecord {
+                txn: TxnId(i),
+                reads: vec![],
+                writes: vec![(o1, ts(i, 0), ts(i + 1, 0))],
+            },
+        );
+    }
+    let report = rec.check();
+    expect(
+        &mut table,
+        "truncation",
+        "a history past the ring cap",
+        report.truncated() && report.is_clean(),
+    );
+
+    if table.violations.is_empty() {
+        table.note("every oracle flagged its broken artifact");
+    }
+    table
+}

@@ -2,6 +2,7 @@
 //! name-indexed entry point.
 
 pub mod chaos;
+pub mod check;
 pub mod convergent;
 pub mod delusion;
 pub mod eager;
@@ -141,6 +142,16 @@ pub const ALL: &[Experiment] = &[
         name: "chaos",
         about: "fault injection: partitions, crashes, message chaos under both deadlock policies",
         run: chaos::chaos,
+    },
+    Experiment {
+        name: "check",
+        about: "correctness oracles: replay the seed corpus, then fuzz all five engines",
+        run: check::check,
+    },
+    Experiment {
+        name: "check-selftest",
+        about: "oracle self-test: hand-broken artifacts must be flagged",
+        run: check::check_selftest,
     },
 ];
 

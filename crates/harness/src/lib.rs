@@ -32,6 +32,61 @@ pub mod table;
 
 pub use table::{fmt_ratio, fmt_val, Table};
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared collector for `--check` mode. While enabled, every
+/// [`Instrument::instrument`] call hands the engine a fresh, labelled
+/// [`repl_check::Recorder`]; after an experiment finishes the driver
+/// [`CheckSession::drain`]s the `(label, report)` pairs. Clones share
+/// state (the harness is single-threaded on the check path — an
+/// enabled session forces [`par::run_points`] serial).
+#[derive(Debug, Clone, Default)]
+pub struct CheckSession {
+    inner: Option<Rc<RefCell<Registered>>>,
+}
+
+/// The recorders handed out so far, each under its experiment label.
+type Registered = Vec<(String, repl_check::Recorder)>;
+
+impl CheckSession {
+    /// An enabled session that will hand out live recorders.
+    pub fn enabled() -> Self {
+        CheckSession {
+            inner: Some(Rc::new(RefCell::new(Vec::new()))),
+        }
+    }
+
+    /// Whether checking is on.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A fresh recorder for one engine run under `scheme`, registered
+    /// under `label`. Returns the inert recorder when the session is
+    /// off.
+    pub fn recorder(&self, scheme: repl_check::Scheme, label: &str) -> repl_check::Recorder {
+        let Some(inner) = &self.inner else {
+            return repl_check::Recorder::off();
+        };
+        let rec = repl_check::Recorder::new(scheme);
+        inner.borrow_mut().push((label.to_owned(), rec.clone()));
+        rec
+    }
+
+    /// Run every registered recorder's oracles and drain the reports.
+    pub fn drain(&self) -> Vec<(String, repl_check::CheckReport)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        inner
+            .borrow_mut()
+            .drain(..)
+            .map(|(label, rec)| (label, rec.check()))
+            .collect()
+    }
+}
+
 /// Global run options.
 #[derive(Debug, Clone)]
 pub struct RunOpts {
@@ -56,6 +111,10 @@ pub struct RunOpts {
     /// it to [`par::default_jobs`] and exposes `--jobs N`. Results are
     /// bit-identical at any value.
     pub jobs: usize,
+    /// Correctness-oracle session (`--check`); off by default. When on,
+    /// every instrumented engine run records its execution and sweeps
+    /// run serially (recorders are `Rc`-based, like tracers).
+    pub check: CheckSession,
 }
 
 impl Default for RunOpts {
@@ -67,6 +126,7 @@ impl Default for RunOpts {
             profiler: repl_telemetry::Profiler::off(),
             faults: None,
             jobs: 1,
+            check: CheckSession::default(),
         }
     }
 }
@@ -84,23 +144,30 @@ pub trait Instrument: Sized {
 }
 
 macro_rules! impl_instrument {
-    ($($sim:ty),* $(,)?) => {$(
+    ($($sim:ty => $scheme:expr),* $(,)?) => {$(
         impl Instrument for $sim {
             fn instrument(self, opts: &RunOpts, label: impl Into<String>) -> Self {
-                self.with_tracer(opts.tracer.clone())
-                    .with_profiler(opts.profiler.clone())
-                    .with_run_label(label)
+                let label = label.into();
+                let sim = self
+                    .with_tracer(opts.tracer.clone())
+                    .with_profiler(opts.profiler.clone());
+                let sim = if opts.check.is_on() {
+                    sim.with_recorder(opts.check.recorder($scheme, &label))
+                } else {
+                    sim
+                };
+                sim.with_run_label(label)
             }
         }
     )*};
 }
 
 impl_instrument!(
-    repl_core::ContentionSim,
-    repl_core::EagerSim,
-    repl_core::LazyGroupSim,
-    repl_core::LazyMasterSim,
-    repl_core::TwoTierSim,
+    repl_core::ContentionSim => repl_check::Scheme::Contention,
+    repl_core::EagerSim => repl_check::Scheme::Eager,
+    repl_core::LazyGroupSim => repl_check::Scheme::LazyGroup,
+    repl_core::LazyMasterSim => repl_check::Scheme::LazyMaster,
+    repl_core::TwoTierSim => repl_check::Scheme::TwoTier,
 );
 
 impl RunOpts {

@@ -12,6 +12,7 @@
 //! harness --series 10 e6       # bucketed per-10s rate tables per run
 //! harness --profile e6         # wall-clock phase timing report
 //! harness --faults SPEC chaos  # override the chaos fault plan
+//! harness --check --quick e11  # record every run, run the oracles
 //! ```
 //!
 //! `SPEC` is the fault mini-language of [`repl_net::FaultPlan::parse`]:
@@ -32,7 +33,7 @@ use std::rc::Rc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: harness [--quick] [--json] [--seed N] [--jobs N] [--trace FILE] \
-         [--series SECS] [--profile] [--faults SPEC] <list|all|NAME...>"
+         [--series SECS] [--profile] [--faults SPEC] [--check] <list|all|NAME...>"
     );
     eprintln!("experiments:");
     for e in experiments::ALL {
@@ -121,6 +122,7 @@ fn main() -> ExitCode {
                 fault_spec = Some(s);
             }
             "--profile" => opts.profiler = Profiler::enabled(),
+            "--check" => opts.check = repl_harness::CheckSession::enabled(),
             "-h" | "--help" => return usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag `{other}`");
@@ -183,8 +185,38 @@ fn main() -> ExitCode {
         }
         v
     };
+    let mut total_violations = 0usize;
     for e in selected {
-        let table = (e.run)(&opts);
+        let mut table = (e.run)(&opts);
+        // Drain the check session after each experiment so violations
+        // land in that experiment's table (text and JSON alike).
+        if opts.check.is_on() {
+            let mut runs = 0usize;
+            let mut commits = 0usize;
+            let mut truncated = 0usize;
+            for (label, report) in opts.check.drain() {
+                runs += 1;
+                commits += report.commits;
+                if report.truncated() {
+                    truncated += 1;
+                }
+                if report.expected_divergence {
+                    table.note(format!("check: {label}: divergence expected (suppressed)"));
+                }
+                for v in &report.violations {
+                    table.violation(format!("{label}: {v}"));
+                }
+            }
+            let mut summary =
+                format!("check: {runs} run(s), {commits} commit(s) through the oracles");
+            if truncated > 0 {
+                summary.push_str(&format!(
+                    ", {truncated} truncated (clean verdicts inconclusive)"
+                ));
+            }
+            table.note(summary);
+        }
+        total_violations += table.violations.len();
         if json {
             match serde_json::to_string_pretty(&table) {
                 Ok(s) => println!("{s}"),
@@ -206,6 +238,10 @@ fn main() -> ExitCode {
         for line in opts.profiler.report_lines() {
             println!("  {line}");
         }
+    }
+    if total_violations > 0 {
+        eprintln!("correctness oracles found {total_violations} violation(s)");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -74,8 +74,8 @@ impl WorkerOpts {
 /// `quick`/`seed`/`faults` values as `opts`, so a point's simulation is
 /// bit-identical whether it ran serially or on a worker. Falls back to
 /// the plain in-order serial loop (with `opts` itself, tracer and all)
-/// when `opts.jobs <= 1`, when a tracer or profiler is attached, or
-/// when there is at most one point.
+/// when `opts.jobs <= 1`, when a tracer, profiler, or check session is
+/// attached, or when there is at most one point.
 pub fn run_points<P, R, F>(opts: &RunOpts, points: Vec<P>, f: F) -> Vec<R>
 where
     P: Send + Sync,
@@ -83,7 +83,7 @@ where
     F: Fn(&RunOpts, &P) -> R + Send + Sync,
 {
     let jobs = opts.jobs.min(points.len());
-    if jobs <= 1 || opts.tracer.is_active() || opts.profiler.is_enabled() {
+    if jobs <= 1 || opts.tracer.is_active() || opts.profiler.is_enabled() || opts.check.is_on() {
         return points.iter().map(|p| f(opts, p)).collect();
     }
     let template = WorkerOpts::snapshot(opts);

@@ -16,6 +16,10 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Free-form conclusions: fitted exponents, claims checked, …
     pub notes: Vec<String>,
+    /// Correctness-oracle violations (`--check` / the `check`
+    /// experiment). Empty on a clean run; any entry fails the harness
+    /// process with a nonzero exit code.
+    pub violations: Vec<String>,
 }
 
 impl Table {
@@ -27,7 +31,13 @@ impl Table {
             headers: headers.iter().map(|s| (*s).to_owned()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            violations: Vec::new(),
         }
+    }
+
+    /// Append an oracle violation line.
+    pub fn violation(&mut self, s: impl Into<String>) {
+        self.violations.push(s.into());
     }
 
     /// Append a data row. Panics in debug builds on column-count
@@ -76,6 +86,9 @@ impl Table {
         }
         for note in &self.notes {
             out.push_str(&format!("note: {note}\n"));
+        }
+        for v in &self.violations {
+            out.push_str(&format!("VIOLATION: {v}\n"));
         }
         out
     }
@@ -139,8 +152,18 @@ mod tests {
     fn json_roundtrip() {
         let mut t = Table::new("E1", "t", &["x"]);
         t.row(vec!["1".into()]);
+        t.violation("oracle tripped");
         let s = serde_json::to_string(&t).unwrap();
         let back: Table = serde_json::from_str(&s).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn violations_render_prominently() {
+        let mut t = Table::new("E1", "t", &["x"]);
+        t.violation("not serializable: cycle t1 -rw(o7)-> t2");
+        assert!(t
+            .render()
+            .contains("VIOLATION: not serializable: cycle t1 -rw(o7)-> t2"));
     }
 }

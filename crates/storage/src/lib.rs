@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod hash;
 pub mod lock;
 pub mod mvcc;
 pub mod object;
@@ -29,7 +30,7 @@ pub mod tentative;
 pub mod version_vector;
 pub mod wal;
 
-pub use lock::{Acquire, DeadlockMode, LockManager, TxnId};
+pub use lock::{Acquire, DeadlockMode, LockManager, Mutation, TxnId};
 pub use mvcc::MvccStore;
 pub use object::{LamportClock, NodeId, ObjectId, Timestamp, Value, Versioned};
 pub use store::{ApplyOutcome, ObjectStore};

@@ -57,6 +57,50 @@ pub enum DeadlockMode {
     TimeoutOnly,
 }
 
+/// Deliberate, environment-gated lock-discipline bugs for oracle
+/// mutation testing. Set `REPL_MUTATE=grant-held[:P]` to make every
+/// `P`-th contended acquire succeed spuriously; the correctness oracles
+/// (`repl-check`) must then observe non-serializable histories.
+/// Production runs never set the variable, so the default is
+/// [`Mutation::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// Correct locking.
+    #[default]
+    None,
+    /// Every `period`-th contended acquire is granted even though
+    /// another transaction holds the lock — a ghost grant that breaks
+    /// strict two-phase locking, producing lost updates the DSG oracle
+    /// sees as rw/ww cycles.
+    GrantHeld {
+        /// Ghost-grant every this-many-th contended request (≥ 1).
+        period: u64,
+    },
+}
+
+impl Mutation {
+    /// Parse a `REPL_MUTATE` value. Unknown or empty specs mean no
+    /// mutation; a missing or unparsable period defaults to 4.
+    pub fn parse(spec: &str) -> Mutation {
+        let spec = spec.trim();
+        if let Some(rest) = spec.strip_prefix("grant-held") {
+            let period = rest
+                .strip_prefix(':')
+                .and_then(|p| p.parse::<u64>().ok())
+                .unwrap_or(4)
+                .max(1);
+            return Mutation::GrantHeld { period };
+        }
+        Mutation::None
+    }
+
+    fn from_env() -> Mutation {
+        std::env::var("REPL_MUTATE")
+            .map(|v| Mutation::parse(&v))
+            .unwrap_or_default()
+    }
+}
+
 #[derive(Debug, Default)]
 struct LockState {
     holder: TxnId,
@@ -104,18 +148,30 @@ pub struct LockManager {
     spare_held: Vec<Vec<ObjectId>>,
     /// Recycled waits-for walk buffers.
     scratch: WalkScratch,
+    /// Deliberate bug injection (`REPL_MUTATE`), [`Mutation::None`]
+    /// unless the environment opts in.
+    mutation: Mutation,
+    /// Contended-acquire counter driving the mutation period.
+    mutation_ticks: u64,
 }
 
 impl LockManager {
-    /// An empty lock manager with cycle detection.
+    /// An empty lock manager with cycle detection. Reads `REPL_MUTATE`
+    /// (see [`Mutation`]) so oracle mutation tests can inject bugs
+    /// without touching engine call sites.
     pub fn new() -> Self {
-        Self::default()
+        LockManager {
+            mutation: Mutation::from_env(),
+            ..Self::default()
+        }
     }
 
-    /// An empty lock manager with the given deadlock resolution mode.
+    /// An empty lock manager with the given deadlock resolution mode
+    /// (also honours `REPL_MUTATE`, see [`LockManager::new`]).
     pub fn with_mode(mode: DeadlockMode) -> Self {
         LockManager {
             mode,
+            mutation: Mutation::from_env(),
             ..Self::default()
         }
     }
@@ -181,6 +237,17 @@ impl LockManager {
             Entry::Occupied(mut o) => {
                 if o.get().holder == txn {
                     return Acquire::Granted;
+                }
+                if let Mutation::GrantHeld { period } = self.mutation {
+                    self.mutation_ticks += 1;
+                    if self.mutation_ticks.is_multiple_of(period) {
+                        // Ghost grant: the recorded holder stays the
+                        // original transaction, so its release works
+                        // normally and the ghost's own release skips
+                        // the object it never really held.
+                        Self::record_held(&mut self.held, &mut self.spare_held, txn, obj);
+                        return Acquire::Granted;
+                    }
                 }
                 if self.mode == DeadlockMode::TimeoutOnly {
                     o.get_mut().waiters.push_back(txn);
@@ -641,6 +708,46 @@ mod tests {
             lm.spare_held.len() <= 1,
             "one txn at a time recycles a single vec, got {}",
             lm.spare_held.len()
+        );
+    }
+
+    #[test]
+    fn grant_held_mutation_ghost_grants_contended_requests() {
+        let mut lm = LockManager {
+            mutation: Mutation::GrantHeld { period: 1 },
+            ..Default::default()
+        };
+        lm.acquire(A, O1);
+        // Every contended request is ghost-granted under period 1.
+        assert_eq!(lm.acquire(B, O1), Acquire::Granted);
+        // The real holder is unchanged and releases normally…
+        assert_eq!(lm.holder_of(O1), Some(A));
+        assert!(lm.release_all(A).is_empty());
+        // …and the ghost's release skips the lock it never truly held.
+        assert!(lm.release_all(B).is_empty());
+        assert_eq!(lm.locked_objects(), 0);
+    }
+
+    #[test]
+    fn mutation_spec_parsing() {
+        assert_eq!(Mutation::parse(""), Mutation::None);
+        assert_eq!(Mutation::parse("nonsense"), Mutation::None);
+        assert_eq!(
+            Mutation::parse("grant-held"),
+            Mutation::GrantHeld { period: 4 }
+        );
+        assert_eq!(
+            Mutation::parse("grant-held:3"),
+            Mutation::GrantHeld { period: 3 }
+        );
+        // Zero and garbage periods clamp/default rather than panic.
+        assert_eq!(
+            Mutation::parse("grant-held:0"),
+            Mutation::GrantHeld { period: 1 }
+        );
+        assert_eq!(
+            Mutation::parse("grant-held:x"),
+            Mutation::GrantHeld { period: 4 }
         );
     }
 

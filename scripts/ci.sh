@@ -90,4 +90,35 @@ assert int(rows["detection"]["cycle checks"]) > 0, "detection mode never searche
 print("ok: chaos smoke deterministic, converged, policies use disjoint mechanisms")
 EOF
 
+say "oracle smoke: --check on a real experiment must stay clean"
+check_out="$(mktemp)"
+trap 'rm -f "$out" "$par_out" "$chaos_a" "$chaos_b" "$check_out"' EXIT
+./target/release/harness --quick --json --seed 41 --check e11 >"$check_out"
+python3 - "$check_out" <<'EOF'
+import json, sys
+
+table = json.loads(open(sys.argv[1]).read())
+assert table["violations"] == [], f"oracle violations: {table['violations']}"
+note = [n for n in table["notes"] if n.startswith("check:")]
+assert note, "--check run recorded nothing through the oracles"
+print(f"ok: zero violations ({note[0]})")
+EOF
+
+say "oracle fuzz smoke: fixed-seed corpus replay + fuzz must be clean"
+./target/release/harness --quick --seed 41 check
+
+say "oracle self-test: every checker must flag its broken artifact"
+./target/release/harness check-selftest
+
+say "oracle mutation gate: an injected lock bug must fail the check run"
+if REPL_MUTATE=grant-held:3 ./target/release/harness --quick --seed 41 check >"$check_out" 2>&1; then
+    echo "check passed despite the injected lock bug" >&2
+    exit 1
+fi
+grep -q "CHECK_CASE" "$check_out" || {
+    echo "failing check run printed no CHECK_CASE repro line" >&2
+    exit 1
+}
+echo "ok: injected bug caught, shrunk repro line emitted"
+
 say "all CI gates passed"

@@ -10,6 +10,8 @@
 //! * [`net`] — simulated network with delays and disconnection schedules.
 //! * [`core`] — the five replication protocols and reconciliation machinery.
 //! * [`workload`] — workload generators (uniform, Zipf, checkbook, ...).
+//! * [`check`] — correctness oracles: history capture, per-scheme
+//!   invariant checkers, and the shrinking schedule fuzzer.
 //! * [`cluster`] — threaded node runtime over real channels.
 //! * [`harness`] — experiment harness regenerating every figure and table.
 //! * [`telemetry`] — structured event tracing, rate series, profiling.
@@ -24,6 +26,7 @@
 //! assert!((r10 / r1 - 100.0).abs() < 1e-9);
 //! ```
 
+pub use repl_check as check;
 pub use repl_cluster as cluster;
 pub use repl_core as core;
 pub use repl_harness as harness;

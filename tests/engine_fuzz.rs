@@ -2,10 +2,12 @@
 //! configurations, every engine must terminate, keep its accounting
 //! consistent, and uphold its scheme's core invariant.
 
+use dangers_of_replication::check::{FuzzCase, Recorder, Scheme};
 use dangers_of_replication::core::{
     ContentionProfile, ContentionSim, EagerSim, LazyGroupSim, LazyMasterSim, Mobility, Ownership,
     ReplicaDiscipline, SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload,
 };
+use dangers_of_replication::harness::experiments::check::run_case;
 use dangers_of_replication::model::Params;
 use dangers_of_replication::sim::SimDuration;
 use proptest::prelude::*;
@@ -64,6 +66,38 @@ proptest! {
     }
 
     #[test]
+    fn lazy_master_is_serializable_per_oracle(p in arb_params(), seed in 0u64..500) {
+        // The paper's §3 claim for lazy-master: master-ownership plus
+        // 2PL keeps executions one-copy serializable. Instead of
+        // re-asserting derived accounting, hand the whole execution to
+        // the repl-check oracles and take their verdict.
+        let cfg = SimConfig::from_params(&p, 15, seed);
+        let rec = Recorder::new(Scheme::LazyMaster);
+        LazyMasterSim::new(cfg).with_recorder(rec.clone()).run();
+        let report = rec.check();
+        prop_assert!(
+            report.is_clean(),
+            "oracle violations under {p:?} seed {seed}: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn eager_is_serializable_per_oracle(p in arb_params(), seed in 0u64..500) {
+        let cfg = SimConfig::from_params(&p, 15, seed);
+        let rec = Recorder::new(Scheme::Eager);
+        EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
+            .with_recorder(rec.clone())
+            .run();
+        let report = rec.check();
+        prop_assert!(
+            report.is_clean(),
+            "oracle violations under {p:?} seed {seed}: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
     fn lazy_group_always_converges(p in arb_params(), seed in 0u64..500) {
         let cfg = SimConfig::from_params(&p, 15, seed);
         let (r, stores) = LazyGroupSim::new(cfg, Mobility::Connected).run_with_state();
@@ -112,4 +146,31 @@ proptest! {
         let want = master.digest();
         prop_assert!(replicas.iter().all(|s| s.digest() == want));
     }
+}
+
+/// The committed seed corpus replays clean before any fresh fuzzing:
+/// every non-comment line must parse as a [`FuzzCase`] and produce a
+/// violation-free oracle report. A line that stops parsing or starts
+/// failing is a regression in an execution we already froze.
+#[test]
+fn seed_corpus_replays_clean() {
+    let corpus = include_str!("check_seeds.txt");
+    let mut replayed = 0;
+    for line in corpus.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let case = FuzzCase::parse(line)
+            .unwrap_or_else(|e| panic!("corpus line `{line}` must parse: {e}"));
+        let report = run_case(&case);
+        assert!(
+            report.is_clean(),
+            "corpus case `{line}` violated its oracles: {:?}",
+            report.violations
+        );
+        assert!(report.commits > 0, "corpus case `{line}` committed nothing");
+        replayed += 1;
+    }
+    assert!(replayed >= 5, "corpus shrank to {replayed} case(s)");
 }

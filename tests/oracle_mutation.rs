@@ -1,0 +1,74 @@
+//! End-to-end mutation test for the oracle layer: inject a real lock
+//! bug into the engines via `REPL_MUTATE`, and require the fuzzer to
+//! catch it, shrink it, and hand back a reproducer that still fails —
+//! then goes clean once the mutation is removed.
+//!
+//! This is the whole point of the `repl-check` crate: an oracle suite
+//! that passes on correct engines is only trustworthy if it *fails* on
+//! a broken one.
+
+use dangers_of_replication::check::{fuzz, FuzzCase, Scheme};
+use dangers_of_replication::harness::experiments::check::run_case;
+
+/// Kept to a single `#[test]` on purpose: `REPL_MUTATE` is
+/// process-global state and cargo runs tests in one process across
+/// threads, so a second env-twiddling test would race this one.
+#[test]
+fn injected_lock_bug_is_caught_shrunk_and_reproducible() {
+    // Ghost-grant every 3rd contended lock acquire: transactions
+    // proceed as if they held locks they were never granted, which
+    // breaks two-phase locking and with it serializability.
+    std::env::set_var("REPL_MUTATE", "grant-held:3");
+
+    let base = FuzzCase {
+        scheme: Scheme::Contention,
+        seed: 41,
+        nodes: 4,
+        db_size: 300,
+        tps: 10,
+        actions: 4,
+        horizon_secs: 10,
+        faults: None,
+    }
+    .stabilized();
+    let outcome = fuzz(&base, 6, &|c| run_case(c).violations);
+    let failure = outcome
+        .failure
+        .expect("the fuzzer must catch the injected lock bug");
+    assert!(
+        !failure.violations.is_empty(),
+        "a failure without violations"
+    );
+
+    // The shrunk case must still reproduce the bug on a fresh run...
+    let report = run_case(&failure.shrunk);
+    assert!(
+        !report.is_clean(),
+        "shrunk case `{}` no longer fails",
+        failure.shrunk.encode()
+    );
+
+    // ...and survive the encode/parse round trip the printed repro
+    // line relies on.
+    let line = failure.shrunk.encode();
+    let parsed =
+        FuzzCase::parse(&line).unwrap_or_else(|e| panic!("repro line `{line}` must parse: {e}"));
+    assert_eq!(
+        parsed, failure.shrunk,
+        "repro line round-trip changed the case"
+    );
+    assert!(
+        !run_case(&parsed).is_clean(),
+        "parsed repro `{line}` no longer fails"
+    );
+
+    // With the mutation removed, the very same case runs clean — the
+    // violations came from the injected bug, not the oracles.
+    std::env::remove_var("REPL_MUTATE");
+    let clean = run_case(&parsed);
+    assert!(
+        clean.is_clean(),
+        "case `{line}` still fails without the mutation: {:?}",
+        clean.violations
+    );
+}
