@@ -42,6 +42,15 @@ fn bench_engines(c: &mut Criterion) {
     g.bench_function("lazy_group_connected", |b| {
         b.iter(|| black_box(LazyGroupSim::new(cfg(5), Mobility::Connected).run()));
     });
+    g.bench_function("lazy_group_batch8", |b| {
+        // Same run as lazy_group_connected but with fan-out coalesced
+        // into 8-message delivery batches — the heap-traffic savings of
+        // batched propagation, on an otherwise identical schedule.
+        b.iter(|| {
+            let c = cfg(5).with_propagation_batch(8);
+            black_box(LazyGroupSim::new(c, Mobility::Connected).run())
+        });
+    });
     g.bench_function("lazy_group_mobile", |b| {
         b.iter(|| {
             let mobility = Mobility::Cycling {

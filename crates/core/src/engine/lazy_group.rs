@@ -25,10 +25,15 @@ use repl_net::{
 use repl_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use repl_storage::{
     Acquire, ApplyOutcome, CommitLog, DeadlockMode, LamportClock, LockManager, Lsn, NodeId,
-    ObjectId, ObjectStore, Timestamp, TxnId, UpdateRecord, Value,
+    ObjectId, ObjectStore, Timestamp, TxnId, TxnSlab, UpdateRecord, Value,
 };
 use repl_telemetry::{AbortReason, Event, EventKind, Profiler, TraceHandle};
-use std::collections::HashMap;
+
+/// Arena tags: root and replica transactions live in separate slabs
+/// sharing one id space, so a granted lock's [`TxnId`] routes straight
+/// to the arena that minted it.
+const ROOT_ARENA: u8 = 0;
+const REPLICA_ARENA: u8 = 1;
 
 /// How dangerous updates are disposed of.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,6 +89,12 @@ enum Ev {
     ReplicaStep(TxnId),
     /// Message arrival.
     Deliver { to: NodeId, msg: ReplicaMsg },
+    /// A coalesced burst of message arrivals on one channel
+    /// (`propagation_batch` > 1): the messages were sent at the same
+    /// instant with the same latency draw, so delivering them as one
+    /// event preserves both timing and per-channel order while paying
+    /// one event-queue entry instead of one per message.
+    DeliverBatch { to: NodeId, msgs: Vec<ReplicaMsg> },
     /// Connectivity change for a node.
     Connectivity { node: NodeId, connected: bool },
     /// Retry a deadlocked replica transaction.
@@ -171,13 +182,12 @@ pub struct LazyGroupSim {
     queue: EventQueue<Ev>,
     nodes: Vec<NodeState>,
     network: Network<ReplicaMsg>,
-    roots: HashMap<TxnId, RootTxn>,
-    replicas: HashMap<TxnId, ReplicaTxn>,
+    roots: TxnSlab<RootTxn>,
+    replicas: TxnSlab<ReplicaTxn>,
     arrival_rngs: Vec<SimRng>,
     object_rng: SimRng,
     value_rng: SimRng,
     retry_rng: SimRng,
-    next_txn: u64,
     metrics: Metrics,
     measure_from: SimTime,
     tracer: TraceHandle,
@@ -185,6 +195,18 @@ pub struct LazyGroupSim {
     run_label: String,
     /// Recycled buffer for lock-release promotions (commit/abort path).
     granted_scratch: Vec<(TxnId, ObjectId)>,
+    /// Recycled `RootTxn` buffers: object lists, update lists (refilled
+    /// by commit-log truncation), and undo logs. Root transactions churn
+    /// at the arrival rate, so reusing their allocations keeps the
+    /// per-commit path allocation-free at steady state.
+    objects_pool: Vec<Vec<ObjectId>>,
+    update_pool: Vec<Vec<UpdateRecord>>,
+    undo_pool: Vec<Vec<(ObjectId, Value, Timestamp)>>,
+    /// Scratch for the workload sampler's distinct-object draw.
+    sample_scratch: Vec<u64>,
+    /// Recycled buffer for the propagation flush: consecutive same-delay
+    /// deliveries accumulate here before being scheduled.
+    deliver_scratch: Vec<ReplicaMsg>,
     /// Optional correctness recorder (off ⇒ every hook is a no-op).
     recorder: Recorder,
 }
@@ -245,19 +267,23 @@ impl LazyGroupSim {
             queue,
             nodes,
             network: Network::new(n, cfg.latency, cfg.seed),
-            roots: HashMap::new(),
-            replicas: HashMap::new(),
+            roots: TxnSlab::new(ROOT_ARENA),
+            replicas: TxnSlab::new(REPLICA_ARENA),
             arrival_rngs,
             object_rng: SimRng::stream(cfg.seed, "lg-objects"),
             value_rng: SimRng::stream(cfg.seed, "lg-values"),
             retry_rng: SimRng::stream(cfg.seed, "lg-retry"),
-            next_txn: 0,
             metrics: Metrics::new(),
             measure_from: cfg.warmup,
             tracer: TraceHandle::off(),
             profiler: Profiler::off(),
             run_label: "lazy-group".to_owned(),
             granted_scratch: Vec::new(),
+            deliver_scratch: Vec::new(),
+            objects_pool: Vec::new(),
+            update_pool: Vec::new(),
+            undo_pool: Vec::new(),
+            sample_scratch: Vec::new(),
             recorder: Recorder::off(),
             cfg,
         }
@@ -350,12 +376,6 @@ impl LazyGroupSim {
     pub fn with_resolution(mut self, resolution: ResolutionMode) -> Self {
         self.resolution = resolution;
         self
-    }
-
-    fn fresh_txn(&mut self) -> TxnId {
-        let id = TxnId(self.next_txn);
-        self.next_txn += 1;
-        id
     }
 
     /// Run to the horizon, then reconnect everyone and drain all
@@ -462,6 +482,23 @@ impl LazyGroupSim {
                 self.start_replica_txn(to, msg);
                 profiler.stop("lazy-group/deliver", t);
             }
+            Ev::DeliverBatch { to, msgs } => {
+                for msg in msgs {
+                    if self.crashed[to.0 as usize] {
+                        self.network.park(msg.from, to, msg);
+                        continue;
+                    }
+                    self.tracer.emit(|| {
+                        Event::system(
+                            self.queue.now(),
+                            to,
+                            EventKind::MsgDelivered { from: msg.from },
+                        )
+                    });
+                    self.start_replica_txn(to, msg);
+                }
+                profiler.stop("lazy-group/deliver", t);
+            }
             Ev::ReplicaRetry { to, msg } => {
                 if self.crashed[to.0 as usize] {
                     self.network.park(msg.from, to, msg);
@@ -544,10 +581,10 @@ impl LazyGroupSim {
             )
         });
         let drained = self.network.heal_partition();
-        for (to, msg) in drained {
-            self.queue
-                .schedule_after(SimDuration::ZERO, Ev::Deliver { to, msg });
-        }
+        self.queue.schedule_batch_after(
+            SimDuration::ZERO,
+            drained.into_iter().map(|(to, msg)| Ev::Deliver { to, msg }),
+        );
     }
 
     /// Crash `node`: volatile state (lock table, in-flight transactions,
@@ -582,7 +619,7 @@ impl LazyGroupSim {
             .roots
             .iter()
             .filter(|(_, t)| t.node == node)
-            .map(|(id, _)| *id)
+            .map(|(id, _)| id)
             .collect();
         for id in dead_roots {
             self.tracer.emit(|| {
@@ -595,18 +632,19 @@ impl LazyGroupSim {
                     },
                 )
             });
-            let txn = self.roots.remove(&id).expect("crashing root txn");
+            let txn = self.roots.remove(id).expect("crashing root txn");
             self.rollback_root(&txn);
+            self.recycle_root(txn);
         }
         // In-flight and backlogged replica updates return to the mail.
         let dead_replicas: Vec<TxnId> = self
             .replicas
             .iter()
             .filter(|(_, t)| t.node == node)
-            .map(|(id, _)| *id)
+            .map(|(id, _)| id)
             .collect();
         for id in dead_replicas {
-            let txn = self.replicas.remove(&id).expect("crashing replica txn");
+            let txn = self.replicas.remove(id).expect("crashing replica txn");
             self.network.park(txn.msg.from, node, txn.msg);
         }
         let backlog = std::mem::take(&mut self.nodes[node.0 as usize].backlog);
@@ -632,10 +670,10 @@ impl LazyGroupSim {
                 },
             )
         });
-        for msg in inbound {
-            self.queue
-                .schedule_after(SimDuration::ZERO, Ev::Deliver { to: node, msg });
-        }
+        self.queue.schedule_batch_after(
+            SimDuration::ZERO,
+            inbound.into_iter().map(|msg| Ev::Deliver { to: node, msg }),
+        );
         self.propagate(node);
     }
 
@@ -675,10 +713,11 @@ impl LazyGroupSim {
         // locks, and a queued ghost would be granted the contested
         // object later and hold it forever.
         self.nodes[node.0 as usize].locks.cancel_wait(id);
-        if let Some(txn) = self.roots.remove(&id) {
+        if let Some(txn) = self.roots.remove(id) {
             self.rollback_root(&txn);
+            self.recycle_root(txn);
             self.release_and_resume(node, id);
-        } else if let Some(txn) = self.replicas.remove(&id) {
+        } else if let Some(txn) = self.replicas.remove(id) {
             // Replica updates are resubmitted after a timeout abort,
             // exactly as after a detected deadlock (§5).
             self.release_replica_slot(node);
@@ -716,31 +755,34 @@ impl LazyGroupSim {
             // keeps ticking so the stream stays deterministic.
             return;
         }
-        let id = self.fresh_txn();
-        let objects: Vec<ObjectId> = self
-            .object_rng
-            .sample_distinct(self.cfg.db_size, self.cfg.actions)
-            .into_iter()
-            .map(ObjectId)
-            .collect();
-        self.roots.insert(
-            id,
-            RootTxn {
-                node,
-                objects,
-                next: 0,
-                started: self.queue.now(),
-                updates: Vec::with_capacity(self.cfg.actions),
-                undo: Vec::with_capacity(self.cfg.actions),
-            },
-        );
+        let mut scratch = std::mem::take(&mut self.sample_scratch);
+        self.object_rng
+            .sample_distinct_into(self.cfg.db_size, self.cfg.actions, &mut scratch);
+        let mut objects = self.objects_pool.pop().unwrap_or_default();
+        objects.clear();
+        objects.extend(scratch.iter().copied().map(ObjectId));
+        self.sample_scratch = scratch;
+        let id = self.roots.insert(RootTxn {
+            node,
+            objects,
+            next: 0,
+            started: self.queue.now(),
+            updates: self
+                .update_pool
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(self.cfg.actions)),
+            undo: self
+                .undo_pool
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(self.cfg.actions)),
+        });
         self.tracer
             .emit(|| Event::new(self.queue.now(), node, id, EventKind::TxnBegin));
         self.try_root_step(id);
     }
 
     fn try_root_step(&mut self, id: TxnId) {
-        let txn = &self.roots[&id];
+        let txn = self.roots.get(id).expect("stepping unknown root");
         if txn.next >= txn.objects.len() {
             self.commit_root(id);
             return;
@@ -763,8 +805,9 @@ impl LazyGroupSim {
                     self.metrics.deadlocks.incr();
                 }
                 self.emit_deadlock(node, id, AbortReason::Deadlock);
-                let txn = self.roots.remove(&id).expect("aborting unknown root");
+                let txn = self.roots.remove(id).expect("aborting unknown root");
                 self.rollback_root(&txn);
+                self.recycle_root(txn);
                 self.release_and_resume(node, id);
             }
         }
@@ -780,6 +823,25 @@ impl LazyGroupSim {
         for (obj, value, ts) in txn.undo.iter().rev() {
             store.set(*obj, value.clone(), *ts);
         }
+    }
+
+    /// Return an aborted root transaction's buffers to the recycling
+    /// pools. (Commits recycle `objects`/`undo` directly; their
+    /// `updates` move into the commit log and come back through
+    /// [`CommitLog::truncate_until_recycling`].)
+    fn recycle_root(&mut self, txn: RootTxn) {
+        let RootTxn {
+            mut objects,
+            mut updates,
+            mut undo,
+            ..
+        } = txn;
+        objects.clear();
+        updates.clear();
+        undo.clear();
+        self.objects_pool.push(objects);
+        self.update_pool.push(updates);
+        self.undo_pool.push(undo);
     }
 
     /// Trace a lock wait at `node` (no-op when tracing is off).
@@ -825,7 +887,7 @@ impl LazyGroupSim {
         let value = Value::Int(self.value_rng.next_u64() as i64);
         // A crash or timeout abort may have killed the transaction
         // while this step event was in flight.
-        let Some(txn) = self.roots.get_mut(&id) else {
+        let Some(txn) = self.roots.get_mut(id) else {
             return;
         };
         let node = txn.node;
@@ -851,7 +913,7 @@ impl LazyGroupSim {
     }
 
     fn commit_root(&mut self, id: TxnId) {
-        let txn = self.roots.remove(&id).expect("committing unknown root");
+        let txn = self.roots.remove(id).expect("committing unknown root");
         let node = txn.node;
         if self.measuring() {
             self.metrics.committed.incr();
@@ -879,7 +941,17 @@ impl LazyGroupSim {
         // Commit goes to the node's log; propagation replays the log in
         // commit order (one lazy transaction per remote node — Figure
         // 1's "three node lazy transaction is actually 3 transactions").
-        self.nodes[node.0 as usize].log.append(id, txn.updates);
+        let RootTxn {
+            mut objects,
+            mut undo,
+            updates,
+            ..
+        } = txn;
+        objects.clear();
+        undo.clear();
+        self.objects_pool.push(objects);
+        self.undo_pool.push(undo);
+        self.nodes[node.0 as usize].log.append(id, updates);
         self.propagate(node);
     }
 
@@ -891,20 +963,44 @@ impl LazyGroupSim {
         if !self.network.is_connected(origin) {
             return;
         }
+        let batch = self.cfg.propagation_batch.max(1);
+        // Consecutive same-delay deliveries on one channel accumulate
+        // here and flush as one scheduled event (up to `batch` records).
+        // Coalescing happens strictly at flush time — the network still
+        // sees one send per record (same fault fates, same latency
+        // draws, same message counters as batch=1), and a delay change
+        // or non-delivery outcome flushes first, so per-channel arrival
+        // order is exactly the per-txn order.
+        let mut pending = std::mem::take(&mut self.deliver_scratch);
+        let mut pending_delay = SimDuration::ZERO;
+        // Destinations usually share a watermark (they all drift only
+        // under disconnects), so each record's payload is re-shipped to
+        // every destination back to back — memoize the last one and
+        // bump its refcount instead of re-allocating per destination.
+        let mut last_payload: Option<(Lsn, std::rc::Rc<[UpdateRecord]>)> = None;
         for dest in 0..self.cfg.nodes {
             let dest = NodeId(dest);
             if dest == origin {
                 continue;
             }
+            debug_assert!(pending.is_empty());
             loop {
                 let state = &self.nodes[origin.0 as usize];
                 let from = state.sent_upto[dest.0 as usize];
                 let Some(record) = state.log.get(from) else {
                     break;
                 };
-                // One allocation per (record, destination); every
-                // delivery copy below just bumps the refcount.
-                let updates: std::rc::Rc<[UpdateRecord]> = record.updates.as_slice().into();
+                // One allocation per record (shared across destinations
+                // via the memo); every delivery copy below just bumps
+                // the refcount.
+                let updates: std::rc::Rc<[UpdateRecord]> = match &last_payload {
+                    Some((lsn, rc)) if *lsn == from => rc.clone(),
+                    _ => {
+                        let rc: std::rc::Rc<[UpdateRecord]> = record.updates.as_slice().into();
+                        last_payload = Some((from, rc.clone()));
+                        rc
+                    }
+                };
                 let msg = ReplicaMsg {
                     from: origin,
                     updates: updates.clone(),
@@ -924,18 +1020,23 @@ impl LazyGroupSim {
                 });
                 match self.network.send(origin, dest, msg) {
                     SendOutcome::Deliver { delay } => {
-                        self.queue.schedule_after(
-                            delay,
-                            Ev::Deliver {
-                                to: dest,
-                                msg: ReplicaMsg {
-                                    from: origin,
-                                    updates: updates.clone(),
-                                },
-                            },
-                        );
+                        if !pending.is_empty() && pending_delay != delay {
+                            self.flush_deliveries(dest, pending_delay, &mut pending);
+                        }
+                        pending_delay = delay;
+                        pending.push(ReplicaMsg {
+                            from: origin,
+                            updates,
+                        });
+                        if pending.len() >= batch {
+                            self.flush_deliveries(dest, delay, &mut pending);
+                        }
                     }
                     SendOutcome::Duplicated { delays } => {
+                        // Flush first: the duplicate's copies must land
+                        // behind everything already pending on this
+                        // channel, as they would with per-txn events.
+                        self.flush_deliveries(dest, pending_delay, &mut pending);
                         if self.measuring() {
                             self.metrics.messages_duplicated.incr();
                         }
@@ -965,6 +1066,7 @@ impl LazyGroupSim {
                         // propagation from the same record, so delivery
                         // is at-least-once and the timestamp test makes
                         // re-application idempotent.
+                        self.flush_deliveries(dest, pending_delay, &mut pending);
                         if self.measuring() {
                             self.metrics.messages_dropped.incr();
                         }
@@ -989,27 +1091,51 @@ impl LazyGroupSim {
                     SendOutcome::SenderOffline(_) => {
                         // Raced a disconnect: retry from the same
                         // watermark at the next reconnect.
+                        self.flush_deliveries(dest, pending_delay, &mut pending);
+                        self.deliver_scratch = pending;
                         return;
                     }
                 }
                 self.nodes[origin.0 as usize].sent_upto[dest.0 as usize] = Lsn(from.0 + 1);
             }
+            self.flush_deliveries(dest, pending_delay, &mut pending);
         }
+        self.deliver_scratch = pending;
         // Garbage-collect the fully shipped prefix: records below every
         // destination's watermark will never be requested again.
         let state = &mut self.nodes[origin.0 as usize];
         state.sent_upto[origin.0 as usize] = state.log.head();
         if let Some(min) = state.sent_upto.iter().min().copied() {
-            state.log.truncate_until(min);
+            state
+                .log
+                .truncate_until_recycling(min, &mut self.update_pool);
+        }
+    }
+
+    /// Schedule the accumulated same-delay deliveries for `to`: a lone
+    /// record ships as a plain [`Ev::Deliver`] (the batch=1 path stays
+    /// allocation-free), a chunk as one [`Ev::DeliverBatch`].
+    fn flush_deliveries(&mut self, to: NodeId, delay: SimDuration, pending: &mut Vec<ReplicaMsg>) {
+        match pending.len() {
+            0 => {}
+            1 => {
+                let msg = pending.pop().expect("non-empty pending");
+                self.queue.schedule_after(delay, Ev::Deliver { to, msg });
+            }
+            _ => {
+                let msgs = std::mem::take(pending);
+                self.queue
+                    .schedule_after(delay, Ev::DeliverBatch { to, msgs });
+            }
         }
     }
 
     fn reconnect(&mut self, node: NodeId) {
         let inbound = self.network.reconnect(node);
-        for msg in inbound {
-            self.queue
-                .schedule_after(SimDuration::ZERO, Ev::Deliver { to: node, msg });
-        }
+        self.queue.schedule_batch_after(
+            SimDuration::ZERO,
+            inbound.into_iter().map(|msg| Ev::Deliver { to: node, msg }),
+        );
         self.propagate(node);
     }
 
@@ -1022,23 +1148,19 @@ impl LazyGroupSim {
             }
             state.active_replicas += 1;
         }
-        let id = self.fresh_txn();
-        self.replicas.insert(
-            id,
-            ReplicaTxn {
-                node: to,
-                msg,
-                next: 0,
-                conflicted: false,
-            },
-        );
+        let id = self.replicas.insert(ReplicaTxn {
+            node: to,
+            msg,
+            next: 0,
+            conflicted: false,
+        });
         self.tracer
             .emit(|| Event::new(self.queue.now(), to, id, EventKind::TxnBegin));
         self.try_replica_step(id);
     }
 
     fn try_replica_step(&mut self, id: TxnId) {
-        let txn = &self.replicas[&id];
+        let txn = self.replicas.get(id).expect("stepping unknown replica");
         if txn.next >= txn.msg.updates.len() {
             self.commit_replica(id);
             return;
@@ -1063,7 +1185,7 @@ impl LazyGroupSim {
                     self.metrics.deadlocks.incr();
                 }
                 self.emit_deadlock(node, id, AbortReason::Deadlock);
-                let txn = self.replicas.remove(&id).expect("replica vanished");
+                let txn = self.replicas.remove(id).expect("replica vanished");
                 self.release_replica_slot(node);
                 self.release_and_resume(node, id);
                 // Randomized backoff: a deterministic delay would let
@@ -1088,7 +1210,7 @@ impl LazyGroupSim {
     fn on_replica_step(&mut self, id: TxnId) {
         // A crash or timeout abort may have killed the transaction
         // while this step event was in flight.
-        let Some(txn) = self.replicas.get_mut(&id) else {
+        let Some(txn) = self.replicas.get_mut(id) else {
             return;
         };
         let node = txn.node;
@@ -1140,14 +1262,14 @@ impl LazyGroupSim {
                         EventKind::DangerousUpdate { object: u.object },
                     )
                 });
-                self.replicas.get_mut(&id).expect("replica txn").conflicted = true;
+                self.replicas.get_mut(id).expect("replica txn").conflicted = true;
             }
         }
         self.try_replica_step(id);
     }
 
     fn commit_replica(&mut self, id: TxnId) {
-        let txn = self.replicas.remove(&id).expect("unknown replica commit");
+        let txn = self.replicas.remove(id).expect("unknown replica commit");
         if self.queue.now() >= self.measure_from {
             self.metrics.replica_commits.incr();
             if txn.conflicted {
@@ -1194,13 +1316,16 @@ impl LazyGroupSim {
         self.granted_scratch = granted;
     }
 
-    /// Resume transactions whose lock was just granted at `node`.
+    /// Resume transactions whose lock was just granted at `node`. The
+    /// arena tag in each id routes it without probing both slabs.
     fn resume_waiters(&mut self, _node: NodeId, granted: &[(TxnId, ObjectId)]) {
         for &(waiter, _obj) in granted {
-            if self.roots.contains_key(&waiter) {
-                self.queue
-                    .schedule_after(self.cfg.action_time, Ev::RootStep(waiter));
-            } else if self.replicas.contains_key(&waiter) {
+            if self.roots.owns(waiter) {
+                if self.roots.contains(waiter) {
+                    self.queue
+                        .schedule_after(self.cfg.action_time, Ev::RootStep(waiter));
+                }
+            } else if self.replicas.contains(waiter) {
                 self.queue
                     .schedule_after(self.cfg.action_time, Ev::ReplicaStep(waiter));
             }

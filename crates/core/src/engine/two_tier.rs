@@ -25,10 +25,10 @@ use repl_net::{DisconnectSchedule, Network, PeriodModel, SendOutcome};
 use repl_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use repl_storage::{
     Acquire, ApplyOutcome, LamportClock, LockManager, NodeId, ObjectId, ObjectStore,
-    TentativeStore, Timestamp, TxnId, Value,
+    TentativeStore, Timestamp, TxnId, TxnSlab, Value,
 };
 use repl_telemetry::{Event, EventKind, Profiler, TraceHandle};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Transaction-design regimes for the two-tier workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,8 +133,21 @@ enum Ev {
     Arrive(NodeId),
     BaseStep(TxnId),
     BaseRetry(TxnId),
-    Deliver { to: NodeId, msg: RefreshMsg },
-    Connectivity { node: NodeId, connected: bool },
+    Deliver {
+        to: NodeId,
+        msg: RefreshMsg,
+    },
+    /// A coalesced chunk of refreshes for one destination
+    /// (`propagation_batch` > 1). Applied per message on delivery, so
+    /// counters and traces match the unbatched schedule exactly.
+    DeliverBatch {
+        to: NodeId,
+        msgs: Vec<RefreshMsg>,
+    },
+    Connectivity {
+        node: NodeId,
+        connected: bool,
+    },
 }
 
 /// The two-tier simulator.
@@ -152,14 +165,15 @@ pub struct TwoTierSim {
     /// Active reconnect sync sessions (mobile → remaining queue drains
     /// through one base transaction at a time).
     in_session: Vec<bool>,
-    base_txns: HashMap<TxnId, BaseTxn>,
+    /// In-flight base transactions in a generational slab: every event
+    /// dispatch indexes a dense slot instead of hashing a `TxnId`.
+    base_txns: TxnSlab<BaseTxn>,
     network: Network<RefreshMsg>,
     arrival_rngs: Vec<SimRng>,
     object_rng: SimRng,
     value_rng: SimRng,
     retry_rng: SimRng,
     clocks: Vec<LamportClock>,
-    next_txn: u64,
     metrics: Metrics,
     measure_from: SimTime,
     tracer: TraceHandle,
@@ -167,6 +181,10 @@ pub struct TwoTierSim {
     run_label: String,
     /// Recycled buffer for lock-release promotions (commit/abort path).
     granted_scratch: Vec<(TxnId, ObjectId)>,
+    /// Recycled chunk buffer for batched refresh fan-out.
+    refresh_scratch: Vec<RefreshMsg>,
+    /// Scratch for the workload sampler's distinct-object draw.
+    sample_scratch: Vec<u64>,
     /// Committed base transactions' read/write footprints — §7 property
     /// 2 ("base transactions execute with single-copy serializability")
     /// is *verified*, not assumed: see [`TwoTierSim::run_full`].
@@ -254,7 +272,7 @@ impl TwoTierSim {
             replicas,
             pending: (0..n).map(|_| VecDeque::new()).collect(),
             in_session: vec![false; n],
-            base_txns: HashMap::new(),
+            base_txns: TxnSlab::new(0),
             network: Network::new(n, sim.latency, sim.seed),
             arrival_rngs,
             object_rng: SimRng::stream(sim.seed, "tt-objects"),
@@ -263,13 +281,14 @@ impl TwoTierSim {
             clocks: (0..n)
                 .map(|i| LamportClock::new(NodeId(i as u32)))
                 .collect(),
-            next_txn: 0,
             metrics: Metrics::new(),
             measure_from: sim.warmup,
             tracer: TraceHandle::off(),
             profiler: Profiler::off(),
             run_label: "two-tier".to_owned(),
             granted_scratch: Vec::new(),
+            refresh_scratch: Vec::new(),
+            sample_scratch: Vec::new(),
             history: History::new(),
             recorder: Recorder::off(),
             cfg,
@@ -313,12 +332,6 @@ impl TwoTierSim {
 
     fn measuring(&self) -> bool {
         self.queue.now() >= self.measure_from
-    }
-
-    fn fresh_txn(&mut self) -> TxnId {
-        let id = TxnId(self.next_txn);
-        self.next_txn += 1;
-        id
     }
 
     /// Run to the horizon and return the report; use
@@ -407,6 +420,19 @@ impl TwoTierSim {
                 self.apply_refresh(to, msg);
                 profiler.stop("two-tier/deliver", t);
             }
+            Ev::DeliverBatch { to, msgs } => {
+                for msg in msgs {
+                    self.tracer.emit(|| {
+                        Event::system(
+                            self.queue.now(),
+                            to,
+                            EventKind::MsgDelivered { from: NodeId(0) },
+                        )
+                    });
+                    self.apply_refresh(to, msg);
+                }
+                profiler.stop("two-tier/deliver", t);
+            }
             Ev::Connectivity { node, connected } => {
                 self.tracer.emit(|| {
                     let kind = if connected {
@@ -436,14 +462,16 @@ impl TwoTierSim {
     fn pick_objects(&mut self, node: NodeId) -> Vec<ObjectId> {
         let base_owned = self.cfg.base_owned();
         let actions = self.cfg.sim.actions;
-        if self.is_mobile(node) && self.cfg.mobile_owned > 0 {
+        let mut scratch = std::mem::take(&mut self.sample_scratch);
+        let objects = if self.is_mobile(node) && self.cfg.mobile_owned > 0 {
             let mobile_index = u64::from(node.0 - self.cfg.base_nodes);
             let own_start = base_owned + mobile_index * self.cfg.mobile_owned;
             let virtual_size = base_owned + self.cfg.mobile_owned;
             self.object_rng
-                .sample_distinct(virtual_size, actions)
-                .into_iter()
-                .map(|v| {
+                .sample_distinct_into(virtual_size, actions, &mut scratch);
+            scratch
+                .iter()
+                .map(|&v| {
                     if v < base_owned {
                         ObjectId(v)
                     } else {
@@ -453,11 +481,11 @@ impl TwoTierSim {
                 .collect()
         } else {
             self.object_rng
-                .sample_distinct(base_owned.max(1), actions)
-                .into_iter()
-                .map(ObjectId)
-                .collect()
-        }
+                .sample_distinct_into(base_owned.max(1), actions, &mut scratch);
+            scratch.iter().copied().map(ObjectId).collect()
+        };
+        self.sample_scratch = scratch;
+        objects
     }
 
     /// Build a transaction spec for `node`. For the commutative
@@ -563,27 +591,23 @@ impl TwoTierSim {
         tentative_results: Option<Vec<(ObjectId, Value)>>,
         session: Option<NodeId>,
     ) {
-        let id = self.fresh_txn();
-        self.base_txns.insert(
-            id,
-            BaseTxn {
-                origin,
-                spec,
-                tentative_results,
-                next: 0,
-                buffered: Vec::new(),
-                reads: Vec::new(),
-                started: self.queue.now(),
-                session,
-            },
-        );
+        let id = self.base_txns.insert(BaseTxn {
+            origin,
+            spec,
+            tentative_results,
+            next: 0,
+            buffered: Vec::new(),
+            reads: Vec::new(),
+            started: self.queue.now(),
+            session,
+        });
         self.tracer
             .emit(|| Event::new(self.queue.now(), origin, id, EventKind::TxnBegin));
         self.try_base_step(id);
     }
 
     fn try_base_step(&mut self, id: TxnId) {
-        let txn = &self.base_txns[&id];
+        let txn = self.base_txns.get(id).expect("stepping unknown base txn");
         if txn.next >= txn.spec.ops.len() {
             self.finish_base(id);
             return;
@@ -629,7 +653,7 @@ impl TwoTierSim {
                         },
                     )
                 });
-                let txn = self.base_txns.get_mut(&id).expect("base txn");
+                let txn = self.base_txns.get_mut(id).expect("base txn");
                 txn.next = 0;
                 txn.buffered.clear();
                 txn.reads.clear();
@@ -647,7 +671,7 @@ impl TwoTierSim {
     }
 
     fn on_base_step(&mut self, id: TxnId) {
-        let txn = self.base_txns.get_mut(&id).expect("base step for dead txn");
+        let txn = self.base_txns.get_mut(id).expect("base step for dead txn");
         let op = txn.spec.ops[txn.next].clone();
         // Read own buffered write if present, else the master copy.
         let current = match txn.buffered.iter().rev().find(|(o, _)| *o == op.object) {
@@ -670,7 +694,7 @@ impl TwoTierSim {
     fn finish_base(&mut self, id: TxnId) {
         let txn = self
             .base_txns
-            .remove(&id)
+            .remove(id)
             .expect("finishing unknown base txn");
         let accepted = match &txn.tentative_results {
             Some(tentative) => txn.spec.criterion.accepts(&txn.buffered, tentative),
@@ -780,7 +804,7 @@ impl TwoTierSim {
 
     fn resume_waiters(&mut self, granted: &[(TxnId, ObjectId)]) {
         for &(waiter, _obj) in granted {
-            if self.base_txns.contains_key(&waiter) {
+            if self.base_txns.contains(waiter) {
                 self.queue
                     .schedule_after(self.cfg.sim.action_time, Ev::BaseStep(waiter));
             }
@@ -793,7 +817,14 @@ impl TwoTierSim {
 
     fn broadcast_refresh(&mut self, msg: RefreshMsg) {
         // Master commits originate "at the base"; model the fan-out
-        // from a virtual base sender that is always connected.
+        // from a virtual base sender that is always connected. Same-delay
+        // refreshes for one destination coalesce into chunks of up to
+        // `propagation_batch` (the connected flow ships one refresh per
+        // commit, so batch=1 and batch>1 schedule identically here; the
+        // chunk path carries duplicate bursts).
+        let batch = self.cfg.sim.propagation_batch.max(1);
+        let mut pending = std::mem::take(&mut self.refresh_scratch);
+        let mut pending_delay = SimDuration::ZERO;
         for dest in 0..self.cfg.sim.nodes {
             let dest = NodeId(dest);
             if self.measuring() {
@@ -805,17 +836,20 @@ impl TwoTierSim {
             // Base nodes are always connected; send from base node 0.
             match self.network.send(NodeId(0), dest, msg.clone()) {
                 SendOutcome::Deliver { delay } => {
-                    self.queue.schedule_after(
-                        delay,
-                        Ev::Deliver {
-                            to: dest,
-                            msg: msg.clone(),
-                        },
-                    );
+                    if !pending.is_empty() && pending_delay != delay {
+                        self.flush_refreshes(dest, pending_delay, &mut pending);
+                    }
+                    pending_delay = delay;
+                    pending.push(msg.clone());
+                    if pending.len() >= batch {
+                        self.flush_refreshes(dest, pending_delay, &mut pending);
+                    }
                 }
                 SendOutcome::Duplicated { delays } => {
                     // Refreshes are last-writer-wins; a duplicate is
-                    // absorbed by the timestamp comparison.
+                    // absorbed by the timestamp comparison. Flush first
+                    // so the original precedes its echoes in the queue.
+                    self.flush_refreshes(dest, pending_delay, &mut pending);
                     for delay in delays {
                         self.queue.schedule_after(
                             delay,
@@ -833,6 +867,26 @@ impl TwoTierSim {
                 }
                 SendOutcome::Held => {}
                 SendOutcome::SenderOffline(_) => unreachable!("base node 0 never disconnects"),
+            }
+            self.flush_refreshes(dest, pending_delay, &mut pending);
+        }
+        self.refresh_scratch = pending;
+    }
+
+    /// Schedule the accumulated same-delay refreshes for `to`: a lone
+    /// message ships as a plain [`Ev::Deliver`] (the batch=1 path stays
+    /// allocation-free), a chunk as one [`Ev::DeliverBatch`].
+    fn flush_refreshes(&mut self, to: NodeId, delay: SimDuration, pending: &mut Vec<RefreshMsg>) {
+        match pending.len() {
+            0 => {}
+            1 => {
+                let msg = pending.pop().expect("non-empty pending");
+                self.queue.schedule_after(delay, Ev::Deliver { to, msg });
+            }
+            _ => {
+                let msgs = std::mem::take(pending);
+                self.queue
+                    .schedule_after(delay, Ev::DeliverBatch { to, msgs });
             }
         }
     }

@@ -33,6 +33,13 @@ const CORPUS: &str = include_str!("../../../../tests/check_seeds.txt");
 /// return the oracle report. This is the single driver behind corpus
 /// replay, fuzzing, `CHECK_CASE` repro, and the integration tests.
 pub fn run_case(case: &FuzzCase) -> CheckReport {
+    run_case_with_batch(case, 1)
+}
+
+/// [`run_case`] with an explicit replica-propagation batch size. Oracle
+/// verdicts are batch-size invariant — `tests/batch_determinism.rs`
+/// replays the committed corpus at several sizes to prove it.
+pub fn run_case_with_batch(case: &FuzzCase, batch: usize) -> CheckReport {
     let rec = Recorder::new(case.scheme);
     let p = Params::new(
         case.db_size as f64,
@@ -41,7 +48,8 @@ pub fn run_case(case: &FuzzCase) -> CheckReport {
         f64::from(case.actions),
         0.01,
     );
-    let cfg = SimConfig::from_params(&p, case.horizon_secs, case.seed);
+    let cfg =
+        SimConfig::from_params(&p, case.horizon_secs, case.seed).with_propagation_batch(batch);
     match case.scheme {
         Scheme::Contention => {
             let profile = ContentionProfile::single_node(&cfg);
@@ -145,7 +153,7 @@ pub fn check(opts: &RunOpts) -> Table {
         }
         match FuzzCase::parse(line) {
             Ok(case) => {
-                let report = run_case(&case);
+                let report = run_case_with_batch(&case, opts.batch);
                 table.row(vec![
                     case.scheme.name().to_owned(),
                     "corpus".into(),

@@ -48,7 +48,9 @@ pub fn ablate_delusion(opts: &RunOpts) -> Table {
     let sweep = vec![50u64, 100, 200];
     let results = run_points(opts, sweep, |opts, &secs| {
         let horizon = opts.horizon(secs).max(20);
-        let cfg = SimConfig::from_params(&p, horizon, opts.seed).with_warmup(2);
+        let cfg = SimConfig::from_params(&p, horizon, opts.seed)
+            .with_warmup(2)
+            .with_propagation_batch(opts.batch);
         let (auto_report, auto_stores) = LazyGroupSim::new(cfg, Mobility::Connected)
             .instrument(opts, format!("ablate-delusion auto secs={secs}"))
             .run_with_state();

@@ -13,10 +13,12 @@ fn config(
     workload: TwoTierWorkload,
     initial_value: i64,
     horizon: u64,
-    seed: u64,
+    opts: &RunOpts,
 ) -> TwoTierConfig {
     TwoTierConfig {
-        sim: SimConfig::from_params(p, horizon, seed).with_warmup(5),
+        sim: SimConfig::from_params(p, horizon, opts.seed)
+            .with_warmup(5)
+            .with_propagation_batch(opts.batch),
         base_nodes,
         mobile_owned: 0,
         connected: SimDuration::from_secs(10),
@@ -72,7 +74,7 @@ pub fn e12(opts: &RunOpts) -> Table {
         ),
     ];
     let results = run_points(opts, cases, |opts, &(label, workload, funds)| {
-        let cfg = config(&p, 2, workload, funds, horizon, opts.seed);
+        let cfg = config(&p, 2, workload, funds, horizon, opts);
         let (r, master, replicas) = TwoTierSim::new(cfg)
             .instrument(opts, format!("e12 {label}"))
             .run_with_state();
@@ -131,7 +133,7 @@ pub fn e12_nodes(opts: &RunOpts) -> Table {
             TwoTierWorkload::Commutative { max_amount: 10 },
             1_000_000,
             horizon,
-            opts.seed,
+            opts,
         );
         TwoTierSim::new(cfg)
             .instrument(opts, format!("e12b nodes={n}"))

@@ -115,6 +115,11 @@ pub struct RunOpts {
     /// every instrumented engine run records its execution and sweeps
     /// run serially (recorders are `Rc`-based, like tracers).
     pub check: CheckSession,
+    /// Replica-propagation batch size (`--batch N`); 1 preserves the
+    /// per-transaction fan-out. Only the lazy-group and two-tier
+    /// engines batch; all reports are batch-size invariant (see
+    /// `SimConfig::propagation_batch`).
+    pub batch: usize,
 }
 
 impl Default for RunOpts {
@@ -127,6 +132,7 @@ impl Default for RunOpts {
             faults: None,
             jobs: 1,
             check: CheckSession::default(),
+            batch: 1,
         }
     }
 }

@@ -27,12 +27,13 @@ use repl_harness::experiments::{self, Experiment};
 use repl_harness::RunOpts;
 use repl_telemetry::{JsonlSink, Profiler, SeriesAggregator};
 use std::cell::RefCell;
+use std::io::Write;
 use std::process::ExitCode;
 use std::rc::Rc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: harness [--quick] [--json] [--seed N] [--jobs N] [--trace FILE] \
+        "usage: harness [--quick] [--json] [--seed N] [--jobs N] [--batch N] [--trace FILE] \
          [--series SECS] [--profile] [--faults SPEC] [--check] <list|all|NAME...>"
     );
     eprintln!("experiments:");
@@ -43,20 +44,27 @@ fn usage() -> ExitCode {
 }
 
 /// Render one run's bucketed rate series (`--series`).
-fn print_series(agg: &SeriesAggregator) {
+fn print_series(out: &mut impl Write, agg: &SeriesAggregator) -> std::io::Result<()> {
     let width = agg.width();
     for run in agg.runs() {
-        println!("series: {} (bucket {}s)", run.label, width.as_secs_f64());
+        writeln!(
+            out,
+            "series: {} (bucket {}s)",
+            run.label,
+            width.as_secs_f64()
+        )?;
         if run.is_empty() {
-            println!("  (no counted events)");
+            writeln!(out, "  (no counted events)")?;
             continue;
         }
-        println!(
+        writeln!(
+            out,
             "  {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
             "start_s", "width_s", "commit/s", "wait/s", "deadlock/s", "recon/s"
-        );
+        )?;
         for r in run.rates(width) {
-            println!(
+            writeln!(
+                out,
                 "  {:>10.1} {:>8.1} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
                 r.start_secs,
                 r.width_secs,
@@ -64,9 +72,10 @@ fn print_series(agg: &SeriesAggregator) {
                 r.wait_rate,
                 r.deadlock_rate,
                 r.reconciliation_rate
-            );
+            )?;
         }
     }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -121,6 +130,13 @@ fn main() -> ExitCode {
                 };
                 fault_spec = Some(s);
             }
+            "--batch" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v >= 1) else {
+                    eprintln!("--batch needs a positive integer");
+                    return usage();
+                };
+                opts.batch = v;
+            }
             "--profile" => opts.profiler = Profiler::enabled(),
             "--check" => opts.check = repl_harness::CheckSession::enabled(),
             "-h" | "--help" => return usage(),
@@ -164,10 +180,16 @@ fn main() -> ExitCode {
             }
         }
     }
+    // All table/JSON/series output funnels through one locked, buffered
+    // stdout handle: one flush per experiment instead of one write
+    // syscall per row (visible in `--quick all` profiles).
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
     if names.iter().any(|n| n == "list") {
         for e in experiments::ALL {
-            println!("{:16} {}", e.name, e.about);
+            writeln!(out, "{:16} {}", e.name, e.about).expect("write to stdout");
         }
+        out.flush().expect("flush stdout");
         return ExitCode::SUCCESS;
     }
     let selected: Vec<&Experiment> = if names.iter().any(|n| n == "all") {
@@ -219,26 +241,29 @@ fn main() -> ExitCode {
         total_violations += table.violations.len();
         if json {
             match serde_json::to_string_pretty(&table) {
-                Ok(s) => println!("{s}"),
+                Ok(s) => writeln!(out, "{s}").expect("write to stdout"),
                 Err(err) => {
                     eprintln!("cannot serialize table {}: {err}", table.id);
                     return ExitCode::FAILURE;
                 }
             }
         } else {
-            println!("{}", table.render());
+            writeln!(out, "{}", table.render()).expect("write to stdout");
         }
+        // Flush per experiment so long sweeps still stream progress.
+        out.flush().expect("flush stdout");
     }
     opts.tracer.flush();
     if let Some(agg) = &series {
-        print_series(&agg.borrow());
+        print_series(&mut out, &agg.borrow()).expect("write to stdout");
     }
     if opts.profiler.is_enabled() {
-        println!("profile (wall-clock per engine phase):");
+        writeln!(out, "profile (wall-clock per engine phase):").expect("write to stdout");
         for line in opts.profiler.report_lines() {
-            println!("  {line}");
+            writeln!(out, "  {line}").expect("write to stdout");
         }
     }
+    out.flush().expect("flush stdout");
     if total_violations > 0 {
         eprintln!("correctness oracles found {total_violations} violation(s)");
         return ExitCode::FAILURE;

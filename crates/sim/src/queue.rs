@@ -40,7 +40,15 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     now: SimTime,
+    /// Tie-break sequence for same-instant events. Monotone, never
+    /// recycled. Overflow note: a `u64` at 10⁹ events per wall-clock
+    /// second would take ~584 years to wrap, so no release-mode
+    /// branch is spent on it; debug builds assert (see
+    /// [`EventQueue::schedule_at`]) so a hypothetical wrap cannot
+    /// silently corrupt event ordering.
     seq: u64,
+    /// Lifetime count of scheduled events (telemetry). Same overflow
+    /// bound and guard as `seq`.
     scheduled: u64,
 }
 
@@ -91,6 +99,7 @@ impl<E> EventQueue<E> {
             "scheduling into the past: {at} < {}",
             self.now
         );
+        debug_assert!(self.seq != u64::MAX, "event sequence counter overflow");
         let time = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -101,6 +110,37 @@ impl<E> EventQueue<E> {
     /// Schedule `event` after `delay` from the current time.
     pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
         self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule a burst of events at the absolute time `at` in one heap
+    /// operation. Events keep their iterator order at the shared
+    /// instant (each gets the next tie-break sequence number), exactly
+    /// as if [`EventQueue::schedule_at`] had been called per event —
+    /// but the heap rebalances once for the burst, not once per event.
+    pub fn schedule_batch_at(&mut self, at: SimTime, events: impl IntoIterator<Item = E>) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        let time = at.max(self.now);
+        self.heap.extend(events.into_iter().map(|event| {
+            debug_assert!(self.seq != u64::MAX, "event sequence counter overflow");
+            let seq = self.seq;
+            self.seq += 1;
+            self.scheduled += 1;
+            Reverse(Entry { time, seq, event })
+        }));
+    }
+
+    /// Schedule a burst of events `delay` after the current time; see
+    /// [`EventQueue::schedule_batch_at`].
+    pub fn schedule_batch_after(
+        &mut self,
+        delay: SimDuration,
+        events: impl IntoIterator<Item = E>,
+    ) {
+        self.schedule_batch_at(self.now + delay, events);
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
@@ -125,9 +165,21 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Timestamp of the next event, if any.
+    /// Timestamp of the next event, if any. Engines use this with
+    /// [`EventQueue::pop_if_at`] to drain every event at one instant
+    /// without popping and re-pushing the first event of the next.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pop the next event only if it is scheduled exactly at `at` —
+    /// the same-instant drain: `while let Some(e) = q.pop_if_at(now)`
+    /// consumes a flush's whole burst without touching later events.
+    pub fn pop_if_at(&mut self, at: SimTime) -> Option<E> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.time == at => self.pop().map(|(_, e)| e),
+            _ => None,
+        }
     }
 }
 
@@ -184,6 +236,41 @@ mod tests {
         // Clock was advanced to the horizon.
         assert_eq!(q.now(), SimTime(50));
         // The late event is still there.
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn batch_schedule_preserves_order_and_counters() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(5), 100);
+        q.schedule_batch_at(SimTime(5), [101, 102, 103]);
+        q.schedule_batch_after(SimDuration(5), [104]);
+        assert_eq!(q.total_scheduled(), 5);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        // Batched events interleave with singles by schedule order.
+        assert_eq!(order, vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_batch_at(SimTime(1), std::iter::empty());
+        assert!(q.is_empty());
+        assert_eq!(q.total_scheduled(), 0);
+    }
+
+    #[test]
+    fn pop_if_at_drains_one_instant_only() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(10), "b");
+        q.schedule_at(SimTime(20), "later");
+        let (t, first) = q.pop().unwrap();
+        assert_eq!((t, first), (SimTime(10), "a"));
+        assert_eq!(q.pop_if_at(SimTime(10)), Some("b"));
+        // The event at 20 stays put and the clock has not advanced.
+        assert_eq!(q.pop_if_at(SimTime(10)), None);
+        assert_eq!(q.now(), SimTime(10));
         assert_eq!(q.len(), 1);
     }
 

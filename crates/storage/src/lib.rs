@@ -13,6 +13,8 @@
 //!   potential anomalies and converts them to waits or deadlocks"),
 //! * [`mvcc`] — the multi-version committed-read store the model's
 //!   "no read locks" assumption rests on,
+//! * [`slab`] — generational slab arenas that mint dense [`TxnId`]s, so
+//!   engines index in-flight transactions instead of hashing them,
 //! * [`wal`] — the per-node commit log replayed "in sequential commit
 //!   order" by lazy replication (§5),
 //! * [`tentative`] — the mobile node's dual master/tentative versions
@@ -25,6 +27,7 @@ pub mod hash;
 pub mod lock;
 pub mod mvcc;
 pub mod object;
+pub mod slab;
 pub mod store;
 pub mod tentative;
 pub mod version_vector;
@@ -33,6 +36,7 @@ pub mod wal;
 pub use lock::{Acquire, DeadlockMode, LockManager, Mutation, TxnId};
 pub use mvcc::MvccStore;
 pub use object::{LamportClock, NodeId, ObjectId, Timestamp, Value, Versioned};
+pub use slab::TxnSlab;
 pub use store::{ApplyOutcome, ObjectStore};
 pub use tentative::TentativeStore;
 pub use version_vector::{Causality, VersionVector};

@@ -8,10 +8,11 @@
 //! waits-for graph is functional and a cycle check is a simple chain
 //! walk from the blocking holder.
 
+use crate::hash::FastMap;
 use crate::object::ObjectId;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Globally unique transaction identifier.
@@ -129,12 +130,14 @@ const SPARE_HELD_CAP: usize = 256;
 /// ([`DeadlockMode::TimeoutOnly`]).
 #[derive(Debug, Default)]
 pub struct LockManager {
-    /// Objects currently locked.
-    locks: HashMap<ObjectId, LockState>,
+    /// Objects currently locked. All three tables use [`FastMap`]: they
+    /// are consulted on every action of every transaction, keyed by
+    /// internal ids, and never iterated for output.
+    locks: FastMap<ObjectId, LockState>,
     /// All locks held by each live transaction (for release-all).
-    held: HashMap<TxnId, Vec<ObjectId>>,
+    held: FastMap<TxnId, Vec<ObjectId>>,
     /// The single object each blocked transaction is waiting on.
-    waiting_on: HashMap<TxnId, ObjectId>,
+    waiting_on: FastMap<TxnId, ObjectId>,
     /// The waits-for cycle behind the most recent [`Acquire::Deadlock`]
     /// result, victim first (telemetry forensics).
     last_cycle: Vec<TxnId>,
@@ -272,7 +275,7 @@ impl LockManager {
     /// Append `obj` to `txn`'s held list, seeding the list from the
     /// spare pool on first acquisition.
     fn record_held(
-        held: &mut HashMap<TxnId, Vec<ObjectId>>,
+        held: &mut FastMap<TxnId, Vec<ObjectId>>,
         spare: &mut Vec<Vec<ObjectId>>,
         txn: TxnId,
         obj: ObjectId,

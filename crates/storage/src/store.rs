@@ -48,14 +48,69 @@ impl ApplyOutcome {
 #[derive(Debug, Clone)]
 pub struct ObjectStore {
     objects: Vec<Versioned>,
+    /// Each slot's current [`slot_hash`], cached so a write subtracts
+    /// the stored term instead of re-hashing the old version.
+    slot_hashes: Vec<u64>,
+    /// Rolling convergence digest: the wrapping sum of every slot's
+    /// [`slot_hash`], maintained incrementally by each write so
+    /// [`ObjectStore::digest`] is O(1) instead of a full scan.
+    digest: u64,
+}
+
+/// A well-mixed 64-bit hash of one slot's `(index, value, timestamp)`.
+/// Folding the index in means two stores that hold the same versions in
+/// *different slots* digest differently; combining slot hashes with a
+/// wrapping sum makes the combined digest order-free and incrementally
+/// updatable (subtract the old slot hash, add the new one).
+fn slot_hash(idx: usize, v: &Versioned) -> u64 {
+    const MUL: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h = (h.rotate_left(5) ^ x).wrapping_mul(MUL);
+    };
+    mix(idx as u64);
+    match &v.value {
+        Value::Int(i) => {
+            mix(1);
+            mix(*i as u64);
+        }
+        Value::Text(s) => {
+            mix(2);
+            mix(s.len() as u64);
+            for &b in s.as_bytes() {
+                mix(u64::from(b));
+            }
+        }
+    }
+    mix(v.ts.counter);
+    mix(u64::from(v.ts.node.0));
+    h
 }
 
 impl ObjectStore {
     /// A store of `db_size` objects, all at [`Versioned::initial`].
     pub fn new(db_size: u64) -> Self {
+        let objects = vec![Versioned::initial(); db_size as usize];
+        let slot_hashes: Vec<u64> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, v)| slot_hash(i, v))
+            .collect();
+        let digest = slot_hashes.iter().fold(0u64, |d, &h| d.wrapping_add(h));
         ObjectStore {
-            objects: vec![Versioned::initial(); db_size as usize],
+            objects,
+            slot_hashes,
+            digest,
         }
+    }
+
+    /// Replace slot `idx` with `next`, rolling the digest forward.
+    #[inline]
+    fn write_slot(&mut self, idx: usize, next: Versioned) {
+        let new_hash = slot_hash(idx, &next);
+        let old_hash = std::mem::replace(&mut self.slot_hashes[idx], new_hash);
+        self.digest = self.digest.wrapping_sub(old_hash).wrapping_add(new_hash);
+        self.objects[idx] = next;
     }
 
     /// Number of objects.
@@ -77,7 +132,7 @@ impl ObjectStore {
     /// Overwrite an object's value and timestamp unconditionally — used
     /// by the local write path after the lock manager has granted access.
     pub fn set(&mut self, id: ObjectId, value: Value, ts: Timestamp) {
-        self.objects[id.0 as usize] = Versioned { value, ts };
+        self.write_slot(id.0 as usize, Versioned { value, ts });
     }
 
     /// Apply a replica update using the paper's timestamp test
@@ -97,14 +152,15 @@ impl ObjectStore {
         new_ts: Timestamp,
         value: Value,
     ) -> ApplyOutcome {
-        let slot = &mut self.objects[id.0 as usize];
+        let idx = id.0 as usize;
+        let slot = &self.objects[idx];
         if slot.ts == old {
-            *slot = Versioned { value, ts: new_ts };
+            self.write_slot(idx, Versioned { value, ts: new_ts });
             ApplyOutcome::Applied
         } else if slot.ts == new_ts {
             ApplyOutcome::Duplicate
         } else if new_ts > slot.ts {
-            *slot = Versioned { value, ts: new_ts };
+            self.write_slot(idx, Versioned { value, ts: new_ts });
             ApplyOutcome::ConflictApplied
         } else {
             ApplyOutcome::ConflictIgnored
@@ -116,9 +172,9 @@ impl ObjectStore {
     /// newer than a replica update timestamp, the update is stale and
     /// can be ignored"). Returns whether the update was applied.
     pub fn apply_lww(&mut self, id: ObjectId, new_ts: Timestamp, value: Value) -> bool {
-        let slot = &mut self.objects[id.0 as usize];
-        if new_ts > slot.ts {
-            *slot = Versioned { value, ts: new_ts };
+        let idx = id.0 as usize;
+        if new_ts > self.objects[idx].ts {
+            self.write_slot(idx, Versioned { value, ts: new_ts });
             true
         } else {
             false
@@ -133,32 +189,24 @@ impl ObjectStore {
             .map(|(i, v)| (ObjectId(i as u64), v))
     }
 
-    /// A deterministic digest of the full database state (FNV-1a over
-    /// values and timestamps). Two replicas have converged iff their
-    /// digests are equal — the §6 convergence tests rely on this.
+    /// A deterministic digest of the full database state. Two replicas
+    /// have converged iff their digests are equal — the §6 convergence
+    /// tests rely on this. Maintained incrementally by every write, so
+    /// this is O(1): the convergence oracles compare whole databases
+    /// per check without re-scanning `DB_Size` objects.
     pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |x: u64| {
-            h ^= x;
-            h = h.wrapping_mul(0x1_0000_0000_01b3);
-        };
-        for v in &self.objects {
-            match &v.value {
-                Value::Int(i) => {
-                    mix(1);
-                    mix(*i as u64);
-                }
-                Value::Text(s) => {
-                    mix(2);
-                    for &b in s.as_bytes() {
-                        mix(u64::from(b));
-                    }
-                }
-            }
-            mix(v.ts.counter);
-            mix(u64::from(v.ts.node.0));
-        }
-        h
+        self.digest
+    }
+
+    /// Recompute the digest from scratch (O(`DB_Size`)). Returns the
+    /// same value [`ObjectStore::digest`] reports — tests use the pair
+    /// to validate the rolling maintenance, and the benches use it as
+    /// the pre-incremental cost baseline.
+    pub fn recompute_digest(&self) -> u64 {
+        self.objects
+            .iter()
+            .enumerate()
+            .fold(0u64, |d, (i, v)| d.wrapping_add(slot_hash(i, v)))
     }
 
     /// Sum of all integer values — workload invariants (e.g. "transfers
@@ -282,6 +330,34 @@ mod tests {
         let mut b = ObjectStore::new(1);
         a.set(ObjectId(0), Value::Int(1), ts(1, 1));
         b.set(ObjectId(0), Value::Int(1), ts(1, 2));
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn rolling_digest_matches_full_recompute() {
+        let mut s = ObjectStore::new(16);
+        assert_eq!(s.digest(), s.recompute_digest());
+        // Exercise every write path: set, safe apply, conflict apply,
+        // ignored conflict, duplicate, lww win, lww loss.
+        s.set(ObjectId(0), Value::Int(7), ts(1, 1));
+        s.set(ObjectId(0), Value::from("text"), ts(2, 1));
+        s.apply_versioned(ObjectId(1), Timestamp::ZERO, ts(1, 2), Value::Int(9));
+        s.apply_versioned(ObjectId(1), Timestamp::ZERO, ts(3, 1), Value::Int(4));
+        s.apply_versioned(ObjectId(1), Timestamp::ZERO, ts(2, 2), Value::Int(5));
+        s.apply_versioned(ObjectId(1), Timestamp::ZERO, ts(3, 1), Value::Int(4));
+        s.apply_lww(ObjectId(2), ts(5, 3), Value::Int(11));
+        s.apply_lww(ObjectId(2), ts(4, 3), Value::Int(12));
+        assert_eq!(s.digest(), s.recompute_digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_slot_placement() {
+        // Same version in different slots must digest differently —
+        // the order-free sum still folds the slot index into each term.
+        let mut a = ObjectStore::new(2);
+        let mut b = ObjectStore::new(2);
+        a.set(ObjectId(0), Value::Int(1), ts(1, 1));
+        b.set(ObjectId(1), Value::Int(1), ts(1, 1));
         assert_ne!(a.digest(), b.digest());
     }
 

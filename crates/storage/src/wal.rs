@@ -121,6 +121,25 @@ impl CommitLog {
         self.records.drain(..keep_from);
         self.base += keep_from as u64;
     }
+
+    /// [`CommitLog::truncate_until`], but the discarded records' update
+    /// buffers are cleared and pushed onto `spare` instead of freed, so
+    /// the engine can hand the allocations to future commits. At steady
+    /// state commits consume recycled buffers as fast as truncation
+    /// produces them, so `spare` stays bounded by the log's own churn.
+    pub fn truncate_until_recycling(&mut self, upto: Lsn, spare: &mut Vec<Vec<UpdateRecord>>) {
+        let keep_from = upto.0.saturating_sub(self.base) as usize;
+        if keep_from == 0 {
+            return;
+        }
+        let keep_from = keep_from.min(self.records.len());
+        for rec in self.records.drain(..keep_from) {
+            let mut updates = rec.updates;
+            updates.clear();
+            spare.push(updates);
+        }
+        self.base += keep_from as u64;
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +247,25 @@ mod tests {
         log.truncate_until(Lsn(99));
         assert!(log.is_empty());
         assert_eq!(log.tail(), Lsn(1));
+    }
+
+    #[test]
+    fn truncate_recycling_matches_plain_truncate() {
+        let mut a = CommitLog::new();
+        let mut b = CommitLog::new();
+        for i in 0..6 {
+            a.append(TxnId(i), vec![upd(i, i, i + 1)]);
+            b.append(TxnId(i), vec![upd(i, i, i + 1)]);
+        }
+        let mut spare = Vec::new();
+        a.truncate_until(Lsn(4));
+        b.truncate_until_recycling(Lsn(4), &mut spare);
+        assert_eq!(a.tail(), b.tail());
+        assert_eq!(a.head(), b.head());
+        assert_eq!(a.since(Lsn(4)), b.since(Lsn(4)));
+        // Four buffers came back, emptied but with capacity intact.
+        assert_eq!(spare.len(), 4);
+        assert!(spare.iter().all(|v| v.is_empty() && v.capacity() >= 1));
     }
 
     #[test]

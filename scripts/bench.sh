@@ -6,8 +6,11 @@
 #
 # Usage:
 #   scripts/bench.sh            full run, rewrites BENCH_harness.json
-#   scripts/bench.sh --smoke    CI smoke: 1 rep, no criterion, writes
-#                               to a temp file and validates it only
+#   scripts/bench.sh --smoke    CI smoke: 1 rep, writes to a temp file
+#                               and validates it; also reruns the
+#                               engine criterion suite and fails if any
+#                               tracked median regresses >1.5x against
+#                               the committed BENCH_harness.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +41,14 @@ if [ "$SMOKE" = 0 ]; then
     echo "== criterion: micro + engines =="
     CRIT_LOG="$(mktemp)"
     cargo bench -p repl-bench --bench micro --bench engines 2>&1 | tee "$CRIT_LOG"
+else
+    # The smoke gate tracks only the ms-scale engine benches: the
+    # ns-scale micro benches jitter past any useful threshold on a
+    # shared box, while a genuine hot-path regression in an engine
+    # shows up here as well.
+    echo "== criterion smoke: engines regression gate =="
+    CRIT_LOG="$(mktemp)"
+    cargo bench -p repl-bench --bench engines 2>&1 | tee "$CRIT_LOG"
 fi
 
 echo "== timing harness experiments (reps=$REPS) =="
@@ -125,6 +136,33 @@ with open(out_path) as f:
 assert doc["experiments"], "no experiment timings recorded"
 assert doc["sweep"]["serial_secs"] > 0
 print(f"wrote {out_path} ({len(doc['experiments'])} experiments)")
+
+if smoke:
+    # Regression gate: every tracked criterion median must stay within
+    # 1.5x of the committed baseline. Benches added since the last
+    # baseline regeneration are reported but not gated.
+    baseline = json.loads(pathlib.Path("BENCH_harness.json").read_text())
+    base_crit = baseline.get("criterion_median_ns", {})
+    tracked = sorted(n for n in criterion if n.startswith("engines_30s_sim/"))
+    assert tracked, "smoke criterion run produced no engine medians"
+    failures = []
+    for name in tracked:
+        now = criterion[name]
+        then = base_crit.get(name)
+        if then is None:
+            print(f"  {name:<40} {now:>12.0f}ns  (new, not gated)")
+            continue
+        ratio = now / then
+        flag = "REGRESSED" if ratio > 1.5 else "ok"
+        print(f"  {name:<40} {now:>12.0f}ns  vs {then:>12.0f}ns  {ratio:5.2f}x  {flag}")
+        if ratio > 1.5:
+            failures.append(name)
+    if failures:
+        raise SystemExit(
+            f"criterion regression gate: {len(failures)} bench(es) slower "
+            f"than 1.5x the committed baseline: {', '.join(failures)}"
+        )
+    print(f"ok: {len(tracked)} tracked medians within 1.5x of baseline")
 
 if not smoke:
     # Re-render the wall-clock table in EXPERIMENTS.md between markers.

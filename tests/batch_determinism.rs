@@ -1,0 +1,129 @@
+//! Batched propagation must be an optimization, not a behavior change.
+//!
+//! Two invariants, both load-bearing for `--batch`:
+//!
+//! 1. `propagation_batch = 1` (the default) takes the plain per-message
+//!    `Deliver` path — a run with an explicit batch of 1 is identical,
+//!    report and final stores alike, to one that never mentions
+//!    batching.
+//! 2. Any batch size only coalesces heap traffic: deliveries keep
+//!    their timestamps and per-channel order, so reports, store
+//!    digests, and oracle verdicts are batch-size invariant. We prove
+//!    it here for batch ∈ {2, 8, 64} on both batching engines and by
+//!    replaying the committed `check_seeds.txt` corpus through the
+//!    oracles at batch 8.
+
+use dangers_of_replication::check::FuzzCase;
+use dangers_of_replication::core::{
+    LazyGroupSim, Mobility, Report, SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload,
+};
+use dangers_of_replication::harness::experiments::check::{run_case, run_case_with_batch};
+use dangers_of_replication::model::Params;
+use dangers_of_replication::sim::SimDuration;
+
+fn cfg(seed: u64) -> SimConfig {
+    let p = Params::new(400.0, 4.0, 10.0, 4.0, 0.01);
+    SimConfig::from_params(&p, 60, seed).with_warmup(2)
+}
+
+fn lazy_run(cfg: SimConfig, mobility: Mobility) -> (Report, Vec<u64>) {
+    let (report, stores) = LazyGroupSim::new(cfg, mobility).run_with_state();
+    (report, stores.iter().map(|s| s.digest()).collect())
+}
+
+fn two_tier_run(cfg: SimConfig) -> (Report, Vec<u64>) {
+    let tt = TwoTierConfig {
+        sim: cfg,
+        base_nodes: 2,
+        mobile_owned: 0,
+        connected: SimDuration::from_secs(8),
+        disconnected: SimDuration::from_secs(12),
+        workload: TwoTierWorkload::Commutative { max_amount: 10 },
+        initial_value: 10_000,
+    };
+    let (report, base, mobiles) = TwoTierSim::new(tt).run_with_state();
+    let mut digests = vec![base.digest()];
+    digests.extend(mobiles.iter().map(|s| s.digest()));
+    (report, digests)
+}
+
+#[test]
+fn batch_one_matches_unbatched_default() {
+    for seed in [5, 6, 41] {
+        let default = lazy_run(cfg(seed), Mobility::Connected);
+        let explicit = lazy_run(cfg(seed).with_propagation_batch(1), Mobility::Connected);
+        assert_eq!(default, explicit, "lazy-group seed {seed}");
+
+        let default = two_tier_run(cfg(seed));
+        let explicit = two_tier_run(cfg(seed).with_propagation_batch(1));
+        assert_eq!(default, explicit, "two-tier seed {seed}");
+    }
+}
+
+#[test]
+fn lazy_group_reports_are_batch_invariant() {
+    let mobility = || Mobility::Cycling {
+        connected: SimDuration::from_secs(8),
+        disconnected: SimDuration::from_secs(8),
+    };
+    for seed in [5, 41] {
+        let base_connected = lazy_run(cfg(seed), Mobility::Connected);
+        let base_mobile = lazy_run(cfg(seed), mobility());
+        for batch in [2, 8, 64] {
+            let c = cfg(seed).with_propagation_batch(batch);
+            assert_eq!(
+                base_connected,
+                lazy_run(c, Mobility::Connected),
+                "connected seed {seed} batch {batch}"
+            );
+            assert_eq!(
+                base_mobile,
+                lazy_run(c, mobility()),
+                "mobile seed {seed} batch {batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_tier_reports_are_batch_invariant() {
+    for seed in [7, 41] {
+        let base = two_tier_run(cfg(seed));
+        for batch in [2, 8, 64] {
+            let batched = two_tier_run(cfg(seed).with_propagation_batch(batch));
+            assert_eq!(base, batched, "two-tier seed {seed} batch {batch}");
+        }
+    }
+}
+
+/// Replay the committed corpus through the oracles at batch 8: every
+/// case must stay clean, with the same commit count and divergence
+/// expectation the serial replay produced.
+#[test]
+fn corpus_oracle_verdicts_are_batch_invariant() {
+    let corpus = include_str!("check_seeds.txt");
+    let mut cases = 0;
+    for line in corpus.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let case = FuzzCase::parse(line).unwrap_or_else(|e| panic!("corpus line `{line}`: {e}"));
+        let serial = run_case(&case);
+        let batched = run_case_with_batch(&case, 8);
+        assert!(
+            serial.is_clean() && batched.is_clean(),
+            "corpus case `{line}` must stay clean at every batch size: \
+             serial={:?} batched={:?}",
+            serial.violations,
+            batched.violations
+        );
+        assert_eq!(serial.commits, batched.commits, "corpus case `{line}`");
+        assert_eq!(
+            serial.expected_divergence, batched.expected_divergence,
+            "corpus case `{line}`"
+        );
+        cases += 1;
+    }
+    assert!(cases >= 10, "corpus unexpectedly small: {cases} cases");
+}
