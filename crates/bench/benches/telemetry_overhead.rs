@@ -23,6 +23,16 @@ fn bench_overhead(c: &mut Criterion) {
         })
     });
 
+    g.bench_function("lean_metrics", |b| {
+        b.iter(|| {
+            let sim = LazyGroupSim::new(
+                overhead_workload(2).with_lean_metrics(),
+                Mobility::Connected,
+            );
+            black_box(sim.run())
+        })
+    });
+
     g.bench_function("null_tracer", |b| {
         b.iter(|| {
             let sim = LazyGroupSim::new(overhead_workload(2), Mobility::Connected)

@@ -6,7 +6,10 @@
 //! benchmark exercises) must cost the same as the pre-telemetry hot
 //! path, and even a [`repl_telemetry::NullTracer`] sink — which forces
 //! every event to be constructed and dispatched, then discarded — must
-//! stay within a few percent.
+//! stay within a few percent. The same contract covers the mergeable
+//! metrics distributions: full histogram recording (the default) must
+//! stay within a few percent of a `lean_metrics` run that skips every
+//! distribution.
 
 use repl_core::{LazyGroupSim, Mobility, SimConfig};
 use repl_model::Params;
@@ -92,6 +95,30 @@ mod tests {
         assert!(
             ratio < 1.05,
             "NullTracer overhead {:.1}% (null {nulled:?} vs plain {plain:?}) exceeds 5%",
+            (ratio - 1.0) * 100.0
+        );
+    }
+
+    /// The metrics guard: full distribution recording (latency,
+    /// lock-wait, and propagation-lag histograms plus staleness
+    /// gauges — the `--metrics` default) must cost <5% over a
+    /// `lean_metrics` run that skips every distribution. Regressions
+    /// mean a record site started allocating or left the
+    /// `measuring()` gate.
+    #[test]
+    fn metrics_recording_overhead_under_five_percent() {
+        timed_run(overhead_workload(1).with_lean_metrics(), TraceHandle::off());
+        timed_run(overhead_workload(1), TraceHandle::off());
+
+        let (lean, full) = interleaved_minima(
+            12,
+            || timed_run(overhead_workload(2).with_lean_metrics(), TraceHandle::off()),
+            || timed_run(overhead_workload(2), TraceHandle::off()),
+        );
+        let ratio = full.as_secs_f64() / lean.as_secs_f64();
+        assert!(
+            ratio < 1.05,
+            "metrics overhead {:.1}% (full {full:?} vs lean {lean:?}) exceeds 5%",
             (ratio - 1.0) * 100.0
         );
     }

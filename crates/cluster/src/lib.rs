@@ -40,7 +40,7 @@ use repl_storage::{
     ApplyOutcome, LamportClock, NodeId, ObjectId, ObjectStore, Timestamp, TxnId, UpdateRecord,
     Value,
 };
-use repl_telemetry::{Event, EventKind, SyncTraceHandle};
+use repl_telemetry::{Event, EventKind, MetricsRegistry, RunMetrics, SyncTraceHandle};
 use std::thread::JoinHandle;
 
 /// Messages a node thread processes.
@@ -54,6 +54,8 @@ enum NodeMsg {
     Replica { updates: Vec<UpdateRecord> },
     /// Reply when every earlier message has been processed.
     Flush { reply: Sender<NodeStats> },
+    /// Reply with a snapshot of the node's mergeable metrics.
+    Metrics { reply: Sender<RunMetrics> },
     /// Snapshot the node's full store.
     Snapshot { reply: Sender<ObjectStore> },
     /// Reply with the store's rolling digest — O(1) at the node, and
@@ -89,6 +91,7 @@ struct NodeRemnant {
     peers: Vec<Sender<NodeMsg>>,
     wal: Vec<(ObjectId, Value, Timestamp)>,
     stats: NodeStats,
+    metrics: RunMetrics,
     tracer: SyncTraceHandle,
     tick: u64,
 }
@@ -106,6 +109,10 @@ struct NodeThread {
     /// newest-timestamped record).
     wal: Vec<(ObjectId, Value, Timestamp)>,
     stats: NodeStats,
+    /// Mergeable counters/histograms mirroring `stats` plus the
+    /// replica-batch size distribution. Durable across a crash (they
+    /// ride the remnant) so restart-and-catch-up runs report totals.
+    metrics: RunMetrics,
     tracer: SyncTraceHandle,
     // Threads have no simulated clock; events carry a per-node logical
     // tick, one per processed message.
@@ -123,6 +130,9 @@ impl NodeThread {
                 NodeMsg::Replica { updates } => self.apply_replica(updates),
                 NodeMsg::Flush { reply } => {
                     let _ = reply.send(self.stats);
+                }
+                NodeMsg::Metrics { reply } => {
+                    let _ = reply.send(self.metrics.clone());
                 }
                 NodeMsg::Snapshot { reply } => {
                     let _ = reply.send(self.store.clone());
@@ -142,6 +152,7 @@ impl NodeThread {
                         peers: self.peers,
                         wal: self.wal,
                         stats: self.stats,
+                        metrics: self.metrics,
                         tracer: self.tracer,
                         tick: self.tick,
                     });
@@ -155,6 +166,8 @@ impl NodeThread {
 
     fn execute(&mut self, spec: &TxnSpec) -> Vec<(ObjectId, Value)> {
         self.stats.executed += 1;
+        self.metrics.incr("executed", 1);
+        self.metrics.record_value("txn_ops", spec.ops.len() as u64);
         self.tick += 1;
         let now = SimTime(self.tick);
         // Stamp events with a node-local transaction id; the threaded
@@ -205,6 +218,8 @@ impl NodeThread {
 
     fn apply_replica(&mut self, updates: Vec<UpdateRecord>) {
         self.tick += 1;
+        self.metrics
+            .record_value("replica_batch_ops", updates.len() as u64);
         let now = SimTime(self.tick);
         let id = self.id;
         let mut conflicted = false;
@@ -219,6 +234,7 @@ impl NodeThread {
                 ApplyOutcome::Applied => {}
                 ApplyOutcome::Duplicate => {
                     self.stats.stale += 1;
+                    self.metrics.incr("stale_updates", 1);
                     self.tracer
                         .emit(|| Event::system(now, id, EventKind::StaleSkip));
                 }
@@ -233,10 +249,12 @@ impl NodeThread {
             }
         }
         self.stats.replica_applied += 1;
+        self.metrics.incr("replica_applied", 1);
         self.tracer
             .emit(|| Event::system(now, id, EventKind::ReplicaApply));
         if conflicted {
             self.stats.reconciliations += 1;
+            self.metrics.incr("reconciliations", 1);
             self.tracer
                 .emit(|| Event::system(now, id, EventKind::Reconcile));
         }
@@ -282,6 +300,7 @@ impl Cluster {
                 peers: senders.clone(),
                 wal: Vec::new(),
                 stats: NodeStats::default(),
+                metrics: RunMetrics::new(),
                 tracer: tracer.clone(),
                 tick: 0,
             };
@@ -355,6 +374,7 @@ impl Cluster {
             peers: remnant.peers,
             wal: remnant.wal,
             stats: remnant.stats,
+            metrics: remnant.metrics,
             tracer: remnant.tracer,
             tick: remnant.tick,
         };
@@ -433,6 +453,26 @@ impl Cluster {
             }
         }
         stats
+    }
+
+    /// Collect every live node's mergeable metrics into one registry,
+    /// keyed `node{i}` in node order (deterministic regardless of how
+    /// the threads interleaved). Crashed nodes are skipped — their
+    /// metrics ride the durable remnant and reappear after restart.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        for (i, sender) in self.senders.iter().enumerate() {
+            if self.is_crashed(NodeId(i as u32)) {
+                continue;
+            }
+            let (tx, rx) = unbounded();
+            sender
+                .send(NodeMsg::Metrics { reply: tx })
+                .expect("node thread gone");
+            let m = rx.recv().expect("node thread dropped metrics");
+            registry.absorb(&format!("node{i}"), &m);
+        }
+        registry
     }
 
     /// Snapshot one node's store.
@@ -585,6 +625,37 @@ mod tests {
         assert_eq!(stats[0].executed, 5);
         assert_eq!(stats[1].executed, 0);
         assert_eq!(stats[1].replica_applied, 5);
+        c.shutdown();
+    }
+
+    #[test]
+    fn metrics_mirror_stats_and_survive_crash() {
+        let mut c = Cluster::new(2, 10);
+        for _ in 0..5 {
+            c.execute_one(NodeId(0), ObjectId(0), Op::Add(1));
+        }
+        c.quiesce();
+        let reg = c.metrics();
+        let n0 = reg.runs.get("node0").expect("node0 metrics");
+        let n1 = reg.runs.get("node1").expect("node1 metrics");
+        assert_eq!(n0.counter("executed"), 5);
+        assert_eq!(n1.counter("replica_applied"), 5);
+        let batches = n1.histogram("replica_batch_ops").expect("batch histogram");
+        assert_eq!(batches.count(), 5);
+        assert_eq!(batches.max(), 1);
+        // Metrics ride the durable remnant across a crash/restart.
+        c.crash(NodeId(0));
+        assert!(!c.metrics().runs.contains_key("node0"));
+        c.restart(NodeId(0));
+        c.quiesce();
+        let reg = c.metrics();
+        assert_eq!(
+            reg.runs
+                .get("node0")
+                .expect("restarted")
+                .counter("executed"),
+            5
+        );
         c.shutdown();
     }
 

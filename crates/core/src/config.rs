@@ -61,6 +61,11 @@ pub struct SimConfig {
     /// *timing* and per-channel order are unchanged, so Report counters
     /// and oracle verdicts are identical at any batch size.
     pub propagation_batch: usize,
+    /// Skip all mergeable-distribution recording (`Report::dists` stays
+    /// empty, percentile columns fall back to the coarse legacy
+    /// histogram). Only the bench overhead guard turns this on, as the
+    /// baseline side of its "metrics cost <5%" comparison.
+    pub lean_metrics: bool,
 }
 
 impl SimConfig {
@@ -80,6 +85,7 @@ impl SimConfig {
             access: AccessPattern::Uniform,
             deadlock: DeadlockPolicy::Detection,
             propagation_batch: 1,
+            lean_metrics: false,
         }
     }
 
@@ -129,6 +135,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_propagation_batch(mut self, batch: usize) -> Self {
         self.propagation_batch = batch.max(1);
+        self
+    }
+
+    /// Builder-style lean-metrics override (bench overhead baseline).
+    #[must_use]
+    pub fn with_lean_metrics(mut self) -> Self {
+        self.lean_metrics = true;
         self
     }
 

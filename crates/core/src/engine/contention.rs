@@ -158,7 +158,10 @@ impl ContentionSim {
             object_rng: SimRng::stream(cfg.seed, "objects"),
             sampler: Sampler::new(cfg.access, cfg.db_size),
             next_txn: 0,
-            metrics: Metrics::new(),
+            metrics: Metrics {
+                lean: cfg.lean_metrics,
+                ..Metrics::new()
+            },
             measure_from: cfg.warmup,
             tracer: TraceHandle::off(),
             profiler: Profiler::off(),
@@ -311,6 +314,7 @@ impl ContentionSim {
             Acquire::Deadlock => {
                 if self.measuring() {
                     self.metrics.deadlocks.incr();
+                    self.metrics.incr_dist(crate::metrics::M_ABORTS);
                 }
                 self.tracer.emit(|| {
                     Event::new(
@@ -417,9 +421,7 @@ impl ContentionSim {
                 .expect("granted waiter must be active");
             if let Some(since) = t.wait_started.take() {
                 if now >= self.measure_from {
-                    self.metrics
-                        .wait_time
-                        .record(now.since(since).as_secs_f64());
+                    self.metrics.record_wait(now.since(since));
                 }
             }
             if now >= self.measure_from {

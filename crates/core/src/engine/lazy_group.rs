@@ -17,7 +17,7 @@
 //! windows is the regime of equations (15)–(18).
 
 use crate::config::{DeadlockPolicy, SimConfig};
-use crate::metrics::{Metrics, Report};
+use crate::metrics::{Metrics, Report, M_ABORTS, M_PROPAGATION_LAG, M_RETRIES};
 use repl_check::{Recorder, TxnRecord};
 use repl_net::{
     DisconnectSchedule, FaultInjector, FaultPlan, LatencyModel, Network, PeriodModel, SendOutcome,
@@ -27,7 +27,7 @@ use repl_storage::{
     Acquire, ApplyOutcome, CommitLog, DeadlockMode, LamportClock, LockManager, Lsn, NodeId,
     ObjectId, ObjectStore, Timestamp, TxnId, TxnSlab, UpdateRecord, Value,
 };
-use repl_telemetry::{AbortReason, Event, EventKind, Profiler, TraceHandle};
+use repl_telemetry::{AbortReason, Event, EventKind, Gauge, Profiler, TraceHandle};
 
 /// Arena tags: root and replica transactions live in separate slabs
 /// sharing one id space, so a granted lock's [`TxnId`] routes straight
@@ -76,6 +76,11 @@ pub enum Mobility {
 struct ReplicaMsg {
     /// Originating node (stamps `MsgDelivered` trace events).
     from: NodeId,
+    /// Send time at the origin — the replica commit measures
+    /// propagation lag (send → apply) against it. Parked, retried, and
+    /// duplicated copies keep the original stamp, so the lag includes
+    /// disconnection and retry time, which is the point.
+    sent_at: SimTime,
     updates: std::rc::Rc<[UpdateRecord]>,
 }
 
@@ -124,6 +129,9 @@ struct RootTxn {
     objects: Vec<ObjectId>,
     next: usize,
     started: SimTime,
+    /// When the transaction last blocked on a lock (cleared on grant,
+    /// recorded into the wait-time distribution).
+    wait_started: Option<SimTime>,
     /// Updates produced so far (old ts captured at write time).
     updates: Vec<UpdateRecord>,
     /// Pre-images of every store write, for abort rollback. Root
@@ -140,6 +148,8 @@ struct ReplicaTxn {
     node: NodeId,
     msg: ReplicaMsg,
     next: usize,
+    /// When the transaction last blocked on a lock (cleared on grant).
+    wait_started: Option<SimTime>,
     /// Whether any update in this lazy transaction hit the dangerous
     /// case (counted once per transaction).
     conflicted: bool,
@@ -209,6 +219,11 @@ pub struct LazyGroupSim {
     deliver_scratch: Vec<ReplicaMsg>,
     /// Optional correctness recorder (off ⇒ every hook is a no-op).
     recorder: Recorder,
+    /// Per-replica staleness: the propagation lag of every update each
+    /// node applied, folded into the report's distributions (as
+    /// `staleness_n<i>` gauges) right after the measured window closes
+    /// — drain-phase applies never pollute it.
+    staleness: Vec<Gauge>,
 }
 
 impl LazyGroupSim {
@@ -273,7 +288,10 @@ impl LazyGroupSim {
             object_rng: SimRng::stream(cfg.seed, "lg-objects"),
             value_rng: SimRng::stream(cfg.seed, "lg-values"),
             retry_rng: SimRng::stream(cfg.seed, "lg-retry"),
-            metrics: Metrics::new(),
+            metrics: Metrics {
+                lean: cfg.lean_metrics,
+                ..Metrics::new()
+            },
             measure_from: cfg.warmup,
             tracer: TraceHandle::off(),
             profiler: Profiler::off(),
@@ -285,6 +303,7 @@ impl LazyGroupSim {
             undo_pool: Vec::new(),
             sample_scratch: Vec::new(),
             recorder: Recorder::off(),
+            staleness: vec![Gauge::default(); n],
             cfg,
         }
     }
@@ -412,7 +431,17 @@ impl LazyGroupSim {
         for node in &self.nodes {
             self.metrics.cycle_checks.add(node.locks.cycle_checks());
         }
-        let report = self.metrics.report(self.measure_from, horizon);
+        let mut report = self.metrics.report(self.measure_from, horizon);
+        // Per-replica staleness gauges join the distributions here —
+        // after the measured window, before the convergence drain.
+        if !self.cfg.lean_metrics {
+            for (i, g) in self.staleness.iter().enumerate() {
+                if g.count > 0 {
+                    report.dists.gauges.insert(format!("staleness_n{i}"), *g);
+                }
+            }
+        }
+        let report = report;
         // Drain phase: no new arrivals and no new faults — the injector
         // is removed, the partition heals, crashed nodes restart and
         // recover, everyone reconnects, and every queued replica update
@@ -690,6 +719,13 @@ impl LazyGroupSim {
         if self.measuring() {
             self.metrics.deadlocks.incr();
             self.metrics.lock_timeouts.incr();
+            // Timeout resolution aborts a root for good but merely
+            // resubmits a replica update — count the right one.
+            if self.roots.contains(id) {
+                self.metrics.incr_dist(M_ABORTS);
+            } else {
+                self.metrics.incr_dist(M_RETRIES);
+            }
         }
         self.tracer.emit(|| {
             Event::new(
@@ -767,6 +803,7 @@ impl LazyGroupSim {
             objects,
             next: 0,
             started: self.queue.now(),
+            wait_started: None,
             updates: self
                 .update_pool
                 .pop()
@@ -797,12 +834,17 @@ impl LazyGroupSim {
                 if self.measuring() {
                     self.metrics.waits.incr();
                 }
+                self.roots
+                    .get_mut(id)
+                    .expect("waiting root must be active")
+                    .wait_started = Some(self.queue.now());
                 self.emit_lock_wait(node, id, obj);
                 self.arm_lock_timeout(id, node, obj);
             }
             Acquire::Deadlock => {
                 if self.measuring() {
                     self.metrics.deadlocks.incr();
+                    self.metrics.incr_dist(M_ABORTS);
                 }
                 self.emit_deadlock(node, id, AbortReason::Deadlock);
                 let txn = self.roots.remove(id).expect("aborting unknown root");
@@ -1003,6 +1045,7 @@ impl LazyGroupSim {
                 };
                 let msg = ReplicaMsg {
                     from: origin,
+                    sent_at: self.queue.now(),
                     updates: updates.clone(),
                 };
                 if self.measuring() {
@@ -1026,6 +1069,7 @@ impl LazyGroupSim {
                         pending_delay = delay;
                         pending.push(ReplicaMsg {
                             from: origin,
+                            sent_at: self.queue.now(),
                             updates,
                         });
                         if pending.len() >= batch {
@@ -1054,6 +1098,7 @@ impl LazyGroupSim {
                                     to: dest,
                                     msg: ReplicaMsg {
                                         from: origin,
+                                        sent_at: self.queue.now(),
                                         updates: updates.clone(),
                                     },
                                 },
@@ -1152,6 +1197,7 @@ impl LazyGroupSim {
             node: to,
             msg,
             next: 0,
+            wait_started: None,
             conflicted: false,
         });
         self.tracer
@@ -1175,6 +1221,10 @@ impl LazyGroupSim {
                 if self.measuring() {
                     self.metrics.waits.incr();
                 }
+                self.replicas
+                    .get_mut(id)
+                    .expect("waiting replica must be active")
+                    .wait_started = Some(self.queue.now());
                 self.emit_lock_wait(node, id, obj);
                 self.arm_lock_timeout(id, node, obj);
             }
@@ -1183,6 +1233,7 @@ impl LazyGroupSim {
                 // back off one action time and retry from scratch.
                 if self.measuring() {
                     self.metrics.deadlocks.incr();
+                    self.metrics.incr_dist(M_RETRIES);
                 }
                 self.emit_deadlock(node, id, AbortReason::Deadlock);
                 let txn = self.replicas.remove(id).expect("replica vanished");
@@ -1275,6 +1326,13 @@ impl LazyGroupSim {
             if txn.conflicted {
                 self.metrics.reconciliations.incr();
             }
+            // Send → apply delta: how stale this replica's view was
+            // when the update finally landed.
+            let lag = self.queue.now().since(txn.msg.sent_at);
+            self.metrics.record_dist(M_PROPAGATION_LAG, lag);
+            if !self.cfg.lean_metrics {
+                self.staleness[txn.node.0 as usize].observe(lag.0);
+            }
         }
         self.tracer
             .emit(|| Event::new(self.queue.now(), txn.node, id, EventKind::ReplicaApply));
@@ -1319,13 +1377,24 @@ impl LazyGroupSim {
     /// Resume transactions whose lock was just granted at `node`. The
     /// arena tag in each id routes it without probing both slabs.
     fn resume_waiters(&mut self, _node: NodeId, granted: &[(TxnId, ObjectId)]) {
+        let now = self.queue.now();
         for &(waiter, _obj) in granted {
             if self.roots.owns(waiter) {
-                if self.roots.contains(waiter) {
+                if let Some(txn) = self.roots.get_mut(waiter) {
+                    if let Some(since) = txn.wait_started.take() {
+                        if now >= self.measure_from {
+                            self.metrics.record_wait(now.since(since));
+                        }
+                    }
                     self.queue
                         .schedule_after(self.cfg.action_time, Ev::RootStep(waiter));
                 }
-            } else if self.replicas.contains(waiter) {
+            } else if let Some(txn) = self.replicas.get_mut(waiter) {
+                if let Some(since) = txn.wait_started.take() {
+                    if now >= self.measure_from {
+                        self.metrics.record_wait(now.since(since));
+                    }
+                }
                 self.queue
                     .schedule_after(self.cfg.action_time, Ev::ReplicaStep(waiter));
             }

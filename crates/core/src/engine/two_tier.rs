@@ -16,7 +16,7 @@
 //!   reconciliation, and they are *zero when transactions commute*.
 
 use crate::config::SimConfig;
-use crate::metrics::{Metrics, Report};
+use crate::metrics::{Metrics, Report, M_PROPAGATION_LAG, M_RECONCILIATION_DELAY, M_RETRIES};
 use crate::op::{Op, Operation};
 use crate::serializability::{History, TxnRecord};
 use crate::txn::{Criterion, TxnSpec};
@@ -27,7 +27,7 @@ use repl_storage::{
     Acquire, ApplyOutcome, LamportClock, LockManager, NodeId, ObjectId, ObjectStore,
     TentativeStore, Timestamp, TxnId, TxnSlab, Value,
 };
-use repl_telemetry::{Event, EventKind, Profiler, TraceHandle};
+use repl_telemetry::{Event, EventKind, Gauge, Profiler, TraceHandle};
 use std::collections::VecDeque;
 
 /// Transaction-design regimes for the two-tier workload.
@@ -98,6 +98,11 @@ impl TwoTierConfig {
 #[derive(Debug, Clone)]
 struct RefreshMsg {
     updates: std::rc::Rc<[(ObjectId, Value, Timestamp)]>,
+    /// When the base broadcast this refresh. Held and duplicated copies
+    /// keep the original stamp, so apply-time lag includes the time a
+    /// mobile spent disconnected — the staleness the paper's two-tier
+    /// replicas actually see.
+    sent_at: SimTime,
 }
 
 /// A tentative transaction awaiting base re-execution.
@@ -105,6 +110,9 @@ struct RefreshMsg {
 struct Pending {
     spec: TxnSpec,
     tentative_results: Vec<(ObjectId, Value)>,
+    /// When the mobile committed this tentatively — the start of the
+    /// reconciliation-delay window closed by the base verdict.
+    committed_at: SimTime,
 }
 
 /// A base transaction in flight.
@@ -117,12 +125,18 @@ struct BaseTxn {
     spec: TxnSpec,
     /// `Some` when this is the re-execution of a tentative transaction.
     tentative_results: Option<Vec<(ObjectId, Value)>>,
+    /// When the tentative original committed at the mobile (`Some` iff
+    /// `tentative_results` is).
+    tentative_at: Option<SimTime>,
     next: usize,
     buffered: Vec<(ObjectId, Value)>,
     /// `(object, master version observed)` per first access — feeds
     /// the serializability checker.
     reads: Vec<(ObjectId, Timestamp)>,
     started: SimTime,
+    /// When this transaction last blocked on a master lock (cleared on
+    /// grant; feeds the lock-wait distribution).
+    wait_started: Option<SimTime>,
     /// When part of a reconnect sync session, the mobile whose queue
     /// should supply the next transaction after this one finishes.
     session: Option<NodeId>,
@@ -176,6 +190,9 @@ pub struct TwoTierSim {
     clocks: Vec<LamportClock>,
     metrics: Metrics,
     measure_from: SimTime,
+    /// Per-node refresh staleness (apply-time lag) gauges, folded into
+    /// the report's named distributions after the measured window.
+    staleness: Vec<Gauge>,
     tracer: TraceHandle,
     profiler: Profiler,
     run_label: String,
@@ -281,8 +298,12 @@ impl TwoTierSim {
             clocks: (0..n)
                 .map(|i| LamportClock::new(NodeId(i as u32)))
                 .collect(),
-            metrics: Metrics::new(),
+            metrics: Metrics {
+                lean: sim.lean_metrics,
+                ..Metrics::new()
+            },
             measure_from: sim.warmup,
+            staleness: vec![Gauge::default(); n],
             tracer: TraceHandle::off(),
             profiler: Profiler::off(),
             run_label: "two-tier".to_owned(),
@@ -365,7 +386,18 @@ impl TwoTierSim {
         while let Some((_, ev)) = self.queue.pop_until(horizon) {
             self.dispatch(ev, true);
         }
-        let report = self.metrics.report(self.measure_from, horizon);
+        // Freeze the report (and the per-replica staleness gauges)
+        // before the convergence drain below so post-horizon syncs do
+        // not pollute the measured distributions.
+        let mut report = self.metrics.report(self.measure_from, horizon);
+        if !self.cfg.sim.lean_metrics {
+            for (i, g) in self.staleness.iter().enumerate() {
+                if g.count > 0 {
+                    report.dists.gauges.insert(format!("staleness_n{i}"), *g);
+                }
+            }
+        }
+        let report = report;
         for node in self.cfg.base_nodes..self.cfg.sim.nodes {
             self.on_reconnect(NodeId(node));
         }
@@ -552,7 +584,7 @@ impl TwoTierSim {
             // Connected node (base or mobile): run directly as a base
             // transaction — connected two-tier "operates much like a
             // lazy-master system".
-            self.start_base_txn(node, spec, None, None);
+            self.start_base_txn(node, spec, None, None, None);
         }
     }
 
@@ -577,6 +609,7 @@ impl TwoTierSim {
         self.pending[idx].push_back(Pending {
             spec,
             tentative_results: results,
+            committed_at: self.queue.now(),
         });
     }
 
@@ -589,16 +622,19 @@ impl TwoTierSim {
         origin: NodeId,
         spec: TxnSpec,
         tentative_results: Option<Vec<(ObjectId, Value)>>,
+        tentative_at: Option<SimTime>,
         session: Option<NodeId>,
     ) {
         let id = self.base_txns.insert(BaseTxn {
             origin,
             spec,
             tentative_results,
+            tentative_at,
             next: 0,
             buffered: Vec::new(),
             reads: Vec::new(),
             started: self.queue.now(),
+            wait_started: None,
             session,
         });
         self.tracer
@@ -635,6 +671,10 @@ impl TwoTierSim {
                         },
                     )
                 });
+                self.base_txns
+                    .get_mut(id)
+                    .expect("waiting base txn must be active")
+                    .wait_started = Some(self.queue.now());
             }
             Acquire::Deadlock => {
                 // Base transactions are "resubmitted and reprocessed
@@ -642,6 +682,9 @@ impl TwoTierSim {
                 // the transaction retries, so no TxnAbort follows.
                 if self.measuring() {
                     self.metrics.deadlocks.incr();
+                    // Base transactions never abort — each deadlock is
+                    // a scheduled re-execution.
+                    self.metrics.incr_dist(M_RETRIES);
                 }
                 self.tracer.emit(|| {
                     Event::new(
@@ -657,6 +700,7 @@ impl TwoTierSim {
                 txn.next = 0;
                 txn.buffered.clear();
                 txn.reads.clear();
+                txn.wait_started = None;
                 self.release_and_resume(id);
                 // Randomized backoff — see the lazy-group engine: a
                 // fixed delay can livelock two retrying transactions.
@@ -700,6 +744,14 @@ impl TwoTierSim {
             Some(tentative) => txn.spec.criterion.accepts(&txn.buffered, tentative),
             None => txn.spec.criterion.accepts(&txn.buffered, &txn.buffered),
         };
+        // Reconciliation delay: tentative commit at the mobile → base
+        // verdict, whichever way the verdict goes.
+        if self.measuring() {
+            if let Some(t0) = txn.tentative_at {
+                self.metrics
+                    .record_dist(M_RECONCILIATION_DELAY, self.queue.now().since(t0));
+            }
+        }
         if self.recorder.is_on() {
             let tentative = txn
                 .tentative_results
@@ -746,8 +798,7 @@ impl TwoTierSim {
             if self.measuring() {
                 self.metrics.committed.incr();
                 self.metrics
-                    .latency
-                    .record(self.queue.now().since(txn.started).as_secs_f64());
+                    .record_latency(self.queue.now().since(txn.started));
                 if txn.tentative_results.is_some() {
                     self.metrics.tentative_accepted.incr();
                 }
@@ -766,6 +817,7 @@ impl TwoTierSim {
             }
             self.broadcast_refresh(RefreshMsg {
                 updates: updates.into(),
+                sent_at: self.queue.now(),
             });
         } else {
             if self.measuring() {
@@ -803,8 +855,14 @@ impl TwoTierSim {
     }
 
     fn resume_waiters(&mut self, granted: &[(TxnId, ObjectId)]) {
+        let now = self.queue.now();
         for &(waiter, _obj) in granted {
-            if self.base_txns.contains(waiter) {
+            if let Some(txn) = self.base_txns.get_mut(waiter) {
+                if let Some(since) = txn.wait_started.take() {
+                    if now >= self.measure_from {
+                        self.metrics.record_wait(now.since(since));
+                    }
+                }
                 self.queue
                     .schedule_after(self.cfg.sim.action_time, Ev::BaseStep(waiter));
             }
@@ -906,6 +964,14 @@ impl TwoTierSim {
         }
         if applied && self.queue.now() >= self.measure_from {
             self.metrics.replica_commits.incr();
+            // Propagation lag of fresh data: broadcast → apply. Held
+            // refreshes carry the original send stamp, so disconnection
+            // time is included — the replica's true staleness.
+            let lag = self.queue.now().since(msg.sent_at);
+            self.metrics.record_dist(M_PROPAGATION_LAG, lag);
+            if !self.cfg.sim.lean_metrics {
+                self.staleness[to.0 as usize].observe(lag.0);
+            }
         } else if !applied && self.queue.now() >= self.measure_from {
             self.metrics.stale_updates.incr();
         }
@@ -964,6 +1030,7 @@ impl TwoTierSim {
             node,
             pending.spec,
             Some(pending.tentative_results),
+            Some(pending.committed_at),
             Some(node),
         );
     }

@@ -50,6 +50,9 @@ pub use engine::{
     ContentionProfile, ContentionSim, EagerSim, LazyGroupSim, LazyMasterSim, Mobility, Ownership,
     ReplicaDiscipline, ResolutionMode, TwoTierConfig, TwoTierSim, TwoTierWorkload,
 };
-pub use metrics::{Metrics, Report};
+pub use metrics::{
+    Metrics, Report, M_ABORTS, M_COMMIT_LATENCY, M_LOCK_WAIT, M_PROPAGATION_LAG,
+    M_RECONCILIATION_DELAY, M_RETRIES,
+};
 pub use op::{Op, Operation};
 pub use txn::{Criterion, TxnSpec};

@@ -2,7 +2,22 @@
 //! predicted rates.
 
 use repl_sim::{Counter, Histogram, SimDuration, SimTime, Welford};
+use repl_telemetry::RunMetrics;
 use serde::{Deserialize, Serialize};
+
+/// Histogram of user-transaction start→commit latency.
+pub const M_COMMIT_LATENCY: &str = "commit_latency";
+/// Histogram of individual lock-wait durations.
+pub const M_LOCK_WAIT: &str = "lock_wait";
+/// Histogram of replica propagation lag (send → apply, lazy schemes).
+pub const M_PROPAGATION_LAG: &str = "propagation_lag";
+/// Histogram of two-tier reconciliation delay (tentative commit → base
+/// verdict).
+pub const M_RECONCILIATION_DELAY: &str = "reconciliation_delay";
+/// Counter of user-transaction aborts (deadlock or timeout).
+pub const M_ABORTS: &str = "aborts";
+/// Counter of scheduled retries (replica redo, base re-execution).
+pub const M_RETRIES: &str = "retries";
 
 /// Raw counters collected during a protocol run.
 #[derive(Debug, Default)]
@@ -51,6 +66,14 @@ pub struct Metrics {
     pub latency_hist: Histogram,
     /// Lock wait durations, seconds.
     pub wait_time: Welford,
+    /// Mergeable named distributions (log-linear histograms, gauges,
+    /// counters) carried out through [`Report::dists`] — the parallel
+    /// sweep merges them after the fact, in point order.
+    pub dists: RunMetrics,
+    /// When true, skip all `dists` recording. Only the bench overhead
+    /// guard sets this — it is the A side of the "metrics cost <5%"
+    /// comparison, never a reporting mode.
+    pub lean: bool,
 }
 
 impl Metrics {
@@ -64,6 +87,34 @@ impl Metrics {
     pub fn record_latency(&mut self, d: SimDuration) {
         self.latency.record(d.as_secs_f64());
         self.latency_hist.record(d);
+        if !self.lean {
+            self.dists.record(M_COMMIT_LATENCY, d);
+        }
+    }
+
+    /// Record one lock-wait duration sample (mean + distribution).
+    pub fn record_wait(&mut self, d: SimDuration) {
+        self.wait_time.record(d.as_secs_f64());
+        if !self.lean {
+            self.dists.record(M_LOCK_WAIT, d);
+        }
+    }
+
+    /// Record a duration sample into the named distribution
+    /// (propagation lag, reconciliation delay, …).
+    #[inline]
+    pub fn record_dist(&mut self, name: &str, d: SimDuration) {
+        if !self.lean {
+            self.dists.record(name, d);
+        }
+    }
+
+    /// Bump a named distribution counter (aborts, retries, …).
+    #[inline]
+    pub fn incr_dist(&mut self, name: &str) {
+        if !self.lean {
+            self.dists.incr(name, 1);
+        }
     }
 
     /// Freeze into a [`Report`] over the observation window
@@ -101,10 +152,25 @@ impl Metrics {
             reconciliation_rate: rate(&self.reconciliations),
             action_rate: rate(&self.actions),
             mean_latency_secs: self.latency.mean(),
-            p50_latency_secs: self.latency_hist.p50(),
-            p95_latency_secs: self.latency_hist.p95(),
-            p99_latency_secs: self.latency_hist.p99(),
+            p50_latency_secs: self.quantile_or_legacy(0.50, self.latency_hist.p50()),
+            p95_latency_secs: self.quantile_or_legacy(0.95, self.latency_hist.p95()),
+            p99_latency_secs: self.quantile_or_legacy(0.99, self.latency_hist.p99()),
+            max_latency_secs: self
+                .dists
+                .histogram(M_COMMIT_LATENCY)
+                .map_or(0.0, |h| h.max_secs()),
             mean_wait_secs: self.wait_time.mean(),
+            dists: self.dists.clone(),
+        }
+    }
+
+    /// Latency quantile from the log-linear distribution when samples
+    /// exist there; the coarser factor-of-two legacy histogram
+    /// otherwise (lean mode).
+    fn quantile_or_legacy(&self, q: f64, legacy: f64) -> f64 {
+        match self.dists.histogram(M_COMMIT_LATENCY) {
+            Some(h) if h.count() > 0 => h.quantile_secs(q),
+            _ => legacy,
         }
     }
 }
@@ -165,8 +231,15 @@ pub struct Report {
     pub p95_latency_secs: f64,
     /// 99th-percentile latency, seconds.
     pub p99_latency_secs: f64,
+    /// Largest observed latency, seconds (exact).
+    pub max_latency_secs: f64,
     /// Mean lock-wait duration, seconds.
     pub mean_wait_secs: f64,
+    /// Every named distribution the run collected: latency/wait/lag
+    /// histograms, abort/retry counters, staleness gauges. Plain
+    /// mergeable values — the harness folds them into the `--metrics`
+    /// registry after the (possibly parallel) sweep returns.
+    pub dists: RunMetrics,
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@ pub fn e05(opts: &RunOpts) -> Table {
     });
     let mut points = Vec::new();
     for (n, r) in sweep.into_iter().zip(reports) {
+        opts.metrics.absorb(&format!("e5/nodes={n}"), &r.dists);
         let predicted = eager::total_wait_rate(&base.with_nodes(n));
         points.push(Point {
             x: n,
@@ -96,6 +97,7 @@ pub fn e06(opts: &RunOpts) -> Table {
     let mut first = None;
     let mut last = None;
     for (n, r) in sweep.into_iter().zip(reports) {
+        opts.metrics.absorb(&format!("e6/nodes={n}"), &r.dists);
         let predicted = eager::total_deadlock_rate(&base.with_nodes(n));
         points.push(Point {
             x: n,
@@ -165,6 +167,7 @@ pub fn e06_actions(opts: &RunOpts) -> Table {
     });
     let mut points = Vec::new();
     for (a, r) in sweep.into_iter().zip(reports) {
+        opts.metrics.absorb(&format!("e6a/actions={a}"), &r.dists);
         let predicted = eager::total_deadlock_rate(&base.with_actions(a));
         points.push(Point {
             x: a,
@@ -219,6 +222,7 @@ pub fn e07(opts: &RunOpts) -> Table {
     });
     let mut points = Vec::new();
     for (n, r) in sweep.into_iter().zip(reports) {
+        opts.metrics.absorb(&format!("e7/nodes={n}"), &r.dists);
         let predicted = eager::deadlock_rate_scaled_db(&base.with_nodes(n));
         points.push(Point {
             x: n,
@@ -277,6 +281,10 @@ pub fn ablate_parallel(opts: &RunOpts) -> Table {
     let mut serial_pts = Vec::new();
     let mut par_pts = Vec::new();
     for (n, (rs, rp)) in sweep.into_iter().zip(reports) {
+        opts.metrics
+            .absorb(&format!("e7a/serial/nodes={n}"), &rs.dists);
+        opts.metrics
+            .absorb(&format!("e7a/parallel/nodes={n}"), &rp.dists);
         serial_pts.push(Point {
             x: n,
             y: rs.deadlock_rate,

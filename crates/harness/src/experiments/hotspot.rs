@@ -37,6 +37,7 @@ pub fn hotspot(opts: &RunOpts) -> Table {
         (label, r)
     });
     for (label, r) in results {
+        opts.metrics.absorb(&format!("hotspot/{label}"), &r.dists);
         t.row(vec![
             label.into(),
             fmt_val(r.wait_rate),

@@ -44,6 +44,7 @@ pub fn e08(opts: &RunOpts) -> Table {
     });
     let mut points = Vec::new();
     for (n, r) in sweep.into_iter().zip(reports) {
+        opts.metrics.absorb(&format!("e8/nodes={n}"), &r.dists);
         let predicted = lazy::group_reconciliation_rate(&base.with_nodes(n));
         points.push(Point {
             x: n,
@@ -102,6 +103,8 @@ pub fn e09(opts: &RunOpts) -> Table {
     });
     let mut points = Vec::new();
     for (d, r) in sweep.into_iter().zip(reports) {
+        opts.metrics
+            .absorb(&format!("e9/disconnected={d}"), &r.dists);
         let p = base.with_disconnected_time(d);
         let predicted = lazy::mobile_reconciliation_rate(&p);
         points.push(Point {
@@ -151,6 +154,7 @@ pub fn e09_nodes(opts: &RunOpts) -> Table {
     });
     let mut points = Vec::new();
     for (n, r) in sweep.into_iter().zip(reports) {
+        opts.metrics.absorb(&format!("e9b/nodes={n}"), &r.dists);
         let predicted = lazy::mobile_reconciliation_rate(&base.with_nodes(n));
         points.push(Point {
             x: n,
@@ -200,6 +204,7 @@ pub fn e10(opts: &RunOpts) -> Table {
     });
     let mut points = Vec::new();
     for (n, r) in sweep.into_iter().zip(reports) {
+        opts.metrics.absorb(&format!("e10/nodes={n}"), &r.dists);
         let p = base.with_nodes(n);
         let predicted = lazy::master_deadlock_rate(&p);
         points.push(Point {
@@ -245,6 +250,8 @@ pub fn ablate_latency(opts: &RunOpts) -> Table {
             .run()
     });
     for (delay_ms, r) in sweep.into_iter().zip(reports) {
+        opts.metrics
+            .absorb(&format!("abl-lat/delay={delay_ms}ms"), &r.dists);
         t.row(vec![format!("{delay_ms}"), fmt_val(r.reconciliation_rate)]);
     }
     t.note("rate grows with delay — the conflict window includes propagation time (§4)");

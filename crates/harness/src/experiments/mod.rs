@@ -11,6 +11,7 @@ pub mod lazy;
 pub mod quorum;
 pub mod schemes;
 pub mod single;
+pub mod tails;
 pub mod two_tier;
 
 use crate::table::Table;
@@ -122,6 +123,11 @@ pub const ALL: &[Experiment] = &[
         name: "ablate-latency",
         about: "message delay vs lazy-group reconciliation",
         run: lazy::ablate_latency,
+    },
+    Experiment {
+        name: "tails",
+        about: "lock-wait and replica-lag percentile tails: eager vs lazy-group",
+        run: tails::tails,
     },
     Experiment {
         name: "hotspot",

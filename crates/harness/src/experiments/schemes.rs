@@ -3,7 +3,7 @@
 //! and Table 1 (the taxonomy, measured).
 
 use crate::par::run_points;
-use crate::table::{fmt_val, Table};
+use crate::table::{fmt_ms, fmt_val, Table};
 use crate::{Instrument, RunOpts};
 use repl_core::{
     ContentionProfile, ContentionSim, EagerSim, LazyGroupSim, LazyMasterSim, Mobility, Ownership,
@@ -43,6 +43,8 @@ pub fn e03(opts: &RunOpts) -> Table {
         }
     });
     let (eager, lazy) = (&reports[0], &reports[1]);
+    opts.metrics.absorb("e3/eager", &eager.dists);
+    opts.metrics.absorb("e3/lazy-group", &lazy.dists);
     t.row(vec![
         "eager (1 txn, 9 updates)".into(),
         eager.committed.to_string(),
@@ -102,6 +104,18 @@ pub fn e04(opts: &RunOpts) -> Table {
                 .run()
         }
     });
+    for (label, r) in [
+        "base",
+        "scaleup",
+        "partition-a",
+        "partition-b",
+        "replication",
+    ]
+    .iter()
+    .zip(&reports)
+    {
+        opts.metrics.absorb(&format!("e4/{label}"), &r.dists);
+    }
     let base_work = reports[0].action_rate;
     t.row(vec![
         "base: one 1 TPS node".into(),
@@ -146,6 +160,10 @@ pub fn e11(opts: &RunOpts) -> Table {
             "commits/s",
             "deadlocks/s",
             "recon/s",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "max ms",
             "mobile ok",
         ],
     );
@@ -195,6 +213,8 @@ pub fn e11(opts: &RunOpts) -> Table {
         }
     });
     for (scheme, r) in schemes.into_iter().zip(&reports) {
+        opts.metrics
+            .absorb(&format!("e11/{}", scheme.name()), &r.dists);
         t.row(vec![
             scheme.name().into(),
             scheme.transactions_per_user_update(n).to_string(),
@@ -202,6 +222,10 @@ pub fn e11(opts: &RunOpts) -> Table {
             fmt_val(r.commit_rate),
             fmt_val(r.deadlock_rate),
             fmt_val(r.reconciliation_rate),
+            fmt_ms(r.p50_latency_secs),
+            fmt_ms(r.p95_latency_secs),
+            fmt_ms(r.p99_latency_secs),
+            fmt_ms(r.max_latency_secs),
             if scheme.supports_mobility() {
                 "yes"
             } else {

@@ -35,6 +35,8 @@ pub fn e01(opts: &RunOpts) -> Table {
             .run()
     });
     for (actions, r) in sweep.into_iter().zip(reports) {
+        opts.metrics
+            .absorb(&format!("e1/actions={actions}"), &r.dists);
         let p = base.with_actions(actions);
         let predicted = single::node_wait_rate(&p);
         t.row(vec![
@@ -77,6 +79,8 @@ pub fn e02(opts: &RunOpts) -> Table {
     });
     let mut points = Vec::new();
     for (actions, r) in sweep.into_iter().zip(reports) {
+        opts.metrics
+            .absorb(&format!("e2/actions={actions}"), &r.dists);
         let predicted = single::node_deadlock_rate(&base.with_actions(actions));
         points.push(repl_model::Point {
             x: actions,

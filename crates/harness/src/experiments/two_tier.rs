@@ -85,6 +85,7 @@ pub fn e12(opts: &RunOpts) -> Table {
         (label, r, converged)
     });
     for (label, r, converged) in results {
+        opts.metrics.absorb(&format!("e12/{label}"), &r.dists);
         let total = r.tentative_accepted + r.tentative_rejected;
         let reject_pct = if total > 0 {
             100.0 * r.tentative_rejected as f64 / total as f64
@@ -141,6 +142,7 @@ pub fn e12_nodes(opts: &RunOpts) -> Table {
     });
     let mut points = Vec::new();
     for (n, r) in sweep.into_iter().zip(reports) {
+        opts.metrics.absorb(&format!("e12b/nodes={n}"), &r.dists);
         let predicted = lazy::two_tier_base_deadlock_rate(&base.with_nodes(n));
         points.push(repl_model::Point {
             x: n,

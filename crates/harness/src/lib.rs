@@ -30,7 +30,7 @@ pub mod experiments;
 pub mod par;
 pub mod table;
 
-pub use table::{fmt_ratio, fmt_val, Table};
+pub use table::{fmt_ms, fmt_ratio, fmt_val, Table};
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -87,6 +87,47 @@ impl CheckSession {
     }
 }
 
+/// Shared collector for `--metrics` mode. While enabled, experiments
+/// [`MetricsSession::absorb`] each point's [`Report::dists`] under a
+/// `experiment/label` key after the (possibly parallel) sweep returns —
+/// absorption happens on the main thread in point order, so the final
+/// registry is byte-identical at any `--jobs` count. Clones share state.
+///
+/// [`Report::dists`]: repl_core::Report
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSession {
+    inner: Option<Rc<RefCell<repl_telemetry::MetricsRegistry>>>,
+}
+
+impl MetricsSession {
+    /// An enabled session that will accumulate distributions.
+    pub fn enabled() -> Self {
+        MetricsSession {
+            inner: Some(Rc::new(
+                RefCell::new(repl_telemetry::MetricsRegistry::new()),
+            )),
+        }
+    }
+
+    /// Whether collection is on.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Fold one run's distributions into the registry under `label`.
+    /// A no-op when the session is off or the metrics are empty.
+    pub fn absorb(&self, label: &str, metrics: &repl_telemetry::RunMetrics) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().absorb(label, metrics);
+        }
+    }
+
+    /// The accumulated registry serialized to JSON (`None` when off).
+    pub fn to_json(&self) -> Option<String> {
+        self.inner.as_ref().map(|inner| inner.borrow().to_json())
+    }
+}
+
 /// Global run options.
 #[derive(Debug, Clone)]
 pub struct RunOpts {
@@ -120,6 +161,11 @@ pub struct RunOpts {
     /// engines batch; all reports are batch-size invariant (see
     /// `SimConfig::propagation_batch`).
     pub batch: usize,
+    /// Mergeable-metrics session (`--metrics FILE`); off by default.
+    /// Unlike tracers and check recorders, metrics ride each worker's
+    /// `Report` back to the main thread, so an enabled session does
+    /// *not* force a serial sweep.
+    pub metrics: MetricsSession,
 }
 
 impl Default for RunOpts {
@@ -133,6 +179,7 @@ impl Default for RunOpts {
             jobs: 1,
             check: CheckSession::default(),
             batch: 1,
+            metrics: MetricsSession::default(),
         }
     }
 }

@@ -13,6 +13,7 @@
 //! harness --profile e6         # wall-clock phase timing report
 //! harness --faults SPEC chaos  # override the chaos fault plan
 //! harness --check --quick e11  # record every run, run the oracles
+//! harness --metrics m.json e1  # export merged latency/wait/lag dists
 //! ```
 //!
 //! `SPEC` is the fault mini-language of [`repl_net::FaultPlan::parse`]:
@@ -34,7 +35,8 @@ use std::rc::Rc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: harness [--quick] [--json] [--seed N] [--jobs N] [--batch N] [--trace FILE] \
-         [--series SECS] [--profile] [--faults SPEC] [--check] <list|all|NAME...>"
+         [--series SECS] [--profile] [--faults SPEC] [--check] [--metrics FILE] \
+         <list|all|NAME...>"
     );
     eprintln!("experiments:");
     for e in experiments::ALL {
@@ -87,6 +89,7 @@ fn main() -> ExitCode {
     };
     let mut json = false;
     let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut series_secs: Option<u64> = None;
     let mut fault_spec: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
@@ -139,6 +142,14 @@ fn main() -> ExitCode {
             }
             "--profile" => opts.profiler = Profiler::enabled(),
             "--check" => opts.check = repl_harness::CheckSession::enabled(),
+            "--metrics" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--metrics needs a file path");
+                    return usage();
+                };
+                metrics_path = Some(p);
+                opts.metrics = repl_harness::MetricsSession::enabled();
+            }
             "-h" | "--help" => return usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag `{other}`");
@@ -254,6 +265,16 @@ fn main() -> ExitCode {
         out.flush().expect("flush stdout");
     }
     opts.tracer.flush();
+    if let Some(path) = &metrics_path {
+        let json = opts
+            .metrics
+            .to_json()
+            .expect("--metrics enabled the session");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("--metrics: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(agg) = &series {
         print_series(&mut out, &agg.borrow()).expect("write to stdout");
     }

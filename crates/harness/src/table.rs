@@ -52,7 +52,10 @@ impl Table {
         self.notes.push(s.into());
     }
 
-    /// Render as an aligned plain-text table.
+    /// Render as an aligned plain-text table. Numeric columns (every
+    /// data cell looks like a number, ratio, or placeholder) are
+    /// right-aligned so magnitudes line up and regenerated blocks diff
+    /// cleanly; text columns stay left-aligned.
     pub fn render(&self) -> String {
         let ncols = self.headers.len();
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
@@ -61,6 +64,16 @@ impl Table {
                 widths[i] = widths[i].max(cell.chars().count());
             }
         }
+        let numeric: Vec<bool> = (0..ncols)
+            .map(|i| {
+                !self.rows.is_empty()
+                    && self
+                        .rows
+                        .iter()
+                        .filter_map(|row| row.get(i))
+                        .all(|cell| cell_is_numeric(cell))
+            })
+            .collect();
         let mut out = String::new();
         out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
         let fmt_row = |cells: &[String], widths: &[usize]| {
@@ -70,8 +83,13 @@ impl Table {
                     line.push_str("  ");
                 }
                 let pad = widths[i].saturating_sub(cell.chars().count());
-                line.push_str(cell);
-                line.push_str(&" ".repeat(pad));
+                if numeric[i] {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                } else {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                }
             }
             line.trim_end().to_owned()
         };
@@ -94,6 +112,19 @@ impl Table {
     }
 }
 
+/// Whether `cell` reads as a numeric value for alignment purposes:
+/// plain numbers, scientific notation, `1.5x` ratios, and the `—`
+/// placeholder all count; empty cells and prose do not.
+fn cell_is_numeric(cell: &str) -> bool {
+    if cell.is_empty() || cell == "—" {
+        return cell == "—";
+    }
+    let body = cell.strip_suffix('x').unwrap_or(cell);
+    body.chars()
+        .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        && body.chars().any(|c| c.is_ascii_digit())
+}
+
 /// Format a rate or probability with three significant digits,
 /// switching to scientific notation outside `[0.01, 10_000)`.
 pub fn fmt_val(x: f64) -> String {
@@ -104,6 +135,13 @@ pub fn fmt_val(x: f64) -> String {
     } else {
         format!("{x:.3}")
     }
+}
+
+/// Format a duration in milliseconds with fixed two-decimal precision
+/// — percentile columns use one stable width so regenerated
+/// EXPERIMENTS.md blocks diff cleanly.
+pub fn fmt_ms(secs: f64) -> String {
+    format!("{:.2}", secs * 1_000.0)
 }
 
 /// Format a ratio like `measured / predicted`, guarding zero.
@@ -140,6 +178,27 @@ mod tests {
         assert_eq!(fmt_val(1.5), "1.500");
         assert!(fmt_val(1e-6).contains('e'));
         assert!(fmt_val(1e7).contains('e'));
+    }
+
+    #[test]
+    fn numeric_columns_right_align() {
+        let mut t = Table::new("E0", "demo", &["scheme", "rate"]);
+        t.row(vec!["eager".into(), "1.500".into()]);
+        t.row(vec!["lazy-group".into(), "12.250".into()]);
+        let r = t.render();
+        // Line 0 is the title, 1 the headers, 2 the separator.
+        let lines: Vec<&str> = r.lines().collect();
+        // Text column left-aligned, numeric column right-aligned.
+        assert!(lines[3].starts_with("eager "));
+        assert!(lines[3].ends_with(" 1.500"));
+        assert!(lines[4].ends_with("12.250"));
+    }
+
+    #[test]
+    fn fmt_ms_is_fixed_decimal() {
+        assert_eq!(fmt_ms(0.25), "250.00");
+        assert_eq!(fmt_ms(0.0), "0.00");
+        assert_eq!(fmt_ms(0.0034567), "3.46");
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //! * [`TraceHandle`]/[`SyncTraceHandle`] — the switch engines carry;
 //!   with no sink attached the event-builder closure never runs,
 //! * [`Profiler`] — wall-clock timers around event-loop phases (the
-//!   harness's `--profile`).
+//!   harness's `--profile`),
+//! * [`metrics`] — mergeable distributions ([`Histogram`], [`Gauge`],
+//!   [`RunMetrics`], [`MetricsRegistry`]): plain values engines carry
+//!   in their reports, so — unlike the `Rc`-based tracer handles —
+//!   they compose with the parallel sweep executor and the harness's
+//!   `--metrics FILE` export is byte-identical at any `--jobs` count.
 //!
 //! Tracing is strictly observational: attaching any sink must leave a
 //! same-seed run's `Report` bit-identical (the root crate's
@@ -27,12 +32,14 @@
 
 pub mod event;
 pub mod handle;
+pub mod metrics;
 pub mod profile;
 pub mod series;
 pub mod sinks;
 
 pub use event::{AbortReason, Event, EventKind};
 pub use handle::{SyncTraceHandle, TraceHandle};
+pub use metrics::{Gauge, Histogram, MetricsRegistry, RunMetrics};
 pub use profile::{PhaseStat, Profiler};
 pub use series::{Bucket, BucketRates, RunSeries, SeriesAggregator};
 pub use sinks::{parse_jsonl, Fanout, JsonlSink, NullTracer, RingBuffer, Tracer};

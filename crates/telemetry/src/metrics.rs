@@ -1,0 +1,642 @@
+//! Mergeable metrics: log-linear histograms, counters, and gauges.
+//!
+//! Unlike the tracer sinks (`Rc`-based, serial-only), everything here
+//! is a plain value: an engine fills a [`RunMetrics`] while it runs,
+//! hands it out inside its `Report`, and the harness merges registries
+//! *after* the parallel sweep returns — in point order, on one thread.
+//! Merging is order-independent at the representation level too
+//! (element-wise sums, min/max), so a `--metrics` export is
+//! byte-identical at any `--jobs` count.
+//!
+//! Histograms record sim-time durations in integer microseconds with a
+//! fixed log-linear bucket layout (16 linear sub-buckets per power of
+//! two, exact below 16 µs): quantile error is bounded at ~6% while the
+//! layout never depends on the data, which is what makes two
+//! histograms from different runs mergeable bucket-by-bucket.
+
+use repl_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Linear sub-buckets per power-of-two tier (16 ⇒ ≤ 1/16 relative
+/// bucket width).
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per tier.
+const SUB_BUCKETS: u32 = 1 << SUB_BITS;
+/// Number of power-of-two tiers above the exact range: values with the
+/// top bit at position 4..=63.
+const TIERS: u32 = 64 - SUB_BITS;
+/// Total bucket count: 16 exact buckets for values 0..16, then 16
+/// sub-buckets per tier.
+pub const BUCKET_COUNT: usize = (SUB_BUCKETS + TIERS * SUB_BUCKETS) as usize;
+
+/// The bucket a microsecond value lands in.
+fn bucket_index(v: u64) -> usize {
+    if v < u64::from(SUB_BUCKETS) {
+        return v as usize;
+    }
+    let tier = 63 - v.leading_zeros(); // >= SUB_BITS
+    let offset = (v >> (tier - SUB_BITS)) - u64::from(SUB_BUCKETS);
+    (SUB_BUCKETS + (tier - SUB_BITS) * SUB_BUCKETS) as usize + offset as usize
+}
+
+/// Inclusive `[low, high]` value range of bucket `b`.
+fn bucket_bounds(b: usize) -> (u64, u64) {
+    let b = b as u64;
+    let sub = u64::from(SUB_BUCKETS);
+    if b < sub {
+        return (b, b);
+    }
+    let tier = SUB_BITS as u64 + (b - sub) / sub;
+    let offset = (b - sub) % sub;
+    let low = (sub + offset) << (tier - SUB_BITS as u64);
+    let width = 1u64 << (tier - SUB_BITS as u64);
+    // `low + (width - 1)`: the top bucket's high end is exactly
+    // `u64::MAX`, so adding width first would overflow.
+    (low, low + (width - 1))
+}
+
+/// A fixed-layout log-linear histogram of sim-time durations
+/// (microseconds). Bucket counts are element-wise addable, so
+/// [`Histogram::merge`] is commutative and associative — the property
+/// the parallel sweep relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; BUCKET_COUNT],
+        }
+    }
+}
+
+impl Histogram {
+    /// Number of buckets in the fixed log-linear layout (identical in
+    /// every histogram, which is what makes merge element-wise).
+    pub const BUCKET_COUNT: usize = BUCKET_COUNT;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket a value lands in — exposed so tests can verify the
+    /// value → bucket → bounds round-trip.
+    pub fn bucket_index(v: u64) -> usize {
+        bucket_index(v)
+    }
+
+    /// Inclusive `[low, high]` range of bucket `b`.
+    pub fn bucket_bounds(b: usize) -> (u64, u64) {
+        bucket_bounds(b)
+    }
+
+    /// Record one duration sample.
+    #[inline]
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_value(d.0);
+    }
+
+    /// Record one raw microsecond (or other unit-consistent) value.
+    #[inline]
+    pub fn record_value(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Fold `other` into `self`. Order-independent: merging any
+    /// permutation of the same histograms yields identical bytes.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (exact), 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (exact), 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (exact up to the saturating sum), 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the ⌈q·count⌉-th sample, clamped to the exact
+    /// observed `[min, max]`. 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_bounds(b).1.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Quantile in (possibly fractional) seconds, for reporting.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        self.value_at_quantile(q) as f64 / 1e6
+    }
+
+    /// Largest sample in seconds.
+    pub fn max_secs(&self) -> f64 {
+        self.max() as f64 / 1e6
+    }
+}
+
+/// Serialized form: only the non-zero buckets, as `(index, count)`
+/// pairs in index order — registries hold many mostly-empty histograms.
+/// The vendored serde derive has no container attributes, so
+/// [`Histogram`]'s serde impls route through this repr by hand.
+#[derive(Serialize, Deserialize)]
+struct HistogramRepr {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<(u32, u64)>,
+}
+
+impl From<Histogram> for HistogramRepr {
+    fn from(h: Histogram) -> Self {
+        HistogramRepr {
+            count: h.count,
+            sum: h.sum,
+            min: h.min(),
+            max: h.max,
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(b, &n)| (b as u32, n))
+                .collect(),
+        }
+    }
+}
+
+impl From<HistogramRepr> for Histogram {
+    fn from(r: HistogramRepr) -> Self {
+        let mut h = Histogram {
+            count: r.count,
+            sum: r.sum,
+            min: r.min,
+            max: r.max,
+            ..Histogram::default()
+        };
+        for (b, n) in r.buckets {
+            if let Some(slot) = h.buckets.get_mut(b as usize) {
+                *slot = n;
+            }
+        }
+        h
+    }
+}
+
+impl Serialize for Histogram {
+    fn to_content(&self) -> serde::Content {
+        HistogramRepr::from(self.clone()).to_content()
+    }
+}
+
+impl Deserialize for Histogram {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        HistogramRepr::from_content(content).map(Histogram::from)
+    }
+}
+
+/// A mergeable summary gauge: count/sum/min/max of every observation
+/// (no "last value", which would depend on merge order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Gauge {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl Gauge {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Fold `other` into `self` (commutative, associative).
+    pub fn merge(&mut self, other: &Gauge) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Mean observation, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Every distribution one engine run collects: named counters, gauges,
+/// and histograms. `BTreeMap` keys keep serialization (and therefore
+/// the `--metrics` export) deterministically ordered.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Named event counters (aborts, retries, …).
+    pub counters: BTreeMap<String, u64>,
+    /// Named summary gauges (per-replica staleness, …).
+    pub gauges: BTreeMap<String, Gauge>,
+    /// Named duration histograms (commit latency, lock wait, …).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl RunMetrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Self {
+        RunMetrics::default()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Add `n` to counter `name`.
+    #[inline]
+    pub fn incr(&mut self, name: &str, n: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                self.counters.insert(name.to_owned(), n);
+            }
+        }
+    }
+
+    /// Record one duration sample into histogram `name`. The map
+    /// lookup allocates only on the first sample per name.
+    #[inline]
+    pub fn record(&mut self, name: &str, d: SimDuration) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(d),
+            None => {
+                let mut h = Histogram::new();
+                h.record(d);
+                self.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Record one raw (unit-less) value into histogram `name` — batch
+    /// sizes, queue depths, and other non-duration distributions.
+    #[inline]
+    pub fn record_value(&mut self, name: &str, v: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record_value(v),
+            None => {
+                let mut h = Histogram::new();
+                h.record_value(v);
+                self.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Record one observation into gauge `name`.
+    #[inline]
+    pub fn observe(&mut self, name: &str, v: u64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => g.observe(v),
+            None => {
+                let mut g = Gauge::default();
+                g.observe(v);
+                self.gauges.insert(name.to_owned(), g);
+            }
+        }
+    }
+
+    /// Counter value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<&Gauge> {
+        self.gauges.get(name)
+    }
+
+    /// Fold `other` into `self`, key by key. Commutative and
+    /// associative, like every leaf merge.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        for (name, n) in &other.counters {
+            self.incr(name, *n);
+        }
+        for (name, g) in &other.gauges {
+            match self.gauges.get_mut(name) {
+                Some(mine) => mine.merge(g),
+                None => {
+                    self.gauges.insert(name.clone(), *g);
+                }
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+}
+
+/// A snapshot of every run's metrics, keyed by run label — what
+/// `--metrics FILE` serializes. Absorbing the same labels in the same
+/// order yields byte-identical JSON regardless of how many worker
+/// threads produced the underlying reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    /// Export format version.
+    pub schema: u32,
+    /// Per-run metrics, keyed by run label.
+    pub runs: BTreeMap<String, RunMetrics>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            schema: 1,
+            runs: BTreeMap::new(),
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Merge `metrics` into the run labelled `label` (created if new).
+    /// Empty metrics are skipped so off-path runs leave no key behind.
+    pub fn absorb(&mut self, label: &str, metrics: &RunMetrics) {
+        if metrics.is_empty() {
+            return;
+        }
+        match self.runs.get_mut(label) {
+            Some(run) => run.merge(metrics),
+            None => {
+                self.runs.insert(label.to_owned(), metrics.clone());
+            }
+        }
+    }
+
+    /// Serialize to pretty JSON (deterministic key order) with a
+    /// trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("registry serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parse a registry back from its JSON export.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_contain_their_values() {
+        for v in [
+            0,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            1000,
+            123_456,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let b = bucket_index(v);
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= v && v <= hi, "v={v} bucket={b} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_range() {
+        // Consecutive buckets abut exactly: no gaps, no overlap.
+        for b in 0..BUCKET_COUNT - 1 {
+            let (_, hi) = bucket_bounds(b);
+            let (lo_next, _) = bucket_bounds(b + 1);
+            assert_eq!(hi + 1, lo_next, "bucket {b}");
+        }
+        assert_eq!(bucket_bounds(BUCKET_COUNT - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record_value(v * 1000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 100_000);
+        let p50 = h.value_at_quantile(0.50);
+        let p99 = h.value_at_quantile(0.99);
+        // Log-linear resolution: within one bucket width (1/16).
+        assert!((45_000..=55_000).contains(&p50), "p50={p50}");
+        assert!((95_000..=100_000).contains(&p99), "p99={p99}");
+        assert_eq!(h.value_at_quantile(1.0), 100_000);
+        // q=0 lands in the lowest occupied bucket; its upper bound is
+        // within one bucket width of the exact min.
+        let p0 = h.value_at_quantile(0.0);
+        assert!((1000..=1063).contains(&p0), "p0={p0}");
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_exact() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_millis(250));
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.value_at_quantile(q), 250_000);
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..500u64 {
+            a.record_value(v * 7 % 10_000);
+            b.record_value(v * 13 % 90_000);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 1000);
+    }
+
+    #[test]
+    fn sparse_serde_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0, 3, 17, 12_345, 777_777_777] {
+            h.record_value(v);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        // Sparse: far fewer entries than the 976 dense buckets.
+        assert!(json.len() < 400, "not sparse: {} bytes", json.len());
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+        // Empty histograms round-trip too.
+        let empty = Histogram::new();
+        let back: Histogram =
+            serde_json::from_str(&serde_json::to_string(&empty).unwrap()).unwrap();
+        assert_eq!(empty, back);
+    }
+
+    #[test]
+    fn gauge_tracks_extremes() {
+        let mut g = Gauge::default();
+        g.observe(5);
+        g.observe(2);
+        g.observe(9);
+        assert_eq!((g.count, g.min, g.max), (3, 2, 9));
+        let mut other = Gauge::default();
+        other.observe(1);
+        g.merge(&other);
+        assert_eq!((g.count, g.min, g.max), (4, 1, 9));
+        assert!((g.mean() - 4.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_absorb_merges_same_label() {
+        let mut m = RunMetrics::new();
+        m.incr("aborts", 2);
+        m.record("commit_latency", SimDuration::from_millis(10));
+        m.observe("staleness_n1", 4);
+        let mut reg = MetricsRegistry::new();
+        reg.absorb("e11 eager", &m);
+        reg.absorb("e11 eager", &m);
+        let run = &reg.runs["e11 eager"];
+        assert_eq!(run.counter("aborts"), 4);
+        assert_eq!(run.histogram("commit_latency").unwrap().count(), 2);
+        assert_eq!(run.gauge("staleness_n1").unwrap().count, 2);
+        // Empty metrics leave no key.
+        reg.absorb("noop", &RunMetrics::new());
+        assert!(!reg.runs.contains_key("noop"));
+    }
+
+    #[test]
+    fn registry_json_round_trips() {
+        let mut m = RunMetrics::new();
+        m.incr("retries", 7);
+        m.record("lock_wait", SimDuration::from_micros(42));
+        let mut reg = MetricsRegistry::new();
+        reg.absorb("run", &m);
+        let json = reg.to_json();
+        assert!(json.ends_with('\n'));
+        let back = MetricsRegistry::from_json(&json).unwrap();
+        assert_eq!(reg, back);
+    }
+}

@@ -26,6 +26,9 @@ pub struct Bucket {
     pub replica_commits: u64,
     /// Messages sent.
     pub messages: u64,
+    /// Messages delivered (batched deliveries count each contained
+    /// message, so the series agrees at any propagation batch size).
+    pub deliveries: u64,
     /// Tentative commits at mobile nodes.
     pub tentative_commits: u64,
     /// Tentative transactions rejected at the base.
@@ -46,6 +49,7 @@ impl Bucket {
             EventKind::Reconcile => self.reconciliations += 1,
             EventKind::ReplicaApply => self.replica_commits += 1,
             EventKind::MsgSent { .. } | EventKind::ReplicaSend { .. } => self.messages += 1,
+            EventKind::MsgDelivered { .. } => self.deliveries += 1,
             EventKind::TentativeCommit => self.tentative_commits += 1,
             EventKind::TentativeRejected => self.tentative_rejected += 1,
             _ => {}

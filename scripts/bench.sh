@@ -51,6 +51,12 @@ else
     cargo bench -p repl-bench --bench engines 2>&1 | tee "$CRIT_LOG"
 fi
 
+# The NullTracer guard already runs in `cargo test --workspace`; here
+# the release-profile metrics guard keeps full distribution recording
+# honest against the lean baseline.
+echo "== overhead guard: metrics recording <5% over lean =="
+cargo test -p repl-bench --release -q metrics_recording_overhead_under_five_percent
+
 echo "== timing harness experiments (reps=$REPS) =="
 SMOKE="$SMOKE" REPS="$REPS" OUT="$OUT" CRIT_LOG="$CRIT_LOG" python3 - <<'EOF'
 import json, os, pathlib, re, subprocess, time

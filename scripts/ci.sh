@@ -22,8 +22,9 @@ cargo test -q --workspace
 
 say "harness smoke: --quick --json all"
 out="$(mktemp)"
-trap 'rm -f "$out"' EXIT
-./target/release/harness --quick --json all >"$out"
+metrics_out="$(mktemp)"
+trap 'rm -f "$out" "$metrics_out"' EXIT
+./target/release/harness --quick --json --metrics "$metrics_out" all >"$out"
 
 say "validating harness JSON"
 # `--json all` prints one pretty-printed JSON document per experiment,
@@ -51,13 +52,29 @@ EOF
 
 say "parallel smoke: --jobs 2 must be byte-identical to serial"
 par_out="$(mktemp)"
-trap 'rm -f "$out" "$par_out"' EXIT
-./target/release/harness --quick --json --jobs 2 all >"$par_out"
+par_metrics="$(mktemp)"
+trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics"' EXIT
+./target/release/harness --quick --json --jobs 2 --metrics "$par_metrics" all >"$par_out"
 cmp "$out" "$par_out" || {
     echo "--jobs 2 output differs from the serial run" >&2
     exit 1
 }
 echo "ok: parallel sweep output byte-identical to serial"
+
+say "metrics gate: schema valid, --jobs invariant"
+cmp "$metrics_out" "$par_metrics" || {
+    echo "--metrics export differs between serial and --jobs 2" >&2
+    exit 1
+}
+/usr/bin/jq -e '
+    .schema == 1
+    and (.runs | length > 0)
+    and ((([.runs[].histograms[]?.count] | add) // 0) > 0)
+' "$metrics_out" >/dev/null || {
+    echo "metrics JSON failed schema validation" >&2
+    exit 1
+}
+echo "ok: $(/usr/bin/jq '.runs | length' "$metrics_out") metric runs, histograms populated, export --jobs invariant"
 
 say "bench smoke: scripts/bench.sh --smoke"
 scripts/bench.sh --smoke
@@ -65,7 +82,7 @@ scripts/bench.sh --smoke
 say "chaos smoke: fixed seed, twice (determinism + schema)"
 chaos_a="$(mktemp)"
 chaos_b="$(mktemp)"
-trap 'rm -f "$out" "$chaos_a" "$chaos_b"' EXIT
+trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b"' EXIT
 ./target/release/harness --quick --json --seed 41 chaos >"$chaos_a"
 ./target/release/harness --quick --json --seed 41 chaos >"$chaos_b"
 cmp "$chaos_a" "$chaos_b" || {
@@ -92,7 +109,7 @@ EOF
 
 say "oracle smoke: --check on a real experiment must stay clean"
 check_out="$(mktemp)"
-trap 'rm -f "$out" "$par_out" "$chaos_a" "$chaos_b" "$check_out"' EXIT
+trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$check_out"' EXIT
 ./target/release/harness --quick --json --seed 41 --check e11 >"$check_out"
 python3 - "$check_out" <<'EOF'
 import json, sys
