@@ -23,7 +23,7 @@ use repl_storage::{
     ApplyOutcome, NodeId, ObjectId, ObjectStore, Timestamp, TxnId, Value, Versioned,
 };
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -548,6 +548,24 @@ pub enum Violation {
         /// The version it claims to have replaced.
         found_old: Timestamp,
     },
+    /// Two different base replicas both acted as primary for the same
+    /// epoch — the leader-safety invariant of the replicated base tier
+    /// is broken (split brain).
+    SplitBrain {
+        /// The epoch with more than one leader.
+        epoch: u64,
+        /// Every leader recorded for that epoch, in election order.
+        leaders: Vec<NodeId>,
+    },
+    /// A base commit that was acknowledged to a client is missing from
+    /// the surviving replicated log after failover — an acked write
+    /// was lost.
+    LostCommit {
+        /// Replication sequence number of the lost commit.
+        seq: u64,
+        /// The epoch under which it was acknowledged.
+        epoch: u64,
+    },
     /// A two-tier acceptance decision disagrees with the oracle's
     /// independent re-derivation (§7).
     AcceptanceUnsound {
@@ -609,6 +627,22 @@ impl fmt::Display for Violation {
                 f,
                 "version chain broken on {object} at {txn}: overwrote {found_old} \
                  but the latest committed version was {expected_old}"
+            ),
+            Violation::SplitBrain { epoch, leaders } => {
+                write!(
+                    f,
+                    "split brain: epoch {epoch} has {} leaders:",
+                    leaders.len()
+                )?;
+                for l in leaders {
+                    write!(f, " {l}")?;
+                }
+                Ok(())
+            }
+            Violation::LostCommit { seq, epoch } => write!(
+                f,
+                "lost commit: acked replication seq {seq} (epoch {epoch}) \
+                 missing from the surviving log"
             ),
             Violation::AcceptanceUnsound {
                 txn,
@@ -683,6 +717,37 @@ pub fn check_store_convergence(stores: &[(NodeId, ObjectStore)]) -> Option<Viola
         stores.iter().map(|(n, s)| (*n, snapshot(s))).collect();
     let (ref_node, ref_snap) = finals.first().map(|(n, s)| (*n, s))?;
     find_divergence(Some(ref_node), ref_snap, &finals)
+}
+
+/// Leader-safety oracle for a replicated base tier: every epoch must
+/// have **at most one** primary. `history` is the `(epoch, leader)`
+/// sequence in election order (the same leader re-recorded for the same
+/// epoch is fine; a *different* leader is a split brain).
+pub fn check_leader_safety(history: &[(u64, NodeId)]) -> Option<Violation> {
+    let mut by_epoch: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+    for &(epoch, leader) in history {
+        let leaders = by_epoch.entry(epoch).or_default();
+        if !leaders.contains(&leader) {
+            leaders.push(leader);
+        }
+    }
+    by_epoch
+        .into_iter()
+        .find(|(_, leaders)| leaders.len() > 1)
+        .map(|(epoch, leaders)| Violation::SplitBrain { epoch, leaders })
+}
+
+/// Durability oracle for a replicated base tier: every commit that was
+/// acknowledged to a client must still be present in the surviving
+/// replicated log after any number of failovers. `acked` is the
+/// `(seq, epoch)` pairs acknowledged; `surviving_head` is the highest
+/// contiguous replication sequence number the current primary holds
+/// (the log is a prefix, so presence is `seq <= head`).
+pub fn check_acked_durability(acked: &[(u64, u64)], surviving_head: u64) -> Option<Violation> {
+    acked
+        .iter()
+        .find(|&&(seq, _)| seq > surviving_head)
+        .map(|&(seq, epoch)| Violation::LostCommit { seq, epoch })
 }
 
 #[cfg(test)]
@@ -908,5 +973,39 @@ mod tests {
             assert_eq!(Scheme::parse(s.name()), Some(s));
         }
         assert_eq!(Scheme::parse("nope"), None);
+    }
+
+    #[test]
+    fn leader_safety_accepts_one_leader_per_epoch() {
+        let history = [
+            (1, NodeId(0)),
+            (2, NodeId(1)),
+            (2, NodeId(1)), // re-recorded, same leader: fine
+            (3, NodeId(0)),
+        ];
+        assert_eq!(check_leader_safety(&history), None);
+        assert_eq!(check_leader_safety(&[]), None);
+    }
+
+    #[test]
+    fn leader_safety_flags_split_brain() {
+        let history = [(1, NodeId(0)), (2, NodeId(1)), (2, NodeId(2))];
+        match check_leader_safety(&history) {
+            Some(Violation::SplitBrain { epoch, leaders }) => {
+                assert_eq!(epoch, 2);
+                assert_eq!(leaders, vec![NodeId(1), NodeId(2)]);
+            }
+            v => panic!("expected split brain, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn acked_durability_requires_log_prefix() {
+        assert_eq!(check_acked_durability(&[(1, 1), (2, 1), (3, 2)], 3), None);
+        assert_eq!(check_acked_durability(&[], 0), None);
+        match check_acked_durability(&[(1, 1), (5, 2)], 3) {
+            Some(Violation::LostCommit { seq: 5, epoch: 2 }) => {}
+            v => panic!("expected lost commit 5, got {v:?}"),
+        }
     }
 }

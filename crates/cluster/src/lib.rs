@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod election;
 pub mod two_tier;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -330,14 +331,24 @@ impl Cluster {
     /// # Panics
     /// If `node` is already crashed.
     pub fn crash(&mut self, node: NodeId) {
+        assert!(self.try_crash(node), "node {node} already crashed");
+    }
+
+    /// Non-panicking [`Cluster::crash`]: returns `false` (a no-op)
+    /// when the node is already down, so overlapping fault-plan crash
+    /// windows degrade to nothing instead of aborting the run.
+    pub fn try_crash(&mut self, node: NodeId) -> bool {
         let i = node.0 as usize;
-        assert!(self.remnants[i].is_none(), "node {node} already crashed");
+        if self.remnants[i].is_some() || self.handles[i].is_none() {
+            return false;
+        }
         self.senders[i]
             .send(NodeMsg::Crash)
             .expect("node thread gone");
         let handle = self.handles[i].take().expect("crashed node has no thread");
         let remnant = handle.join().expect("node thread panicked");
         self.remnants[i] = Some(remnant.expect("crash must yield a remnant"));
+        true
     }
 
     /// Restart a crashed node: rebuild the store by replaying the
@@ -350,8 +361,14 @@ impl Cluster {
     /// # Panics
     /// If `node` is not crashed.
     pub fn restart(&mut self, node: NodeId) -> u64 {
+        self.try_restart(node).expect("restarting a live node")
+    }
+
+    /// Non-panicking [`Cluster::restart`]: `None` (a no-op) when the
+    /// node is not crashed.
+    pub fn try_restart(&mut self, node: NodeId) -> Option<u64> {
         let i = node.0 as usize;
-        let remnant = self.remnants[i].take().expect("restarting a live node");
+        let remnant = self.remnants[i].take()?;
         let mut store = ObjectStore::new(self.db_size);
         let mut clock = LamportClock::new(remnant.id);
         for (obj, value, ts) in &remnant.wal {
@@ -384,7 +401,7 @@ impl Cluster {
                 .spawn(move || thread.run())
                 .expect("failed to respawn node thread"),
         );
-        replayed
+        Some(replayed)
     }
 
     /// Whether `node` is currently crashed.

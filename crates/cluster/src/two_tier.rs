@@ -29,14 +29,16 @@
 //! base.shutdown();
 //! ```
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::election::{self, Candidate, ElectionOutcome, Epoch, Tally, VoteReply, VoteRequest};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use repl_core::TxnSpec;
-use repl_sim::SimTime;
+use repl_sim::{SimRng, SimTime};
 use repl_storage::{
     CommitRecord, LamportClock, Lsn, NodeId, ObjectId, ObjectStore, TentativeStore, Timestamp,
     TxnId, Value,
 };
-use repl_telemetry::{AbortReason, Event, EventKind, SyncTraceHandle};
+use repl_telemetry::{AbortReason, Event, EventKind, RunMetrics, SyncTraceHandle};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -83,12 +85,32 @@ pub enum TxnOutcome {
     },
 }
 
-/// Reply to a [`MobileNode::sync`].
+/// Reply to a [`MobileNode::sync`] — the wire-level answer a
+/// [`SyncTarget`] returns for one sync round-trip.
 #[derive(Debug)]
-struct SyncReply {
-    outcomes: Vec<TxnOutcome>,
-    refresh: Vec<CommitRecord>,
-    head: Lsn,
+pub struct SyncReply {
+    /// One outcome per submitted [`Pending`], in submission order.
+    pub outcomes: Vec<TxnOutcome>,
+    /// Commit records newer than the mobile's watermark (the deferred
+    /// replica refresh).
+    pub refresh: Vec<CommitRecord>,
+    /// The base commit-log head after this sync; the mobile's next
+    /// watermark.
+    pub head: Lsn,
+    /// Replication sequence number covering this sync's base commits
+    /// (0 when the target is an unreplicated [`BaseServer`] or the
+    /// sync committed nothing). [`BaseGroup`] records it as an
+    /// acknowledged write for the lost-commit oracle.
+    pub repl_seq: u64,
+}
+
+/// Anything a [`MobileNode`] can sync against: the single
+/// [`BaseServer`] or the replicated [`BaseGroup`].
+pub trait SyncTarget {
+    /// One sync round-trip. `None` when the base tier did not answer
+    /// (crashed, down, or degraded below quorum) — the caller should
+    /// retry; [`DedupId`]s make the retry exactly-once.
+    fn try_sync(&self, pendings: Vec<Pending>, from: Lsn, timeout: Duration) -> Option<SyncReply>;
 }
 
 enum BaseMsg {
@@ -187,6 +209,7 @@ impl BaseThread {
                         outcomes,
                         refresh,
                         head: self.log.head(),
+                        repl_seq: 0,
                     });
                 }
                 BaseMsg::Snapshot { reply } => {
@@ -224,61 +247,89 @@ impl BaseThread {
         tentative: Option<&Vec<(ObjectId, Value)>>,
     ) -> TxnOutcome {
         self.tick += 1;
-        let now = SimTime(self.tick);
-        let mut buffered: Vec<(ObjectId, Value)> = Vec::with_capacity(spec.ops.len());
-        for op in &spec.ops {
-            let current = buffered
-                .iter()
-                .rev()
-                .find(|(o, _)| *o == op.object)
-                .map(|(_, v)| v.clone())
-                .unwrap_or_else(|| self.master.get(op.object).value.clone());
-            buffered.push((op.object, op.op.apply(&current)));
-        }
-        let accepted = match tentative {
-            Some(t) => spec.criterion.accepts(&buffered, t),
-            None => spec.criterion.accepts(&buffered, &buffered),
-        };
-        if !accepted {
-            // The tentative fate (TentativeRejected) is emitted at the
-            // originating mobile node, which knows its own identity;
-            // the base records only that this incarnation died.
-            self.tracer.emit(|| {
-                Event::system(
-                    now,
-                    NodeId(0),
-                    EventKind::TxnAbort {
-                        reason: AbortReason::Conflict,
-                    },
-                )
-            });
-            return TxnOutcome::Rejected {
-                reason: format!(
-                    "acceptance criterion {:?} failed for outputs {:?}",
-                    spec.criterion, buffered
-                ),
-            };
-        }
-        self.next_txn += 1;
-        let txn = TxnId(self.next_txn);
-        self.tracer
-            .emit(|| Event::new(now, NodeId(0), txn, EventKind::TxnCommit));
-        let mut updates = Vec::with_capacity(buffered.len());
-        for (obj, value) in &buffered {
-            let old_ts = self.master.get(*obj).ts;
-            let new_ts = self.clock.tick();
-            self.master.set(*obj, value.clone(), new_ts);
-            updates.push(repl_storage::UpdateRecord {
-                txn,
-                object: *obj,
-                old_ts,
-                new_ts,
-                value: value.clone(),
-            });
-        }
-        self.log.append(txn, updates);
-        TxnOutcome::Accepted(buffered)
+        run_base_txn(
+            NodeId(0),
+            &mut self.master,
+            &mut self.clock,
+            &mut self.log,
+            &mut self.next_txn,
+            &self.tracer,
+            SimTime(self.tick),
+            spec,
+            tentative,
+        )
     }
+}
+
+/// Execute one base transaction against a (`master`, `clock`, `log`)
+/// triple: buffer the writes, judge them with the acceptance criterion,
+/// install on success. Shared by the single [`BaseServer`] thread and
+/// every [`BaseGroup`] replica, so a failover cannot change the
+/// acceptance semantics.
+#[allow(clippy::too_many_arguments)]
+fn run_base_txn(
+    node: NodeId,
+    master: &mut ObjectStore,
+    clock: &mut LamportClock,
+    log: &mut repl_storage::CommitLog,
+    next_txn: &mut u64,
+    tracer: &SyncTraceHandle,
+    now: SimTime,
+    spec: &TxnSpec,
+    tentative: Option<&Vec<(ObjectId, Value)>>,
+) -> TxnOutcome {
+    let mut buffered: Vec<(ObjectId, Value)> = Vec::with_capacity(spec.ops.len());
+    for op in &spec.ops {
+        let current = buffered
+            .iter()
+            .rev()
+            .find(|(o, _)| *o == op.object)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| master.get(op.object).value.clone());
+        buffered.push((op.object, op.op.apply(&current)));
+    }
+    let accepted = match tentative {
+        Some(t) => spec.criterion.accepts(&buffered, t),
+        None => spec.criterion.accepts(&buffered, &buffered),
+    };
+    if !accepted {
+        // The tentative fate (TentativeRejected) is emitted at the
+        // originating mobile node, which knows its own identity;
+        // the base records only that this incarnation died.
+        tracer.emit(|| {
+            Event::system(
+                now,
+                node,
+                EventKind::TxnAbort {
+                    reason: AbortReason::Conflict,
+                },
+            )
+        });
+        return TxnOutcome::Rejected {
+            reason: format!(
+                "acceptance criterion {:?} failed for outputs {:?}",
+                spec.criterion, buffered
+            ),
+        };
+    }
+    *next_txn += 1;
+    let txn = TxnId(*next_txn);
+    tracer.emit(|| Event::new(now, node, txn, EventKind::TxnCommit));
+    let mut updates = Vec::with_capacity(buffered.len());
+    for (obj, value) in &buffered {
+        let old_ts = master.get(*obj).ts;
+        let new_ts = clock.tick();
+        master.set(*obj, value.clone(), new_ts);
+        updates.push(repl_storage::UpdateRecord {
+            txn,
+            object: *obj,
+            old_ts,
+            new_ts,
+            value: value.clone(),
+        });
+    }
+    log.append(txn, updates);
+    TxnOutcome::Accepted(buffered)
 }
 
 /// Handle to the base-node thread.
@@ -346,11 +397,21 @@ impl BaseServer {
     /// # Panics
     /// If the base is already crashed.
     pub fn crash(&mut self) {
-        assert!(self.remnant.is_none(), "base already crashed");
+        assert!(self.try_crash(), "base already crashed");
+    }
+
+    /// Non-panicking [`BaseServer::crash`]: returns `false` (a no-op)
+    /// when the base is already down, so overlapping fault-plan crash
+    /// windows degrade to nothing instead of aborting the run.
+    pub fn try_crash(&mut self) -> bool {
+        if self.remnant.is_some() || self.handle.is_none() {
+            return false;
+        }
         self.sender.send(BaseMsg::Crash).expect("base thread gone");
         let handle = self.handle.take().expect("crashed base has no thread");
         let remnant = handle.join().expect("base thread panicked");
         self.remnant = Some(remnant.expect("crash must yield a remnant"));
+        true
     }
 
     /// Restart a crashed base: rebuild the master database by replaying
@@ -361,7 +422,13 @@ impl BaseServer {
     /// # Panics
     /// If the base is not crashed.
     pub fn restart(&mut self) -> u64 {
-        let remnant = self.remnant.take().expect("restarting a live base");
+        self.try_restart().expect("restarting a live base")
+    }
+
+    /// Non-panicking [`BaseServer::restart`]: `None` (a no-op) when the
+    /// base is not crashed.
+    pub fn try_restart(&mut self) -> Option<u64> {
+        let remnant = self.remnant.take()?;
         let mut master = ObjectStore::new(self.db_size);
         for i in 0..self.db_size {
             master.set(ObjectId(i), Value::Int(self.initial_value), Timestamp::ZERO);
@@ -403,7 +470,7 @@ impl BaseServer {
                 .spawn(move || thread.run())
                 .expect("failed to respawn base thread"),
         );
-        replayed
+        Some(replayed)
     }
 
     /// Whether the base is currently crashed.
@@ -429,21 +496,6 @@ impl BaseServer {
         rx.recv().expect("base thread dropped snapshot")
     }
 
-    /// One sync round-trip. `None` when the base crashed before the
-    /// reply arrived (or is down and did not answer within `timeout`) —
-    /// the caller should retry; the dedup ids make the retry safe.
-    fn try_sync(&self, pendings: Vec<Pending>, from: Lsn, timeout: Duration) -> Option<SyncReply> {
-        let (tx, rx) = unbounded();
-        self.sender
-            .send(BaseMsg::Sync {
-                pendings,
-                from,
-                reply: tx,
-            })
-            .expect("base thread gone");
-        rx.recv_timeout(timeout).ok()
-    }
-
     /// Shut the base thread down.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -458,9 +510,79 @@ impl BaseServer {
     }
 }
 
+impl SyncTarget for BaseServer {
+    /// One sync round-trip. `None` when the base crashed before the
+    /// reply arrived (or is down and did not answer within `timeout`) —
+    /// the caller should retry; the dedup ids make the retry safe.
+    fn try_sync(&self, pendings: Vec<Pending>, from: Lsn, timeout: Duration) -> Option<SyncReply> {
+        let (tx, rx) = unbounded();
+        self.sender
+            .send(BaseMsg::Sync {
+                pendings,
+                from,
+                reply: tx,
+            })
+            .expect("base thread gone");
+        rx.recv_timeout(timeout).ok()
+    }
+}
+
 impl Drop for BaseServer {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+/// Backoff schedule for [`MobileNode::sync_with_retry`]: exponential
+/// doubling from `base` capped at `cap`, with an optional seeded jitter
+/// fraction so colliding retries decorrelate while tests stay
+/// deterministic (same seed ⇒ same delays).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// First-retry delay (doubles every attempt).
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a factor
+    /// drawn uniformly from `[1 - jitter/2, 1 + jitter/2]`. Zero (the
+    /// default) draws nothing and reproduces the fixed schedule.
+    pub jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+    /// Per-attempt reply timeout.
+    pub attempt_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// The historical schedule: 1 ms → 64 ms doubling, no jitter,
+    /// 100 ms per-attempt timeout.
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(64),
+            jitter: 0.0,
+            seed: 0,
+            attempt_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry `attempt` (1-based). Draws from `rng`
+    /// only when `jitter > 0`, so a zero-jitter policy is RNG-free.
+    pub fn backoff(&self, attempt: u32, rng: &mut SimRng) -> Duration {
+        let doubled = self
+            .base
+            .saturating_mul(
+                1u32.checked_shl(attempt.saturating_sub(1))
+                    .unwrap_or(u32::MAX),
+            )
+            .min(self.cap);
+        if self.jitter <= 0.0 {
+            return doubled;
+        }
+        let scale = 1.0 - self.jitter / 2.0 + self.jitter * rng.next_f64();
+        doubled.mul_f64(scale.max(0.0))
     }
 }
 
@@ -488,6 +610,8 @@ pub struct MobileNode {
     next_seq: u64,
     last_rejections: Vec<String>,
     tracer: SyncTraceHandle,
+    retry: RetryPolicy,
+    retry_rng: SimRng,
     // Logical tick for event timestamps: one per tentative execution
     // or sync, mirroring the base thread's convention.
     tick: u64,
@@ -512,6 +636,8 @@ impl MobileNode {
             next_seq: 0,
             last_rejections: Vec::new(),
             tracer: SyncTraceHandle::off(),
+            retry: RetryPolicy::default(),
+            retry_rng: SimRng::stream(0, "mobile-retry"),
             tick: 0,
         }
     }
@@ -521,6 +647,15 @@ impl MobileNode {
     #[must_use]
     pub fn with_tracer(mut self, tracer: SyncTraceHandle) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Replace the retry backoff schedule (and reseed its jitter
+    /// stream; the node id decorrelates nodes sharing one policy).
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_rng = SimRng::stream(policy.seed ^ u64::from(self.id.0), "mobile-retry");
+        self.retry = policy;
         self
     }
 
@@ -580,26 +715,35 @@ impl MobileNode {
     /// # Panics
     /// If the base crashes before replying; use
     /// [`MobileNode::sync_with_retry`] against an unreliable base.
-    pub fn sync(&mut self, base: &BaseServer) -> SyncOutcome {
+    pub fn sync(&mut self, base: &impl SyncTarget) -> SyncOutcome {
         self.try_sync(base, Duration::from_secs(10))
             .expect("base crashed mid-sync")
     }
 
-    /// Like [`MobileNode::sync`], retrying with exponential backoff
-    /// when the base crashes before replying or does not answer.
-    /// Re-submission is safe: each tentative transaction carries a
-    /// [`DedupId`], so a retry of a sync the base already committed
-    /// returns the recorded outcomes instead of executing twice.
-    /// Returns `None` if every attempt failed (pending transactions are
-    /// retained for a later sync).
-    pub fn sync_with_retry(&mut self, base: &BaseServer, max_attempts: u32) -> Option<SyncOutcome> {
-        let mut backoff = Duration::from_millis(1);
+    /// Like [`MobileNode::sync`], retrying on the node's
+    /// [`RetryPolicy`] backoff schedule when the base crashes before
+    /// replying or does not answer. Re-submission is safe: each
+    /// tentative transaction carries a [`DedupId`], so a retry of a
+    /// sync the base already committed returns the recorded outcomes
+    /// instead of executing twice — including when a failover put a
+    /// *different* replica behind the same [`SyncTarget`] between
+    /// attempts. Returns `None` if every attempt failed (pending
+    /// transactions are retained for a later sync). Each re-attempt
+    /// emits a [`EventKind::SyncRetried`] event.
+    pub fn sync_with_retry(
+        &mut self,
+        base: &impl SyncTarget,
+        max_attempts: u32,
+    ) -> Option<SyncOutcome> {
         for attempt in 0..max_attempts {
             if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(64));
+                let delay = self.retry.backoff(attempt, &mut self.retry_rng);
+                let (id, now) = (self.id, SimTime(self.tick));
+                self.tracer
+                    .emit(|| Event::system(now, id, EventKind::SyncRetried { attempt }));
+                std::thread::sleep(delay);
             }
-            if let Some(outcome) = self.try_sync(base, Duration::from_millis(100)) {
+            if let Some(outcome) = self.try_sync(base, self.retry.attempt_timeout) {
                 return Some(outcome);
             }
         }
@@ -609,7 +753,7 @@ impl MobileNode {
     /// One sync attempt. On failure (`None`) the node keeps its
     /// tentative versions and pending queue untouched, so the attempt
     /// can be repeated verbatim.
-    fn try_sync(&mut self, base: &BaseServer, timeout: Duration) -> Option<SyncOutcome> {
+    fn try_sync(&mut self, base: &impl SyncTarget, timeout: Duration) -> Option<SyncOutcome> {
         self.tick += 1;
         let now = SimTime(self.tick);
         let id = self.id;
@@ -655,6 +799,1071 @@ impl MobileNode {
         }
         self.watermark = reply.head;
         Some(outcome)
+    }
+}
+
+// ─────────────────────── replicated base tier ───────────────────────
+
+/// Generous reply deadline for round-trips to a replica the handle
+/// believes is live. In-process replicas answer in microseconds; a
+/// dead one is detected by its dropped reply sender (disconnect), not
+/// by this deadline, so the timeout never decides an outcome in a
+/// healthy run.
+const LIVE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One replication shipment, primary → backups: the commit records one
+/// sync (or direct execute) produced, plus the [`DedupId`] outcomes it
+/// decided, stamped with the shipping primary's epoch. Backups fence
+/// stale epochs and skip records at or below their log head, so
+/// redelivery — queued appends replayed after a restart — is harmless.
+#[derive(Debug, Clone)]
+struct ReplBatch {
+    epoch: Epoch,
+    records: Vec<CommitRecord>,
+    outcomes: Vec<(DedupId, TxnOutcome)>,
+}
+
+/// A replica's answer to a status probe: its electable state plus the
+/// cumulative fence counter.
+#[derive(Debug, Clone, Copy)]
+struct ReplicaStatus {
+    epoch: Epoch,
+    head: u64,
+    fenced: u64,
+}
+
+enum GroupMsg {
+    Sync {
+        pendings: Vec<Pending>,
+        from: Lsn,
+        reply: Sender<SyncReply>,
+    },
+    Execute {
+        spec: TxnSpec,
+        /// The outcome plus the replicated-log head after it, so the
+        /// handle can record the acknowledged write.
+        reply: Sender<(TxnOutcome, u64)>,
+    },
+    Append {
+        batch: ReplBatch,
+    },
+    Status {
+        reply: Sender<ReplicaStatus>,
+    },
+    RequestVote {
+        req: VoteRequest,
+        reply: Sender<VoteReply>,
+    },
+    BecomePrimary {
+        epoch: Epoch,
+        reply: Sender<u64>,
+    },
+    /// Anti-entropy log transfer: absorb `records`/`outcomes` under
+    /// `epoch`, reply with the log head afterwards.
+    CatchUp {
+        epoch: Epoch,
+        records: Vec<CommitRecord>,
+        outcomes: Vec<(DedupId, TxnOutcome)>,
+        reply: Sender<u64>,
+    },
+    FetchLog {
+        from: Lsn,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<(Vec<CommitRecord>, Vec<(DedupId, TxnOutcome)>)>,
+    },
+    Read {
+        obj: ObjectId,
+        reply: Sender<Value>,
+    },
+    Snapshot {
+        reply: Sender<ObjectStore>,
+    },
+    /// Make the next committing sync commit and replicate durably, then
+    /// crash before the reply leaves — the failover analogue of
+    /// [`BaseMsg::InjectReplyCrashes`].
+    InjectCommitCrash,
+    Crash,
+    Shutdown,
+}
+
+/// Durable replica state handed back by a crash, consumed by a restart.
+/// The inbox doubles as the durable message queue: appends shipped to a
+/// down replica wait here and replay on restart.
+struct ReplicaRemnant {
+    inbox: Receiver<GroupMsg>,
+    log: repl_storage::CommitLog,
+    seen: HashMap<DedupId, TxnOutcome>,
+    epoch: Epoch,
+    next_txn: u64,
+    fenced: u64,
+    tick: u64,
+}
+
+struct ReplicaThread {
+    node: NodeId,
+    is_primary: bool,
+    epoch: Epoch,
+    master: ObjectStore,
+    clock: LamportClock,
+    log: repl_storage::CommitLog,
+    seen: HashMap<DedupId, TxnOutcome>,
+    fenced: u64,
+    /// All replicas' senders, own slot `None`.
+    peers: Vec<Option<Sender<GroupMsg>>>,
+    inbox: Receiver<GroupMsg>,
+    next_txn: u64,
+    commit_crashes: u32,
+    tracer: SyncTraceHandle,
+    tick: u64,
+}
+
+impl ReplicaThread {
+    fn run(mut self) -> Option<ReplicaRemnant> {
+        while let Ok(msg) = self.inbox.recv() {
+            match msg {
+                GroupMsg::Sync {
+                    pendings,
+                    from,
+                    reply,
+                } => {
+                    if !self.is_primary {
+                        // A sync routed before a deposition reached us;
+                        // dropping the reply makes the mobile retry
+                        // (and the retry is exactly-once by dedup id).
+                        drop(reply);
+                        continue;
+                    }
+                    let start = self.log.head();
+                    let mut outcomes = Vec::with_capacity(pendings.len());
+                    let mut decided = Vec::new();
+                    for p in &pendings {
+                        match self.seen.get(&p.dedup) {
+                            // Executed in a previous reign or a
+                            // reply-crashed sync: return the recorded
+                            // fate — exactly-once across failover.
+                            Some(o) => outcomes.push(o.clone()),
+                            None => {
+                                let o = self.execute(&p.spec, Some(&p.tentative_results));
+                                self.seen.insert(p.dedup, o.clone());
+                                decided.push((p.dedup, o.clone()));
+                                outcomes.push(o);
+                            }
+                        }
+                    }
+                    self.ship(start, decided);
+                    let refresh = self.log.since(from).to_vec();
+                    let head = self.log.head();
+                    if self.commit_crashes > 0 {
+                        // Commit and replication are durable; die
+                        // before the reply leaves.
+                        self.commit_crashes -= 1;
+                        let (node, now) = (self.node, SimTime(self.tick));
+                        self.tracer
+                            .emit(|| Event::system(now, node, EventKind::NodeCrash));
+                        self.tracer.flush();
+                        drop(reply);
+                        return Some(self.into_remnant());
+                    }
+                    let _ = reply.send(SyncReply {
+                        outcomes,
+                        refresh,
+                        head,
+                        repl_seq: head.0,
+                    });
+                }
+                GroupMsg::Execute { spec, reply } => {
+                    if !self.is_primary {
+                        drop(reply);
+                        continue;
+                    }
+                    let start = self.log.head();
+                    let outcome = self.execute(&spec, None);
+                    self.ship(start, Vec::new());
+                    let _ = reply.send((outcome, self.log.head().0));
+                }
+                GroupMsg::Append { batch } => {
+                    self.absorb(batch);
+                }
+                GroupMsg::Status { reply } => {
+                    let _ = reply.send(ReplicaStatus {
+                        epoch: self.epoch,
+                        head: self.log.head().0,
+                        fenced: self.fenced,
+                    });
+                }
+                GroupMsg::RequestVote { req, reply } => {
+                    let granted = election::grant_vote(self.epoch, self.log.head().0, &req);
+                    if granted {
+                        self.epoch = req.epoch;
+                    }
+                    let _ = reply.send(VoteReply {
+                        from: self.node,
+                        granted,
+                        epoch: self.epoch,
+                    });
+                }
+                GroupMsg::BecomePrimary { epoch, reply } => {
+                    self.epoch = self.epoch.max(epoch);
+                    self.is_primary = true;
+                    let _ = reply.send(self.log.head().0);
+                }
+                GroupMsg::CatchUp {
+                    epoch,
+                    records,
+                    outcomes,
+                    reply,
+                } => {
+                    let before = self.log.head().0;
+                    self.absorb(ReplBatch {
+                        epoch,
+                        records,
+                        outcomes,
+                    });
+                    let applied = self.log.head().0 - before;
+                    self.tick += 1;
+                    let (node, now, e) = (self.node, SimTime(self.tick), self.epoch.0);
+                    self.tracer.emit(|| {
+                        Event::system(
+                            now,
+                            node,
+                            EventKind::CatchUpComplete {
+                                epoch: e,
+                                records: applied,
+                            },
+                        )
+                    });
+                    let _ = reply.send(self.log.head().0);
+                }
+                GroupMsg::FetchLog { from, reply } => {
+                    let records = self.log.since(from).to_vec();
+                    let outcomes = self.seen.iter().map(|(d, o)| (*d, o.clone())).collect();
+                    let _ = reply.send((records, outcomes));
+                }
+                GroupMsg::Read { obj, reply } => {
+                    let _ = reply.send(self.master.get(obj).value.clone());
+                }
+                GroupMsg::Snapshot { reply } => {
+                    let _ = reply.send(self.master.clone());
+                }
+                GroupMsg::InjectCommitCrash => {
+                    self.commit_crashes += 1;
+                }
+                GroupMsg::Crash => {
+                    let (node, now) = (self.node, SimTime(self.tick));
+                    self.tracer
+                        .emit(|| Event::system(now, node, EventKind::NodeCrash));
+                    self.tracer.flush();
+                    return Some(self.into_remnant());
+                }
+                GroupMsg::Shutdown => break,
+            }
+        }
+        self.tracer.flush();
+        None
+    }
+
+    fn execute(
+        &mut self,
+        spec: &TxnSpec,
+        tentative: Option<&Vec<(ObjectId, Value)>>,
+    ) -> TxnOutcome {
+        self.tick += 1;
+        run_base_txn(
+            self.node,
+            &mut self.master,
+            &mut self.clock,
+            &mut self.log,
+            &mut self.next_txn,
+            &self.tracer,
+            SimTime(self.tick),
+            spec,
+            tentative,
+        )
+    }
+
+    /// Ship everything committed since `start` (plus the dedup
+    /// outcomes decided alongside) to every peer. Sends to a crashed
+    /// peer queue in its durable inbox and replay on restart.
+    fn ship(&mut self, start: Lsn, decided: Vec<(DedupId, TxnOutcome)>) {
+        let records = self.log.since(start).to_vec();
+        if records.is_empty() && decided.is_empty() {
+            return;
+        }
+        let batch = ReplBatch {
+            epoch: self.epoch,
+            records,
+            outcomes: decided,
+        };
+        let (node, now, lsn) = (self.node, SimTime(self.tick), self.log.head());
+        for (i, peer) in self.peers.iter().enumerate() {
+            if let Some(tx) = peer {
+                let to = NodeId(i as u32);
+                self.tracer
+                    .emit(|| Event::system(now, node, EventKind::ReplicaSend { to, lsn }));
+                let _ = tx.send(GroupMsg::Append {
+                    batch: batch.clone(),
+                });
+            }
+        }
+    }
+
+    /// Absorb a replication batch: fence it if its epoch is stale,
+    /// otherwise adopt the epoch and apply the records this replica
+    /// does not yet hold (log append + master install + clock advance).
+    fn absorb(&mut self, batch: ReplBatch) {
+        if batch.epoch < self.epoch {
+            self.fenced += 1;
+            self.tick += 1;
+            let (node, now) = (self.node, SimTime(self.tick));
+            let (stale, current) = (batch.epoch.0, self.epoch.0);
+            self.tracer
+                .emit(|| Event::system(now, node, EventKind::EpochFenced { stale, current }));
+            return;
+        }
+        self.epoch = batch.epoch;
+        for record in batch.records {
+            if record.lsn < self.log.head() {
+                continue; // already replicated
+            }
+            for u in &record.updates {
+                self.clock.observe(u.new_ts);
+                self.master.apply_lww(u.object, u.new_ts, u.value.clone());
+            }
+            self.next_txn = self.next_txn.max(record.txn.0);
+            self.log.append(record.txn, record.updates);
+        }
+        for (dedup, outcome) in batch.outcomes {
+            self.seen.entry(dedup).or_insert(outcome);
+        }
+    }
+
+    fn into_remnant(self) -> ReplicaRemnant {
+        ReplicaRemnant {
+            inbox: self.inbox,
+            log: self.log,
+            seen: self.seen,
+            epoch: self.epoch,
+            next_txn: self.next_txn,
+            fenced: self.fenced,
+            tick: self.tick,
+        }
+    }
+}
+
+struct GroupInner {
+    senders: Vec<Sender<GroupMsg>>,
+    handles: Vec<Option<JoinHandle<Option<ReplicaRemnant>>>>,
+    remnants: Vec<Option<ReplicaRemnant>>,
+    /// Index of the current primary, `None` while leaderless.
+    primary: Option<usize>,
+    /// The group's epoch as the handle last installed it.
+    epoch: Epoch,
+    /// Driver-advanced logical clock ([`BaseGroup::advance_to`]);
+    /// unavailability windows are measured in these ticks, so the
+    /// metrics are a function of the schedule, not of wall time.
+    now: u64,
+    /// Tick at which the current leaderless interval began.
+    down_since: Option<u64>,
+    /// Every `(epoch, leader)` installation, for the leader-safety
+    /// oracle.
+    leadership: Vec<(u64, NodeId)>,
+    /// Every `(repl_seq, epoch)` acknowledged to a client, for the
+    /// lost-commit oracle.
+    acked: Vec<(u64, u64)>,
+    elections: u64,
+    metrics: RunMetrics,
+    tracer: SyncTraceHandle,
+    db_size: u64,
+    initial_value: i64,
+}
+
+impl GroupInner {
+    fn live(&self, idx: usize) -> bool {
+        self.handles[idx].is_some()
+    }
+
+    /// Join any replica thread that exited on its own (a commit-crash)
+    /// and keep its remnant, demoting it from the primary slot.
+    fn reap(&mut self) {
+        for i in 0..self.handles.len() {
+            if self.handles[i].as_ref().is_some_and(|h| h.is_finished()) {
+                self.collect(i);
+            }
+        }
+    }
+
+    /// Join replica `idx` (blocking until its thread exits) and keep
+    /// its remnant. Starts the unavailability clock if it was primary.
+    fn collect(&mut self, idx: usize) {
+        if let Some(h) = self.handles[idx].take() {
+            let remnant = h.join().expect("replica thread panicked");
+            self.remnants[idx] = Some(remnant.expect("dead replica must yield a remnant"));
+            if self.primary == Some(idx) {
+                self.primary = None;
+                self.down_since.get_or_insert(self.now);
+            }
+        }
+    }
+
+    fn status(&self, idx: usize) -> Option<ReplicaStatus> {
+        let (tx, rx) = unbounded();
+        self.senders[idx]
+            .send(GroupMsg::Status { reply: tx })
+            .ok()?;
+        rx.recv_timeout(LIVE_TIMEOUT).ok()
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn fetch_log(
+        &self,
+        idx: usize,
+        from: Lsn,
+    ) -> Option<(Vec<CommitRecord>, Vec<(DedupId, TxnOutcome)>)> {
+        let (tx, rx) = unbounded();
+        self.senders[idx]
+            .send(GroupMsg::FetchLog { from, reply: tx })
+            .ok()?;
+        rx.recv_timeout(LIVE_TIMEOUT).ok()
+    }
+
+    /// Return the current primary, electing one first if the old one is
+    /// dead. `Err` carries the degraded outcome (no electable quorum).
+    fn ensure_primary(&mut self) -> Result<usize, ElectionOutcome> {
+        self.reap();
+        if let Some(p) = self.primary {
+            return Ok(p);
+        }
+        match self.elect() {
+            ElectionOutcome::Elected { .. } => Ok(self.primary.expect("just elected")),
+            outcome @ ElectionOutcome::NoQuorum { .. } => Err(outcome),
+        }
+    }
+
+    /// Run a deterministic election among the live replicas: gather
+    /// statuses, nominate with [`pick_candidate`]
+    /// (longest-log-then-lowest-id), and hold vote rounds until the
+    /// nominee reaches a majority of the full group. On success the
+    /// winner is installed, lagging survivors are caught up by
+    /// anti-entropy log transfer, and the failover metrics are
+    /// recorded.
+    ///
+    /// [`pick_candidate`]: crate::election::pick_candidate
+    fn elect(&mut self) -> ElectionOutcome {
+        let n = self.senders.len();
+        let need = election::quorum(n);
+        let mut survivors: Vec<(usize, Candidate)> = Vec::new();
+        for i in 0..n {
+            if !self.live(i) {
+                continue;
+            }
+            if let Some(s) = self.status(i) {
+                survivors.push((
+                    i,
+                    Candidate {
+                        node: NodeId(i as u32),
+                        epoch: s.epoch,
+                        head: s.head,
+                    },
+                ));
+            }
+        }
+        if survivors.len() < need {
+            return ElectionOutcome::NoQuorum {
+                live: survivors.len(),
+                need,
+            };
+        }
+        let cands: Vec<Candidate> = survivors.iter().map(|(_, c)| *c).collect();
+        let cand = election::pick_candidate(&cands).expect("survivors checked non-empty");
+        let max_seen = cands.iter().map(|c| c.epoch).max().unwrap_or(self.epoch);
+        let mut floor = self.epoch.max(max_seen);
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            let proposed = Epoch(floor.0 + 1);
+            let req = VoteRequest {
+                epoch: proposed,
+                candidate: cand.node,
+                head: cand.head,
+            };
+            let mut tally = Tally::new(n);
+            for (i, _) in &survivors {
+                let (tx, rx) = unbounded();
+                if self.senders[*i]
+                    .send(GroupMsg::RequestVote { req, reply: tx })
+                    .is_err()
+                {
+                    continue;
+                }
+                if let Ok(reply) = rx.recv_timeout(LIVE_TIMEOUT) {
+                    tally.record(reply);
+                }
+            }
+            if tally.elected() {
+                return self.install(cand, proposed, rounds, &survivors);
+            }
+            floor = floor.max(tally.max_epoch);
+            if rounds >= 4 {
+                // Cannot happen with the sequential handle (the first
+                // round always succeeds), but bound the loop anyway.
+                return ElectionOutcome::NoQuorum {
+                    live: tally.granted(),
+                    need,
+                };
+            }
+        }
+    }
+
+    fn install(
+        &mut self,
+        cand: Candidate,
+        epoch: Epoch,
+        rounds: u32,
+        survivors: &[(usize, Candidate)],
+    ) -> ElectionOutcome {
+        let leader_idx = cand.node.0 as usize;
+        let (tx, rx) = unbounded();
+        self.senders[leader_idx]
+            .send(GroupMsg::BecomePrimary { epoch, reply: tx })
+            .expect("leader channel open");
+        let head = rx
+            .recv_timeout(LIVE_TIMEOUT)
+            .expect("elected leader must answer");
+        self.epoch = epoch;
+        self.primary = Some(leader_idx);
+        self.leadership.push((epoch.0, cand.node));
+        self.elections += 1;
+        let (now, e, leader) = (SimTime(self.now), epoch.0, cand.node);
+        self.tracer
+            .emit(|| Event::system(now, leader, EventKind::LeaderElected { epoch: e, leader }));
+        // Anti-entropy: bring lagging survivors up to the new leader's
+        // log, so a follow-up failover can promote any of them without
+        // losing acknowledged commits.
+        for (i, c) in survivors {
+            if *i == leader_idx || c.head >= head {
+                continue;
+            }
+            if let Some((records, outcomes)) = self.fetch_log(leader_idx, Lsn(c.head)) {
+                let (tx, rx) = unbounded();
+                if self.senders[*i]
+                    .send(GroupMsg::CatchUp {
+                        epoch,
+                        records,
+                        outcomes,
+                        reply: tx,
+                    })
+                    .is_ok()
+                {
+                    let _ = rx.recv_timeout(LIVE_TIMEOUT);
+                }
+            }
+        }
+        let down = self
+            .now
+            .saturating_sub(self.down_since.take().unwrap_or(self.now));
+        self.metrics.record_value("failover_unavailability", down);
+        self.metrics
+            .record_value("election_rounds", u64::from(rounds));
+        ElectionOutcome::Elected {
+            leader: cand.node,
+            epoch,
+            rounds,
+        }
+    }
+
+    fn shutdown_all(&mut self) {
+        for i in 0..self.senders.len() {
+            let _ = self.senders[i].send(GroupMsg::Shutdown);
+            if let Some(h) = self.handles[i].take() {
+                let _ = h.join();
+            }
+            self.remnants[i] = None;
+        }
+    }
+}
+
+/// The replicated base tier: `n` replica threads, one primary at a
+/// time. The primary executes base transactions and ships its commit
+/// log to the backups with its epoch attached; backups fence
+/// stale-epoch batches. When the primary dies the handle runs a
+/// deterministic election ([`crate::election`]) among the survivors —
+/// longest replicated log wins, node id breaks ties — and the winner
+/// completes anti-entropy catch-up of the laggards before the group
+/// accepts writes again. Below an electable quorum the group degrades
+/// to [`BaseGroup::stale_read`] and unanswered (queued-for-retry)
+/// syncs instead of panicking.
+///
+/// Mobiles are oblivious to all of this: [`BaseGroup`] implements
+/// [`SyncTarget`], and the [`DedupId`] outcomes replicate alongside
+/// the commit records, so a sync retried across a failover gets its
+/// recorded fate from the *new* primary instead of executing twice.
+///
+/// ```
+/// use repl_cluster::two_tier::{BaseGroup, MobileNode};
+/// use repl_core::{Criterion, Op, Operation, TxnSpec};
+/// use repl_storage::{NodeId, ObjectId, Value};
+///
+/// let group = BaseGroup::spawn(3, 4, 100);
+/// let mut mobile = MobileNode::new(NodeId(100), 4, 100);
+/// mobile.execute_tentative(
+///     TxnSpec::new(vec![Operation::new(ObjectId(0), Op::Debit(30))])
+///         .with_criterion(Criterion::NonNegative),
+/// );
+/// group.try_crash(0); // kill the primary
+/// let outcome = mobile.sync_with_retry(&group, 8).expect("failover");
+/// assert_eq!(outcome.accepted, 1);
+/// assert_eq!(group.epoch(), 2); // a new leader took over
+/// group.shutdown();
+/// ```
+pub struct BaseGroup {
+    inner: RefCell<GroupInner>,
+}
+
+impl BaseGroup {
+    /// Spawn a group of `replicas` base replicas over a
+    /// `db_size`-object master database initialized to
+    /// `initial_value`. Replica 0 starts as the primary of epoch 1.
+    ///
+    /// # Panics
+    /// If `replicas` is zero or a thread cannot be spawned.
+    pub fn spawn(replicas: usize, db_size: u64, initial_value: i64) -> Self {
+        BaseGroup::spawn_traced(replicas, db_size, initial_value, SyncTraceHandle::off())
+    }
+
+    /// Like [`BaseGroup::spawn`], with telemetry: replicas and the
+    /// group control plane emit commit, replication, election, fence,
+    /// and catch-up events through `tracer`. Replica `i` reports as
+    /// `NodeId(i)`; give mobiles ids outside `0..replicas`.
+    pub fn spawn_traced(
+        replicas: usize,
+        db_size: u64,
+        initial_value: i64,
+        tracer: SyncTraceHandle,
+    ) -> Self {
+        assert!(replicas > 0, "base group needs at least one replica");
+        let channels: Vec<(Sender<GroupMsg>, Receiver<GroupMsg>)> =
+            (0..replicas).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<GroupMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let mut handles = Vec::with_capacity(replicas);
+        for (i, (_, rx)) in channels.into_iter().enumerate() {
+            let mut master = ObjectStore::new(db_size);
+            for o in 0..db_size {
+                master.set(ObjectId(o), Value::Int(initial_value), Timestamp::ZERO);
+            }
+            let peers = senders
+                .iter()
+                .enumerate()
+                .map(|(j, s)| (j != i).then(|| s.clone()))
+                .collect();
+            let thread = ReplicaThread {
+                node: NodeId(i as u32),
+                is_primary: i == 0,
+                epoch: Epoch(1),
+                master,
+                clock: LamportClock::new(NodeId(i as u32)),
+                log: repl_storage::CommitLog::new(),
+                seen: HashMap::new(),
+                fenced: 0,
+                peers,
+                inbox: rx,
+                next_txn: 0,
+                commit_crashes: 0,
+                tracer: tracer.clone(),
+                tick: 0,
+            };
+            handles.push(Some(
+                std::thread::Builder::new()
+                    .name(format!("base-replica-{i}"))
+                    .spawn(move || thread.run())
+                    .expect("failed to spawn base replica"),
+            ));
+        }
+        tracer.emit(|| {
+            Event::system(
+                SimTime(0),
+                NodeId(0),
+                EventKind::LeaderElected {
+                    epoch: 1,
+                    leader: NodeId(0),
+                },
+            )
+        });
+        BaseGroup {
+            inner: RefCell::new(GroupInner {
+                senders,
+                handles,
+                remnants: (0..replicas).map(|_| None).collect(),
+                primary: Some(0),
+                epoch: Epoch(1),
+                now: 0,
+                down_since: None,
+                leadership: vec![(1, NodeId(0))],
+                acked: Vec::new(),
+                elections: 0,
+                metrics: RunMetrics::new(),
+                tracer,
+                db_size,
+                initial_value,
+            }),
+        }
+    }
+
+    /// Advance the group's logical clock to `tick` (monotonic; earlier
+    /// values are ignored). Unavailability windows are measured on
+    /// this clock, so the driver that schedules crashes also defines
+    /// the timescale — metrics come out identical run over run.
+    pub fn advance_to(&self, tick: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.now = inner.now.max(tick);
+    }
+
+    /// Number of replicas in the group (live or crashed).
+    pub fn replicas(&self) -> usize {
+        self.inner.borrow().senders.len()
+    }
+
+    /// Crash replica `idx` (see [`BaseGroup::try_crash`]).
+    ///
+    /// # Panics
+    /// If the replica is already crashed.
+    pub fn crash(&self, idx: usize) {
+        assert!(self.try_crash(idx), "replica {idx} already crashed");
+    }
+
+    /// Crash replica `idx`: its thread exits, losing the master store
+    /// and clock; the replicated log, dedup map, epoch, and queued
+    /// inbox survive in the remnant. Returns `false` (a no-op) when
+    /// the replica is already down, so overlapping fault-plan crash
+    /// windows degrade to nothing instead of aborting the run. If the
+    /// primary died, the next sync or execute triggers an election.
+    pub fn try_crash(&self, idx: usize) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        inner.reap();
+        if inner.remnants[idx].is_some() || inner.handles[idx].is_none() {
+            return false;
+        }
+        inner.senders[idx]
+            .send(GroupMsg::Crash)
+            .expect("replica channel open");
+        inner.collect(idx);
+        true
+    }
+
+    /// Restart a crashed replica (see [`BaseGroup::try_restart`]).
+    ///
+    /// # Panics
+    /// If the replica is not crashed.
+    pub fn restart(&self, idx: usize) -> u64 {
+        self.try_restart(idx).expect("restarting a live replica")
+    }
+
+    /// Restart a crashed replica: rebuild the master database by
+    /// replaying the durable replicated log, rejoin as a *backup* at
+    /// the handle's current epoch — queued appends from a deposed
+    /// primary replay beneath that epoch and get fenced rather than
+    /// resurrecting a stale reign — and complete anti-entropy catch-up
+    /// from the current primary, if one exists. Returns the number of
+    /// replayed log records, or `None` (a no-op) if the replica is not
+    /// crashed. A restarted replica never resumes primaryship by
+    /// itself; it must win an election.
+    pub fn try_restart(&self, idx: usize) -> Option<u64> {
+        let mut inner = self.inner.borrow_mut();
+        inner.reap();
+        let remnant = inner.remnants[idx].take()?;
+        let node = NodeId(idx as u32);
+        let mut master = ObjectStore::new(inner.db_size);
+        for o in 0..inner.db_size {
+            master.set(
+                ObjectId(o),
+                Value::Int(inner.initial_value),
+                Timestamp::ZERO,
+            );
+        }
+        let mut clock = LamportClock::new(node);
+        let mut replayed = 0;
+        for record in remnant.log.since(Lsn(0)) {
+            replayed += 1;
+            for u in &record.updates {
+                clock.observe(u.new_ts);
+                master.set(u.object, u.value.clone(), u.new_ts);
+            }
+        }
+        let now = SimTime(remnant.tick);
+        inner
+            .tracer
+            .emit(|| Event::system(now, node, EventKind::RecoveryReplay { messages: replayed }));
+        inner
+            .tracer
+            .emit(|| Event::system(now, node, EventKind::NodeRestart));
+        let peers = inner
+            .senders
+            .iter()
+            .enumerate()
+            .map(|(j, s)| (j != idx).then(|| s.clone()))
+            .collect();
+        let thread = ReplicaThread {
+            node,
+            is_primary: false,
+            epoch: inner.epoch.max(remnant.epoch),
+            master,
+            clock,
+            log: remnant.log,
+            seen: remnant.seen,
+            fenced: remnant.fenced,
+            peers,
+            inbox: remnant.inbox,
+            next_txn: remnant.next_txn,
+            commit_crashes: 0,
+            tracer: inner.tracer.clone(),
+            tick: remnant.tick,
+        };
+        inner.handles[idx] = Some(
+            std::thread::Builder::new()
+                .name(format!("base-replica-{idx}"))
+                .spawn(move || thread.run())
+                .expect("failed to respawn base replica"),
+        );
+        // Anti-entropy from the current primary. The status probe also
+        // acts as a barrier: the rejoiner answers it only after
+        // replaying (or fencing) every append queued while it was down.
+        if let Some(p) = inner.primary.filter(|p| *p != idx) {
+            if let (Some(mine), Some(theirs)) = (inner.status(idx), inner.status(p)) {
+                if mine.head < theirs.head {
+                    if let Some((records, outcomes)) = inner.fetch_log(p, Lsn(mine.head)) {
+                        let epoch = inner.epoch;
+                        let (tx, rx) = unbounded();
+                        if inner.senders[idx]
+                            .send(GroupMsg::CatchUp {
+                                epoch,
+                                records,
+                                outcomes,
+                                reply: tx,
+                            })
+                            .is_ok()
+                        {
+                            let _ = rx.recv_timeout(LIVE_TIMEOUT);
+                        }
+                    }
+                }
+            }
+        }
+        Some(replayed)
+    }
+
+    /// Whether replica `idx` is currently crashed.
+    pub fn is_crashed(&self, idx: usize) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        inner.reap();
+        inner.handles[idx].is_none()
+    }
+
+    /// Whether enough replicas are live to elect (or keep) a primary.
+    pub fn has_quorum(&self) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        inner.reap();
+        let live = (0..inner.senders.len()).filter(|i| inner.live(*i)).count();
+        live >= election::quorum(inner.senders.len())
+    }
+
+    /// Execute a transaction at the primary (a connected client),
+    /// electing one first if necessary. `None` when the group is below
+    /// quorum or the primary died mid-request (retry after a restart).
+    pub fn execute(&self, spec: TxnSpec) -> Option<TxnOutcome> {
+        let mut inner = self.inner.borrow_mut();
+        let p = inner.ensure_primary().ok()?;
+        let (tx, rx) = unbounded();
+        inner.senders[p]
+            .send(GroupMsg::Execute { spec, reply: tx })
+            .ok()?;
+        match rx.recv_timeout(LIVE_TIMEOUT) {
+            Ok((outcome, seq)) => {
+                if seq > 0 {
+                    let e = inner.epoch.0;
+                    inner.acked.push((seq, e));
+                }
+                Some(outcome)
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                inner.collect(p);
+                None
+            }
+            Err(RecvTimeoutError::Timeout) => None,
+        }
+    }
+
+    /// Snapshot the primary's master database. `None` when no primary
+    /// is electable.
+    pub fn snapshot(&self) -> Option<ObjectStore> {
+        let mut inner = self.inner.borrow_mut();
+        let p = inner.ensure_primary().ok()?;
+        let (tx, rx) = unbounded();
+        inner.senders[p]
+            .send(GroupMsg::Snapshot { reply: tx })
+            .ok()?;
+        rx.recv_timeout(LIVE_TIMEOUT).ok()
+    }
+
+    /// Read `obj` from any live replica — primary first, else the
+    /// lowest-numbered live backup. This is the degraded-mode path: it
+    /// works below quorum (possibly stale) and returns `None` only
+    /// when every replica is down.
+    pub fn stale_read(&self, obj: ObjectId) -> Option<Value> {
+        let mut inner = self.inner.borrow_mut();
+        inner.reap();
+        let n = inner.senders.len();
+        let order = inner.primary.into_iter().chain(0..n);
+        for idx in order {
+            if !inner.live(idx) {
+                continue;
+            }
+            let (tx, rx) = unbounded();
+            if inner.senders[idx]
+                .send(GroupMsg::Read { obj, reply: tx })
+                .is_err()
+            {
+                continue;
+            }
+            if let Ok(v) = rx.recv_timeout(LIVE_TIMEOUT) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Make the primary's next committing sync commit and replicate,
+    /// then crash before replying — the mid-`try_sync` failover
+    /// scenario. Returns `false` below quorum.
+    pub fn inject_commit_crash(&self) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let Ok(p) = inner.ensure_primary() else {
+            return false;
+        };
+        inner.senders[p].send(GroupMsg::InjectCommitCrash).is_ok()
+    }
+
+    /// The group's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.borrow().epoch.0
+    }
+
+    /// The current primary, if one is installed (stale until the next
+    /// request discovers a crash).
+    pub fn primary(&self) -> Option<NodeId> {
+        let mut inner = self.inner.borrow_mut();
+        inner.reap();
+        inner.primary.map(|i| NodeId(i as u32))
+    }
+
+    /// Completed elections (leadership changes after the initial
+    /// primary).
+    pub fn elections(&self) -> u64 {
+        self.inner.borrow().elections
+    }
+
+    /// Every `(epoch, leader)` installation so far, in order.
+    pub fn leadership(&self) -> Vec<(u64, NodeId)> {
+        self.inner.borrow().leadership.clone()
+    }
+
+    /// Acknowledged writes so far, as `(repl_seq, epoch)` pairs.
+    pub fn acked(&self) -> Vec<(u64, u64)> {
+        self.inner.borrow().acked.clone()
+    }
+
+    /// Total stale-epoch messages fenced across all replicas (live and
+    /// crashed).
+    pub fn fenced(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        inner.reap();
+        let n = inner.senders.len();
+        let mut total = 0;
+        for i in 0..n {
+            if let Some(r) = &inner.remnants[i] {
+                total += r.fenced;
+            } else if inner.live(i) {
+                if let Some(s) = inner.status(i) {
+                    total += s.fenced;
+                }
+            }
+        }
+        total
+    }
+
+    /// The failover metrics collected so far: the
+    /// `failover_unavailability` and `election_rounds` histograms (in
+    /// driver ticks and vote rounds respectively).
+    pub fn metrics(&self) -> RunMetrics {
+        self.inner.borrow().metrics.clone()
+    }
+
+    /// Run the failover oracles: at-most-one-primary-per-epoch over
+    /// the whole leadership history, and no-acknowledged-commit-lost
+    /// against the current primary's log. Empty means the run was
+    /// clean. Durability is vacuously clean while the group is below
+    /// quorum (nothing new was elected, so nothing can have been
+    /// lost yet).
+    pub fn verify(&self) -> Vec<repl_check::Violation> {
+        let mut inner = self.inner.borrow_mut();
+        let mut out = Vec::new();
+        if let Some(v) = repl_check::check_leader_safety(&inner.leadership) {
+            out.push(v);
+        }
+        if let Ok(p) = inner.ensure_primary() {
+            if let Some(s) = inner.status(p) {
+                if let Some(v) = repl_check::check_acked_durability(&inner.acked, s.head) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Shut every replica down.
+    pub fn shutdown(self) {
+        self.inner.borrow_mut().shutdown_all();
+    }
+}
+
+impl SyncTarget for BaseGroup {
+    /// One sync round-trip against the group's primary, electing one
+    /// first if the old primary is dead. `None` when the group is
+    /// below quorum (degraded: the mobile keeps its tentative queue)
+    /// or the primary died mid-sync — the retry is exactly-once by
+    /// [`DedupId`], even when a different replica answers it.
+    fn try_sync(&self, pendings: Vec<Pending>, from: Lsn, timeout: Duration) -> Option<SyncReply> {
+        let mut inner = self.inner.borrow_mut();
+        let p = inner.ensure_primary().ok()?;
+        let (tx, rx) = unbounded();
+        inner.senders[p]
+            .send(GroupMsg::Sync {
+                pendings,
+                from,
+                reply: tx,
+            })
+            .ok()?;
+        match rx.recv_timeout(timeout) {
+            Ok(reply) => {
+                if reply.repl_seq > 0 {
+                    let e = inner.epoch.0;
+                    inner.acked.push((reply.repl_seq, e));
+                }
+                Some(reply)
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // The primary died mid-sync (commit-crash): its reply
+                // sender dropped on thread exit. Collect the corpse so
+                // the next attempt elects a successor.
+                inner.collect(p);
+                None
+            }
+            Err(RecvTimeoutError::Timeout) => None,
+        }
+    }
+}
+
+impl Drop for BaseGroup {
+    fn drop(&mut self) {
+        self.inner.borrow_mut().shutdown_all();
     }
 }
 
@@ -921,5 +2130,207 @@ mod tests {
         assert_eq!(mobile.pending_count(), 0);
         assert_eq!(base.snapshot().get(ObjectId(0)).value, Value::Int(1));
         base.shutdown();
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let policy = RetryPolicy::default();
+        let mut rng = SimRng::stream(0, "test");
+        assert_eq!(policy.backoff(1, &mut rng), Duration::from_millis(1));
+        assert_eq!(policy.backoff(2, &mut rng), Duration::from_millis(2));
+        assert_eq!(policy.backoff(4, &mut rng), Duration::from_millis(8));
+        assert_eq!(policy.backoff(7, &mut rng), Duration::from_millis(64));
+        assert_eq!(policy.backoff(30, &mut rng), Duration::from_millis(64));
+    }
+
+    #[test]
+    fn retry_policy_jitter_is_seeded_and_bounded() {
+        let policy = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        let draw = |seed: u64| {
+            let mut rng = SimRng::stream(seed, "test");
+            (0..6)
+                .map(|a| policy.backoff(a + 1, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        // Deterministic: same seed, same delays.
+        assert_eq!(draw(7), draw(7));
+        // Bounded: within ±jitter/2 of the fixed schedule.
+        for (i, d) in draw(7).iter().enumerate() {
+            let fixed = Duration::from_millis(1 << i).min(Duration::from_millis(64));
+            assert!(
+                *d >= fixed.mul_f64(0.75) && *d <= fixed.mul_f64(1.25),
+                "{d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_serves_syncs_like_a_single_base() {
+        let group = BaseGroup::spawn(3, 4, 100);
+        let mut mobile = MobileNode::new(NodeId(100), 4, 100);
+        mobile.execute_tentative(debit(0, 30));
+        let outcome = mobile.sync(&group);
+        assert_eq!(outcome.accepted, 1);
+        assert_eq!(
+            group.snapshot().unwrap().get(ObjectId(0)).value,
+            Value::Int(70)
+        );
+        assert_eq!(group.epoch(), 1);
+        assert_eq!(group.primary(), Some(NodeId(0)));
+        assert!(group.verify().is_empty());
+        group.shutdown();
+    }
+
+    #[test]
+    fn primary_crash_elects_most_caught_up_backup() {
+        let group = BaseGroup::spawn(3, 4, 100);
+        let mut mobile = MobileNode::new(NodeId(100), 4, 100);
+        mobile.execute_tentative(debit(0, 30));
+        mobile.sync(&group);
+        group.advance_to(5);
+        group.crash(0);
+        group.advance_to(9);
+        // Next sync triggers the election; backups hold the full log,
+        // so the lowest-id backup (1) wins epoch 2.
+        mobile.execute_tentative(debit(0, 20));
+        let outcome = mobile.sync_with_retry(&group, 4).expect("failover sync");
+        assert_eq!(outcome.accepted, 1);
+        assert_eq!(group.primary(), Some(NodeId(1)));
+        assert_eq!(group.epoch(), 2);
+        assert_eq!(group.elections(), 1);
+        // The unavailability window is the 4 ticks between crash and
+        // the election-triggering sync.
+        let m = group.metrics();
+        let h = m.histogram("failover_unavailability").expect("recorded");
+        assert_eq!(h.count(), 1);
+        // No acknowledged commit lost: the new primary serves the full
+        // state.
+        assert_eq!(
+            group.snapshot().unwrap().get(ObjectId(0)).value,
+            Value::Int(50)
+        );
+        assert!(group.verify().is_empty());
+        group.shutdown();
+    }
+
+    #[test]
+    fn commit_crash_failover_replays_cached_outcome_not_double_debit() {
+        let group = BaseGroup::spawn(3, 1, 100);
+        let mut mobile = MobileNode::new(NodeId(100), 1, 100);
+        mobile.execute_tentative(debit(0, 40));
+        // The primary commits and replicates, then dies before the
+        // reply leaves. The retry lands on the *new* primary, whose
+        // replicated dedup map answers from cache — no double debit.
+        assert!(group.inject_commit_crash());
+        let outcome = mobile.sync_with_retry(&group, 6).expect("failover");
+        assert_eq!(outcome.accepted, 1);
+        assert!(group.elections() >= 1);
+        assert_eq!(
+            group.snapshot().unwrap().get(ObjectId(0)).value,
+            Value::Int(60),
+            "exactly one debit across the failover"
+        );
+        assert!(group.verify().is_empty());
+        group.shutdown();
+    }
+
+    #[test]
+    fn below_quorum_degrades_to_stale_reads_and_recovers() {
+        let group = BaseGroup::spawn(3, 2, 100);
+        let mut mobile = MobileNode::new(NodeId(100), 2, 100);
+        mobile.execute_tentative(debit(0, 10));
+        mobile.sync(&group);
+        group.crash(0);
+        group.crash(1);
+        // One survivor of three: no electable quorum. Syncs go
+        // unanswered (the mobile queues), but stale reads still serve.
+        mobile.execute_tentative(debit(0, 5));
+        assert!(mobile.sync_with_retry(&group, 2).is_none());
+        assert_eq!(mobile.pending_count(), 1, "tentative sync queued");
+        assert!(!group.has_quorum());
+        assert_eq!(group.stale_read(ObjectId(0)), Some(Value::Int(90)));
+        // A replica rejoins: quorum is back, the queued sync drains.
+        group.restart(1);
+        assert!(group.has_quorum());
+        let outcome = mobile.sync_with_retry(&group, 4).expect("recovered");
+        assert_eq!(outcome.accepted, 1);
+        assert_eq!(
+            group.snapshot().unwrap().get(ObjectId(0)).value,
+            Value::Int(85)
+        );
+        assert!(group.verify().is_empty());
+        group.shutdown();
+    }
+
+    #[test]
+    fn overlapping_crash_windows_are_noops() {
+        let group = BaseGroup::spawn(3, 1, 10);
+        assert!(group.try_crash(2));
+        assert!(!group.try_crash(2), "second crash of a dead replica");
+        assert!(group.try_restart(2).is_some());
+        assert!(group.try_restart(2).is_none(), "second restart is a no-op");
+        group.shutdown();
+    }
+
+    #[test]
+    fn deposed_primary_rejoins_fenced_and_catches_up() {
+        let group = BaseGroup::spawn(3, 2, 100);
+        let mut mobile = MobileNode::new(NodeId(100), 2, 100);
+        mobile.execute_tentative(debit(0, 10));
+        mobile.sync(&group);
+        group.crash(0);
+        // Epoch 2 under a new primary, with commits the old one missed.
+        mobile.execute_tentative(debit(0, 20));
+        mobile.sync_with_retry(&group, 4).expect("failover");
+        assert_eq!(group.epoch(), 2);
+        // The deposed primary rejoins as a backup and catches up.
+        group.restart(0);
+        assert_eq!(group.primary(), Some(NodeId(1)), "restart does not reclaim");
+        // Kill the current primary: replica 0 is electable again and
+        // must hold the epoch-2 commits it caught up on.
+        group.crash(1);
+        mobile.execute_tentative(debit(0, 30));
+        let outcome = mobile.sync_with_retry(&group, 4).expect("second failover");
+        assert_eq!(outcome.accepted, 1);
+        assert_eq!(group.primary(), Some(NodeId(0)));
+        assert_eq!(
+            group.snapshot().unwrap().get(ObjectId(0)).value,
+            Value::Int(40),
+            "all three debits survive two failovers"
+        );
+        assert!(group.verify().is_empty());
+        group.shutdown();
+    }
+
+    #[test]
+    fn traced_failover_emits_election_events() {
+        use repl_telemetry::RingBuffer;
+        use std::sync::{Arc, Mutex};
+        let ring = Arc::new(Mutex::new(RingBuffer::new(1024)));
+        let tracer = SyncTraceHandle::shared(&ring);
+        let group = BaseGroup::spawn_traced(3, 1, 100, tracer.clone());
+        let mut mobile = MobileNode::new(NodeId(100), 1, 100).with_tracer(tracer);
+        mobile.execute_tentative(debit(0, 10));
+        mobile.sync(&group);
+        // A commit-crash kills the primary mid-sync: the first attempt
+        // dies unanswered (forcing a SyncRetried), the retry elects.
+        group.inject_commit_crash();
+        mobile.execute_tentative(debit(0, 5));
+        mobile.sync_with_retry(&group, 4).expect("failover");
+        group.shutdown();
+        let ring = ring.lock().unwrap();
+        let count = |pred: fn(&EventKind) -> bool| ring.events().filter(|e| pred(&e.kind)).count();
+        assert_eq!(
+            count(|k| matches!(k, EventKind::LeaderElected { .. })),
+            2,
+            "initial leader + failover"
+        );
+        assert!(
+            count(|k| matches!(k, EventKind::SyncRetried { .. })) >= 1,
+            "the failed attempt against the dead primary must be retried"
+        );
     }
 }

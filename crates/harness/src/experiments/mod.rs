@@ -6,6 +6,7 @@ pub mod check;
 pub mod convergent;
 pub mod delusion;
 pub mod eager;
+pub mod failover;
 pub mod hotspot;
 pub mod lazy;
 pub mod quorum;
@@ -148,6 +149,11 @@ pub const ALL: &[Experiment] = &[
         name: "chaos",
         about: "fault injection: partitions, crashes, message chaos under both deadlock policies",
         run: chaos::chaos,
+    },
+    Experiment {
+        name: "failover",
+        about: "replicated base tier: crash rate vs election/unavailability percentiles",
+        run: failover::failover,
     },
     Experiment {
         name: "check",

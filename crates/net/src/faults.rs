@@ -70,6 +70,10 @@ pub struct FaultPlan {
     pub partitions: Vec<PartitionWindow>,
     /// Scheduled crash/restart windows.
     pub crashes: Vec<CrashWindow>,
+    /// Scheduled crash/restart windows addressed at *base replicas*
+    /// (`crash=baseN:S..E`) rather than client/replica nodes — the
+    /// two-tier failover experiments route these at the base group.
+    pub base_crashes: Vec<CrashWindow>,
 }
 
 impl FaultPlan {
@@ -84,6 +88,7 @@ impl FaultPlan {
             retransmit: SimDuration::from_millis(100),
             partitions: Vec::new(),
             crashes: Vec::new(),
+            base_crashes: Vec::new(),
         }
     }
 
@@ -102,6 +107,7 @@ impl FaultPlan {
     /// retransmit=SECS      sender retransmit timeout after a drop
     /// part=S..E:0,1/2,3    partition from S to E seconds, side A / side B
     /// crash=N:S..E         node N down from S to E seconds
+    /// crash=baseN:S..E     base replica N down from S to E seconds
     /// ```
     ///
     /// The side-B node list of `part` is informational (any node not on
@@ -144,13 +150,19 @@ impl FaultPlan {
                     let (node, window) = val
                         .split_once(':')
                         .ok_or_else(|| format!("crash needs NODE:S..E, got `{val}`"))?;
-                    let node = node
-                        .trim()
+                    let node = node.trim();
+                    // `baseN` addresses replica N of the base group;
+                    // a bare integer addresses a client/replica node.
+                    let (target, id) = match node.strip_prefix("base") {
+                        Some(idx) => (&mut plan.base_crashes, idx),
+                        None => (&mut plan.crashes, node),
+                    };
+                    let id = id
                         .parse::<u32>()
-                        .map_err(|_| format!("crash node `{node}` is not an integer"))?;
+                        .map_err(|_| format!("crash node `{node}` is not an integer or baseN"))?;
                     let (at, restart) = parse_window(window)?;
-                    plan.crashes.push(CrashWindow {
-                        node: NodeId(node),
+                    target.push(CrashWindow {
+                        node: NodeId(id),
                         at,
                         restart,
                     });
@@ -347,6 +359,37 @@ mod tests {
     fn parse_side_b_optional() {
         let plan = FaultPlan::parse("part=1..2:5", 1).unwrap();
         assert_eq!(plan.partitions[0].side_a, vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn parse_base_crash_windows() {
+        let plan =
+            FaultPlan::parse("crash=base0:5..9; crash=1:2..3; crash=base2:10..12", 1).unwrap();
+        assert_eq!(
+            plan.base_crashes,
+            vec![
+                CrashWindow {
+                    node: NodeId(0),
+                    at: SimTime::from_secs(5),
+                    restart: SimTime::from_secs(9),
+                },
+                CrashWindow {
+                    node: NodeId(2),
+                    at: SimTime::from_secs(10),
+                    restart: SimTime::from_secs(12),
+                },
+            ]
+        );
+        // Plain node crashes still land in `crashes`.
+        assert_eq!(
+            plan.crashes,
+            vec![CrashWindow {
+                node: NodeId(1),
+                at: SimTime::from_secs(2),
+                restart: SimTime::from_secs(3),
+            }]
+        );
+        assert!(FaultPlan::parse("crash=basex:1..2", 1).is_err());
     }
 
     #[test]

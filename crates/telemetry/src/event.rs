@@ -150,6 +150,35 @@ pub enum EventKind {
         /// The object the victim was waiting for.
         object: ObjectId,
     },
+    /// A mobile sync attempt failed and is being retried after backoff.
+    SyncRetried {
+        /// Which retry this is (1 = first re-attempt).
+        attempt: u32,
+    },
+    /// A base-tier election concluded: `leader` is the primary for
+    /// `epoch` (at most one per epoch — the leader-safety invariant).
+    LeaderElected {
+        /// The new epoch (term) number.
+        epoch: u64,
+        /// The elected primary replica.
+        leader: NodeId,
+    },
+    /// A base replica rejected a message stamped with a stale epoch —
+    /// the fence that keeps a deposed primary from splitting the brain.
+    EpochFenced {
+        /// The stale epoch the message carried.
+        stale: u64,
+        /// The replica's current epoch.
+        current: u64,
+    },
+    /// A newly elected primary (or a rejoining replica) finished
+    /// anti-entropy log transfer and is ready to serve.
+    CatchUpComplete {
+        /// The epoch under which catch-up ran.
+        epoch: u64,
+        /// Replicated log records transferred.
+        records: u64,
+    },
 }
 
 /// One observed occurrence: an [`EventKind`] stamped with simulated

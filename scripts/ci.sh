@@ -138,4 +138,47 @@ grep -q "CHECK_CASE" "$check_out" || {
 }
 echo "ok: injected bug caught, shrunk repro line emitted"
 
+say "failover smoke: fixed seed (determinism, metrics schema, zero violations)"
+fo_a="$(mktemp)"
+fo_b="$(mktemp)"
+fo_metrics_a="$(mktemp)"
+fo_metrics_b="$(mktemp)"
+trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$check_out" "$fo_a" "$fo_b" "$fo_metrics_a" "$fo_metrics_b"' EXIT
+./target/release/harness --quick --json --seed 41 --metrics "$fo_metrics_a" failover >"$fo_a"
+./target/release/harness --quick --json --seed 41 --jobs 2 --metrics "$fo_metrics_b" failover >"$fo_b"
+cmp "$fo_a" "$fo_b" || {
+    echo "failover --jobs 2 output differs from the serial run" >&2
+    exit 1
+}
+cmp "$fo_metrics_a" "$fo_metrics_b" || {
+    echo "failover --metrics export differs between serial and --jobs 2" >&2
+    exit 1
+}
+/usr/bin/jq -e '
+    .schema == 1
+    and ([.runs | keys[] | select(startswith("failover/"))] | length > 0)
+    and ([.runs | to_entries[] | select(.key | startswith("failover/"))
+          | .value.histograms["failover_unavailability"].count] | add > 0)
+    and ([.runs | to_entries[] | select(.key | startswith("failover/"))
+          | .value.histograms["election_rounds"].count] | add > 0)
+' "$fo_metrics_a" >/dev/null || {
+    echo "failover metrics JSON failed schema validation" >&2
+    exit 1
+}
+python3 - "$fo_a" <<'EOF'
+import json, sys
+
+table = json.loads(open(sys.argv[1]).read())
+assert table["id"] == "FAILOVER", f"unexpected table id {table['id']!r}"
+assert table["violations"] == [], f"failover oracle violations: {table['violations']}"
+cols = table["headers"]
+rows = [dict(zip(cols, r)) for r in table["rows"]]
+assert rows, "failover table has no rows"
+for row in rows:
+    assert row["safe"] == "yes", f"unsafe failover row: {row}"
+elections = sum(int(r["elections"]) for r in rows)
+assert elections > 0, "failover smoke never elected a leader"
+print(f"ok: failover deterministic, {elections} elections, all rows safe")
+EOF
+
 say "all CI gates passed"

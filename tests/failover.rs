@@ -1,0 +1,119 @@
+//! Failover invariants of the replicated base tier, end to end through
+//! the public facade: a primary killed *mid-sync* must not double-apply
+//! the mobile's tentative transactions, and arbitrary seeded
+//! crash/elect/catch-up schedules must keep the failover oracles green
+//! (at most one primary per epoch, no acknowledged commit lost).
+
+use dangers_of_replication::cluster::two_tier::{BaseGroup, MobileNode, RetryPolicy};
+use dangers_of_replication::core::{Criterion, Op, Operation, TxnSpec};
+use dangers_of_replication::sim::SimRng;
+use dangers_of_replication::storage::{NodeId, ObjectId, Value};
+use std::time::Duration;
+
+fn debit(obj: u64, amount: i64) -> TxnSpec {
+    TxnSpec::new(vec![Operation::new(ObjectId(obj), Op::Debit(amount))])
+        .with_criterion(Criterion::NonNegative)
+}
+
+/// Retries in these tests are logical, not load tests: keep the
+/// backoff tiny so a failover costs microseconds of wall clock.
+fn fast_retry(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_micros(50),
+        cap: Duration::from_micros(400),
+        jitter: 0.5,
+        seed,
+        attempt_timeout: Duration::from_secs(2),
+    }
+}
+
+/// The paper's exactly-once guarantee must survive a change of
+/// primary: the primary commits a sync batch, replicates it, and dies
+/// before acknowledging. The mobile's retry re-submits the same
+/// [`DedupId`]s to whichever replica wins the election, and the
+/// replicated dedup map answers from cache — one debit, not two.
+#[test]
+fn primary_killed_mid_sync_does_not_double_debit() {
+    let group = BaseGroup::spawn(3, 2, 100);
+    let mut mobile = MobileNode::new(NodeId(100), 2, 100).with_retry_policy(fast_retry(7));
+    // A clean sync first, so the crash interrupts a warm session.
+    mobile.execute_tentative(debit(0, 10));
+    assert_eq!(
+        mobile.sync_with_retry(&group, 4).expect("warmup").accepted,
+        1
+    );
+
+    mobile.execute_tentative(debit(0, 40));
+    assert!(group.inject_commit_crash(), "no live primary to arm");
+    let outcome = mobile.sync_with_retry(&group, 8).expect("failover sync");
+    assert_eq!(outcome.accepted, 1, "replay answered from the dedup cache");
+    assert!(group.elections() >= 1, "the crash must have elected");
+    assert_eq!(group.epoch(), 2, "one failover, one epoch bump");
+    assert_eq!(
+        group.snapshot().expect("quorum").get(ObjectId(0)).value,
+        Value::Int(50),
+        "exactly one 10-debit and one 40-debit across the failover"
+    );
+    assert_eq!(group.verify(), vec![], "failover oracles");
+    group.shutdown();
+}
+
+/// 100 seeds of randomized crash / election / catch-up schedules. Every
+/// seed must end with the leader-safety and acked-durability oracles
+/// green, every queued tentative transaction eventually applied, and
+/// the group's epoch equal to one plus the election count.
+#[test]
+fn fuzz_crash_elect_catch_up_keeps_oracles_green() {
+    const REPLICAS: usize = 3;
+    const TICKS: u64 = 40;
+    const DB: u64 = 4;
+    for seed in 0..100u64 {
+        let group = BaseGroup::spawn(REPLICAS, DB, 1_000_000);
+        let mut mobiles: Vec<MobileNode> = (0..2)
+            .map(|i| {
+                MobileNode::new(NodeId(200 + i), DB, 1_000_000).with_retry_policy(fast_retry(seed))
+            })
+            .collect();
+        let mut rng = SimRng::stream(seed, "failover-fuzz");
+        let mut down_until = [0u64; REPLICAS];
+        for t in 0..TICKS {
+            group.advance_to(t);
+            for (i, due) in down_until.iter_mut().enumerate() {
+                if *due != 0 && *due <= t {
+                    group.try_restart(i);
+                    *due = 0;
+                }
+                // ~5% per replica per tick: hot enough that most seeds
+                // see several elections and a few below-quorum windows.
+                if rng.chance(0.05) && group.try_crash(i) {
+                    *due = t + 1 + rng.gen_range(8);
+                }
+            }
+            let m = (t % 2) as usize;
+            mobiles[m].execute_tentative(debit(rng.gen_range(DB), 1 + rng.gen_range(5) as i64));
+            if t % 3 == 0 {
+                // May fail below quorum; the queue survives for later.
+                let _ = mobiles[m].sync_with_retry(&group, 2);
+            }
+        }
+        // Heal everything and drain the queues.
+        group.advance_to(TICKS);
+        for i in 0..REPLICAS {
+            group.try_restart(i);
+        }
+        for mobile in &mut mobiles {
+            assert!(
+                mobile.sync_with_retry(&group, 6).is_some(),
+                "seed {seed}: drain sync failed against a healed group"
+            );
+            assert_eq!(mobile.pending_count(), 0, "seed {seed}: queue not drained");
+        }
+        assert_eq!(group.verify(), vec![], "seed {seed}: oracle violation");
+        assert_eq!(
+            group.epoch(),
+            1 + group.elections(),
+            "seed {seed}: epoch must advance exactly once per election"
+        );
+        group.shutdown();
+    }
+}
