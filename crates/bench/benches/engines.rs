@@ -51,6 +51,20 @@ fn bench_engines(c: &mut Criterion) {
             black_box(LazyGroupSim::new(c, Mobility::Connected).run())
         });
     });
+    g.bench_function("lazy_group_sharded", |b| {
+        // The scaleout configuration at bench scale: 8 nodes, shards =
+        // nodes, rf = 3, 10% cross-shard — partial stores, filtered
+        // fan-out, and the forward-root path all on the hot loop. This
+        // is the median the bench.sh regression gate tracks for the
+        // sharded substrate.
+        b.iter(|| {
+            let p = Params::new(500.0, 8.0, 10.0, 4.0, 0.01);
+            let c = SimConfig::from_params(&p, 30, 8)
+                .with_shards(8, 3)
+                .with_cross_shard(0.10);
+            black_box(LazyGroupSim::new(c, Mobility::Connected).run())
+        });
+    });
     g.bench_function("lazy_group_mobile", |b| {
         b.iter(|| {
             let mobility = Mobility::Cycling {

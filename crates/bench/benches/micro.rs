@@ -156,6 +156,19 @@ fn bench_samplers(c: &mut Criterion) {
     g.bench_function("zipf_distinct_4", |b| {
         b.iter(|| black_box(zipf.sample_distinct(&mut rng, 4)));
     });
+    // The raw draw-k-distinct-of-n path across both regimes: rejection
+    // sampling at small k, the partial Fisher–Yates scratch path once
+    // k crosses the threshold (sharded nodes draw k = Actions from
+    // their hosted-object count, so large k is a real workload now).
+    let mut scratch = Vec::new();
+    for k in [4usize, 16, 64, 256] {
+        g.bench_function(&format!("sample_distinct_{k}"), |b| {
+            b.iter(|| {
+                rng.sample_distinct_into(100_000, k, &mut scratch);
+                black_box(scratch.len())
+            });
+        });
+    }
     g.bench_function("rng_exp", |b| {
         b.iter(|| black_box(rng.exp(0.1)));
     });

@@ -426,23 +426,34 @@ fn check_acceptances(acceptances: &VecDeque<AcceptanceRecord>, violations: &mut 
     }
 }
 
-/// Compare every final snapshot against the reference; return the
-/// lowest-numbered diverging object with each node's state of it.
+/// Compare the final snapshots; return the lowest-numbered diverging
+/// object with each node's state of it. Snapshots need not cover the
+/// same objects (partial replication ships each node only its hosted
+/// shards): every object is judged across the nodes that actually hold
+/// it, seeded from the reference snapshot, so two replicas of a shard
+/// the reference does not host are still compared against each other.
 fn find_divergence(
     ref_node: Option<NodeId>,
     ref_snap: &[(ObjectId, Versioned)],
     finals: &[(NodeId, Vec<(ObjectId, Versioned)>)],
 ) -> Option<Violation> {
+    let mut consensus: HashMap<ObjectId, &Versioned> =
+        ref_snap.iter().map(|(obj, v)| (*obj, v)).collect();
     let mut worst: Option<ObjectId> = None;
     for (node, snap) in finals {
         if Some(*node) == ref_node {
             continue;
         }
-        for (&(obj, ref rv), &(sobj, ref sv)) in ref_snap.iter().zip(snap.iter()) {
-            debug_assert_eq!(obj, sobj, "snapshots must cover the same objects in order");
-            if rv != sv && worst.is_none_or(|w| obj < w) {
-                worst = Some(obj);
-                break; // later objects on this node can't be lower
+        for (obj, sv) in snap {
+            match consensus.entry(*obj) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(sv);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != sv && worst.is_none_or(|w| *obj < w) {
+                        worst = Some(*obj);
+                    }
+                }
             }
         }
     }
@@ -965,6 +976,41 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn partial_snapshots_converge_on_common_objects_only() {
+        use repl_storage::ShardMap;
+        // 4 objects, 4 shards, rf=2 over 4 nodes: every node hosts a
+        // different pair of shards, so whole-store digests differ by
+        // construction — the oracle must only judge shared objects.
+        let map = ShardMap::new(4, 4, 2);
+        let stores: Vec<(NodeId, ObjectStore)> = (0..4)
+            .map(|n| (NodeId(n), ObjectStore::sharded(4, &map, NodeId(n))))
+            .collect();
+        assert!(check_store_convergence(&stores).is_none());
+        // Diverge one object at one of its two replicas; the reference
+        // node (0) does not host every object, so the mismatch must be
+        // caught between the two non-reference holders too.
+        let mut stores = stores;
+        let victim = ObjectId(1);
+        let holder = stores
+            .iter_mut()
+            .rev()
+            .find(|(n, _)| map.hosts_object(*n, victim))
+            .expect("rf=2 gives two holders");
+        holder.1.set(victim, Value::Int(99), ts(9, holder.0 .0));
+        let v = check_store_convergence(&stores);
+        assert!(
+            matches!(
+                v,
+                Some(Violation::Divergence {
+                    object: ObjectId(1),
+                    ..
+                })
+            ),
+            "{v:?}"
+        );
     }
 
     #[test]

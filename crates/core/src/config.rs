@@ -3,6 +3,7 @@
 use repl_model::Params;
 use repl_net::LatencyModel;
 use repl_sim::{AccessPattern, SimDuration, SimTime};
+use repl_storage::ShardMap;
 
 /// How the engines resolve deadlocks (paper §2: "locking detects
 /// potential anomalies and converts them to waits or deadlocks", and in
@@ -66,6 +67,20 @@ pub struct SimConfig {
     /// histogram). Only the bench overhead guard turns this on, as the
     /// baseline side of its "metrics cost <5%" comparison.
     pub lean_metrics: bool,
+    /// Number of keyspace shards (0 = unsharded, the default). With
+    /// sharding on, object `o` belongs to shard `o mod shards` and each
+    /// shard is replicated at `rf` nodes ([`ShardMap`]).
+    pub shards: u32,
+    /// Replication factor per shard. 0 means `nodes` (full
+    /// replication); `rf >= nodes` also reproduces today's full
+    /// replication byte-identically — engines keep their unsharded
+    /// paths whenever [`SimConfig::shard_map`] returns `None`.
+    pub rf: u32,
+    /// Probability (per root transaction) that a sharded workload draws
+    /// its objects from the *whole* keyspace instead of the
+    /// originating node's hosted subset — a genuine multi-shard
+    /// transaction routed through the cross-shard coordinator path.
+    pub cross_shard: f64,
 }
 
 impl SimConfig {
@@ -86,6 +101,9 @@ impl SimConfig {
             deadlock: DeadlockPolicy::Detection,
             propagation_batch: 1,
             lean_metrics: false,
+            shards: 0,
+            rf: 0,
+            cross_shard: 0.0,
         }
     }
 
@@ -145,6 +163,48 @@ impl SimConfig {
         self
     }
 
+    /// Builder-style sharding override: split the keyspace into
+    /// `shards` shards replicated at `rf` nodes each. `shards == 0`
+    /// turns sharding off; `rf == 0` (or `rf >= nodes`) means full
+    /// replication, which runs the engines' unsharded code paths and is
+    /// byte-identical to not sharding at all.
+    #[must_use]
+    pub fn with_shards(mut self, shards: u32, rf: u32) -> Self {
+        self.shards = shards;
+        self.rf = if shards == 0 { 0 } else { rf };
+        self
+    }
+
+    /// Builder-style cross-shard transaction rate (clamped to [0, 1]).
+    /// Only meaningful when a partial [`SimConfig::shard_map`] is
+    /// active.
+    #[must_use]
+    pub fn with_cross_shard(mut self, rate: f64) -> Self {
+        self.cross_shard = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The effective replication factor (`rf == 0` means `nodes`,
+    /// anything larger is clamped to `nodes`).
+    pub fn effective_rf(&self) -> u32 {
+        if self.rf == 0 {
+            self.nodes
+        } else {
+            self.rf.min(self.nodes)
+        }
+    }
+
+    /// The shard layout for this run, or `None` when the configuration
+    /// amounts to full replication (unsharded, or `rf >= nodes`) — the
+    /// engines then keep their original code paths, which is what makes
+    /// `--shards K --rf Nodes` byte-identical to an unsharded run.
+    pub fn shard_map(&self) -> Option<ShardMap> {
+        if self.shards == 0 || self.effective_rf() >= self.nodes {
+            return None;
+        }
+        Some(ShardMap::new(self.shards, self.nodes, self.effective_rf()))
+    }
+
     /// Mean inter-arrival time of one node's Poisson process.
     pub fn mean_interarrival_secs(&self) -> f64 {
         1.0 / self.tps
@@ -194,6 +254,32 @@ mod tests {
         assert_eq!(c.with_propagation_batch(8).propagation_batch, 8);
         // 0 is nonsensical; clamp to the per-txn behaviour.
         assert_eq!(c.with_propagation_batch(0).propagation_batch, 1);
+    }
+
+    #[test]
+    fn shard_map_none_unless_partial() {
+        let p = Params::default().with_nodes(4.0);
+        let c = SimConfig::from_params(&p, 10, 1);
+        assert!(c.shard_map().is_none(), "unsharded");
+        // rf = 0 means full replication: still no map.
+        assert!(c.with_shards(8, 0).shard_map().is_none());
+        // rf >= nodes is full replication too.
+        assert!(c.with_shards(8, 4).shard_map().is_none());
+        assert!(c.with_shards(8, 9).shard_map().is_none());
+        // A genuinely partial layout yields a map.
+        let m = c.with_shards(8, 2).shard_map().expect("partial map");
+        assert_eq!(m.shards(), 8);
+        assert_eq!(m.rf(), 2);
+        assert!(!m.is_full());
+    }
+
+    #[test]
+    fn cross_shard_rate_clamps() {
+        let c = SimConfig::from_params(&Params::default(), 10, 1);
+        assert_eq!(c.cross_shard, 0.0);
+        assert_eq!(c.with_cross_shard(0.25).cross_shard, 0.25);
+        assert_eq!(c.with_cross_shard(7.0).cross_shard, 1.0);
+        assert_eq!(c.with_cross_shard(-1.0).cross_shard, 0.0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::metrics::{Metrics, Report};
 use repl_check::{Recorder, TxnRecord};
 use repl_sim::{EventQueue, Sampler, SimDuration, SimRng, SimTime};
 use repl_storage::hash::FastMap;
-use repl_storage::{Acquire, LockManager, NodeId, ObjectId, Timestamp, TxnId};
+use repl_storage::{Acquire, LockManager, NodeId, ObjectId, ShardMap, Timestamp, TxnId};
 use repl_telemetry::{AbortReason, Event, EventKind, Profiler, TraceHandle};
 use std::collections::HashMap;
 
@@ -54,12 +54,16 @@ impl ContentionProfile {
     }
 
     /// Eager replication with serial replica updates (the paper's main
-    /// model): each action is applied at every replica in turn.
+    /// model): each action is applied at every replica of its shard in
+    /// turn. With full replication `effective_rf() == nodes` and this
+    /// is exactly the paper's `Action_Time × Nodes`; a partial shard
+    /// map shrinks the fan-out to the replication factor.
     pub fn eager_serial(cfg: &SimConfig) -> Self {
+        let rf = u64::from(cfg.effective_rf());
         ContentionProfile {
-            work_per_action: cfg.action_time.saturating_mul(u64::from(cfg.nodes)),
-            updates_per_action: u64::from(cfg.nodes),
-            messages_per_action: u64::from(cfg.nodes.saturating_sub(1)),
+            work_per_action: cfg.action_time.saturating_mul(rf),
+            updates_per_action: rf,
+            messages_per_action: rf.saturating_sub(1),
         }
     }
 
@@ -67,21 +71,24 @@ impl ContentionProfile {
     /// same work volume, but the transaction's elapsed time per action
     /// stays `Action_Time`.
     pub fn eager_parallel(cfg: &SimConfig) -> Self {
+        let rf = u64::from(cfg.effective_rf());
         ContentionProfile {
             work_per_action: cfg.action_time,
-            updates_per_action: u64::from(cfg.nodes),
-            messages_per_action: u64::from(cfg.nodes.saturating_sub(1)),
+            updates_per_action: rf,
+            messages_per_action: rf.saturating_sub(1),
         }
     }
 
     /// Lazy-master master-copy execution: master transactions take
     /// `Action_Time` per action; each commit fans out one lazy replica
-    /// update per action per slave node (background, does not contend).
+    /// update per action per slave of the shard (background, does not
+    /// contend).
     pub fn lazy_master(cfg: &SimConfig) -> Self {
+        let rf = u64::from(cfg.effective_rf());
         ContentionProfile {
             work_per_action: cfg.action_time,
-            updates_per_action: u64::from(cfg.nodes),
-            messages_per_action: u64::from(cfg.nodes.saturating_sub(1)),
+            updates_per_action: rf,
+            messages_per_action: rf.saturating_sub(1),
         }
     }
 }
@@ -106,6 +113,21 @@ struct ActiveTxn {
     /// `(object, version seen)` per granted lock — captured at grant
     /// time (the oracle's read set). Empty unless a recorder is on.
     reads: Vec<(ObjectId, Timestamp)>,
+    /// Cross-shard coordinator messages this transaction owes at
+    /// commit (one prepare + one commit round per remote shard owner).
+    /// Always 0 outside sharded runs.
+    coord_msgs: u64,
+}
+
+/// Sharded-workload state: the layout plus one sampler per node over
+/// that node's hosted-object index space, so access skew applies within
+/// the hosted subset. `None` for a node that hosts fewer objects than
+/// `Actions` — its transactions always sample the whole keyspace
+/// (i.e. run as cross-shard transactions).
+#[derive(Debug)]
+struct ShardCtx {
+    map: ShardMap,
+    samplers: Vec<Option<Sampler>>,
 }
 
 /// The contention simulator.
@@ -119,6 +141,9 @@ pub struct ContentionSim {
     arrival_rngs: Vec<SimRng>,
     object_rng: SimRng,
     sampler: Sampler,
+    /// `Some` when the run uses a partial shard layout (`None` keeps
+    /// every draw on the original full-replication path).
+    shard: Option<ShardCtx>,
     next_txn: u64,
     metrics: Metrics,
     measure_from: SimTime,
@@ -149,6 +174,16 @@ impl ContentionSim {
             queue.schedule_at(SimTime::ZERO + first, Ev::Arrive(NodeId(node)));
             arrival_rngs.push(rng);
         }
+        let shard = cfg.shard_map().map(|map| {
+            let samplers = (0..cfg.nodes)
+                .map(|n| {
+                    let count = map.hosted_objects(NodeId(n), cfg.db_size);
+                    (count >= cfg.actions as u64 && count > 0)
+                        .then(|| Sampler::new(cfg.access, count))
+                })
+                .collect();
+            ShardCtx { map, samplers }
+        });
         ContentionSim {
             profile,
             queue,
@@ -157,6 +192,7 @@ impl ContentionSim {
             arrival_rngs,
             object_rng: SimRng::stream(cfg.seed, "objects"),
             sampler: Sampler::new(cfg.access, cfg.db_size),
+            shard,
             next_txn: 0,
             metrics: Metrics {
                 lean: cfg.lean_metrics,
@@ -244,12 +280,7 @@ impl ContentionSim {
 
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        let objects = self
-            .sampler
-            .sample_distinct(&mut self.object_rng, self.cfg.actions)
-            .into_iter()
-            .map(ObjectId)
-            .collect();
+        let (objects, coord_msgs) = self.sample_objects(node);
         self.active.insert(
             id,
             ActiveTxn {
@@ -259,11 +290,68 @@ impl ContentionSim {
                 started: self.queue.now(),
                 wait_started: None,
                 reads: Vec::new(),
+                coord_msgs,
             },
         );
         self.tracer
             .emit(|| Event::new(self.queue.now(), node, id, EventKind::TxnBegin));
         self.try_step(id);
+    }
+
+    /// Draw a transaction's object set at `node`, returning the objects
+    /// plus any cross-shard coordinator messages owed at commit.
+    ///
+    /// Unsharded runs sample the whole keyspace exactly as before. A
+    /// sharded run samples the node's *hosted* subset (through the
+    /// per-node sampler, so skew still applies), except that with
+    /// probability `cross_shard` — or always, at a node hosting too few
+    /// objects — the transaction is a genuine multi-shard one: it
+    /// samples the whole keyspace and acquires its locks in **owner
+    /// order** (sorted by each shard's owner node, then object id), the
+    /// minimal distributed-coordinator discipline that keeps two
+    /// cross-shard transactions from deadlocking on lock-order
+    /// inversion alone. Each remote owner costs a prepare and a commit
+    /// message.
+    fn sample_objects(&mut self, node: NodeId) -> (Vec<ObjectId>, u64) {
+        let Some(ctx) = &self.shard else {
+            let objects = self
+                .sampler
+                .sample_distinct(&mut self.object_rng, self.cfg.actions)
+                .into_iter()
+                .map(ObjectId)
+                .collect();
+            return (objects, 0);
+        };
+        let cross = self.object_rng.chance(self.cfg.cross_shard);
+        match &ctx.samplers[node.0 as usize] {
+            Some(local) if !cross => {
+                let objects = local
+                    .sample_distinct(&mut self.object_rng, self.cfg.actions)
+                    .into_iter()
+                    .map(|i| ctx.map.nth_hosted(node, i))
+                    .collect();
+                (objects, 0)
+            }
+            _ => {
+                let mut objects: Vec<ObjectId> = self
+                    .sampler
+                    .sample_distinct(&mut self.object_rng, self.cfg.actions)
+                    .into_iter()
+                    .map(ObjectId)
+                    .collect();
+                objects.sort_unstable_by_key(|o| (ctx.map.owner(ctx.map.shard_of(*o)).0, o.0));
+                let mut owners = 0u64;
+                let mut prev = None;
+                for o in &objects {
+                    let owner = ctx.map.owner(ctx.map.shard_of(*o));
+                    if prev != Some(owner) {
+                        owners += 1;
+                        prev = Some(owner);
+                    }
+                }
+                (objects, 2 * owners.saturating_sub(1))
+            }
+        }
     }
 
     /// Attempt the transaction's next action: acquire the lock, then
@@ -354,6 +442,7 @@ impl ContentionSim {
         let txn = self.active.remove(&id).expect("committing unknown txn");
         if self.measuring() {
             self.metrics.committed.incr();
+            self.metrics.messages.add(txn.coord_msgs);
             self.metrics
                 .record_latency(self.queue.now().since(txn.started));
         }
@@ -521,6 +610,47 @@ mod tests {
             "action rate {}",
             r.action_rate
         );
+    }
+
+    #[test]
+    fn full_rf_sharded_run_identical_to_unsharded() {
+        // rf = Nodes is full replication: the shard map is absent, the
+        // profile numbers match, and the whole run is bit-identical.
+        let p = Params::new(500.0, 4.0, 10.0, 4.0, 0.01);
+        let cfg = SimConfig::from_params(&p, 60, 9);
+        let sharded = cfg.with_shards(8, 0).with_cross_shard(0.3);
+        let a = ContentionSim::new(cfg, ContentionProfile::eager_serial(&cfg)).run();
+        let b = ContentionSim::new(sharded, ContentionProfile::eager_serial(&sharded)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partial_rf_shrinks_eager_fanout() {
+        let p = Params::new(800.0, 8.0, 10.0, 4.0, 0.01);
+        let cfg = SimConfig::from_params(&p, 60, 10)
+            .with_shards(8, 2)
+            .with_cross_shard(0.1);
+        let profile = ContentionProfile::eager_serial(&cfg);
+        assert_eq!(profile.updates_per_action, 2);
+        assert_eq!(profile.messages_per_action, 1);
+        assert_eq!(profile.work_per_action, cfg.action_time.saturating_mul(2));
+        let r = ContentionSim::new(cfg, profile).run();
+        assert!(r.committed > 0);
+        // Cross-shard transactions owe coordinator messages on top of
+        // the per-action fan-out, so messages exceed actions × (rf−1).
+        assert!(r.messages > 0);
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic() {
+        let p = Params::new(400.0, 6.0, 15.0, 4.0, 0.01);
+        let cfg = SimConfig::from_params(&p, 50, 11)
+            .with_shards(6, 2)
+            .with_cross_shard(0.25);
+        let a = ContentionSim::new(cfg, ContentionProfile::lazy_master(&cfg)).run();
+        let b = ContentionSim::new(cfg, ContentionProfile::lazy_master(&cfg)).run();
+        assert_eq!(a, b);
+        assert!(a.committed > 0);
     }
 
     #[test]

@@ -54,10 +54,11 @@ impl EagerSim {
             ReplicaDiscipline::Serial => ContentionProfile::eager_serial(&cfg),
             ReplicaDiscipline::Parallel => ContentionProfile::eager_parallel(&cfg),
         };
-        if ownership == Ownership::Master && cfg.nodes > 1 {
-            // Originator → owner, then owner → the other N-1 replicas
-            // (one of which is the originator's own copy refresh).
-            profile.messages_per_action = u64::from(cfg.nodes);
+        if ownership == Ownership::Master && cfg.effective_rf() > 1 {
+            // Originator → owner, then owner → the other replicas of
+            // the shard (one of which is the originator's own copy
+            // refresh). Full replication: exactly the paper's N.
+            profile.messages_per_action = u64::from(cfg.effective_rf());
         }
         EagerSim {
             inner: ContentionSim::new(cfg, profile).with_run_label("eager"),

@@ -25,7 +25,7 @@ use repl_net::{
 use repl_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use repl_storage::{
     Acquire, ApplyOutcome, CommitLog, DeadlockMode, LamportClock, LockManager, Lsn, NodeId,
-    ObjectId, ObjectStore, Timestamp, TxnId, TxnSlab, UpdateRecord, Value,
+    ObjectId, ObjectStore, ShardMap, Timestamp, TxnId, TxnSlab, UpdateRecord, Value,
 };
 use repl_telemetry::{AbortReason, Event, EventKind, Gauge, Profiler, TraceHandle};
 
@@ -114,6 +114,11 @@ enum Ev {
     Restart(NodeId),
     /// Retry propagation from a node after a dropped message.
     Resend(NodeId),
+    /// A cross-shard transaction's sub-transaction for one remote
+    /// shard group, forwarded to that shard's owner — the per-shard
+    /// root/replica split: the owner runs it as an ordinary root and
+    /// propagates it to the shard's replica set. Sharded runs only.
+    ForwardRoot { to: NodeId, objects: Vec<ObjectId> },
     /// A blocked transaction's lock-wait timer expired
     /// ([`DeadlockPolicy::Timeout`]).
     LockTimeout {
@@ -224,6 +229,13 @@ pub struct LazyGroupSim {
     /// `staleness_n<i>` gauges) right after the measured window closes
     /// — drain-phase applies never pollute it.
     staleness: Vec<Gauge>,
+    /// `Some` when the run uses a partial shard layout: stores hold
+    /// only hosted objects, propagation filters per destination, and
+    /// cross-shard transactions split into per-owner forwarded roots.
+    /// `None` keeps every code path bit-identical to the unsharded run.
+    shard: Option<ShardMap>,
+    /// Per-node hosted-object counts (empty unless sharded).
+    hosted_counts: Vec<u64>,
 }
 
 impl LazyGroupSim {
@@ -263,9 +275,19 @@ impl LazyGroupSim {
                 }
             }
         }
+        let shard = cfg.shard_map();
+        let hosted_counts: Vec<u64> = match &shard {
+            Some(map) => (0..cfg.nodes)
+                .map(|i| map.hosted_objects(NodeId(i), cfg.db_size))
+                .collect(),
+            None => Vec::new(),
+        };
         let nodes = (0..cfg.nodes)
             .map(|i| NodeState {
-                store: ObjectStore::new(cfg.db_size),
+                store: match &shard {
+                    Some(map) => ObjectStore::sharded(cfg.db_size, map, NodeId(i)),
+                    None => ObjectStore::new(cfg.db_size),
+                },
                 locks: Self::lock_manager(&cfg),
                 clock: LamportClock::new(NodeId(i)),
                 log: CommitLog::new(),
@@ -304,6 +326,8 @@ impl LazyGroupSim {
             sample_scratch: Vec::new(),
             recorder: Recorder::off(),
             staleness: vec![Gauge::default(); n],
+            shard,
+            hosted_counts,
             cfg,
         }
     }
@@ -589,6 +613,15 @@ impl LazyGroupSim {
                 }
                 profiler.stop("lazy-group/resend", t);
             }
+            Ev::ForwardRoot { to, objects } => {
+                // A forwarded sub-transaction dies if its shard owner is
+                // down (nothing committed yet, so nothing to undo), and
+                // no new roots start during the convergence drain.
+                if live && !self.crashed[to.0 as usize] {
+                    self.begin_root(to, objects);
+                }
+                profiler.stop("lazy-group/forward-root", t);
+            }
             Ev::LockTimeout { txn, node, obj } => {
                 self.on_lock_timeout(txn, node, obj);
                 profiler.stop("lazy-group/lock-timeout", t);
@@ -791,6 +824,10 @@ impl LazyGroupSim {
             // keeps ticking so the stream stays deterministic.
             return;
         }
+        if self.shard.is_some() {
+            self.on_arrive_sharded(node);
+            return;
+        }
         let mut scratch = std::mem::take(&mut self.sample_scratch);
         self.object_rng
             .sample_distinct_into(self.cfg.db_size, self.cfg.actions, &mut scratch);
@@ -798,6 +835,80 @@ impl LazyGroupSim {
         objects.clear();
         objects.extend(scratch.iter().copied().map(ObjectId));
         self.sample_scratch = scratch;
+        self.begin_root(node, objects);
+    }
+
+    /// Sharded arrival: most transactions draw their objects from the
+    /// originating node's hosted subset and run entirely locally. With
+    /// probability `cross_shard` a transaction draws from the whole
+    /// keyspace instead and splits per shard owner — the locally hosted
+    /// objects become a root here, and each remote group is forwarded to
+    /// its shard's owner ([`Ev::ForwardRoot`]), which runs it as an
+    /// ordinary root and propagates it to that shard's replica set. The
+    /// split sub-transactions commit independently (no distributed
+    /// atomic commit) — exactly the paper's lazy "anytime, anyhow"
+    /// regime, where the serializability oracle judges the outcome.
+    fn on_arrive_sharded(&mut self, node: NodeId) {
+        let map = self.shard.as_ref().expect("sharded arrival without map");
+        let cross = self.object_rng.chance(self.cfg.cross_shard);
+        let hosted = self.hosted_counts[node.0 as usize];
+        let mut scratch = std::mem::take(&mut self.sample_scratch);
+        let mut objects = self.objects_pool.pop().unwrap_or_default();
+        objects.clear();
+        // Forwarded groups, keyed by shard owner. Cross-shard txns are
+        // rare and small (`actions` objects total), so a linear-scan
+        // Vec beats a hash map here.
+        let mut forwards: Vec<(NodeId, Vec<ObjectId>)> = Vec::new();
+        if !cross && hosted >= self.cfg.actions as u64 {
+            // Single-shard-group txn: sample distinct positions in the
+            // hosted index space and map them to object ids.
+            self.object_rng
+                .sample_distinct_into(hosted, self.cfg.actions, &mut scratch);
+            objects.extend(scratch.iter().map(|&i| map.nth_hosted(node, i)));
+        } else {
+            // Whole-keyspace draw (also the fallback when the node
+            // hosts fewer objects than one transaction touches).
+            self.object_rng
+                .sample_distinct_into(self.cfg.db_size, self.cfg.actions, &mut scratch);
+            for &raw in scratch.iter() {
+                let obj = ObjectId(raw);
+                if map.hosts_object(node, obj) {
+                    objects.push(obj);
+                } else {
+                    let owner = map.owner(map.shard_of(obj));
+                    match forwards.iter_mut().find(|(o, _)| *o == owner) {
+                        Some((_, group)) => group.push(obj),
+                        None => forwards.push((owner, vec![obj])),
+                    }
+                }
+            }
+        }
+        self.sample_scratch = scratch;
+        if objects.is_empty() {
+            objects.clear();
+            self.objects_pool.push(objects);
+        } else {
+            self.begin_root(node, objects);
+        }
+        for (owner, group) in forwards {
+            // Forwarding is one message to the shard owner; the root it
+            // spawns there does the usual replica fan-out on commit.
+            if self.measuring() {
+                self.metrics.messages.incr();
+            }
+            let delay = self.network.sample_delay();
+            self.queue.schedule_after(
+                delay,
+                Ev::ForwardRoot {
+                    to: owner,
+                    objects: group,
+                },
+            );
+        }
+    }
+
+    /// Insert and start a root transaction over `objects` at `node`.
+    fn begin_root(&mut self, node: NodeId, objects: Vec<ObjectId>) {
         let id = self.roots.insert(RootTxn {
             node,
             objects,
@@ -1025,6 +1136,16 @@ impl LazyGroupSim {
             if dest == origin {
                 continue;
             }
+            if let Some(map) = &self.shard {
+                // Nodes sharing no shard never exchange replica
+                // updates: point the watermark at the head so this dead
+                // channel never holds back log GC.
+                if !map.shares_any(origin, dest) {
+                    let head = self.nodes[origin.0 as usize].log.head();
+                    self.nodes[origin.0 as usize].sent_upto[dest.0 as usize] = head;
+                    continue;
+                }
+            }
             debug_assert!(pending.is_empty());
             loop {
                 let state = &self.nodes[origin.0 as usize];
@@ -1034,13 +1155,32 @@ impl LazyGroupSim {
                 };
                 // One allocation per record (shared across destinations
                 // via the memo); every delivery copy below just bumps
-                // the refcount.
-                let updates: std::rc::Rc<[UpdateRecord]> = match &last_payload {
-                    Some((lsn, rc)) if *lsn == from => rc.clone(),
-                    _ => {
-                        let rc: std::rc::Rc<[UpdateRecord]> = record.updates.as_slice().into();
-                        last_payload = Some((from, rc.clone()));
-                        rc
+                // the refcount. Sharded runs skip the memo: each
+                // destination gets the record filtered down to the
+                // updates it actually hosts, and a record with nothing
+                // for this destination just advances the watermark.
+                let updates: std::rc::Rc<[UpdateRecord]> = match &self.shard {
+                    None => match &last_payload {
+                        Some((lsn, rc)) if *lsn == from => rc.clone(),
+                        _ => {
+                            let rc: std::rc::Rc<[UpdateRecord]> = record.updates.as_slice().into();
+                            last_payload = Some((from, rc.clone()));
+                            rc
+                        }
+                    },
+                    Some(map) => {
+                        let filtered: Vec<UpdateRecord> = record
+                            .updates
+                            .iter()
+                            .filter(|u| map.hosts_object(dest, u.object))
+                            .cloned()
+                            .collect();
+                        if filtered.is_empty() {
+                            self.nodes[origin.0 as usize].sent_upto[dest.0 as usize] =
+                                Lsn(from.0 + 1);
+                            continue;
+                        }
+                        filtered.into()
                     }
                 };
                 let msg = ReplicaMsg {
@@ -1508,6 +1648,85 @@ mod tests {
         let a = LazyGroupSim::new(c, Mobility::Connected).run();
         let b = LazyGroupSim::new(c, Mobility::Connected).run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_rf_sharded_identical_to_unsharded() {
+        // `--shards K --rf Nodes` must be byte-identical to no sharding
+        // at all: the map is `None`, so every code path is the original.
+        let c = cfg(4.0, 500.0, 10.0, 60, 7);
+        let (plain_report, plain_stores) =
+            LazyGroupSim::new(c, Mobility::Connected).run_with_state();
+        let (sharded_report, sharded_stores) =
+            LazyGroupSim::new(c.with_shards(8, 4), Mobility::Connected).run_with_state();
+        assert_eq!(plain_report, sharded_report);
+        for (a, b) in plain_stores.iter().zip(&sharded_stores) {
+            assert_eq!(a.digest(), b.digest());
+        }
+    }
+
+    #[test]
+    fn sharded_replicas_converge_per_shard() {
+        // Partial replication: nodes host different subsets, so whole-
+        // store digests differ by construction — convergence means every
+        // pair of replicas agrees on every object they both host.
+        let c = cfg(6.0, 480.0, 10.0, 60, 11)
+            .with_shards(6, 2)
+            .with_cross_shard(0.3);
+        let (report, stores) = LazyGroupSim::new(c, Mobility::Connected).run_with_state();
+        assert!(report.committed > 0);
+        assert!(
+            report.replica_commits > 0,
+            "partial replication still fans out"
+        );
+        let mut seen: std::collections::HashMap<ObjectId, (usize, Timestamp, Value)> =
+            std::collections::HashMap::new();
+        for (i, store) in stores.iter().enumerate() {
+            for (obj, v) in store.iter() {
+                match seen.entry(obj) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((i, v.ts, v.value.clone()));
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let (j, ts, val) = e.get();
+                        assert_eq!(
+                            (*ts, val),
+                            (v.ts, &v.value),
+                            "object {obj} differs between node {j} and node {i}"
+                        );
+                    }
+                }
+            }
+        }
+        // rf = 2 means every object lives at exactly two stores.
+        let total: usize = stores.iter().map(|s| s.iter().count()).sum();
+        assert_eq!(total as u64, c.db_size * 2);
+    }
+
+    #[test]
+    fn sharded_runs_deterministic() {
+        let c = cfg(6.0, 480.0, 10.0, 30, 13)
+            .with_shards(6, 3)
+            .with_cross_shard(0.5);
+        let a = LazyGroupSim::new(c, Mobility::Connected).run();
+        let b = LazyGroupSim::new(c, Mobility::Connected).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partial_rf_ships_fewer_messages() {
+        // The point of the exercise: fan-out to a shard's replica set
+        // instead of every node shrinks replication traffic.
+        let c = cfg(8.0, 800.0, 10.0, 60, 17);
+        let (full, _) = LazyGroupSim::new(c, Mobility::Connected).run_with_state();
+        let (partial, _) =
+            LazyGroupSim::new(c.with_shards(8, 2), Mobility::Connected).run_with_state();
+        assert!(
+            partial.messages * 2 < full.messages,
+            "partial rf=2 of 8 should cut messages sharply: {} vs {}",
+            partial.messages,
+            full.messages
+        );
     }
 
     #[test]

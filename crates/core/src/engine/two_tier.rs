@@ -24,7 +24,7 @@ use repl_check::{CriterionKind, Recorder};
 use repl_net::{DisconnectSchedule, Network, PeriodModel, SendOutcome};
 use repl_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use repl_storage::{
-    Acquire, ApplyOutcome, LamportClock, LockManager, NodeId, ObjectId, ObjectStore,
+    Acquire, ApplyOutcome, LamportClock, LockManager, NodeId, ObjectId, ObjectStore, ShardMap,
     TentativeStore, Timestamp, TxnId, TxnSlab, Value,
 };
 use repl_telemetry::{Event, EventKind, Gauge, Profiler, TraceHandle};
@@ -209,6 +209,14 @@ pub struct TwoTierSim {
     /// Optional oracle recorder mirroring commits, acceptance
     /// decisions, refresh applies, and final stores.
     recorder: Recorder,
+    /// `Some` when the run uses a partial shard layout: replica stores
+    /// hold only hosted objects, refresh fan-out filters per
+    /// destination, and nodes sample their hosted subset. The master
+    /// tier stays full — the base masters every object. `None` keeps
+    /// every code path bit-identical to the unsharded run.
+    shard: Option<ShardMap>,
+    /// Per-node hosted-object counts (empty unless sharded).
+    hosted_counts: Vec<u64>,
 }
 
 /// Map the engine's acceptance criterion onto the oracle layer's
@@ -271,12 +279,31 @@ impl TwoTierSim {
         for i in 0..sim.db_size {
             master.set(ObjectId(i), Value::Int(cfg.initial_value), Timestamp::ZERO);
         }
+        let shard = sim.shard_map();
+        let hosted_counts: Vec<u64> = match &shard {
+            Some(map) => (0..sim.nodes)
+                .map(|i| map.hosted_objects(NodeId(i), sim.db_size))
+                .collect(),
+            None => Vec::new(),
+        };
         let replicas = (0..n)
-            .map(|_| {
-                let mut t = TentativeStore::new(sim.db_size);
+            .map(|node| {
+                let mut t = match &shard {
+                    Some(map) => TentativeStore::from_master(ObjectStore::sharded(
+                        sim.db_size,
+                        map,
+                        NodeId(node as u32),
+                    )),
+                    None => TentativeStore::new(sim.db_size),
+                };
                 for i in 0..sim.db_size {
-                    t.master_mut()
-                        .set(ObjectId(i), Value::Int(cfg.initial_value), Timestamp::ZERO);
+                    if t.master().hosts(ObjectId(i)) {
+                        t.master_mut().set(
+                            ObjectId(i),
+                            Value::Int(cfg.initial_value),
+                            Timestamp::ZERO,
+                        );
+                    }
                 }
                 t
             })
@@ -312,6 +339,8 @@ impl TwoTierSim {
             sample_scratch: Vec::new(),
             history: History::new(),
             recorder: Recorder::off(),
+            shard,
+            hosted_counts,
             cfg,
         }
     }
@@ -495,6 +524,36 @@ impl TwoTierSim {
         let base_owned = self.cfg.base_owned();
         let actions = self.cfg.sim.actions;
         let mut scratch = std::mem::take(&mut self.sample_scratch);
+        if let Some(map) = &self.shard {
+            // Sharded workload: a node works against its hosted subset.
+            // Base nodes additionally run cross-shard transactions at
+            // the configured rate, straight against the full master
+            // (the base tier masters everything, so any object is in
+            // scope there). Mobile nodes never draw outside their
+            // hosted shards — a tentative write needs a local replica
+            // slot to land in.
+            let mobile = self.is_mobile(node);
+            let cross = !mobile && self.object_rng.chance(self.cfg.sim.cross_shard);
+            let hosted = self.hosted_counts[node.0 as usize];
+            let objects = if cross || (!mobile && hosted < actions as u64) {
+                self.object_rng
+                    .sample_distinct_into(self.cfg.sim.db_size, actions, &mut scratch);
+                scratch.iter().copied().map(ObjectId).collect()
+            } else if hosted == 0 {
+                // Degenerate placement (fewer shards than nodes): a
+                // mobile hosting nothing issues no work.
+                Vec::new()
+            } else {
+                // A mobile hosting fewer objects than one transaction
+                // touches just runs a shorter transaction.
+                let k = actions.min(hosted as usize);
+                self.object_rng
+                    .sample_distinct_into(hosted, k, &mut scratch);
+                scratch.iter().map(|&i| map.nth_hosted(node, i)).collect()
+            };
+            self.sample_scratch = scratch;
+            return objects;
+        }
         let objects = if self.is_mobile(node) && self.cfg.mobile_owned > 0 {
             let mobile_index = u64::from(node.0 - self.cfg.base_nodes);
             let own_start = base_owned + mobile_index * self.cfg.mobile_owned;
@@ -544,11 +603,18 @@ impl TwoTierSim {
             TwoTierWorkload::Commutative { max_amount } => {
                 let mut ops = Vec::with_capacity(objects.len());
                 for o in objects {
-                    let view = self.replicas[node.0 as usize]
-                        .read(o)
-                        .value
-                        .as_int()
-                        .unwrap_or(0);
+                    // A base node's cross-shard draw may touch objects
+                    // its partial replica does not host; its view is
+                    // then the master copy (base nodes sit next to it).
+                    let replica = &self.replicas[node.0 as usize];
+                    let view = if replica.master().hosts(o) {
+                        replica.read(o)
+                    } else {
+                        self.master.get(o)
+                    }
+                    .value
+                    .as_int()
+                    .unwrap_or(0);
                     let credit = self.value_rng.chance(0.5);
                     if credit || view <= 0 {
                         let amt = 1 + self.value_rng.gen_range(max_amount.max(1) as u64) as i64;
@@ -885,6 +951,27 @@ impl TwoTierSim {
         let mut pending_delay = SimDuration::ZERO;
         for dest in 0..self.cfg.sim.nodes {
             let dest = NodeId(dest);
+            // Partial replication: each destination receives only the
+            // updates it hosts; a commit touching none of its shards
+            // sends nothing at all.
+            let msg = match &self.shard {
+                None => msg.clone(),
+                Some(map) => {
+                    let filtered: Vec<(ObjectId, Value, Timestamp)> = msg
+                        .updates
+                        .iter()
+                        .filter(|(obj, _, _)| map.hosts_object(dest, *obj))
+                        .cloned()
+                        .collect();
+                    if filtered.is_empty() {
+                        continue;
+                    }
+                    RefreshMsg {
+                        updates: filtered.into(),
+                        sent_at: msg.sent_at,
+                    }
+                }
+            };
             if self.measuring() {
                 self.metrics.messages.incr();
             }
@@ -1209,6 +1296,81 @@ mod tests {
                 panic!("base execution not serializable: cycle {cycle_members:?}");
             }
         }
+    }
+
+    #[test]
+    fn full_rf_sharded_identical_to_unsharded() {
+        let cfg = base_cfg(
+            4.0,
+            2,
+            200.0,
+            5.0,
+            60,
+            7,
+            TwoTierWorkload::Commutative { max_amount: 5 },
+        );
+        let mut sharded = cfg;
+        sharded.sim = sharded.sim.with_shards(8, 4);
+        let (a, am, ar) = TwoTierSim::new(cfg).run_with_state();
+        let (b, bm, br) = TwoTierSim::new(sharded).run_with_state();
+        assert_eq!(a, b);
+        assert_eq!(am.digest(), bm.digest());
+        for (x, y) in ar.iter().zip(&br) {
+            assert_eq!(x.digest(), y.digest());
+        }
+    }
+
+    #[test]
+    fn sharded_replicas_match_master_on_hosted_objects() {
+        let mut cfg = base_cfg(
+            6.0,
+            2,
+            240.0,
+            8.0,
+            120,
+            9,
+            TwoTierWorkload::Commutative { max_amount: 10 },
+        );
+        cfg.sim = cfg.sim.with_shards(6, 2).with_cross_shard(0.2);
+        let (report, master, replicas) = TwoTierSim::new(cfg).run_with_state();
+        assert!(report.committed > 0);
+        let mut hosted_total = 0usize;
+        for (i, r) in replicas.iter().enumerate() {
+            for (obj, v) in r.iter() {
+                hosted_total += 1;
+                let want = master.get(obj);
+                assert_eq!(
+                    (v.ts, &v.value),
+                    (want.ts, &want.value),
+                    "node {i} diverged from master on {obj}"
+                );
+            }
+        }
+        // rf = 2: each object is replicated at exactly two nodes.
+        assert_eq!(hosted_total as u64, cfg.sim.db_size * 2);
+    }
+
+    #[test]
+    fn partial_rf_ships_fewer_refreshes() {
+        let cfg = base_cfg(
+            8.0,
+            2,
+            400.0,
+            8.0,
+            60,
+            13,
+            TwoTierWorkload::Commutative { max_amount: 5 },
+        );
+        let mut sharded = cfg;
+        sharded.sim = sharded.sim.with_shards(8, 2);
+        let (full, _, _) = TwoTierSim::new(cfg).run_with_state();
+        let (partial, _, _) = TwoTierSim::new(sharded).run_with_state();
+        assert!(
+            partial.messages < full.messages,
+            "partial rf should cut refresh traffic: {} vs {}",
+            partial.messages,
+            full.messages
+        );
     }
 
     #[test]

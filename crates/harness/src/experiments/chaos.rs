@@ -18,6 +18,12 @@ use repl_sim::{SimDuration, SimTime};
 use repl_storage::NodeId;
 use repl_workload::presets;
 
+/// The node count every chaos run uses. `--faults` plans are validated
+/// against this before any engine runs, so a clause addressing a node
+/// id outside `0..CHAOS_NODES` fails fast with a useful error instead
+/// of silently never firing.
+pub const CHAOS_NODES: u32 = 4;
+
 /// The built-in plan used when `--faults` is absent: mild message
 /// chaos, one bipartition across the middle of the run, and one crash
 /// window in the back half, all scaled to `horizon` seconds.
@@ -66,7 +72,7 @@ pub fn chaos(opts: &RunOpts) -> Table {
     // policies have deadlocks to resolve within the horizon.
     let p = presets::scaleup_base()
         .with_db_size(200.0)
-        .with_nodes(4.0)
+        .with_nodes(f64::from(CHAOS_NODES))
         .with_tps(10.0);
     let policies = vec![
         ("detection", DeadlockPolicy::Detection),
@@ -80,7 +86,8 @@ pub fn chaos(opts: &RunOpts) -> Table {
     let results = run_points(opts, policies, |opts, &(label, policy)| {
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_deadlock(policy)
-            .with_propagation_batch(opts.batch);
+            .with_propagation_batch(opts.batch)
+            .with_shards(opts.shards, opts.rf);
         let (r, stores) = LazyGroupSim::new(cfg, Mobility::Connected)
             .with_faults(plan.clone())
             .instrument(opts, format!("chaos policy={label}"))

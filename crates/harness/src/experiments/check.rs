@@ -40,6 +40,15 @@ pub fn run_case(case: &FuzzCase) -> CheckReport {
 /// verdicts are batch-size invariant — `tests/batch_determinism.rs`
 /// replays the committed corpus at several sizes to prove it.
 pub fn run_case_with_batch(case: &FuzzCase, batch: usize) -> CheckReport {
+    run_case_with_config(case, batch, 0, 0)
+}
+
+/// [`run_case`] with explicit batch and shard-layout overrides. Oracle
+/// verdicts must stay clean under any shard layout — the per-shard
+/// convergence and delusion oracles judge partial stores over the
+/// objects each node actually hosts (`tests/shard_determinism.rs`
+/// replays the committed corpus under several layouts to prove it).
+pub fn run_case_with_config(case: &FuzzCase, batch: usize, shards: u32, rf: u32) -> CheckReport {
     let rec = Recorder::new(case.scheme);
     let p = Params::new(
         case.db_size as f64,
@@ -48,8 +57,9 @@ pub fn run_case_with_batch(case: &FuzzCase, batch: usize) -> CheckReport {
         f64::from(case.actions),
         0.01,
     );
-    let cfg =
-        SimConfig::from_params(&p, case.horizon_secs, case.seed).with_propagation_batch(batch);
+    let cfg = SimConfig::from_params(&p, case.horizon_secs, case.seed)
+        .with_propagation_batch(batch)
+        .with_shards(shards, rf);
     match case.scheme {
         Scheme::Contention => {
             let profile = ContentionProfile::single_node(&cfg);
@@ -153,7 +163,7 @@ pub fn check(opts: &RunOpts) -> Table {
         }
         match FuzzCase::parse(line) {
             Ok(case) => {
-                let report = run_case_with_batch(&case, opts.batch);
+                let report = run_case_with_config(&case, opts.batch, opts.shards, opts.rf);
                 table.row(vec![
                     case.scheme.name().to_owned(),
                     "corpus".into(),

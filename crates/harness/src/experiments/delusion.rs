@@ -50,7 +50,8 @@ pub fn ablate_delusion(opts: &RunOpts) -> Table {
         let horizon = opts.horizon(secs).max(20);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(2)
-            .with_propagation_batch(opts.batch);
+            .with_propagation_batch(opts.batch)
+            .with_shards(opts.shards, opts.rf);
         let (auto_report, auto_stores) = LazyGroupSim::new(cfg, Mobility::Connected)
             .instrument(opts, format!("ablate-delusion auto secs={secs}"))
             .run_with_state();

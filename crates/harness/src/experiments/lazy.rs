@@ -37,7 +37,8 @@ pub fn e08(opts: &RunOpts) -> Table {
         let horizon = opts.adaptive_horizon(predicted.min(1.0), 50.0, 200, 5_000);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(5)
-            .with_propagation_batch(opts.batch);
+            .with_propagation_batch(opts.batch)
+            .with_shards(opts.shards, opts.rf);
         LazyGroupSim::new(cfg, Mobility::Connected)
             .instrument(opts, format!("e8 nodes={n}"))
             .run()
@@ -92,7 +93,8 @@ pub fn e09(opts: &RunOpts) -> Table {
         let horizon = opts.horizon(2_400).max(8 * d as u64);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(5)
-            .with_propagation_batch(opts.batch);
+            .with_propagation_batch(opts.batch)
+            .with_shards(opts.shards, opts.rf);
         let mobility = Mobility::Cycling {
             connected: SimDuration::from_secs_f64(d / 2.0),
             disconnected: SimDuration::from_secs_f64(d),
@@ -143,7 +145,8 @@ pub fn e09_nodes(opts: &RunOpts) -> Table {
         let horizon = opts.horizon(600);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(5)
-            .with_propagation_batch(opts.batch);
+            .with_propagation_batch(opts.batch)
+            .with_shards(opts.shards, opts.rf);
         let mobility = Mobility::Cycling {
             connected: SimDuration::from_secs(10),
             disconnected: SimDuration::from_secs_f64(p.disconnected_time),
@@ -197,7 +200,8 @@ pub fn e10(opts: &RunOpts) -> Table {
         let horizon = opts.adaptive_horizon(predicted, 40.0, 200, 20_000);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(5)
-            .with_propagation_batch(opts.batch);
+            .with_propagation_batch(opts.batch)
+            .with_shards(opts.shards, opts.rf);
         LazyMasterSim::new(cfg)
             .instrument(opts, format!("e10 nodes={n}"))
             .run()
@@ -244,6 +248,7 @@ pub fn ablate_latency(opts: &RunOpts) -> Table {
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(5)
             .with_propagation_batch(opts.batch)
+            .with_shards(opts.shards, opts.rf)
             .with_latency(LatencyModel::Fixed(SimDuration::from_millis(delay_ms)));
         LazyGroupSim::new(cfg, Mobility::Connected)
             .instrument(opts, format!("ablate-latency delay={delay_ms}ms"))

@@ -10,6 +10,7 @@ pub mod failover;
 pub mod hotspot;
 pub mod lazy;
 pub mod quorum;
+pub mod scaleout;
 pub mod schemes;
 pub mod single;
 pub mod tails;
@@ -154,6 +155,11 @@ pub const ALL: &[Experiment] = &[
         name: "failover",
         about: "replicated base tier: crash rate vs election/unavailability percentiles",
         run: failover::failover,
+    },
+    Experiment {
+        name: "scaleout",
+        about: "sharded keyspace: lazy-group 8..256 nodes, rf=3 vs full replication",
+        run: scaleout::scaleout,
     },
     Experiment {
         name: "check",

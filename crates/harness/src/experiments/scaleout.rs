@@ -1,0 +1,215 @@
+//! `scaleout` — the sharded-keyspace Nodes sweep the paper's §4 dares
+//! the reader to attempt: full replication makes a 10× node growth cost
+//! 1000× in deadlocks, so the sweeps elsewhere in this harness stop in
+//! the tens. Sharding the keyspace and replicating each shard to a
+//! small fixed replica set (`rf`) caps the per-commit fan-out at
+//! `rf - 1` no matter how many nodes join, which is what lets this
+//! sweep run the lazy-group engine out to 256 nodes.
+//!
+//! Each point fixes the *per-node* load (database objects and TPS per
+//! node are constant) so the sweep isolates the replication cost:
+//! under full replication the per-commit message fan-out grows
+//! linearly with `Nodes`; under `rf = 3` it stays flat. A fraction of
+//! transactions (`CROSS_SHARD`) deliberately touch objects outside the
+//! submitting node's shards and are forwarded to the owning node, so
+//! the cross-shard coordination path is exercised at every scale.
+//!
+//! The table is fully deterministic (wall-clock lives in
+//! `BENCH_harness.json`, which times this experiment like any other),
+//! so the CI determinism gate can compare runs byte-for-byte. The
+//! sweep ignores `--shards`/`--rf` overrides for the same reason: its
+//! layout is part of the experiment definition.
+
+use crate::par::run_points;
+use crate::table::{fmt_ms, fmt_val, Table};
+use crate::{Instrument, RunOpts};
+use repl_core::{LazyGroupSim, Mobility, SimConfig, M_PROPAGATION_LAG};
+use repl_model::Point;
+use repl_workload::presets;
+
+/// Node counts the sweep visits with the partial (`rf = 3`) layout.
+const NODE_SWEEP: [u32; 6] = [8, 16, 32, 64, 128, 256];
+
+/// Node counts that also get a full-replication comparison row. Full
+/// replication's per-commit fan-out is `Nodes - 1`, so these stop
+/// early — which is exactly the point the partial rows make.
+const FULL_RF_CAP: u32 = 32;
+
+/// Per-shard replication factor for the partial rows.
+const RF: u32 = 3;
+
+/// Fraction of root transactions that draw from the whole keyspace
+/// (and forward non-hosted groups to their owners) instead of staying
+/// inside the submitting node's hosted shards.
+const CROSS_SHARD: f64 = 0.10;
+
+/// Database objects per node: the keyspace grows with the cluster so
+/// each node's working set — and therefore its local contention — is
+/// constant across the sweep.
+const DB_PER_NODE: u32 = 32;
+
+/// SCALEOUT: lazy-group commit/deadlock/lag scaling, Nodes × rf.
+pub fn scaleout(opts: &RunOpts) -> Table {
+    let mut t = Table::new(
+        "SCALEOUT",
+        "sharded keyspace: lazy-group from 8 to 256 nodes, rf=3 vs full replication",
+        &[
+            "Nodes",
+            "rf",
+            "commit/s",
+            "deadlock/s",
+            "recon/s",
+            "lag p50 ms",
+            "lag p95 ms",
+            "lag p99 ms",
+            "msgs/commit",
+        ],
+    );
+    // (nodes, rf) points; rf = 0 is the engine's "full replication"
+    // sentinel. Partial rows first so the table reads as one sweep,
+    // full rows after as the contrast.
+    let mut cases: Vec<(u32, u32)> = NODE_SWEEP.iter().map(|&n| (n, RF)).collect();
+    cases.extend(
+        NODE_SWEEP
+            .iter()
+            .filter(|&&n| n <= FULL_RF_CAP)
+            .map(|&n| (n, 0)),
+    );
+    let horizon = opts.horizon(120);
+    let reports = run_points(opts, cases.clone(), |opts, &(nodes, rf)| {
+        let p = presets::scaleup_base()
+            .with_db_size(f64::from(nodes * DB_PER_NODE))
+            .with_nodes(f64::from(nodes))
+            .with_tps(10.0);
+        let cfg = SimConfig::from_params(&p, horizon, opts.seed)
+            .with_warmup(5)
+            .with_propagation_batch(opts.batch)
+            .with_shards(nodes, rf)
+            .with_cross_shard(CROSS_SHARD);
+        let label = if rf == 0 {
+            "full".into()
+        } else {
+            format!("{rf}")
+        };
+        LazyGroupSim::new(cfg, Mobility::Connected)
+            .instrument(opts, format!("scaleout nodes={nodes} rf={label}"))
+            .run()
+    });
+    let mut partial_fanout = Vec::new();
+    let mut full_fanout = Vec::new();
+    for ((nodes, rf), r) in cases.into_iter().zip(reports) {
+        let rf_label = if rf == 0 {
+            "full".to_owned()
+        } else {
+            format!("{rf}")
+        };
+        opts.metrics
+            .absorb(&format!("scaleout/nodes={nodes}/rf={rf_label}"), &r.dists);
+        let msgs_per_commit = if r.committed > 0 {
+            r.messages as f64 / r.committed as f64
+        } else {
+            0.0
+        };
+        let point = Point {
+            x: f64::from(nodes),
+            y: msgs_per_commit,
+        };
+        if rf == 0 {
+            full_fanout.push(point);
+        } else {
+            partial_fanout.push(point);
+        }
+        let lag = r
+            .dists
+            .histogram(M_PROPAGATION_LAG)
+            .filter(|h| h.count() > 0);
+        let lag_q = |q: f64| lag.map_or("—".to_owned(), |h| fmt_ms(h.quantile_secs(q)));
+        t.row(vec![
+            format!("{nodes}"),
+            rf_label,
+            fmt_val(r.commit_rate),
+            fmt_val(r.deadlock_rate),
+            fmt_val(r.reconciliation_rate),
+            lag_q(0.50),
+            lag_q(0.95),
+            lag_q(0.99),
+            fmt_val(msgs_per_commit),
+        ]);
+    }
+    if let Some(k) = repl_model::fit_exponent(&partial_fanout) {
+        t.note(format!(
+            "rf=3 per-commit fan-out Nodes-exponent {k:.2} — per-node replication \
+             work stays flat as the cluster grows"
+        ));
+    }
+    if let Some(k) = repl_model::fit_exponent(&full_fanout) {
+        t.note(format!(
+            "full-replication fan-out Nodes-exponent {k:.2} — the linear growth \
+             that stops the other sweeps in the tens"
+        ));
+    }
+    t.note(format!(
+        "fixed per-node load: db = {DB_PER_NODE}*Nodes, tps = 10/node, \
+         shards = Nodes, cross-shard fraction = {CROSS_SHARD}"
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> RunOpts {
+        RunOpts {
+            quick: true,
+            seed: 23,
+            ..RunOpts::default()
+        }
+    }
+
+    #[test]
+    fn scaleout_covers_the_full_sweep() {
+        let t = scaleout(&quick_opts());
+        assert_eq!(t.rows.len(), NODE_SWEEP.len() + 3);
+        // The 256-node point completes and commits work.
+        let big = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "256")
+            .expect("256-node row present");
+        assert_ne!(big[2], "0.000", "256-node point must commit transactions");
+        // Partial rows report a real propagation-lag percentile.
+        assert_ne!(big[6], "—", "sharded lazy-group must report replica lag");
+    }
+
+    #[test]
+    fn partial_rf_fanout_is_flat_while_full_grows() {
+        let t = scaleout(&quick_opts());
+        let fanout = |nodes: &str, rf: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == nodes && r[1] == rf)
+                .expect("row present")[8]
+                .parse()
+                .expect("msgs/commit is numeric")
+        };
+        // rf=3 fan-out stays in the same ballpark from 8 to 256 nodes...
+        assert!(fanout("256", "3") < fanout("8", "3") * 2.0 + 1.0);
+        // ...while full replication has already grown ~4x by 32 nodes.
+        assert!(fanout("32", "full") > fanout("8", "full") * 2.0);
+    }
+
+    #[test]
+    fn scaleout_ignores_shard_overrides() {
+        // The sweep defines its own layout; a global --shards/--rf
+        // override must not change the table (the CI determinism gate
+        // depends on this).
+        let base = scaleout(&quick_opts());
+        let overridden = scaleout(&RunOpts {
+            shards: 7,
+            rf: 2,
+            ..quick_opts()
+        });
+        assert_eq!(base.rows, overridden.rows);
+    }
+}

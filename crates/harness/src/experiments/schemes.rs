@@ -32,7 +32,8 @@ pub fn e03(opts: &RunOpts) -> Table {
     let reports = run_points(opts, vec!["eager", "lazy"], |opts, &which| {
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(5)
-            .with_propagation_batch(opts.batch);
+            .with_propagation_batch(opts.batch)
+            .with_shards(opts.shards, opts.rf);
         match which {
             "eager" => EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
                 .instrument(opts, "e3 eager")
@@ -182,6 +183,7 @@ pub fn e11(opts: &RunOpts) -> Table {
             SimConfig::from_params(&p, horizon, opts.seed)
                 .with_warmup(5)
                 .with_propagation_batch(opts.batch)
+                .with_shards(opts.shards, opts.rf)
         };
         match scheme {
             Scheme::EagerGroup => EagerSim::new(mk(), ReplicaDiscipline::Serial, Ownership::Group)

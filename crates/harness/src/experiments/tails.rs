@@ -49,7 +49,8 @@ pub fn tails(opts: &RunOpts) -> Table {
         let p = base.with_actions(a);
         let cfg = SimConfig::from_params(&p, horizon, opts.seed)
             .with_warmup(5)
-            .with_propagation_batch(opts.batch);
+            .with_propagation_batch(opts.batch)
+            .with_shards(opts.shards, opts.rf);
         match scheme {
             "eager" => EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
                 .instrument(opts, format!("tails eager actions={a}"))

@@ -18,7 +18,8 @@ fn config(
     TwoTierConfig {
         sim: SimConfig::from_params(p, horizon, opts.seed)
             .with_warmup(5)
-            .with_propagation_batch(opts.batch),
+            .with_propagation_batch(opts.batch)
+            .with_shards(opts.shards, opts.rf),
         base_nodes,
         mobile_owned: 0,
         connected: SimDuration::from_secs(10),

@@ -166,6 +166,13 @@ pub struct RunOpts {
     /// `Report` back to the main thread, so an enabled session does
     /// *not* force a serial sweep.
     pub metrics: MetricsSession,
+    /// Keyspace shard count (`--shards K`); 0 leaves every run
+    /// unsharded. With `rf >= nodes` (or `rf == 0`) a sharded run is
+    /// byte-identical to an unsharded one — see `SimConfig::with_shards`.
+    pub shards: u32,
+    /// Per-shard replication factor (`--rf R`); 0 means full
+    /// replication.
+    pub rf: u32,
 }
 
 impl Default for RunOpts {
@@ -180,6 +187,8 @@ impl Default for RunOpts {
             check: CheckSession::default(),
             batch: 1,
             metrics: MetricsSession::default(),
+            shards: 0,
+            rf: 0,
         }
     }
 }

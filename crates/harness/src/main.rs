@@ -14,6 +14,7 @@
 //! harness --faults SPEC chaos  # override the chaos fault plan
 //! harness --check --quick e11  # record every run, run the oracles
 //! harness --metrics m.json e1  # export merged latency/wait/lag dists
+//! harness --shards 64 --rf 3 scaleout  # partial replication layout
 //! ```
 //!
 //! `SPEC` is the fault mini-language of [`repl_net::FaultPlan::parse`]:
@@ -34,9 +35,9 @@ use std::rc::Rc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: harness [--quick] [--json] [--seed N] [--jobs N] [--batch N] [--trace FILE] \
-         [--series SECS] [--profile] [--faults SPEC] [--check] [--metrics FILE] \
-         <list|all|NAME...>"
+        "usage: harness [--quick] [--json] [--seed N] [--jobs N] [--batch N] [--shards K] \
+         [--rf R] [--trace FILE] [--series SECS] [--profile] [--faults SPEC] [--check] \
+         [--metrics FILE] <list|all|NAME...>"
     );
     eprintln!("experiments:");
     for e in experiments::ALL {
@@ -140,6 +141,20 @@ fn main() -> ExitCode {
                 };
                 opts.batch = v;
             }
+            "--shards" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v >= 1) else {
+                    eprintln!("--shards needs a positive integer");
+                    return usage();
+                };
+                opts.shards = v;
+            }
+            "--rf" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()).filter(|v| *v >= 1) else {
+                    eprintln!("--rf needs a positive integer");
+                    return usage();
+                };
+                opts.rf = v;
+            }
             "--profile" => opts.profiler = Profiler::enabled(),
             "--check" => opts.check = repl_harness::CheckSession::enabled(),
             "--metrics" => {
@@ -164,7 +179,17 @@ fn main() -> ExitCode {
     // Parsed after the arg loop so `--seed` wins regardless of order.
     if let Some(spec) = &fault_spec {
         match repl_net::FaultPlan::parse(spec, opts.seed) {
-            Ok(plan) => opts.faults = Some(plan),
+            Ok(plan) => {
+                // Only the chaos experiment consumes `--faults`, and it
+                // always runs at a fixed node count — reject clauses
+                // addressing nodes that will never exist, rather than
+                // letting them silently never fire.
+                if let Err(e) = plan.validate_nodes(experiments::chaos::CHAOS_NODES) {
+                    eprintln!("--faults: {e}");
+                    return ExitCode::FAILURE;
+                }
+                opts.faults = Some(plan);
+            }
             Err(e) => {
                 eprintln!("--faults: {e}");
                 return ExitCode::FAILURE;

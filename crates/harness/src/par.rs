@@ -42,6 +42,9 @@ struct WorkerOpts {
     quick: bool,
     seed: u64,
     faults: Option<repl_net::FaultPlan>,
+    batch: usize,
+    shards: u32,
+    rf: u32,
 }
 
 impl WorkerOpts {
@@ -50,6 +53,9 @@ impl WorkerOpts {
             quick: opts.quick,
             seed: opts.seed,
             faults: opts.faults.clone(),
+            batch: opts.batch,
+            shards: opts.shards,
+            rf: opts.rf,
         }
     }
 
@@ -58,6 +64,9 @@ impl WorkerOpts {
             quick: self.quick,
             seed: self.seed,
             faults: self.faults.clone(),
+            batch: self.batch,
+            shards: self.shards,
+            rf: self.rf,
             // Workers run exactly one point at a time; nested sweeps
             // (none exist today) would stay serial rather than
             // oversubscribe.
@@ -71,8 +80,9 @@ impl WorkerOpts {
 /// worker threads, and return the results **in point order**.
 ///
 /// Each worker invokes `f` with a private `RunOpts` carrying the same
-/// `quick`/`seed`/`faults` values as `opts`, so a point's simulation is
-/// bit-identical whether it ran serially or on a worker. Falls back to
+/// `quick`/`seed`/`faults`/`batch`/`shards`/`rf` values as `opts`, so a
+/// point's simulation is bit-identical whether it ran serially or on a
+/// worker. Falls back to
 /// the plain in-order serial loop (with `opts` itself, tracer and all)
 /// when `opts.jobs <= 1`, when a tracer, profiler, or check session is
 /// attached, or when there is at most one point.
@@ -180,10 +190,21 @@ mod tests {
         o.quick = true;
         o.seed = 99;
         o.faults = Some(repl_net::FaultPlan::quiet(99));
+        o.batch = 4;
+        o.shards = 16;
+        o.rf = 3;
         let got = run_points(&o, vec![(); 4], |local, ()| {
-            (local.quick, local.seed, local.faults.is_some(), local.jobs)
+            (
+                local.quick,
+                local.seed,
+                local.faults.is_some(),
+                local.jobs,
+                local.batch,
+                local.shards,
+                local.rf,
+            )
         });
-        assert!(got.iter().all(|&g| g == (true, 99, true, 1)));
+        assert!(got.iter().all(|&g| g == (true, 99, true, 1, 4, 16, 3)));
     }
 
     #[test]

@@ -172,6 +172,35 @@ impl FaultPlan {
         }
         Ok(plan)
     }
+
+    /// Reject crash and partition clauses addressing nodes the run does
+    /// not have. `parse` cannot do this — it does not know the cluster
+    /// size — so callers validate against their `--nodes` before the
+    /// run silently no-ops a misaddressed window. (`base_crashes` are
+    /// exempt: they index the base replica group, a separate id space.)
+    pub fn validate_nodes(&self, nodes: u32) -> Result<(), String> {
+        for c in &self.crashes {
+            if c.node.0 >= nodes {
+                return Err(format!(
+                    "crash clause addresses node {} but the run has only {nodes} nodes (ids 0..{})",
+                    c.node.0,
+                    nodes.saturating_sub(1)
+                ));
+            }
+        }
+        for p in &self.partitions {
+            for n in &p.side_a {
+                if n.0 >= nodes {
+                    return Err(format!(
+                        "part clause addresses node {} but the run has only {nodes} nodes (ids 0..{})",
+                        n.0,
+                        nodes.saturating_sub(1)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 fn parse_prob(what: &str, s: &str) -> Result<f64, String> {
@@ -359,6 +388,24 @@ mod tests {
     fn parse_side_b_optional() {
         let plan = FaultPlan::parse("part=1..2:5", 1).unwrap();
         assert_eq!(plan.partitions[0].side_a, vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn validate_nodes_rejects_out_of_range_ids() {
+        let plan = FaultPlan::parse("crash=7:5..9", 1).unwrap();
+        assert!(plan.validate_nodes(8).is_ok());
+        let err = plan.validate_nodes(4).unwrap_err();
+        assert!(err.contains("node 7"), "{err}");
+        assert!(err.contains("4 nodes"), "{err}");
+
+        let plan = FaultPlan::parse("part=1..2:0,9", 1).unwrap();
+        let err = plan.validate_nodes(4).unwrap_err();
+        assert!(err.contains("node 9"), "{err}");
+
+        // Base-replica crash windows index a different group; they are
+        // not bounded by the client/replica node count.
+        let plan = FaultPlan::parse("crash=base5:1..2", 1).unwrap();
+        assert!(plan.validate_nodes(2).is_ok());
     }
 
     #[test]

@@ -11,6 +11,12 @@
 #[derive(Debug, Clone)]
 pub struct SimRng {
     s: [u64; 4],
+    /// Reusable swap table for large `sample_distinct` draws, indexed
+    /// directly by keys `< k` (`u64::MAX` = identity). Scratch only —
+    /// never affects the draw sequence.
+    dense_scratch: Vec<u64>,
+    /// Reusable sorted spill for the rare swap keys `>= k`.
+    spill_scratch: Vec<(u64, u64)>,
 }
 
 /// SplitMix64 step — used for seeding and label hashing.
@@ -34,7 +40,11 @@ impl SimRng {
         if s == [0, 0, 0, 0] {
             s[0] = 0x9E37_79B9_7F4A_7C15;
         }
-        SimRng { s }
+        SimRng {
+            s,
+            dense_scratch: Vec::new(),
+            spill_scratch: Vec::new(),
+        }
     }
 
     /// Derive an independent stream for a labelled component. The same
@@ -120,7 +130,8 @@ impl SimRng {
         out.reserve(k);
         // The sparse swap map holds at most `k` entries. Workloads draw
         // a handful of objects per transaction, so a linear-scan array
-        // beats hashing; large draws fall back to a map.
+        // beats hashing; large draws (multi-shard workloads sample
+        // bigger distinct sets) take the scratch-reuse path below.
         const INLINE: usize = 16;
         if k <= INLINE {
             let mut swaps = [(0u64, 0u64); INLINE];
@@ -141,15 +152,47 @@ impl SimRng {
                 }
             }
         } else {
-            use std::collections::HashMap;
-            let mut swaps: HashMap<u64, u64> = HashMap::with_capacity(k * 2);
-            for i in 0..k as u64 {
+            // Partial Fisher–Yates over two buffers reused across
+            // calls instead of a fresh hash map per call. Every probe
+            // key `i` and most swap targets `j` are below `k` and index
+            // the dense table directly; the rare `j >= k` keys go to a
+            // sorted spill with binary-search lookups. The draw
+            // sequence (one `gen_range(n - i)` per index) is identical
+            // to the inline path's.
+            let mut dense = std::mem::take(&mut self.dense_scratch);
+            let mut spill = std::mem::take(&mut self.spill_scratch);
+            dense.clear();
+            dense.resize(k, u64::MAX);
+            spill.clear();
+            let ku = k as u64;
+            for i in 0..ku {
                 let j = i + self.gen_range(n - i);
-                let vi = *swaps.get(&i).unwrap_or(&i);
-                let vj = *swaps.get(&j).unwrap_or(&j);
-                out.push(vj);
-                swaps.insert(j, vi);
+                let vi = match dense[i as usize] {
+                    u64::MAX => i,
+                    v => v,
+                };
+                if j < ku {
+                    let vj = match dense[j as usize] {
+                        u64::MAX => j,
+                        v => v,
+                    };
+                    out.push(vj);
+                    dense[j as usize] = vi;
+                } else {
+                    match spill.binary_search_by_key(&j, |&(key, _)| key) {
+                        Ok(pos) => {
+                            out.push(spill[pos].1);
+                            spill[pos].1 = vi;
+                        }
+                        Err(pos) => {
+                            out.push(j);
+                            spill.insert(pos, (j, vi));
+                        }
+                    }
+                }
             }
+            self.dense_scratch = dense;
+            self.spill_scratch = spill;
         }
     }
 }
@@ -266,6 +309,45 @@ mod tests {
         let inline = a.sample_distinct(1000, 16);
         let mapped = b.sample_distinct(1000, 17);
         assert_eq!(inline[..], mapped[..16]);
+    }
+
+    #[test]
+    fn sample_distinct_large_k_no_duplicates() {
+        let mut r = SimRng::new(29);
+        for _ in 0..20 {
+            let s = r.sample_distinct(500, 200);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 200);
+            assert!(s.iter().all(|&v| v < 500));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_large_full_range() {
+        // k == n > INLINE: must be a permutation of 0..n.
+        let mut r = SimRng::new(31);
+        let mut s = r.sample_distinct(64, 64);
+        s.sort_unstable();
+        assert_eq!(s, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sample_distinct_scratch_reuse_is_stateless() {
+        // A generator that has already run a large draw (dirty scratch)
+        // must produce exactly what a fresh generator produces.
+        let mut dirty = SimRng::new(37);
+        let _ = dirty.sample_distinct(10_000, 300);
+        let mut fresh = SimRng {
+            s: dirty.s,
+            dense_scratch: Vec::new(),
+            spill_scratch: Vec::new(),
+        };
+        assert_eq!(
+            dirty.sample_distinct(1_000, 40),
+            fresh.sample_distinct(1_000, 40)
+        );
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   potential anomalies and converts them to waits or deadlocks"),
 //! * [`mvcc`] — the multi-version committed-read store the model's
 //!   "no read locks" assumption rests on,
+//! * [`shard`] — the sharded-keyspace layout ([`ShardMap`]): object→
+//!   shard assignment and shard→replica-set placement for partial
+//!   replication,
 //! * [`slab`] — generational slab arenas that mint dense [`TxnId`]s, so
 //!   engines index in-flight transactions instead of hashing them,
 //! * [`wal`] — the per-node commit log replayed "in sequential commit
@@ -27,6 +30,7 @@ pub mod hash;
 pub mod lock;
 pub mod mvcc;
 pub mod object;
+pub mod shard;
 pub mod slab;
 pub mod store;
 pub mod tentative;
@@ -36,6 +40,7 @@ pub mod wal;
 pub use lock::{Acquire, DeadlockMode, LockManager, Mutation, TxnId};
 pub use mvcc::MvccStore;
 pub use object::{LamportClock, NodeId, ObjectId, Timestamp, Value, Versioned};
+pub use shard::ShardMap;
 pub use slab::TxnSlab;
 pub use store::{ApplyOutcome, ObjectStore};
 pub use tentative::TentativeStore;

@@ -1,0 +1,274 @@
+//! Sharded keyspace with partial replication: a deterministic
+//! object→shard assignment plus a shard→replica-set placement with a
+//! configurable replication factor (per Sutra & Shapiro,
+//! *Fault-Tolerant Partial Replication in Large-Scale Database
+//! Systems*).
+//!
+//! Every node hosts only the shards whose replica set contains it, so
+//! per-node replication work scales with `rf`, not `Nodes` — the
+//! refactor that lets the paper's Nodes³ sweeps run into the hundreds.
+//! With `rf == Nodes` every replica set is the full cluster in node
+//! order, so a full-replication run through the map is byte-identical
+//! to the unsharded code path (the established `--jobs`/`--batch`
+//! invariance pattern).
+
+use crate::object::{NodeId, ObjectId};
+
+/// Deterministic shard layout: `shard_of(o) = o mod shards`, and shard
+/// `s` is replicated at nodes `{(s + i) mod nodes : i < rf}` (sorted).
+/// Shard `s`'s *owner* — the coordinator for cross-shard work — is
+/// `s mod nodes`, always a member of its replica set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+    nodes: u32,
+    rf: u32,
+    /// Per-shard replica sets, each sorted ascending.
+    replica_sets: Vec<Vec<NodeId>>,
+    /// Per-node sorted list of hosted shards.
+    hosted: Vec<Vec<u32>>,
+    /// Per-node shard membership bitset (`shards` bits each), for O(1)
+    /// `hosts` and O(words) `shares_any`.
+    bits: Vec<Vec<u64>>,
+    /// `rank[node * shards + s]` = index of `s` in `hosted[node]`, or
+    /// `u32::MAX` when the node does not host `s`.
+    rank: Vec<u32>,
+}
+
+impl ShardMap {
+    /// Build the layout for `shards` shards over `nodes` nodes at
+    /// replication factor `rf` (clamped to `nodes`; `rf == 0` means
+    /// full replication). Panics if `shards` or `nodes` is zero.
+    pub fn new(shards: u32, nodes: u32, rf: u32) -> Self {
+        assert!(shards > 0, "shard map needs at least one shard");
+        assert!(nodes > 0, "shard map needs at least one node");
+        let rf = if rf == 0 { nodes } else { rf.min(nodes) };
+        let words = (shards as usize).div_ceil(64);
+        let mut replica_sets = Vec::with_capacity(shards as usize);
+        let mut hosted = vec![Vec::new(); nodes as usize];
+        let mut bits = vec![vec![0u64; words]; nodes as usize];
+        for s in 0..shards {
+            let mut set: Vec<NodeId> = (0..rf).map(|i| NodeId((s + i) % nodes)).collect();
+            set.sort_unstable();
+            set.dedup();
+            for &n in &set {
+                hosted[n.0 as usize].push(s);
+                bits[n.0 as usize][(s / 64) as usize] |= 1u64 << (s % 64);
+            }
+            replica_sets.push(set);
+        }
+        let mut rank = vec![u32::MAX; nodes as usize * shards as usize];
+        for (n, shards_of_n) in hosted.iter().enumerate() {
+            for (r, &s) in shards_of_n.iter().enumerate() {
+                rank[n * shards as usize + s as usize] = r as u32;
+            }
+        }
+        ShardMap {
+            shards,
+            nodes,
+            rf,
+            replica_sets,
+            hosted,
+            bits,
+            rank,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Effective replication factor.
+    pub fn rf(&self) -> u32 {
+        self.rf
+    }
+
+    /// Whether every node hosts every shard (full replication): the
+    /// layout changes nothing and engines keep their unsharded paths.
+    pub fn is_full(&self) -> bool {
+        self.rf == self.nodes
+    }
+
+    /// The shard an object belongs to.
+    #[inline]
+    pub fn shard_of(&self, id: ObjectId) -> u32 {
+        (id.0 % u64::from(self.shards)) as u32
+    }
+
+    /// Shard `s`'s replica set, sorted ascending. With `rf == nodes`
+    /// this is exactly `0..nodes` for every shard.
+    pub fn replicas(&self, shard: u32) -> &[NodeId] {
+        &self.replica_sets[shard as usize]
+    }
+
+    /// Shard `s`'s owner — the coordinator node for cross-shard
+    /// transactions touching `s`. Always a member of `replicas(s)`.
+    #[inline]
+    pub fn owner(&self, shard: u32) -> NodeId {
+        NodeId(shard % self.nodes)
+    }
+
+    /// Whether `node` hosts `shard` (is in its replica set).
+    #[inline]
+    pub fn hosts(&self, node: NodeId, shard: u32) -> bool {
+        self.bits[node.0 as usize][(shard / 64) as usize] & (1u64 << (shard % 64)) != 0
+    }
+
+    /// Whether `node` hosts the shard `object` belongs to.
+    #[inline]
+    pub fn hosts_object(&self, node: NodeId, object: ObjectId) -> bool {
+        self.hosts(node, self.shard_of(object))
+    }
+
+    /// The shards `node` hosts, sorted ascending.
+    pub fn hosted_shards(&self, node: NodeId) -> &[u32] {
+        &self.hosted[node.0 as usize]
+    }
+
+    /// Whether two nodes co-host at least one shard (i.e. `a` ever has
+    /// replica traffic for `b`). Propagation skips pairs that share
+    /// nothing.
+    pub fn shares_any(&self, a: NodeId, b: NodeId) -> bool {
+        self.bits[a.0 as usize]
+            .iter()
+            .zip(&self.bits[b.0 as usize])
+            .any(|(x, y)| x & y != 0)
+    }
+
+    /// Index of `shard` within `hosted_shards(node)`, if hosted.
+    #[inline]
+    pub fn rank(&self, node: NodeId, shard: u32) -> Option<u32> {
+        let r = self.rank[node.0 as usize * self.shards as usize + shard as usize];
+        (r != u32::MAX).then_some(r)
+    }
+
+    /// How many of the `db_size` objects `node` hosts.
+    pub fn hosted_objects(&self, node: NodeId, db_size: u64) -> u64 {
+        let k = u64::from(self.shards);
+        let full_rows = db_size / k;
+        let tail = db_size % k;
+        let h = &self.hosted[node.0 as usize];
+        let tail_hosted = h.iter().take_while(|&&s| u64::from(s) < tail).count() as u64;
+        full_rows * h.len() as u64 + tail_hosted
+    }
+
+    /// The `i`-th (ascending by id) object hosted at `node`, for
+    /// `i < hosted_objects(node, db_size)` — the dense-index→object
+    /// mapping workload samplers draw through so access skew applies to
+    /// the node's hosted subset.
+    #[inline]
+    pub fn nth_hosted(&self, node: NodeId, i: u64) -> ObjectId {
+        let h = &self.hosted[node.0 as usize];
+        let len = h.len() as u64;
+        let (row, r) = (i / len, (i % len) as usize);
+        ObjectId(row * u64::from(self.shards) + u64::from(h[r]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_replication_sets_are_all_nodes_in_order() {
+        let m = ShardMap::new(7, 4, 0);
+        assert!(m.is_full());
+        assert_eq!(m.rf(), 4);
+        for s in 0..7 {
+            let ids: Vec<u32> = m.replicas(s).iter().map(|n| n.0).collect();
+            assert_eq!(ids, vec![0, 1, 2, 3], "shard {s}");
+        }
+        for n in 0..4 {
+            assert_eq!(m.hosted_shards(NodeId(n)).len(), 7);
+        }
+    }
+
+    #[test]
+    fn rf_clamps_to_nodes() {
+        let m = ShardMap::new(4, 3, 9);
+        assert!(m.is_full());
+        assert_eq!(m.rf(), 3);
+    }
+
+    #[test]
+    fn partial_placement_is_balanced_when_shards_equal_nodes() {
+        let m = ShardMap::new(8, 8, 3);
+        assert!(!m.is_full());
+        for s in 0..8 {
+            assert_eq!(m.replicas(s).len(), 3);
+            assert!(m.replicas(s).contains(&m.owner(s)));
+        }
+        // Round-robin placement: every node hosts exactly rf shards.
+        for n in 0..8 {
+            assert_eq!(m.hosted_shards(NodeId(n)).len(), 3, "node {n}");
+        }
+    }
+
+    #[test]
+    fn hosts_matches_replica_sets() {
+        let m = ShardMap::new(10, 6, 2);
+        for s in 0..10 {
+            for n in 0..6 {
+                assert_eq!(
+                    m.hosts(NodeId(n), s),
+                    m.replicas(s).contains(&NodeId(n)),
+                    "node {n} shard {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_is_modular() {
+        let m = ShardMap::new(4, 4, 2);
+        assert_eq!(m.shard_of(ObjectId(0)), 0);
+        assert_eq!(m.shard_of(ObjectId(5)), 1);
+        assert_eq!(m.shard_of(ObjectId(7)), 3);
+    }
+
+    #[test]
+    fn shares_any_detects_cohosting() {
+        let m = ShardMap::new(8, 8, 2);
+        // Shard s lives at {s, s+1}: adjacent nodes share, distant don't.
+        assert!(m.shares_any(NodeId(0), NodeId(1)));
+        assert!(!m.shares_any(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn hosted_object_mapping_is_dense_ascending_and_complete() {
+        let m = ShardMap::new(5, 5, 2);
+        let db = 23u64; // deliberately not a multiple of shards
+        for n in 0..5 {
+            let node = NodeId(n);
+            let count = m.hosted_objects(node, db);
+            let expect: Vec<u64> = (0..db)
+                .filter(|&o| m.hosts_object(node, ObjectId(o)))
+                .collect();
+            assert_eq!(count, expect.len() as u64, "node {n}");
+            let got: Vec<u64> = (0..count).map(|i| m.nth_hosted(node, i).0).collect();
+            assert_eq!(got, expect, "node {n}");
+        }
+    }
+
+    #[test]
+    fn rank_indexes_hosted_shards() {
+        let m = ShardMap::new(6, 4, 2);
+        for n in 0..4 {
+            let node = NodeId(n);
+            for (r, &s) in m.hosted_shards(node).iter().enumerate() {
+                assert_eq!(m.rank(node, s), Some(r as u32));
+            }
+            for s in 0..6 {
+                if !m.hosts(node, s) {
+                    assert_eq!(m.rank(node, s), None);
+                }
+            }
+        }
+    }
+}

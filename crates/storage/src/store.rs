@@ -1,8 +1,12 @@
-//! The per-node object store: every node replicates all `DB_Size`
-//! objects (the model's assumption), each carrying the timestamp of its
-//! most recent committed update.
+//! The per-node object store: each object carries the timestamp of its
+//! most recent committed update. A *full* store replicates all
+//! `DB_Size` objects (the model's baseline assumption); a *sharded*
+//! store ([`ObjectStore::sharded`]) allocates slots only for the
+//! objects whose shards the node hosts, so per-node memory and digest
+//! work scale with the replication factor instead of the database.
 
 use crate::object::{ObjectId, Timestamp, Value, Versioned};
+use crate::shard::ShardMap;
 
 /// Outcome of applying a timestamped replica update (Figure 4 of the
 /// paper): safe, duplicate, or dangerous.
@@ -42,9 +46,11 @@ impl ApplyOutcome {
     }
 }
 
-/// A dense, per-node replica of the whole database. Object ids are the
-/// integers `0..db_size`, so the store is a flat `Vec` — the hot path of
-/// every protocol is an index, not a hash.
+/// A dense, per-node replica of the database. Object ids are the
+/// integers `0..db_size`; a full store maps id `i` to slot `i`, while a
+/// sharded store packs only the hosted objects into slots via a closed-
+/// form `(row, rank)` mapping — the hot path of every protocol is still
+/// an index, not a hash.
 #[derive(Debug, Clone)]
 pub struct ObjectStore {
     objects: Vec<Versioned>,
@@ -55,6 +61,41 @@ pub struct ObjectStore {
     /// [`slot_hash`], maintained incrementally by each write so
     /// [`ObjectStore::digest`] is O(1) instead of a full scan.
     digest: u64,
+    /// `Some` for a sharded (partial) store; `None` keeps the original
+    /// dense id-is-slot layout and behavior bit-for-bit.
+    layout: Option<ShardLayout>,
+}
+
+/// The per-node slice of a [`ShardMap`] a partial store needs to map
+/// object ids to its packed slots.
+#[derive(Debug, Clone)]
+struct ShardLayout {
+    /// Total shard count `k` (objects in shard `id % k`).
+    shards: u64,
+    /// This node's hosted shards, sorted ascending.
+    hosted: Vec<u32>,
+    /// `rank[s]` = index of shard `s` in `hosted`, `u32::MAX` if the
+    /// node does not host `s`.
+    rank: Vec<u32>,
+}
+
+impl ShardLayout {
+    /// The packed slot for `id`, or `None` when the shard isn't hosted.
+    /// Hosted objects ascending by id enumerate slots `0, 1, 2, …`
+    /// (row-major over `(id / k, rank(id % k))`), so the mapping needs
+    /// no per-object table.
+    #[inline]
+    fn slot(&self, id: ObjectId) -> Option<usize> {
+        let r = self.rank[(id.0 % self.shards) as usize];
+        (r != u32::MAX).then(|| (id.0 / self.shards) as usize * self.hosted.len() + r as usize)
+    }
+
+    /// The object id stored in `slot` (inverse of [`ShardLayout::slot`]).
+    #[inline]
+    fn object_of(&self, slot: usize) -> ObjectId {
+        let h = self.hosted.len();
+        ObjectId((slot / h) as u64 * self.shards + u64::from(self.hosted[slot % h]))
+    }
 }
 
 /// A well-mixed 64-bit hash of one slot's `(index, value, timestamp)`.
@@ -88,7 +129,7 @@ fn slot_hash(idx: usize, v: &Versioned) -> u64 {
 }
 
 impl ObjectStore {
-    /// A store of `db_size` objects, all at [`Versioned::initial`].
+    /// A full store of `db_size` objects, all at [`Versioned::initial`].
     pub fn new(db_size: u64) -> Self {
         let objects = vec![Versioned::initial(); db_size as usize];
         let slot_hashes: Vec<u64> = objects
@@ -101,19 +142,74 @@ impl ObjectStore {
             objects,
             slot_hashes,
             digest,
+            layout: None,
+        }
+    }
+
+    /// A partial store holding only the objects of the shards `map`
+    /// places at `node`, all at [`Versioned::initial`]. Slot hashes stay
+    /// keyed by **object id**, so two co-hosting nodes hash a shared
+    /// object identically and a full-replication sharded store digests
+    /// exactly like [`ObjectStore::new`].
+    pub fn sharded(db_size: u64, map: &ShardMap, node: crate::object::NodeId) -> Self {
+        if map.is_full() {
+            return ObjectStore::new(db_size);
+        }
+        let shards = map.shards();
+        let layout = ShardLayout {
+            shards: u64::from(shards),
+            hosted: map.hosted_shards(node).to_vec(),
+            rank: (0..shards)
+                .map(|s| map.rank(node, s).unwrap_or(u32::MAX))
+                .collect(),
+        };
+        let count = map.hosted_objects(node, db_size) as usize;
+        let objects = vec![Versioned::initial(); count];
+        let slot_hashes: Vec<u64> = (0..count)
+            .map(|slot| slot_hash(layout.object_of(slot).0 as usize, &objects[slot]))
+            .collect();
+        let digest = slot_hashes.iter().fold(0u64, |d, &h| d.wrapping_add(h));
+        ObjectStore {
+            objects,
+            slot_hashes,
+            digest,
+            layout: Some(layout),
+        }
+    }
+
+    /// The hash key for `slot`: the object id it holds (which *is* the
+    /// slot index in a full store).
+    #[inline]
+    fn hash_key(&self, slot: usize) -> usize {
+        match &self.layout {
+            None => slot,
+            Some(l) => l.object_of(slot).0 as usize,
+        }
+    }
+
+    /// The slot holding `id`. Panics on an id this store does not host
+    /// (protocol paths only route hosted objects here).
+    #[inline]
+    fn slot_of(&self, id: ObjectId) -> usize {
+        match &self.layout {
+            None => id.0 as usize,
+            Some(l) => l
+                .slot(id)
+                .unwrap_or_else(|| panic!("object {} is not hosted at this store", id.0)),
         }
     }
 
     /// Replace slot `idx` with `next`, rolling the digest forward.
     #[inline]
     fn write_slot(&mut self, idx: usize, next: Versioned) {
-        let new_hash = slot_hash(idx, &next);
+        let new_hash = slot_hash(self.hash_key(idx), &next);
         let old_hash = std::mem::replace(&mut self.slot_hashes[idx], new_hash);
         self.digest = self.digest.wrapping_sub(old_hash).wrapping_add(new_hash);
         self.objects[idx] = next;
     }
 
-    /// Number of objects.
+    /// Number of objects this store holds (the hosted subset for a
+    /// sharded store).
     pub fn len(&self) -> usize {
         self.objects.len()
     }
@@ -123,16 +219,26 @@ impl ObjectStore {
         self.objects.is_empty()
     }
 
-    /// Read an object's current version. Panics on an out-of-range id
-    /// (the workload generator only produces valid ids).
+    /// Whether this store hosts `id` (always true for a full store's
+    /// valid ids).
+    pub fn hosts(&self, id: ObjectId) -> bool {
+        match &self.layout {
+            None => (id.0 as usize) < self.objects.len(),
+            Some(l) => l.slot(id).is_some(),
+        }
+    }
+
+    /// Read an object's current version. Panics on an out-of-range or
+    /// unhosted id (the workload generator only produces valid ids).
     pub fn get(&self, id: ObjectId) -> &Versioned {
-        &self.objects[id.0 as usize]
+        &self.objects[self.slot_of(id)]
     }
 
     /// Overwrite an object's value and timestamp unconditionally — used
     /// by the local write path after the lock manager has granted access.
     pub fn set(&mut self, id: ObjectId, value: Value, ts: Timestamp) {
-        self.write_slot(id.0 as usize, Versioned { value, ts });
+        let idx = self.slot_of(id);
+        self.write_slot(idx, Versioned { value, ts });
     }
 
     /// Apply a replica update using the paper's timestamp test
@@ -152,7 +258,7 @@ impl ObjectStore {
         new_ts: Timestamp,
         value: Value,
     ) -> ApplyOutcome {
-        let idx = id.0 as usize;
+        let idx = self.slot_of(id);
         let slot = &self.objects[idx];
         if slot.ts == old {
             self.write_slot(idx, Versioned { value, ts: new_ts });
@@ -172,7 +278,7 @@ impl ObjectStore {
     /// newer than a replica update timestamp, the update is stale and
     /// can be ignored"). Returns whether the update was applied.
     pub fn apply_lww(&mut self, id: ObjectId, new_ts: Timestamp, value: Value) -> bool {
-        let idx = id.0 as usize;
+        let idx = self.slot_of(id);
         if new_ts > self.objects[idx].ts {
             self.write_slot(idx, Versioned { value, ts: new_ts });
             true
@@ -181,12 +287,13 @@ impl ObjectStore {
         }
     }
 
-    /// Iterate over `(id, version)` pairs.
+    /// Iterate over `(id, version)` pairs, ascending by object id (only
+    /// the hosted subset for a sharded store).
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &Versioned)> {
         self.objects
             .iter()
             .enumerate()
-            .map(|(i, v)| (ObjectId(i as u64), v))
+            .map(|(i, v)| (ObjectId(self.hash_key(i) as u64), v))
     }
 
     /// A deterministic digest of the full database state. Two replicas
@@ -203,10 +310,9 @@ impl ObjectStore {
     /// to validate the rolling maintenance, and the benches use it as
     /// the pre-incremental cost baseline.
     pub fn recompute_digest(&self) -> u64 {
-        self.objects
-            .iter()
-            .enumerate()
-            .fold(0u64, |d, (i, v)| d.wrapping_add(slot_hash(i, v)))
+        self.objects.iter().enumerate().fold(0u64, |d, (i, v)| {
+            d.wrapping_add(slot_hash(self.hash_key(i), v))
+        })
     }
 
     /// Sum of all integer values — workload invariants (e.g. "transfers
@@ -376,5 +482,72 @@ mod tests {
         assert_eq!(s.iter().count(), 5);
         let ids: Vec<u64> = s.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sharded_store_holds_only_hosted_objects() {
+        let map = ShardMap::new(4, 4, 2);
+        let node = NodeId(1);
+        let s = ObjectStore::sharded(22, &map, node);
+        let expect: Vec<u64> = (0..22)
+            .filter(|&o| map.hosts_object(node, ObjectId(o)))
+            .collect();
+        assert_eq!(s.len(), expect.len());
+        let got: Vec<u64> = s.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(got, expect);
+        for &o in &expect {
+            assert!(s.hosts(ObjectId(o)));
+        }
+        assert!(!s.hosts(ObjectId(0)) || map.hosts_object(node, ObjectId(0)));
+    }
+
+    #[test]
+    fn sharded_store_rolling_digest_matches_recompute() {
+        let map = ShardMap::new(5, 5, 2);
+        let node = NodeId(2);
+        let mut s = ObjectStore::sharded(23, &map, node);
+        assert_eq!(s.digest(), s.recompute_digest());
+        let hosted: Vec<u64> = s.iter().map(|(id, _)| id.0).collect();
+        for (i, &o) in hosted.iter().enumerate() {
+            s.set(ObjectId(o), Value::Int(i as i64), ts(i as u64 + 1, 2));
+        }
+        assert_eq!(s.digest(), s.recompute_digest());
+    }
+
+    #[test]
+    fn cohosting_nodes_agree_on_shared_state() {
+        // Two replicas of the same shard applying the same updates must
+        // agree per object (hashes are keyed by object id, not slot),
+        // even though the object sits in different slots on each.
+        let map = ShardMap::new(4, 4, 2);
+        // Shard 1 lives at nodes {1, 2}.
+        let (a, b) = (NodeId(1), NodeId(2));
+        let mut sa = ObjectStore::sharded(16, &map, a);
+        let mut sb = ObjectStore::sharded(16, &map, b);
+        let obj = ObjectId(5); // shard 1
+        sa.set(obj, Value::Int(9), ts(3, 1));
+        sb.set(obj, Value::Int(9), ts(3, 1));
+        assert_eq!(sa.get(obj), sb.get(obj));
+        let ha = sa.iter().find(|(id, _)| *id == obj).unwrap().1;
+        let hb = sb.iter().find(|(id, _)| *id == obj).unwrap().1;
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn sharded_with_full_rf_is_a_plain_full_store() {
+        let map = ShardMap::new(6, 3, 0);
+        let full = ObjectStore::new(20);
+        let sharded = ObjectStore::sharded(20, &map, NodeId(1));
+        assert_eq!(sharded.len(), full.len());
+        assert_eq!(sharded.digest(), full.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "not hosted")]
+    fn sharded_store_panics_on_unhosted_get() {
+        let map = ShardMap::new(4, 4, 1);
+        // Node 0 hosts only shard 0; object 1 is shard 1.
+        let s = ObjectStore::sharded(8, &map, NodeId(0));
+        let _ = s.get(ObjectId(1));
     }
 }

@@ -26,8 +26,14 @@ pub struct TentativeStore {
 impl TentativeStore {
     /// A store over `db_size` objects with no tentative state.
     pub fn new(db_size: u64) -> Self {
+        Self::from_master(ObjectStore::new(db_size))
+    }
+
+    /// Wrap an existing master-version store (e.g. a partial
+    /// [`ObjectStore::sharded`] replica) with no tentative state.
+    pub fn from_master(master: ObjectStore) -> Self {
         TentativeStore {
-            master: ObjectStore::new(db_size),
+            master,
             tentative: HashMap::new(),
         }
     }

@@ -181,4 +181,48 @@ assert elections > 0, "failover smoke never elected a leader"
 print(f"ok: failover deterministic, {elections} elections, all rows safe")
 EOF
 
+say "sharding identity: --shards 7 (full rf) must be byte-identical across all experiments"
+shard_out="$(mktemp)"
+trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$check_out" "$fo_a" "$fo_b" "$fo_metrics_a" "$fo_metrics_b" "$shard_out"' EXIT
+./target/release/harness --quick --json --shards 7 all >"$shard_out"
+cmp "$out" "$shard_out" || {
+    echo "--shards 7 at full replication changed experiment output" >&2
+    exit 1
+}
+echo "ok: full-rf sharded run byte-identical to unsharded across every experiment"
+
+say "scaleout smoke: fixed seed (determinism across --jobs, schema, sublinear fan-out)"
+sc_a="$(mktemp)"
+sc_b="$(mktemp)"
+trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$check_out" "$fo_a" "$fo_b" "$fo_metrics_a" "$fo_metrics_b" "$shard_out" "$sc_a" "$sc_b"' EXIT
+./target/release/harness --quick --json --seed 41 scaleout >"$sc_a"
+./target/release/harness --quick --json --seed 41 --jobs 2 scaleout >"$sc_b"
+cmp "$sc_a" "$sc_b" || {
+    echo "scaleout --jobs 2 output differs from the serial run" >&2
+    exit 1
+}
+/usr/bin/jq -e '
+    def fanout(n; rf): (.rows[] | select(.[0] == n and .[1] == rf) | .[8] | tonumber);
+    .id == "SCALEOUT"
+    and .violations == []
+    and (.headers | index("msgs/commit") == 8)
+    and (.rows | length >= 9)
+    and ([.rows[] | select(.[0] == "256" and .[1] == "3")] | length == 1)
+    and (fanout("256"; "3") < fanout("8"; "3") * 2 + 1)
+    and (fanout("32"; "full") > fanout("8"; "full") * 2)
+' "$sc_a" >/dev/null || {
+    echo "scaleout JSON failed schema/sublinearity validation" >&2
+    exit 1
+}
+echo "ok: scaleout deterministic across --jobs, 256-node point present, rf=3 fan-out flat"
+
+say "scaleout oracle smoke: --check on the sharded sweep must stay clean"
+./target/release/harness --quick --json --seed 41 --check scaleout >"$sc_b"
+/usr/bin/jq -e '.violations == []' "$sc_b" >/dev/null || {
+    echo "scaleout --check recorded oracle violations" >&2
+    /usr/bin/jq '.violations' "$sc_b" >&2
+    exit 1
+}
+echo "ok: sharded sweep clean through the oracles"
+
 say "all CI gates passed"
