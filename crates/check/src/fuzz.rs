@@ -36,6 +36,18 @@ pub struct FuzzCase {
     /// Optional fault-plan spec (the `repl_net::FaultPlan::parse`
     /// mini-language); lazy-group only.
     pub faults: Option<String>,
+    /// Keyspace shard count; 0 leaves the run unsharded. Only the
+    /// contention-family schemes consult a shard layout.
+    pub shards: u32,
+    /// Per-shard replication factor; 0 means full replication.
+    pub rf: u32,
+    /// Cross-shard commit protocol name (`owner-order`, `2pc`, `o2pl`);
+    /// kept as a string because this crate cannot see the engine's
+    /// `CommitProto` type. `None` means the engine default.
+    pub proto: Option<String>,
+    /// Crash-point spec (`kind:nth:down_secs`, the engine's
+    /// `CrashPoint::parse` grammar); `None` injects no crash.
+    pub xpoint: Option<String>,
 }
 
 impl FuzzCase {
@@ -53,6 +65,20 @@ impl FuzzCase {
             self.actions,
             self.horizon_secs
         );
+        // Optional fields ride only when non-default so pre-protocol
+        // corpus lines round-trip byte-identically.
+        if self.shards > 0 {
+            s.push_str(&format!(",shards={}", self.shards));
+        }
+        if self.rf > 0 {
+            s.push_str(&format!(",rf={}", self.rf));
+        }
+        if let Some(p) = &self.proto {
+            s.push_str(&format!(",proto={p}"));
+        }
+        if let Some(x) = &self.xpoint {
+            s.push_str(&format!(",xpoint={x}"));
+        }
         if let Some(f) = &self.faults {
             s.push('|');
             s.push_str(f);
@@ -80,6 +106,10 @@ impl FuzzCase {
             actions: 0,
             horizon_secs: 0,
             faults,
+            shards: 0,
+            rf: 0,
+            proto: None,
+            xpoint: None,
         };
         for field in fields.split(',') {
             let (key, val) = field
@@ -98,6 +128,10 @@ impl FuzzCase {
                 "tps" => case.tps = parse("tps", val)? as u32,
                 "actions" => case.actions = parse("actions", val)? as u32,
                 "horizon" => case.horizon_secs = parse("horizon", val)?,
+                "shards" => case.shards = parse("shards", val)? as u32,
+                "rf" => case.rf = parse("rf", val)? as u32,
+                "proto" => case.proto = Some(val.trim().to_owned()),
+                "xpoint" => case.xpoint = Some(val.trim().to_owned()),
                 other => return Err(format!("unknown case field `{other}`")),
             }
         }
@@ -202,6 +236,12 @@ fn perturb(base: &FuzzCase, i: usize) -> FuzzCase {
         actions,
         horizon_secs: base.horizon_secs,
         faults,
+        // The protocol dimensions are inherited, not perturbed: a
+        // campaign that wants to sweep crash points varies the base.
+        shards: base.shards,
+        rf: base.rf,
+        proto: base.proto.clone(),
+        xpoint: base.xpoint.clone(),
     }
     .stabilized()
 }
@@ -276,6 +316,12 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
             ..case.clone()
         });
     }
+    if case.xpoint.is_some() {
+        push(FuzzCase {
+            xpoint: None,
+            ..case.clone()
+        });
+    }
     if case.horizon_secs > 5 {
         push(FuzzCase {
             horizon_secs: (case.horizon_secs / 2).max(5),
@@ -317,6 +363,10 @@ mod tests {
             actions: 4,
             horizon_secs: 20,
             faults: None,
+            shards: 0,
+            rf: 0,
+            proto: None,
+            xpoint: None,
         }
     }
 
@@ -328,6 +378,28 @@ mod tests {
         assert_eq!(parsed, c);
         let plain = base(Scheme::Eager);
         assert_eq!(FuzzCase::parse(&plain.encode()).unwrap(), plain);
+    }
+
+    #[test]
+    fn protocol_fields_round_trip_and_stay_off_by_default() {
+        // Default-field cases must encode exactly as they did before the
+        // protocol dimensions existed, so the old corpus stays stable.
+        let plain = base(Scheme::Contention);
+        assert!(!plain.encode().contains("proto="));
+        assert!(!plain.encode().contains("shards="));
+        let mut c = base(Scheme::Contention);
+        c.shards = 6;
+        c.rf = 2;
+        c.proto = Some("2pc".to_owned());
+        c.xpoint = Some("coord-post-prepare:0:3".to_owned());
+        c.faults = Some("drop=0.10; retransmit=0.25".to_owned());
+        let line = c.encode();
+        assert!(line.contains(",shards=6"), "missing shards in `{line}`");
+        assert!(
+            line.contains(",proto=2pc,xpoint=coord-post-prepare:0:3"),
+            "missing protocol fields in `{line}`"
+        );
+        assert_eq!(FuzzCase::parse(&line).unwrap(), c);
     }
 
     #[test]

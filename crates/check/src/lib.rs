@@ -26,6 +26,7 @@ mod oracle;
 pub use fuzz::{fuzz, FuzzCase, FuzzFailure, FuzzOutcome};
 pub use history::{DepEdge, DepKind, Detailed, History, TxnRecord, Verdict};
 pub use oracle::{
-    check_acked_durability, check_leader_safety, check_store_convergence, snapshot, CheckReport,
-    CriterionKind, Recorder, Scheme, Violation, DEFAULT_HISTORY_CAP,
+    check_acked_durability, check_atomicity, check_decision_durability, check_leader_safety,
+    check_store_convergence, snapshot, CheckReport, CriterionKind, Recorder, Scheme, Violation,
+    DEFAULT_HISTORY_CAP,
 };

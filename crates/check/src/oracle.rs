@@ -165,6 +165,20 @@ pub const DEFAULT_HISTORY_CAP: usize = 8_192;
 const NODE_EVENT_CAP: usize = 8_192;
 /// Cap on retained two-tier acceptance records.
 const ACCEPTANCE_CAP: usize = 16_384;
+/// Cap on retained cross-shard commit records.
+const CROSS_COMMIT_CAP: usize = 16_384;
+
+/// One client-visible cross-shard commit: which node coordinated it,
+/// which shard-owner nodes must eventually apply it, and whether a
+/// fenced commit protocol (2PC / O2PL) governed it — fenced commits
+/// additionally owe a durable decision record at the coordinator.
+#[derive(Debug, Clone)]
+struct CrossCommitRecord {
+    txn: TxnId,
+    coord: NodeId,
+    hosts: Vec<NodeId>,
+    fenced: bool,
+}
 
 #[derive(Debug)]
 struct OracleState {
@@ -173,6 +187,10 @@ struct OracleState {
     nodes: Vec<NodeTrace>,
     acceptances: VecDeque<AcceptanceRecord>,
     acceptances_dropped: u64,
+    cross_commits: VecDeque<CrossCommitRecord>,
+    cross_commits_dropped: u64,
+    shard_applies: HashMap<TxnId, Vec<NodeId>>,
+    durable_decisions: HashMap<TxnId, Vec<NodeId>>,
     finals: Vec<(NodeId, Vec<(ObjectId, Versioned)>)>,
     master_final: Option<Vec<(ObjectId, Versioned)>>,
     expect_divergence: bool,
@@ -197,6 +215,10 @@ impl Recorder {
                 nodes: Vec::new(),
                 acceptances: VecDeque::new(),
                 acceptances_dropped: 0,
+                cross_commits: VecDeque::new(),
+                cross_commits_dropped: 0,
+                shard_applies: HashMap::new(),
+                durable_decisions: HashMap::new(),
                 finals: Vec::new(),
                 master_final: None,
                 expect_divergence: false,
@@ -285,6 +307,57 @@ impl Recorder {
         });
     }
 
+    /// Record a client-visible cross-shard commit. `hosts` is every
+    /// distinct shard-owner node the transaction wrote at (including
+    /// the coordinator's own shard, when it hosts one); each must
+    /// eventually report a matching [`Recorder::shard_apply`] or the
+    /// atomicity oracle flags a partial commit. When `fenced` (2PC /
+    /// O2PL), the coordinator additionally owes a
+    /// [`Recorder::decision_durable`] record.
+    pub fn cross_commit(&self, txn: TxnId, coord: NodeId, hosts: Vec<NodeId>, fenced: bool) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.borrow_mut();
+        if state.cross_commits.len() == CROSS_COMMIT_CAP {
+            if let Some(old) = state.cross_commits.pop_front() {
+                // Keep the side maps bounded by the same cap: an
+                // evicted commit can no longer be checked, so its
+                // apply/durability evidence is dead weight.
+                state.shard_applies.remove(&old.txn);
+                state.durable_decisions.remove(&old.txn);
+            }
+            state.cross_commits_dropped += 1;
+        }
+        state.cross_commits.push_back(CrossCommitRecord {
+            txn,
+            coord,
+            hosts,
+            fenced,
+        });
+    }
+
+    /// Record that `node` made `txn`'s writes visible on its shard
+    /// (local application at commit, or remote application on receipt
+    /// of the commit decision / owner-order apply message).
+    pub fn shard_apply(&self, txn: TxnId, node: NodeId) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.borrow_mut();
+        let nodes = state.shard_applies.entry(txn).or_default();
+        if !nodes.contains(&node) {
+            nodes.push(node);
+        }
+    }
+
+    /// Record that `node` holds a durable commit-decision record for
+    /// `txn` at end of run (after crash recovery and drain).
+    pub fn decision_durable(&self, txn: TxnId, node: NodeId) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.borrow_mut();
+        let nodes = state.durable_decisions.entry(txn).or_default();
+        if !nodes.contains(&node) {
+            nodes.push(node);
+        }
+    }
+
     /// Snapshot `node`'s final store (call once per node, at run end).
     pub fn final_store(&self, node: NodeId, store: &ObjectStore) {
         let Some(inner) = &self.inner else { return };
@@ -326,6 +399,7 @@ impl Recorder {
                 commits: 0,
                 history_dropped: 0,
                 node_events_dropped: 0,
+                cross_commits_dropped: 0,
                 expected_divergence: false,
             };
         };
@@ -360,12 +434,35 @@ impl Recorder {
             }
         }
 
+        // Cross-shard commit oracles are scheme-agnostic: they apply
+        // whenever the engine recorded cross-shard commits (no records
+        // → no-ops, so unsharded runs are unaffected).
+        for rec in &state.cross_commits {
+            let applied = state
+                .shard_applies
+                .get(&rec.txn)
+                .map_or(&[][..], Vec::as_slice);
+            if let Some(v) = check_atomicity(rec.txn, &rec.hosts, applied) {
+                violations.push(v);
+            }
+            if rec.fenced {
+                let durable = state
+                    .durable_decisions
+                    .get(&rec.txn)
+                    .map_or(&[][..], Vec::as_slice);
+                if let Some(v) = check_decision_durability(rec.txn, rec.coord, durable) {
+                    violations.push(v);
+                }
+            }
+        }
+
         CheckReport {
             scheme: state.scheme,
             violations,
             commits: state.origin.len() + state.origin.dropped() as usize,
             history_dropped: state.origin.dropped(),
             node_events_dropped: state.nodes.iter().map(|t| t.dropped).sum(),
+            cross_commits_dropped: state.cross_commits_dropped,
             expected_divergence: state.expect_divergence,
         }
     }
@@ -577,6 +674,25 @@ pub enum Violation {
         /// The epoch under which it was acknowledged.
         epoch: u64,
     },
+    /// A cross-shard transaction committed on some hosting shards but
+    /// aborted or vanished on others — atomic commitment is broken.
+    PartialCommit {
+        /// The transaction that is only partially applied.
+        txn: TxnId,
+        /// Hosting nodes that did apply it, in apply order.
+        applied: Vec<NodeId>,
+        /// Hosting nodes that never applied it.
+        missing: Vec<NodeId>,
+    },
+    /// A fenced (2PC/O2PL) commit was acknowledged to the client but
+    /// no durable decision record survives at its coordinator — a
+    /// coordinator crash would silently forget the commit.
+    LostDecision {
+        /// The committed transaction.
+        txn: TxnId,
+        /// Its coordinator node.
+        coord: NodeId,
+    },
     /// A two-tier acceptance decision disagrees with the oracle's
     /// independent re-derivation (§7).
     AcceptanceUnsound {
@@ -655,6 +771,29 @@ impl fmt::Display for Violation {
                 "lost commit: acked replication seq {seq} (epoch {epoch}) \
                  missing from the surviving log"
             ),
+            Violation::PartialCommit {
+                txn,
+                applied,
+                missing,
+            } => {
+                write!(f, "partial commit: {txn} applied at")?;
+                for n in applied {
+                    write!(f, " {n}")?;
+                }
+                if applied.is_empty() {
+                    write!(f, " no node")?;
+                }
+                write!(f, " but missing at")?;
+                for n in missing {
+                    write!(f, " {n}")?;
+                }
+                Ok(())
+            }
+            Violation::LostDecision { txn, coord } => write!(
+                f,
+                "lost decision: committed {txn} has no durable decision \
+                 record at coordinator {coord}"
+            ),
             Violation::AcceptanceUnsound {
                 txn,
                 criterion,
@@ -684,6 +823,9 @@ pub struct CheckReport {
     pub history_dropped: u64,
     /// Per-node apply events evicted across all nodes.
     pub node_events_dropped: u64,
+    /// Cross-shard commit records evicted by the ring cap. Nonzero
+    /// makes a clean atomicity verdict inconclusive.
+    pub cross_commits_dropped: u64,
     /// Whether the engine declared divergence expected (oracle
     /// suppressed).
     pub expected_divergence: bool,
@@ -697,7 +839,7 @@ impl CheckReport {
 
     /// Whether history eviction makes a clean verdict inconclusive.
     pub fn truncated(&self) -> bool {
-        self.history_dropped > 0
+        self.history_dropped > 0 || self.cross_commits_dropped > 0
     }
 
     /// One-line human summary.
@@ -761,6 +903,40 @@ pub fn check_acked_durability(acked: &[(u64, u64)], surviving_head: u64) -> Opti
         .map(|&(seq, epoch)| Violation::LostCommit { seq, epoch })
 }
 
+/// Atomicity oracle for one cross-shard commit: every hosting node in
+/// `hosts` must appear in `applied` (the nodes that made the writes
+/// visible), otherwise the transaction committed on some shards and
+/// vanished on others.
+pub fn check_atomicity(txn: TxnId, hosts: &[NodeId], applied: &[NodeId]) -> Option<Violation> {
+    let missing: Vec<NodeId> = hosts
+        .iter()
+        .copied()
+        .filter(|h| !applied.contains(h))
+        .collect();
+    if missing.is_empty() {
+        return None;
+    }
+    Some(Violation::PartialCommit {
+        txn,
+        applied: applied.to_vec(),
+        missing,
+    })
+}
+
+/// Decision-durability oracle for one fenced (2PC/O2PL) commit: the
+/// coordinator `coord` must be among the nodes holding a durable
+/// commit-decision record for `txn` at end of run.
+pub fn check_decision_durability(
+    txn: TxnId,
+    coord: NodeId,
+    durable_at: &[NodeId],
+) -> Option<Violation> {
+    if durable_at.contains(&coord) {
+        return None;
+    }
+    Some(Violation::LostDecision { txn, coord })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -782,6 +958,80 @@ mod tests {
                 .map(|&(o, old, new)| (ObjectId(o), old, new))
                 .collect(),
         }
+    }
+
+    #[test]
+    fn atomicity_flags_partial_commit() {
+        let r = Recorder::new(Scheme::Eager);
+        let hosts = vec![NodeId(0), NodeId(1), NodeId(2)];
+        r.cross_commit(TxnId(7), NodeId(0), hosts, false);
+        r.shard_apply(TxnId(7), NodeId(0));
+        r.shard_apply(TxnId(7), NodeId(2));
+        let report = r.check();
+        assert_eq!(report.violations.len(), 1);
+        match &report.violations[0] {
+            Violation::PartialCommit {
+                txn,
+                applied,
+                missing,
+            } => {
+                assert_eq!(*txn, TxnId(7));
+                assert_eq!(applied, &[NodeId(0), NodeId(2)]);
+                assert_eq!(missing, &[NodeId(1)]);
+            }
+            v => panic!("unexpected violation {v}"),
+        }
+    }
+
+    #[test]
+    fn atomicity_clean_when_all_hosts_apply() {
+        let r = Recorder::new(Scheme::Eager);
+        r.cross_commit(TxnId(3), NodeId(1), vec![NodeId(1), NodeId(2)], false);
+        r.shard_apply(TxnId(3), NodeId(2));
+        r.shard_apply(TxnId(3), NodeId(1));
+        // Duplicate applies (message duplication) are absorbed.
+        r.shard_apply(TxnId(3), NodeId(2));
+        assert!(r.check().is_clean());
+    }
+
+    #[test]
+    fn fenced_commit_without_durable_decision_is_lost() {
+        let r = Recorder::new(Scheme::Eager);
+        r.cross_commit(TxnId(9), NodeId(0), vec![NodeId(0), NodeId(1)], true);
+        r.shard_apply(TxnId(9), NodeId(0));
+        r.shard_apply(TxnId(9), NodeId(1));
+        let report = r.check();
+        assert_eq!(
+            report.violations,
+            vec![Violation::LostDecision {
+                txn: TxnId(9),
+                coord: NodeId(0),
+            }]
+        );
+        // Recording durability at the coordinator clears it; at some
+        // other node it does not.
+        r.decision_durable(TxnId(9), NodeId(1));
+        assert!(!r.check().is_clean());
+        r.decision_durable(TxnId(9), NodeId(0));
+        assert!(r.check().is_clean());
+    }
+
+    #[test]
+    fn unfenced_commit_owes_no_decision_record() {
+        let r = Recorder::new(Scheme::Eager);
+        r.cross_commit(TxnId(4), NodeId(2), vec![NodeId(2), NodeId(3)], false);
+        r.shard_apply(TxnId(4), NodeId(2));
+        r.shard_apply(TxnId(4), NodeId(3));
+        assert!(r.check().is_clean());
+    }
+
+    #[test]
+    fn standalone_cross_commit_oracles() {
+        assert!(check_atomicity(TxnId(1), &[NodeId(0)], &[NodeId(0)]).is_none());
+        let v = check_atomicity(TxnId(1), &[NodeId(0), NodeId(1)], &[]).unwrap();
+        assert!(matches!(v, Violation::PartialCommit { ref missing, .. } if missing.len() == 2));
+        assert!(check_decision_durability(TxnId(1), NodeId(0), &[NodeId(0)]).is_none());
+        assert!(check_decision_durability(TxnId(1), NodeId(0), &[NodeId(1)]).is_some());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation configuration shared by every protocol engine.
 
+use crate::engine::commit::{CommitProto, CrashPoint};
 use repl_model::Params;
 use repl_net::LatencyModel;
 use repl_sim::{AccessPattern, SimDuration, SimTime};
@@ -81,6 +82,13 @@ pub struct SimConfig {
     /// originating node's hosted subset — a genuine multi-shard
     /// transaction routed through the cross-shard coordinator path.
     pub cross_shard: f64,
+    /// Cross-shard atomic-commit protocol for the eager family
+    /// (`--commit-proto`). [`CommitProto::OwnerOrder`] is PR 8's
+    /// protocol-free baseline; only partial shard layouts consult it.
+    pub commit_proto: CommitProto,
+    /// Optional targeted crash at a 2PC state transition (the fuzz
+    /// campaign's crash-point injection). `None` outside fuzz runs.
+    pub crash_point: Option<CrashPoint>,
 }
 
 impl SimConfig {
@@ -104,6 +112,8 @@ impl SimConfig {
             shards: 0,
             rf: 0,
             cross_shard: 0.0,
+            commit_proto: CommitProto::OwnerOrder,
+            crash_point: None,
         }
     }
 
@@ -181,6 +191,20 @@ impl SimConfig {
     #[must_use]
     pub fn with_cross_shard(mut self, rate: f64) -> Self {
         self.cross_shard = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder-style cross-shard commit protocol override.
+    #[must_use]
+    pub fn with_commit_proto(mut self, proto: CommitProto) -> Self {
+        self.commit_proto = proto;
+        self
+    }
+
+    /// Builder-style 2PC crash-point injection (fuzz campaign).
+    #[must_use]
+    pub fn with_crash_point(mut self, point: CrashPoint) -> Self {
+        self.crash_point = Some(point);
         self
     }
 
@@ -280,6 +304,21 @@ mod tests {
         assert_eq!(c.with_cross_shard(0.25).cross_shard, 0.25);
         assert_eq!(c.with_cross_shard(7.0).cross_shard, 1.0);
         assert_eq!(c.with_cross_shard(-1.0).cross_shard, 0.0);
+    }
+
+    #[test]
+    fn commit_proto_defaults_to_owner_order() {
+        let c = SimConfig::from_params(&Params::default(), 10, 1);
+        assert_eq!(c.commit_proto, CommitProto::OwnerOrder);
+        assert!(c.crash_point.is_none());
+        let c = c.with_commit_proto(CommitProto::TwoPc);
+        assert_eq!(c.commit_proto, CommitProto::TwoPc);
+        let cp = CrashPoint {
+            kind: crate::engine::commit::CrashKind::CoordPostPrepare,
+            nth: 0,
+            down_secs: 5,
+        };
+        assert_eq!(c.with_crash_point(cp).crash_point, Some(cp));
     }
 
     #[test]

@@ -22,11 +22,15 @@
 //! transactions").
 
 use crate::config::SimConfig;
-use crate::metrics::{Metrics, Report};
+use crate::engine::commit::{CommitProto, CoordState, Coordinator, CrashKind, Decision};
+use crate::metrics::{Metrics, Report, M_INDOUBT_WAIT};
 use repl_check::{Recorder, TxnRecord};
+use repl_net::{FaultInjector, FaultPlan, Network, SendOutcome};
 use repl_sim::{EventQueue, Sampler, SimDuration, SimRng, SimTime};
 use repl_storage::hash::FastMap;
-use repl_storage::{Acquire, LockManager, NodeId, ObjectId, ShardMap, Timestamp, TxnId};
+use repl_storage::{
+    Acquire, DecisionLog, DecisionState, LockManager, NodeId, ObjectId, ShardMap, Timestamp, TxnId,
+};
 use repl_telemetry::{AbortReason, Event, EventKind, Profiler, TraceHandle};
 use std::collections::HashMap;
 
@@ -99,6 +103,66 @@ enum Ev {
     Arrive(NodeId),
     /// The current action's service time finished for a transaction.
     StepDone(TxnId),
+    /// A commit-protocol message reaches its destination.
+    ProtoDeliver { to: NodeId, msg: ProtoMsg },
+    /// Coordinator retransmit tick: resend whatever round is missing.
+    ProtoTimer(TxnId),
+    /// In-doubt participant tick: re-ask the coordinator for the
+    /// decision.
+    InDoubtTimer(TxnId, NodeId),
+    /// Scheduled node crash (fault-plan window).
+    Crash(NodeId),
+    /// Scheduled node restart with durable-log recovery.
+    Restart(NodeId),
+}
+
+/// The cross-shard commit protocol's wire vocabulary. Every variant
+/// carries its sender, so a parked message can be re-parked and a
+/// handler never needs out-of-band context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProtoMsg {
+    /// Coordinator → participant: vote on `txn`.
+    Prepare { txn: TxnId, coord: NodeId },
+    /// Participant → coordinator: this shard's vote.
+    Vote { txn: TxnId, node: NodeId, yes: bool },
+    /// Coordinator → participant: the durable decision.
+    Decision {
+        txn: TxnId,
+        coord: NodeId,
+        commit: bool,
+    },
+    /// Participant → coordinator: decision received and applied.
+    Ack { txn: TxnId, node: NodeId },
+    /// In-doubt participant → coordinator: what happened to `txn`?
+    /// (Presumed abort: no durable decision ⇒ the answer is abort.)
+    DecisionReq { txn: TxnId, node: NodeId },
+    /// Owner-order only: fire-and-forget "apply this commit" — no
+    /// votes, no acks, no durable redo. Its losses are the anomaly the
+    /// atomicity oracle exists to catch.
+    Apply { txn: TxnId, from: NodeId },
+}
+
+impl ProtoMsg {
+    fn sender(self) -> NodeId {
+        match self {
+            ProtoMsg::Prepare { coord, .. } | ProtoMsg::Decision { coord, .. } => coord,
+            ProtoMsg::Vote { node, .. }
+            | ProtoMsg::Ack { node, .. }
+            | ProtoMsg::DecisionReq { node, .. } => node,
+            ProtoMsg::Apply { from, .. } => from,
+        }
+    }
+
+    fn txn(self) -> TxnId {
+        match self {
+            ProtoMsg::Prepare { txn, .. }
+            | ProtoMsg::Vote { txn, .. }
+            | ProtoMsg::Decision { txn, .. }
+            | ProtoMsg::Ack { txn, .. }
+            | ProtoMsg::DecisionReq { txn, .. }
+            | ProtoMsg::Apply { txn, .. } => txn,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -117,6 +181,13 @@ struct ActiveTxn {
     /// commit (one prepare + one commit round per remote shard owner).
     /// Always 0 outside sharded runs.
     coord_msgs: u64,
+    /// Distinct shard owners the transaction writes at, in owner
+    /// order. Populated only when a commit protocol context is active;
+    /// the protocol engages iff there are ≥ 2 owners.
+    owners: Vec<NodeId>,
+    /// O2PL: owners whose prepare was piggybacked on their last lock
+    /// grant (their yes-vote is already in hand at commit).
+    piggy: Vec<NodeId>,
 }
 
 /// Sharded-workload state: the layout plus one sampler per node over
@@ -128,6 +199,70 @@ struct ActiveTxn {
 struct ShardCtx {
     map: ShardMap,
     samplers: Vec<Option<Sampler>>,
+}
+
+/// One in-flight coordinator (volatile — lost on crash; a durably
+/// logged commit decision is re-hydrated on restart).
+#[derive(Debug)]
+struct PendingCoord {
+    coord: Coordinator,
+    /// Coordinator node.
+    node: NodeId,
+}
+
+/// Everything the cross-shard commit protocol adds on top of the base
+/// engine: a real message fabric, per-node durable decision logs, the
+/// volatile coordinator/in-doubt state, and the crash machinery.
+///
+/// Built only when the run is sharded AND something can observe the
+/// protocol (a non-default `--commit-proto`, a crash point, or a fault
+/// plan) — otherwise the engine runs the exact pre-protocol event
+/// sequence, byte for byte.
+#[derive(Debug)]
+struct ProtoCtx {
+    proto: CommitProto,
+    net: Network<ProtoMsg>,
+    /// Per-node durable decision log (survives crashes).
+    logs: Vec<DecisionLog>,
+    /// Volatile coordinator state by transaction.
+    pending: FastMap<TxnId, PendingCoord>,
+    /// Volatile in-doubt participants: `(node, since)` per transaction.
+    indoubt: FastMap<TxnId, Vec<(NodeId, SimTime)>>,
+    crashed: Vec<bool>,
+    /// Times each crash-point transition has been reached, by
+    /// [`CrashKind`] index in `CrashKind::ALL` order.
+    crash_counts: [u32; 6],
+    crash_point: Option<crate::engine::commit::CrashPoint>,
+    /// Retransmit period for the Prepare/Decision/DecisionReq timers.
+    retransmit: SimDuration,
+    /// Post-horizon drain: no faults, no arrivals, no measurements —
+    /// just protocol resolution.
+    draining: bool,
+}
+
+impl ProtoCtx {
+    fn new(cfg: &SimConfig) -> Self {
+        let n = cfg.nodes as usize;
+        ProtoCtx {
+            proto: cfg.commit_proto,
+            net: Network::new(n, cfg.latency, cfg.seed),
+            logs: (0..n).map(|_| DecisionLog::new()).collect(),
+            pending: FastMap::default(),
+            indoubt: FastMap::default(),
+            crashed: vec![false; n],
+            crash_counts: [0; 6],
+            crash_point: cfg.crash_point,
+            retransmit: SimDuration::from_millis(250),
+            draining: false,
+        }
+    }
+}
+
+fn kind_index(k: CrashKind) -> usize {
+    CrashKind::ALL
+        .iter()
+        .position(|x| *x == k)
+        .expect("CrashKind::ALL is exhaustive")
 }
 
 /// The contention simulator.
@@ -144,6 +279,9 @@ pub struct ContentionSim {
     /// `Some` when the run uses a partial shard layout (`None` keeps
     /// every draw on the original full-replication path).
     shard: Option<ShardCtx>,
+    /// Cross-shard commit protocol state; `None` keeps the engine on
+    /// the pre-protocol fast path (see [`ProtoCtx`]).
+    proto: Option<ProtoCtx>,
     next_txn: u64,
     metrics: Metrics,
     measure_from: SimTime,
@@ -184,7 +322,7 @@ impl ContentionSim {
                 .collect();
             ShardCtx { map, samplers }
         });
-        ContentionSim {
+        let mut sim = ContentionSim {
             profile,
             queue,
             locks: LockManager::new(),
@@ -193,6 +331,7 @@ impl ContentionSim {
             object_rng: SimRng::stream(cfg.seed, "objects"),
             sampler: Sampler::new(cfg.access, cfg.db_size),
             shard,
+            proto: None,
             next_txn: 0,
             metrics: Metrics {
                 lean: cfg.lean_metrics,
@@ -207,7 +346,48 @@ impl ContentionSim {
             versions: FastMap::default(),
             version_counter: 0,
             cfg,
+        };
+        if sim.cfg.commit_proto != CommitProto::OwnerOrder || sim.cfg.crash_point.is_some() {
+            sim.ensure_proto();
         }
+        sim
+    }
+
+    /// Build the protocol context if the run is sharded (single-shard
+    /// keyspaces have no cross-shard commits to protect).
+    fn ensure_proto(&mut self) {
+        if self.proto.is_none() && self.shard.is_some() {
+            self.proto = Some(ProtoCtx::new(&self.cfg));
+        }
+    }
+
+    /// Attach a fault plan (builder-style; call before
+    /// [`ContentionSim::run`]). Message chaos perturbs the commit
+    /// protocol's fabric; crash windows become scheduled events. On an
+    /// unsharded run there is no cross-shard traffic to perturb and
+    /// the plan is a no-op. Partition windows are not modeled by this
+    /// engine (the lazy-group engine owns that scenario).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.ensure_proto();
+        let Some(ctx) = &mut self.proto else {
+            return self;
+        };
+        if plan.has_message_chaos() {
+            ctx.net = Network::new(self.cfg.nodes as usize, self.cfg.latency, self.cfg.seed)
+                .with_faults(FaultInjector::new(&plan));
+        }
+        // Windows naming nodes this run doesn't have are vacuous — a
+        // plan written for a larger cluster still runs.
+        for c in &plan.crashes {
+            if c.node.0 >= self.cfg.nodes {
+                continue;
+            }
+            self.queue.schedule_at(c.at, Ev::Crash(c.node));
+            self.queue.schedule_at(c.restart, Ev::Restart(c.node));
+        }
+        ctx.retransmit = plan.retransmit;
+        self
     }
 
     /// Attach a correctness recorder; the oracle sees every commit.
@@ -236,7 +416,7 @@ impl ContentionSim {
     }
 
     fn measuring(&self) -> bool {
-        self.queue.now() >= self.measure_from
+        self.queue.now() >= self.measure_from && self.proto.as_ref().is_none_or(|c| !c.draining)
     }
 
     /// Run to the configured horizon and report the measured rates over
@@ -265,11 +445,75 @@ impl ContentionSim {
                     self.on_step_done(txn);
                     profiler.stop("contention/step", t);
                 }
+                Ev::ProtoDeliver { to, msg } => self.handle_proto(to, msg),
+                Ev::ProtoTimer(txn) => self.on_proto_timer(txn),
+                Ev::InDoubtTimer(txn, node) => self.on_indoubt_timer(txn, node),
+                Ev::Crash(node) => self.crash_node(node),
+                Ev::Restart(node) => self.restart_node(node),
             }
         }
+        self.drain_protocol(horizon);
         self.tracer.run_end(horizon);
         self.tracer.flush();
         self.metrics.report(self.measure_from, horizon)
+    }
+
+    /// Post-horizon protocol drain (no-op without a protocol context):
+    /// clear fault injection, restart every crashed node so recovery
+    /// runs, then let the remaining protocol traffic resolve. Nothing
+    /// in here is measured; the recorder hooks stay live so the
+    /// oracles judge the *settled* state. Ends with the durability
+    /// audit the lost-decision oracle consumes.
+    fn drain_protocol(&mut self, horizon: SimTime) {
+        {
+            let Some(ctx) = &mut self.proto else { return };
+            ctx.draining = true;
+            ctx.net.clear_faults();
+        }
+        let crashed: Vec<NodeId> = {
+            let ctx = self.proto.as_ref().expect("checked above");
+            (0..ctx.crashed.len() as u32)
+                .map(NodeId)
+                .filter(|n| ctx.crashed[n.0 as usize])
+                .collect()
+        };
+        for n in crashed {
+            self.restart_node(n);
+        }
+        let drain_end = horizon + SimDuration::from_secs(300);
+        while let Some((_, ev)) = self.queue.pop_until(drain_end) {
+            match ev {
+                // No new work and no new failures during the drain.
+                Ev::Arrive(_) | Ev::Crash(_) => {}
+                Ev::StepDone(txn) => self.on_step_done(txn),
+                Ev::ProtoDeliver { to, msg } => self.handle_proto(to, msg),
+                Ev::ProtoTimer(txn) => self.on_proto_timer(txn),
+                Ev::InDoubtTimer(txn, node) => self.on_indoubt_timer(txn, node),
+                Ev::Restart(node) => self.restart_node(node),
+            }
+        }
+        // Durability audit: report every durable commit decision to the
+        // oracle (sorted — FastMap iteration order must never drive
+        // observable behavior).
+        if self.recorder.is_on() {
+            let ctx = self.proto.as_ref().expect("checked above");
+            for (n, log) in ctx.logs.iter().enumerate() {
+                let mut durable: Vec<TxnId> = log
+                    .entries()
+                    .filter(|(_, st)| {
+                        matches!(
+                            st,
+                            DecisionState::Decided { commit: true, .. } | DecisionState::Done
+                        )
+                    })
+                    .map(|(t, _)| t)
+                    .collect();
+                durable.sort_unstable();
+                for t in durable {
+                    self.recorder.decision_durable(t, NodeId(n as u32));
+                }
+            }
+        }
     }
 
     fn on_arrive(&mut self, node: NodeId) {
@@ -278,9 +522,19 @@ impl ContentionSim {
             SimDuration::from_secs_f64(self.arrival_rngs[node.0 as usize].exp(1.0 / self.cfg.tps));
         self.queue.schedule_after(gap, Ev::Arrive(node));
 
+        // A crashed node accepts no new transactions (its clients see
+        // it down); arrivals resume with the node.
+        if self
+            .proto
+            .as_ref()
+            .is_some_and(|c| c.crashed[node.0 as usize])
+        {
+            return;
+        }
+
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        let (objects, coord_msgs) = self.sample_objects(node);
+        let (objects, coord_msgs, owners) = self.sample_objects(node);
         self.active.insert(
             id,
             ActiveTxn {
@@ -291,6 +545,8 @@ impl ContentionSim {
                 wait_started: None,
                 reads: Vec::new(),
                 coord_msgs,
+                owners,
+                piggy: Vec::new(),
             },
         );
         self.tracer
@@ -312,7 +568,7 @@ impl ContentionSim {
     /// cross-shard transactions from deadlocking on lock-order
     /// inversion alone. Each remote owner costs a prepare and a commit
     /// message.
-    fn sample_objects(&mut self, node: NodeId) -> (Vec<ObjectId>, u64) {
+    fn sample_objects(&mut self, node: NodeId) -> (Vec<ObjectId>, u64, Vec<NodeId>) {
         let Some(ctx) = &self.shard else {
             let objects = self
                 .sampler
@@ -320,7 +576,7 @@ impl ContentionSim {
                 .into_iter()
                 .map(ObjectId)
                 .collect();
-            return (objects, 0);
+            return (objects, 0, Vec::new());
         };
         let cross = self.object_rng.chance(self.cfg.cross_shard);
         match &ctx.samplers[node.0 as usize] {
@@ -330,7 +586,7 @@ impl ContentionSim {
                     .into_iter()
                     .map(|i| ctx.map.nth_hosted(node, i))
                     .collect();
-                (objects, 0)
+                (objects, 0, Vec::new())
             }
             _ => {
                 let mut objects: Vec<ObjectId> = self
@@ -341,15 +597,20 @@ impl ContentionSim {
                     .collect();
                 objects.sort_unstable_by_key(|o| (ctx.map.owner(ctx.map.shard_of(*o)).0, o.0));
                 let mut owners = 0u64;
+                let mut owner_list = Vec::new();
+                let track_owners = self.proto.is_some();
                 let mut prev = None;
                 for o in &objects {
                     let owner = ctx.map.owner(ctx.map.shard_of(*o));
                     if prev != Some(owner) {
                         owners += 1;
+                        if track_owners {
+                            owner_list.push(owner);
+                        }
                         prev = Some(owner);
                     }
                 }
-                (objects, 2 * owners.saturating_sub(1))
+                (objects, 2 * owners.saturating_sub(1), owner_list)
             }
         }
     }
@@ -377,6 +638,7 @@ impl ContentionSim {
                 self.record_read(id, obj);
                 self.queue
                     .schedule_after(self.profile.work_per_action, Ev::StepDone(id));
+                self.o2pl_piggy(id);
             }
             Acquire::Waiting => {
                 if self.measuring() {
@@ -430,15 +692,33 @@ impl ContentionSim {
     }
 
     fn on_step_done(&mut self, id: TxnId) {
-        let txn = self
-            .active
-            .get_mut(&id)
-            .expect("StepDone for unknown transaction");
+        // A crash can abort the transaction while its StepDone is in
+        // flight; the orphan event is simply dropped.
+        let Some(txn) = self.active.get_mut(&id) else {
+            return;
+        };
         txn.next += 1;
         self.try_step(id);
     }
 
     fn commit(&mut self, id: TxnId) {
+        let engaged = self.proto.is_some() && self.active[&id].owners.len() >= 2;
+        if !engaged {
+            // Single-owner (or unsharded) transactions skip the commit
+            // protocol entirely: no coordinator, no messages — the
+            // original commit path, byte for byte.
+            self.plain_commit(id);
+            return;
+        }
+        match self.proto.as_ref().expect("engaged implies proto").proto {
+            CommitProto::OwnerOrder => self.commit_owner_order(id),
+            CommitProto::TwoPc | CommitProto::O2pl => self.begin_commit_protocol(id),
+        }
+    }
+
+    /// The pre-protocol commit path (also used for protocol runs'
+    /// single-owner transactions, which provably skip the protocol).
+    fn plain_commit(&mut self, id: TxnId) {
         let txn = self.active.remove(&id).expect("committing unknown txn");
         if self.measuring() {
             self.metrics.committed.incr();
@@ -449,26 +729,58 @@ impl ContentionSim {
         self.tracer
             .emit(|| Event::new(self.queue.now(), txn.node, id, EventKind::TxnCommit));
         if self.recorder.is_on() {
-            // Every locked object is read and updated (the model's
-            // actions are updates): mint the successor versions now,
-            // in commit order.
-            let mut writes = Vec::with_capacity(txn.reads.len());
-            for &(obj, seen) in &txn.reads {
-                self.version_counter += 1;
-                let new = Timestamp::new(self.version_counter, NodeId(0));
-                self.versions.insert(obj, new);
-                writes.push((obj, seen, new));
-            }
-            self.recorder.commit(
-                txn.node,
-                TxnRecord {
-                    txn: id,
-                    reads: txn.reads,
-                    writes,
-                },
-            );
+            self.record_commit(id, txn.node, txn.reads);
         }
         self.release_and_resume(id);
+    }
+
+    /// The client-visible local commit of a protocol-engaged
+    /// transaction: metrics, trace, oracle records (including the
+    /// cross-shard commit obligation), lock release. Messages are
+    /// counted at send time, not here.
+    fn finish_commit_local(&mut self, id: TxnId, fenced: bool) {
+        let txn = self
+            .active
+            .remove(&id)
+            .expect("locally committing unknown txn");
+        if self.measuring() {
+            self.metrics.committed.incr();
+            self.metrics
+                .record_latency(self.queue.now().since(txn.started));
+        }
+        self.tracer
+            .emit(|| Event::new(self.queue.now(), txn.node, id, EventKind::TxnCommit));
+        if self.recorder.is_on() {
+            self.record_commit(id, txn.node, txn.reads);
+            self.recorder
+                .cross_commit(id, txn.node, txn.owners.clone(), fenced);
+            if txn.owners.contains(&txn.node) {
+                self.recorder.shard_apply(id, txn.node);
+            }
+        }
+        self.release_and_resume(id);
+    }
+
+    /// Mint successor versions and hand the commit to the oracle.
+    fn record_commit(&mut self, id: TxnId, node: NodeId, reads: Vec<(ObjectId, Timestamp)>) {
+        // Every locked object is read and updated (the model's
+        // actions are updates): mint the successor versions now,
+        // in commit order.
+        let mut writes = Vec::with_capacity(reads.len());
+        for &(obj, seen) in &reads {
+            self.version_counter += 1;
+            let new = Timestamp::new(self.version_counter, NodeId(0));
+            self.versions.insert(obj, new);
+            writes.push((obj, seen, new));
+        }
+        self.recorder.commit(
+            node,
+            TxnRecord {
+                txn: id,
+                reads,
+                writes,
+            },
+        );
     }
 
     fn abort(&mut self, id: TxnId) {
@@ -502,30 +814,749 @@ impl ContentionSim {
 
     /// Waiters promoted by a release start their service time now.
     fn resume_granted(&mut self, granted: &[(TxnId, ObjectId)]) {
+        let measuring = self.measuring();
         for &(waiter, obj) in granted {
             let now = self.queue.now();
-            let t = self
-                .active
-                .get_mut(&waiter)
-                .expect("granted waiter must be active");
+            // A crash point firing earlier in this loop (via the o2pl
+            // piggyback path) may have aborted a later waiter; its
+            // grant died with it.
+            let Some(t) = self.active.get_mut(&waiter) else {
+                continue;
+            };
             if let Some(since) = t.wait_started.take() {
-                if now >= self.measure_from {
+                if measuring {
                     self.metrics.record_wait(now.since(since));
                 }
             }
-            if now >= self.measure_from {
+            if measuring {
                 self.metrics.actions.add(self.profile.updates_per_action);
                 self.metrics.messages.add(self.profile.messages_per_action);
             }
             self.record_read(waiter, obj);
             self.queue
                 .schedule_after(self.profile.work_per_action, Ev::StepDone(waiter));
+            self.o2pl_piggy(waiter);
         }
     }
 
     /// The config this simulator runs under.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    // ---- cross-shard commit protocol ---------------------------------
+
+    /// True iff the configured crash point targets `kind` and this is
+    /// the `nth` time the run reaches that transition. Counts every
+    /// reach (the fuzz campaign aims `nth` at any occurrence); never
+    /// fires during the post-horizon drain.
+    fn crash_fires(&mut self, kind: CrashKind) -> bool {
+        let Some(ctx) = &mut self.proto else {
+            return false;
+        };
+        if ctx.draining {
+            return false;
+        }
+        let Some(cp) = ctx.crash_point else {
+            return false;
+        };
+        if cp.kind != kind {
+            return false;
+        }
+        let i = kind_index(kind);
+        let count = ctx.crash_counts[i];
+        ctx.crash_counts[i] += 1;
+        count == cp.nth
+    }
+
+    /// Crash `node` at an injected crash point and schedule its restart.
+    fn crash_at_point(&mut self, node: NodeId) {
+        let down = self
+            .proto
+            .as_ref()
+            .and_then(|c| c.crash_point)
+            .map_or(5, |cp| cp.down_secs);
+        self.crash_node(node);
+        self.queue
+            .schedule_after(SimDuration::from_secs(down), Ev::Restart(node));
+    }
+
+    /// Fail-stop: volatile coordinator and in-doubt state is lost, the
+    /// node leaves the network (in-flight traffic to it parks), and
+    /// every transaction it was running aborts. Durable decision logs
+    /// survive.
+    fn crash_node(&mut self, node: NodeId) {
+        let measuring = self.measuring();
+        {
+            let Some(ctx) = &mut self.proto else { return };
+            if ctx.crashed[node.0 as usize] {
+                return;
+            }
+            ctx.crashed[node.0 as usize] = true;
+            ctx.net.disconnect(node);
+            // Volatile protocol state at the node evaporates.
+            let mut lost: Vec<TxnId> = ctx
+                .pending
+                .iter()
+                .filter(|(_, p)| p.node == node)
+                .map(|(t, _)| *t)
+                .collect();
+            lost.sort_unstable();
+            for t in lost {
+                ctx.pending.remove(&t);
+            }
+            for list in ctx.indoubt.values_mut() {
+                list.retain(|(n, _)| *n != node);
+            }
+        }
+        if measuring {
+            self.metrics.node_crashes.incr();
+        }
+        self.tracer
+            .emit(|| Event::system(self.queue.now(), node, EventKind::NodeCrash));
+        // Abort the node's in-flight transactions (sorted: HashMap
+        // iteration order must never reach the event queue).
+        let mut victims: Vec<TxnId> = self
+            .active
+            .iter()
+            .filter(|(_, t)| t.node == node)
+            .map(|(t, _)| *t)
+            .collect();
+        victims.sort_unstable();
+        for id in victims {
+            self.tracer.emit(|| {
+                Event::new(
+                    self.queue.now(),
+                    node,
+                    id,
+                    EventKind::TxnAbort {
+                        reason: AbortReason::Disconnect,
+                    },
+                )
+            });
+            self.abort(id);
+        }
+    }
+
+    /// Restart after a crash: replay the durable decision log. A
+    /// coordinator-side commit record re-hydrates a [`Coordinator`] and
+    /// re-distributes the decision; a prepared record re-enters the
+    /// in-doubt state and asks its coordinator. Parked messages then
+    /// replay — except owner-order `Apply`s, which have no durable redo
+    /// (precisely the anomaly the atomicity oracle catches).
+    fn restart_node(&mut self, node: NodeId) {
+        let (parked, records, retransmit) = {
+            let Some(ctx) = &mut self.proto else { return };
+            if !ctx.crashed[node.0 as usize] {
+                return;
+            }
+            ctx.crashed[node.0 as usize] = false;
+            let parked = ctx.net.reconnect(node);
+            let mut records: Vec<(TxnId, DecisionState)> = ctx.logs[node.0 as usize]
+                .entries()
+                .map(|(t, st)| (t, st.clone()))
+                .collect();
+            records.sort_unstable_by_key(|(t, _)| *t);
+            (parked, records, ctx.retransmit)
+        };
+        self.tracer
+            .emit(|| Event::system(self.queue.now(), node, EventKind::NodeRestart));
+        self.tracer.emit(|| {
+            Event::system(
+                self.queue.now(),
+                node,
+                EventKind::RecoveryReplay {
+                    messages: parked.len() as u64,
+                },
+            )
+        });
+        for (txn, st) in records {
+            match st {
+                DecisionState::Decided {
+                    commit: true,
+                    participants,
+                } if !participants.is_empty() => {
+                    // Durable coordinator commit record: finish the
+                    // decision distribution the crash interrupted.
+                    let coord = Coordinator::recovered(participants.clone(), Decision::Commit);
+                    let ctx = self.proto.as_mut().expect("checked above");
+                    ctx.pending.insert(txn, PendingCoord { coord, node });
+                    for p in participants {
+                        self.proto_send(
+                            node,
+                            p,
+                            ProtoMsg::Decision {
+                                txn,
+                                coord: node,
+                                commit: true,
+                            },
+                        );
+                    }
+                    self.queue.schedule_after(retransmit, Ev::ProtoTimer(txn));
+                }
+                DecisionState::Prepared { coord } => {
+                    // Still in doubt: blocked until the coordinator
+                    // answers (presumed abort if it knows nothing).
+                    let now = self.queue.now();
+                    let ctx = self.proto.as_mut().expect("checked above");
+                    ctx.indoubt.entry(txn).or_default().push((node, now));
+                    self.proto_send(node, coord, ProtoMsg::DecisionReq { txn, node });
+                    self.queue
+                        .schedule_after(retransmit, Ev::InDoubtTimer(txn, node));
+                }
+                _ => {}
+            }
+        }
+        for msg in parked {
+            if matches!(msg, ProtoMsg::Apply { .. }) {
+                // Fire-and-forget: an Apply parked at a crashed node is
+                // lost for good under owner-order.
+                continue;
+            }
+            self.handle_proto(node, msg);
+        }
+    }
+
+    /// Put one protocol message on the wire and schedule its fate.
+    /// Drops are *not* retransmitted here — the round timers own
+    /// recovery (and owner-order `Apply` loss is the anomaly).
+    fn proto_send(&mut self, from: NodeId, to: NodeId, msg: ProtoMsg) {
+        let measuring = self.measuring();
+        let outcome = {
+            let ctx = self
+                .proto
+                .as_mut()
+                .expect("proto_send without protocol context");
+            ctx.net.send(from, to, msg)
+        };
+        if measuring {
+            self.metrics.messages.incr();
+        }
+        self.tracer
+            .emit(|| Event::new(self.queue.now(), from, msg.txn(), EventKind::MsgSent { to }));
+        match outcome {
+            SendOutcome::Deliver { delay } => {
+                self.queue
+                    .schedule_after(delay, Ev::ProtoDeliver { to, msg });
+            }
+            SendOutcome::Duplicated { delays } => {
+                if measuring {
+                    self.metrics.messages_duplicated.incr();
+                }
+                self.tracer.emit(|| {
+                    Event::new(
+                        self.queue.now(),
+                        from,
+                        msg.txn(),
+                        EventKind::MsgDuplicated { to },
+                    )
+                });
+                for d in delays {
+                    self.queue.schedule_after(d, Ev::ProtoDeliver { to, msg });
+                }
+            }
+            SendOutcome::Dropped => {
+                if measuring {
+                    self.metrics.messages_dropped.incr();
+                }
+                self.tracer.emit(|| {
+                    Event::new(
+                        self.queue.now(),
+                        from,
+                        msg.txn(),
+                        EventKind::MsgDropped { to },
+                    )
+                });
+            }
+            SendOutcome::Held | SendOutcome::SenderOffline(_) => {}
+        }
+    }
+
+    /// Deliver one protocol message. A crashed destination re-parks it
+    /// (it arrives with the node's recovery).
+    fn handle_proto(&mut self, to: NodeId, msg: ProtoMsg) {
+        {
+            let ctx = self
+                .proto
+                .as_mut()
+                .expect("protocol message without context");
+            if ctx.crashed[to.0 as usize] {
+                ctx.net.park(msg.sender(), to, msg);
+                return;
+            }
+        }
+        self.tracer.emit(|| {
+            Event::new(
+                self.queue.now(),
+                to,
+                msg.txn(),
+                EventKind::MsgDelivered { from: msg.sender() },
+            )
+        });
+        match msg {
+            ProtoMsg::Prepare { txn, coord } => self.on_prepare(to, txn, coord),
+            ProtoMsg::Vote { txn, node, yes } => self.on_vote(to, txn, node, yes),
+            ProtoMsg::Decision { txn, coord, commit } => {
+                self.on_decision_msg(to, txn, coord, commit)
+            }
+            ProtoMsg::Ack { txn, node } => self.on_ack(to, txn, node),
+            ProtoMsg::DecisionReq { txn, node } => self.on_decision_req(to, txn, node),
+            ProtoMsg::Apply { txn, .. } => self.on_apply(to, txn),
+        }
+    }
+
+    /// Owner-order commit: commit locally, then fire-and-forget one
+    /// `Apply` per remote owner. No votes, no durable decision, no
+    /// acks — a drop or a crash in the window partial-commits.
+    fn commit_owner_order(&mut self, id: TxnId) {
+        let node = self.active[&id].node;
+        if self.crash_fires(CrashKind::CoordPrePrepare) {
+            self.crash_at_point(node);
+            return;
+        }
+        if self.crash_fires(CrashKind::CoordPreDecisionLog) {
+            self.crash_at_point(node);
+            return;
+        }
+        let owners = self.active[&id].owners.clone();
+        self.finish_commit_local(id, false);
+        if self.crash_fires(CrashKind::CoordPostDecisionLog) {
+            // Committed locally, Applies never sent: guaranteed
+            // partial commit.
+            self.crash_at_point(node);
+            return;
+        }
+        for o in owners {
+            if o != node {
+                self.proto_send(
+                    node,
+                    o,
+                    ProtoMsg::Apply {
+                        txn: id,
+                        from: node,
+                    },
+                );
+            }
+        }
+        if self.crash_fires(CrashKind::CoordPostPrepare) {
+            self.crash_at_point(node);
+        }
+    }
+
+    /// 2PC / O2PL commit: build the coordinator, seed any piggybacked
+    /// votes, send `Prepare` to whoever still owes one.
+    fn begin_commit_protocol(&mut self, id: TxnId) {
+        let (node, owners, piggy) = {
+            let t = &self.active[&id];
+            (t.node, t.owners.clone(), t.piggy.clone())
+        };
+        if self.crash_fires(CrashKind::CoordPrePrepare) {
+            self.crash_at_point(node);
+            return;
+        }
+        let participants: Vec<NodeId> = owners.iter().copied().filter(|o| *o != node).collect();
+        let mut coord = Coordinator::new(participants);
+        coord.begin();
+        let mut decision = None;
+        for v in &piggy {
+            if let Some(d) = coord.vote(*v, true) {
+                decision = Some(d);
+            }
+        }
+        let unvoted = coord.unvoted();
+        let retransmit = {
+            let ctx = self.proto.as_mut().expect("engaged implies proto");
+            ctx.pending.insert(id, PendingCoord { coord, node });
+            ctx.retransmit
+        };
+        // Exactly one timer chain per coordinator, armed here.
+        self.queue.schedule_after(retransmit, Ev::ProtoTimer(id));
+        if let Some(d) = decision {
+            // O2PL with every vote piggybacked: no Prepare round at all.
+            self.on_decision(id, d);
+            return;
+        }
+        for p in unvoted {
+            self.proto_send(
+                node,
+                p,
+                ProtoMsg::Prepare {
+                    txn: id,
+                    coord: node,
+                },
+            );
+        }
+        if self.crash_fires(CrashKind::CoordPostPrepare) {
+            self.crash_at_point(node);
+        }
+    }
+
+    /// The coordinator's decision became final: log it durably (commit
+    /// only — presumed abort logs nothing), commit or abort locally,
+    /// distribute it.
+    fn on_decision(&mut self, id: TxnId, d: Decision) {
+        let (node, participants) = {
+            let ctx = self.proto.as_mut().expect("decision without context");
+            let Some(p) = ctx.pending.get(&id) else {
+                return;
+            };
+            (p.node, p.coord.participants().to_vec())
+        };
+        match d {
+            Decision::Commit => {
+                if self.crash_fires(CrashKind::CoordPreDecisionLog) {
+                    // Decided but not logged: the crash sweep aborts the
+                    // transaction and recovery presumes abort —
+                    // consistent on every shard.
+                    self.crash_at_point(node);
+                    return;
+                }
+                {
+                    let ctx = self.proto.as_mut().expect("decision without context");
+                    ctx.logs[node.0 as usize].log_decision(id, true, participants.clone());
+                }
+                self.finish_commit_local(id, true);
+                if self.crash_fires(CrashKind::CoordPostDecisionLog) {
+                    // Logged but not distributed: recovery resends.
+                    self.crash_at_point(node);
+                    return;
+                }
+                for p in participants {
+                    self.proto_send(
+                        node,
+                        p,
+                        ProtoMsg::Decision {
+                            txn: id,
+                            coord: node,
+                            commit: true,
+                        },
+                    );
+                }
+            }
+            Decision::Abort => {
+                if self.active.contains_key(&id) {
+                    let measuring = self.measuring();
+                    if measuring {
+                        self.metrics.incr_dist(crate::metrics::M_ABORTS);
+                    }
+                    self.tracer.emit(|| {
+                        Event::new(
+                            self.queue.now(),
+                            node,
+                            id,
+                            EventKind::TxnAbort {
+                                reason: AbortReason::Conflict,
+                            },
+                        )
+                    });
+                    self.abort(id);
+                }
+                for p in participants {
+                    self.proto_send(
+                        node,
+                        p,
+                        ProtoMsg::Decision {
+                            txn: id,
+                            coord: node,
+                            commit: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Participant receives `Prepare`: force-log the prepared record,
+    /// vote yes, enter the in-doubt state until the decision arrives.
+    fn on_prepare(&mut self, n: NodeId, txn: TxnId, coord: NodeId) {
+        if self.crash_fires(CrashKind::PartPreVote) {
+            self.crash_at_point(n);
+            return;
+        }
+        let now = self.queue.now();
+        let (fresh, retransmit) = {
+            let ctx = self.proto.as_mut().expect("prepare without context");
+            if matches!(
+                ctx.logs[n.0 as usize].state(txn),
+                Some(DecisionState::Decided { .. } | DecisionState::Done)
+            ) {
+                // Stale retransmit: the decision already landed here.
+                return;
+            }
+            ctx.logs[n.0 as usize].log_prepared(txn, coord);
+            let list = ctx.indoubt.entry(txn).or_default();
+            let fresh = !list.iter().any(|(x, _)| *x == n);
+            if fresh {
+                list.push((n, now));
+            }
+            (fresh, ctx.retransmit)
+        };
+        self.proto_send(
+            n,
+            coord,
+            ProtoMsg::Vote {
+                txn,
+                node: n,
+                yes: true,
+            },
+        );
+        if fresh {
+            self.queue
+                .schedule_after(retransmit, Ev::InDoubtTimer(txn, n));
+        }
+        if self.crash_fires(CrashKind::PartPostVote) {
+            self.crash_at_point(n);
+        }
+    }
+
+    /// Coordinator receives a vote.
+    fn on_vote(&mut self, n: NodeId, txn: TxnId, from: NodeId, yes: bool) {
+        let decision = {
+            let Some(ctx) = &mut self.proto else { return };
+            let Some(p) = ctx.pending.get_mut(&txn) else {
+                return;
+            };
+            if p.node != n {
+                return;
+            }
+            p.coord.vote(from, yes)
+        };
+        if let Some(d) = decision {
+            self.on_decision(txn, d);
+        }
+    }
+
+    /// Participant receives the decision: log it durably (first time
+    /// only), resolve the in-doubt wait, apply, ack. Duplicates re-ack
+    /// without re-logging or re-applying.
+    fn on_decision_msg(&mut self, n: NodeId, txn: TxnId, coord: NodeId, commit: bool) {
+        let now = self.queue.now();
+        let (dup, wait) = {
+            let ctx = self.proto.as_mut().expect("decision without context");
+            let dup = matches!(
+                ctx.logs[n.0 as usize].state(txn),
+                Some(DecisionState::Decided { .. } | DecisionState::Done)
+            );
+            let mut wait = None;
+            if !dup {
+                ctx.logs[n.0 as usize].log_decision(txn, commit, Vec::new());
+                if let Some(list) = ctx.indoubt.get_mut(&txn) {
+                    if let Some(i) = list.iter().position(|(x, _)| *x == n) {
+                        let (_, since) = list.remove(i);
+                        wait = Some(now.since(since));
+                    }
+                    if list.is_empty() {
+                        ctx.indoubt.remove(&txn);
+                    }
+                }
+            }
+            (dup, wait)
+        };
+        if let Some(w) = wait {
+            if self.measuring() {
+                self.metrics.record_dist(M_INDOUBT_WAIT, w);
+            }
+        }
+        if !dup && commit {
+            self.recorder.shard_apply(txn, n);
+        }
+        self.proto_send(n, coord, ProtoMsg::Ack { txn, node: n });
+    }
+
+    /// Coordinator receives an ack; on the last one the entry is marked
+    /// done and forgotten.
+    fn on_ack(&mut self, n: NodeId, txn: TxnId, from: NodeId) {
+        let Some(ctx) = &mut self.proto else { return };
+        let Some(p) = ctx.pending.get_mut(&txn) else {
+            return;
+        };
+        if p.node != n {
+            return;
+        }
+        if p.coord.ack(from) {
+            if p.coord.decision() == Some(Decision::Commit) {
+                ctx.logs[n.0 as usize].mark_done(txn);
+            }
+            ctx.pending.remove(&txn);
+        }
+    }
+
+    /// Coordinator answers an in-doubt participant. Presumed abort:
+    /// with no durable decision and no live coordinator state, the
+    /// answer is abort. A still-deciding transaction stays silent (the
+    /// participant re-asks).
+    fn on_decision_req(&mut self, n: NodeId, txn: TxnId, from: NodeId) {
+        let durable = {
+            let Some(ctx) = &self.proto else { return };
+            match ctx.logs[n.0 as usize].state(txn) {
+                Some(DecisionState::Decided { commit, .. }) => Some(*commit),
+                Some(DecisionState::Done) => Some(true),
+                _ => None,
+            }
+        };
+        if let Some(commit) = durable {
+            self.proto_send(
+                n,
+                from,
+                ProtoMsg::Decision {
+                    txn,
+                    coord: n,
+                    commit,
+                },
+            );
+            return;
+        }
+        let deciding = self.active.contains_key(&txn)
+            || self
+                .proto
+                .as_ref()
+                .is_some_and(|c| c.pending.contains_key(&txn));
+        if deciding {
+            return;
+        }
+        self.proto_send(
+            n,
+            from,
+            ProtoMsg::Decision {
+                txn,
+                coord: n,
+                commit: false,
+            },
+        );
+    }
+
+    /// Owner-order participant receives an `Apply`: record the shard
+    /// apply for the atomicity oracle. (Reuses the participant crash
+    /// points so the fuzz campaign exercises this edge too.)
+    fn on_apply(&mut self, n: NodeId, txn: TxnId) {
+        if self.crash_fires(CrashKind::PartPreVote) {
+            self.crash_at_point(n);
+            return;
+        }
+        self.recorder.shard_apply(txn, n);
+        if self.crash_fires(CrashKind::PartPostVote) {
+            self.crash_at_point(n);
+        }
+    }
+
+    /// Coordinator retransmit tick: resend whatever round is stalled.
+    fn on_proto_timer(&mut self, id: TxnId) {
+        let (node, retransmit, targets, round) = {
+            let Some(ctx) = &self.proto else { return };
+            let Some(p) = ctx.pending.get(&id) else {
+                return;
+            };
+            if ctx.crashed[p.node.0 as usize] {
+                return;
+            }
+            let (targets, round) = match p.coord.state() {
+                CoordState::Preparing => (p.coord.unvoted(), None),
+                CoordState::Decided(d) => (p.coord.unacked(), Some(d == Decision::Commit)),
+                _ => return,
+            };
+            (p.node, ctx.retransmit, targets, round)
+        };
+        for t in targets {
+            match round {
+                None => self.proto_send(
+                    node,
+                    t,
+                    ProtoMsg::Prepare {
+                        txn: id,
+                        coord: node,
+                    },
+                ),
+                Some(commit) => self.proto_send(
+                    node,
+                    t,
+                    ProtoMsg::Decision {
+                        txn: id,
+                        coord: node,
+                        commit,
+                    },
+                ),
+            }
+        }
+        self.queue.schedule_after(retransmit, Ev::ProtoTimer(id));
+    }
+
+    /// In-doubt participant tick: still no decision — ask again.
+    fn on_indoubt_timer(&mut self, txn: TxnId, n: NodeId) {
+        let (coord, retransmit) = {
+            let Some(ctx) = &self.proto else { return };
+            if ctx.crashed[n.0 as usize] {
+                // Recovery re-arms its own timer.
+                return;
+            }
+            let still = ctx
+                .indoubt
+                .get(&txn)
+                .is_some_and(|l| l.iter().any(|(x, _)| *x == n));
+            if !still {
+                return;
+            }
+            let Some(DecisionState::Prepared { coord }) = ctx.logs[n.0 as usize].state(txn) else {
+                return;
+            };
+            (*coord, ctx.retransmit)
+        };
+        self.proto_send(n, coord, ProtoMsg::DecisionReq { txn, node: n });
+        self.queue
+            .schedule_after(retransmit, Ev::InDoubtTimer(txn, n));
+    }
+
+    /// O2PL: when a lock grant is the transaction's *last* action at a
+    /// remote owner, piggyback the prepare on it — the owner force-logs
+    /// and its yes-vote is in hand before commit, shrinking the
+    /// prepare round to the owners that still owe one (usually none).
+    fn o2pl_piggy(&mut self, id: TxnId) {
+        if !self
+            .proto
+            .as_ref()
+            .is_some_and(|c| c.proto == CommitProto::O2pl)
+        {
+            return;
+        }
+        let Some(shard) = &self.shard else { return };
+        let Some(t) = self.active.get(&id) else {
+            return;
+        };
+        if t.owners.len() < 2 {
+            return;
+        }
+        let i = t.next;
+        let obj = t.objects[i];
+        let owner = shard.map.owner(shard.map.shard_of(obj));
+        if owner == t.node {
+            return;
+        }
+        let last_of_run = i + 1 == t.objects.len()
+            || shard.map.owner(shard.map.shard_of(t.objects[i + 1])) != owner;
+        if !last_of_run || t.piggy.contains(&owner) {
+            return;
+        }
+        let node = t.node;
+        if self.crash_fires(CrashKind::PartPreVote) {
+            self.crash_at_point(owner);
+            return;
+        }
+        let now = self.queue.now();
+        let retransmit = {
+            let ctx = self.proto.as_mut().expect("checked above");
+            ctx.logs[owner.0 as usize].log_prepared(id, node);
+            ctx.indoubt.entry(id).or_default().push((owner, now));
+            ctx.retransmit
+        };
+        self.active
+            .get_mut(&id)
+            .expect("checked above")
+            .piggy
+            .push(owner);
+        self.queue
+            .schedule_after(retransmit, Ev::InDoubtTimer(id, owner));
+        if self.crash_fires(CrashKind::PartPostVote) {
+            self.crash_at_point(owner);
+        }
     }
 }
 
@@ -661,5 +1692,168 @@ mod tests {
         assert!((r.duration_secs - 50.0).abs() < 1e-9);
         // Rate still ≈ TPS even though only half the run is measured.
         assert!((r.commit_rate - 10.0).abs() < 2.0);
+    }
+
+    // ---- cross-shard commit protocol -----------------------------
+
+    use crate::engine::commit::CrashPoint;
+    use repl_check::{Scheme, Violation};
+
+    fn sharded_cfg(seed: u64) -> SimConfig {
+        let p = Params::new(400.0, 6.0, 15.0, 4.0, 0.01);
+        SimConfig::from_params(&p, 50, seed)
+            .with_shards(6, 2)
+            .with_cross_shard(0.4)
+    }
+
+    fn run_checked(cfg: SimConfig) -> (Report, repl_check::CheckReport) {
+        let rec = Recorder::new(Scheme::Contention);
+        let r = ContentionSim::new(cfg, ContentionProfile::lazy_master(&cfg))
+            .with_recorder(rec.clone())
+            .run();
+        (r, rec.check())
+    }
+
+    #[test]
+    fn two_pc_run_is_deterministic_and_atomic() {
+        let cfg = sharded_cfg(21).with_commit_proto(CommitProto::TwoPc);
+        let (a, ca) = run_checked(cfg);
+        let (b, _) = run_checked(cfg);
+        assert_eq!(a, b);
+        assert!(a.committed > 0);
+        assert!(ca.commits > 0);
+        assert!(ca.violations.is_empty(), "{:?}", ca.violations);
+    }
+
+    #[test]
+    fn single_shard_txns_skip_the_protocol() {
+        // With no cross-shard transactions the protocol never engages:
+        // a 2PC run is byte-identical to the owner-order baseline —
+        // same commits, same message count, same everything.
+        let p = Params::new(400.0, 6.0, 15.0, 4.0, 0.01);
+        let base = SimConfig::from_params(&p, 50, 25)
+            .with_shards(6, 2)
+            .with_cross_shard(0.0);
+        let a = ContentionSim::new(base, ContentionProfile::lazy_master(&base)).run();
+        let two_pc = base.with_commit_proto(CommitProto::TwoPc);
+        let b = ContentionSim::new(two_pc, ContentionProfile::lazy_master(&two_pc)).run();
+        assert_eq!(a, b);
+        assert!(a.committed > 0);
+    }
+
+    #[test]
+    fn two_pc_costs_more_messages_than_owner_order() {
+        // Owner-order bills 2·(owners−1) abstract coordinator messages
+        // per cross-shard commit; 2PC puts Prepare/Vote/Decision/Ack
+        // on a real wire — four per participant.
+        let base = sharded_cfg(22);
+        let oo = ContentionSim::new(base, ContentionProfile::lazy_master(&base)).run();
+        let two_pc = base.with_commit_proto(CommitProto::TwoPc);
+        let tp = ContentionSim::new(two_pc, ContentionProfile::lazy_master(&two_pc)).run();
+        assert!(
+            tp.messages > oo.messages,
+            "2pc {} vs owner-order {}",
+            tp.messages,
+            oo.messages
+        );
+    }
+
+    #[test]
+    fn o2pl_piggybacking_cuts_the_prepare_round() {
+        // Every remote owner's prepare rides its last lock grant, so
+        // O2PL usually skips the Prepare/Vote round entirely.
+        let base = sharded_cfg(26);
+        let two_pc = base.with_commit_proto(CommitProto::TwoPc);
+        let o2pl = base.with_commit_proto(CommitProto::O2pl);
+        let tp = ContentionSim::new(two_pc, ContentionProfile::lazy_master(&two_pc)).run();
+        let o2 = ContentionSim::new(o2pl, ContentionProfile::lazy_master(&o2pl)).run();
+        assert!(o2.committed > 0);
+        assert!(
+            o2.messages < tp.messages,
+            "o2pl {} vs 2pc {}",
+            o2.messages,
+            tp.messages
+        );
+    }
+
+    #[test]
+    fn owner_order_under_message_drops_partial_commits() {
+        // The unfenced baseline's Apply messages are fire-and-forget;
+        // drops strand remote shards — the anomaly the atomicity
+        // oracle exists to catch.
+        let cfg = sharded_cfg(24);
+        let plan = FaultPlan {
+            drop_p: 0.4,
+            ..FaultPlan::quiet(9)
+        };
+        let rec = Recorder::new(Scheme::Contention);
+        let r = ContentionSim::new(cfg, ContentionProfile::lazy_master(&cfg))
+            .with_faults(plan)
+            .with_recorder(rec.clone())
+            .run();
+        assert!(r.committed > 0);
+        let report = rec.check();
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::PartialCommit { .. })),
+            "expected a partial commit, got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn two_pc_survives_message_drops_atomically() {
+        // Same chaos, fenced protocol: retransmit timers and the
+        // durable decision log keep every hosting shard consistent.
+        let cfg = sharded_cfg(24).with_commit_proto(CommitProto::TwoPc);
+        let plan = FaultPlan {
+            drop_p: 0.4,
+            ..FaultPlan::quiet(9)
+        };
+        let rec = Recorder::new(Scheme::Contention);
+        let r = ContentionSim::new(cfg, ContentionProfile::lazy_master(&cfg))
+            .with_faults(plan)
+            .with_recorder(rec.clone())
+            .run();
+        assert!(r.committed > 0);
+        assert!(r.messages_dropped > 0, "the plan must actually drop");
+        let report = rec.check();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn coordinator_crash_mid_prepare_presumes_abort() {
+        // Crash the first coordinator right after its Prepare round:
+        // the decision was never logged, so recovery answers the
+        // in-doubt participants with presumed abort — atomic on every
+        // shard (no partial commit, no lost decision).
+        let cfg = sharded_cfg(23)
+            .with_commit_proto(CommitProto::TwoPc)
+            .with_crash_point(CrashPoint {
+                kind: CrashKind::CoordPostPrepare,
+                nth: 0,
+                down_secs: 3,
+            });
+        let (r, report) = run_checked(cfg);
+        assert!(r.node_crashes >= 1, "crash point must fire");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn two_pc_crash_points_are_deterministic() {
+        let cfg = sharded_cfg(27)
+            .with_commit_proto(CommitProto::TwoPc)
+            .with_crash_point(CrashPoint {
+                kind: CrashKind::CoordPostDecisionLog,
+                nth: 1,
+                down_secs: 2,
+            });
+        let (a, ra) = run_checked(cfg);
+        let (b, rb) = run_checked(cfg);
+        assert_eq!(a, b);
+        assert_eq!(ra.violations.len(), rb.violations.len());
+        assert!(ra.violations.is_empty(), "{:?}", ra.violations);
     }
 }

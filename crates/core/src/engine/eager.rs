@@ -65,6 +65,14 @@ impl EagerSim {
         }
     }
 
+    /// Attach a fault plan perturbing the cross-shard commit protocol
+    /// (see [`ContentionSim::with_faults`]).
+    #[must_use]
+    pub fn with_faults(mut self, plan: repl_net::FaultPlan) -> Self {
+        self.inner = self.inner.with_faults(plan);
+        self
+    }
+
     /// Attach a tracer (see [`ContentionSim::with_tracer`]).
     pub fn with_tracer(mut self, tracer: repl_telemetry::TraceHandle) -> Self {
         self.inner = self.inner.with_tracer(tracer);

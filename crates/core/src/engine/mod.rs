@@ -9,12 +9,14 @@
 //! | [`lazy_master::LazyMasterSim`] | lazy master | §5 | deadlocks/s (∝ N²) |
 //! | [`two_tier::TwoTierSim`] | two-tier | §7 | acceptance failures/s |
 
+pub mod commit;
 pub mod contention;
 pub mod eager;
 pub mod lazy_group;
 pub mod lazy_master;
 pub mod two_tier;
 
+pub use commit::{CommitProto, CoordState, Coordinator, CrashKind, CrashPoint, Decision};
 pub use contention::{ContentionProfile, ContentionSim};
 pub use eager::{EagerSim, Ownership, ReplicaDiscipline};
 pub use lazy_group::{LazyGroupSim, Mobility, ResolutionMode};

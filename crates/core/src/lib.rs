@@ -47,11 +47,12 @@ pub mod txn;
 
 pub use config::{DeadlockPolicy, SimConfig};
 pub use engine::{
-    ContentionProfile, ContentionSim, EagerSim, LazyGroupSim, LazyMasterSim, Mobility, Ownership,
-    ReplicaDiscipline, ResolutionMode, TwoTierConfig, TwoTierSim, TwoTierWorkload,
+    CommitProto, ContentionProfile, ContentionSim, CoordState, Coordinator, CrashKind, CrashPoint,
+    Decision, EagerSim, LazyGroupSim, LazyMasterSim, Mobility, Ownership, ReplicaDiscipline,
+    ResolutionMode, TwoTierConfig, TwoTierSim, TwoTierWorkload,
 };
 pub use metrics::{
-    Metrics, Report, M_ABORTS, M_COMMIT_LATENCY, M_LOCK_WAIT, M_PROPAGATION_LAG,
+    Metrics, Report, M_ABORTS, M_COMMIT_LATENCY, M_INDOUBT_WAIT, M_LOCK_WAIT, M_PROPAGATION_LAG,
     M_RECONCILIATION_DELAY, M_RETRIES,
 };
 pub use op::{Op, Operation};

@@ -18,6 +18,10 @@ pub const M_RECONCILIATION_DELAY: &str = "reconciliation_delay";
 pub const M_ABORTS: &str = "aborts";
 /// Counter of scheduled retries (replica redo, base re-execution).
 pub const M_RETRIES: &str = "retries";
+/// Histogram of in-doubt blocking time: how long a 2PC participant
+/// holds locks between voting yes and learning the decision (the
+/// blocking cost of the coordinated commit path).
+pub const M_INDOUBT_WAIT: &str = "indoubt_wait";
 
 /// Raw counters collected during a protocol run.
 #[derive(Debug, Default)]

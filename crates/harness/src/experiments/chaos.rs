@@ -12,7 +12,9 @@
 use crate::par::run_points;
 use crate::table::{fmt_val, Table};
 use crate::{Instrument, RunOpts};
-use repl_core::{DeadlockPolicy, LazyGroupSim, Mobility, SimConfig};
+use repl_core::{
+    DeadlockPolicy, EagerSim, LazyGroupSim, Mobility, Ownership, ReplicaDiscipline, SimConfig,
+};
 use repl_net::{CrashWindow, FaultPlan, PartitionWindow};
 use repl_sim::{SimDuration, SimTime};
 use repl_storage::NodeId;
@@ -110,8 +112,40 @@ pub fn chaos(opts: &RunOpts) -> Table {
             (if converged { "yes" } else { "NO" }).to_string(),
         ]);
     }
+    // Third row: the eager family under the same plan, running the
+    // `--commit-proto`-selected cross-shard commit protocol on a
+    // sharded layout. Partition windows don't exist in this engine's
+    // fabric model and are ignored; drops, duplicates, and crash
+    // windows all apply. Under `--check` the atomicity and
+    // decision-durability oracles judge every cross-shard commit this
+    // row makes.
+    let proto = opts.commit_proto;
+    let cfg = SimConfig::from_params(&p, horizon, opts.seed)
+        .with_shards(CHAOS_NODES, 2)
+        .with_cross_shard(0.2)
+        .with_commit_proto(proto);
+    let r = EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
+        .with_faults(plan)
+        .instrument(opts, format!("chaos proto={}", proto.name()))
+        .run();
+    t.row(vec![
+        format!("eager/{}", proto.name()),
+        fmt_val(r.commit_rate),
+        fmt_val(r.deadlock_rate),
+        fmt_val(r.reconciliation_rate),
+        format!("{}", r.lock_timeouts),
+        format!("{}", r.cycle_checks),
+        format!("{}", r.messages_dropped),
+        format!("{}", r.messages_duplicated),
+        format!("{}", r.node_crashes),
+        "—".to_owned(),
+    ]);
     t.note("timeout row resolves every deadlock with zero cycle-detection work");
     t.note("converged = all replicas bit-identical after the post-horizon drain");
+    t.note(
+        "eager/PROTO row: sharded eager family under the same plan (partition \
+         clauses don't apply); oracles judge it under --check",
+    );
     t
 }
 
@@ -130,10 +164,26 @@ mod tests {
     #[test]
     fn chaos_converges_under_both_policies() {
         let t = chaos(&quick());
-        assert_eq!(t.rows.len(), 2);
-        for row in &t.rows {
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows[..2] {
             assert_eq!(row.last().unwrap(), "yes", "row diverged: {row:?}");
         }
+        // The commit-protocol row defaults to the unfenced baseline
+        // and has no store-digest convergence column.
+        assert_eq!(t.rows[2][0], "eager/owner-order");
+        assert_eq!(t.rows[2].last().unwrap(), "—");
+    }
+
+    #[test]
+    fn chaos_honors_commit_proto() {
+        let opts = RunOpts {
+            commit_proto: repl_core::CommitProto::TwoPc,
+            ..quick()
+        };
+        let t = chaos(&opts);
+        let row = &t.rows[2];
+        assert_eq!(row[0], "eager/2pc");
+        assert_ne!(row[1], "0.000", "2pc chaos row must commit transactions");
     }
 
     #[test]
@@ -153,6 +203,32 @@ mod tests {
             assert_ne!(row[6], "0", "no drops injected: {row:?}");
             assert_ne!(row[8], "0", "no crashes injected: {row:?}");
         }
+    }
+
+    #[test]
+    fn chaos_proto_row_survives_the_oracles() {
+        // The fixed-seed 2PC chaos row must make cross-shard commits
+        // and come through the atomicity/durability oracles clean —
+        // the same gate CI runs via `--check --commit-proto 2pc chaos`.
+        let opts = RunOpts {
+            commit_proto: repl_core::CommitProto::TwoPc,
+            check: crate::CheckSession::enabled(),
+            ..quick()
+        };
+        let t = chaos(&opts);
+        assert_eq!(t.rows.len(), 3);
+        let mut proto_commits = 0usize;
+        for (label, report) in opts.check.drain() {
+            assert!(
+                report.violations.is_empty(),
+                "{label}: {:?}",
+                report.violations
+            );
+            if label.contains("proto=2pc") {
+                proto_commits = report.commits;
+            }
+        }
+        assert!(proto_commits > 0, "2pc chaos row recorded no commits");
     }
 
     #[test]

@@ -57,29 +57,63 @@ pub fn run_case_with_config(case: &FuzzCase, batch: usize, shards: u32, rf: u32)
         f64::from(case.actions),
         0.01,
     );
-    let cfg = SimConfig::from_params(&p, case.horizon_secs, case.seed)
+    // A case's own shard layout beats the sweep override, so encoded
+    // commit-protocol repro lines stay self-contained.
+    let (shards, rf) = if case.shards > 0 {
+        (case.shards, case.rf)
+    } else {
+        (shards, rf)
+    };
+    let mut cfg = SimConfig::from_params(&p, case.horizon_secs, case.seed)
         .with_propagation_batch(batch)
         .with_shards(shards, rf);
+    if case.proto.is_some() || case.xpoint.is_some() {
+        // Commit-protocol cases are cross-shard by construction:
+        // without multi-owner transactions the protocol under test
+        // never engages and the case is vacuous.
+        cfg = cfg.with_cross_shard(0.4);
+    }
+    if let Some(name) = &case.proto {
+        let proto = repl_core::CommitProto::parse(name)
+            .unwrap_or_else(|| panic!("fuzz case proto `{name}` must name a commit protocol"));
+        cfg = cfg.with_commit_proto(proto);
+    }
+    if let Some(spec) = &case.xpoint {
+        let point = repl_core::CrashPoint::parse(spec)
+            .unwrap_or_else(|| panic!("fuzz case xpoint `{spec}` must parse as kind:nth:down"));
+        cfg = cfg.with_crash_point(point);
+    }
+    let fault_plan = case.faults.as_ref().map(|spec| {
+        repl_net::FaultPlan::parse(spec, case.seed)
+            .unwrap_or_else(|e| panic!("fuzz case fault spec `{spec}` must parse: {e}"))
+    });
     match case.scheme {
         Scheme::Contention => {
             let profile = ContentionProfile::single_node(&cfg);
-            ContentionSim::new(cfg, profile)
-                .with_recorder(rec.clone())
-                .run();
+            let mut sim = ContentionSim::new(cfg, profile).with_recorder(rec.clone());
+            if let Some(plan) = fault_plan {
+                sim = sim.with_faults(plan);
+            }
+            sim.run();
         }
         Scheme::Eager => {
-            EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
-                .with_recorder(rec.clone())
-                .run();
+            let mut sim = EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
+                .with_recorder(rec.clone());
+            if let Some(plan) = fault_plan {
+                sim = sim.with_faults(plan);
+            }
+            sim.run();
         }
         Scheme::LazyMaster => {
-            LazyMasterSim::new(cfg).with_recorder(rec.clone()).run();
+            let mut sim = LazyMasterSim::new(cfg).with_recorder(rec.clone());
+            if let Some(plan) = fault_plan {
+                sim = sim.with_faults(plan);
+            }
+            sim.run();
         }
         Scheme::LazyGroup => {
             let mut sim = LazyGroupSim::new(cfg, Mobility::Connected).with_recorder(rec.clone());
-            if let Some(spec) = &case.faults {
-                let plan = repl_net::FaultPlan::parse(spec, case.seed)
-                    .unwrap_or_else(|e| panic!("fuzz case fault spec `{spec}` must parse: {e}"));
+            if let Some(plan) = fault_plan {
                 sim = sim.with_faults(plan);
             }
             sim.run();
@@ -112,6 +146,44 @@ fn base_case(scheme: Scheme, opts: &RunOpts) -> FuzzCase {
         actions: 4,
         horizon_secs: if opts.quick { 10 } else { 20 },
         faults: None,
+        shards: 0,
+        rf: 0,
+        proto: None,
+        xpoint: None,
+    }
+    .stabilized()
+}
+
+/// The `i`-th case of the commit-protocol crash campaign: a sharded,
+/// cross-shard run of the eager family under `proto`, crashing at a
+/// rotating protocol edge, sometimes with message chaos layered on
+/// top. Fully determined by `(opts.seed, proto, i)`.
+fn campaign_case(proto: &str, i: usize, opts: &RunOpts) -> FuzzCase {
+    let kinds = repl_core::CrashKind::ALL;
+    let kind = kinds[i % kinds.len()];
+    let nth = i % 3;
+    let down = 2 + (i % 3) as u64;
+    FuzzCase {
+        scheme: if i.is_multiple_of(2) {
+            Scheme::Eager
+        } else {
+            Scheme::LazyMaster
+        },
+        seed: opts.seed.wrapping_add(7919 * (i as u64 + 1)),
+        nodes: 4 + (i % 3) as u32,
+        db_size: 400,
+        tps: 6,
+        actions: 4,
+        horizon_secs: if opts.quick { 20 } else { 30 },
+        faults: if i.is_multiple_of(4) {
+            Some("drop=0.10; dup=0.05; retransmit=0.25".to_owned())
+        } else {
+            None
+        },
+        shards: 6,
+        rf: 2,
+        proto: Some(proto.to_owned()),
+        xpoint: Some(format!("{}:{nth}:{down}", kind.name())),
     }
     .stabilized()
 }
@@ -211,6 +283,72 @@ pub fn check(opts: &RunOpts) -> Table {
                 ));
             }
         }
+    }
+    // Phase 3: the commit-protocol crash campaign. Crash points rotate
+    // through every 2PC state transition (pre/post prepare, vote, and
+    // decision-log write), every fourth case layers message chaos on
+    // top. The fenced protocols must come through atomic and durable;
+    // the unfenced owner-order baseline must demonstrably tear at
+    // least once, or the atomicity oracle has lost its teeth.
+    let seeds = if opts.quick { 18 } else { 100 };
+    for proto in ["2pc", "o2pl"] {
+        let mut commits = 0usize;
+        let mut bad = 0usize;
+        for i in 0..seeds {
+            let case = campaign_case(proto, i, opts);
+            let report = run_case(&case);
+            commits += report.commits;
+            if !report.is_clean() {
+                bad += 1;
+                for v in &report.violations {
+                    table.violation(format!("{proto} campaign: {v}"));
+                }
+                table.violation(format!(
+                    "{proto} campaign: repro: CHECK_CASE='{}' harness check",
+                    case.encode()
+                ));
+            }
+        }
+        table.row(vec![
+            proto.to_owned(),
+            "campaign".into(),
+            seeds.to_string(),
+            commits.to_string(),
+            if bad == 0 {
+                "clean".to_owned()
+            } else {
+                format!("{bad} FAILING CASE(S)")
+            },
+        ]);
+    }
+    // The teeth check: under the same crash windows the unfenced
+    // baseline loses fire-and-forget applies, and the oracle must see
+    // that as a partial commit. (Its other violations — divergence
+    // downstream of the torn write — are the expected wreckage, not
+    // campaign failures.)
+    let teeth_cases = if opts.quick { 6 } else { 12 };
+    let mut torn = 0usize;
+    for i in 0..teeth_cases {
+        let report = run_case(&campaign_case("owner-order", i, opts));
+        torn += report
+            .violations
+            .iter()
+            .filter(|v| matches!(v, Violation::PartialCommit { .. }))
+            .count();
+    }
+    table.row(vec![
+        "owner-order".to_owned(),
+        "campaign".into(),
+        teeth_cases.to_string(),
+        "—".into(),
+        format!("{torn} partial commit(s), expected > 0"),
+    ]);
+    if torn == 0 {
+        table.violation(
+            "owner-order campaign: the unfenced baseline produced no partial commit — \
+             the atomicity oracle's teeth are unproven"
+                .to_owned(),
+        );
     }
     table.note("a FAILED row's repro line replays the shrunk case exactly");
     table
@@ -351,7 +489,42 @@ pub fn check_selftest(_opts: &RunOpts) -> Table {
         unsound,
     );
 
-    // 6. Truncation honesty: overflowing the history cap must be
+    // 6. Cross-shard atomicity: an unfenced cross-shard commit that
+    // reached only one of its two owners.
+    let rec = Recorder::new(Scheme::Eager);
+    rec.cross_commit(TxnId(1), NodeId(0), vec![NodeId(0), NodeId(1)], false);
+    rec.shard_apply(TxnId(1), NodeId(0));
+    let torn = rec
+        .check()
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::PartialCommit { .. }));
+    expect(
+        &mut table,
+        "atomicity",
+        "a cross-shard commit applied at one owner",
+        torn,
+    );
+
+    // 7. Decision durability: a fenced (2PC) commit fully applied but
+    // whose coordinator never persisted its decision record.
+    let rec = Recorder::new(Scheme::Eager);
+    rec.cross_commit(TxnId(2), NodeId(0), vec![NodeId(0), NodeId(1)], true);
+    rec.shard_apply(TxnId(2), NodeId(0));
+    rec.shard_apply(TxnId(2), NodeId(1));
+    let lost = rec
+        .check()
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::LostDecision { .. }));
+    expect(
+        &mut table,
+        "decision-durability",
+        "a fenced commit with no durable decision",
+        lost,
+    );
+
+    // 8. Truncation honesty: overflowing the history cap must be
     // reported as inconclusive, never hidden.
     let rec = Recorder::new(Scheme::Eager);
     for i in 0..(DEFAULT_HISTORY_CAP as u64 + 10) {

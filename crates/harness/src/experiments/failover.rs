@@ -28,8 +28,11 @@ use repl_telemetry::{Event, RingBuffer, RunMetrics, SyncTraceHandle};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// Replicas in the base group. Three tolerates one failure.
-const REPLICAS: usize = 3;
+/// Replicas in the base group. Three tolerates one failure. Public so
+/// the CLI can validate `crash=baseN` fault clauses against the group
+/// size before a misaddressed window silently never fires.
+pub const BASE_REPLICAS: usize = 3;
+const REPLICAS: usize = BASE_REPLICAS;
 /// Mobiles syncing against the group.
 const MOBILES: u32 = 4;
 /// Accounts in the master database.

@@ -23,7 +23,10 @@
 use crate::par::run_points;
 use crate::table::{fmt_ms, fmt_val, Table};
 use crate::{Instrument, RunOpts};
-use repl_core::{LazyGroupSim, Mobility, SimConfig, M_PROPAGATION_LAG};
+use repl_core::{
+    CommitProto, EagerSim, LazyGroupSim, Mobility, Ownership, ReplicaDiscipline, SimConfig,
+    M_COMMIT_LATENCY, M_INDOUBT_WAIT, M_PROPAGATION_LAG,
+};
 use repl_model::Point;
 use repl_workload::presets;
 
@@ -48,6 +51,14 @@ const CROSS_SHARD: f64 = 0.10;
 /// constant across the sweep.
 const DB_PER_NODE: u32 = 32;
 
+/// Node counts the commit-protocol comparison rows run at. The point
+/// of those rows is protocol cost, not scaling, so two sizes suffice.
+const PROTO_NODES: [u32; 2] = [16, 64];
+
+/// Replication factor of the commit-protocol rows: small enough that
+/// most cross-shard transactions span several owners.
+const PROTO_RF: u32 = 2;
+
 /// SCALEOUT: lazy-group commit/deadlock/lag scaling, Nodes × rf.
 pub fn scaleout(opts: &RunOpts) -> Table {
     let mut t = Table::new(
@@ -63,6 +74,10 @@ pub fn scaleout(opts: &RunOpts) -> Table {
             "lag p95 ms",
             "lag p99 ms",
             "msgs/commit",
+            "proto",
+            "commit p50 ms",
+            "commit p95 ms",
+            "indoubt p95 ms",
         ],
     );
     // (nodes, rf) points; rf = 0 is the engine's "full replication"
@@ -124,6 +139,11 @@ pub fn scaleout(opts: &RunOpts) -> Table {
             .histogram(M_PROPAGATION_LAG)
             .filter(|h| h.count() > 0);
         let lag_q = |q: f64| lag.map_or("—".to_owned(), |h| fmt_ms(h.quantile_secs(q)));
+        let latency = r
+            .dists
+            .histogram(M_COMMIT_LATENCY)
+            .filter(|h| h.count() > 0);
+        let latency_q = |q: f64| latency.map_or("—".to_owned(), |h| fmt_ms(h.quantile_secs(q)));
         t.row(vec![
             format!("{nodes}"),
             rf_label,
@@ -134,6 +154,69 @@ pub fn scaleout(opts: &RunOpts) -> Table {
             lag_q(0.95),
             lag_q(0.99),
             fmt_val(msgs_per_commit),
+            "—".to_owned(),
+            latency_q(0.50),
+            latency_q(0.95),
+            "—".to_owned(),
+        ]);
+    }
+    // Commit-protocol comparison rows: the eager engine on the same
+    // per-node load, sharded with a small replica set, run once per
+    // cross-shard commit protocol. Owner-order is the unfenced
+    // fire-and-forget baseline; 2PC pays a full prepare/vote round;
+    // O2PL piggybacks the prepare on the last lock grant per owner.
+    let proto_cases: Vec<(u32, CommitProto)> = PROTO_NODES
+        .iter()
+        .flat_map(|&n| CommitProto::ALL.into_iter().map(move |p| (n, p)))
+        .collect();
+    let proto_horizon = opts.horizon(60);
+    let proto_reports = run_points(opts, proto_cases.clone(), |opts, &(nodes, proto)| {
+        let p = presets::scaleup_base()
+            .with_db_size(f64::from(nodes * DB_PER_NODE))
+            .with_nodes(f64::from(nodes))
+            .with_tps(10.0);
+        let cfg = SimConfig::from_params(&p, proto_horizon, opts.seed)
+            .with_warmup(5)
+            .with_shards(nodes, PROTO_RF)
+            .with_cross_shard(CROSS_SHARD)
+            .with_commit_proto(proto);
+        EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
+            .instrument(
+                opts,
+                format!("scaleout nodes={nodes} proto={}", proto.name()),
+            )
+            .run()
+    });
+    for ((nodes, proto), r) in proto_cases.into_iter().zip(proto_reports) {
+        opts.metrics.absorb(
+            &format!("scaleout/nodes={nodes}/proto={}", proto.name()),
+            &r.dists,
+        );
+        let msgs_per_commit = if r.committed > 0 {
+            r.messages as f64 / r.committed as f64
+        } else {
+            0.0
+        };
+        let q = |name: &str, q: f64| {
+            r.dists
+                .histogram(name)
+                .filter(|h| h.count() > 0)
+                .map_or("—".to_owned(), |h| fmt_ms(h.quantile_secs(q)))
+        };
+        t.row(vec![
+            format!("{nodes}"),
+            format!("{PROTO_RF}"),
+            fmt_val(r.commit_rate),
+            fmt_val(r.deadlock_rate),
+            fmt_val(r.reconciliation_rate),
+            "—".to_owned(),
+            "—".to_owned(),
+            "—".to_owned(),
+            fmt_val(msgs_per_commit),
+            proto.name().to_owned(),
+            q(M_COMMIT_LATENCY, 0.50),
+            q(M_COMMIT_LATENCY, 0.95),
+            q(M_INDOUBT_WAIT, 0.95),
         ]);
     }
     if let Some(k) = repl_model::fit_exponent(&partial_fanout) {
@@ -151,6 +234,10 @@ pub fn scaleout(opts: &RunOpts) -> Table {
     t.note(format!(
         "fixed per-node load: db = {DB_PER_NODE}*Nodes, tps = 10/node, \
          shards = Nodes, cross-shard fraction = {CROSS_SHARD}"
+    ));
+    t.note(format!(
+        "proto rows: eager engine, rf = {PROTO_RF}; indoubt p95 = time a \
+         prepared participant blocks awaiting the coordinator's decision"
     ));
     t
 }
@@ -170,7 +257,8 @@ mod tests {
     #[test]
     fn scaleout_covers_the_full_sweep() {
         let t = scaleout(&quick_opts());
-        assert_eq!(t.rows.len(), NODE_SWEEP.len() + 3);
+        let proto_rows = PROTO_NODES.len() * CommitProto::ALL.len();
+        assert_eq!(t.rows.len(), NODE_SWEEP.len() + 3 + proto_rows);
         // The 256-node point completes and commits work.
         let big = t
             .rows
@@ -197,6 +285,43 @@ mod tests {
         assert!(fanout("256", "3") < fanout("8", "3") * 2.0 + 1.0);
         // ...while full replication has already grown ~4x by 32 nodes.
         assert!(fanout("32", "full") > fanout("8", "full") * 2.0);
+    }
+
+    #[test]
+    fn protocol_rows_order_by_message_cost() {
+        let t = scaleout(&quick_opts());
+        let row = |nodes: &str, proto: &str| -> &Vec<String> {
+            t.rows
+                .iter()
+                .find(|r| r[0] == nodes && r[9] == proto)
+                .unwrap_or_else(|| panic!("missing proto row {nodes}/{proto}"))
+        };
+        for nodes in ["16", "64"] {
+            let msgs = |proto: &str| -> f64 {
+                row(nodes, proto)[8]
+                    .parse()
+                    .expect("msgs/commit is numeric")
+            };
+            // The full prepare/vote round is the most expensive; the
+            // piggybacked variant undercuts it; fire-and-forget is
+            // cheapest (and unsafe — the check campaign proves that).
+            assert!(
+                msgs("2pc") > msgs("owner-order"),
+                "2pc must cost more messages than owner-order at {nodes} nodes"
+            );
+            assert!(
+                msgs("o2pl") < msgs("2pc"),
+                "o2pl piggybacking must undercut 2pc at {nodes} nodes"
+            );
+            // Fenced protocols report how long prepared participants
+            // blocked in-doubt; the unfenced baseline never prepares.
+            assert_ne!(row(nodes, "2pc")[12], "—", "2pc must report in-doubt wait");
+            assert_eq!(
+                row(nodes, "owner-order")[12],
+                "—",
+                "owner-order has no in-doubt window"
+            );
+        }
     }
 
     #[test]

@@ -173,6 +173,10 @@ pub struct RunOpts {
     /// Per-shard replication factor (`--rf R`); 0 means full
     /// replication.
     pub rf: u32,
+    /// Cross-shard commit protocol (`--commit-proto
+    /// {owner-order,2pc,o2pl}`). `OwnerOrder` is the pre-protocol
+    /// unfenced baseline; runs without a shard layout ignore it.
+    pub commit_proto: repl_core::CommitProto,
 }
 
 impl Default for RunOpts {
@@ -189,6 +193,7 @@ impl Default for RunOpts {
             metrics: MetricsSession::default(),
             shards: 0,
             rf: 0,
+            commit_proto: repl_core::CommitProto::OwnerOrder,
         }
     }
 }

@@ -36,8 +36,8 @@ use std::rc::Rc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: harness [--quick] [--json] [--seed N] [--jobs N] [--batch N] [--shards K] \
-         [--rf R] [--trace FILE] [--series SECS] [--profile] [--faults SPEC] [--check] \
-         [--metrics FILE] <list|all|NAME...>"
+         [--rf R] [--commit-proto P] [--trace FILE] [--series SECS] [--profile] \
+         [--faults SPEC] [--check] [--metrics FILE] <list|all|NAME...>"
     );
     eprintln!("experiments:");
     for e in experiments::ALL {
@@ -155,6 +155,13 @@ fn main() -> ExitCode {
                 };
                 opts.rf = v;
             }
+            "--commit-proto" => {
+                let Some(p) = args.next().and_then(|s| repl_core::CommitProto::parse(&s)) else {
+                    eprintln!("--commit-proto needs one of: owner-order, 2pc, o2pl");
+                    return usage();
+                };
+                opts.commit_proto = p;
+            }
             "--profile" => opts.profiler = Profiler::enabled(),
             "--check" => opts.check = repl_harness::CheckSession::enabled(),
             "--metrics" => {
@@ -185,6 +192,14 @@ fn main() -> ExitCode {
                 // addressing nodes that will never exist, rather than
                 // letting them silently never fire.
                 if let Err(e) = plan.validate_nodes(experiments::chaos::CHAOS_NODES) {
+                    eprintln!("--faults: {e}");
+                    return ExitCode::FAILURE;
+                }
+                // `crash=baseN` windows index the failover experiment's
+                // base replica group, a separate (and smaller) id space.
+                if let Err(e) =
+                    plan.validate_base_nodes(experiments::failover::BASE_REPLICAS as u32)
+                {
                     eprintln!("--faults: {e}");
                     return ExitCode::FAILURE;
                 }

@@ -201,6 +201,25 @@ impl FaultPlan {
         }
         Ok(())
     }
+
+    /// Reject `crash=baseN:S..E` clauses addressing base replicas the
+    /// run does not have. The base group is a separate id space from
+    /// client/replica nodes, so [`FaultPlan::validate_nodes`] cannot
+    /// catch these; callers with a replicated base validate against its
+    /// group size before a misaddressed window silently no-ops.
+    pub fn validate_base_nodes(&self, base_size: u32) -> Result<(), String> {
+        for c in &self.base_crashes {
+            if c.node.0 >= base_size {
+                return Err(format!(
+                    "crash clause addresses base replica {} but the base group has only \
+                     {base_size} replicas (ids 0..{})",
+                    c.node.0,
+                    base_size.saturating_sub(1)
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 fn parse_prob(what: &str, s: &str) -> Result<f64, String> {
@@ -406,6 +425,20 @@ mod tests {
         // not bounded by the client/replica node count.
         let plan = FaultPlan::parse("crash=base5:1..2", 1).unwrap();
         assert!(plan.validate_nodes(2).is_ok());
+    }
+
+    #[test]
+    fn validate_base_nodes_rejects_out_of_range_ids() {
+        let plan = FaultPlan::parse("crash=base5:1..2", 1).unwrap();
+        assert!(plan.validate_base_nodes(6).is_ok());
+        let err = plan.validate_base_nodes(3).unwrap_err();
+        assert!(err.contains("base replica 5"), "{err}");
+        assert!(err.contains("3 replicas"), "{err}");
+
+        // Plain crash windows address the other id space; a plan with
+        // only those passes any base-group size.
+        let plan = FaultPlan::parse("crash=9:1..2", 1).unwrap();
+        assert!(plan.validate_base_nodes(1).is_ok());
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub use slab::TxnSlab;
 pub use store::{ApplyOutcome, ObjectStore};
 pub use tentative::TentativeStore;
 pub use version_vector::{Causality, VersionVector};
-pub use wal::{CommitLog, CommitRecord, Lsn, UpdateRecord};
+pub use wal::{CommitLog, CommitRecord, DecisionLog, DecisionState, Lsn, UpdateRecord};

@@ -77,6 +77,15 @@ pub enum Mutation {
         /// Ghost-grant every this-many-th contended request (≥ 1).
         period: u64,
     },
+    /// Every `period`-th 2PC decision append to a
+    /// [`DecisionLog`](crate::wal::DecisionLog) is silently lost — a
+    /// coordinator that acks a commit it never made durable. The
+    /// decision-durability oracle must flag the run
+    /// (`REPL_MUTATE=drop-decision[:P]`).
+    DropDecision {
+        /// Drop every this-many-th decision append (≥ 1).
+        period: u64,
+    },
 }
 
 impl Mutation {
@@ -92,10 +101,20 @@ impl Mutation {
                 .max(1);
             return Mutation::GrantHeld { period };
         }
+        if let Some(rest) = spec.strip_prefix("drop-decision") {
+            let period = rest
+                .strip_prefix(':')
+                .and_then(|p| p.parse::<u64>().ok())
+                .unwrap_or(4)
+                .max(1);
+            return Mutation::DropDecision { period };
+        }
         Mutation::None
     }
 
-    fn from_env() -> Mutation {
+    /// Read the mutation from the `REPL_MUTATE` environment variable
+    /// (the oracle mutation-testing hook; unset means no mutation).
+    pub fn from_env() -> Mutation {
         std::env::var("REPL_MUTATE")
             .map(|v| Mutation::parse(&v))
             .unwrap_or_default()
@@ -751,6 +770,18 @@ mod tests {
         assert_eq!(
             Mutation::parse("grant-held:x"),
             Mutation::GrantHeld { period: 4 }
+        );
+        assert_eq!(
+            Mutation::parse("drop-decision"),
+            Mutation::DropDecision { period: 4 }
+        );
+        assert_eq!(
+            Mutation::parse("drop-decision:7"),
+            Mutation::DropDecision { period: 7 }
+        );
+        assert_eq!(
+            Mutation::parse("drop-decision:0"),
+            Mutation::DropDecision { period: 1 }
         );
     }
 

@@ -2,8 +2,9 @@
 //! sequential commit order" (§5); the log records exactly that order and
 //! hands out contiguous ranges for propagation.
 
-use crate::lock::TxnId;
-use crate::object::{ObjectId, Timestamp, Value};
+use crate::hash::FastMap;
+use crate::lock::{Mutation, TxnId};
+use crate::object::{NodeId, ObjectId, Timestamp, Value};
 use serde::{Deserialize, Serialize};
 
 /// Log sequence number: position in a node's commit log.
@@ -142,10 +143,128 @@ impl CommitLog {
     }
 }
 
+/// One node's durable 2PC state for a transaction, as replayed on
+/// restart. Presumed abort: a transaction with no entry (or a
+/// [`DecisionState::Prepared`] entry on the *coordinator*) is aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionState {
+    /// Participant force-logged its yes-vote; it is in doubt until the
+    /// decision from `coord` arrives (recovery asks `coord`).
+    Prepared {
+        /// The coordinating node to query on recovery.
+        coord: NodeId,
+    },
+    /// The decision is durable. On the coordinator the record carries
+    /// the participant set so recovery can re-distribute it.
+    Decided {
+        /// True for commit, false for abort.
+        commit: bool,
+        /// Remote participants still owed the decision (coordinator
+        /// records only; empty on participants).
+        participants: Vec<NodeId>,
+    },
+    /// Every participant acknowledged — the entry is garbage.
+    Done,
+}
+
+/// The durable per-node decision log of the two-phase commit layer —
+/// the WAL-replay path a crashed owner recovers in-doubt transactions
+/// from. Appends survive crashes; everything volatile (coordinator
+/// timers, vote tallies) does not.
+///
+/// The `REPL_MUTATE=drop-decision[:P]` mutation (read once at
+/// construction) silently loses every `P`-th [`DecisionLog::log_decision`]
+/// append, modelling a coordinator that acks before the log is durable —
+/// the decision-durability oracle must catch it.
+#[derive(Debug, Default)]
+pub struct DecisionLog {
+    entries: FastMap<TxnId, DecisionState>,
+    mutation: Mutation,
+    decision_appends: u64,
+}
+
+impl DecisionLog {
+    /// An empty log, with the `REPL_MUTATE` hook armed.
+    pub fn new() -> Self {
+        DecisionLog {
+            entries: FastMap::default(),
+            mutation: Mutation::from_env(),
+            decision_appends: 0,
+        }
+    }
+
+    /// Participant: force-log the yes-vote before sending it.
+    pub fn log_prepared(&mut self, txn: TxnId, coord: NodeId) {
+        self.entries
+            .entry(txn)
+            .or_insert(DecisionState::Prepared { coord });
+    }
+
+    /// Force-log a decision (coordinator passes the remote participant
+    /// set; participants pass an empty one). Overwrites a `Prepared`
+    /// entry; never downgrades a `Done` one.
+    pub fn log_decision(&mut self, txn: TxnId, commit: bool, participants: Vec<NodeId>) {
+        self.decision_appends += 1;
+        if let Mutation::DropDecision { period } = self.mutation {
+            if self.decision_appends.is_multiple_of(period) {
+                return; // the injected bug: ack without durability
+            }
+        }
+        match self.entries.entry(txn) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if !matches!(e.get(), DecisionState::Done) {
+                    e.insert(DecisionState::Decided {
+                        commit,
+                        participants,
+                    });
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(DecisionState::Decided {
+                    commit,
+                    participants,
+                });
+            }
+        }
+    }
+
+    /// Coordinator: every participant acked, the entry can be forgotten.
+    pub fn mark_done(&mut self, txn: TxnId) {
+        // Only an existing record transitions to Done: if the decision
+        // append never made it to the log (crash, injected drop), acks
+        // completing must not fabricate durability.
+        if let Some(e) = self.entries.get_mut(&txn) {
+            if matches!(e, DecisionState::Decided { .. }) {
+                *e = DecisionState::Done;
+            }
+        }
+    }
+
+    /// The durable decision for `txn`, if any (`true` = commit).
+    /// Presumed abort: callers treat `None` as abort.
+    pub fn decision(&self, txn: TxnId) -> Option<bool> {
+        match self.entries.get(&txn)? {
+            DecisionState::Decided { commit, .. } => Some(*commit),
+            _ => None,
+        }
+    }
+
+    /// The durable state for `txn`, if any.
+    pub fn state(&self, txn: TxnId) -> Option<&DecisionState> {
+        self.entries.get(&txn)
+    }
+
+    /// Replay iterator: every surviving entry, for restart recovery and
+    /// end-of-run durability audits. Order is unspecified — recovery
+    /// treats each transaction independently.
+    pub fn entries(&self) -> impl Iterator<Item = (TxnId, &DecisionState)> {
+        self.entries.iter().map(|(t, s)| (*t, s))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::object::NodeId;
 
     fn upd(txn: u64, obj: u64, c: u64) -> UpdateRecord {
         UpdateRecord {
@@ -266,6 +385,52 @@ mod tests {
         // Four buffers came back, emptied but with capacity intact.
         assert_eq!(spare.len(), 4);
         assert!(spare.iter().all(|v| v.is_empty() && v.capacity() >= 1));
+    }
+
+    #[test]
+    fn decision_log_presumes_abort() {
+        let log = DecisionLog::new();
+        assert_eq!(log.decision(TxnId(1)), None);
+        assert!(log.state(TxnId(1)).is_none());
+    }
+
+    #[test]
+    fn decision_log_lifecycle() {
+        let mut log = DecisionLog::new();
+        log.log_prepared(TxnId(1), NodeId(3));
+        assert_eq!(
+            log.state(TxnId(1)),
+            Some(&DecisionState::Prepared { coord: NodeId(3) })
+        );
+        assert_eq!(log.decision(TxnId(1)), None, "prepared is not decided");
+        log.log_decision(TxnId(1), true, vec![NodeId(2)]);
+        assert_eq!(log.decision(TxnId(1)), Some(true));
+        log.mark_done(TxnId(1));
+        assert_eq!(log.state(TxnId(1)), Some(&DecisionState::Done));
+        // A replayed decision never resurrects a Done entry.
+        log.log_decision(TxnId(1), false, vec![]);
+        assert_eq!(log.state(TxnId(1)), Some(&DecisionState::Done));
+    }
+
+    #[test]
+    fn decision_log_drop_decision_mutation() {
+        // Construct directly (not via env) so the test cannot race other
+        // tests over the process-global REPL_MUTATE variable.
+        let mut log = DecisionLog {
+            mutation: Mutation::DropDecision { period: 2 },
+            ..DecisionLog::default()
+        };
+        log.log_decision(TxnId(1), true, vec![]);
+        log.log_decision(TxnId(2), true, vec![]);
+        log.log_decision(TxnId(3), false, vec![]);
+        assert_eq!(log.decision(TxnId(1)), Some(true));
+        assert_eq!(log.decision(TxnId(2)), None, "2nd append must be lost");
+        assert_eq!(log.decision(TxnId(3)), Some(false));
+        // Ack completion must not mask the dropped append: mark_done on
+        // a missing entry leaves it missing (this is what the
+        // lost-decision oracle detects).
+        log.mark_done(TxnId(2));
+        assert!(log.state(TxnId(2)).is_none());
     }
 
     #[test]

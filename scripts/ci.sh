@@ -96,20 +96,44 @@ table = json.loads(open(sys.argv[1]).read())
 assert table["id"] == "CHAOS", f"unexpected table id {table['id']!r}"
 cols = table["headers"]
 rows = {r[cols.index("policy")]: dict(zip(cols, r)) for r in table["rows"]}
-assert set(rows) == {"detection", "timeout"}, f"policies: {sorted(rows)}"
+assert set(rows) == {"detection", "timeout", "eager/owner-order"}, f"policies: {sorted(rows)}"
 for name, row in rows.items():
-    assert row["converged"] == "yes", f"{name} run diverged: {row}"
     assert int(row["dropped"]) > 0, f"{name} run injected no drops: {row}"
     assert int(row["crashes"]) > 0, f"{name} run injected no crashes: {row}"
+for name in ("detection", "timeout"):
+    assert rows[name]["converged"] == "yes", f"{name} run diverged: {rows[name]}"
 assert int(rows["timeout"]["cycle checks"]) == 0, "timeout mode searched the graph"
 assert int(rows["timeout"]["timeouts"]) > 0, "timeout mode resolved nothing"
 assert int(rows["detection"]["cycle checks"]) > 0, "detection mode never searched"
 print("ok: chaos smoke deterministic, converged, policies use disjoint mechanisms")
 EOF
 
+say "commit-proto gates: owner-order identity, 2PC chaos clean through the oracles"
+proto_out="$(mktemp)"
+trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$proto_out"' EXIT
+# owner-order is the default: selecting it explicitly must change nothing.
+./target/release/harness --quick --json --seed 41 --commit-proto owner-order chaos >"$proto_out"
+cmp "$chaos_a" "$proto_out" || {
+    echo "--commit-proto owner-order changed the default chaos output" >&2
+    exit 1
+}
+# The fenced protocol under the full chaos plan (drops, duplicates, a
+# crash window) must come through the atomicity and decision-durability
+# oracles with zero violations.
+./target/release/harness --quick --json --seed 41 --check --commit-proto 2pc chaos >"$proto_out"
+/usr/bin/jq -e '
+    .violations == []
+    and ([.rows[] | select(.[0] == "eager/2pc")] | length == 1)
+' "$proto_out" >/dev/null || {
+    echo "2PC chaos run failed the commit-protocol oracles" >&2
+    /usr/bin/jq '.violations' "$proto_out" >&2
+    exit 1
+}
+echo "ok: owner-order byte-identical to default, 2PC chaos run violation-free"
+
 say "oracle smoke: --check on a real experiment must stay clean"
 check_out="$(mktemp)"
-trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$check_out"' EXIT
+trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$proto_out" "$check_out"' EXIT
 ./target/release/harness --quick --json --seed 41 --check e11 >"$check_out"
 python3 - "$check_out" <<'EOF'
 import json, sys
@@ -143,7 +167,7 @@ fo_a="$(mktemp)"
 fo_b="$(mktemp)"
 fo_metrics_a="$(mktemp)"
 fo_metrics_b="$(mktemp)"
-trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$check_out" "$fo_a" "$fo_b" "$fo_metrics_a" "$fo_metrics_b"' EXIT
+trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$proto_out" "$check_out" "$fo_a" "$fo_b" "$fo_metrics_a" "$fo_metrics_b"' EXIT
 ./target/release/harness --quick --json --seed 41 --metrics "$fo_metrics_a" failover >"$fo_a"
 ./target/release/harness --quick --json --seed 41 --jobs 2 --metrics "$fo_metrics_b" failover >"$fo_b"
 cmp "$fo_a" "$fo_b" || {
@@ -183,7 +207,7 @@ EOF
 
 say "sharding identity: --shards 7 (full rf) must be byte-identical across all experiments"
 shard_out="$(mktemp)"
-trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$check_out" "$fo_a" "$fo_b" "$fo_metrics_a" "$fo_metrics_b" "$shard_out"' EXIT
+trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$proto_out" "$check_out" "$fo_a" "$fo_b" "$fo_metrics_a" "$fo_metrics_b" "$shard_out"' EXIT
 ./target/release/harness --quick --json --shards 7 all >"$shard_out"
 cmp "$out" "$shard_out" || {
     echo "--shards 7 at full replication changed experiment output" >&2
@@ -194,7 +218,7 @@ echo "ok: full-rf sharded run byte-identical to unsharded across every experimen
 say "scaleout smoke: fixed seed (determinism across --jobs, schema, sublinear fan-out)"
 sc_a="$(mktemp)"
 sc_b="$(mktemp)"
-trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$check_out" "$fo_a" "$fo_b" "$fo_metrics_a" "$fo_metrics_b" "$shard_out" "$sc_a" "$sc_b"' EXIT
+trap 'rm -f "$out" "$metrics_out" "$par_out" "$par_metrics" "$chaos_a" "$chaos_b" "$proto_out" "$check_out" "$fo_a" "$fo_b" "$fo_metrics_a" "$fo_metrics_b" "$shard_out" "$sc_a" "$sc_b"' EXIT
 ./target/release/harness --quick --json --seed 41 scaleout >"$sc_a"
 ./target/release/harness --quick --json --seed 41 --jobs 2 scaleout >"$sc_b"
 cmp "$sc_a" "$sc_b" || {
@@ -203,18 +227,27 @@ cmp "$sc_a" "$sc_b" || {
 }
 /usr/bin/jq -e '
     def fanout(n; rf): (.rows[] | select(.[0] == n and .[1] == rf) | .[8] | tonumber);
+    def pmsgs(n; p): (.rows[] | select(.[0] == n and .[9] == p) | .[8] | tonumber);
     .id == "SCALEOUT"
     and .violations == []
     and (.headers | index("msgs/commit") == 8)
+    and (.headers | index("proto") == 9)
+    and (.headers | index("commit p50 ms") == 10)
+    and (.headers | index("commit p95 ms") == 11)
+    and (.headers | index("indoubt p95 ms") == 12)
     and (.rows | length >= 9)
     and ([.rows[] | select(.[0] == "256" and .[1] == "3")] | length == 1)
     and (fanout("256"; "3") < fanout("8"; "3") * 2 + 1)
     and (fanout("32"; "full") > fanout("8"; "full") * 2)
+    and ([.rows[] | select(.[9] == "2pc")] | length == 2)
+    and (pmsgs("16"; "2pc") > pmsgs("16"; "owner-order"))
+    and (pmsgs("16"; "o2pl") < pmsgs("16"; "2pc"))
+    and ([.rows[] | select(.[9] == "2pc") | .[12]] | all(. != "—"))
 ' "$sc_a" >/dev/null || {
-    echo "scaleout JSON failed schema/sublinearity validation" >&2
+    echo "scaleout JSON failed schema/sublinearity/protocol validation" >&2
     exit 1
 }
-echo "ok: scaleout deterministic across --jobs, 256-node point present, rf=3 fan-out flat"
+echo "ok: scaleout deterministic across --jobs, rf=3 fan-out flat, protocol rows ordered by message cost"
 
 say "scaleout oracle smoke: --check on the sharded sweep must stay clean"
 ./target/release/harness --quick --json --seed 41 --check scaleout >"$sc_b"

@@ -1,0 +1,143 @@
+//! Integration surface of the cross-shard atomic-commit layer (PR 9).
+//!
+//! Four invariants, all load-bearing for `--commit-proto`:
+//!
+//! 1. `owner-order` is the default and reproduces the pre-protocol
+//!    (PR 8) sharded runs byte-for-byte — the protocol machinery only
+//!    exists when a fenced protocol or a crash point asks for it.
+//! 2. With no cross-shard transactions the fenced protocols change
+//!    nothing: single-shard commits never enter the protocol, so
+//!    reports (message counts included) are byte-identical.
+//! 3. The protocol layer is deterministic: harness tables with 2PC
+//!    rows come out byte-identical at any `--jobs` fan-out.
+//! 4. A coordinator crash mid-prepare presumes abort: participants
+//!    recover via the decision-request path and the atomicity /
+//!    decision-durability oracles stay clean through the crash.
+
+use dangers_of_replication::check::{Recorder, Scheme};
+use dangers_of_replication::core::{
+    CommitProto, CrashKind, CrashPoint, EagerSim, LazyMasterSim, Ownership, ReplicaDiscipline,
+    SimConfig,
+};
+use dangers_of_replication::harness::experiments::scaleout::scaleout;
+use dangers_of_replication::harness::RunOpts;
+use dangers_of_replication::model::Params;
+
+/// A sharded, cross-shard-heavy base config for the eager family.
+fn sharded_cfg(seed: u64) -> SimConfig {
+    let p = Params::new(400.0, 6.0, 15.0, 4.0, 0.01);
+    SimConfig::from_params(&p, 50, seed)
+        .with_shards(6, 2)
+        .with_cross_shard(0.4)
+}
+
+#[test]
+fn owner_order_is_byte_identical_to_the_pr8_baseline() {
+    for seed in [5, 41] {
+        let base = EagerSim::new(
+            sharded_cfg(seed),
+            ReplicaDiscipline::Serial,
+            Ownership::Group,
+        )
+        .run();
+        let explicit = EagerSim::new(
+            sharded_cfg(seed).with_commit_proto(CommitProto::OwnerOrder),
+            ReplicaDiscipline::Serial,
+            Ownership::Group,
+        )
+        .run();
+        assert_eq!(base, explicit, "owner-order must be the no-op default");
+        assert_eq!(
+            LazyMasterSim::new(sharded_cfg(seed)).run(),
+            LazyMasterSim::new(sharded_cfg(seed).with_commit_proto(CommitProto::OwnerOrder)).run(),
+            "lazy-master owner-order, seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn fenced_protocols_are_noops_without_cross_shard_transactions() {
+    for proto in [CommitProto::TwoPc, CommitProto::O2pl] {
+        let single = |proto: Option<CommitProto>| {
+            let mut cfg = sharded_cfg(11).with_cross_shard(0.0);
+            if let Some(p) = proto {
+                cfg = cfg.with_commit_proto(p);
+            }
+            EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group).run()
+        };
+        let base = single(None);
+        let fenced = single(Some(proto));
+        assert_eq!(
+            base.messages,
+            fenced.messages,
+            "{} sent protocol messages for single-shard transactions",
+            proto.name()
+        );
+        assert_eq!(
+            base,
+            fenced,
+            "{} must skip single-shard commits",
+            proto.name()
+        );
+    }
+}
+
+#[test]
+fn two_pc_harness_rows_are_jobs_invariant() {
+    let table = |jobs: usize| {
+        scaleout(&RunOpts {
+            quick: true,
+            seed: 23,
+            jobs,
+            ..RunOpts::default()
+        })
+    };
+    let serial = table(1);
+    assert_eq!(
+        serial,
+        table(4),
+        "scaleout proto rows must be jobs-invariant"
+    );
+    // The table really contains fenced-protocol rows.
+    assert!(
+        serial.rows.iter().any(|r| r[9] == "2pc"),
+        "no 2pc row in the scaleout table"
+    );
+}
+
+#[test]
+fn coordinator_crash_mid_prepare_presumes_abort_cleanly() {
+    // O2PL piggybacks every prepare on a lock grant, so it never
+    // reaches the post-prepare edge — crash it just before the
+    // decision-log write instead (also a coordinator crash with the
+    // decision still undecided for the participants).
+    for (proto, kind) in [
+        (CommitProto::TwoPc, CrashKind::CoordPostPrepare),
+        (CommitProto::O2pl, CrashKind::CoordPreDecisionLog),
+    ] {
+        let rec = Recorder::new(Scheme::Eager);
+        let cfg = sharded_cfg(9)
+            .with_commit_proto(proto)
+            .with_crash_point(CrashPoint {
+                kind,
+                nth: 0,
+                down_secs: 3,
+            });
+        let report = EagerSim::new(cfg, ReplicaDiscipline::Serial, Ownership::Group)
+            .with_recorder(rec.clone())
+            .run();
+        assert!(
+            report.node_crashes >= 1,
+            "{}: crash never fired",
+            proto.name()
+        );
+        let check = rec.check();
+        assert!(check.commits > 0, "{}: nothing committed", proto.name());
+        assert!(
+            check.violations.is_empty(),
+            "{}: crash mid-prepare broke atomicity: {:?}",
+            proto.name(),
+            check.violations
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! that passes on correct engines is only trustworthy if it *fails* on
 //! a broken one.
 
-use dangers_of_replication::check::{fuzz, FuzzCase, Scheme};
+use dangers_of_replication::check::{fuzz, FuzzCase, Scheme, Violation};
 use dangers_of_replication::harness::experiments::check::run_case;
 
 /// Kept to a single `#[test]` on purpose: `REPL_MUTATE` is
@@ -29,6 +29,10 @@ fn injected_lock_bug_is_caught_shrunk_and_reproducible() {
         actions: 4,
         horizon_secs: 10,
         faults: None,
+        shards: 0,
+        rf: 0,
+        proto: None,
+        xpoint: None,
     }
     .stabilized();
     let outcome = fuzz(&base, 6, &|c| run_case(c).violations);
@@ -69,6 +73,46 @@ fn injected_lock_bug_is_caught_shrunk_and_reproducible() {
     assert!(
         clean.is_clean(),
         "case `{line}` still fails without the mutation: {:?}",
+        clean.violations
+    );
+
+    // Second mutation, sequenced in the same test because REPL_MUTATE
+    // is process-global: silently drop every 2PC decision append — a
+    // coordinator that acks commits it never made durable — and the
+    // decision-durability oracle must flag a fenced cross-shard run.
+    std::env::set_var("REPL_MUTATE", "drop-decision:1");
+    let fenced = FuzzCase {
+        scheme: Scheme::Eager,
+        seed: 7,
+        nodes: 4,
+        db_size: 400,
+        tps: 6,
+        actions: 4,
+        horizon_secs: 15,
+        faults: None,
+        shards: 6,
+        rf: 2,
+        proto: Some("2pc".to_owned()),
+        xpoint: None,
+    }
+    .stabilized();
+    let report = run_case(&fenced);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::LostDecision { .. })),
+        "dropping decision appends must trip the durability oracle, got: {:?}",
+        report.violations
+    );
+
+    // And again: same case, mutation removed, clean.
+    std::env::remove_var("REPL_MUTATE");
+    let clean = run_case(&fenced);
+    assert!(
+        clean.is_clean(),
+        "fenced case `{}` still fails without the mutation: {:?}",
+        fenced.encode(),
         clean.violations
     );
 }
