@@ -65,6 +65,19 @@ fn bench_engines(c: &mut Criterion) {
             black_box(LazyGroupSim::new(c, Mobility::Connected).run())
         });
     });
+    g.bench_function("eager_sharded", |b| {
+        // Eager replication over the same partial layout as
+        // lazy_group_sharded: serial replica writes against sharded
+        // stores, so the signature-grouped destination selection is on
+        // the synchronous commit path instead of the refresh path.
+        b.iter(|| {
+            let p = Params::new(500.0, 8.0, 10.0, 4.0, 0.01);
+            let c = SimConfig::from_params(&p, 30, 18)
+                .with_shards(8, 3)
+                .with_cross_shard(0.10);
+            black_box(EagerSim::new(c, ReplicaDiscipline::Serial, Ownership::Group).run())
+        });
+    });
     g.bench_function("lazy_group_mobile", |b| {
         b.iter(|| {
             let mobility = Mobility::Cycling {
@@ -78,6 +91,27 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| {
             let tt = TwoTierConfig {
                 sim: cfg(7),
+                base_nodes: 2,
+                mobile_owned: 0,
+                connected: SimDuration::from_secs(8),
+                disconnected: SimDuration::from_secs(12),
+                workload: TwoTierWorkload::Commutative { max_amount: 10 },
+                initial_value: 10_000,
+            };
+            black_box(TwoTierSim::new(tt).run())
+        });
+    });
+    g.bench_function("two_tier_sharded", |b| {
+        // Two-tier over a partial layout: the base broadcast groups
+        // mobiles by host signature (`host_group`), so the master
+        // fan-out filter runs once per distinct hosted set.
+        b.iter(|| {
+            let p = Params::new(500.0, 8.0, 10.0, 4.0, 0.01);
+            let sim = SimConfig::from_params(&p, 30, 19)
+                .with_shards(8, 3)
+                .with_cross_shard(0.10);
+            let tt = TwoTierConfig {
+                sim,
                 base_nodes: 2,
                 mobile_owned: 0,
                 connected: SimDuration::from_secs(8),

@@ -305,9 +305,12 @@ impl ContentionSim {
     /// Build a simulator; arrivals for each node are pre-seeded.
     pub fn new(cfg: SimConfig, profile: ContentionProfile) -> Self {
         let mut queue = EventQueue::new();
+        // Step events — one fixed service time apart — dominate the
+        // event traffic; give them the queue's O(1) FIFO lane.
+        queue.set_fifo_lane(cfg.action_time);
         let mut arrival_rngs = Vec::with_capacity(cfg.nodes as usize);
         for node in 0..cfg.nodes {
-            let mut rng = SimRng::stream(cfg.seed, &format!("arrivals-{node}"));
+            let mut rng = SimRng::stream_node(cfg.seed, "arrivals-", u64::from(node));
             let first = SimDuration::from_secs_f64(rng.exp(1.0 / cfg.tps));
             queue.schedule_at(SimTime::ZERO + first, Ev::Arrive(NodeId(node)));
             arrival_rngs.push(rng);
@@ -325,7 +328,11 @@ impl ContentionSim {
         let mut sim = ContentionSim {
             profile,
             queue,
-            locks: LockManager::new(),
+            locks: {
+                let mut lm = LockManager::new();
+                lm.reserve_objects(cfg.db_size as usize);
+                lm
+            },
             active: HashMap::new(),
             arrival_rngs,
             object_rng: SimRng::stream(cfg.seed, "objects"),
@@ -951,7 +958,10 @@ impl ContentionSim {
                 return;
             }
             ctx.crashed[node.0 as usize] = false;
-            let parked = ctx.net.reconnect(node);
+            // Crash recovery is rare: collecting the drain here keeps
+            // the borrow on `ctx` short (the replay below re-enters
+            // `self` methods per message).
+            let parked: Vec<ProtoMsg> = ctx.net.reconnect(node).collect();
             let mut records: Vec<(TxnId, DecisionState)> = ctx.logs[node.0 as usize]
                 .entries()
                 .map(|(t, st)| (t, st.clone()))

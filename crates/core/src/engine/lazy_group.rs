@@ -20,7 +20,7 @@ use crate::config::{DeadlockPolicy, SimConfig};
 use crate::metrics::{Metrics, Report, M_ABORTS, M_PROPAGATION_LAG, M_RETRIES};
 use repl_check::{Recorder, TxnRecord};
 use repl_net::{
-    DisconnectSchedule, FaultInjector, FaultPlan, LatencyModel, Network, PeriodModel, SendOutcome,
+    DisconnectSchedule, FaultInjector, FaultPlan, LatencyModel, Network, PeriodModel, SendFate,
 };
 use repl_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use repl_storage::{
@@ -82,6 +82,31 @@ struct ReplicaMsg {
     /// disconnection and retry time, which is the point.
     sent_at: SimTime,
     updates: std::rc::Rc<[UpdateRecord]>,
+    /// Which entries of `updates` this destination applies (bit `i` ⇒
+    /// `updates[i]`). Sharded fan-out ships the *full* record to every
+    /// group and selects the hosted subset here, so no filtered copy is
+    /// ever materialised; unsharded runs set every bit. Records wider
+    /// than 64 updates are pre-filtered by the sender and carry
+    /// `u64::MAX` — [`applies`] treats overflow indices as selected.
+    mask: u64,
+}
+
+/// Does `mask` select update `i`? Indices past the mask width are
+/// always selected: senders pre-filter any record wider than 64
+/// updates, so the overflow tail is hosted by construction.
+#[inline]
+fn applies(mask: u64, i: usize) -> bool {
+    i >= 64 || mask & (1u64 << i) != 0
+}
+
+/// The mask selecting every entry of a `len`-wide record.
+#[inline]
+fn full_mask(len: usize) -> u64 {
+    if len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    }
 }
 
 #[derive(Debug)]
@@ -222,6 +247,11 @@ pub struct LazyGroupSim {
     /// Recycled buffer for the propagation flush: consecutive same-delay
     /// deliveries accumulate here before being scheduled.
     deliver_scratch: Vec<ReplicaMsg>,
+    /// Sharded propagation memo, one slot per fan-out signature group
+    /// of the origin currently propagating: the last record's hosted-
+    /// update mask for that group, reused by every group member at the
+    /// same watermark. Reset per [`LazyGroupSim::propagate`] call.
+    group_memo: Vec<Option<(Lsn, u64)>>,
     /// Optional correctness recorder (off ⇒ every hook is a no-op).
     recorder: Recorder,
     /// Per-replica staleness: the propagation lag of every update each
@@ -244,9 +274,12 @@ impl LazyGroupSim {
     pub fn new(cfg: SimConfig, mobility: Mobility) -> Self {
         let n = cfg.nodes as usize;
         let mut queue = EventQueue::new();
+        // Step events — one fixed service time apart — dominate the
+        // event traffic; give them the queue's O(1) FIFO lane.
+        queue.set_fifo_lane(cfg.action_time);
         let mut arrival_rngs = Vec::with_capacity(n);
         for node in 0..cfg.nodes {
-            let mut rng = SimRng::stream(cfg.seed, &format!("lg-arrivals-{node}"));
+            let mut rng = SimRng::stream_node(cfg.seed, "lg-arrivals-", u64::from(node));
             let first = SimDuration::from_secs_f64(rng.exp(1.0 / cfg.tps));
             queue.schedule_at(SimTime::ZERO + first, Ev::Arrive(NodeId(node)));
             arrival_rngs.push(rng);
@@ -320,6 +353,7 @@ impl LazyGroupSim {
             run_label: "lazy-group".to_owned(),
             granted_scratch: Vec::new(),
             deliver_scratch: Vec::new(),
+            group_memo: Vec::new(),
             objects_pool: Vec::new(),
             update_pool: Vec::new(),
             undo_pool: Vec::new(),
@@ -340,12 +374,15 @@ impl LazyGroupSim {
         self
     }
 
-    /// A lock manager honoring the configured deadlock policy.
+    /// A lock manager honoring the configured deadlock policy, sized
+    /// for the configured database.
     fn lock_manager(cfg: &SimConfig) -> LockManager {
-        match cfg.deadlock {
+        let mut lm = match cfg.deadlock {
             DeadlockPolicy::Detection => LockManager::new(),
             DeadlockPolicy::Timeout { .. } => LockManager::with_mode(DeadlockMode::TimeoutOnly),
-        }
+        };
+        lm.reserve_objects(cfg.db_size as usize);
+        lm
     }
 
     /// Attach a fault plan (builder-style; call before
@@ -1046,11 +1083,10 @@ impl LazyGroupSim {
         let node = txn.node;
         let obj = txn.objects[txn.next];
         let state = &mut self.nodes[node.0 as usize];
-        let old = state.store.get(obj);
-        let old_ts = old.ts;
-        txn.undo.push((obj, old.value.clone(), old_ts));
         let new_ts = state.clock.tick();
-        state.store.set(obj, value.clone(), new_ts);
+        let old = state.store.replace(obj, value.clone(), new_ts);
+        let old_ts = old.ts;
+        txn.undo.push((obj, old.value, old_ts));
         txn.updates.push(UpdateRecord {
             txn: id,
             object: obj,
@@ -1131,21 +1167,32 @@ impl LazyGroupSim {
         // every destination back to back — memoize the last one and
         // bump its refcount instead of re-allocating per destination.
         let mut last_payload: Option<(Lsn, std::rc::Rc<[UpdateRecord]>)> = None;
+        // Sharded runs filter once per distinct shard-set signature,
+        // not once per destination: arm one memo slot per fan-out
+        // group of this origin.
+        if let Some(map) = &self.shard {
+            self.group_memo.clear();
+            self.group_memo.resize(map.fanout_groups(origin), None);
+        }
         for dest in 0..self.cfg.nodes {
             let dest = NodeId(dest);
             if dest == origin {
                 continue;
             }
-            if let Some(map) = &self.shard {
+            let group = match &self.shard {
+                None => 0,
                 // Nodes sharing no shard never exchange replica
                 // updates: point the watermark at the head so this dead
                 // channel never holds back log GC.
-                if !map.shares_any(origin, dest) {
-                    let head = self.nodes[origin.0 as usize].log.head();
-                    self.nodes[origin.0 as usize].sent_upto[dest.0 as usize] = head;
-                    continue;
-                }
-            }
+                Some(map) => match map.fanout_group(origin, dest) {
+                    Some(g) => g,
+                    None => {
+                        let head = self.nodes[origin.0 as usize].log.head();
+                        self.nodes[origin.0 as usize].sent_upto[dest.0 as usize] = head;
+                        continue;
+                    }
+                },
+            };
             debug_assert!(pending.is_empty());
             loop {
                 let state = &self.nodes[origin.0 as usize];
@@ -1155,12 +1202,58 @@ impl LazyGroupSim {
                 };
                 // One allocation per record (shared across destinations
                 // via the memo); every delivery copy below just bumps
-                // the refcount. Sharded runs skip the memo: each
-                // destination gets the record filtered down to the
-                // updates it actually hosts, and a record with nothing
-                // for this destination just advances the watermark.
-                let updates: std::rc::Rc<[UpdateRecord]> = match &self.shard {
-                    None => match &last_payload {
+                // the refcount. Sharded runs ship the same full payload
+                // with a per-signature-group mask selecting the hosted
+                // subset — computed once per group and reused by every
+                // member at the same watermark — and a record with
+                // nothing for this destination's group just advances
+                // the watermark. Only records wider than the mask are
+                // ever filtered into a fresh copy.
+                let wide = record.updates.len() > 64;
+                let mask = match (&self.shard, wide) {
+                    (None, _) | (Some(_), true) => full_mask(record.updates.len()),
+                    (Some(map), false) => {
+                        let mask = match &self.group_memo[group as usize] {
+                            Some((lsn, m)) if *lsn == from => *m,
+                            _ => {
+                                let mut m = 0u64;
+                                for (i, u) in record.updates.iter().enumerate() {
+                                    if map.fanout_group_hosts(origin, group, u.object) {
+                                        m |= 1u64 << i;
+                                    }
+                                }
+                                self.group_memo[group as usize] = Some((from, m));
+                                m
+                            }
+                        };
+                        if mask == 0 {
+                            self.nodes[origin.0 as usize].sent_upto[dest.0 as usize] =
+                                Lsn(from.0 + 1);
+                            continue;
+                        }
+                        mask
+                    }
+                };
+                let updates: std::rc::Rc<[UpdateRecord]> = match (&self.shard, wide) {
+                    (Some(map), true) => {
+                        // Overflow-wide record: the mask cannot address
+                        // every entry, so fall back to a per-group
+                        // filtered copy (`applies` selects the whole
+                        // pre-filtered payload via `u64::MAX`).
+                        let rc: std::rc::Rc<[UpdateRecord]> = record
+                            .updates
+                            .iter()
+                            .filter(|u| map.fanout_group_hosts(origin, group, u.object))
+                            .cloned()
+                            .collect();
+                        if rc.is_empty() {
+                            self.nodes[origin.0 as usize].sent_upto[dest.0 as usize] =
+                                Lsn(from.0 + 1);
+                            continue;
+                        }
+                        rc
+                    }
+                    _ => match &last_payload {
                         Some((lsn, rc)) if *lsn == from => rc.clone(),
                         _ => {
                             let rc: std::rc::Rc<[UpdateRecord]> = record.updates.as_slice().into();
@@ -1168,25 +1261,6 @@ impl LazyGroupSim {
                             rc
                         }
                     },
-                    Some(map) => {
-                        let filtered: Vec<UpdateRecord> = record
-                            .updates
-                            .iter()
-                            .filter(|u| map.hosts_object(dest, u.object))
-                            .cloned()
-                            .collect();
-                        if filtered.is_empty() {
-                            self.nodes[origin.0 as usize].sent_upto[dest.0 as usize] =
-                                Lsn(from.0 + 1);
-                            continue;
-                        }
-                        filtered.into()
-                    }
-                };
-                let msg = ReplicaMsg {
-                    from: origin,
-                    sent_at: self.queue.now(),
-                    updates: updates.clone(),
                 };
                 if self.measuring() {
                     self.metrics.messages.incr();
@@ -1201,8 +1275,11 @@ impl LazyGroupSim {
                         },
                     )
                 });
-                match self.network.send(origin, dest, msg) {
-                    SendOutcome::Deliver { delay } => {
+                // Fate first, message after: only the fates that keep a
+                // message pay its construction (and the payload's
+                // refcount bump).
+                match self.network.send_fate(origin, dest) {
+                    SendFate::Deliver { delay } => {
                         if !pending.is_empty() && pending_delay != delay {
                             self.flush_deliveries(dest, pending_delay, &mut pending);
                         }
@@ -1211,12 +1288,13 @@ impl LazyGroupSim {
                             from: origin,
                             sent_at: self.queue.now(),
                             updates,
+                            mask,
                         });
                         if pending.len() >= batch {
                             self.flush_deliveries(dest, delay, &mut pending);
                         }
                     }
-                    SendOutcome::Duplicated { delays } => {
+                    SendFate::Duplicated { delays } => {
                         // Flush first: the duplicate's copies must land
                         // behind everything already pending on this
                         // channel, as they would with per-txn events.
@@ -1240,12 +1318,13 @@ impl LazyGroupSim {
                                         from: origin,
                                         sent_at: self.queue.now(),
                                         updates: updates.clone(),
+                                        mask,
                                     },
                                 },
                             );
                         }
                     }
-                    SendOutcome::Dropped => {
+                    SendFate::Dropped => {
                         // Lost in flight. The watermark does not
                         // advance; a retransmit timer re-runs
                         // propagation from the same record, so delivery
@@ -1269,11 +1348,21 @@ impl LazyGroupSim {
                         self.queue.schedule_after(retransmit, Ev::Resend(origin));
                         break;
                     }
-                    SendOutcome::Held => {
-                        // The network parks it for the disconnected
-                        // destination; it still counts as shipped.
+                    SendFate::Held => {
+                        // Park it for the unreachable destination; it
+                        // still counts as shipped.
+                        self.network.park(
+                            origin,
+                            dest,
+                            ReplicaMsg {
+                                from: origin,
+                                sent_at: self.queue.now(),
+                                updates,
+                                mask,
+                            },
+                        );
                     }
-                    SendOutcome::SenderOffline(_) => {
+                    SendFate::SenderOffline => {
                         // Raced a disconnect: retry from the same
                         // watermark at the next reconnect.
                         self.flush_deliveries(dest, pending_delay, &mut pending);
@@ -1346,7 +1435,12 @@ impl LazyGroupSim {
     }
 
     fn try_replica_step(&mut self, id: TxnId) {
-        let txn = self.replicas.get(id).expect("stepping unknown replica");
+        let txn = self.replicas.get_mut(id).expect("stepping unknown replica");
+        // Skip entries the fan-out mask excludes: this destination's
+        // signature group does not host them.
+        while txn.next < txn.msg.updates.len() && !applies(txn.msg.mask, txn.next) {
+            txn.next += 1;
+        }
         if txn.next >= txn.msg.updates.len() {
             self.commit_replica(id);
             return;

@@ -88,16 +88,20 @@ impl TwoTierConfig {
     }
 }
 
+/// A shared refresh payload: the committed update list one base
+/// commit fans out, reference-counted across every recipient. The
+/// engine is single-threaded — `Rc` is deliberate.
+type RefreshPayload = std::rc::Rc<[(ObjectId, Value, Timestamp)]>;
+
 /// Replica refresh message: committed master updates streamed to
 /// replicas (standard lazy-master propagation).
 ///
 /// `updates` is shared: one commit fans out to every replica, so the
 /// payload is reference-counted — `msg.clone()` in the broadcast loop
-/// bumps a refcount instead of deep-copying the update list. The
-/// engine is single-threaded — `Rc` is deliberate.
+/// bumps a refcount instead of deep-copying the update list.
 #[derive(Debug, Clone)]
 struct RefreshMsg {
-    updates: std::rc::Rc<[(ObjectId, Value, Timestamp)]>,
+    updates: RefreshPayload,
     /// When the base broadcast this refresh. Held and duplicated copies
     /// keep the original stamp, so apply-time lag includes the time a
     /// mobile spent disconnected — the staleness the paper's two-tier
@@ -200,6 +204,11 @@ pub struct TwoTierSim {
     granted_scratch: Vec<(TxnId, ObjectId)>,
     /// Recycled chunk buffer for batched refresh fan-out.
     refresh_scratch: Vec<RefreshMsg>,
+    /// Sharded refresh memo, one slot per master fan-out signature
+    /// group: the refresh payload filtered for that group, shared
+    /// (refcounted) by every group member. Reset per
+    /// [`TwoTierSim::broadcast_refresh`] call.
+    refresh_memo: Vec<Option<RefreshPayload>>,
     /// Scratch for the workload sampler's distinct-object draw.
     sample_scratch: Vec<u64>,
     /// Committed base transactions' read/write footprints — §7 property
@@ -249,9 +258,12 @@ impl TwoTierSim {
         let sim = cfg.sim;
         let n = sim.nodes as usize;
         let mut queue = EventQueue::new();
+        // Step events — one fixed service time apart — dominate the
+        // event traffic; give them the queue's O(1) FIFO lane.
+        queue.set_fifo_lane(sim.action_time);
         let mut arrival_rngs = Vec::with_capacity(n);
         for node in 0..sim.nodes {
-            let mut rng = SimRng::stream(sim.seed, &format!("tt-arrivals-{node}"));
+            let mut rng = SimRng::stream_node(sim.seed, "tt-arrivals-", u64::from(node));
             let first = SimDuration::from_secs_f64(rng.exp(1.0 / sim.tps));
             queue.schedule_at(SimTime::ZERO + first, Ev::Arrive(NodeId(node)));
             arrival_rngs.push(rng);
@@ -311,7 +323,11 @@ impl TwoTierSim {
         TwoTierSim {
             queue,
             master,
-            master_locks: LockManager::new(),
+            master_locks: {
+                let mut lm = LockManager::new();
+                lm.reserve_objects(sim.db_size as usize);
+                lm
+            },
             master_clock: LamportClock::new(NodeId(u32::MAX)),
             replicas,
             pending: (0..n).map(|_| VecDeque::new()).collect(),
@@ -336,6 +352,7 @@ impl TwoTierSim {
             run_label: "two-tier".to_owned(),
             granted_scratch: Vec::new(),
             refresh_scratch: Vec::new(),
+            refresh_memo: Vec::new(),
             sample_scratch: Vec::new(),
             history: History::new(),
             recorder: Recorder::off(),
@@ -949,6 +966,13 @@ impl TwoTierSim {
         let batch = self.cfg.sim.propagation_batch.max(1);
         let mut pending = std::mem::take(&mut self.refresh_scratch);
         let mut pending_delay = SimDuration::ZERO;
+        // The base hosts every shard, so destinations group by their
+        // entire hosted set: filter the refresh once per distinct
+        // signature and share the payload across the group.
+        if let Some(map) = &self.shard {
+            self.refresh_memo.clear();
+            self.refresh_memo.resize(map.host_groups(), None);
+        }
         for dest in 0..self.cfg.sim.nodes {
             let dest = NodeId(dest);
             // Partial replication: each destination receives only the
@@ -957,17 +981,27 @@ impl TwoTierSim {
             let msg = match &self.shard {
                 None => msg.clone(),
                 Some(map) => {
-                    let filtered: Vec<(ObjectId, Value, Timestamp)> = msg
-                        .updates
-                        .iter()
-                        .filter(|(obj, _, _)| map.hosts_object(dest, *obj))
-                        .cloned()
-                        .collect();
-                    if filtered.is_empty() {
+                    let Some(group) = map.host_group(dest) else {
+                        continue;
+                    };
+                    let updates = match &self.refresh_memo[group as usize] {
+                        Some(rc) => rc.clone(),
+                        None => {
+                            let rc: RefreshPayload = msg
+                                .updates
+                                .iter()
+                                .filter(|(obj, _, _)| map.host_group_hosts(group, *obj))
+                                .cloned()
+                                .collect();
+                            self.refresh_memo[group as usize] = Some(rc.clone());
+                            rc
+                        }
+                    };
+                    if updates.is_empty() {
                         continue;
                     }
                     RefreshMsg {
-                        updates: filtered.into(),
+                        updates,
                         sent_at: msg.sent_at,
                     }
                 }
@@ -1079,11 +1113,16 @@ impl TwoTierSim {
     fn on_reconnect(&mut self, node: NodeId) {
         // Step 1: discard tentative versions.
         self.replicas[node.0 as usize].discard_tentative();
-        // Step 2/4: receive deferred replica refreshes.
-        let held = self.network.reconnect(node);
-        for msg in held {
+        // Step 2/4: receive deferred replica refreshes. The drain
+        // borrows the network, and applying a refresh needs the whole
+        // sim — stage through the recycled chunk buffer (idle between
+        // broadcasts).
+        let mut held = std::mem::take(&mut self.refresh_scratch);
+        held.extend(self.network.reconnect(node));
+        for msg in held.drain(..) {
             self.apply_refresh(node, msg);
         }
+        self.refresh_scratch = held;
         // Step 3/5: re-execute tentative transactions in commit order.
         self.maybe_start_session(node);
     }

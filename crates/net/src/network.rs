@@ -50,6 +50,33 @@ pub enum SendOutcome<M> {
     SenderOffline(M),
 }
 
+/// What *would* happen to a send, decided without taking a message —
+/// the payload-free twin of [`SendOutcome`]. Hot senders use
+/// [`Network::send_fate`] to learn the fate first and only construct
+/// (and clone reference-counted payloads into) a message for the fates
+/// that keep one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SendFate {
+    /// Deliver after this delay.
+    Deliver {
+        /// One-way latency to apply.
+        delay: SimDuration,
+    },
+    /// Fault injection duplicated the message.
+    Duplicated {
+        /// Independent one-way latencies for the two copies.
+        delays: [SimDuration; 2],
+    },
+    /// Fault injection lost the message in flight.
+    Dropped,
+    /// The destination is unreachable: the caller must hand the
+    /// message over with [`Network::park`] (which [`Network::send`]
+    /// does internally).
+    Held,
+    /// The sender is disconnected; nothing was counted or parked.
+    SenderOffline,
+}
+
 /// Point-to-point message fabric for `n` nodes.
 #[derive(Debug)]
 pub struct Network<M> {
@@ -62,6 +89,14 @@ pub struct Network<M> {
     /// Parked messages per destination, with the sender recorded so a
     /// drain can judge reachability per message.
     held: Vec<Vec<(NodeId, M)>>,
+    /// Reusable staging buffer for drains: reachable messages move
+    /// here and are handed to the caller as a draining iterator, so
+    /// reconnects and partition heals allocate nothing at steady state.
+    drain_scratch: Vec<(NodeId, M)>,
+    /// Spare vector swapped into a destination's `held` slot while its
+    /// old contents are re-filtered — keeps the still-parked rewrite
+    /// allocation-free too.
+    park_scratch: Vec<(NodeId, M)>,
     faults: Option<FaultInjector>,
     sent: u64,
     held_count: u64,
@@ -79,6 +114,8 @@ impl<M> Network<M> {
             connected: vec![true; n],
             partition: None,
             held: (0..n).map(|_| Vec::new()).collect(),
+            drain_scratch: Vec::new(),
+            park_scratch: Vec::new(),
             faults: None,
             sent: 0,
             held_count: 0,
@@ -163,56 +200,73 @@ impl<M> Network<M> {
     }
 
     /// Heal the partition and drain every parked message whose path is
-    /// now clear, in arrival order per destination. Returns
-    /// `(destination, message)` pairs for the driver to deliver.
-    pub fn heal_partition(&mut self) -> Vec<(NodeId, M)> {
+    /// now clear, in arrival order per destination. Yields
+    /// `(destination, message)` pairs for the driver to deliver; the
+    /// backing buffer is reused across heals.
+    pub fn heal_partition(&mut self) -> std::vec::Drain<'_, (NodeId, M)> {
         self.partition = None;
-        let mut out = Vec::new();
-        for dest in 0..self.held.len() {
-            let dest = NodeId(dest as u32);
-            if !self.connected[dest.0 as usize] {
+        self.drain_scratch.clear();
+        for (d, parked) in self.held.iter_mut().enumerate() {
+            let dest = NodeId(d as u32);
+            if !self.connected[d] {
                 continue; // still offline: keep its mail parked
             }
-            for (_, msg) in self.drain_reachable(dest) {
-                out.push((dest, msg));
-            }
+            // No partition remains, so everything parked for a
+            // connected destination is reachable.
+            self.drain_scratch
+                .extend(parked.drain(..).map(|(_, msg)| (dest, msg)));
         }
-        out
+        self.drain_scratch.drain(..)
     }
 
     /// Send `msg` from `from` to `to`.
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) -> SendOutcome<M> {
+        match self.send_fate(from, to) {
+            SendFate::SenderOffline => SendOutcome::SenderOffline(msg),
+            SendFate::Held => {
+                self.park(from, to, msg);
+                SendOutcome::Held
+            }
+            SendFate::Deliver { delay } => SendOutcome::Deliver { delay },
+            SendFate::Duplicated { delays } => SendOutcome::Duplicated { delays },
+            SendFate::Dropped => SendOutcome::Dropped,
+        }
+    }
+
+    /// Decide a send's fate without a message: same connectivity
+    /// checks, counters and randomness draws as [`Network::send`], in
+    /// the same order. On [`SendFate::Held`] the caller owes the
+    /// network a [`Network::park`] call for the message it kept.
+    pub fn send_fate(&mut self, from: NodeId, to: NodeId) -> SendFate {
         if !self.connected[from.0 as usize] {
-            return SendOutcome::SenderOffline(msg);
+            return SendFate::SenderOffline;
         }
         self.sent += 1;
         if !self.connected[to.0 as usize] || self.is_partitioned(from, to) {
-            self.held[to.0 as usize].push((from, msg));
-            self.held_count += 1;
-            return SendOutcome::Held;
+            return SendFate::Held;
         }
         match self
             .faults
             .as_mut()
             .map_or(MessageFate::Deliver, |f| f.fate())
         {
-            MessageFate::Deliver => SendOutcome::Deliver {
+            MessageFate::Deliver => SendFate::Deliver {
                 delay: self.latency.sample(&mut self.rng),
             },
             MessageFate::Drop => {
                 self.dropped += 1;
-                SendOutcome::Dropped
+                SendFate::Dropped
             }
             MessageFate::Duplicate => {
                 self.duplicated += 1;
-                SendOutcome::Duplicated {
+                SendFate::Duplicated {
                     delays: [
                         self.latency.sample(&mut self.rng),
                         self.latency.sample(&mut self.rng),
                     ],
                 }
             }
-            MessageFate::Delay(spike) => SendOutcome::Deliver {
+            MessageFate::Delay(spike) => SendFate::Deliver {
                 delay: self.latency.sample(&mut self.rng) + spike,
             },
         }
@@ -236,29 +290,32 @@ impl<M> Network<M> {
     /// whose path is clear, in arrival order. The driver delivers these
     /// immediately (they were already "in the mail"). Messages from
     /// senders still across an active partition stay parked until
-    /// [`Network::heal_partition`].
-    pub fn reconnect(&mut self, node: NodeId) -> Vec<M> {
+    /// [`Network::heal_partition`]. The backing buffer is reused across
+    /// reconnects.
+    pub fn reconnect(&mut self, node: NodeId) -> impl ExactSizeIterator<Item = M> + '_ {
         self.connected[node.0 as usize] = true;
-        self.drain_reachable(node)
-            .into_iter()
-            .map(|(_, msg)| msg)
-            .collect()
+        self.drain_reachable(node).map(|(_, msg)| msg)
     }
 
     /// Take the parked messages for `dest` whose sender is on a
     /// reachable side, preserving order among both the drained and the
-    /// remaining messages.
-    fn drain_reachable(&mut self, dest: NodeId) -> Vec<(NodeId, M)> {
-        let parked = std::mem::take(&mut self.held[dest.0 as usize]);
-        let mut out = Vec::new();
-        for (from, msg) in parked {
+    /// remaining messages. The drained messages live in a scratch
+    /// buffer reused across calls, and the still-parked rewrite reuses
+    /// recycled capacity — no allocation at steady state.
+    fn drain_reachable(&mut self, dest: NodeId) -> std::vec::Drain<'_, (NodeId, M)> {
+        let d = dest.0 as usize;
+        let mut parked =
+            std::mem::replace(&mut self.held[d], std::mem::take(&mut self.park_scratch));
+        self.drain_scratch.clear();
+        for (from, msg) in parked.drain(..) {
             if self.is_partitioned(from, dest) {
-                self.held[dest.0 as usize].push((from, msg));
+                self.held[d].push((from, msg));
             } else {
-                out.push((from, msg));
+                self.drain_scratch.push((from, msg));
             }
         }
-        out
+        self.park_scratch = parked;
+        self.drain_scratch.drain(..)
     }
 
     /// Sample a delivery delay without sending (for broadcast fan-out
@@ -298,10 +355,10 @@ mod tests {
         assert_eq!(n.send(N0, N1, "a"), SendOutcome::Held);
         assert_eq!(n.send(N0, N1, "b"), SendOutcome::Held);
         assert_eq!(n.messages_held(), 2);
-        let drained = n.reconnect(N1);
+        let drained: Vec<_> = n.reconnect(N1).collect();
         assert_eq!(drained, vec!["a", "b"]);
         // Drained only once.
-        assert!(n.reconnect(N1).is_empty());
+        assert_eq!(n.reconnect(N1).len(), 0);
     }
 
     #[test]
@@ -318,7 +375,7 @@ mod tests {
         assert!(n.is_connected(NodeId(2)));
         n.disconnect(NodeId(2));
         assert!(!n.is_connected(NodeId(2)));
-        n.reconnect(NodeId(2));
+        assert_eq!(n.reconnect(NodeId(2)).len(), 0);
         assert!(n.is_connected(NodeId(2)));
     }
 
@@ -341,7 +398,10 @@ mod tests {
         assert_eq!(n.send(N1, N2, "b0"), SendOutcome::Held);
         assert_eq!(n.send(N0, N2, "a1"), SendOutcome::Held);
         assert_eq!(n.send(N1, N2, "b1"), SendOutcome::Held);
-        assert_eq!(n.reconnect(N2), vec!["a0", "b0", "a1", "b1"]);
+        assert_eq!(
+            n.reconnect(N2).collect::<Vec<_>>(),
+            vec!["a0", "b0", "a1", "b1"]
+        );
     }
 
     #[test]
@@ -355,7 +415,7 @@ mod tests {
             n.send(N1, N2, "same-side"),
             SendOutcome::Deliver { .. }
         ));
-        let healed = n.heal_partition();
+        let healed: Vec<_> = n.heal_partition().collect();
         assert_eq!(healed, vec![(N1, "cross")]);
         assert!(!n.is_partitioned(N0, N1));
     }
@@ -367,9 +427,9 @@ mod tests {
         n.disconnect(N1);
         assert_eq!(n.send(N0, N1, "x"), SendOutcome::Held);
         // Heal: N1 is still offline, so its mail stays parked…
-        assert!(n.heal_partition().is_empty());
+        assert_eq!(n.heal_partition().len(), 0);
         // …and arrives when it reconnects.
-        assert_eq!(n.reconnect(N1), vec!["x"]);
+        assert_eq!(n.reconnect(N1).collect::<Vec<_>>(), vec!["x"]);
     }
 
     #[test]
@@ -380,8 +440,8 @@ mod tests {
         n.partition(&[N0]);
         // N1 reconnects inside the partition: N0's message is across
         // the cut and must wait for the heal.
-        assert!(n.reconnect(N1).is_empty());
-        assert_eq!(n.heal_partition(), vec![(N1, "pre")]);
+        assert_eq!(n.reconnect(N1).len(), 0);
+        assert_eq!(n.heal_partition().collect::<Vec<_>>(), vec![(N1, "pre")]);
     }
 
     #[test]
@@ -430,6 +490,6 @@ mod tests {
         let mut n = net(2);
         n.disconnect(N1);
         n.park(N0, N1, "requeued");
-        assert_eq!(n.reconnect(N1), vec!["requeued"]);
+        assert_eq!(n.reconnect(N1).collect::<Vec<_>>(), vec!["requeued"]);
     }
 }

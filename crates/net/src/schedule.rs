@@ -55,7 +55,7 @@ impl DisconnectSchedule {
         model: PeriodModel,
         seed: u64,
     ) -> Self {
-        let mut rng = SimRng::stream(seed, &format!("disconnect-{}", node.0));
+        let mut rng = SimRng::stream_node(seed, "disconnect-", u64::from(node.0));
         let first = Self::draw(&mut rng, connected_mean, model);
         DisconnectSchedule {
             node,

@@ -1,0 +1,109 @@
+//! Strength-reduced division by a runtime-constant divisor.
+//!
+//! The sharded hot paths divide by quantities fixed at construction —
+//! the shard count (`id % shards`, `id / shards`) and a node's hosted
+//! width — on every store access and every sampler draw. A hardware
+//! 64-bit divide costs tens of cycles; multiplying by a precomputed
+//! reciprocal and shifting costs ~2. This is the classic
+//! Granlund–Montgomery "round-up" method specialised to 32-bit
+//! dividends (object ids, slots and sampler indices are all well under
+//! `2^32`): with `p = 32 + ceil(log2 d)` and `m = floor(2^p / d) + 1`,
+//! `(n * m) >> p == n / d` exactly for every `n < 2^32`.
+//!
+//! Equality of two `FastDivMod`s is equality of divisors (the magic
+//! pair is a pure function of `d`), so containing types keep their
+//! derived `PartialEq`/`Eq` semantics.
+
+/// Divider by a fixed `d`, exact for dividends below `2^32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastDivMod {
+    d: u64,
+    m: u64,
+    p: u32,
+}
+
+impl FastDivMod {
+    /// Build the reciprocal for `d`. Panics if `d` is zero or at least
+    /// `2^32` (no caller divides by anything near that).
+    pub fn new(d: u64) -> Self {
+        assert!(d > 0, "division by zero divisor");
+        assert!(d <= u64::from(u32::MAX), "divisor out of 32-bit range");
+        // ceil(log2 d): 0 for d == 1.
+        let l = 64 - (d - 1).leading_zeros();
+        let p = 32 + l;
+        let m = ((1u128 << p) / u128::from(d) + 1) as u64;
+        FastDivMod { d, m, p }
+    }
+
+    /// The divisor this reciprocal encodes.
+    #[inline]
+    pub fn divisor(&self) -> u64 {
+        self.d
+    }
+
+    /// `n / d`.
+    #[inline]
+    pub fn div(&self, n: u64) -> u64 {
+        debug_assert!(n <= u64::from(u32::MAX), "dividend out of 32-bit range");
+        ((u128::from(n) * u128::from(self.m)) >> self.p) as u64
+    }
+
+    /// `n % d`.
+    #[inline]
+    pub fn rem(&self, n: u64) -> u64 {
+        n - self.div(n) * self.d
+    }
+
+    /// `(n / d, n % d)` with one multiply.
+    #[inline]
+    pub fn div_rem(&self, n: u64) -> (u64, u64) {
+        let q = self.div(n);
+        (q, n - q * self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_structured_divisors_and_dividends() {
+        let divisors: Vec<u64> = (1..=300)
+            .chain([1_000, 4_096, 65_535, 65_536, 1 << 20, (1 << 32) - 1])
+            .chain((1..32).map(|k| 1u64 << k))
+            .chain((1..32).map(|k| (1u64 << k) - 1))
+            .chain((1..32).map(|k| (1u64 << k) + 1))
+            .collect();
+        let dividends: Vec<u64> = (0..2_000)
+            .chain((0..16).map(|k| (1u64 << 32) - 1 - k))
+            .chain((1..32).flat_map(|k| [(1u64 << k) - 1, 1u64 << k, (1u64 << k) + 1]))
+            .collect();
+        for &d in &divisors {
+            let f = FastDivMod::new(d);
+            assert_eq!(f.divisor(), d);
+            for &n in &dividends {
+                assert_eq!(f.div(n), n / d, "{n} / {d}");
+                assert_eq!(f.rem(n), n % d, "{n} % {d}");
+                assert_eq!(f.div_rem(n), (n / d, n % d), "{n} /% {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_a_dense_grid() {
+        // Exhaustive n for small d — the regime the shard maths
+        // actually runs in (shards and hosted widths are small).
+        for d in 1..=64u64 {
+            let f = FastDivMod::new(d);
+            for n in 0..=4_096u64 {
+                assert_eq!(f.div_rem(n), (n / d, n % d), "{n} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_divisor_panics() {
+        FastDivMod::new(0);
+    }
+}

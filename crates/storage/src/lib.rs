@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod div;
 pub mod hash;
 pub mod lock;
 pub mod mvcc;
@@ -37,6 +38,7 @@ pub mod tentative;
 pub mod version_vector;
 pub mod wal;
 
+pub use div::FastDivMod;
 pub use lock::{Acquire, DeadlockMode, LockManager, Mutation, TxnId};
 pub use mvcc::MvccStore;
 pub use object::{LamportClock, NodeId, ObjectId, Timestamp, Value, Versioned};

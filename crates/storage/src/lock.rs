@@ -11,7 +11,6 @@
 use crate::hash::FastMap;
 use crate::object::ObjectId;
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -121,11 +120,12 @@ impl Mutation {
     }
 }
 
-#[derive(Debug, Default)]
-struct LockState {
-    holder: TxnId,
-    waiters: VecDeque<TxnId>,
-}
+/// Sentinel for "no holder" in the dense holder table. No slab ever
+/// mints it: it would need tag 255 *and* the maximal generation *and*
+/// the maximal slot simultaneously (see `slab`'s id layout), and the
+/// engines' hand-rolled ids in tests are tiny. A debug assertion in
+/// [`LockManager::acquire`] guards the invariant anyway.
+const FREE: TxnId = TxnId(u64::MAX);
 
 /// Reusable buffers for the waits-for walk. The walk runs on every
 /// contended request in [`DeadlockMode::Detect`] — recycling its three
@@ -139,9 +139,29 @@ struct WalkScratch {
     parent: Vec<(TxnId, TxnId)>,
 }
 
-/// Cap on recycled held-lock vectors: bounds pool memory while still
-/// covering any realistic concurrent-transaction population.
-const SPARE_HELD_CAP: usize = 256;
+/// Per-transaction state for one arena tag, indexed by slab slot.
+///
+/// Transaction ids are minted by `TxnSlab` as `| tag(8) | gen(24) |
+/// slot(32) |` with slots reused densely, so per-transaction lookups
+/// (held locks, blocked-on object) index a flat array by `(tag, slot)`
+/// instead of hashing the full id — the second-hottest map traffic in a
+/// run after the holder table itself. Each entry records the owning
+/// [`TxnId`] (including its generation): a stale id whose slot was
+/// recycled compares unequal and reads as absent, exactly like a hash
+/// map miss, which the timeout drivers rely on when validating that a
+/// scheduled lock timeout still refers to the same wait.
+#[derive(Debug, Default)]
+struct TagTable {
+    /// `held[slot]` — the owner and the locks it holds; owner is
+    /// [`FREE`] when the slot has no live lock-holding transaction.
+    /// The `Vec` stays in place across slot reuse, so its capacity is
+    /// recycled for the next generation without a spare pool.
+    held: Vec<(TxnId, Vec<ObjectId>)>,
+    /// `waiting[slot]` — the owner and the single object it is blocked
+    /// on; owner is [`FREE`] when the slot's transaction is not
+    /// blocked.
+    waiting: Vec<(TxnId, ObjectId)>,
+}
 
 /// Strict exclusive locking with FIFO wait queues and pluggable
 /// deadlock resolution: immediate waits-for cycle detection
@@ -149,14 +169,27 @@ const SPARE_HELD_CAP: usize = 256;
 /// ([`DeadlockMode::TimeoutOnly`]).
 #[derive(Debug, Default)]
 pub struct LockManager {
-    /// Objects currently locked. All three tables use [`FastMap`]: they
-    /// are consulted on every action of every transaction, keyed by
-    /// internal ids, and never iterated for output.
-    locks: FastMap<ObjectId, LockState>,
-    /// All locks held by each live transaction (for release-all).
-    held: FastMap<TxnId, Vec<ObjectId>>,
-    /// The single object each blocked transaction is waiting on.
-    waiting_on: FastMap<TxnId, ObjectId>,
+    /// Dense holder table indexed by `ObjectId`: [`FREE`] or the
+    /// holding transaction. Object ids are minted densely from
+    /// `0..db_size` everywhere in this codebase, so a flat array turns
+    /// the per-action acquire/release — the hottest storage operation
+    /// in a run — into one indexed load and store, no hashing. Grown
+    /// on demand to the largest id ever locked.
+    holders: Vec<TxnId>,
+    /// One bit per holder slot: set iff the object has a wait queue in
+    /// `queues`. Lets the uncontended release path skip the queue map
+    /// entirely.
+    waitbits: Vec<u64>,
+    /// FIFO wait queues, present only for objects with waiters
+    /// (contention is the rare case; the map stays tiny).
+    queues: FastMap<ObjectId, VecDeque<TxnId>>,
+    /// Number of currently held locks (telemetry).
+    locked: usize,
+    /// Dense per-transaction state (held locks, blocked-on object),
+    /// indexed by arena tag then slab slot — see [`TagTable`].
+    txns: Vec<TagTable>,
+    /// Number of currently blocked transactions.
+    blocked: usize,
     /// The waits-for cycle behind the most recent [`Acquire::Deadlock`]
     /// result, victim first (telemetry forensics).
     last_cycle: Vec<TxnId>,
@@ -165,9 +198,6 @@ pub struct LockManager {
     /// How many times the waits-for graph was searched (always zero in
     /// [`DeadlockMode::TimeoutOnly`]).
     cycle_checks: u64,
-    /// Recycled held-lock vectors: popped when a transaction takes its
-    /// first lock, pushed back by release-all.
-    spare_held: Vec<Vec<ObjectId>>,
     /// Recycled waits-for walk buffers.
     scratch: WalkScratch,
     /// Deliberate bug injection (`REPL_MUTATE`), [`Mutation::None`]
@@ -212,29 +242,99 @@ impl LockManager {
 
     /// Number of currently locked objects.
     pub fn locked_objects(&self) -> usize {
-        self.locks.len()
+        self.locked
     }
 
     /// Number of currently blocked transactions.
     pub fn blocked_transactions(&self) -> usize {
-        self.waiting_on.len()
+        self.blocked
+    }
+
+    /// The arena tag of `txn` (high 8 bits of the id).
+    #[inline]
+    fn tag_of(txn: TxnId) -> usize {
+        (txn.0 >> 56) as usize
+    }
+
+    /// The slab slot of `txn` (low 32 bits of the id).
+    #[inline]
+    fn slot_of(txn: TxnId) -> usize {
+        txn.0 as u32 as usize
+    }
+
+    /// The object `txn` is blocked on, or `None` — including when the
+    /// slot was recycled by a newer generation (owner id mismatch).
+    #[inline]
+    fn wait_entry(&self, txn: TxnId) -> Option<ObjectId> {
+        let table = self.txns.get(Self::tag_of(txn))?;
+        let &(owner, obj) = table.waiting.get(Self::slot_of(txn))?;
+        (owner == txn).then_some(obj)
+    }
+
+    /// Record that `txn` is blocked on `obj`.
+    fn set_waiting(&mut self, txn: TxnId, obj: ObjectId) {
+        let (tag, slot) = (Self::tag_of(txn), Self::slot_of(txn));
+        if tag >= self.txns.len() {
+            self.txns.resize_with(tag + 1, TagTable::default);
+        }
+        let waiting = &mut self.txns[tag].waiting;
+        if slot >= waiting.len() {
+            waiting.resize(slot + 1, (FREE, ObjectId(0)));
+        }
+        waiting[slot] = (txn, obj);
+        self.blocked += 1;
+    }
+
+    /// Clear `txn`'s blocked-on record, returning the object it was
+    /// waiting on (no-op `None` if it was not blocked).
+    fn clear_waiting(&mut self, txn: TxnId) -> Option<ObjectId> {
+        let table = self.txns.get_mut(Self::tag_of(txn))?;
+        let entry = table.waiting.get_mut(Self::slot_of(txn))?;
+        if entry.0 != txn {
+            return None;
+        }
+        let obj = entry.1;
+        entry.0 = FREE;
+        self.blocked -= 1;
+        Some(obj)
+    }
+
+    /// The holder slot for `obj`, or [`FREE`] if never locked.
+    #[inline]
+    fn holder(&self, obj: ObjectId) -> TxnId {
+        self.holders.get(obj.0 as usize).copied().unwrap_or(FREE)
+    }
+
+    /// Grow the dense tables to cover object index `o`.
+    #[cold]
+    fn grow(&mut self, o: usize) {
+        self.holders.resize(o + 1, FREE);
+        self.waitbits.resize(o / 64 + 1, 0);
+    }
+
+    /// Pre-size the dense holder tables for object ids `0..n`, so a
+    /// run over a known database size never regrows them mid-stream.
+    pub fn reserve_objects(&mut self, n: usize) {
+        if n > self.holders.len() {
+            self.grow(n - 1);
+        }
     }
 
     /// Whether `txn` currently holds the lock on `obj`.
     pub fn holds(&self, txn: TxnId, obj: ObjectId) -> bool {
-        self.locks.get(&obj).is_some_and(|l| l.holder == txn)
+        txn != FREE && self.holder(obj) == txn
     }
 
     /// Whether `txn` is blocked.
     pub fn is_waiting(&self, txn: TxnId) -> bool {
-        self.waiting_on.contains_key(&txn)
+        self.wait_entry(txn).is_some()
     }
 
     /// The object `txn` is currently blocked on, if any. Lets a
     /// timeout-mode driver check that a scheduled timeout still refers
     /// to the same wait before aborting the victim.
     pub fn waiting_on(&self, txn: TxnId) -> Option<ObjectId> {
-        self.waiting_on.get(&txn).copied()
+        self.wait_entry(txn)
     }
 
     /// Request an exclusive lock on `obj` for `txn`.
@@ -243,65 +343,70 @@ impl LockManager {
     /// behind `obj`'s holder would close a cycle, returns
     /// [`Acquire::Deadlock`] without queueing.
     pub fn acquire(&mut self, txn: TxnId, obj: ObjectId) -> Acquire {
+        debug_assert!(txn != FREE, "the sentinel id cannot take locks");
         debug_assert!(
-            !self.waiting_on.contains_key(&txn),
+            !self.is_waiting(txn),
             "{txn} requested a lock while already blocked"
         );
-        match self.locks.entry(obj) {
-            Entry::Vacant(v) => {
-                v.insert(LockState {
-                    holder: txn,
-                    waiters: VecDeque::new(),
-                });
-                Self::record_held(&mut self.held, &mut self.spare_held, txn, obj);
+        let o = obj.0 as usize;
+        if o >= self.holders.len() {
+            self.grow(o);
+        }
+        let holder = self.holders[o];
+        if holder == FREE {
+            self.holders[o] = txn;
+            self.locked += 1;
+            self.record_held(txn, obj);
+            return Acquire::Granted;
+        }
+        if holder == txn {
+            return Acquire::Granted;
+        }
+        if let Mutation::GrantHeld { period } = self.mutation {
+            self.mutation_ticks += 1;
+            if self.mutation_ticks.is_multiple_of(period) {
+                // Ghost grant: the recorded holder stays the
+                // original transaction, so its release works
+                // normally and the ghost's own release skips
+                // the object it never really held.
+                self.record_held(txn, obj);
                 return Acquire::Granted;
             }
-            Entry::Occupied(mut o) => {
-                if o.get().holder == txn {
-                    return Acquire::Granted;
-                }
-                if let Mutation::GrantHeld { period } = self.mutation {
-                    self.mutation_ticks += 1;
-                    if self.mutation_ticks.is_multiple_of(period) {
-                        // Ghost grant: the recorded holder stays the
-                        // original transaction, so its release works
-                        // normally and the ghost's own release skips
-                        // the object it never really held.
-                        Self::record_held(&mut self.held, &mut self.spare_held, txn, obj);
-                        return Acquire::Granted;
-                    }
-                }
-                if self.mode == DeadlockMode::TimeoutOnly {
-                    o.get_mut().waiters.push_back(txn);
-                    self.waiting_on.insert(txn, obj);
-                    return Acquire::Waiting;
-                }
+        }
+        if self.mode == DeadlockMode::Detect {
+            self.cycle_checks += 1;
+            if self.would_deadlock(txn, obj) {
+                return Acquire::Deadlock;
             }
         }
-        // Detect mode, contended: the graph walk needs `&mut self`, so
-        // the entry borrow ends here and the state is re-fetched after
-        // the walk decides the request may queue.
-        self.cycle_checks += 1;
-        if self.would_deadlock(txn, obj) {
-            return Acquire::Deadlock;
-        }
-        let state = self.locks.get_mut(&obj).expect("lock state vanished");
-        state.waiters.push_back(txn);
-        self.waiting_on.insert(txn, obj);
+        self.queues.entry(obj).or_default().push_back(txn);
+        self.waitbits[o / 64] |= 1u64 << (o % 64);
+        self.set_waiting(txn, obj);
         Acquire::Waiting
     }
 
-    /// Append `obj` to `txn`'s held list, seeding the list from the
-    /// spare pool on first acquisition.
-    fn record_held(
-        held: &mut FastMap<TxnId, Vec<ObjectId>>,
-        spare: &mut Vec<Vec<ObjectId>>,
-        txn: TxnId,
-        obj: ObjectId,
-    ) {
-        held.entry(txn)
-            .or_insert_with(|| spare.pop().unwrap_or_default())
-            .push(obj);
+    /// Append `obj` to `txn`'s held list, claiming the slot's entry on
+    /// first acquisition. A slot recycled by the slab reuses the old
+    /// generation's vector capacity (every release empties it first).
+    fn record_held(&mut self, txn: TxnId, obj: ObjectId) {
+        let (tag, slot) = (Self::tag_of(txn), Self::slot_of(txn));
+        if tag >= self.txns.len() {
+            self.txns.resize_with(tag + 1, TagTable::default);
+        }
+        let held = &mut self.txns[tag].held;
+        if slot >= held.len() {
+            held.resize_with(slot + 1, || (FREE, Vec::new()));
+        }
+        let entry = &mut held[slot];
+        if entry.0 != txn {
+            debug_assert!(
+                entry.0 == FREE || entry.1.is_empty(),
+                "slot recycled while the previous generation held locks"
+            );
+            entry.0 = txn;
+            entry.1.clear();
+        }
+        entry.1.push(obj);
     }
 
     /// Would suspending `txn` behind `obj` close a waits-for cycle?
@@ -334,10 +439,11 @@ impl LockManager {
                 }
                 stack.push(node);
             };
-        let seed = &self.locks[&obj];
-        push(&mut s.stack, &mut s.parent, seed.holder, txn);
-        for w in seed.waiters.iter().copied() {
-            push(&mut s.stack, &mut s.parent, w, txn);
+        push(&mut s.stack, &mut s.parent, self.holder(obj), txn);
+        if let Some(q) = self.queues.get(&obj) {
+            for w in q.iter().copied() {
+                push(&mut s.stack, &mut s.parent, w, txn);
+            }
         }
         while let Some(current) = s.stack.pop() {
             if current == txn {
@@ -361,14 +467,15 @@ impl LockManager {
                 continue;
             }
             s.visited.push(current);
-            if let Some(next_obj) = self.waiting_on.get(&current) {
+            if let Some(next_obj) = self.wait_entry(current) {
                 // `current` waits for the holder and only the waiters
                 // *ahead of it* in the FIFO queue — including later
                 // waiters would manufacture false cycles.
-                let state = &self.locks[next_obj];
-                push(&mut s.stack, &mut s.parent, state.holder, current);
-                for w in state.waiters.iter().copied().take_while(|w| *w != current) {
-                    push(&mut s.stack, &mut s.parent, w, current);
+                push(&mut s.stack, &mut s.parent, self.holder(next_obj), current);
+                if let Some(q) = self.queues.get(&next_obj) {
+                    for w in q.iter().copied().take_while(|w| *w != current) {
+                        push(&mut s.stack, &mut s.parent, w, current);
+                    }
                 }
             }
         }
@@ -385,7 +492,8 @@ impl LockManager {
 
     /// The transaction currently holding the lock on `obj`, if locked.
     pub fn holder_of(&self, obj: ObjectId) -> Option<TxnId> {
-        self.locks.get(&obj).map(|l| l.holder)
+        let h = self.holder(obj);
+        (h != FREE).then_some(h)
     }
 
     /// Release every lock `txn` holds (commit or abort), promoting the
@@ -405,46 +513,66 @@ impl LockManager {
     /// held-lock vector returns to the spare pool for the next txn.
     pub fn release_all_into(&mut self, txn: TxnId, granted: &mut Vec<(TxnId, ObjectId)>) {
         granted.clear();
-        let Some(mut objs) = self.held.remove(&txn) else {
+        let (tag, slot) = (Self::tag_of(txn), Self::slot_of(txn));
+        let Some(entry) = self.txns.get_mut(tag).and_then(|t| t.held.get_mut(slot)) else {
             return;
         };
+        if entry.0 != txn {
+            return;
+        }
+        entry.0 = FREE;
+        // Detach the held list so the loop can borrow `self` freely;
+        // its capacity is handed back to the slot afterwards.
+        let mut objs = std::mem::take(&mut entry.1);
         for obj in objs.drain(..) {
-            let Some(state) = self.locks.get_mut(&obj) else {
-                continue;
-            };
-            if state.holder != txn {
+            let o = obj.0 as usize;
+            // A ghost grant (mutation) records a held lock the ghost
+            // never really took — skip anything `txn` does not hold.
+            if self.holders[o] != txn {
                 continue;
             }
-            match state.waiters.pop_front() {
-                Some(next) => {
-                    state.holder = next;
-                    self.waiting_on.remove(&next);
-                    Self::record_held(&mut self.held, &mut self.spare_held, next, obj);
-                    granted.push((next, obj));
-                }
-                None => {
-                    self.locks.remove(&obj);
-                }
+            let (w, b) = (o / 64, 1u64 << (o % 64));
+            if self.waitbits[w] & b == 0 {
+                self.holders[o] = FREE;
+                self.locked -= 1;
+                continue;
             }
+            let q = self.queues.get_mut(&obj).expect("waiter bit set");
+            let next = q.pop_front().expect("waiter bit set");
+            if q.is_empty() {
+                self.queues.remove(&obj);
+                self.waitbits[w] &= !b;
+            }
+            self.holders[o] = next;
+            self.clear_waiting(next);
+            self.record_held(next, obj);
+            granted.push((next, obj));
         }
-        if self.spare_held.len() < SPARE_HELD_CAP {
-            self.spare_held.push(objs);
-        }
+        self.txns[tag].held[slot].1 = objs;
     }
 
     /// Remove `txn` from the wait queue it sits in (used when an
     /// externally chosen victim aborts while blocked).
     pub fn cancel_wait(&mut self, txn: TxnId) {
-        if let Some(obj) = self.waiting_on.remove(&txn) {
-            if let Some(state) = self.locks.get_mut(&obj) {
-                state.waiters.retain(|&w| w != txn);
+        if let Some(obj) = self.clear_waiting(txn) {
+            if let Some(q) = self.queues.get_mut(&obj) {
+                q.retain(|&w| w != txn);
+                if q.is_empty() {
+                    self.queues.remove(&obj);
+                    let o = obj.0 as usize;
+                    self.waitbits[o / 64] &= !(1u64 << (o % 64));
+                }
             }
         }
     }
 
     /// The locks `txn` currently holds (empty slice if none).
     pub fn held_by(&self, txn: TxnId) -> &[ObjectId] {
-        self.held.get(&txn).map_or(&[], Vec::as_slice)
+        self.txns
+            .get(Self::tag_of(txn))
+            .and_then(|t| t.held.get(Self::slot_of(txn)))
+            .filter(|entry| entry.0 == txn)
+            .map_or(&[], |entry| entry.1.as_slice())
     }
 }
 
@@ -716,21 +844,45 @@ mod tests {
     }
 
     #[test]
-    fn held_vectors_recycle_through_spare_pool() {
+    fn held_slot_reuse_across_generations() {
+        // Same slot (low 32 bits), bumped generation (bits 32..56):
+        // the recycled slot must serve the new id and reject the old.
         let mut lm = LockManager::new();
-        for round in 0..10 {
-            let t = TxnId(100 + round);
+        let slot = 7u64;
+        for generation in 0..10u64 {
+            let t = TxnId((generation << 32) | slot);
             lm.acquire(t, O1);
             lm.acquire(t, O2);
             assert_eq!(lm.held_by(t), &[O1, O2]);
             assert!(lm.release_all(t).is_empty());
             assert_eq!(lm.locked_objects(), 0);
+            assert!(lm.held_by(t).is_empty());
         }
-        assert!(
-            lm.spare_held.len() <= 1,
-            "one txn at a time recycles a single vec, got {}",
-            lm.spare_held.len()
-        );
+        // A stale id from an earlier generation reads as holding
+        // nothing even while the current generation holds locks.
+        let current = TxnId((10 << 32) | slot);
+        let stale = TxnId(slot);
+        lm.acquire(current, O1);
+        assert!(lm.held_by(stale).is_empty());
+        assert!(!lm.holds(stale, O1));
+    }
+
+    #[test]
+    fn stale_generation_wait_queries_read_absent() {
+        // A recycled slot's wait entry must not answer for the previous
+        // generation — the timeout drivers validate a scheduled timeout
+        // against `waiting_on` before aborting the victim.
+        let mut lm = LockManager::new();
+        let old = TxnId(5);
+        let new = TxnId((1 << 32) | 5);
+        lm.acquire(A, O1);
+        assert_eq!(lm.acquire(old, O1), Acquire::Waiting);
+        lm.cancel_wait(old);
+        assert_eq!(lm.acquire(new, O1), Acquire::Waiting);
+        assert_eq!(lm.waiting_on(old), None);
+        assert_eq!(lm.waiting_on(new), Some(O1));
+        assert!(!lm.is_waiting(old));
+        assert_eq!(lm.blocked_transactions(), 1);
     }
 
     #[test]

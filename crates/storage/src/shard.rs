@@ -33,6 +33,32 @@ pub struct ShardMap {
     /// `rank[node * shards + s]` = index of `s` in `hosted[node]`, or
     /// `u32::MAX` when the node does not host `s`.
     rank: Vec<u32>,
+    /// Fan-out signature groups (see [`ShardMap::fanout_group`]):
+    /// `fanout_group[origin * nodes + dest]` = the dest's group id
+    /// within `origin`'s fan-out, or `u32::MAX` when the pair shares
+    /// no shard (or `dest == origin`).
+    fanout_group: Vec<u32>,
+    /// Per-origin offsets into `fanout_sigs`, in *groups* (length
+    /// `nodes + 1`): origin `o` owns group signatures
+    /// `fanout_base[o]..fanout_base[o + 1]`.
+    fanout_base: Vec<u32>,
+    /// Group signature bitsets, `words_per_sig` words each: the shard
+    /// intersection every member of the group shares with the origin.
+    fanout_sigs: Vec<u64>,
+    /// Master fan-out groups (see [`ShardMap::host_group`]):
+    /// `host_group[dest]` = group id keyed by the dest's *entire*
+    /// hosted set — the signature when the sender hosts every shard —
+    /// or `u32::MAX` for a node hosting nothing.
+    host_group: Vec<u32>,
+    /// Signature bitsets for the master fan-out groups.
+    host_sigs: Vec<u64>,
+    words_per_sig: usize,
+    /// Strength-reduced divider for `shards` — `shard_of` runs on
+    /// every filter test and sampler draw.
+    shard_div: crate::div::FastDivMod,
+    /// Per-node divider by `hosted[n].len()` (1 for nodes hosting
+    /// nothing, whose mapping is never consulted), for `nth_hosted`.
+    hosted_div: Vec<crate::div::FastDivMod>,
 }
 
 impl ShardMap {
@@ -63,6 +89,62 @@ impl ShardMap {
                 rank[n * shards as usize + s as usize] = r as u32;
             }
         }
+        // Precompute the fan-out signature groups. Membership never
+        // changes during a run, so this happens exactly once; engines
+        // then filter each propagated record once per *distinct
+        // signature* instead of once per destination.
+        let mut fanout_group = vec![u32::MAX; nodes as usize * nodes as usize];
+        let mut fanout_base = Vec::with_capacity(nodes as usize + 1);
+        let mut fanout_sigs = Vec::new();
+        let mut sig_scratch = vec![0u64; words];
+        let mut seen: std::collections::HashMap<Vec<u64>, u32> = std::collections::HashMap::new();
+        fanout_base.push(0);
+        for origin in 0..nodes as usize {
+            seen.clear();
+            let base_groups = fanout_sigs.len() / words;
+            for dest in 0..nodes as usize {
+                if dest == origin {
+                    continue;
+                }
+                let mut any = 0u64;
+                for (w, (&x, &y)) in bits[origin].iter().zip(&bits[dest]).enumerate() {
+                    sig_scratch[w] = x & y;
+                    any |= x & y;
+                }
+                if any == 0 {
+                    continue;
+                }
+                // Group ids are assigned in ascending-destination
+                // discovery order, so they are deterministic.
+                let next = (fanout_sigs.len() / words - base_groups) as u32;
+                let id = *seen.entry(sig_scratch.clone()).or_insert_with(|| {
+                    fanout_sigs.extend_from_slice(&sig_scratch);
+                    next
+                });
+                fanout_group[origin * nodes as usize + dest] = id;
+            }
+            fanout_base.push((fanout_sigs.len() / words) as u32);
+        }
+        // Master fan-out: the sender hosts everything, so a dest's
+        // signature is its entire hosted set.
+        let mut host_group = vec![u32::MAX; nodes as usize];
+        let mut host_sigs = Vec::new();
+        seen.clear();
+        for dest in 0..nodes as usize {
+            if bits[dest].iter().all(|&w| w == 0) {
+                continue;
+            }
+            let next = (host_sigs.len() / words) as u32;
+            host_group[dest] = *seen.entry(bits[dest].clone()).or_insert_with(|| {
+                host_sigs.extend_from_slice(&bits[dest]);
+                next
+            });
+        }
+        let shard_div = crate::div::FastDivMod::new(u64::from(shards));
+        let hosted_div = hosted
+            .iter()
+            .map(|h| crate::div::FastDivMod::new(h.len().max(1) as u64))
+            .collect();
         ShardMap {
             shards,
             nodes,
@@ -71,6 +153,14 @@ impl ShardMap {
             hosted,
             bits,
             rank,
+            fanout_group,
+            fanout_base,
+            fanout_sigs,
+            host_group,
+            host_sigs,
+            words_per_sig: words,
+            shard_div,
+            hosted_div,
         }
     }
 
@@ -98,7 +188,7 @@ impl ShardMap {
     /// The shard an object belongs to.
     #[inline]
     pub fn shard_of(&self, id: ObjectId) -> u32 {
-        (id.0 % u64::from(self.shards)) as u32
+        self.shard_div.rem(id.0) as u32
     }
 
     /// Shard `s`'s replica set, sorted ascending. With `rf == nodes`
@@ -141,6 +231,68 @@ impl ShardMap {
             .any(|(x, y)| x & y != 0)
     }
 
+    /// Fan-out signature group of `dest` within `origin`'s
+    /// propagation, or `None` when the pair shares no shard (including
+    /// `dest == origin`) and the channel carries no replica traffic.
+    ///
+    /// Two destinations are in the same group exactly when they host
+    /// the *same intersection* of the origin's shards, so a record
+    /// filtered for one member is the record for every member. Group
+    /// ids are dense (`0..fanout_groups(origin)`) and assigned in
+    /// ascending destination order — deterministic, like everything
+    /// else in the layout.
+    #[inline]
+    pub fn fanout_group(&self, origin: NodeId, dest: NodeId) -> Option<u32> {
+        let g = self.fanout_group[origin.0 as usize * self.nodes as usize + dest.0 as usize];
+        (g != u32::MAX).then_some(g)
+    }
+
+    /// Number of distinct fan-out signature groups for `origin` — the
+    /// number of filter passes a propagation actually pays, versus
+    /// `nodes - 1` destinations.
+    #[inline]
+    pub fn fanout_groups(&self, origin: NodeId) -> usize {
+        (self.fanout_base[origin.0 as usize + 1] - self.fanout_base[origin.0 as usize]) as usize
+    }
+
+    /// Whether `origin`'s fan-out group `group` hosts `object` — the
+    /// grouped equivalent of [`ShardMap::hosts_object`] for every
+    /// destination in the group, *provided the origin hosts the
+    /// object* (true for everything in an origin's replication log:
+    /// cross-shard writes to foreign shards are forwarded to their
+    /// owners, never logged locally).
+    #[inline]
+    pub fn fanout_group_hosts(&self, origin: NodeId, group: u32, object: ObjectId) -> bool {
+        let s = self.shard_of(object);
+        let base = (self.fanout_base[origin.0 as usize] + group) as usize * self.words_per_sig;
+        self.fanout_sigs[base + (s / 64) as usize] & (1u64 << (s % 64)) != 0
+    }
+
+    /// Master fan-out signature group of `dest`: the grouping when the
+    /// sender hosts *every* shard (the two-tier base), so a dest's
+    /// signature is its entire hosted set. `None` for a node hosting
+    /// nothing.
+    #[inline]
+    pub fn host_group(&self, dest: NodeId) -> Option<u32> {
+        let g = self.host_group[dest.0 as usize];
+        (g != u32::MAX).then_some(g)
+    }
+
+    /// Number of distinct master fan-out groups.
+    #[inline]
+    pub fn host_groups(&self) -> usize {
+        self.host_sigs.len() / self.words_per_sig
+    }
+
+    /// Whether every destination in master fan-out group `group` hosts
+    /// `object` — the grouped equivalent of [`ShardMap::hosts_object`].
+    #[inline]
+    pub fn host_group_hosts(&self, group: u32, object: ObjectId) -> bool {
+        let s = self.shard_of(object);
+        let base = group as usize * self.words_per_sig;
+        self.host_sigs[base + (s / 64) as usize] & (1u64 << (s % 64)) != 0
+    }
+
     /// Index of `shard` within `hosted_shards(node)`, if hosted.
     #[inline]
     pub fn rank(&self, node: NodeId, shard: u32) -> Option<u32> {
@@ -150,9 +302,7 @@ impl ShardMap {
 
     /// How many of the `db_size` objects `node` hosts.
     pub fn hosted_objects(&self, node: NodeId, db_size: u64) -> u64 {
-        let k = u64::from(self.shards);
-        let full_rows = db_size / k;
-        let tail = db_size % k;
+        let (full_rows, tail) = self.shard_div.div_rem(db_size);
         let h = &self.hosted[node.0 as usize];
         let tail_hosted = h.iter().take_while(|&&s| u64::from(s) < tail).count() as u64;
         full_rows * h.len() as u64 + tail_hosted
@@ -165,9 +315,8 @@ impl ShardMap {
     #[inline]
     pub fn nth_hosted(&self, node: NodeId, i: u64) -> ObjectId {
         let h = &self.hosted[node.0 as usize];
-        let len = h.len() as u64;
-        let (row, r) = (i / len, (i % len) as usize);
-        ObjectId(row * u64::from(self.shards) + u64::from(h[r]))
+        let (row, r) = self.hosted_div[node.0 as usize].div_rem(i);
+        ObjectId(row * u64::from(self.shards) + u64::from(h[r as usize]))
     }
 }
 
@@ -253,6 +402,85 @@ mod tests {
             assert_eq!(count, expect.len() as u64, "node {n}");
             let got: Vec<u64> = (0..count).map(|i| m.nth_hosted(node, i).0).collect();
             assert_eq!(got, expect, "node {n}");
+        }
+    }
+
+    #[test]
+    fn fanout_groups_agree_with_per_destination_filter() {
+        for (shards, nodes, rf) in [(8, 8, 3), (5, 7, 2), (16, 4, 3), (3, 9, 1), (8, 8, 8)] {
+            let m = ShardMap::new(shards, nodes, rf);
+            for o in 0..nodes {
+                let origin = NodeId(o);
+                let mut max_group = None;
+                for d in 0..nodes {
+                    let dest = NodeId(d);
+                    let group = m.fanout_group(origin, dest);
+                    assert_eq!(
+                        group.is_some(),
+                        d != o && m.shares_any(origin, dest),
+                        "{shards}/{nodes}/{rf} origin {o} dest {d}"
+                    );
+                    let Some(g) = group else { continue };
+                    max_group = max_group.max(Some(g));
+                    // The group signature must answer exactly like the
+                    // per-destination filter for every origin-hosted
+                    // object (the only objects an origin ever ships).
+                    for obj in (0..64).map(ObjectId) {
+                        if !m.hosts_object(origin, obj) {
+                            continue;
+                        }
+                        assert_eq!(
+                            m.fanout_group_hosts(origin, g, obj),
+                            m.hosts_object(dest, obj),
+                            "{shards}/{nodes}/{rf} origin {o} dest {d} obj {obj:?}"
+                        );
+                    }
+                }
+                // Ids are dense: 0..fanout_groups(origin).
+                let groups = m.fanout_groups(origin);
+                assert_eq!(
+                    groups,
+                    max_group.map_or(0, |g| g as usize + 1),
+                    "origin {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn host_groups_agree_with_hosted_sets() {
+        for (shards, nodes, rf) in [(8, 8, 3), (5, 7, 2), (8, 20, 2)] {
+            let m = ShardMap::new(shards, nodes, rf);
+            for d in 0..nodes {
+                let dest = NodeId(d);
+                match m.host_group(dest) {
+                    None => assert!(m.hosted_shards(dest).is_empty(), "node {d}"),
+                    Some(g) => {
+                        assert!((g as usize) < m.host_groups());
+                        for obj in (0..64).map(ObjectId) {
+                            assert_eq!(
+                                m.host_group_hosts(g, obj),
+                                m.hosts_object(dest, obj),
+                                "{shards}/{nodes}/{rf} dest {d} obj {obj:?}"
+                            );
+                        }
+                    }
+                }
+            }
+            // Nodes with identical hosted sets share a group; distinct
+            // sets get distinct groups.
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    let (ga, gb) = (m.host_group(NodeId(a)), m.host_group(NodeId(b)));
+                    if ga.is_some() || gb.is_some() {
+                        assert_eq!(
+                            ga == gb,
+                            m.hosted_shards(NodeId(a)) == m.hosted_shards(NodeId(b)),
+                            "nodes {a}/{b}"
+                        );
+                    }
+                }
+            }
         }
     }
 

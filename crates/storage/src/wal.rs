@@ -48,9 +48,18 @@ pub struct CommitRecord {
 /// be discarded (`truncate_until`) while LSNs remain stable.
 #[derive(Debug, Default)]
 pub struct CommitLog {
+    /// Backing storage. Live records are `records[start..]`; the
+    /// prefix below `start` is truncated husks awaiting compaction.
+    /// Truncation happens once per *commit* (the propagation path
+    /// garbage-collects the fully shipped prefix), so eagerly
+    /// `drain`ing the front would memmove the whole surviving tail
+    /// every time — quadratic while a disconnected destination holds
+    /// the watermark back. Advancing `start` and compacting only when
+    /// the dead prefix dominates keeps truncation amortized O(1).
     records: Vec<CommitRecord>,
-    /// Number of records discarded from the front; `records[0]` has
-    /// LSN `base`.
+    /// Index of the oldest live record in `records`.
+    start: usize,
+    /// LSN of `records[start]` (number of records ever truncated).
     base: u64,
 }
 
@@ -62,17 +71,17 @@ impl CommitLog {
 
     /// Number of commits recorded.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.records.len() - self.start
     }
 
     /// Whether the log is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.start == self.records.len()
     }
 
     /// The LSN the *next* commit will receive.
     pub fn head(&self) -> Lsn {
-        Lsn(self.base + self.records.len() as u64)
+        Lsn(self.base + self.len() as u64)
     }
 
     /// The oldest LSN still present (everything below was truncated).
@@ -95,32 +104,37 @@ impl CommitLog {
     /// requested history no longer exists).
     pub fn since(&self, from: Lsn) -> &[CommitRecord] {
         debug_assert!(
-            from.0 >= self.base || self.records.is_empty(),
+            from.0 >= self.base || self.is_empty(),
             "requested LSN {from:?} below truncation point {}",
             self.base
         );
-        let start = (from.0.saturating_sub(self.base) as usize).min(self.records.len());
-        &self.records[start..]
+        let skip = (from.0.saturating_sub(self.base) as usize).min(self.len());
+        &self.records[self.start + skip..]
     }
 
     /// Read one commit by LSN. Returns `None` for truncated or
     /// not-yet-written positions.
     pub fn get(&self, lsn: Lsn) -> Option<&CommitRecord> {
-        let idx = lsn.0.checked_sub(self.base)?;
-        self.records.get(idx as usize)
+        let idx = lsn.0.checked_sub(self.base)? as usize;
+        if idx >= self.len() {
+            return None;
+        }
+        self.records.get(self.start + idx)
     }
 
     /// Discard every record below `upto` (exclusive). Call with the
     /// minimum of all destination watermarks so no replica loses
     /// history it still needs.
     pub fn truncate_until(&mut self, upto: Lsn) {
-        let keep_from = upto.0.saturating_sub(self.base) as usize;
-        if keep_from == 0 {
+        let cut = (upto.0.saturating_sub(self.base) as usize).min(self.len());
+        if cut == 0 {
             return;
         }
-        let keep_from = keep_from.min(self.records.len());
-        self.records.drain(..keep_from);
-        self.base += keep_from as u64;
+        for rec in &mut self.records[self.start..self.start + cut] {
+            // Free the payload now; the husk waits for compaction.
+            rec.updates = Vec::new();
+        }
+        self.advance(cut);
     }
 
     /// [`CommitLog::truncate_until`], but the discarded records' update
@@ -129,17 +143,28 @@ impl CommitLog {
     /// state commits consume recycled buffers as fast as truncation
     /// produces them, so `spare` stays bounded by the log's own churn.
     pub fn truncate_until_recycling(&mut self, upto: Lsn, spare: &mut Vec<Vec<UpdateRecord>>) {
-        let keep_from = upto.0.saturating_sub(self.base) as usize;
-        if keep_from == 0 {
+        let cut = (upto.0.saturating_sub(self.base) as usize).min(self.len());
+        if cut == 0 {
             return;
         }
-        let keep_from = keep_from.min(self.records.len());
-        for rec in self.records.drain(..keep_from) {
-            let mut updates = rec.updates;
+        for rec in &mut self.records[self.start..self.start + cut] {
+            let mut updates = std::mem::take(&mut rec.updates);
             updates.clear();
             spare.push(updates);
         }
-        self.base += keep_from as u64;
+        self.advance(cut);
+    }
+
+    /// Advance the truncation point past `cut` already-emptied records,
+    /// compacting the backing vector once the dead prefix outweighs the
+    /// live tail (amortized O(1) per truncated record).
+    fn advance(&mut self, cut: usize) {
+        self.start += cut;
+        self.base += cut as u64;
+        if self.start >= 32 && self.start >= self.records.len() - self.start {
+            self.records.drain(..self.start);
+            self.start = 0;
+        }
     }
 }
 

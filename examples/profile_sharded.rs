@@ -1,0 +1,38 @@
+//! Ad-hoc timing of the sharded lazy-group bench configuration.
+//! `--profile` arg enables the per-phase profiler; default prints
+//! per-run wall times (min is the stable estimator on noisy hosts).
+use dangers_of_replication as _;
+use repl_core::{LazyGroupSim, Mobility, SimConfig};
+use repl_model::Params;
+use repl_telemetry::Profiler;
+
+fn main() {
+    let profile = std::env::args().any(|a| a == "--profile");
+    let p = Params::new(500.0, 8.0, 10.0, 4.0, 0.01);
+    let prof = if profile {
+        Profiler::enabled()
+    } else {
+        Profiler::default()
+    };
+    let mut times = Vec::new();
+    for _ in 0..50 {
+        let c = SimConfig::from_params(&p, 30, 8)
+            .with_shards(8, 3)
+            .with_cross_shard(0.10);
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(
+            LazyGroupSim::new(c, Mobility::Connected)
+                .with_profiler(prof.clone())
+                .run(),
+        );
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    println!(
+        "min {:?}  p25 {:?}  median {:?}",
+        times[0], times[12], times[25]
+    );
+    for line in prof.report_lines() {
+        println!("{line}");
+    }
+}

@@ -213,7 +213,16 @@ cmp "$out" "$shard_out" || {
     echo "--shards 7 at full replication changed experiment output" >&2
     exit 1
 }
-echo "ok: full-rf sharded run byte-identical to unsharded across every experiment"
+# Same layout with the replication factor spelled out. `--rf 0` is the
+# implicit "full" default above; an explicit rf >= nodes must take the
+# same clamp path in every experiment (some sweeps run past 7 nodes,
+# so rf must exceed every sweep's node count to stay full).
+./target/release/harness --quick --json --shards 7 --rf 999 all >"$shard_out"
+cmp "$out" "$shard_out" || {
+    echo "--shards 7 --rf 999 (explicit full rf) changed experiment output" >&2
+    exit 1
+}
+echo "ok: full-rf sharded runs (implicit and explicit rf) byte-identical to unsharded"
 
 say "scaleout smoke: fixed seed (determinism across --jobs, schema, sublinear fan-out)"
 sc_a="$(mktemp)"
@@ -238,6 +247,7 @@ cmp "$sc_a" "$sc_b" || {
     and (.rows | length >= 9)
     and ([.rows[] | select(.[0] == "256" and .[1] == "3")] | length == 1)
     and (fanout("256"; "3") < fanout("8"; "3") * 2 + 1)
+    and (fanout("256"; "3") >= 3.0 and fanout("256"; "3") <= 3.8)
     and (fanout("32"; "full") > fanout("8"; "full") * 2)
     and ([.rows[] | select(.[9] == "2pc")] | length == 2)
     and (pmsgs("16"; "2pc") > pmsgs("16"; "owner-order"))

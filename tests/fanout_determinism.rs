@@ -1,0 +1,203 @@
+//! Fan-out behavior is pinned: the signature-grouped propagation path
+//! must be provably an optimization, not a behavior change.
+//!
+//! Two legs:
+//!
+//! 1. **Goldens.** `goldens/fanout_sharded.txt` pins a digest of the
+//!    full `Report` plus every final store digest for a grid of
+//!    *partial* shard layouts across all engines. The file was
+//!    generated from the pre-signature per-destination filter
+//!    (`REGEN_FANOUT_GOLDENS=1 cargo test -q --test
+//!    fanout_determinism`), so any run that diverges from it changed
+//!    observable behavior, not just speed.
+//! 2. **Property test** (below, `signature_groups_match_reference`):
+//!    for random `ShardMap`s, filtering once per distinct shard-set
+//!    signature must equal the per-destination reference filter.
+
+use dangers_of_replication::core::{
+    EagerSim, LazyGroupSim, LazyMasterSim, Mobility, Ownership, ReplicaDiscipline, Report,
+    SimConfig, TwoTierConfig, TwoTierSim, TwoTierWorkload,
+};
+use dangers_of_replication::model::Params;
+use dangers_of_replication::sim::SimDuration;
+
+/// FNV-1a over the `Debug` rendering: cheap, dependency-free, and
+/// sensitive to every counter and rate in the `Report`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn digest_line(name: &str, report: &Report, stores: &[u64]) -> String {
+    let mut s = format!(
+        "{name} report={:016x} stores=",
+        fnv1a(format!("{report:?}").as_bytes())
+    );
+    for (i, d) in stores.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("{d:016x}"));
+    }
+    s
+}
+
+fn cfg(seed: u64) -> SimConfig {
+    let p = Params::new(400.0, 4.0, 10.0, 4.0, 0.01);
+    SimConfig::from_params(&p, 30, seed).with_warmup(2)
+}
+
+fn two_tier_cfg(sim: SimConfig) -> TwoTierConfig {
+    TwoTierConfig {
+        sim,
+        base_nodes: 2,
+        mobile_owned: 0,
+        connected: SimDuration::from_secs(8),
+        disconnected: SimDuration::from_secs(12),
+        workload: TwoTierWorkload::Commutative { max_amount: 10 },
+        initial_value: 10_000,
+    }
+}
+
+/// Every scenario runs a *partial* layout — full replication skips the
+/// sharded fan-out entirely, so it would pin nothing interesting here
+/// (and is already covered by `shard_determinism.rs`).
+fn golden_lines() -> Vec<String> {
+    let mut lines = Vec::new();
+    for (seed, shards, rf) in [(7u64, 8u32, 3u32), (42, 8, 3), (42, 5, 2)] {
+        let name = |engine: &str| format!("{engine}/seed={seed}/shards={shards}/rf={rf}");
+
+        let (report, stores) = LazyGroupSim::new(
+            cfg(seed).with_shards(shards, rf).with_cross_shard(0.10),
+            Mobility::Connected,
+        )
+        .run_with_state();
+        let digests: Vec<u64> = stores.iter().map(|s| s.digest()).collect();
+        lines.push(digest_line(
+            &name("lazy_group/connected"),
+            &report,
+            &digests,
+        ));
+
+        let (report, stores) = LazyGroupSim::new(
+            cfg(seed).with_shards(shards, rf),
+            Mobility::Cycling {
+                connected: SimDuration::from_secs(8),
+                disconnected: SimDuration::from_secs(4),
+            },
+        )
+        .run_with_state();
+        let digests: Vec<u64> = stores.iter().map(|s| s.digest()).collect();
+        lines.push(digest_line(&name("lazy_group/cycling"), &report, &digests));
+
+        let (report, base, mobiles) =
+            TwoTierSim::new(two_tier_cfg(cfg(seed).with_shards(shards, rf))).run_with_state();
+        let mut digests = vec![base.digest()];
+        digests.extend(mobiles.iter().map(|s| s.digest()));
+        lines.push(digest_line(&name("two_tier"), &report, &digests));
+
+        let report = EagerSim::new(
+            cfg(seed).with_shards(shards, rf).with_cross_shard(0.10),
+            ReplicaDiscipline::Serial,
+            Ownership::Group,
+        )
+        .run();
+        lines.push(digest_line(&name("eager/serial_group"), &report, &[]));
+
+        let report =
+            LazyMasterSim::new(cfg(seed).with_shards(shards, rf).with_cross_shard(0.10)).run();
+        lines.push(digest_line(&name("lazy_master"), &report, &[]));
+    }
+    lines
+}
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/goldens/fanout_sharded.txt"
+);
+
+/// Sharded runs for every engine must match the goldens captured
+/// before the signature-grouped fan-out landed.
+#[test]
+fn sharded_runs_match_pre_signature_goldens() {
+    let lines = golden_lines();
+    if std::env::var_os("REGEN_FANOUT_GOLDENS").is_some() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens")).unwrap();
+        std::fs::write(GOLDEN_PATH, lines.join("\n") + "\n").unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("goldens missing — run with REGEN_FANOUT_GOLDENS=1 to create them");
+    let golden: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        golden.len(),
+        lines.len(),
+        "golden file covers a different scenario grid"
+    );
+    for (got, want) in lines.iter().zip(&golden) {
+        assert_eq!(got, *want, "sharded run diverged from pre-signature golden");
+    }
+}
+
+mod signature_properties {
+    use dangers_of_replication::storage::{NodeId, ShardMap};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Leg 2: filtering once per distinct shard-set signature must
+        /// agree with the per-destination reference filter — for every
+        /// destination, on random layouts, for objects drawn from the
+        /// origin-hosted set (the only records an origin ever logs).
+        #[test]
+        fn signature_groups_match_reference(
+            shards in 1u32..24,
+            nodes in 2u32..24,
+            rf_raw in 1u32..6,
+            origin_raw in 0u32..24,
+            db_size in 1u64..5000,
+            pick in 0u64..5000,
+        ) {
+            let rf = rf_raw.min(nodes);
+            let origin = NodeId(origin_raw % nodes);
+            let map = ShardMap::new(shards, nodes, rf);
+            let hosted = map.hosted_objects(origin, db_size);
+            if hosted == 0 {
+                // Origin hosts nothing under this layout: no log, no
+                // fan-out — vacuously consistent.
+                return Ok(());
+            }
+            let object = map.nth_hosted(origin, pick % hosted);
+            prop_assert!(map.hosts_object(origin, object));
+            for dest in (0..nodes).map(NodeId) {
+                // Replica fan-out from `origin`.
+                let reference = dest != origin
+                    && map.shares_any(origin, dest)
+                    && map.hosts_object(dest, object);
+                let grouped = map
+                    .fanout_group(origin, dest)
+                    .is_some_and(|g| map.fanout_group_hosts(origin, g, object));
+                prop_assert_eq!(
+                    grouped, reference,
+                    "fanout {:?}->{:?} obj {:?} (shards={} nodes={} rf={})",
+                    origin, dest, object, shards, nodes, rf
+                );
+                // Master fan-out (a base sender hosting every shard).
+                let master = map
+                    .host_group(dest)
+                    .is_some_and(|g| map.host_group_hosts(g, object));
+                prop_assert_eq!(
+                    master,
+                    map.hosts_object(dest, object),
+                    "host-group {:?} obj {:?} (shards={} nodes={} rf={})",
+                    dest, object, shards, nodes, rf
+                );
+            }
+        }
+    }
+}
